@@ -1,0 +1,44 @@
+"""Ablation: the caching layer (Section III-B).
+
+"Not only this layer reduces the requests latency, but it also reduces the
+interactions with the storage providers, resulting in lower costs for the
+user."  With a cache sized for the hot set, repeated reads of popular
+pictures stop billing provider egress.
+"""
+
+from _helpers import run_once
+from repro.sim.scenarios import gallery_scenario
+from repro.sim.simulator import Scenario, ScenarioSimulator
+from repro.util.units import MB
+
+
+def run_with_cache(cache_bytes: int):
+    base = gallery_scenario(horizon=96, n_pictures=100, trained=True)
+    kwargs = dict(base.broker_kwargs)
+    kwargs["cache_capacity_bytes"] = cache_bytes
+    scenario = Scenario(
+        name=base.name,
+        workload=base.workload,
+        rules=base.rules,
+        catalog=base.catalog,
+        broker_kwargs=kwargs,
+    )
+    return ScenarioSimulator(scenario, "scalia").run()
+
+
+def test_cache_reduces_cost(benchmark):
+    def run_both():
+        return {size: run_with_cache(size) for size in (0, 2 * MB, 50 * MB)}
+
+    outcomes = run_once(benchmark, run_both)
+    print("\nCaching-layer ablation (gallery, 4 days, 100 pictures):")
+    print(f"{'cache':>10} {'total $':>10} {'egress GB':>10}")
+    for size, result in outcomes.items():
+        label = "off" if size == 0 else f"{size // MB} MB"
+        print(f"{label:>10} {result.total_cost:>10.4f} {result.bw_out_gb.sum():>10.3f}")
+    off, small, big = outcomes[0], outcomes[2 * MB], outcomes[50 * MB]
+    # A cache holding the whole gallery eliminates nearly all egress.
+    assert big.bw_out_gb.sum() < 0.2 * off.bw_out_gb.sum()
+    assert big.total_cost < off.total_cost
+    # Even a 2 MB cache (8 hot pictures) pays for itself.
+    assert small.total_cost < off.total_cost

@@ -1,0 +1,39 @@
+"""Ablation: class-statistics training phase (Section III-A1).
+
+"Thanks to the statistics collected for each class of objects, the
+probability that the first placement is already optimal increases."  With a
+trained class prior the gallery's first placements anticipate the
+read-mostly pattern; cold-started, every picture pays an early migration.
+"""
+
+from _helpers import run_once
+from repro.core.costmodel import CostModel
+from repro.sim.ideal import ideal_costs
+from repro.sim.scenarios import gallery_scenario
+from repro.sim.simulator import ScenarioSimulator
+
+
+def test_training_phase_value(benchmark):
+    def run_both():
+        out = {}
+        for trained in (True, False):
+            scenario = gallery_scenario(horizon=180, n_pictures=200, trained=trained)
+            result = ScenarioSimulator(scenario, "scalia").run()
+            ideal = ideal_costs(
+                scenario.workload, scenario.rules, scenario.timeline(), CostModel(1.0)
+            )
+            out[trained] = (result, ideal.total)
+        return out
+
+    outcomes = run_once(benchmark, run_both)
+    print("\nClass-statistics training ablation (gallery, 7.5 days):")
+    print(f"{'mode':>10} {'% over ideal':>13} {'migrations':>11}")
+    for trained, (result, ideal_total) in outcomes.items():
+        label = "trained" if trained else "cold"
+        over = 100 * (result.total_cost / ideal_total - 1)
+        print(f"{label:>10} {over:>13.2f} {result.migrations:>11}")
+    trained_result, ideal_total = outcomes[True]
+    cold_result, _ = outcomes[False]
+    # The trained prior removes the early migration wave entirely.
+    assert trained_result.migrations < cold_result.migrations
+    assert trained_result.total_cost < cold_result.total_cost

@@ -1,0 +1,69 @@
+"""Ablation: trend-detection limit vs recomputation effort and cost.
+
+The paper found limit = 10 % "to perform adequately".  Sweeping it shows
+the trade: a tight limit recomputes placements constantly (optimizer load),
+a loose one reacts late to the flash crowd (over-cost).
+"""
+
+import pytest
+
+from _helpers import run_once
+from repro.core.costmodel import CostModel
+from repro.sim.ideal import ideal_costs
+from repro.sim.scenarios import slashdot_scenario
+from repro.sim.simulator import Scenario, ScenarioSimulator
+
+
+def run_with_limit(limit: float):
+    base = slashdot_scenario(horizon=180)
+    scenario = Scenario(
+        name=base.name,
+        workload=base.workload,
+        rules=base.rules,
+        catalog=base.catalog,
+        events=base.events,
+        broker_kwargs={"trend_limit": limit},
+    )
+    sim = ScenarioSimulator(scenario, "scalia")
+    broker = sim.build_broker()
+    result = _drive(sim, broker)
+    recomputations = sum(r.recomputations for r in broker.reports)
+    return result, recomputations
+
+
+def _drive(sim, broker):
+    workload = sim.scenario.workload
+    timeline = sim.scenario.timeline()
+    for period in range(workload.horizon):
+        timeline.apply_to_registry(broker.registry, period)
+        for obj in workload.births(period):
+            broker.put(obj.container, obj.key, obj.size, mime=obj.mime, rule=obj.rule)
+        for batch in workload.batches(period):
+            if batch.reads:
+                broker.get_many(batch.obj.container, batch.obj.key, batch.reads)
+        broker.tick()
+    return sim._collect(broker, workload.horizon, 0, 0)
+
+
+def test_trend_limit_sweep(benchmark):
+    scenario = slashdot_scenario(horizon=180)
+    ideal = ideal_costs(
+        scenario.workload, scenario.rules, scenario.timeline(), CostModel(1.0)
+    )
+
+    def sweep():
+        return {limit: run_with_limit(limit) for limit in (0.02, 0.1, 0.5)}
+
+    outcomes = run_once(benchmark, sweep)
+    print("\nTrend-limit ablation (Slashdot, 180 h):")
+    print(f"{'limit':>7} {'% over ideal':>13} {'recomputations':>15}")
+    overs = {}
+    for limit, (result, recomputations) in outcomes.items():
+        over = 100 * (result.total_cost / ideal.total - 1)
+        overs[limit] = over
+        print(f"{limit:>7} {over:>13.3f} {recomputations:>15}")
+    # A tighter limit can only trigger at least as many recomputations.
+    recs = [outcomes[l][1] for l in (0.02, 0.1, 0.5)]
+    assert recs[0] >= recs[1] >= recs[2]
+    # Every setting still reacts to a 50x surge: costs stay near ideal.
+    assert all(v < 5.0 for v in overs.values())

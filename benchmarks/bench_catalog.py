@@ -1,0 +1,45 @@
+"""Figures 2-3: the input tables (storage rules and provider catalog).
+
+These are inputs, not results; the bench verifies the constants are wired
+verbatim and measures the cost of building the catalog objects.
+"""
+
+import pytest
+
+from repro.core.rules import PAPER_RULES, paper_rulebook
+from repro.providers.pricing import CHEAPSTOR, paper_catalog
+
+
+def test_fig2_rules(benchmark):
+    book = benchmark(paper_rulebook)
+    rule1 = book.get("rule 1")
+    assert rule1.durability == pytest.approx(0.999999)
+    assert rule1.availability == pytest.approx(0.9999)
+    assert rule1.lockin == pytest.approx(0.3)
+    assert book.get("rule 2").zones == frozenset({"EU"})
+    assert book.get("rule 3").lockin == pytest.approx(0.2)
+    print("\nFigure 2 rules:")
+    for rule in PAPER_RULES:
+        zones = ",".join(sorted(rule.zones)) or "all"
+        print(
+            f"  {rule.name:<8} durability={rule.durability:.6%} "
+            f"availability={rule.availability:.4%} zones={zones:<10} "
+            f"lockin={rule.lockin}"
+        )
+
+
+def test_fig3_providers(benchmark):
+    catalog = benchmark(paper_catalog, True)
+    assert [s.name for s in catalog] == ["S3(h)", "S3(l)", "RS", "Azu", "Ggl", "CheapStor"]
+    by_name = {s.name: s for s in catalog}
+    assert by_name["S3(h)"].durability == pytest.approx(0.99999999999)
+    assert by_name["RS"].pricing.ops_per_1k == 0.0
+    assert CHEAPSTOR.pricing.storage_gb_month == pytest.approx(0.09)
+    print("\nFigure 3 providers ($/GB or $/1K ops):")
+    for spec in catalog:
+        p = spec.pricing
+        print(
+            f"  {spec.name:<10} storage={p.storage_gb_month:<6} in={p.bw_in_gb:<5} "
+            f"out={p.bw_out_gb:<5} ops={p.ops_per_1k:<6} "
+            f"zones={','.join(sorted(spec.zones))}"
+        )

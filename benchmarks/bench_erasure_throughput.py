@@ -1,0 +1,42 @@
+"""Erasure-coding throughput: the data-plane substrate's cost.
+
+Not a paper figure, but the byte path every real deployment pays; the
+numbers contextualize the simulator's synthetic-payload mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.erasure.rs import ReedSolomon
+
+PAYLOAD = np.random.default_rng(42).integers(0, 256, size=4 * 10**6, dtype=np.uint8).tobytes()
+
+
+@pytest.mark.parametrize("m,n", [(2, 3), (3, 5), (4, 6), (8, 12)])
+def test_encode_throughput(benchmark, m, n):
+    code = ReedSolomon(m, n)
+    shards = benchmark(code.encode, PAYLOAD)
+    assert len(shards) == n
+    mb = len(PAYLOAD) / 1e6
+    print(f"\n(m={m}, n={n}) encode: {mb:.0f} MB object, "
+          f"{mb / benchmark.stats['mean']:.0f} MB/s")
+
+
+@pytest.mark.parametrize("m,n", [(2, 3), (3, 5), (4, 6)])
+def test_decode_with_erasures_throughput(benchmark, m, n):
+    code = ReedSolomon(m, n)
+    shards = code.encode(PAYLOAD)
+    # Worst case: all data shards lost, decode purely from parity + tail.
+    available = {i: shards[i] for i in range(n - m, n)}
+    out = benchmark(code.decode, available, len(PAYLOAD))
+    assert out == PAYLOAD
+    mb = len(PAYLOAD) / 1e6
+    print(f"\n(m={m}, n={n}) parity decode: {mb / benchmark.stats['mean']:.0f} MB/s")
+
+
+def test_systematic_decode_is_concatenation(benchmark):
+    code = ReedSolomon(4, 6)
+    shards = code.encode(PAYLOAD)
+    available = {i: shards[i] for i in range(4)}
+    out = benchmark(code.decode, available, len(PAYLOAD))
+    assert out == PAYLOAD

@@ -1,0 +1,39 @@
+"""Figure 9: trend detection with daily sampling over 3 months.
+
+s = 1 day, d = 7 days, w = 3, limit = 0.1.  Day-level aggregation smooths
+the diurnal swings, so detections become rare — only week-scale trend moves
+fire.
+"""
+
+import numpy as np
+
+from repro.analysis.report import sparkline
+from repro.core.trend import detect_series
+from repro.workloads.website import website_read_series
+
+
+def test_fig09_trend_detection_daily(benchmark):
+    series = website_read_series(
+        90, visitors_per_day=2500, period_hours=24.0, seed=9
+    ).astype(float)
+    # Three months with a slow growth trend plus a promotional burst,
+    # mirroring the long-scale movements of the paper's website trace.
+    growth = np.linspace(1.0, 1.6, series.size)
+    series = series * growth
+    series[40:47] *= 2.2  # a promoted week
+
+    flags = benchmark(detect_series, series, 3, 0.1)
+    hourly_equiv = website_read_series(90 * 24, visitors_per_day=2500, seed=9)
+    hourly_flags = detect_series(hourly_equiv.astype(float), 3, 0.1)
+
+    print("\nFigure 9 (s=1d, d=7d, w=3, limit=0.1, 3 months)")
+    print("reads/day  :", sparkline(series))
+    print("detections :", "".join("^" if f else "." for f in flags))
+    daily_rate = flags.sum() / flags.size
+    hourly_rate = hourly_flags.sum() / hourly_flags.size
+    print(f"daily sampling fires on {daily_rate:.1%} of periods; "
+          f"hourly sampling on the same horizon fires on {hourly_rate:.1%}")
+    # Daily aggregation detects the burst...
+    assert flags[40:48].any()
+    # ...while firing far less often than hourly sampling does.
+    assert daily_rate < hourly_rate

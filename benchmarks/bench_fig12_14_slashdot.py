@@ -1,0 +1,40 @@
+"""Figures 12 and 14: the Slashdot-effect scenario.
+
+Figure 12 — total storage / bandwidth-in / bandwidth-out used by Scalia
+over 7.5 days.  Figure 14 — cumulative price of all 27 provider sets
+(26 static + Scalia) as % over the clairvoyant ideal.  Paper numbers:
+Scalia +0.12 %, best static ≈ +0.4 %, worst static ≈ +16 %.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import print_overcost_report, run_once, sweep_with_ideal
+from repro.analysis.overcost import overcost_table, scalia_row, worst_static
+from repro.analysis.report import format_resource_series
+from repro.analysis.series import resource_series
+from repro.sim.scenarios import slashdot_scenario
+
+
+def test_fig12_fig14_slashdot(benchmark):
+    scenario = slashdot_scenario(horizon=180)
+    results, ideal = run_once(benchmark, lambda: sweep_with_ideal(scenario))
+
+    scalia = next(r for r in results if r.policy == "Scalia")
+    print("\nFigure 12: total resources used by Scalia (GB)")
+    print(format_resource_series(resource_series(scalia), points=10))
+    # The flash crowd shows as an egress surge after hour 48.
+    assert scalia.bw_out_gb[48:80].sum() > 10 * scalia.bw_out_gb[:48].sum()
+
+    rows = print_overcost_report(
+        "Figure 14: Slashdot scenario — cumulative price",
+        results,
+        ideal.total,
+        paper={"scalia": 0.12, "best": 0.4, "worst": 16.0},
+    )
+    assert len(rows) == 27
+    # Shape: Scalia within ~1 % of ideal; worst static pays double-digit %.
+    assert scalia_row(rows).over_cost_pct < 1.0
+    assert worst_static(rows).over_cost_pct > 10.0
+    # The worst static is the 5-provider m:4 set (ops-amplified reads).
+    assert worst_static(rows).label == "S3(h)-S3(l)-Azu-Ggl-RS"

@@ -1,0 +1,39 @@
+"""Figures 15 and 16: the gallery scenario.
+
+200 pictures of 250 KB, Pareto(1, 50) popularity, diurnal website traffic,
+7.5 days.  Figure 15 — Scalia's resource series; Figure 16 — % over ideal
+for all 27 provider sets.  Paper numbers: Scalia +1.06 %, best static
++4.14 %, worst +31.58 %.
+"""
+
+import numpy as np
+
+from _helpers import print_overcost_report, run_once, sweep_with_ideal
+from repro.analysis.overcost import scalia_row, worst_static, best_static
+from repro.analysis.report import format_resource_series
+from repro.analysis.series import resource_series
+from repro.sim.scenarios import gallery_scenario
+
+
+def test_fig15_fig16_gallery(benchmark):
+    scenario = gallery_scenario(horizon=180, n_pictures=200, trained=True)
+    results, ideal = run_once(benchmark, lambda: sweep_with_ideal(scenario))
+
+    scalia = next(r for r in results if r.policy == "Scalia")
+    print("\nFigure 15: total resources used by Scalia (GB)")
+    print(format_resource_series(resource_series(scalia), points=10))
+    # All 200 pictures held: 200 x 250 KB plus erasure overhead.
+    assert scalia.storage_gb[-1] > 0.05
+
+    rows = print_overcost_report(
+        "Figure 16: gallery scenario — cumulative price",
+        results,
+        ideal.total,
+        paper={"scalia": 1.06, "best": 4.14, "worst": 31.58},
+    )
+    assert len(rows) == 27
+    # Shape: Scalia tracks the ideal and no static set beats it by more
+    # than noise; the worst static pays tens of percent.
+    assert scalia_row(rows).over_cost_pct < 2.0
+    assert scalia_row(rows).over_cost_pct <= best_static(rows).over_cost_pct + 0.25
+    assert worst_static(rows).over_cost_pct > 20.0

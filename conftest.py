@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. in environments without network access for pip), matching
+the behaviour of ``pip install -e .``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Active repair under a transient provider outage (paper Section IV-E).
+
+40 MB backups land every 5 hours on [S3(h), S3(l), Azu; m:2].  At hour 60,
+S3(l) goes dark; Scalia reconstructs the stranded chunks onto Google
+Storage ([S3(h), Ggl, Azu; m:2]) while the static baseline can only squeeze
+new objects onto its two surviving members at m:1.  At hour 120 the
+provider recovers.
+"""
+
+import numpy as np
+
+from repro.analysis.series import cumulative_cost_series
+from repro.sim import ScenarioSimulator, active_repair_scenario
+
+
+def main() -> None:
+    scenario = active_repair_scenario(horizon=180, fail_hour=60, recover_hour=120)
+
+    runs = {
+        "Scalia (active repair)": ScenarioSimulator(scenario, "scalia").run(),
+        "Scalia (wait strategy)": ScenarioSimulator(scenario, "scalia:wait").run(),
+        "static S3(h)-S3(l)-Azu": ScenarioSimulator(
+            scenario, ("S3(h)", "S3(l)", "Azu")
+        ).run(),
+    }
+
+    print("cumulative cost ($) at key hours:")
+    header = f"{'policy':<26}" + "".join(f"{h:>10}" for h in (59, 119, 179))
+    print(header)
+    for label, result in runs.items():
+        cum = cumulative_cost_series(result)
+        row = f"{label:<26}" + "".join(f"{cum[h]:>10.3f}" for h in (59, 119, 179))
+        extras = []
+        if result.repairs:
+            extras.append(f"{result.repairs} repairs")
+        if result.failed_writes or result.failed_reads:
+            extras.append(f"{result.failed_writes}+{result.failed_reads} failed ops")
+        print(row + ("   (" + ", ".join(extras) + ")" if extras else ""))
+
+    repair = runs["Scalia (active repair)"]
+    print(
+        f"\nactive repair reconstructed {repair.repairs} stranded chunks; "
+        "the wait strategy kept durability degraded until recovery but paid "
+        "no reconstruction traffic."
+    )
+    print(
+        "the static set stored objects written during the outage at m:1 "
+        "(2x storage blow-up) — and they stay that way forever."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Analysis and reporting: over-cost tables and figure series.
+
+Turns metered :class:`~repro.sim.simulator.RunResult` objects and the ideal
+baseline into the tables and series the paper's Figures 12-18 show, plus
+ASCII renderings for the benchmark harness.
+"""
+
+from repro.analysis.overcost import OvercostRow, overcost_table
+from repro.analysis.series import cumulative_cost_series, resource_series
+from repro.analysis.report import (
+    format_overcost_table,
+    format_paper_comparison,
+    format_resource_series,
+)
+
+__all__ = [
+    "OvercostRow",
+    "overcost_table",
+    "resource_series",
+    "cumulative_cost_series",
+    "format_overcost_table",
+    "format_resource_series",
+    "format_paper_comparison",
+]

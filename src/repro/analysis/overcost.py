@@ -1,0 +1,69 @@
+"""Percent-over-ideal cost tables (Figures 14 and 16).
+
+"Given the ideal set of providers for a sampling period, we then compute
+the corresponding optimal cost and the percentage of overhead cost
+(referred to as 'over cost') of the different providers' sets."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.simulator import RunResult
+
+
+@dataclass(frozen=True)
+class OvercostRow:
+    """One bar of the Figure-14/16 charts."""
+
+    index: int
+    label: str
+    total_cost: float
+    over_cost_pct: float
+
+
+def overcost_table(results: Sequence[RunResult], ideal_total: float) -> List[OvercostRow]:
+    """Over-cost rows in run order (Scalia conventionally last, #27).
+
+    ``over_cost_pct`` is ``100 * (cost / ideal - 1)``; the ideal baseline
+    is the clairvoyant per-period optimum, so the value is >= 0 up to
+    simulation noise.
+    """
+    if ideal_total <= 0:
+        raise ValueError("ideal_total must be > 0")
+    rows: List[OvercostRow] = []
+    for i, result in enumerate(results, start=1):
+        rows.append(
+            OvercostRow(
+                index=i,
+                label=result.policy,
+                total_cost=result.total_cost,
+                over_cost_pct=100.0 * (result.total_cost / ideal_total - 1.0),
+            )
+        )
+    return rows
+
+
+def best_static(rows: Sequence[OvercostRow]) -> OvercostRow:
+    """The cheapest non-Scalia row."""
+    candidates = [r for r in rows if r.label != "Scalia"]
+    if not candidates:
+        raise ValueError("no static rows present")
+    return min(candidates, key=lambda r: r.over_cost_pct)
+
+
+def worst_static(rows: Sequence[OvercostRow]) -> OvercostRow:
+    """The most expensive non-Scalia row."""
+    candidates = [r for r in rows if r.label != "Scalia"]
+    if not candidates:
+        raise ValueError("no static rows present")
+    return max(candidates, key=lambda r: r.over_cost_pct)
+
+
+def scalia_row(rows: Sequence[OvercostRow]) -> OvercostRow:
+    """The adaptive policy's row."""
+    for row in rows:
+        if row.label == "Scalia":
+            return row
+    raise ValueError("no Scalia row present")

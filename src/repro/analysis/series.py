@@ -1,0 +1,36 @@
+"""Figure time series: resources (Figs. 12/15/17) and cumulative price (Fig. 18)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.sim.simulator import RunResult
+
+
+def resource_series(result: RunResult) -> Dict[str, np.ndarray]:
+    """Total storage / bandwidth-in / bandwidth-out per period, in GB.
+
+    The triplet the paper plots in Figures 12, 15 and 17.
+    """
+    return {
+        "storage_gb": result.storage_gb,
+        "bw_in_gb": result.bw_in_gb,
+        "bw_out_gb": result.bw_out_gb,
+    }
+
+
+def cumulative_cost_series(result: RunResult) -> np.ndarray:
+    """Cumulative dollar cost over time (Figure 18's y-axis)."""
+    return np.cumsum(result.cost_per_period)
+
+
+def downsample(series: np.ndarray, points: int) -> np.ndarray:
+    """Pick ``points`` evenly spaced samples (for compact ASCII plots)."""
+    if points <= 0:
+        raise ValueError("points must be > 0")
+    if series.size <= points:
+        return series.copy()
+    idx = np.linspace(0, series.size - 1, points).round().astype(int)
+    return series[idx]

@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog``
+    Print the provider catalog (Figure 3), optionally with CheapStor.
+``placement``
+    One-shot Algorithm-1 query: best provider set for an object described
+    by size / SLA / expected access rates.
+``scenario``
+    Run one of the paper's evaluation scenarios under a policy and print
+    the cost summary (and % over the clairvoyant ideal).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.placement import PlacementEngine
+from repro.core.rules import StorageRule
+from repro.providers.pricing import paper_catalog
+from repro.sim.ideal import ideal_costs
+from repro.sim.scenarios import SCENARIOS
+from repro.sim.simulator import ScenarioSimulator
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    catalog = paper_catalog(include_cheapstor=args.cheapstor)
+    print(f"{'name':<10} {'durability':>14} {'avail':>7} {'storage':>8} "
+          f"{'bw in':>6} {'bw out':>7} {'ops/1K':>7}  zones")
+    for spec in catalog:
+        p = spec.pricing
+        print(
+            f"{spec.name:<10} {spec.durability:>14.11%} {spec.availability:>7.1%} "
+            f"{p.storage_gb_month:>8} {p.bw_in_gb:>6} {p.bw_out_gb:>7} "
+            f"{p.ops_per_1k:>7}  {','.join(sorted(spec.zones))}"
+        )
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    rule = StorageRule(
+        "cli",
+        durability=args.durability,
+        availability=args.availability,
+        lockin=args.lockin,
+    )
+    projection = AccessProjection(
+        size_bytes=args.size,
+        reads_per_period=args.reads_per_hour,
+        writes_per_period=args.writes_per_hour,
+    )
+    engine = PlacementEngine(CostModel())
+    catalog = paper_catalog(include_cheapstor=args.cheapstor)
+    decision = engine.best_placement(catalog, rule, projection, args.horizon_hours)
+    print(f"placement     : {decision.label()}")
+    print(f"expected cost : ${decision.expected_cost:.6f} over {args.horizon_hours:.0f} h")
+    print(f"storage blowup: {decision.placement.storage_overhead:.2f}x")
+    alternatives = sorted(
+        engine.enumerate_feasible(catalog, rule, projection, args.horizon_hours),
+        key=lambda d: d.expected_cost,
+    )[: args.top]
+    print(f"\ntop {len(alternatives)} feasible candidates:")
+    for i, alt in enumerate(alternatives, 1):
+        print(f"  {i:>2}. {alt.label():<42} ${alt.expected_cost:.6f}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    factory = SCENARIOS[args.name]
+    scenario = factory() if args.horizon is None else factory(horizon=args.horizon)
+    policy = "scalia" if args.policy == "scalia" else tuple(args.policy.split(","))
+    result = ScenarioSimulator(scenario, policy).run()
+    print(f"scenario : {scenario.name} ({scenario.workload.horizon} sampling periods)")
+    print(f"policy   : {result.policy}")
+    print(f"total    : ${result.total_cost:.4f}")
+    if result.migrations or result.repairs:
+        print(f"moves    : {result.migrations} migrations ({result.repairs} repairs)")
+    if result.failed_reads or result.failed_writes:
+        print(f"failures : {result.failed_reads} reads, {result.failed_writes} writes")
+    if args.ideal:
+        ideal = ideal_costs(
+            scenario.workload,
+            scenario.rules,
+            scenario.timeline(),
+            CostModel(scenario.sampling_period_hours),
+        )
+        over = 100.0 * (result.total_cost / ideal.total - 1.0)
+        print(f"ideal    : ${ideal.total:.4f}  ({over:+.2f}% over)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalia (SC'12) reproduction — adaptive multi-cloud storage",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cat = sub.add_parser("catalog", help="print the Figure-3 provider catalog")
+    cat.add_argument("--cheapstor", action="store_true", help="include CheapStor")
+    cat.set_defaults(func=_cmd_catalog)
+
+    place = sub.add_parser("placement", help="best provider set for one object")
+    place.add_argument("--size", type=int, default=10**6, help="object bytes")
+    place.add_argument("--durability", type=float, default=0.99999)
+    place.add_argument("--availability", type=float, default=0.9999)
+    place.add_argument("--lockin", type=float, default=1.0)
+    place.add_argument("--reads-per-hour", type=float, default=0.0)
+    place.add_argument("--writes-per-hour", type=float, default=0.0)
+    place.add_argument("--horizon-hours", type=float, default=730.0)
+    place.add_argument("--cheapstor", action="store_true")
+    place.add_argument("--top", type=int, default=5, help="alternatives to list")
+    place.set_defaults(func=_cmd_placement)
+
+    scen = sub.add_parser("scenario", help="run a paper evaluation scenario")
+    scen.add_argument("name", choices=sorted(SCENARIOS))
+    scen.add_argument(
+        "--policy",
+        default="scalia",
+        help='"scalia", "scalia:wait" or a comma list like "S3(h),S3(l)"',
+    )
+    scen.add_argument("--horizon", type=int, default=None, help="sampling periods")
+    scen.add_argument("--ideal", action="store_true", help="compare to the ideal")
+    scen.set_defaults(func=_cmd_scenario)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

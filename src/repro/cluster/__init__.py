@@ -1,0 +1,50 @@
+"""Distributed-architecture substrate (Figure 4).
+
+The Scalia brokerage stack: a replicated MVCC metadata store standing in for
+the NoSQL layer, a per-datacenter caching layer, the statistics pipeline
+(log agents -> aggregators -> stats DB -> map-reduce jobs), heartbeat leader
+election, and the stateless engine layer that fronts everything with an
+S3-like API.
+"""
+
+from repro.cluster.metadata import (
+    ConflictResolution,
+    MetadataCluster,
+    VectorClock,
+    VersionedValue,
+)
+from repro.cluster.cache import CacheLayer, LRUCache
+from repro.cluster.statistics import (
+    LogAgent,
+    LogAggregator,
+    LogRecord,
+    PeriodStats,
+    StatsDatabase,
+)
+from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
+from repro.cluster.leader import HeartbeatElection
+from repro.cluster.engine import Engine, ObjectNotFoundError, ReadFailedError, WriteFailedError
+from repro.cluster.datacenter import Datacenter, ScaliaCluster
+
+__all__ = [
+    "VectorClock",
+    "VersionedValue",
+    "ConflictResolution",
+    "MetadataCluster",
+    "LRUCache",
+    "CacheLayer",
+    "LogRecord",
+    "LogAgent",
+    "LogAggregator",
+    "PeriodStats",
+    "StatsDatabase",
+    "MapReduceJob",
+    "run_mapreduce",
+    "HeartbeatElection",
+    "Engine",
+    "ObjectNotFoundError",
+    "ReadFailedError",
+    "WriteFailedError",
+    "Datacenter",
+    "ScaliaCluster",
+]

@@ -1,0 +1,139 @@
+"""Caching layer (Section III-B).
+
+A distributed, per-datacenter LRU cache over reassembled objects.  Hits are
+served without touching the storage providers (lower latency *and* lower
+cost); writes invalidate the key in **all** datacenters to keep reads
+consistent (Section III-B).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterable, Optional, TypeVar
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(Generic[V]):
+    """Byte-budgeted LRU cache.
+
+    Entries carry an explicit size; inserting beyond ``capacity_bytes``
+    evicts least-recently-used entries.  Values larger than the whole budget
+    are refused (never cached) rather than flushing everything else.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, tuple[V, int]]" = OrderedDict()
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[V]:
+        """Return the cached value and mark it most-recently-used."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def put(self, key: str, value: V, size: int) -> None:
+        """Insert/replace ``key``; evicts LRU entries to fit."""
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        if size > self.capacity_bytes:
+            return  # would evict the whole cache for one entry
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= old[1]
+        while self._used + size > self.capacity_bytes and self._entries:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.stats.evictions += 1
+        self._entries[key] = (value, size)
+        self._used += size
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` if present; returns whether something was removed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[1]
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+
+class CacheLayer:
+    """One LRU cache per datacenter with cross-DC invalidation."""
+
+    def __init__(self, datacenters: Iterable[str], capacity_bytes: int) -> None:
+        self._caches: Dict[str, LRUCache] = {
+            dc: LRUCache(capacity_bytes) for dc in datacenters
+        }
+        if not self._caches:
+            raise ValueError("at least one datacenter is required")
+
+    def cache(self, dc: str) -> LRUCache:
+        cache = self._caches.get(dc)
+        if cache is None:
+            raise KeyError(f"unknown datacenter {dc!r}")
+        return cache
+
+    def get(self, dc: str, key: str):
+        """Lookup in ``dc``'s local cache only (no cross-DC reads)."""
+        return self.cache(dc).get(key)
+
+    def put(self, dc: str, key: str, value, size: int) -> None:
+        """Populate ``dc``'s local cache (reads warm only their own DC)."""
+        self.cache(dc).put(key, value, size)
+
+    def invalidate_everywhere(self, key: str) -> int:
+        """Invalidate ``key`` in every datacenter; returns #entries dropped.
+
+        Called on writes/deletes so stale objects are never served
+        (Section III-B's multi-datacenter consistency requirement).
+        """
+        return sum(1 for c in self._caches.values() if c.invalidate(key))
+
+    def total_stats(self) -> CacheStats:
+        """Aggregated counters across datacenters."""
+        agg = CacheStats()
+        for cache in self._caches.values():
+            agg.hits += cache.stats.hits
+            agg.misses += cache.stats.misses
+            agg.evictions += cache.stats.evictions
+            agg.invalidations += cache.stats.invalidations
+        return agg

@@ -1,0 +1,677 @@
+"""The stateless engine layer (Section III-A).
+
+An engine is a proxy between clients and the storage providers: it offers an
+Amazon-S3-like ``put/get/delete/list`` interface, computes the best provider
+set via an injected *planner* (the core placement logic), splits objects
+into erasure-coded chunks, stores/fetches them at the providers, maintains
+metadata with MVCC semantics and ships access statistics through its log
+agent.  Engines keep **no state** of their own — any engine in any
+datacenter can serve any request — which is what lets the layer scale
+linearly (Section III-A).
+
+Error handling follows Section III-D3: writes route around faulty providers,
+reads succeed from any ``m`` reachable chunks, and deletes against a faulty
+provider are postponed until it recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
+
+from repro.cluster.cache import CacheLayer
+from repro.cluster.metadata import MetadataCluster
+from repro.cluster.statistics import LogAgent, LogRecord
+from repro.erasure.rs import CodeCache
+from repro.erasure.striping import (
+    Chunk,
+    SyntheticChunk,
+    chunk_length,
+    reassemble_object,
+    repair_chunk,
+    split_object,
+    split_synthetic,
+)
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkNotFoundError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+)
+from repro.providers.registry import ProviderRegistry
+from repro.types import ObjectMeta, Placement
+from repro.util.ids import IdGenerator, object_row_key, storage_key
+
+Payload = Union[bytes, int]  # real bytes, or a synthetic byte count
+
+
+class PlacementError(RuntimeError):
+    """Raised when no feasible placement exists for an object's rule."""
+
+
+class ObjectNotFoundError(KeyError):
+    """Raised when reading or deleting a key that does not exist."""
+
+
+class WriteFailedError(RuntimeError):
+    """Raised when a write cannot be placed on any feasible provider set."""
+
+
+class ReadFailedError(RuntimeError):
+    """Raised when fewer than ``m`` chunks are reachable for a read."""
+
+
+class Planner(Protocol):
+    """The decision interface an engine needs from the core library."""
+
+    def place(
+        self,
+        *,
+        container: str,
+        key: str,
+        size: int,
+        mime: str,
+        rule_name: Optional[str],
+        period: int,
+        exclude: frozenset[str],
+    ) -> Placement:
+        """Best provider set for this object now; raises PlacementError."""
+        ...
+
+    def classify(self, size: int, mime: str) -> str:
+        """Object class key ``C(obj)`` (Section III-A1)."""
+        ...
+
+    def rule_for(self, rule_name: Optional[str], class_key: str) -> str:
+        """Resolve the effective rule name for metadata."""
+        ...
+
+
+@dataclass
+class PendingDeleteQueue:
+    """Deletes postponed because the owning provider was unavailable."""
+
+    entries: List[Tuple[str, str]] = field(default_factory=list)
+
+    def add(self, provider_name: str, chunk_key: str) -> None:
+        self.entries.append((provider_name, chunk_key))
+
+    def flush(self, registry: ProviderRegistry) -> int:
+        """Retry pending deletes; returns how many were completed."""
+        remaining: List[Tuple[str, str]] = []
+        done = 0
+        for provider_name, chunk_key in self.entries:
+            if provider_name not in registry or not registry.is_available(provider_name):
+                remaining.append((provider_name, chunk_key))
+                continue
+            try:
+                registry.get(provider_name).delete_chunk(chunk_key)
+                done += 1
+            except ChunkNotFoundError:
+                done += 1  # already gone
+            except ProviderUnavailableError:
+                remaining.append((provider_name, chunk_key))
+        self.entries = remaining
+        return done
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class MigrationReceipt:
+    """What a migration moved, for the optimizer's bookkeeping."""
+
+    old_placement: Placement
+    new_placement: Placement
+    chunks_written: int
+    full_restripe: bool
+
+
+class Engine:
+    """One stateless Scalia engine bound to a datacenter."""
+
+    def __init__(
+        self,
+        engine_id: str,
+        dc: str,
+        *,
+        registry: ProviderRegistry,
+        metadata: MetadataCluster,
+        cache: Optional[CacheLayer],
+        log_agent: LogAgent,
+        planner: Planner,
+        ids: IdGenerator,
+        pending_deletes: Optional[PendingDeleteQueue] = None,
+        code_cache: Optional[CodeCache] = None,
+    ) -> None:
+        self.engine_id = engine_id
+        self.dc = dc
+        self._registry = registry
+        self._metadata = metadata
+        self._cache = cache
+        self._log = log_agent
+        self._planner = planner
+        self._ids = ids
+        self._pending = pending_deletes if pending_deletes is not None else PendingDeleteQueue()
+        self._codes = code_cache if code_cache is not None else CodeCache()
+
+    # ------------------------------------------------------------------
+    # public S3-like API
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        container: str,
+        key: str,
+        data: Payload,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        ttl_hint: Optional[float] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> ObjectMeta:
+        """Store (or update) an object; returns the persisted metadata.
+
+        ``data`` is either the real payload (``bytes``) or a synthetic byte
+        count (``int``) for metered cost simulations.
+        """
+        size = len(data) if isinstance(data, bytes) else int(data)
+        if size < 0:
+            raise ValueError("synthetic size must be >= 0")
+        row_key = object_row_key(container, key)
+        old_meta = self._winning_meta(row_key)
+
+        class_key = self._planner.classify(size, mime)
+        exclude: frozenset[str] = frozenset(
+            name for name in self._registry.names() if not self._registry.is_available(name)
+        )
+        meta: Optional[ObjectMeta] = None
+        for _ in range(max(1, len(self._registry))):
+            try:
+                placement = self._planner.place(
+                    container=container,
+                    key=key,
+                    size=size,
+                    mime=mime,
+                    rule_name=rule,
+                    period=period,
+                    exclude=exclude,
+                )
+            except PlacementError as exc:
+                raise WriteFailedError(str(exc)) from exc
+            try:
+                meta = self._write_chunks(
+                    container, key, data, size, mime, rule, class_key, placement,
+                    ttl_hint=ttl_hint, now=now, created_at=(old_meta.created_at if old_meta else now),
+                )
+                break
+            except (
+                ProviderUnavailableError,
+                CapacityExceededError,
+                ChunkTooLargeError,
+            ) as exc:
+                # A provider died, filled up or refused the chunk size
+                # between planning and writing: exclude it and re-plan
+                # (Section III-D3 / Section III-E — "use local resources up
+                # to their capacities, and then use the best suited
+                # provider(s)").
+                if not exc.provider_name:
+                    raise
+                exclude = exclude | {exc.provider_name}
+        if meta is None:
+            raise WriteFailedError(f"no reachable placement for {container}/{key}")
+
+        self._metadata.write(
+            self.dc, row_key, meta.to_dict(), uuid=meta.skey, timestamp=now
+        )
+        self._write_index(container, key, row_key, now, present=True)
+        if old_meta is not None:
+            self._gc_chunks(old_meta, keep=frozenset(
+                (p, meta.chunk_key(i)) for i, p in meta.chunk_map
+            ))
+        self._log.log(
+            LogRecord(
+                period=period,
+                object_key=row_key,
+                class_key=class_key,
+                op="put",
+                size=size,
+                mime=mime,
+                bytes_in=size,
+                insertion=old_meta is None,
+            )
+        )
+        if self._cache is not None:
+            self._cache.invalidate_everywhere(row_key)
+        return meta
+
+    def get(
+        self,
+        container: str,
+        key: str,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> Payload:
+        """Read an object: from cache when possible, else from providers."""
+        return self.get_many(container, key, 1, now=now, period=period)
+
+    def get_many(
+        self,
+        container: str,
+        key: str,
+        count: int,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> Payload:
+        """Serve ``count`` identical reads, billed exactly as ``count`` gets.
+
+        With a cache, the first read misses and the rest hit; without one,
+        every read fetches (and bills) the chunks.  Collapsing a burst into
+        one call keeps scenario simulations fast without changing a cent of
+        the metered cost.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        row_key = object_row_key(container, key)
+        if self._cache is not None:
+            cached = self._cache.get(self.dc, row_key)
+            if cached is not None:
+                meta = self._winning_meta(row_key)
+                if meta is not None:
+                    self._log_read(row_key, meta, period, count=count, cache_hit=True)
+                    return cached
+                self._cache.invalidate_everywhere(row_key)
+
+        meta = self._winning_meta(row_key)
+        if meta is None:
+            raise ObjectNotFoundError(f"{container}/{key}")
+        if self._cache is not None:
+            payload = self._fetch_and_reassemble(meta, times=1)
+            self._cache.put(self.dc, row_key, payload, meta.size)
+            self._log_read(row_key, meta, period, count=1, cache_hit=False)
+            if count > 1:
+                self._log_read(row_key, meta, period, count=count - 1, cache_hit=True)
+        else:
+            payload = self._fetch_and_reassemble(meta, times=count)
+            self._log_read(row_key, meta, period, count=count, cache_hit=False)
+        return payload
+
+    def delete(
+        self,
+        container: str,
+        key: str,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> None:
+        """Delete an object: tombstone metadata, drop chunks (or postpone)."""
+        row_key = object_row_key(container, key)
+        meta = self._winning_meta(row_key)
+        if meta is None:
+            raise ObjectNotFoundError(f"{container}/{key}")
+        self._metadata.write(
+            self.dc, row_key, None, uuid=self._ids.uuid(), timestamp=now
+        )
+        self._write_index(container, key, row_key, now, present=False)
+        self._gc_chunks(meta, keep=frozenset())
+        self._log.log(
+            LogRecord(
+                period=period,
+                object_key=row_key,
+                class_key=meta.class_key,
+                op="delete",
+                size=meta.size,
+                mime=meta.mime,
+                lifetime_hours=max(0.0, now - meta.created_at),
+            )
+        )
+        if self._cache is not None:
+            self._cache.invalidate_everywhere(row_key)
+
+    def list_objects(self, container: str) -> List[str]:
+        """Keys currently stored under ``container``, sorted."""
+        prefix = f"idx|{container}|"
+        rows = self._metadata.scan(self.dc, prefix)
+        return sorted(row.value["key"] for row in rows.values())
+
+    def head(self, container: str, key: str) -> Optional[ObjectMeta]:
+        """Metadata of an object, or ``None`` when absent."""
+        return self._winning_meta(object_row_key(container, key))
+
+    def resolve_row(self, row_key: str) -> Optional[ObjectMeta]:
+        """Metadata by raw row key (the optimizer's lookup path)."""
+        return self._winning_meta(row_key)
+
+    def live_row_keys(self) -> List[str]:
+        """Row keys of every live object (used on provider-pool changes)."""
+        rows = self._metadata.scan(self.dc, "idx|")
+        return sorted({row.value["row_key"] for row in rows.values()})
+
+    # ------------------------------------------------------------------
+    # migration / repair (driven by the periodic optimizer)
+    # ------------------------------------------------------------------
+
+    def migrate(
+        self,
+        container: str,
+        key: str,
+        new_placement: Placement,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> MigrationReceipt:
+        """Move an object's chunks to ``new_placement``.
+
+        When the threshold m and chunk count n are unchanged, only the
+        chunks whose provider changed are regenerated and written (the
+        paper's cheap repair path); otherwise the object is fully
+        re-striped (Section IV-E).
+        """
+        row_key = object_row_key(container, key)
+        meta = self._winning_meta(row_key)
+        if meta is None:
+            raise ObjectNotFoundError(f"{container}/{key}")
+        old_placement = meta.placement
+        if new_placement == old_placement:
+            return MigrationReceipt(old_placement, new_placement, 0, False)
+
+        same_code = (
+            new_placement.m == old_placement.m and new_placement.n == old_placement.n
+        )
+        if same_code:
+            new_meta, written = self._migrate_same_code(meta, new_placement)
+        else:
+            source_chunks = self._fetch_chunks(meta, meta.m)
+            synthetic = isinstance(source_chunks[0], SyntheticChunk)
+            new_meta, written = self._migrate_restripe(
+                meta, new_placement, source_chunks, synthetic, now
+            )
+        self._metadata.write(
+            self.dc, row_key, new_meta.to_dict(), uuid=self._ids.uuid(), timestamp=now
+        )
+        keep = frozenset((p, new_meta.chunk_key(i)) for i, p in new_meta.chunk_map)
+        self._gc_chunks(meta, keep=keep)
+        return MigrationReceipt(old_placement, new_placement, written, not same_code)
+
+    def flush_pending_deletes(self) -> int:
+        """Retry postponed deletes (call after provider recoveries)."""
+        return self._pending.flush(self._registry)
+
+    @property
+    def pending_deletes(self) -> PendingDeleteQueue:
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _winning_meta(self, row_key: str) -> Optional[ObjectMeta]:
+        resolution = self._metadata.read(self.dc, row_key)
+        for stale in resolution.stale:
+            if stale.value is None:
+                continue
+            stale_meta = ObjectMeta.from_dict(stale.value)
+            keep: frozenset[tuple[str, str]] = frozenset()
+            if resolution.winner is not None and resolution.winner.value is not None:
+                win_meta = ObjectMeta.from_dict(resolution.winner.value)
+                keep = frozenset(
+                    (p, win_meta.chunk_key(i)) for i, p in win_meta.chunk_map
+                )
+            self._gc_chunks(stale_meta, keep=keep)
+        if resolution.winner is None or resolution.winner.value is None:
+            return None
+        return ObjectMeta.from_dict(resolution.winner.value)
+
+    def _write_chunks(
+        self,
+        container: str,
+        key: str,
+        data: Payload,
+        size: int,
+        mime: str,
+        rule: Optional[str],
+        class_key: str,
+        placement: Placement,
+        *,
+        ttl_hint: Optional[float],
+        now: float,
+        created_at: float,
+    ) -> ObjectMeta:
+        uuid = self._ids.uuid()
+        skey = storage_key(container, key, uuid)
+        if isinstance(data, bytes):
+            chunks: Sequence = split_object(data, placement.m, placement.n, code_cache=self._codes)
+        else:
+            chunks = split_synthetic(size, placement.m, placement.n)
+        written: List[Tuple[str, str]] = []
+        try:
+            for chunk, provider_name in zip(chunks, placement.providers):
+                chunk_key = f"{skey}:{chunk.index}"
+                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
+                written.append((provider_name, chunk_key))
+        except (ProviderUnavailableError, CapacityExceededError, ChunkTooLargeError):
+            for provider_name, chunk_key in written:
+                try:
+                    self._registry.get(provider_name).delete_chunk(chunk_key)
+                except (ProviderUnavailableError, ChunkNotFoundError):
+                    self._pending.add(provider_name, chunk_key)
+            raise
+        return ObjectMeta(
+            container=container,
+            key=key,
+            size=size,
+            mime=mime,
+            rule_name=self._planner.rule_for(rule, class_key),
+            class_key=class_key,
+            skey=skey,
+            m=placement.m,
+            chunk_map=tuple(
+                (chunk.index, provider)
+                for chunk, provider in zip(chunks, placement.providers)
+            ),
+            created_at=created_at,
+            ttl_hint=ttl_hint,
+        )
+
+    def _serving_order(self, meta: ObjectMeta) -> List[Tuple[int, str]]:
+        """Available chunks sorted by the cost of reading them.
+
+        The engine reads from the *cheapest* providers (Section III-D2),
+        ranked by egress price — the paper's convention; see
+        ``CostModel.serving_rank`` for why.  The cost model's default
+        serving set mirrors this ordering exactly.
+        """
+        clen = chunk_length(meta.size, meta.m)
+        scored: List[Tuple[float, str, int]] = []
+        for index, provider_name in meta.chunk_map:
+            if provider_name not in self._registry:
+                continue
+            if not self._registry.is_available(provider_name):
+                continue
+            pricing = self._registry.get(provider_name).spec.pricing
+            scored.append((pricing.egress_cost(clen), provider_name, index))
+        scored.sort()
+        return [(index, name) for _, name, index in scored]
+
+    def _fetch_chunks(self, meta: ObjectMeta, count: int, *, times: int = 1):
+        """Fetch ``count`` chunks from the cheapest available providers."""
+        fetched = []
+        for index, provider_name in self._serving_order(meta):
+            if len(fetched) == count:
+                break
+            try:
+                fetched.append(
+                    self._registry.get(provider_name).get_chunk(
+                        meta.chunk_key(index), times=times
+                    )
+                )
+            except (ProviderUnavailableError, ChunkNotFoundError):
+                continue
+        if len(fetched) < count:
+            raise ReadFailedError(
+                f"only {len(fetched)} of the required {count} chunks reachable "
+                f"for {meta.container}/{meta.key}"
+            )
+        return fetched
+
+    def _fetch_and_reassemble(self, meta: ObjectMeta, *, times: int = 1) -> Payload:
+        chunks = self._fetch_chunks(meta, meta.m, times=times)
+        if isinstance(chunks[0], SyntheticChunk):
+            return meta.size
+        return reassemble_object(
+            chunks, meta.m, meta.n, meta.size, code_cache=self._codes
+        )
+
+    def _migrate_same_code(
+        self,
+        meta: ObjectMeta,
+        new_placement: Placement,
+    ) -> Tuple[ObjectMeta, int]:
+        """Cheap path: m and n unchanged, rewrite only relocated chunks.
+
+        A relocated chunk whose current provider is reachable is copied
+        *directly* (one read, one write); only chunks stranded on a failed
+        provider require reconstruction from m other chunks (the paper's
+        active-repair case).
+        """
+        old_by_provider = {p: i for i, p in meta.chunk_map}
+        kept = [(old_by_provider[p], p) for p in new_placement.providers if p in old_by_provider]
+        freed = sorted(set(range(meta.n)) - {i for i, _ in kept})
+        incoming = [p for p in new_placement.providers if p not in old_by_provider]
+        old_provider_of = {i: p for i, p in meta.chunk_map}
+        written = 0
+        new_map = {i: p for i, p in kept}
+        clen = chunk_length(meta.size, meta.m)
+        source_chunks = None  # fetched lazily, once, if reconstruction is needed
+        for index, provider_name in zip(freed, incoming):
+            source = old_provider_of[index]
+            chunk = None
+            if self._registry.is_available(source):
+                try:
+                    chunk = self._registry.get(source).get_chunk(meta.chunk_key(index))
+                except (ProviderUnavailableError, ChunkNotFoundError):
+                    chunk = None
+            if chunk is None:
+                if source_chunks is None:
+                    source_chunks = self._fetch_chunks(meta, meta.m)
+                if isinstance(source_chunks[0], SyntheticChunk):
+                    chunk = SyntheticChunk(index=index, size=clen)
+                else:
+                    chunk = repair_chunk(
+                        source_chunks, index, meta.m, meta.n, meta.size,
+                        code_cache=self._codes,
+                    )
+            self._registry.get(provider_name).put_chunk(meta.chunk_key(index), chunk)
+            new_map[index] = provider_name
+            written += 1
+        chunk_map = tuple(sorted(new_map.items()))
+        new_meta = ObjectMeta(
+            container=meta.container,
+            key=meta.key,
+            size=meta.size,
+            mime=meta.mime,
+            rule_name=meta.rule_name,
+            class_key=meta.class_key,
+            skey=meta.skey,
+            m=meta.m,
+            chunk_map=chunk_map,
+            created_at=meta.created_at,
+            checksum=meta.checksum,
+            ttl_hint=meta.ttl_hint,
+        )
+        return new_meta, written
+
+    def _migrate_restripe(
+        self,
+        meta: ObjectMeta,
+        new_placement: Placement,
+        source_chunks,
+        synthetic: bool,
+        now: float,
+    ) -> Tuple[ObjectMeta, int]:
+        """Full path: decode the object and re-encode under the new code."""
+        uuid = self._ids.uuid()
+        skey = storage_key(meta.container, meta.key, uuid)
+        if synthetic:
+            chunks: Sequence = split_synthetic(meta.size, new_placement.m, new_placement.n)
+        else:
+            data = reassemble_object(
+                source_chunks, meta.m, meta.n, meta.size, code_cache=self._codes
+            )
+            chunks = split_object(data, new_placement.m, new_placement.n, code_cache=self._codes)
+        for chunk, provider_name in zip(chunks, new_placement.providers):
+            self._registry.get(provider_name).put_chunk(f"{skey}:{chunk.index}", chunk)
+        new_meta = ObjectMeta(
+            container=meta.container,
+            key=meta.key,
+            size=meta.size,
+            mime=meta.mime,
+            rule_name=meta.rule_name,
+            class_key=meta.class_key,
+            skey=skey,
+            m=new_placement.m,
+            chunk_map=tuple(
+                (chunk.index, provider)
+                for chunk, provider in zip(chunks, new_placement.providers)
+            ),
+            created_at=meta.created_at,
+            checksum=meta.checksum,
+            ttl_hint=meta.ttl_hint,
+        )
+        return new_meta, new_placement.n
+
+    def _gc_chunks(self, meta: ObjectMeta, keep: frozenset[tuple[str, str]]) -> None:
+        """Delete a version's chunks, postponing unreachable providers.
+
+        ``keep`` holds ``(provider, chunk_key)`` pairs still referenced by a
+        live version — same-code migrations share the skey between old and
+        new chunk maps, so the provider must be part of the identity.
+        """
+        for index, provider_name in meta.chunk_map:
+            chunk_key = meta.chunk_key(index)
+            if (provider_name, chunk_key) in keep:
+                continue
+            if provider_name not in self._registry:
+                continue
+            try:
+                self._registry.get(provider_name).delete_chunk(chunk_key)
+            except ChunkNotFoundError:
+                continue
+            except ProviderUnavailableError:
+                self._pending.add(provider_name, chunk_key)
+
+    def _write_index(
+        self, container: str, key: str, row_key: str, now: float, *, present: bool
+    ) -> None:
+        index_key = f"idx|{container}|{key}"
+        value = {"key": key, "row_key": row_key} if present else None
+        self._metadata.write(
+            self.dc, index_key, value, uuid=self._ids.uuid(), timestamp=now
+        )
+
+    def _log_read(
+        self,
+        row_key: str,
+        meta: ObjectMeta,
+        period: int,
+        *,
+        count: int = 1,
+        cache_hit: bool,
+    ) -> None:
+        self._log.log(
+            LogRecord(
+                period=period,
+                object_key=row_key,
+                class_key=meta.class_key,
+                op="get",
+                size=meta.size,
+                mime=meta.mime,
+                bytes_out=meta.size * count,
+                count=count,
+                cache_hit=cache_hit,
+            )
+        )

@@ -1,0 +1,52 @@
+"""Leader election among stateless engines (Figure 7).
+
+The periodic optimization procedure is coordinated by "a leader, elected
+among all engines from all datacenters".  We use a heartbeat-lease election:
+members heartbeat a logical clock; the leader is the lexicographically
+smallest member whose lease has not expired.  The scheme is deterministic
+(tests can drive time) and survives engine failures by construction — when
+the leader stops heartbeating, leadership moves to the next live member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class HeartbeatElection:
+    """Lease-based leader election over a set of member ids."""
+
+    def __init__(self, lease: float = 0.25) -> None:
+        if lease <= 0:
+            raise ValueError("lease must be > 0")
+        self.lease = lease
+        self._last_beat: Dict[str, float] = {}
+
+    def register(self, member_id: str, now: float = 0.0) -> None:
+        """Add a member (idempotent); registration counts as a heartbeat."""
+        self._last_beat[member_id] = now
+
+    def deregister(self, member_id: str) -> None:
+        """Remove a member permanently."""
+        self._last_beat.pop(member_id, None)
+
+    def heartbeat(self, member_id: str, now: float) -> None:
+        """Record a liveness beat; unknown members are auto-registered."""
+        self._last_beat[member_id] = now
+
+    def alive(self, now: float) -> List[str]:
+        """Members with an unexpired lease, sorted by id."""
+        return sorted(
+            member
+            for member, beat in self._last_beat.items()
+            if now - beat <= self.lease
+        )
+
+    def leader(self, now: float) -> Optional[str]:
+        """Current leader (smallest live id) or ``None`` if nobody is live."""
+        live = self.alive(now)
+        return live[0] if live else None
+
+    def is_leader(self, member_id: str, now: float) -> bool:
+        """True when ``member_id`` currently holds leadership."""
+        return self.leader(now) == member_id

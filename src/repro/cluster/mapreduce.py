@@ -1,0 +1,73 @@
+"""A small deterministic map-reduce runner.
+
+Section III-C2: "statistics and distributions of the classes of objects are
+periodically refreshed using map-reduce jobs in the database layer."  This
+module provides the substrate: map over records, shuffle by key, reduce each
+group.  An optional process pool parallelizes the map phase for large record
+sets (the HPC guides' multiprocessing idiom); the default in-process path is
+deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Sequence, TypeVar
+
+R = TypeVar("R")  # record
+K = TypeVar("K", bound=Hashable)  # shuffle key
+V = TypeVar("V")  # mapped value
+O = TypeVar("O")  # reduced output
+
+
+@dataclass
+class MapReduceJob(Generic[R, K, V, O]):
+    """A map-reduce job description.
+
+    ``mapper`` emits zero or more ``(key, value)`` pairs per record;
+    ``reducer`` folds all values of one key into the output.
+    """
+
+    mapper: Callable[[R], Iterable[tuple[K, V]]]
+    reducer: Callable[[K, List[V]], O]
+
+
+def _map_batch(args) -> List[tuple]:
+    mapper, batch = args
+    out: List[tuple] = []
+    for record in batch:
+        out.extend(mapper(record))
+    return out
+
+
+def run_mapreduce(
+    job: MapReduceJob[R, K, V, O],
+    records: Sequence[R],
+    *,
+    processes: int = 0,
+    batch_size: int = 2048,
+) -> Dict[K, O]:
+    """Execute ``job`` over ``records`` and return ``{key: reduced}``.
+
+    ``processes > 1`` fans the map phase across a process pool (mapper and
+    records must then be picklable); shuffle and reduce stay in-process, and
+    outputs are grouped in deterministic record order either way.
+    """
+    pairs: List[tuple] = []
+    if processes > 1 and len(records) > batch_size:
+        batches = [
+            (job.mapper, records[i : i + batch_size])
+            for i in range(0, len(records), batch_size)
+        ]
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            for chunk in pool.map(_map_batch, batches):
+                pairs.extend(chunk)
+    else:
+        for record in records:
+            pairs.extend(job.mapper(record))
+
+    groups: Dict[K, List[V]] = defaultdict(list)
+    for key, value in pairs:
+        groups[key].append(value)
+    return {key: job.reducer(key, values) for key, values in groups.items()}

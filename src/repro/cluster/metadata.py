@@ -1,0 +1,273 @@
+"""Replicated MVCC metadata store — the paper's NoSQL database layer.
+
+Section III-C: object metadata is written with a per-update UUID as version
+key; concurrent updates from different datacenters create *multiple live
+versions* of a row (Figure 10).  Conflicts are detected with vector clocks
+(anti-entropy) and resolved by keeping the freshest timestamp; the stale
+versions are returned to the caller so their chunks can be garbage-collected
+from the storage providers.  A network partition between datacenters queues
+replication; healing runs anti-entropy and converges every replica
+(eventual consistency, Section III-D3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal, Mapping, Optional, Tuple
+
+Ordering = Literal["before", "after", "equal", "concurrent"]
+
+
+@dataclass(frozen=True)
+class VectorClock:
+    """Immutable vector clock mapping node id -> event counter."""
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+
+    def increment(self, node: str) -> "VectorClock":
+        """Clock with ``node``'s counter advanced by one."""
+        updated = dict(self.counters)
+        updated[node] = updated.get(node, 0) + 1
+        return VectorClock(updated)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Element-wise maximum of the two clocks."""
+        merged = dict(self.counters)
+        for node, count in other.counters.items():
+            merged[node] = max(merged.get(node, 0), count)
+        return VectorClock(merged)
+
+    def compare(self, other: "VectorClock") -> Ordering:
+        """Causal ordering between two clocks."""
+        nodes = set(self.counters) | set(other.counters)
+        less = any(self.counters.get(n, 0) < other.counters.get(n, 0) for n in nodes)
+        more = any(self.counters.get(n, 0) > other.counters.get(n, 0) for n in nodes)
+        if less and more:
+            return "concurrent"
+        if less:
+            return "before"
+        if more:
+            return "after"
+        return "equal"
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when this clock causally supersedes (or equals) ``other``."""
+        return self.compare(other) in ("after", "equal")
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """One MVCC version of a row: payload, origin, wall time, causality.
+
+    ``value`` is ``None`` for tombstones (deleted rows).
+    """
+
+    uuid: str
+    value: Optional[dict]
+    timestamp: float
+    vclock: VectorClock
+    origin_dc: str
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is None
+
+
+@dataclass
+class ConflictResolution:
+    """Outcome of reading a row: the winner plus any superseded versions.
+
+    ``stale`` versions are what the engine must garbage-collect from the
+    storage providers (Figure 10's "the chunks corresponding to the oldest
+    version are removed").
+    """
+
+    winner: Optional[VersionedValue]
+    stale: List[VersionedValue] = field(default_factory=list)
+    had_conflict: bool = False
+
+
+def _freshest(versions: Iterable[VersionedValue]) -> Optional[VersionedValue]:
+    """Deterministic freshest-version pick: max (timestamp, uuid)."""
+    best: Optional[VersionedValue] = None
+    for version in versions:
+        if best is None or (version.timestamp, version.uuid) > (best.timestamp, best.uuid):
+            best = version
+    return best
+
+
+class _Replica:
+    """One datacenter's replica: row_key -> {uuid -> VersionedValue}."""
+
+    def __init__(self, dc: str) -> None:
+        self.dc = dc
+        self.rows: Dict[str, Dict[str, VersionedValue]] = {}
+
+    def apply(self, row_key: str, version: VersionedValue) -> None:
+        """Insert a version, then drop versions it causally supersedes."""
+        row = self.rows.setdefault(row_key, {})
+        row[version.uuid] = version
+        dominated = [
+            u
+            for u, v in row.items()
+            if u != version.uuid and version.vclock.compare(v.vclock) == "after"
+        ]
+        for u in dominated:
+            del row[u]
+
+    def versions(self, row_key: str) -> List[VersionedValue]:
+        return list(self.rows.get(row_key, {}).values())
+
+    def prune(self, row_key: str, keep_uuid: str) -> None:
+        """Drop every version of a row except ``keep_uuid``."""
+        row = self.rows.get(row_key)
+        if not row:
+            return
+        for u in [u for u in row if u != keep_uuid]:
+            del row[u]
+
+
+class MetadataCluster:
+    """Multi-datacenter, multi-master replicated row store with MVCC.
+
+    Writes land on the caller's local replica and replicate synchronously to
+    every *reachable* datacenter; a partition queues the replication and an
+    explicit :meth:`heal` runs anti-entropy until all replicas converge.
+    Reads perform conflict resolution (and read-repair pruning) locally.
+    """
+
+    def __init__(self, datacenters: Iterable[str]) -> None:
+        names = list(datacenters)
+        if not names:
+            raise ValueError("at least one datacenter is required")
+        if len(set(names)) != len(names):
+            raise ValueError("datacenter names must be unique")
+        self._replicas: Dict[str, _Replica] = {dc: _Replica(dc) for dc in names}
+        self._partitioned: set[frozenset[str]] = set()
+        self._pending: Dict[frozenset[str], List[Tuple[str, VersionedValue]]] = {}
+        self._clock_seed = 0
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def datacenters(self) -> List[str]:
+        return sorted(self._replicas)
+
+    def partition(self, dc_a: str, dc_b: str) -> None:
+        """Cut the replication link between two datacenters."""
+        self._check_dc(dc_a), self._check_dc(dc_b)
+        self._partitioned.add(frozenset((dc_a, dc_b)))
+
+    def heal(self, dc_a: str, dc_b: str) -> None:
+        """Restore a link and run anti-entropy over the queued versions."""
+        link = frozenset((dc_a, dc_b))
+        self._partitioned.discard(link)
+        for row_key, version in self._pending.pop(link, []):
+            # The queue holds (row, version) in both directions.
+            for dc in (dc_a, dc_b):
+                self._replicas[dc].apply(row_key, version)
+
+    def is_partitioned(self, dc_a: str, dc_b: str) -> bool:
+        return frozenset((dc_a, dc_b)) in self._partitioned
+
+    def _check_dc(self, dc: str) -> None:
+        if dc not in self._replicas:
+            raise KeyError(f"unknown datacenter {dc!r}")
+
+    # -- writes -------------------------------------------------------------
+
+    def write(
+        self,
+        dc: str,
+        row_key: str,
+        value: Optional[dict],
+        *,
+        uuid: str,
+        timestamp: float,
+    ) -> VersionedValue:
+        """Write a new version of ``row_key`` from datacenter ``dc``.
+
+        The version's vector clock extends the merge of every version
+        currently visible at the local replica, so sequential updates
+        supersede their predecessors while concurrent cross-DC updates
+        remain incomparable (and surface as conflicts).
+        """
+        self._check_dc(dc)
+        base = VectorClock()
+        for existing in self._replicas[dc].versions(row_key):
+            base = base.merge(existing.vclock)
+        version = VersionedValue(
+            uuid=uuid,
+            value=value,
+            timestamp=timestamp,
+            vclock=base.increment(dc),
+            origin_dc=dc,
+        )
+        self._replicas[dc].apply(row_key, version)
+        self._replicate(dc, row_key, version)
+        return version
+
+    def _replicate(self, origin: str, row_key: str, version: VersionedValue) -> None:
+        for dc, replica in self._replicas.items():
+            if dc == origin:
+                continue
+            link = frozenset((origin, dc))
+            if link in self._partitioned:
+                self._pending.setdefault(link, []).append((row_key, version))
+            else:
+                replica.apply(row_key, version)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, dc: str, row_key: str, *, repair: bool = True) -> ConflictResolution:
+        """Read ``row_key`` at ``dc``, resolving multi-version conflicts.
+
+        With ``repair=True`` (default) the losing versions are pruned from
+        the local replica after resolution, mirroring Scalia's
+        keep-the-freshest policy (Section III-C1).
+        """
+        self._check_dc(dc)
+        versions = self._replicas[dc].versions(row_key)
+        if not versions:
+            return ConflictResolution(winner=None)
+        winner = _freshest(versions)
+        stale = [v for v in versions if v.uuid != winner.uuid]
+        if repair and stale:
+            self._replicas[dc].prune(row_key, winner.uuid)
+        resolution = ConflictResolution(
+            winner=winner, stale=stale, had_conflict=len(stale) > 0
+        )
+        if winner.is_tombstone:
+            resolution.winner = None
+            if winner not in resolution.stale:
+                # A tombstone that wins still implies the older versions'
+                # chunks must be GC'd; the tombstone itself carries none.
+                pass
+        return resolution
+
+    def scan(self, dc: str, prefix: str = "") -> Dict[str, VersionedValue]:
+        """All non-tombstone winners whose row key starts with ``prefix``."""
+        self._check_dc(dc)
+        out: Dict[str, VersionedValue] = {}
+        for row_key in sorted(self._replicas[dc].rows):
+            if not row_key.startswith(prefix):
+                continue
+            winner = _freshest(self._replicas[dc].versions(row_key))
+            if winner is not None and not winner.is_tombstone:
+                out[row_key] = winner
+        return out
+
+    # -- introspection -------------------------------------------------------
+
+    def raw_versions(self, dc: str, row_key: str) -> List[VersionedValue]:
+        """All stored versions at a replica (for tests and debugging)."""
+        self._check_dc(dc)
+        return self._replicas[dc].versions(row_key)
+
+    def converged(self, row_key: str) -> bool:
+        """True when every replica stores the identical version set."""
+        snapshots = [
+            {v.uuid for v in replica.versions(row_key)}
+            for replica in self._replicas.values()
+        ]
+        return all(s == snapshots[0] for s in snapshots)

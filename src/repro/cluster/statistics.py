@@ -1,0 +1,204 @@
+"""Statistics pipeline: log agents -> aggregators -> stats database.
+
+Section III-C2: every engine runs a log agent that ships operation records
+to an aggregator, which batches them into the statistics database.  Records
+use globally unique (object, period, sequence) identities, so — as the paper
+notes — statistics writes never conflict.  The database keeps
+
+* per-object, per-sampling-period access statistics
+  (``s_i[storage], s_i[bwdin], s_i[bwdout], s_i[ops]``, Section III-A2),
+* an accessed-since index feeding the periodic optimizer (Figure 7), and
+* the raw records consumed by map-reduce class-statistics jobs (Figure 6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged client operation against an object."""
+
+    period: int
+    object_key: str  # metadata row key
+    class_key: str
+    op: str  # "get" | "put" | "delete"
+    size: int  # object size at the time of the op
+    mime: str = "application/octet-stream"
+    bytes_in: int = 0
+    bytes_out: int = 0
+    count: int = 1  # identical ops batched into one record
+    cache_hit: bool = False
+    insertion: bool = False  # True for the object's very first put
+    lifetime_hours: Optional[float] = None  # delete records only
+
+    def __post_init__(self) -> None:
+        if self.op not in ("get", "put", "delete"):
+            raise ValueError(f"unknown op {self.op!r}")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass
+class PeriodStats:
+    """Aggregated access statistics of one object in one sampling period.
+
+    ``ops_write`` counts *updates* only; the one-off insertion put is kept
+    in ``ops_insert`` so rate projections do not mistake the birth of an
+    object for a recurring write pattern.
+    """
+
+    storage_bytes: float = 0.0  # object footprint during the period
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    ops_read: int = 0
+    ops_write: int = 0
+    ops_insert: int = 0
+    ops_delete: int = 0
+
+    @property
+    def ops(self) -> int:
+        """Total client operations (the paper's ``s_i[ops]``)."""
+        return self.ops_read + self.ops_write + self.ops_insert + self.ops_delete
+
+    def merge(self, other: "PeriodStats") -> "PeriodStats":
+        return PeriodStats(
+            storage_bytes=max(self.storage_bytes, other.storage_bytes),
+            bytes_in=self.bytes_in + other.bytes_in,
+            bytes_out=self.bytes_out + other.bytes_out,
+            ops_read=self.ops_read + other.ops_read,
+            ops_write=self.ops_write + other.ops_write,
+            ops_insert=self.ops_insert + other.ops_insert,
+            ops_delete=self.ops_delete + other.ops_delete,
+        )
+
+
+class StatsDatabase:
+    """Append-only statistics store with per-object histories.
+
+    Thread-free single-process stand-in for the paper's Cassandra statistics
+    column family; write keys are unique by construction so there is nothing
+    to conflict (Section III-D1).
+    """
+
+    def __init__(self) -> None:
+        self._history: Dict[str, Dict[int, PeriodStats]] = defaultdict(dict)
+        self._access_index: Dict[int, Set[str]] = defaultdict(set)
+        self._records: List[LogRecord] = []
+
+    # -- ingest ----------------------------------------------------------
+
+    def apply(self, record: LogRecord) -> None:
+        """Fold one log record into the per-object period statistics."""
+        self._records.append(record)
+        stats = self._history[record.object_key].setdefault(record.period, PeriodStats())
+        if record.op == "get":
+            stats.ops_read += record.count
+            stats.bytes_out += record.bytes_out
+        elif record.op == "put":
+            if record.insertion:
+                stats.ops_insert += record.count
+            else:
+                stats.ops_write += record.count
+            stats.bytes_in += record.bytes_in
+            stats.storage_bytes = max(stats.storage_bytes, record.size)
+        else:  # delete
+            stats.ops_delete += record.count
+        self._access_index[record.period].add(record.object_key)
+
+    # -- per-object history ------------------------------------------------
+
+    def history(self, object_key: str, end_period: int, length: int) -> List[PeriodStats]:
+        """Dense history of the last ``length`` periods ending at ``end_period``.
+
+        Periods with no activity yield zero-filled :class:`PeriodStats`, so
+        the decision logic always sees a fixed-length window
+        (``H(obj) = {s_t, s_t-1, ...}``, Section III-A2).
+        """
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        series = self._history.get(object_key, {})
+        return [
+            series.get(p, PeriodStats())
+            for p in range(end_period - length + 1, end_period + 1)
+        ]
+
+    def known_periods(self, object_key: str) -> List[int]:
+        """Periods with recorded activity for the object, sorted."""
+        return sorted(self._history.get(object_key, {}))
+
+    def history_depth(self, object_key: str, end_period: int) -> int:
+        """Number of periods since the object's first recorded activity."""
+        periods = self._history.get(object_key)
+        if not periods:
+            return 0
+        return max(0, end_period - min(periods) + 1)
+
+    # -- optimizer feed -----------------------------------------------------
+
+    def accessed_between(self, start_period: int, end_period: int) -> Set[str]:
+        """Objects accessed or modified in ``[start_period, end_period]``.
+
+        This is the set ``A`` the elected leader distributes to engines at
+        each optimization round (Figure 7).
+        """
+        keys: Set[str] = set()
+        for period in range(start_period, end_period + 1):
+            keys |= self._access_index.get(period, set())
+        return keys
+
+    # -- map-reduce feed ------------------------------------------------------
+
+    def iter_records(self) -> Iterable[LogRecord]:
+        """All raw records, in ingest order (map-reduce input)."""
+        return iter(self._records)
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+
+class LogAggregator:
+    """Collects record batches from agents and writes them to the database."""
+
+    def __init__(self, db: StatsDatabase) -> None:
+        self._db = db
+        self.batches_received = 0
+
+    def collect(self, records: Iterable[LogRecord]) -> None:
+        self.batches_received += 1
+        for record in records:
+            self._db.apply(record)
+
+
+class LogAgent:
+    """Per-engine buffered log shipper.
+
+    ``auto_flush_at`` bounds buffering (a real Flume/Scribe agent ships
+    continuously; tests exercise explicit flushes too).
+    """
+
+    def __init__(self, aggregator: LogAggregator, auto_flush_at: int = 64) -> None:
+        if auto_flush_at < 1:
+            raise ValueError("auto_flush_at must be >= 1")
+        self._aggregator = aggregator
+        self._buffer: List[LogRecord] = []
+        self._auto_flush_at = auto_flush_at
+
+    def log(self, record: LogRecord) -> None:
+        """Buffer one record, shipping the batch when the buffer is full."""
+        self._buffer.append(record)
+        if len(self._buffer) >= self._auto_flush_at:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship all buffered records to the aggregator."""
+        if self._buffer:
+            self._aggregator.collect(self._buffer)
+            self._buffer = []
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)

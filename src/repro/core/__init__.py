@@ -1,0 +1,85 @@
+"""Core Scalia logic: the paper's primary contribution.
+
+Rules and SLAs, durability/availability math (Algorithm 2), the
+``computePrice`` cost model, the Algorithm-1 placement search, object
+classes and lifetime statistics, trend detection, adaptive decision
+periods, the periodic optimization procedure, and the ``Scalia`` broker
+facade tying everything to the cluster substrate.
+"""
+
+from repro.core.broker import BrokerCosts, CorePlanner, Scalia
+from repro.core.classifier import (
+    ClassProfile,
+    ClassStatistics,
+    discretize_size,
+    object_class,
+)
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.decision import DecisionPeriodController, DecisionState
+from repro.core.durability import (
+    algorithm2_reference,
+    availability_of,
+    durability_threshold,
+    failure_count_distribution,
+    literal_threshold,
+    max_feasible_threshold,
+    prob_at_most_failures,
+)
+from repro.core.objectives import (
+    BudgetedDecision,
+    best_placement_min_latency,
+    best_placement_within_budget,
+    expected_read_latency,
+)
+from repro.core.optimizer import (
+    ObjectOutcome,
+    OptimizationReport,
+    PeriodicOptimizer,
+)
+from repro.core.placement import PlacementDecision, PlacementEngine
+from repro.core.rules import (
+    DEFAULT_RULE,
+    PAPER_RULES,
+    RuleBook,
+    StorageRule,
+    paper_rulebook,
+)
+from repro.core.trend import MomentumDetector, calibrate_limit, detect_series
+
+__all__ = [
+    "Scalia",
+    "CorePlanner",
+    "BrokerCosts",
+    "StorageRule",
+    "RuleBook",
+    "PAPER_RULES",
+    "DEFAULT_RULE",
+    "paper_rulebook",
+    "failure_count_distribution",
+    "prob_at_most_failures",
+    "durability_threshold",
+    "algorithm2_reference",
+    "availability_of",
+    "max_feasible_threshold",
+    "literal_threshold",
+    "AccessProjection",
+    "CostModel",
+    "PlacementEngine",
+    "PlacementDecision",
+    "ClassProfile",
+    "ClassStatistics",
+    "object_class",
+    "discretize_size",
+    "MomentumDetector",
+    "detect_series",
+    "calibrate_limit",
+    "DecisionPeriodController",
+    "DecisionState",
+    "PeriodicOptimizer",
+    "OptimizationReport",
+    "ObjectOutcome",
+    "BudgetedDecision",
+    "best_placement_within_budget",
+    "best_placement_min_latency",
+    "expected_read_latency",
+]

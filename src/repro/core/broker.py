@@ -1,0 +1,340 @@
+"""The Scalia broker facade: the paper's whole system behind one object.
+
+``Scalia`` wires the provider registry, the multi-datacenter cluster
+substrate (engines, MVCC metadata, caches, statistics pipeline, leader
+election) and the core decision logic (rules, Algorithm-1 placement, cost
+model, object classes, trend detection, adaptive decision periods, periodic
+optimization) into the S3-like interface of Section III:
+
+    broker = Scalia()
+    broker.put("pictures", "myvacation.gif", data, mime="image/gif")
+    data = broker.get("pictures", "myvacation.gif")
+    broker.tick()          # advance one sampling period
+
+Simulated time advances through :meth:`Scalia.tick`, which closes the
+sampling period: statistics are flushed and folded, class profiles refresh,
+the periodic optimization runs, postponed deletes retry and the provider
+meters roll over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.datacenter import ScaliaCluster
+from repro.cluster.engine import PlacementError
+from repro.core.classifier import ClassStatistics, object_class
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.decision import DecisionPeriodController
+from repro.core.optimizer import OptimizationReport, PeriodicOptimizer
+from repro.core.placement import PlacementEngine
+from repro.core.rules import RuleBook
+from repro.cluster.statistics import StatsDatabase
+from repro.providers.pricing import cost_of_usage, paper_catalog
+from repro.providers.registry import ProviderRegistry
+from repro.types import ObjectMeta, Placement
+from repro.util.ids import object_row_key
+
+
+class CorePlanner:
+    """Implements the engine's Planner protocol with the core logic.
+
+    New objects (no access history) are placed from their class statistics
+    — "thanks to the statistics collected for each class of objects, the
+    probability that the first placement is already optimal increases"
+    (Section III-A2) — while objects with history are placed from their
+    recent access pattern over the adaptive decision period.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: ProviderRegistry,
+        rules: RuleBook,
+        stats: StatsDatabase,
+        class_stats: ClassStatistics,
+        placement_engine: PlacementEngine,
+        cost_model: CostModel,
+        decision: DecisionPeriodController,
+        default_horizon_periods: int = 24,
+    ) -> None:
+        self.registry = registry
+        self.rules = rules
+        self.stats = stats
+        self.class_stats = class_stats
+        self.placement_engine = placement_engine
+        self.cost_model = cost_model
+        self.decision = decision
+        self.default_horizon_periods = default_horizon_periods
+
+    # -- Planner protocol -------------------------------------------------
+
+    def classify(self, size: int, mime: str) -> str:
+        return object_class(mime, size)
+
+    def rule_for(self, rule_name: Optional[str], class_key: str) -> str:
+        return self.rules.resolve_name(rule_name=rule_name, class_key=class_key)
+
+    def place(
+        self,
+        *,
+        container: str,
+        key: str,
+        size: int,
+        mime: str,
+        rule_name: Optional[str],
+        period: int,
+        exclude: frozenset[str],
+    ) -> Placement:
+        row_key = object_row_key(container, key)
+        class_key = self.classify(size, mime)
+        rule = self.rules.resolve(
+            rule_name=rule_name, class_key=class_key, object_key=row_key
+        )
+        specs = self.registry.specs(include_failed=False)
+        projection, horizon = self._projection_for(row_key, class_key, size, period)
+        decision = self.placement_engine.best_placement(
+            specs, rule, projection, horizon, exclude=exclude
+        )
+        return decision.placement
+
+    # -- internals ----------------------------------------------------------
+
+    def _projection_for(
+        self, row_key: str, class_key: str, size: int, period: int
+    ) -> tuple[AccessProjection, float]:
+        depth = self.stats.history_depth(row_key, period)
+        if depth > 0:
+            d = self.decision.current_d(row_key, max_d=depth)
+            history = self.stats.history(row_key, period, d)
+            return AccessProjection.from_history(history, size), float(d)
+        profile = self.class_stats.profile(class_key)
+        if profile is not None and profile.n_objects > 0:
+            projection = AccessProjection(
+                size_bytes=size,
+                reads_per_period=profile.reads_per_object_period,
+                writes_per_period=profile.writes_per_object_period,
+                one_time_writes=1.0,
+            )
+            lifetime = profile.expected_lifetime()
+            if lifetime is not None and lifetime > 0:
+                horizon = max(
+                    1.0, math.ceil(lifetime / self.cost_model.period_hours)
+                )
+            else:
+                horizon = float(self.default_horizon_periods)
+            return projection, horizon
+        projection = AccessProjection(size_bytes=size, one_time_writes=1.0)
+        return projection, float(self.default_horizon_periods)
+
+
+@dataclass
+class BrokerCosts:
+    """Dollar cost summary across providers."""
+
+    by_provider: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_provider.values())
+
+
+class Scalia:
+    """The adaptive multi-cloud storage broker (the paper's system)."""
+
+    def __init__(
+        self,
+        registry: Optional[ProviderRegistry] = None,
+        rules: Optional[RuleBook] = None,
+        *,
+        datacenters: int = 1,
+        engines_per_dc: int = 2,
+        cache_capacity_bytes: int = 0,
+        sampling_period_hours: float = 1.0,
+        initial_decision_period: int = 24,
+        decision_adaptive: bool = True,
+        trend_window: int = 3,
+        trend_limit: float = 0.1,
+        dynamic_trend_limit: bool = False,
+        repair_strategy: str = "repair",
+        benefit_horizon_periods: int = 8760,
+        class_refresh_every: int = 24,
+        default_horizon_periods: int = 24,
+        literal_algorithm1: bool = False,
+        seed: int = 0,
+        planner=None,
+        enable_optimizer: bool = True,
+        class_priors: Sequence = (),
+    ) -> None:
+        self.registry = registry if registry is not None else ProviderRegistry(paper_catalog())
+        self.rules = rules if rules is not None else RuleBook()
+        self.cost_model = CostModel(sampling_period_hours)
+        self.placement_engine = PlacementEngine(
+            self.cost_model, literal_algorithm1=literal_algorithm1
+        )
+        self.class_stats = ClassStatistics()
+        for prior in class_priors:
+            self.class_stats.seed(prior)
+        self.decision = DecisionPeriodController(
+            initial_d=initial_decision_period, adaptive=decision_adaptive
+        )
+        self.sampling_period_hours = sampling_period_hours
+        self.class_refresh_every = class_refresh_every
+        self.enable_optimizer = enable_optimizer
+
+        stats = StatsDatabase()
+        if planner is not None:
+            self.planner = planner
+        else:
+            self.planner = CorePlanner(
+                registry=self.registry,
+                rules=self.rules,
+                stats=stats,
+                class_stats=self.class_stats,
+                placement_engine=self.placement_engine,
+                cost_model=self.cost_model,
+                decision=self.decision,
+                default_horizon_periods=default_horizon_periods,
+            )
+        self.cluster = ScaliaCluster(
+            registry=self.registry,
+            planner=self.planner,
+            datacenters=datacenters,
+            engines_per_dc=engines_per_dc,
+            cache_capacity_bytes=cache_capacity_bytes,
+            seed=seed,
+            stats=stats,
+        )
+        self.optimizer = PeriodicOptimizer(
+            cluster=self.cluster,
+            registry=self.registry,
+            rules=self.rules,
+            stats=self.cluster.stats,
+            class_stats=self.class_stats,
+            placement_engine=self.placement_engine,
+            cost_model=self.cost_model,
+            decision=self.decision,
+            trend_window=trend_window,
+            trend_limit=trend_limit,
+            dynamic_limit=dynamic_trend_limit,
+            repair_strategy=repair_strategy,
+            benefit_horizon_periods=benefit_horizon_periods,
+        )
+        self._period = 0
+        self._now = 0.0
+        self.reports: List[OptimizationReport] = []
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        """Index of the current (open) sampling period."""
+        return self._period
+
+    @property
+    def now(self) -> float:
+        """Simulated wall time in hours."""
+        return self._now
+
+    # -- client API ----------------------------------------------------------
+
+    def put(
+        self,
+        container: str,
+        key: str,
+        data,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        ttl_hint: Optional[float] = None,
+        dc: Optional[str] = None,
+    ) -> ObjectMeta:
+        """Store an object (bytes, or an int byte-count in synthetic mode)."""
+        return self.cluster.route(dc).put(
+            container,
+            key,
+            data,
+            mime=mime,
+            rule=rule,
+            ttl_hint=ttl_hint,
+            now=self._now,
+            period=self._period,
+        )
+
+    def get(self, container: str, key: str, *, dc: Optional[str] = None):
+        """Read an object back (bytes, or the synthetic byte count)."""
+        return self.cluster.route(dc).get(
+            container, key, now=self._now, period=self._period
+        )
+
+    def get_many(
+        self, container: str, key: str, count: int, *, dc: Optional[str] = None
+    ):
+        """Serve ``count`` identical reads, billed exactly (burst batching)."""
+        return self.cluster.route(dc).get_many(
+            container, key, count, now=self._now, period=self._period
+        )
+
+    def delete(self, container: str, key: str, *, dc: Optional[str] = None) -> None:
+        """Delete an object everywhere."""
+        self.cluster.route(dc).delete(
+            container, key, now=self._now, period=self._period
+        )
+
+    def list(self, container: str, *, dc: Optional[str] = None) -> List[str]:
+        """List object keys in a container."""
+        return self.cluster.route(dc).list_objects(container)
+
+    def head(self, container: str, key: str, *, dc: Optional[str] = None) -> Optional[ObjectMeta]:
+        """Object metadata without reading data."""
+        return self.cluster.route(dc).head(container, key)
+
+    def placement_of(self, container: str, key: str) -> Optional[Placement]:
+        """Current placement of an object, or ``None`` when absent."""
+        meta = self.head(container, key)
+        return meta.placement if meta else None
+
+    # -- simulation advance -----------------------------------------------------
+
+    def tick(self, periods: int = 1) -> List[OptimizationReport]:
+        """Close ``periods`` sampling periods, running the Figure-7 loop."""
+        new_reports: List[OptimizationReport] = []
+        for _ in range(periods):
+            self._now += self.sampling_period_hours
+            self.cluster.flush_logs()
+            if self._period % max(1, self.class_refresh_every) == 0:
+                self.class_stats.refresh(self.cluster.stats, self._period)
+            if self.enable_optimizer:
+                report = self.optimizer.run(self._now, self._period)
+            else:
+                report = OptimizationReport(period=self._period)
+            new_reports.append(report)
+            for engine in self.cluster.all_engines():
+                engine.flush_pending_deletes()
+                break  # the queue is shared; one flush suffices
+            self.registry.on_period(self._period, self.sampling_period_hours)
+            self._period += 1
+        self.reports.extend(new_reports)
+        return new_reports
+
+    # -- accounting ---------------------------------------------------------------
+
+    def costs(self) -> BrokerCosts:
+        """Total dollar cost so far, per provider (metered, not projected)."""
+        return BrokerCosts(
+            by_provider={
+                p.name: cost_of_usage(p.spec.pricing, p.meter.total())
+                for p in self.registry.providers()
+            }
+        )
+
+    def cost_by_period(self) -> Dict[int, float]:
+        """Total dollar cost per closed sampling period."""
+        out: Dict[int, float] = {}
+        for provider in self.registry.providers():
+            pricing = provider.spec.pricing
+            for period, usage in provider.meter.usage_by_period().items():
+                out[period] = out.get(period, 0.0) + cost_of_usage(pricing, usage)
+        return out

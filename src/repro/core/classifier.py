@@ -1,0 +1,176 @@
+"""Object classes and lifetime statistics (Section III-A1, Figures 5-6).
+
+An object's class is ``C(obj) = MD5(mime | discretize(size))`` with the size
+rounded up to the closest megabyte.  Per class, Scalia aggregates the
+resources used (bandwidth in/out, operations) and the lifetime distribution
+of deleted objects with map-reduce jobs over the statistics database; the
+results seed the *first* placement of new objects (no access history yet)
+and the time-left-to-live estimate that bounds the decision period.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
+from repro.cluster.statistics import StatsDatabase
+from repro.util.ids import md5_hex
+from repro.util.units import MB
+
+
+def discretize_size(size_bytes: int) -> int:
+    """Size rounded up to the closest megabyte (the paper's discretize())."""
+    if size_bytes < 0:
+        raise ValueError("size must be >= 0")
+    return math.ceil(size_bytes / MB)
+
+
+def object_class(mime: str, size_bytes: int) -> str:
+    """``C(obj) = MD5(obj[mime] | discretize(obj[size]))``."""
+    return md5_hex(mime, str(discretize_size(size_bytes)))
+
+
+@dataclass
+class ClassProfile:
+    """Aggregated statistics of one object class (the Figure-6 row)."""
+
+    class_key: str
+    n_objects: int = 0
+    mean_size: float = 0.0
+    reads_per_object_period: float = 0.0
+    writes_per_object_period: float = 0.0
+    lifetimes: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def expected_lifetime(self) -> Optional[float]:
+        """Mean lifetime (hours) of the class's deleted objects."""
+        if self.lifetimes.size == 0:
+            return None
+        return float(self.lifetimes.mean())
+
+    def expected_remaining(self, age_hours: float) -> Optional[float]:
+        """Time left to live for an object aged ``age_hours`` (Figure 5).
+
+        ``E[L - a | L >= a]`` over the class's observed lifetimes; ``None``
+        when no observed object lived that long (no information).
+        """
+        if self.lifetimes.size == 0:
+            return None
+        survivors = self.lifetimes[self.lifetimes >= age_hours]
+        if survivors.size == 0:
+            return None
+        return float((survivors - age_hours).mean())
+
+    def lifetime_histogram(self, bin_hours: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin_edges, counts) of the deletion-time histogram (Figure 5 left)."""
+        if self.lifetimes.size == 0:
+            return np.array([0.0, bin_hours]), np.zeros(1, dtype=int)
+        top = float(self.lifetimes.max()) + bin_hours
+        edges = np.arange(0.0, top + bin_hours, bin_hours)
+        counts, _ = np.histogram(self.lifetimes, bins=edges)
+        return edges, counts
+
+
+def _class_stats_mapper(record):
+    """Map one log record to per-class aggregation tuples.
+
+    Insertion puts mark the object's span and size but are not counted as
+    recurring writes (each object is inserted exactly once).
+    """
+    key = record.class_key
+    op = "insert" if (record.op == "put" and record.insertion) else record.op
+    out = [(key, ("op", record.object_key, record.period, op, record.count))]
+    if record.op == "put":
+        out.append((key, ("size", float(record.size))))
+    if record.lifetime_hours is not None:
+        out.append((key, ("life", float(record.lifetime_hours))))
+    return out
+
+
+class ClassStatistics:
+    """Per-class profiles refreshed by a map-reduce job over the stats DB.
+
+    *Priors* model the paper's training phase (Section III-A1): operators
+    who already know a class's behaviour seed it, and the prior answers
+    until live records produce a refreshed profile for that class.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, ClassProfile] = {}
+        self._priors: Dict[str, ClassProfile] = {}
+        self.refreshes = 0
+
+    def seed(self, profile: ClassProfile) -> None:
+        """Install a prior profile for a class (the training-phase shortcut)."""
+        self._priors[profile.class_key] = profile
+
+    def refresh(self, db: StatsDatabase, current_period: int) -> None:
+        """Recompute every class profile from the raw log records.
+
+        "The statistics and distributions of the classes of objects are
+        periodically refreshed using map-reduce jobs" (Section III-A1).
+        """
+
+        def reducer(class_key: str, values: List[tuple]) -> ClassProfile:
+            first_seen: Dict[str, int] = {}
+            last_period: Dict[str, int] = {}
+            deleted_at: Dict[str, int] = {}
+            reads = writes = 0
+            sizes: List[float] = []
+            lifetimes: List[float] = []
+            for value in values:
+                kind = value[0]
+                if kind == "op":
+                    _, obj, period, op, count = value
+                    first_seen[obj] = min(first_seen.get(obj, period), period)
+                    last_period[obj] = max(last_period.get(obj, period), period)
+                    if op == "get":
+                        reads += count
+                    elif op == "put":
+                        writes += count
+                    elif op == "delete":
+                        deleted_at[obj] = period
+                    # "insert" marks the span only: one per object, not a
+                    # recurring write.
+                elif kind == "size":
+                    sizes.append(value[1])
+                else:  # "life"
+                    lifetimes.append(value[1])
+            object_periods = 0
+            for obj, first in first_seen.items():
+                end = deleted_at.get(obj, current_period)
+                object_periods += max(1, end - first + 1)
+            return ClassProfile(
+                class_key=class_key,
+                n_objects=len(first_seen),
+                mean_size=float(np.mean(sizes)) if sizes else 0.0,
+                reads_per_object_period=reads / object_periods if object_periods else 0.0,
+                writes_per_object_period=writes / object_periods if object_periods else 0.0,
+                lifetimes=np.sort(np.asarray(lifetimes)),
+            )
+
+        job = MapReduceJob(mapper=_class_stats_mapper, reducer=reducer)
+        self._profiles = run_mapreduce(job, list(db.iter_records()))
+        self.refreshes += 1
+
+    def profile(self, class_key: str) -> Optional[ClassProfile]:
+        """The class profile: live statistics, else the seeded prior."""
+        live = self._profiles.get(class_key)
+        if live is not None:
+            return live
+        return self._priors.get(class_key)
+
+    def expected_remaining(
+        self, class_key: str, age_hours: float
+    ) -> Optional[float]:
+        """Class-based TTL estimate for an object of the given age."""
+        profile = self.profile(class_key)
+        if profile is None:
+            return None
+        return profile.expected_remaining(age_hours)
+
+    def classes(self) -> List[str]:
+        return sorted(set(self._profiles) | set(self._priors))

@@ -1,0 +1,99 @@
+"""Adaptive decision periods (Section III-A).
+
+The decision period ``D_obj`` is the depth of access history used by
+``computePrice`` and the horizon the expected cost is projected over.  It is
+tuned per object by a dichotomic *coupling* search: every T-th optimization
+the engine evaluates histories of length D/2, D and 2D in parallel, keeps
+the decision period whose best provider set is cheapest, and adapts T —
+doubled whenever D proves adequate (unchanged), reset to 1 when it moves.
+D is always clamped to ``[1, min(TTL_obj, |H_obj|)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DecisionState:
+    """Per-object decision-period state."""
+
+    d: int
+    t: int = 1
+    optimizations_since_coupling: int = 0
+
+
+class DecisionPeriodController:
+    """Tracks and adapts ``D_obj`` and ``T`` for every object."""
+
+    def __init__(
+        self, initial_d: int = 24, t_max: int = 1024, adaptive: bool = True
+    ) -> None:
+        if initial_d < 1:
+            raise ValueError("initial_d must be >= 1")
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.initial_d = initial_d
+        self.t_max = t_max
+        self.adaptive = adaptive  # False pins D to initial_d (ablation mode)
+        self._states: Dict[str, DecisionState] = {}
+
+    def state(self, key: str) -> DecisionState:
+        """The (lazily created) state of one object."""
+        st = self._states.get(key)
+        if st is None:
+            st = DecisionState(d=self.initial_d)
+            self._states[key] = st
+        return st
+
+    def current_d(self, key: str, max_d: Optional[int] = None) -> int:
+        """The object's decision period, clamped to ``[1, max_d]``."""
+        d = self.state(key).d
+        if max_d is not None:
+            d = min(d, max(1, max_d))
+        return max(1, d)
+
+    def coupling_due(self, key: str) -> bool:
+        """True when this optimization must run the D/2-D-2D coupling."""
+        if not self.adaptive:
+            return False
+        st = self.state(key)
+        return st.optimizations_since_coupling % st.t == 0
+
+    def candidates(self, key: str, max_d: Optional[int] = None) -> List[int]:
+        """Candidate decision periods for this optimization.
+
+        The coupled evaluation considers {D/2, D, 2D}; otherwise only D.
+        All candidates are clamped to ``[1, max_d]`` where ``max_d`` is
+        ``min(TTL_obj, |H_obj|)`` supplied by the caller, and deduplicated
+        in increasing order.
+        """
+        st = self.state(key)
+        if self.coupling_due(key):
+            raw = [max(1, st.d // 2), st.d, st.d * 2]
+        else:
+            raw = [st.d]
+        cap = max(1, max_d) if max_d is not None else None
+        clamped = {min(d, cap) if cap is not None else d for d in raw}
+        return sorted(max(1, d) for d in clamped)
+
+    def after_optimization(self, key: str, chosen_d: Optional[int] = None) -> None:
+        """Record the outcome of one optimization.
+
+        ``chosen_d`` must be passed when the coupling ran: T doubles when
+        the decision period was adequate (unchanged), else resets to 1 and
+        D moves to the winner.
+        """
+        st = self.state(key)
+        if chosen_d is not None:
+            if chosen_d == st.d:
+                st.t = min(st.t * 2, self.t_max)
+            else:
+                st.t = 1
+                st.d = max(1, chosen_d)
+            st.optimizations_since_coupling = 0
+        st.optimizations_since_coupling += 1
+
+    def tracked_objects(self) -> List[str]:
+        return sorted(self._states)

@@ -1,0 +1,168 @@
+"""Alternative optimization objectives (paper Section I, item 1).
+
+Beyond cost minimization, the paper names two other placement goals:
+
+  a) "maintaining a certain monthly budget by relaxing some constraints,
+     such as lock-in or availability", and
+  b) "minimizing query latency by promoting the most high-performing
+     providers".
+
+Both are implemented on top of the Algorithm-1 machinery:
+
+* :func:`best_placement_within_budget` relaxes the rule stepwise
+  (lock-in first, then availability, then durability — cheapest promises
+  sacrificed first) until the projected cost fits the budget;
+* :func:`best_placement_min_latency` picks, among feasible candidates, the
+  one whose read path is fastest, using per-provider latency estimates,
+  with cost as the tie-break (and an optional cost ceiling).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.engine import PlacementError
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.placement import PlacementDecision, PlacementEngine
+from repro.core.rules import StorageRule
+from repro.providers.pricing import ProviderSpec
+
+
+@dataclass(frozen=True)
+class BudgetedDecision:
+    """Outcome of a budget-constrained placement."""
+
+    decision: PlacementDecision
+    relaxed: tuple[str, ...]  # constraints weakened to fit the budget
+    effective_rule: StorageRule
+
+    @property
+    def within_budget(self) -> bool:
+        return not math.isinf(self.decision.expected_cost)
+
+
+#: Relaxation ladder: what gets sacrificed, in order, and how.
+_RELAXATIONS: tuple[tuple[str, dict], ...] = (
+    ("lockin", {"lockin": 1.0}),
+    ("availability", {"availability": 0.99}),
+    ("durability", {"durability": 0.999}),
+)
+
+
+def best_placement_within_budget(
+    engine: PlacementEngine,
+    specs: Sequence[ProviderSpec],
+    rule: StorageRule,
+    projection: AccessProjection,
+    horizon_periods: float,
+    budget: float,
+    *,
+    exclude: frozenset[str] = frozenset(),
+) -> BudgetedDecision:
+    """Cheapest placement within ``budget`` over the horizon.
+
+    When the rule-compliant optimum exceeds the budget, constraints are
+    relaxed along the ladder lock-in -> availability -> durability (the
+    paper's example order), and the first configuration whose optimum fits
+    is returned.  If even the fully relaxed optimum exceeds the budget, the
+    relaxed optimum is returned anyway — the caller can inspect
+    ``within_budget``-adjacent state via the decision's expected cost.
+    """
+    if budget <= 0:
+        raise ValueError("budget must be > 0")
+    relaxed: List[str] = []
+    current = rule
+    last: Optional[PlacementDecision] = None
+    ladder = [(None, {})] + list(_RELAXATIONS)
+    for name, overrides in ladder:
+        if name is not None:
+            # Only ever weaken: lock-in relaxes upward, SLAs downward.
+            weakened = {}
+            for field_name, value in overrides.items():
+                held = getattr(current, field_name)
+                if field_name == "lockin":
+                    weakened[field_name] = max(held, value)
+                else:
+                    weakened[field_name] = min(held, value)
+            current = replace(current, **weakened)
+            relaxed.append(name)
+        try:
+            last = engine.best_placement(
+                specs, current, projection, horizon_periods, exclude=exclude
+            )
+        except PlacementError:
+            continue
+        if last.expected_cost <= budget:
+            return BudgetedDecision(
+                decision=last, relaxed=tuple(relaxed), effective_rule=current
+            )
+    if last is None:
+        raise PlacementError(
+            "no feasible placement exists even with fully relaxed constraints"
+        )
+    return BudgetedDecision(decision=last, relaxed=tuple(relaxed), effective_rule=current)
+
+
+def expected_read_latency(
+    specs: Sequence[ProviderSpec],
+    m: int,
+    chunk_bytes: int,
+    latency_ms: Mapping[str, float],
+    *,
+    default_ms: float = 100.0,
+) -> float:
+    """Latency of one read: the *slowest* of the m fastest chunk fetches.
+
+    Chunks are fetched in parallel from the m most responsive providers of
+    the set, so the read completes when the slowest of them answers.
+    """
+    if not 1 <= m <= len(specs):
+        raise ValueError(f"m={m} invalid for {len(specs)} providers")
+    lats = sorted(latency_ms.get(s.name, default_ms) for s in specs)
+    return lats[m - 1]
+
+
+def best_placement_min_latency(
+    engine: PlacementEngine,
+    specs: Sequence[ProviderSpec],
+    rule: StorageRule,
+    projection: AccessProjection,
+    horizon_periods: float,
+    latency_ms: Mapping[str, float],
+    *,
+    cost_ceiling: Optional[float] = None,
+    default_ms: float = 100.0,
+    exclude: frozenset[str] = frozenset(),
+) -> PlacementDecision:
+    """The fastest-reading feasible placement (cost as tie-break).
+
+    ``latency_ms`` maps provider name -> measured response time; unknown
+    providers get ``default_ms``.  ``cost_ceiling`` optionally discards
+    candidates whose projected cost exceeds it (e.g. 2x the cost optimum),
+    so latency cannot be bought at arbitrary expense.
+    """
+    from repro.erasure.striping import chunk_length
+
+    candidates = engine.enumerate_feasible(
+        specs, rule, projection, horizon_periods, exclude=exclude
+    )
+    if not candidates:
+        raise PlacementError(f"no feasible placement for rule {rule.name!r}")
+    if cost_ceiling is not None:
+        priced = [c for c in candidates if c.expected_cost <= cost_ceiling]
+        if priced:
+            candidates = priced
+    spec_by_name: Dict[str, ProviderSpec] = {s.name: s for s in specs}
+
+    def key(decision: PlacementDecision):
+        placement = decision.placement
+        pset = [spec_by_name[n] for n in placement.providers]
+        chunk = chunk_length(projection.size_bytes, placement.m)
+        lat = expected_read_latency(
+            pset, placement.m, chunk, latency_ms, default_ms=default_ms
+        )
+        return (lat, decision.expected_cost, placement.n, placement.providers)
+
+    return min(candidates, key=key)

@@ -1,0 +1,367 @@
+"""The periodic optimization procedure (Section III-A3, Figure 7).
+
+Every optimization round:
+
+1. the elected leader fetches from the statistics database the set ``A`` of
+   objects accessed or modified since the previous round — plus, when the
+   provider pool changed (failure, recovery, arrival, new prices), every
+   live object, since "the provider set of an object will change only if
+   its access history varies significantly or if the set of storage
+   providers P(obj) changes";
+2. ``A`` is split evenly across all engines of all datacenters;
+3. each engine runs the momentum ``detect()`` on its objects and recomputes
+   the placement (Algorithm 1, with the D/2-D-2D decision-period coupling)
+   only for objects whose access pattern moved;
+4. a better placement is adopted only when the projected saving over the
+   next decision period covers the migration cost — except for *repairs*
+   (a placement referencing a failed provider), which migrate immediately
+   under the ``repair`` strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.datacenter import ScaliaCluster
+from repro.cluster.engine import Engine, PlacementError, ReadFailedError
+from repro.cluster.statistics import StatsDatabase
+from repro.core.classifier import ClassStatistics
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.decision import DecisionPeriodController
+from repro.core.placement import PlacementDecision, PlacementEngine
+from repro.core.rules import RuleBook
+from repro.core.trend import MomentumDetector
+from repro.providers.registry import ProviderRegistry
+from repro.types import ObjectMeta, Placement
+
+
+@dataclass
+class ObjectOutcome:
+    """Per-object result of one optimization round (for reports/tests)."""
+
+    row_key: str
+    trend_changed: bool = False
+    recomputed: bool = False
+    migrated: bool = False
+    repaired: bool = False
+    old_placement: Optional[Placement] = None
+    new_placement: Optional[Placement] = None
+    chosen_d: Optional[int] = None
+
+
+@dataclass
+class OptimizationReport:
+    """Summary of one optimization round."""
+
+    period: int
+    leader: Optional[str] = None
+    examined: int = 0
+    trend_changes: int = 0
+    recomputations: int = 0
+    migrations: int = 0
+    repairs: int = 0
+    outcomes: List[ObjectOutcome] = field(default_factory=list)
+
+
+class PeriodicOptimizer:
+    """Drives rounds of the Figure-7 procedure over a cluster."""
+
+    def __init__(
+        self,
+        *,
+        cluster: ScaliaCluster,
+        registry: ProviderRegistry,
+        rules: RuleBook,
+        stats: StatsDatabase,
+        class_stats: ClassStatistics,
+        placement_engine: PlacementEngine,
+        cost_model: CostModel,
+        decision: DecisionPeriodController,
+        trend_window: int = 3,
+        trend_limit: float = 0.1,
+        dynamic_limit: bool = False,
+        repair_strategy: str = "repair",
+        benefit_horizon_periods: int = 8760,
+    ) -> None:
+        if repair_strategy not in ("repair", "wait"):
+            raise ValueError("repair_strategy must be 'repair' or 'wait'")
+        if benefit_horizon_periods < 1:
+            raise ValueError("benefit_horizon_periods must be >= 1")
+        self.cluster = cluster
+        self.registry = registry
+        self.rules = rules
+        self.stats = stats
+        self.class_stats = class_stats
+        self.placement_engine = placement_engine
+        self.cost_model = cost_model
+        self.decision = decision
+        self.trend_window = trend_window
+        self.trend_limit = trend_limit
+        self.dynamic_limit = dynamic_limit
+        self.repair_strategy = repair_strategy
+        self._class_limits: Dict[str, float] = {}
+        self.benefit_horizon_periods = benefit_horizon_periods
+        self._detectors: Dict[str, MomentumDetector] = {}
+        self._fed_upto: Dict[str, int] = {}
+        self._last_run_period: int = -1
+        self._last_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, now: float, period: int) -> OptimizationReport:
+        """Execute one optimization round at the end of ``period``."""
+        self.cluster.heartbeat_all(now)
+        leader = self.cluster.leader_engine(now)
+        report = OptimizationReport(period=period)
+        if leader is None:
+            return report
+        report.leader = leader.engine_id
+
+        keys = set(self.stats.accessed_between(self._last_run_period + 1, period))
+        epoch = self.registry.epoch
+        pool_changed = self._last_epoch is not None and epoch != self._last_epoch
+        if pool_changed:
+            keys |= set(leader.live_row_keys())
+        self._last_epoch = epoch
+        self._last_run_period = period
+
+        engines = self.cluster.all_engines()
+        assignments: Dict[str, List[str]] = {e.engine_id: [] for e in engines}
+        for i, row_key in enumerate(sorted(keys)):
+            assignments[engines[i % len(engines)].engine_id].append(row_key)
+        for engine in engines:
+            for row_key in assignments[engine.engine_id]:
+                outcome = self._optimize_object(
+                    engine, row_key, now, period, pool_changed
+                )
+                if outcome is None:
+                    continue
+                report.examined += 1
+                report.trend_changes += outcome.trend_changed
+                report.recomputations += outcome.recomputed
+                report.migrations += outcome.migrated
+                report.repairs += outcome.repaired
+                report.outcomes.append(outcome)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _detector(self, row_key: str, class_key: Optional[str] = None) -> MomentumDetector:
+        detector = self._detectors.get(row_key)
+        if detector is None:
+            limit = self.trend_limit
+            if self.dynamic_limit and class_key is not None:
+                limit = self._calibrated_limit(class_key)
+            detector = MomentumDetector(self.trend_window, limit)
+            self._detectors[row_key] = detector
+        return detector
+
+    def _calibrated_limit(self, class_key: str) -> float:
+        """The paper's dynamic limit: the minimum momentum per object class
+        that would result in a different best provider set.
+
+        Cached per class; falls back to the static limit when the class has
+        no profile yet or no demand change within range flips the optimum.
+        """
+        cached = self._class_limits.get(class_key)
+        if cached is not None:
+            return cached
+        profile = self.class_stats.profile(class_key)
+        limit = self.trend_limit
+        if profile is not None and profile.n_objects > 0 and profile.mean_size > 0:
+            from repro.core.trend import calibrate_limit
+
+            projection = AccessProjection(
+                size_bytes=int(profile.mean_size),
+                reads_per_period=max(profile.reads_per_object_period, 1e-6),
+                writes_per_period=profile.writes_per_object_period,
+            )
+            try:
+                calibrated = calibrate_limit(
+                    self.placement_engine,
+                    self.registry.specs(include_failed=False),
+                    self.rules.default,
+                    projection,
+                    24.0,
+                )
+            except PlacementError:
+                calibrated = math.inf
+            if math.isfinite(calibrated):
+                limit = max(self.trend_limit, calibrated)
+        self._class_limits[class_key] = limit
+        return limit
+
+    def _feed_detector(
+        self, row_key: str, period: int, class_key: Optional[str] = None
+    ) -> bool:
+        """Feed unseen periods into the object's detector; True on change."""
+        known = self.stats.known_periods(row_key)
+        if not known:
+            return False
+        start = self._fed_upto.get(row_key, known[0] - 1) + 1
+        if start > period:
+            return False
+        detector = self._detector(row_key, class_key)
+        history = self.stats.history(row_key, period, period - start + 1)
+        changed = False
+        for stats in history:
+            if detector.update(stats.ops):
+                changed = True
+        self._fed_upto[row_key] = period
+        return changed
+
+    def _rule_for(self, meta: ObjectMeta):
+        try:
+            return self.rules.get(meta.rule_name)
+        except KeyError:
+            return self.rules.default
+
+    def _max_decision_period(self, meta: ObjectMeta, now: float, period: int) -> int:
+        """``min(TTL_obj, |H_obj|)`` in sampling periods."""
+        depth = max(1, self.stats.history_depth(_row_key_of(meta), period))
+        age = max(0.0, now - meta.created_at)
+        ttl: Optional[float] = None
+        if meta.ttl_hint is not None:
+            ttl = max(0.0, meta.ttl_hint - age)
+        else:
+            ttl = self.class_stats.expected_remaining(meta.class_key, age)
+        if ttl is None:
+            return depth
+        ttl_periods = max(1, math.ceil(ttl / self.cost_model.period_hours))
+        return max(1, min(depth, ttl_periods))
+
+    def _optimize_object(
+        self,
+        engine: Engine,
+        row_key: str,
+        now: float,
+        period: int,
+        pool_changed: bool,
+    ) -> Optional[ObjectOutcome]:
+        meta = engine.resolve_row(row_key)
+        if meta is None:
+            # Deleted object: drop tracking state.
+            self._detectors.pop(row_key, None)
+            self._fed_upto.pop(row_key, None)
+            return None
+        outcome = ObjectOutcome(row_key=row_key, old_placement=meta.placement)
+        outcome.trend_changed = self._feed_detector(row_key, period, meta.class_key)
+
+        broken = [
+            p
+            for p in meta.placement.providers
+            if not self.registry.is_available(p)
+        ]
+        needs_repair = bool(broken) and self.repair_strategy == "repair"
+        if not (outcome.trend_changed or pool_changed or needs_repair):
+            return outcome
+
+        rule = self._rule_for(meta)
+        max_d = self._max_decision_period(meta, now, period)
+        coupled = self.decision.coupling_due(row_key)
+        candidates = self.decision.candidates(row_key, max_d=max_d)
+        specs = self.registry.specs(include_failed=False)
+
+        best: Optional[PlacementDecision] = None
+        best_rate = math.inf
+        best_d: Optional[int] = None
+        for d in candidates:
+            history = self.stats.history(row_key, period, d)
+            projection = AccessProjection.from_history(history, meta.size)
+            try:
+                decision = self.placement_engine.best_placement(
+                    specs, rule, projection, float(d)
+                )
+            except PlacementError:
+                continue
+            rate = decision.expected_cost / d
+            if rate < best_rate - 1e-18 or (
+                rate <= best_rate and best is not None
+                and self.placement_engine._better(decision, best)
+            ):
+                best, best_rate, best_d = decision, rate, d
+        outcome.recomputed = True
+        if best is None:
+            return outcome  # nothing feasible right now; wait
+        self.decision.after_optimization(row_key, best_d if coupled else None)
+        outcome.chosen_d = best_d
+        new_placement = best.placement
+        outcome.new_placement = new_placement
+        if new_placement == meta.placement:
+            return outcome
+
+        if not needs_repair and not self._worth_migrating(
+            meta, new_placement, best_d or 1, now, period
+        ):
+            outcome.new_placement = meta.placement
+            return outcome
+        try:
+            engine.migrate(meta.container, meta.key, new_placement, now=now, period=period)
+        except (ReadFailedError, PlacementError):
+            return outcome  # too many chunks unreachable; retry next round
+        outcome.migrated = True
+        outcome.repaired = needs_repair
+        return outcome
+
+    def _worth_migrating(
+        self,
+        meta: ObjectMeta,
+        new_placement: Placement,
+        window_d: int,
+        now: float,
+        period: int,
+    ) -> bool:
+        """True when the projected saving covers the migration cost.
+
+        The saving is projected over the object's *expected remaining
+        lifetime* (TTL hint or class statistics; ``benefit_horizon_periods``
+        when unknown) — a migration that only pays off long after the
+        object is deleted must not happen, while slow storage-price savings
+        on long-lived objects must (Section IV-B's post-crowd move back to
+        the storage-cheapest set).
+        """
+        try:
+            old_specs = [self.registry.get(p).spec for p in meta.placement.providers]
+        except KeyError:
+            return True  # a provider left the pool entirely: must move
+        new_specs = [self.registry.get(p).spec for p in new_placement.providers]
+        readable = [s for s in old_specs if self.registry.is_available(s.name)]
+        if len(readable) < meta.m:
+            return False  # cannot reconstruct right now
+
+        age = max(0.0, now - meta.created_at)
+        if meta.ttl_hint is not None:
+            ttl: Optional[float] = max(0.0, meta.ttl_hint - age)
+        else:
+            ttl = self.class_stats.expected_remaining(meta.class_key, age)
+        if ttl is not None:
+            horizon = max(1.0, ttl / self.cost_model.period_hours)
+        else:
+            horizon = float(self.benefit_horizon_periods)
+        horizon = max(horizon, float(window_d))
+
+        history = self.stats.history(_row_key_of(meta), period, window_d)
+        projection = AccessProjection.from_history(history, meta.size)
+        current_cost = self.cost_model.expected_cost(
+            old_specs, meta.m, projection, horizon
+        )
+        new_cost = self.cost_model.expected_cost(
+            new_specs, new_placement.m, projection, horizon
+        )
+        migration = self.cost_model.migration_cost(
+            old_specs,
+            meta.m,
+            new_specs,
+            new_placement.m,
+            meta.size,
+            readable_old=readable,
+        )
+        return current_cost - new_cost > migration
+
+
+def _row_key_of(meta: ObjectMeta) -> str:
+    from repro.util.ids import object_row_key
+
+    return object_row_key(meta.container, meta.key)

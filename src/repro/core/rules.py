@@ -1,0 +1,151 @@
+"""Customer storage rules (Section II-B, Figure 2).
+
+A :class:`StorageRule` captures the SLA a data owner demands for an object:
+minimum durability and availability, the geographic zones the data may live
+in, and the vendor lock-in factor ``obj[lockin] = 1/N`` (Equation 1) bounding
+how concentrated the placement may be.  A :class:`RuleBook` resolves the
+effective rule for an object: explicit per-object rule, else per-class rule,
+else the account default — "a default rule, rules per data object classes or
+rules per data object can be defined" (Section II-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class StorageRule:
+    """SLA constraints for a data object.
+
+    ``zones`` empty means "all" (no geographic restriction).  ``lockin`` in
+    (0, 1]: an object must be spread over at least ``ceil(1/lockin)``
+    distinct providers.
+    """
+
+    name: str
+    durability: float
+    availability: float
+    zones: frozenset[str] = frozenset()
+    lockin: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.durability, "durability")
+        check_fraction(self.availability, "availability")
+        if not 0.0 < self.lockin <= 1.0:
+            raise ValueError(f"lockin must be in (0, 1], got {self.lockin!r}")
+        object.__setattr__(self, "zones", frozenset(self.zones))
+
+    @property
+    def min_providers(self) -> int:
+        """Smallest provider count N with 1/N <= lockin (Equation 1)."""
+        return math.ceil(1.0 / self.lockin - 1e-12)
+
+
+#: The example rules of Figure 2 (SLA percentages converted to fractions).
+PAPER_RULES: tuple[StorageRule, ...] = (
+    StorageRule(
+        name="rule 1",
+        durability=0.999999,
+        availability=0.9999,
+        zones=frozenset({"EU", "US"}),
+        lockin=0.3,
+    ),
+    StorageRule(
+        name="rule 2",
+        durability=0.99999,
+        availability=0.9999,
+        zones=frozenset({"EU"}),
+        lockin=1.0,
+    ),
+    StorageRule(
+        name="rule 3",
+        durability=0.9999,
+        availability=0.9999,
+        zones=frozenset(),  # "all"
+        lockin=0.2,
+    ),
+)
+
+#: Fallback when a rulebook is built without an explicit default.
+DEFAULT_RULE = StorageRule(
+    name="default",
+    durability=0.99999,
+    availability=0.9999,
+    zones=frozenset(),
+    lockin=0.5,
+)
+
+
+class RuleBook:
+    """Rule registry with default / per-class / per-object resolution."""
+
+    def __init__(self, default: StorageRule = DEFAULT_RULE) -> None:
+        self._default = default
+        self._rules: Dict[str, StorageRule] = {default.name: default}
+        self._class_rules: Dict[str, str] = {}
+        self._object_rules: Dict[str, str] = {}
+
+    @property
+    def default(self) -> StorageRule:
+        return self._default
+
+    def register(self, rule: StorageRule) -> None:
+        """Add or replace a named rule."""
+        self._rules[rule.name] = rule
+
+    def get(self, name: str) -> StorageRule:
+        rule = self._rules.get(name)
+        if rule is None:
+            raise KeyError(f"unknown rule {name!r}")
+        return rule
+
+    def assign_class(self, class_key: str, rule_name: str) -> None:
+        """Attach a rule to every object of a class."""
+        self.get(rule_name)  # validate
+        self._class_rules[class_key] = rule_name
+
+    def assign_object(self, object_key: str, rule_name: str) -> None:
+        """Attach a rule to one specific object (metadata row key)."""
+        self.get(rule_name)
+        self._object_rules[object_key] = rule_name
+
+    def resolve(
+        self,
+        *,
+        rule_name: Optional[str] = None,
+        class_key: Optional[str] = None,
+        object_key: Optional[str] = None,
+    ) -> StorageRule:
+        """Effective rule: explicit > per-object > per-class > default."""
+        if rule_name is not None:
+            return self.get(rule_name)
+        if object_key is not None and object_key in self._object_rules:
+            return self.get(self._object_rules[object_key])
+        if class_key is not None and class_key in self._class_rules:
+            return self.get(self._class_rules[class_key])
+        return self._default
+
+    def resolve_name(
+        self,
+        *,
+        rule_name: Optional[str] = None,
+        class_key: Optional[str] = None,
+        object_key: Optional[str] = None,
+    ) -> str:
+        """Name of the effective rule (for object metadata)."""
+        return self.resolve(
+            rule_name=rule_name, class_key=class_key, object_key=object_key
+        ).name
+
+
+def paper_rulebook() -> RuleBook:
+    """A rulebook pre-loaded with the Figure-2 example rules."""
+    book = RuleBook()
+    for rule in PAPER_RULES:
+        book.register(rule)
+    return book

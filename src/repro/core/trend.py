@@ -1,0 +1,123 @@
+"""Trend detection on access histories (Section III-A3, Figures 8-9).
+
+A statistics window of ``w`` sampling periods (w = 3 in the paper) feeds a
+simple moving average; the *momentum* — the change of the SMA between
+consecutive periods — relative to the previous SMA is compared against a
+threshold ``limit`` (10 % "experimentally found to perform adequately").
+Only objects whose momentum exceeds the limit have their placement
+recomputed, which is what makes the periodic optimization scale.
+
+The limit can also be *calibrated* per object class: the minimum relative
+demand change that would actually flip the optimal provider set
+(:func:`calibrate_limit`), so smaller swings never trigger pointless
+recomputations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.costmodel import AccessProjection
+from repro.core.placement import PlacementEngine
+from repro.core.rules import StorageRule
+from repro.providers.pricing import ProviderSpec
+
+_EPSILON = 1e-12
+
+
+class MomentumDetector:
+    """Streaming SMA-momentum detector for one object's access series."""
+
+    def __init__(self, window: int = 3, limit: float = 0.1) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if limit < 0:
+            raise ValueError("limit must be >= 0")
+        self.window = window
+        self.limit = limit
+        self._values: deque[float] = deque(maxlen=window)
+        self._prev_sma: Optional[float] = None
+
+    def update(self, value: float) -> bool:
+        """Feed one sampling period's metric; True when a trend change fires."""
+        self._values.append(float(value))
+        sma = sum(self._values) / len(self._values)
+        prev = self._prev_sma
+        self._prev_sma = sma
+        if prev is None:
+            return False
+        if prev <= _EPSILON:
+            # From silence to activity: an infinite relative change.
+            return sma > _EPSILON
+        return abs(sma - prev) / prev > self.limit
+
+    @property
+    def sma(self) -> Optional[float]:
+        """Current moving average (None before the first sample)."""
+        if not self._values:
+            return None
+        return sum(self._values) / len(self._values)
+
+
+def detect_series(
+    values: Sequence[float], window: int = 3, limit: float = 0.1
+) -> np.ndarray:
+    """Trend-change flags for a whole series (Figures 8-9 offline replica).
+
+    Equivalent to feeding :class:`MomentumDetector` sample by sample.
+    """
+    detector = MomentumDetector(window=window, limit=limit)
+    return np.fromiter(
+        (detector.update(v) for v in values), dtype=bool, count=len(values)
+    )
+
+
+def calibrate_limit(
+    engine: PlacementEngine,
+    specs: Sequence[ProviderSpec],
+    rule: StorageRule,
+    projection: AccessProjection,
+    horizon_periods: float,
+    *,
+    max_factor: float = 16.0,
+    tolerance: float = 0.005,
+) -> float:
+    """Smallest relative demand change that flips the optimal provider set.
+
+    Bisects scale factors applied to the read rate upward in
+    ``[1, max_factor]`` and downward in ``[1/max_factor, 1]``; returns the
+    smaller relative change, or ``inf`` when no change within the range
+    flips the choice (placement is insensitive — use the default limit).
+    """
+    base = engine.best_placement(specs, rule, projection, horizon_periods).placement
+
+    def flips(factor: float) -> bool:
+        scaled = projection.scaled(read_factor=factor)
+        return engine.best_placement(specs, rule, scaled, horizon_periods).placement != base
+
+    def bisect(lo: float, hi: float, increasing: bool) -> Optional[float]:
+        """Smallest |factor - 1| in (lo, hi] that flips, if the edge flips."""
+        edge = hi if increasing else lo
+        if not flips(edge):
+            return None
+        good, bad = (hi, lo) if increasing else (lo, hi)
+        while abs(good - bad) > tolerance:
+            mid = (good + bad) / 2.0
+            if flips(mid):
+                good = mid
+            else:
+                bad = mid
+        return abs(good - 1.0)
+
+    candidates: List[float] = []
+    up = bisect(1.0, max_factor, increasing=True)
+    if up is not None:
+        candidates.append(up)
+    down = bisect(1.0 / max_factor, 1.0, increasing=False)
+    if down is not None:
+        candidates.append(down)
+    return min(candidates) if candidates else float("inf")

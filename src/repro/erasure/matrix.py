@@ -1,0 +1,113 @@
+"""Generator matrices and linear algebra over GF(2^8).
+
+A systematic (m, n) Reed-Solomon code needs an ``n x m`` generator matrix
+whose top ``m`` rows are the identity and in which *every* ``m``-row subset is
+invertible (so any m chunks reconstruct the object).  Both classic
+constructions are provided:
+
+* a Vandermonde matrix right-multiplied by the inverse of its top square
+  block, and
+* an identity block stacked on a Cauchy matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.erasure.galois import MUL_TABLE, _as_field, gf_inv, gf_matmul, gf_pow
+
+
+def gf_identity(size: int) -> np.ndarray:
+    """Identity matrix over the field."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix ``V[i, j] = i ** j`` with distinct points 0..rows-1.
+
+    Any square submatrix formed by choosing distinct rows is again a
+    Vandermonde matrix on distinct evaluation points, hence invertible.
+    """
+    if rows > 256:
+        raise ValueError("at most 256 distinct evaluation points exist in GF(2^8)")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_pow(i, j)
+    return out
+
+
+def cauchy_matrix(xs, ys) -> np.ndarray:
+    """Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)`` over the field.
+
+    Requires all ``x_i`` distinct, all ``y_j`` distinct and
+    ``x_i != y_j`` for every pair; every square submatrix is invertible.
+    """
+    xa = _as_field(xs)
+    ya = _as_field(ys)
+    if len(set(xa.tolist())) != len(xa) or len(set(ya.tolist())) != len(ya):
+        raise ValueError("Cauchy points must be distinct")
+    sums = np.bitwise_xor(xa[:, None], ya[None, :])
+    if np.any(sums == 0):
+        raise ValueError("Cauchy requires x_i != y_j for all pairs")
+    return gf_inv(sums)
+
+
+def gf_inverse(matrix) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises :class:`np.linalg.LinAlgError` if the matrix is singular.
+    """
+    a = _as_field(matrix).copy()
+    size = a.shape[0]
+    if a.ndim != 2 or a.shape[1] != size:
+        raise ValueError("gf_inverse expects a square matrix")
+    inv = gf_identity(size)
+    for col in range(size):
+        # Find a pivot: any non-zero entry works (no rounding in a field).
+        pivot_rows = np.nonzero(a[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("matrix is singular over GF(2^8)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        # Scale the pivot row to 1.
+        scale = gf_inv(a[col, col])
+        a[col] = MUL_TABLE[a[col], scale]
+        inv[col] = MUL_TABLE[inv[col], scale]
+        # Eliminate the column everywhere else (vectorized over rows).
+        factors = a[:, col].copy()
+        factors[col] = 0
+        a ^= MUL_TABLE[factors[:, None], a[col][None, :]]
+        inv ^= MUL_TABLE[factors[:, None], inv[col][None, :]]
+    return inv
+
+
+def systematic_generator(m: int, n: int, construction: str = "vandermonde") -> np.ndarray:
+    """Build an ``n x m`` systematic generator matrix for an (m, n) code.
+
+    The top ``m`` rows are the identity (data chunks are verbatim slices of
+    the object); the remaining ``n - m`` rows produce parity chunks.  Every
+    ``m``-row subset is invertible by construction.
+    """
+    if not 1 <= m <= n:
+        raise ValueError(f"need 1 <= m <= n, got m={m}, n={n}")
+    if n > 255:
+        raise ValueError("n is limited to 255 by GF(2^8)")
+    if construction == "vandermonde":
+        v = vandermonde(n, m)
+        gen = gf_matmul(v, gf_inverse(v[:m]))
+    elif construction == "cauchy":
+        if n == m:
+            gen = gf_identity(m)
+        else:
+            xs = np.arange(m, n, dtype=np.uint8)
+            ys = np.arange(0, m, dtype=np.uint8)
+            gen = np.vstack([gf_identity(m), cauchy_matrix(xs, ys)])
+    else:
+        raise ValueError(f"unknown construction {construction!r}")
+    # The systematic property is structural; assert it cheaply.
+    if not np.array_equal(gen[:m], gf_identity(m)):
+        raise AssertionError("generator is not systematic")
+    return gen

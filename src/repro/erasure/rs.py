@@ -1,0 +1,165 @@
+"""Systematic (m, n) Reed-Solomon encoder/decoder.
+
+An object is encoded into ``n`` shards such that any ``m`` of them rebuild
+the original bytes (paper Section II-A1).  The code is *systematic*: shards
+``0..m-1`` are verbatim slices of the data, so an all-data read never touches
+the field arithmetic.  The rate is ``r = m / n`` and the storage blow-up is
+``1 / r``, exactly the accounting the paper's cost model uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.erasure.galois import gf_matmul
+from repro.erasure.matrix import gf_inverse, systematic_generator
+
+
+def shard_length(data_len: int, m: int) -> int:
+    """Length in bytes of each shard for a ``data_len``-byte object.
+
+    Zero-length objects still get 1-byte shards so that every chunk has a
+    physical representation at the providers.
+    """
+    return max(1, math.ceil(data_len / m))
+
+
+@dataclass(frozen=True)
+class ReedSolomon:
+    """A systematic (m, n) Reed-Solomon erasure code over GF(2^8).
+
+    Parameters
+    ----------
+    m:
+        Number of data shards (the paper's *threshold*); any ``m`` shards
+        reconstruct the object.
+    n:
+        Total number of shards produced (one per selected provider).
+    construction:
+        Generator matrix construction, ``"vandermonde"`` or ``"cauchy"``.
+    """
+
+    m: int
+    n: int
+    construction: str = "vandermonde"
+    _generator: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.m <= self.n:
+            raise ValueError(f"need 1 <= m <= n, got m={self.m}, n={self.n}")
+        gen = systematic_generator(self.m, self.n, self.construction)
+        gen.setflags(write=False)
+        object.__setattr__(self, "_generator", gen)
+
+    @property
+    def rate(self) -> float:
+        """Code rate ``r = m / n`` (Section II-A1)."""
+        return self.m / self.n
+
+    @property
+    def storage_overhead(self) -> float:
+        """Disk blow-up factor ``1 / r`` of storing an encoded object."""
+        return self.n / self.m
+
+    @property
+    def generator(self) -> np.ndarray:
+        """The (read-only) ``n x m`` generator matrix."""
+        return self._generator
+
+    def encode(self, data: bytes) -> list[bytes]:
+        """Encode ``data`` into ``n`` shards of equal length.
+
+        The object is zero-padded to a multiple of ``m`` shard lengths; the
+        original length must be carried in metadata for :meth:`decode`.
+        """
+        slen = shard_length(len(data), self.m)
+        padded = np.zeros(self.m * slen, dtype=np.uint8)
+        if data:
+            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        matrix = padded.reshape(self.m, slen)
+        # Systematic fast path: only the parity rows need field arithmetic.
+        shards = [matrix[i].tobytes() for i in range(self.m)]
+        if self.n > self.m:
+            parity = gf_matmul(self._generator[self.m :], matrix)
+            shards.extend(parity[i].tobytes() for i in range(self.n - self.m))
+        return shards
+
+    def decode(self, shards: Mapping[int, bytes], data_len: int) -> bytes:
+        """Rebuild the original ``data_len`` bytes from any ``m`` shards.
+
+        ``shards`` maps shard index (0-based) to shard bytes.  Extra shards
+        beyond ``m`` are ignored deterministically (lowest indices win).
+        """
+        if data_len < 0:
+            raise ValueError("data_len must be >= 0")
+        if len(shards) < self.m:
+            raise ValueError(
+                f"need at least m={self.m} shards to decode, got {len(shards)}"
+            )
+        slen = shard_length(data_len, self.m)
+        indices = sorted(shards)[: self.m]
+        for idx in indices:
+            if not 0 <= idx < self.n:
+                raise ValueError(f"shard index {idx} out of range for n={self.n}")
+            if len(shards[idx]) != slen:
+                raise ValueError(
+                    f"shard {idx} has length {len(shards[idx])}, expected {slen}"
+                )
+        if indices == list(range(self.m)):
+            # All data shards present: plain concatenation.
+            blob = b"".join(shards[i] for i in indices)
+            return blob[:data_len]
+        sub = self._generator[indices]
+        inv = gf_inverse(sub)
+        stacked = np.vstack(
+            [np.frombuffer(shards[i], dtype=np.uint8) for i in indices]
+        )
+        matrix = gf_matmul(inv, stacked)
+        return matrix.reshape(-1).tobytes()[:data_len]
+
+    def reconstruct_shard(
+        self, shards: Mapping[int, bytes], target_index: int, data_len: int
+    ) -> bytes:
+        """Recompute a single missing shard from any ``m`` available ones.
+
+        This is the *active repair* primitive (Section IV-E): when a provider
+        fails, only its shard is regenerated and re-hosted elsewhere.
+        """
+        if not 0 <= target_index < self.n:
+            raise ValueError(f"shard index {target_index} out of range")
+        data = self.decode(shards, shard_length(data_len, self.m) * self.m)
+        return self.encode(data)[target_index]
+
+
+class CodeCache:
+    """Memoized :class:`ReedSolomon` instances keyed by (m, n).
+
+    Generator-matrix construction costs O(n * m^2) field operations; the
+    broker re-uses codes across the billions-of-objects regime the paper
+    targets, so instances are cached.
+    """
+
+    def __init__(self, construction: str = "vandermonde") -> None:
+        self._construction = construction
+        self._codes: Dict[tuple[int, int], ReedSolomon] = {}
+
+    def get(self, m: int, n: int) -> ReedSolomon:
+        """Return the cached (m, n) code, building it on first use."""
+        key = (m, n)
+        code = self._codes.get(key)
+        if code is None:
+            code = ReedSolomon(m, n, self._construction)
+            self._codes[key] = code
+        return code
+
+    def preload(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Eagerly build codes for the given (m, n) pairs."""
+        for m, n in pairs:
+            self.get(m, n)
+
+    def __len__(self) -> int:
+        return len(self._codes)

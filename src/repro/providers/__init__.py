@@ -1,0 +1,50 @@
+"""Cloud-storage provider substrate.
+
+Simulated public cloud providers and private storage resources with the
+paper's pricing model (Figure 3), S3-like chunk operations, transient-failure
+injection, capacity limits and per-period usage metering.
+"""
+
+from repro.providers.pricing import (
+    CHEAPSTOR,
+    PAPER_PROVIDERS,
+    PricingPolicy,
+    ProviderSpec,
+    cost_of_usage,
+    paper_catalog,
+)
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+    ResourceUsage,
+    SimulatedProvider,
+    UsageMeter,
+)
+from repro.providers.private import (
+    AuthenticationError,
+    PrivateStorageService,
+    SignedRequest,
+    sign_request,
+)
+from repro.providers.registry import ProviderRegistry
+
+__all__ = [
+    "PricingPolicy",
+    "ProviderSpec",
+    "PAPER_PROVIDERS",
+    "CHEAPSTOR",
+    "paper_catalog",
+    "cost_of_usage",
+    "SimulatedProvider",
+    "UsageMeter",
+    "ResourceUsage",
+    "ProviderUnavailableError",
+    "CapacityExceededError",
+    "ChunkTooLargeError",
+    "PrivateStorageService",
+    "SignedRequest",
+    "sign_request",
+    "AuthenticationError",
+    "ProviderRegistry",
+]

@@ -1,0 +1,167 @@
+"""Private storage resources (Section III-E).
+
+Corporate storage (NAS, workstations, dedicated servers) is registered with a
+capacity limit and a price sheet, and exposed through a lightweight
+S3-compatible service that authenticates requests by HMAC-signing their
+parameters with a private token; a timestamp bounds the replay window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.erasure.striping import Chunk, SyntheticChunk
+from repro.providers.pricing import PricingPolicy, ProviderSpec
+from repro.providers.provider import AnyChunk, SimulatedProvider
+
+
+class AuthenticationError(RuntimeError):
+    """Raised when a request signature or timestamp is rejected."""
+
+
+def _canonical(params: Mapping[str, str]) -> str:
+    return "&".join(f"{k}={params[k]}" for k in sorted(params))
+
+
+def sign_request(token: bytes, params: Mapping[str, str], timestamp: float) -> str:
+    """HMAC-SHA256 signature over the canonicalized params and timestamp."""
+    message = f"{_canonical(params)}@{timestamp:.6f}".encode()
+    return hmac.new(token, message, hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True)
+class SignedRequest:
+    """An authenticated request envelope: action, params, timestamp, HMAC."""
+
+    action: str
+    params: Mapping[str, str]
+    timestamp: float
+    signature: str
+
+    @classmethod
+    def make(
+        cls, token: bytes, action: str, params: Mapping[str, str], timestamp: float
+    ) -> "SignedRequest":
+        """Build a correctly signed request (the client-side helper)."""
+        signed = dict(params, action=action)
+        return cls(
+            action=action,
+            params=params,
+            timestamp=timestamp,
+            signature=sign_request(token, signed, timestamp),
+        )
+
+
+class PrivateStorageService:
+    """The standalone web service fronting one private resource.
+
+    Wraps a :class:`SimulatedProvider` built from a capacity-limited spec and
+    refuses requests that are unsigned, stale (outside the replay window) or
+    replayed (same timestamp+signature seen before).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        pricing: PricingPolicy,
+        token: bytes,
+        *,
+        zones: frozenset[str] = frozenset({"PRIVATE"}),
+        durability: float = 0.9999,
+        availability: float = 0.999,
+        replay_window: float = 300.0,
+    ) -> None:
+        self.spec = ProviderSpec(
+            name=name,
+            durability=durability,
+            availability=availability,
+            zones=zones,
+            pricing=pricing,
+            capacity_bytes=capacity_bytes,
+        )
+        self.provider = SimulatedProvider(self.spec)
+        self._token = token
+        self._replay_window = replay_window
+        self._seen: set[tuple[float, str]] = set()
+        self.now: float = 0.0  # advanced by the simulation clock
+
+    def _authenticate(self, request: SignedRequest) -> None:
+        signed = dict(request.params, action=request.action)
+        expected = sign_request(self._token, signed, request.timestamp)
+        if not hmac.compare_digest(expected, request.signature):
+            raise AuthenticationError("bad request signature")
+        if abs(self.now - request.timestamp) > self._replay_window:
+            raise AuthenticationError("request timestamp outside replay window")
+        fingerprint = (request.timestamp, request.signature)
+        if fingerprint in self._seen:
+            raise AuthenticationError("replayed request rejected")
+        self._seen.add(fingerprint)
+
+    # -- S3-compatible REST surface ------------------------------------
+
+    def put(self, request: SignedRequest, chunk: AnyChunk) -> None:
+        """Authenticated PUT of a chunk; key in ``params['key']``."""
+        self._authenticate(request)
+        self.provider.put_chunk(request.params["key"], chunk)
+
+    def get(self, request: SignedRequest) -> AnyChunk:
+        """Authenticated GET; key in ``params['key']``."""
+        self._authenticate(request)
+        return self.provider.get_chunk(request.params["key"])
+
+    def delete(self, request: SignedRequest) -> None:
+        """Authenticated DELETE; key in ``params['key']``."""
+        self._authenticate(request)
+        self.provider.delete_chunk(request.params["key"])
+
+    def list(self, request: SignedRequest) -> list[str]:
+        """Authenticated LIST with optional ``params['prefix']``."""
+        self._authenticate(request)
+        prefix = request.params.get("prefix", "")
+        return list(self.provider.list_keys(prefix))
+
+    # -- convenience client ---------------------------------------------
+
+    def client(self) -> "PrivateResourceClient":
+        """A client bound to this service's token (legitimate caller)."""
+        return PrivateResourceClient(self, self._token)
+
+
+class PrivateResourceClient:
+    """Signs and issues requests against a :class:`PrivateStorageService`.
+
+    This is what the Scalia engine uses when a private resource participates
+    in a placement; it behaves like a provider for put/get/delete/list.
+    """
+
+    def __init__(self, service: PrivateStorageService, token: bytes) -> None:
+        self._service = service
+        self._token = token
+        self._seq = 0
+
+    @property
+    def spec(self) -> ProviderSpec:
+        return self._service.spec
+
+    def _request(self, action: str, params: Mapping[str, str]) -> SignedRequest:
+        # A strictly increasing microsecond offset keeps each request's
+        # timestamp unique so the replay filter never trips legitimate calls.
+        self._seq += 1
+        ts = self._service.now + self._seq * 1e-6
+        return SignedRequest.make(self._token, action, params, ts)
+
+    def put_chunk(self, key: str, chunk: AnyChunk) -> None:
+        self._service.put(self._request("put", {"key": key}), chunk)
+
+    def get_chunk(self, key: str) -> AnyChunk:
+        return self._service.get(self._request("get", {"key": key}))
+
+    def delete_chunk(self, key: str) -> None:
+        self._service.delete(self._request("delete", {"key": key}))
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self._service.list(self._request("list", {"prefix": prefix}))

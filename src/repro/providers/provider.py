@@ -1,0 +1,258 @@
+"""Simulated cloud storage provider with metering and failure injection.
+
+Each provider is an in-process S3-like chunk store.  Chunk operations update
+a :class:`UsageMeter` that accumulates, per sampling period, the four billed
+resources of the paper's cost model: storage (GB-hours), bandwidth in/out
+(bytes) and request count.  Transient outages (Section IV-E) are injected by
+flipping :attr:`SimulatedProvider.failed`; every operation then raises
+:class:`ProviderUnavailableError`, which the engine's error handling
+(Section III-D3) reacts to.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Union
+
+from repro.erasure.striping import Chunk, SyntheticChunk
+from repro.providers.pricing import ProviderSpec
+from repro.util.units import GB
+
+AnyChunk = Union[Chunk, SyntheticChunk]
+
+
+class ProviderUnavailableError(RuntimeError):
+    """Raised by every operation while a provider is in a transient outage."""
+
+    def __init__(self, message: str, provider_name: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.provider_name = provider_name
+
+
+class CapacityExceededError(RuntimeError):
+    """Raised when a put would exceed a provider's capacity (private resources)."""
+
+    def __init__(self, message: str, provider_name: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.provider_name = provider_name
+
+
+class ChunkTooLargeError(RuntimeError):
+    """Raised when a chunk exceeds the provider's maximum object size."""
+
+    def __init__(self, message: str, provider_name: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.provider_name = provider_name
+
+
+class ChunkNotFoundError(KeyError):
+    """Raised when reading or deleting a chunk key that does not exist."""
+
+
+@dataclass
+class ResourceUsage:
+    """Billed resources accumulated over one sampling period."""
+
+    storage_gb_hours: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    ops_get: int = 0
+    ops_put: int = 0
+    ops_delete: int = 0
+    ops_list: int = 0
+
+    @property
+    def ops(self) -> int:
+        """Total billed request count (all op kinds price equally, Fig. 3)."""
+        return self.ops_get + self.ops_put + self.ops_delete + self.ops_list
+
+    def merge(self, other: "ResourceUsage") -> "ResourceUsage":
+        """Element-wise sum; used to aggregate periods or providers."""
+        return ResourceUsage(
+            storage_gb_hours=self.storage_gb_hours + other.storage_gb_hours,
+            bytes_in=self.bytes_in + other.bytes_in,
+            bytes_out=self.bytes_out + other.bytes_out,
+            ops_get=self.ops_get + other.ops_get,
+            ops_put=self.ops_put + other.ops_put,
+            ops_delete=self.ops_delete + other.ops_delete,
+            ops_list=self.ops_list + other.ops_list,
+        )
+
+
+class UsageMeter:
+    """Per-sampling-period resource accounting for one provider.
+
+    The simulation clock moves the meter forward with :meth:`set_period`;
+    chunk operations record into the current period.  Storage is accrued
+    explicitly by the simulator (:meth:`accrue_storage`) so that a period's
+    GB-hours reflect the bytes actually held during that period.
+    """
+
+    def __init__(self) -> None:
+        self._period = 0
+        self._usage: Dict[int, ResourceUsage] = defaultdict(ResourceUsage)
+
+    @property
+    def period(self) -> int:
+        """Index of the current sampling period."""
+        return self._period
+
+    def set_period(self, period: int) -> None:
+        """Advance (or set) the current sampling period."""
+        self._period = period
+
+    def current(self) -> ResourceUsage:
+        """Usage record of the current period (created on demand)."""
+        return self._usage[self._period]
+
+    def record_in(self, n_bytes: int) -> None:
+        self._usage[self._period].bytes_in += n_bytes
+
+    def record_out(self, n_bytes: int) -> None:
+        self._usage[self._period].bytes_out += n_bytes
+
+    def record_op(self, kind: str) -> None:
+        usage = self._usage[self._period]
+        if kind == "get":
+            usage.ops_get += 1
+        elif kind == "put":
+            usage.ops_put += 1
+        elif kind == "delete":
+            usage.ops_delete += 1
+        elif kind == "list":
+            usage.ops_list += 1
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    def accrue_storage(self, stored_bytes: int, hours: float) -> None:
+        """Account ``stored_bytes`` held for ``hours`` in the current period."""
+        self._usage[self._period].storage_gb_hours += stored_bytes / GB * hours
+
+    def usage_by_period(self) -> Dict[int, ResourceUsage]:
+        """Mapping period -> usage (live view, do not mutate)."""
+        return self._usage
+
+    def total(self) -> ResourceUsage:
+        """Aggregate usage across all periods."""
+        total = ResourceUsage()
+        for usage in self._usage.values():
+            total = total.merge(usage)
+        return total
+
+
+class SimulatedProvider:
+    """An S3-like chunk store with SLA spec, meter and failure switch.
+
+    Both real (:class:`Chunk`) and synthetic chunks are accepted; bandwidth
+    and storage are metered from ``chunk.size`` so the two payload modes bill
+    identically.
+    """
+
+    def __init__(self, spec: ProviderSpec) -> None:
+        self.spec = spec
+        self.meter = UsageMeter()
+        self.failed = False
+        self._store: Dict[str, AnyChunk] = {}
+        self._stored_bytes = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes currently held."""
+        return self._stored_bytes
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- failure injection ----------------------------------------------
+
+    def fail(self) -> None:
+        """Start a transient outage (all operations raise until recovery)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """End the transient outage."""
+        self.failed = False
+
+    def _check_up(self) -> None:
+        if self.failed:
+            raise ProviderUnavailableError(
+                f"provider {self.name} is unavailable", self.name
+            )
+
+    # -- chunk operations -------------------------------------------------
+
+    def put_chunk(self, key: str, chunk: AnyChunk) -> None:
+        """Store ``chunk`` under ``key`` (billed: 1 op + ingress + storage)."""
+        self._check_up()
+        if self.spec.max_chunk_bytes is not None and chunk.size > self.spec.max_chunk_bytes:
+            raise ChunkTooLargeError(
+                f"{self.name}: chunk of {chunk.size} B exceeds "
+                f"max {self.spec.max_chunk_bytes} B",
+                self.name,
+            )
+        new_total = self._stored_bytes + chunk.size
+        old = self._store.get(key)
+        if old is not None:
+            new_total -= old.size
+        if self.spec.capacity_bytes is not None and new_total > self.spec.capacity_bytes:
+            raise CapacityExceededError(
+                f"{self.name}: capacity {self.spec.capacity_bytes} B exceeded",
+                self.name,
+            )
+        self.meter.record_op("put")
+        self.meter.record_in(chunk.size)
+        self._store[key] = chunk
+        self._stored_bytes = new_total
+
+    def get_chunk(self, key: str, *, times: int = 1) -> AnyChunk:
+        """Fetch the chunk at ``key`` (billed: ``times`` x (1 op + egress)).
+
+        ``times > 1`` bills repeated identical reads in one call — the
+        simulator's exact-cost batching for request bursts.
+        """
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        self._check_up()
+        chunk = self._store.get(key)
+        if chunk is None:
+            raise ChunkNotFoundError(key)
+        for _ in range(times):
+            self.meter.record_op("get")
+        self.meter.record_out(chunk.size * times)
+        return chunk
+
+    def delete_chunk(self, key: str) -> None:
+        """Delete the chunk at ``key`` (billed: 1 op)."""
+        self._check_up()
+        chunk = self._store.pop(key, None)
+        if chunk is None:
+            raise ChunkNotFoundError(key)
+        self.meter.record_op("delete")
+        self._stored_bytes -= chunk.size
+
+    def list_keys(self, prefix: str = "") -> Iterator[str]:
+        """Iterate stored keys with the given prefix (billed: 1 op)."""
+        self._check_up()
+        self.meter.record_op("list")
+        return iter(sorted(k for k in self._store if k.startswith(prefix)))
+
+    # -- simulation hooks --------------------------------------------------
+
+    def on_period(self, period: int, hours: float) -> None:
+        """Close the period: accrue storage held during it, then advance.
+
+        Called by the simulator once per sampling period *after* the
+        period's requests have been applied.
+        """
+        self.meter.accrue_storage(self._stored_bytes, hours)
+        self.meter.set_period(period + 1)

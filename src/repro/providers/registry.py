@@ -1,0 +1,127 @@
+"""Dynamic provider registry: the *non-static* set of storage resources.
+
+Scalia orchestrates a changing pool (Section I item 3, Section IV-D): public
+providers appear (CheapStor at hour 400), prices change, providers fail
+transiently or go out of business.  The registry tracks all of this and bumps
+an *epoch* counter on every change that can invalidate current placements,
+so the periodic optimizer knows to reconsider every object, not only those
+whose access pattern moved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.providers.pricing import PricingPolicy, ProviderSpec
+from repro.providers.provider import SimulatedProvider
+
+
+class UnknownProviderError(KeyError):
+    """Raised when an operation references an unregistered provider."""
+
+
+class ProviderRegistry:
+    """Name-indexed collection of live providers with change epochs."""
+
+    def __init__(self, specs: Iterable[ProviderSpec] = ()) -> None:
+        self._providers: Dict[str, SimulatedProvider] = {}
+        self._epoch = 0
+        for spec in specs:
+            self.register(spec)
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, spec: ProviderSpec) -> SimulatedProvider:
+        """Add a new provider to the pool (e.g. CheapStor at hour 400)."""
+        if spec.name in self._providers:
+            raise ValueError(f"provider {spec.name!r} already registered")
+        provider = SimulatedProvider(spec)
+        self._providers[spec.name] = provider
+        self._epoch += 1
+        return provider
+
+    def retire(self, name: str) -> None:
+        """Remove a provider permanently (bankruptcy, boycott, ...)."""
+        if name not in self._providers:
+            raise UnknownProviderError(name)
+        del self._providers[name]
+        self._epoch += 1
+
+    def adopt(self, provider: SimulatedProvider) -> None:
+        """Register an externally built provider object (private resources)."""
+        if provider.name in self._providers:
+            raise ValueError(f"provider {provider.name!r} already registered")
+        self._providers[provider.name] = provider
+        self._epoch += 1
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, name: str) -> SimulatedProvider:
+        provider = self._providers.get(name)
+        if provider is None:
+            raise UnknownProviderError(name)
+        return provider
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def names(self) -> List[str]:
+        """Registered provider names, sorted for determinism."""
+        return sorted(self._providers)
+
+    def providers(self) -> List[SimulatedProvider]:
+        """All registered providers, name-sorted."""
+        return [self._providers[n] for n in self.names()]
+
+    def specs(self, *, include_failed: bool = True) -> List[ProviderSpec]:
+        """Specs of registered providers, optionally hiding failed ones.
+
+        The placement algorithm passes ``include_failed=False`` so writes
+        route around transient outages (Section III-D3).
+        """
+        return [
+            p.spec
+            for p in self.providers()
+            if include_failed or not p.failed
+        ]
+
+    def is_available(self, name: str) -> bool:
+        """True when the provider is registered and not in an outage."""
+        provider = self._providers.get(name)
+        return provider is not None and not provider.failed
+
+    # -- dynamics ---------------------------------------------------------
+
+    def fail(self, name: str) -> None:
+        """Start a transient outage on ``name`` (epoch bump)."""
+        self.get(name).fail()
+        self._epoch += 1
+
+    def recover(self, name: str) -> None:
+        """End the transient outage on ``name`` (epoch bump)."""
+        self.get(name).recover()
+        self._epoch += 1
+
+    def update_pricing(self, name: str, pricing: PricingPolicy) -> None:
+        """Apply a new price sheet to ``name`` (epoch bump).
+
+        The stored chunks are untouched; only the spec changes.
+        """
+        provider = self.get(name)
+        provider.spec = provider.spec.with_pricing(pricing)
+        self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Counter of pool mutations; placements cache against this."""
+        return self._epoch
+
+    # -- simulation hook -------------------------------------------------
+
+    def on_period(self, period: int, hours: float) -> None:
+        """Close the sampling period on every provider's meter."""
+        for provider in self.providers():
+            provider.on_period(period, hours)

@@ -1,0 +1,42 @@
+"""Simulation kernel: scenarios, policies, baselines and accounting.
+
+Runs the paper's evaluation (Section IV): a :class:`Scenario` couples a
+workload with provider-pool events (failures, arrivals); policies are the
+adaptive Scalia broker, the 26 static provider sets of Figure 13 and the
+clairvoyant per-period *ideal* placement the paper measures over-cost
+against.
+"""
+
+from repro.sim.events import ProviderEvent, ProviderTimeline
+from repro.sim.static import StaticPlanner, figure13_static_sets, static_broker
+from repro.sim.ideal import IdealResult, ideal_costs
+from repro.sim.evaluator import analytic_static_cost
+from repro.sim.simulator import RunResult, Scenario, ScenarioSimulator
+from repro.sim.scenarios import (
+    SCENARIOS,
+    active_repair_scenario,
+    gallery_scenario,
+    new_provider_scenario,
+    slashdot_scenario,
+)
+from repro.sim.runner import run_policy_sweep
+
+__all__ = [
+    "ProviderEvent",
+    "ProviderTimeline",
+    "StaticPlanner",
+    "static_broker",
+    "figure13_static_sets",
+    "IdealResult",
+    "ideal_costs",
+    "analytic_static_cost",
+    "Scenario",
+    "ScenarioSimulator",
+    "RunResult",
+    "SCENARIOS",
+    "slashdot_scenario",
+    "gallery_scenario",
+    "new_provider_scenario",
+    "active_repair_scenario",
+    "run_policy_sweep",
+]

@@ -1,0 +1,110 @@
+"""Provider-pool events and the availability timeline.
+
+Scenario dynamics (Sections IV-D/IV-E): providers fail transiently,
+recover, newly register (CheapStor at hour 400) or change prices.  Events
+apply at the *start* of their period.  :class:`ProviderTimeline` answers
+"which provider specs were usable during period t" — both the event-driven
+simulator and the vectorized ideal baseline consume it, so they see exactly
+the same world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.providers.pricing import PricingPolicy, ProviderSpec
+
+
+@dataclass(frozen=True)
+class ProviderEvent:
+    """One mutation of the provider pool at the start of ``period``."""
+
+    period: int
+    action: str  # "fail" | "recover" | "register" | "retire" | "price"
+    provider: Optional[str] = None
+    spec: Optional[ProviderSpec] = None  # for "register"
+    pricing: Optional[PricingPolicy] = None  # for "price"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("fail", "recover", "register", "retire", "price"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.action == "register":
+            if self.spec is None:
+                raise ValueError("register events need a spec")
+        elif self.provider is None:
+            raise ValueError(f"{self.action} events need a provider name")
+        if self.action == "price" and self.pricing is None:
+            raise ValueError("price events need a pricing policy")
+
+
+class ProviderTimeline:
+    """Per-period view of the available provider specs."""
+
+    def __init__(
+        self,
+        catalog: Sequence[ProviderSpec],
+        events: Sequence[ProviderEvent],
+        horizon: int,
+    ) -> None:
+        if horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        self.horizon = horizon
+        self.events = sorted(events, key=lambda e: e.period)
+        self._regimes: List[Tuple[int, int, Tuple[ProviderSpec, ...]]] = []
+        self._build(list(catalog))
+
+    def _build(self, catalog: List[ProviderSpec]) -> None:
+        state: Dict[str, ProviderSpec] = {s.name: s for s in catalog}
+        failed: set[str] = set()
+        boundaries = sorted({0, self.horizon, *(e.period for e in self.events)})
+        by_period: Dict[int, List[ProviderEvent]] = {}
+        for event in self.events:
+            by_period.setdefault(event.period, []).append(event)
+        for start, end in zip(boundaries, boundaries[1:]):
+            for event in by_period.get(start, []):
+                if event.action == "fail":
+                    failed.add(event.provider)
+                elif event.action == "recover":
+                    failed.discard(event.provider)
+                elif event.action == "register":
+                    state[event.spec.name] = event.spec
+                elif event.action == "retire":
+                    state.pop(event.provider, None)
+                    failed.discard(event.provider)
+                else:  # price
+                    state[event.provider] = state[event.provider].with_pricing(
+                        event.pricing
+                    )
+            specs = tuple(
+                state[name] for name in sorted(state) if name not in failed
+            )
+            if start < end:
+                self._regimes.append((start, end, specs))
+
+    def specs_at(self, period: int) -> Tuple[ProviderSpec, ...]:
+        """Available provider specs during ``period``."""
+        for start, end, specs in self._regimes:
+            if start <= period < end:
+                return specs
+        raise IndexError(f"period {period} outside the timeline horizon")
+
+    def regimes(self) -> List[Tuple[int, int, Tuple[ProviderSpec, ...]]]:
+        """Contiguous ``(start, end, specs)`` intervals covering the horizon."""
+        return list(self._regimes)
+
+    def apply_to_registry(self, registry, period: int) -> None:
+        """Apply this period's events to a live registry (simulator hook)."""
+        for event in self.events:
+            if event.period != period:
+                continue
+            if event.action == "fail":
+                registry.fail(event.provider)
+            elif event.action == "recover":
+                registry.recover(event.provider)
+            elif event.action == "register":
+                registry.register(event.spec)
+            elif event.action == "retire":
+                registry.retire(event.provider)
+            else:
+                registry.update_pricing(event.provider, event.pricing)

@@ -1,0 +1,49 @@
+"""Sweep runner: one scenario x many policies, optionally in parallel.
+
+The Figure-14/16 over-cost tables compare Scalia against the 26 static sets
+of Figure 13; each (scenario, policy) run is independent, so the sweep fans
+out over a process pool (the runs are CPU-bound Python, hence processes,
+not threads — see the HPC guides).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.sim.simulator import PolicySpec, RunResult, Scenario, ScenarioSimulator
+from repro.sim.static import figure13_static_sets
+
+
+def _run_one(args: tuple) -> RunResult:
+    scenario, policy = args
+    return ScenarioSimulator(scenario, policy).run()
+
+
+def default_policies(scenario: Scenario) -> List[PolicySpec]:
+    """Scalia plus every Figure-13 static set buildable from the catalog."""
+    base_names = [s.name for s in scenario.catalog]
+    policies: List[PolicySpec] = []
+    for subset in figure13_static_sets([n for n in ("S3(h)", "S3(l)", "Azu", "Ggl", "RS") if n in base_names]):
+        policies.append(subset)
+    policies.append("scalia")
+    return policies
+
+
+def run_policy_sweep(
+    scenario: Scenario,
+    policies: Optional[Sequence[PolicySpec]] = None,
+    *,
+    processes: int = 0,
+) -> List[RunResult]:
+    """Run every policy over the scenario; results in policy order.
+
+    ``processes > 1`` distributes runs over a process pool; the scenario
+    (NumPy workload + plain dataclasses) is pickled to the workers.
+    """
+    chosen = list(policies) if policies is not None else default_policies(scenario)
+    jobs = [(scenario, policy) for policy in chosen]
+    if processes > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            return list(pool.map(_run_one, jobs))
+    return [_run_one(job) for job in jobs]

@@ -1,0 +1,184 @@
+"""Event-driven scenario simulation through the full broker stack.
+
+Each sampling period: provider-pool events apply, deletions and insertions
+execute, the period's read/write batches flow through real engines (chunk
+placement, metadata, statistics, metering), and the broker ticks — flushing
+logs, refreshing class statistics and running the periodic optimization.
+Costs come from the provider meters, i.e. from what the policy *actually
+did*, not from a model of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.engine import ReadFailedError, WriteFailedError
+from repro.core.broker import Scalia
+from repro.core.rules import RuleBook
+from repro.providers.pricing import ProviderSpec, cost_of_usage
+from repro.providers.registry import ProviderRegistry
+from repro.sim.events import ProviderEvent, ProviderTimeline
+from repro.sim.static import static_broker
+from repro.util.units import GB
+from repro.workloads.base import Workload
+
+PolicySpec = Union[str, Sequence[str]]  # "scalia" or a static provider tuple
+
+
+@dataclass
+class Scenario:
+    """A workload plus the world it runs in."""
+
+    name: str
+    workload: Workload
+    rules: RuleBook
+    catalog: Tuple[ProviderSpec, ...]
+    events: Tuple[ProviderEvent, ...] = ()
+    sampling_period_hours: float = 1.0
+    broker_kwargs: dict = field(default_factory=dict)
+
+    def timeline(self) -> ProviderTimeline:
+        """The provider availability timeline of this scenario."""
+        return ProviderTimeline(list(self.catalog), list(self.events), self.workload.horizon)
+
+
+@dataclass
+class RunResult:
+    """Metered outcome of one (scenario, policy) run."""
+
+    scenario: str
+    policy: str
+    cost_per_period: np.ndarray
+    storage_gb: np.ndarray  # GB held at each period's end
+    bw_in_gb: np.ndarray
+    bw_out_gb: np.ndarray
+    ops: np.ndarray
+    migrations: int = 0
+    repairs: int = 0
+    failed_reads: int = 0
+    failed_writes: int = 0
+    final_placements: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return float(self.cost_per_period.sum())
+
+
+class ScenarioSimulator:
+    """Runs one policy over one scenario."""
+
+    def __init__(self, scenario: Scenario, policy: PolicySpec = "scalia") -> None:
+        self.scenario = scenario
+        self.policy = policy
+
+    def policy_label(self) -> str:
+        if isinstance(self.policy, str):
+            return "Scalia (wait)" if self.policy == "scalia:wait" else "Scalia"
+        return "-".join(self.policy)
+
+    def build_broker(self) -> Scalia:
+        registry = ProviderRegistry(self.scenario.catalog)
+        kwargs = dict(
+            sampling_period_hours=self.scenario.sampling_period_hours,
+            **self.scenario.broker_kwargs,
+        )
+        if isinstance(self.policy, str):
+            if self.policy == "scalia":
+                return Scalia(registry, self.scenario.rules, **kwargs)
+            if self.policy == "scalia:wait":
+                kwargs["repair_strategy"] = "wait"
+                return Scalia(registry, self.scenario.rules, **kwargs)
+            raise ValueError(f"unknown policy {self.policy!r}")
+        return static_broker(registry, self.scenario.rules, self.policy, **kwargs)
+
+    def run(self) -> RunResult:
+        workload = self.scenario.workload
+        horizon = workload.horizon
+        timeline = self.scenario.timeline()
+        broker = self.build_broker()
+        registry = broker.registry
+        failed_reads = failed_writes = 0
+
+        for period in range(horizon):
+            timeline.apply_to_registry(registry, period)
+            for obj in workload.deaths(period):
+                broker.delete(obj.container, obj.key)
+            for obj in workload.births(period):
+                try:
+                    broker.put(
+                        obj.container,
+                        obj.key,
+                        obj.size,
+                        mime=obj.mime,
+                        rule=obj.rule,
+                        ttl_hint=obj.ttl_hint,
+                    )
+                except WriteFailedError:
+                    failed_writes += 1
+            for batch in workload.batches(period):
+                for _ in range(batch.writes):
+                    try:
+                        broker.put(
+                            batch.obj.container,
+                            batch.obj.key,
+                            batch.obj.size,
+                            mime=batch.obj.mime,
+                            rule=batch.obj.rule,
+                        )
+                    except WriteFailedError:
+                        failed_writes += 1
+                if batch.reads:
+                    try:
+                        broker.get_many(
+                            batch.obj.container, batch.obj.key, batch.reads
+                        )
+                    except (ReadFailedError, KeyError):
+                        failed_reads += batch.reads
+            broker.tick()
+
+        return self._collect(broker, horizon, failed_reads, failed_writes)
+
+    def _collect(
+        self, broker: Scalia, horizon: int, failed_reads: int, failed_writes: int
+    ) -> RunResult:
+        hours = self.scenario.sampling_period_hours
+        cost = np.zeros(horizon)
+        storage = np.zeros(horizon)
+        bw_in = np.zeros(horizon)
+        bw_out = np.zeros(horizon)
+        ops = np.zeros(horizon)
+        for provider in broker.registry.providers():
+            pricing = provider.spec.pricing
+            for period, usage in provider.meter.usage_by_period().items():
+                if not 0 <= period < horizon:
+                    continue
+                cost[period] += cost_of_usage(pricing, usage)
+                storage[period] += usage.storage_gb_hours / hours
+                bw_in[period] += usage.bytes_in / GB
+                bw_out[period] += usage.bytes_out / GB
+                ops[period] += usage.ops
+
+        placements: Dict[str, str] = {}
+        if self.scenario.workload.n_objects <= 16:
+            for obj in self.scenario.workload.objects:
+                placement = broker.placement_of(obj.container, obj.key)
+                if placement is not None:
+                    placements[f"{obj.container}/{obj.key}"] = placement.label()
+
+        return RunResult(
+            scenario=self.scenario.name,
+            policy=self.policy_label(),
+            cost_per_period=cost,
+            storage_gb=storage,
+            bw_in_gb=bw_in,
+            bw_out_gb=bw_out,
+            ops=ops,
+            migrations=sum(r.migrations for r in broker.reports),
+            repairs=sum(r.repairs for r in broker.reports),
+            failed_reads=failed_reads,
+            failed_writes=failed_writes,
+            final_placements=placements,
+        )

@@ -1,0 +1,131 @@
+"""Static provider-set baselines (Figure 13).
+
+A static policy always stores objects on one fixed provider set; only the
+erasure threshold m adapts to the rule (and to transient failures within
+the set — during an outage, new writes can only use the remaining members,
+as the paper's active-repair comparison does with [S3(h), Azu; m:1]).
+Existing objects are never migrated.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.engine import PlacementError
+from repro.core.broker import Scalia
+from repro.core.classifier import object_class
+from repro.core.durability import max_feasible_threshold
+from repro.core.rules import RuleBook
+from repro.erasure.striping import chunk_length
+from repro.providers.registry import ProviderRegistry
+from repro.types import Placement
+
+#: The provider column order used by the paper's Figure 13.
+FIGURE13_ORDER: Tuple[str, ...] = ("S3(h)", "S3(l)", "Azu", "Ggl", "RS")
+
+
+def figure13_static_sets(
+    providers: Sequence[str] = FIGURE13_ORDER, min_size: int = 2
+) -> List[Tuple[str, ...]]:
+    """The 26 static sets of Figure 13, in the paper's numbering order.
+
+    The table enumerates subsets in lexicographic depth-first order over
+    the provider columns; singletons are omitted (they cannot satisfy the
+    scenarios' 99.99 % availability requirement).
+    """
+    index = {name: i for i, name in enumerate(providers)}
+    subsets = [
+        combo
+        for size in range(min_size, len(providers) + 1)
+        for combo in combinations(providers, size)
+    ]
+    subsets.sort(key=lambda combo: tuple(index[name] for name in combo))
+    return subsets
+
+
+class StaticPlanner:
+    """Planner pinned to a fixed provider set.
+
+    Placement = every *available* member of the set, with the largest
+    threshold m satisfying the rule; raises when the remaining members
+    cannot satisfy it.
+    """
+
+    def __init__(
+        self,
+        registry: ProviderRegistry,
+        rules: RuleBook,
+        provider_names: Sequence[str],
+    ) -> None:
+        if len(set(provider_names)) != len(provider_names):
+            raise ValueError("static set must have distinct providers")
+        self.registry = registry
+        self.rules = rules
+        self.provider_names = tuple(provider_names)
+
+    def classify(self, size: int, mime: str) -> str:
+        return object_class(mime, size)
+
+    def rule_for(self, rule_name: Optional[str], class_key: str) -> str:
+        return self.rules.resolve_name(rule_name=rule_name, class_key=class_key)
+
+    def place(
+        self,
+        *,
+        container: str,
+        key: str,
+        size: int,
+        mime: str,
+        rule_name: Optional[str],
+        period: int,
+        exclude: frozenset[str],
+    ) -> Placement:
+        rule = self.rules.resolve(
+            rule_name=rule_name, class_key=self.classify(size, mime)
+        )
+        specs = [
+            self.registry.get(name).spec
+            for name in self.provider_names
+            if name in self.registry
+            and name not in exclude
+            and self.registry.is_available(name)
+            and self.registry.get(name).spec.serves_zone(rule.zones)
+        ]
+        if len(specs) < rule.min_providers or not specs:
+            raise PlacementError(
+                f"static set {self.provider_names} cannot satisfy rule "
+                f"{rule.name!r} with {len(specs)} providers available"
+            )
+        m = max_feasible_threshold(
+            [s.durability for s in specs],
+            [s.availability for s in specs],
+            rule.durability,
+            rule.availability,
+        )
+        if m <= 0:
+            raise PlacementError(
+                f"static set {self.provider_names} cannot meet the SLA of "
+                f"rule {rule.name!r}"
+            )
+        chunk = chunk_length(size, m)
+        if any(s.max_chunk_bytes is not None and chunk > s.max_chunk_bytes for s in specs):
+            raise PlacementError("chunk size constraint violated by static set")
+        return Placement(tuple(sorted(s.name for s in specs)), m)
+
+
+def static_broker(
+    registry: ProviderRegistry,
+    rules: RuleBook,
+    provider_names: Sequence[str],
+    **broker_kwargs,
+) -> Scalia:
+    """A broker pinned to a static set: fixed planner, optimizer disabled."""
+    planner = StaticPlanner(registry, rules, provider_names)
+    return Scalia(
+        registry,
+        rules,
+        planner=planner,
+        enable_optimizer=False,
+        **broker_kwargs,
+    )

@@ -1,0 +1,117 @@
+"""Shared data types crossing the core/cluster boundary.
+
+Kept dependency-free so the cluster substrate (engines, metadata) and the
+core decision logic (placement, cost model) can exchange values without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A chosen provider set plus the erasure threshold m (Algorithm 1).
+
+    ``providers`` is the name tuple (one chunk each, n = len(providers));
+    any ``m`` chunks reconstruct the object.
+    """
+
+    providers: Tuple[str, ...]
+    m: int
+
+    def __post_init__(self) -> None:
+        if len(set(self.providers)) != len(self.providers):
+            raise ValueError("placement providers must be distinct")
+        if not 1 <= self.m <= len(self.providers):
+            raise ValueError(
+                f"threshold m={self.m} invalid for {len(self.providers)} providers"
+            )
+        object.__setattr__(self, "providers", tuple(self.providers))
+
+    @property
+    def n(self) -> int:
+        """Total number of chunks (= number of providers)."""
+        return len(self.providers)
+
+    @property
+    def lockin(self) -> float:
+        """The lock-in factor 1/N of this placement (Equation 1)."""
+        return 1.0 / len(self.providers)
+
+    @property
+    def storage_overhead(self) -> float:
+        """Erasure storage blow-up n/m (Section II-A1)."""
+        return self.n / self.m
+
+    def label(self) -> str:
+        """Human-readable label like ``[S3(h), S3(l); m:1]`` (paper style)."""
+        return f"[{', '.join(self.providers)}; m:{self.m}]"
+
+
+@dataclass(frozen=True)
+class ObjectMeta:
+    """Persisted object metadata: file meta + striping meta (Figure 11)."""
+
+    container: str
+    key: str
+    size: int
+    mime: str
+    rule_name: str
+    class_key: str
+    skey: str
+    m: int
+    chunk_map: Tuple[Tuple[int, str], ...]  # (chunk index, provider name)
+    created_at: float
+    checksum: str = ""
+    ttl_hint: Optional[float] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.chunk_map)
+
+    @property
+    def placement(self) -> Placement:
+        """The placement this metadata encodes."""
+        return Placement(providers=tuple(p for _, p in self.chunk_map), m=self.m)
+
+    def chunk_key(self, index: int) -> str:
+        """Provider-side key of chunk ``index`` (``skey:index``)."""
+        return f"{self.skey}:{index}"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the metadata store."""
+        return {
+            "container": self.container,
+            "key": self.key,
+            "size": self.size,
+            "mime": self.mime,
+            "rule_name": self.rule_name,
+            "class_key": self.class_key,
+            "skey": self.skey,
+            "m": self.m,
+            "chunk_map": [list(pair) for pair in self.chunk_map],
+            "created_at": self.created_at,
+            "checksum": self.checksum,
+            "ttl_hint": self.ttl_hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ObjectMeta":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            container=data["container"],
+            key=data["key"],
+            size=data["size"],
+            mime=data["mime"],
+            rule_name=data["rule_name"],
+            class_key=data["class_key"],
+            skey=data["skey"],
+            m=data["m"],
+            chunk_map=tuple((int(i), str(p)) for i, p in data["chunk_map"]),
+            created_at=data["created_at"],
+            checksum=data.get("checksum", ""),
+            ttl_hint=data.get("ttl_hint"),
+        )

@@ -1,0 +1,36 @@
+"""Shared utilities: units, deterministic ids, hashing and validation."""
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    HOURS_PER_MONTH,
+    bytes_to_gb,
+    gb_to_bytes,
+)
+from repro.util.ids import IdGenerator, md5_hex, object_row_key, storage_key
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_non_negative,
+    nines_to_fraction,
+    fraction_to_nines,
+)
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "HOURS_PER_MONTH",
+    "bytes_to_gb",
+    "gb_to_bytes",
+    "IdGenerator",
+    "md5_hex",
+    "object_row_key",
+    "storage_key",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+    "nines_to_fraction",
+    "fraction_to_nines",
+]

@@ -1,0 +1,57 @@
+"""Deterministic identifiers and the paper's hashing conventions.
+
+Scalia derives two kinds of keys (Section III-D1):
+
+* ``row_key = MD5(container | key)`` — the metadata row for an object,
+* ``skey  = MD5(container | key | UUID)`` — the per-version storage key used
+  when writing chunks to providers, where the UUID makes concurrent updates
+  collision-free.
+
+Simulations must be reproducible, so UUIDs come from a seeded
+:class:`IdGenerator` rather than :func:`uuid.uuid4`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+
+def md5_hex(*parts: str) -> str:
+    """MD5 hex digest of the ``|``-joined parts (the paper's hash notation)."""
+    return hashlib.md5("|".join(parts).encode("utf-8")).hexdigest()
+
+
+def object_row_key(container: str, key: str) -> str:
+    """``row_key = MD5(obj[container] | obj[key])`` (Section III-D1)."""
+    return md5_hex(container, key)
+
+
+def storage_key(container: str, key: str, uuid: str) -> str:
+    """``skey = MD5(obj[container] | obj[key] | UUID)`` (Section III-D1)."""
+    return md5_hex(container, key, uuid)
+
+
+@dataclass
+class IdGenerator:
+    """Deterministic UUID-like id source.
+
+    Ids are unique per generator instance and reproducible for a given seed,
+    which keeps full-system simulations bit-stable across runs.
+    """
+
+    seed: int = 0
+    _counter: "itertools.count[int]" = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._counter = itertools.count()
+
+    def uuid(self) -> str:
+        """Return the next unique id (32 hex chars, like a UUID without dashes)."""
+        n = next(self._counter)
+        return hashlib.md5(f"uuid|{self.seed}|{n}".encode()).hexdigest()
+
+    def sequence(self) -> int:
+        """Return the next raw sequence number."""
+        return next(self._counter)

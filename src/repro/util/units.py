@@ -1,0 +1,29 @@
+"""Unit conventions used across the reproduction.
+
+The paper prices resources in USD per GB (storage per month, bandwidth per
+transferred GB) and USD per 1000 requests.  We fix:
+
+* ``GB`` = 10**9 bytes (decimal gigabyte, the billing convention of the
+  providers in the paper's Table 3),
+* a month = 730 hours (the standard SLA month: 8760 h / 12), so that hourly
+  sampling periods convert to storage-month fractions.
+"""
+
+from __future__ import annotations
+
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+#: Hours in a billing month (8760 hours per year / 12 months).
+HOURS_PER_MONTH: float = 730.0
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to (decimal) gigabytes."""
+    return n_bytes / GB
+
+
+def gb_to_bytes(n_gb: float) -> float:
+    """Convert (decimal) gigabytes to bytes."""
+    return n_gb * GB

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers and "nines" conversions.
+
+SLA levels in the paper are written as percentages with many nines
+(e.g. durability 99.999999999).  Internally we store fractions in [0, 1];
+these helpers convert and validate.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def nines_to_fraction(percent: float) -> float:
+    """Convert an SLA percentage (e.g. ``99.99``) to a fraction (``0.9999``)."""
+    if not 0.0 <= percent <= 100.0:
+        raise ValueError(f"SLA percentage out of range: {percent!r}")
+    return percent / 100.0
+
+
+def fraction_to_nines(fraction: float) -> float:
+    """Convert a fraction (``0.9999``) back to an SLA percentage (``99.99``)."""
+    check_fraction(fraction, "fraction")
+    return fraction * 100.0
+
+
+def count_nines(fraction: float) -> float:
+    """Number of leading nines of an SLA fraction (0.999 -> 3.0).
+
+    Useful for compact reporting; returns ``inf`` for a perfect 1.0.
+    """
+    check_fraction(fraction, "fraction")
+    if fraction >= 1.0:
+        return math.inf
+    if fraction <= 0.0:
+        return 0.0
+    return -math.log10(1.0 - fraction)

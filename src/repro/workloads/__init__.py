@@ -1,0 +1,23 @@
+"""Synthetic workload generators for the paper's evaluation scenarios.
+
+Every generator is deterministic for a given seed and produces a
+:class:`repro.workloads.base.Workload`: per-object request series over
+sampling periods, plus object birth/death events.
+"""
+
+from repro.workloads.base import ObjectSpec, RequestBatch, Workload
+from repro.workloads.website import website_daily_profile, website_read_series
+from repro.workloads.slashdot import slashdot_workload
+from repro.workloads.gallery import gallery_workload
+from repro.workloads.backup import backup_workload
+
+__all__ = [
+    "ObjectSpec",
+    "RequestBatch",
+    "Workload",
+    "website_daily_profile",
+    "website_read_series",
+    "slashdot_workload",
+    "gallery_workload",
+    "backup_workload",
+]

@@ -1,0 +1,50 @@
+"""The backup workload (Sections IV-D and IV-E, Figures 17 and 18).
+
+A new 40 MB object is stored every 5 hours; objects are write-once and
+never read.  Section IV-D runs it for 4 weeks with the CheapStor provider
+arriving at hour 400; Section IV-E runs 7.5 days with a transient S3(l)
+outage between hours 60 and 120.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import ObjectSpec, Workload
+from repro.util.units import MB
+
+
+def backup_workload(
+    horizon: int = 672,
+    *,
+    interval_hours: int = 5,
+    size: int = 40 * MB,
+    rule: str = "backup",
+    ttl_hint_hours: float = 720.0,
+) -> Workload:
+    """One 40 MB write-once object every ``interval_hours`` periods.
+
+    ``ttl_hint_hours`` is the user-supplied lifetime indication the paper
+    allows at write time (Section III-A) — a 30-day retention policy by
+    default.  It bounds the horizon over which migration benefits are
+    projected, which is what keeps Scalia from paying for migrations that
+    only amortize long after the backup is rotated out.
+    """
+    objects = [
+        ObjectSpec(
+            container="backups",
+            key=f"backup-{t:05d}.tar",
+            size=size,
+            mime="application/x-tar",
+            rule=rule,
+            birth_period=t,
+            ttl_hint=ttl_hint_hours,
+        )
+        for t in range(0, horizon, interval_hours)
+    ]
+    n = len(objects)
+    reads = np.zeros((n, horizon), dtype=np.int64)
+    writes = np.zeros((n, horizon), dtype=np.int64)
+    return Workload(
+        name="backup", horizon=horizon, objects=objects, reads=reads, writes=writes
+    )

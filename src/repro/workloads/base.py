@@ -1,0 +1,121 @@
+"""Workload model: objects plus per-period request batches.
+
+A workload is a set of objects (with size, MIME type, rule and lifecycle)
+and, for every sampling period, the number of reads and writes each object
+receives.  Request counts are stored as dense NumPy arrays so both the
+event-driven simulator and the vectorized analytic evaluator consume the
+same ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """One object of a workload."""
+
+    container: str
+    key: str
+    size: int
+    mime: str = "application/octet-stream"
+    rule: Optional[str] = None
+    birth_period: int = 0
+    death_period: Optional[int] = None  # period of deletion, if any
+    ttl_hint: Optional[float] = None
+
+    def alive_at(self, period: int) -> bool:
+        """True when the object exists during ``period``."""
+        if period < self.birth_period:
+            return False
+        return self.death_period is None or period < self.death_period
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """Requests one object receives during one sampling period."""
+
+    obj: ObjectSpec
+    period: int
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise ValueError("request counts must be >= 0")
+
+
+@dataclass
+class Workload:
+    """Objects plus dense per-period read/write matrices.
+
+    ``reads[i, t]`` is the number of reads object ``i`` receives during
+    period ``t`` (excluding the insertion write, which the simulator issues
+    at ``birth_period``).
+    """
+
+    name: str
+    horizon: int  # number of sampling periods
+    objects: List[ObjectSpec]
+    reads: np.ndarray  # shape (n_objects, horizon), int64
+    writes: np.ndarray  # shape (n_objects, horizon), int64
+
+    def __post_init__(self) -> None:
+        n = len(self.objects)
+        expected = (n, self.horizon)
+        if self.reads.shape != expected or self.writes.shape != expected:
+            raise ValueError(
+                f"request matrices must have shape {expected}, got "
+                f"{self.reads.shape} / {self.writes.shape}"
+            )
+        if np.any(self.reads < 0) or np.any(self.writes < 0):
+            raise ValueError("request counts must be >= 0")
+        for i, obj in enumerate(self.objects):
+            alive = np.zeros(self.horizon, dtype=bool)
+            end = obj.death_period if obj.death_period is not None else self.horizon
+            alive[obj.birth_period : end] = True
+            if np.any(self.reads[i][~alive]) or np.any(self.writes[i][~alive]):
+                raise ValueError(
+                    f"object {obj.key!r} has requests outside its lifetime"
+                )
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    def batches(self, period: int) -> Iterator[RequestBatch]:
+        """Request batches of one period (insertion writes excluded)."""
+        for i, obj in enumerate(self.objects):
+            reads = int(self.reads[i, period])
+            writes = int(self.writes[i, period])
+            if reads or writes:
+                yield RequestBatch(obj=obj, period=period, reads=reads, writes=writes)
+
+    def births(self, period: int) -> List[ObjectSpec]:
+        """Objects inserted at the start of ``period``."""
+        return [o for o in self.objects if o.birth_period == period]
+
+    def deaths(self, period: int) -> List[ObjectSpec]:
+        """Objects deleted at the start of ``period``."""
+        return [o for o in self.objects if o.death_period == period]
+
+    def total_reads(self) -> int:
+        return int(self.reads.sum())
+
+    def total_writes(self) -> int:
+        """Total explicit writes, excluding the one insertion per object."""
+        return int(self.writes.sum())
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for logging and reports."""
+        return {
+            "objects": float(self.n_objects),
+            "horizon_periods": float(self.horizon),
+            "total_reads": float(self.total_reads()),
+            "total_writes": float(self.total_writes()),
+            "total_bytes": float(sum(o.size for o in self.objects)),
+        }

@@ -1,0 +1,69 @@
+"""The Slashdot-effect workload (Section IV-B, Figures 12 and 14).
+
+A single 1 MB object is stored; after 2 days (48 hours) it suddenly becomes
+popular — reads ramp from 0 to 150/hour within 3 hours — and then the rate
+decays by 2 requests per hour.  The scenario spans 7.5 days.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import ObjectSpec, Workload
+from repro.util.units import MB
+
+
+def slashdot_read_series(
+    horizon: int = 180,
+    *,
+    quiet_hours: int = 48,
+    ramp_hours: int = 3,
+    peak: int = 150,
+    decay_per_hour: int = 2,
+) -> np.ndarray:
+    """The deterministic read-rate series of the Slashdot effect."""
+    reads = np.zeros(horizon, dtype=np.int64)
+    ramp_end = min(quiet_hours + ramp_hours, horizon)
+    for i, t in enumerate(range(quiet_hours, ramp_end)):
+        reads[t] = round(peak * (i + 1) / ramp_hours)
+    level = float(peak)
+    for t in range(ramp_end, horizon):
+        level -= decay_per_hour
+        if level <= 0:
+            break
+        reads[t] = round(level)
+    return reads
+
+
+def slashdot_workload(
+    horizon: int = 180,
+    *,
+    size: int = MB,
+    rule: str = "slashdot",
+    quiet_hours: int = 48,
+    ramp_hours: int = 3,
+    peak: int = 150,
+    decay_per_hour: int = 2,
+) -> Workload:
+    """The full Section IV-B workload: one object, one flash crowd.
+
+    The object carries availability 99.99 % / durability 99.999 % through
+    the ``rule`` name (register it in the broker's rulebook).
+    """
+    obj = ObjectSpec(
+        container="web",
+        key="article.html",
+        size=size,
+        mime="text/html",
+        rule=rule,
+        birth_period=0,
+    )
+    reads = slashdot_read_series(
+        horizon,
+        quiet_hours=quiet_hours,
+        ramp_hours=ramp_hours,
+        peak=peak,
+        decay_per_hour=decay_per_hour,
+    )[None, :]
+    writes = np.zeros((1, horizon), dtype=np.int64)
+    return Workload(name="slashdot", horizon=horizon, objects=[obj], reads=reads, writes=writes)

@@ -1,0 +1,116 @@
+"""Tests for over-cost tables, series and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overcost import (
+    OvercostRow,
+    best_static,
+    overcost_table,
+    scalia_row,
+    worst_static,
+)
+from repro.analysis.report import (
+    format_overcost_table,
+    format_paper_comparison,
+    format_resource_series,
+    sparkline,
+)
+from repro.analysis.series import cumulative_cost_series, downsample, resource_series
+from repro.sim.simulator import RunResult
+
+
+def result(policy, costs):
+    arr = np.asarray(costs, dtype=float)
+    zeros = np.zeros_like(arr)
+    return RunResult(
+        scenario="t",
+        policy=policy,
+        cost_per_period=arr,
+        storage_gb=zeros + 0.1,
+        bw_in_gb=zeros,
+        bw_out_gb=zeros,
+        ops=zeros,
+    )
+
+
+class TestOvercost:
+    def test_table(self):
+        rows = overcost_table(
+            [result("A-B", [1.0, 1.0]), result("Scalia", [1.0, 0.1])],
+            ideal_total=1.0,
+        )
+        assert rows[0].over_cost_pct == pytest.approx(100.0)
+        assert rows[1].over_cost_pct == pytest.approx(10.0)
+        assert rows[0].index == 1 and rows[1].index == 2
+
+    def test_invalid_ideal(self):
+        with pytest.raises(ValueError):
+            overcost_table([], ideal_total=0.0)
+
+    def test_selectors(self):
+        rows = overcost_table(
+            [
+                result("A", [2.0]),
+                result("B", [1.5]),
+                result("Scalia", [1.2]),
+            ],
+            ideal_total=1.0,
+        )
+        assert best_static(rows).label == "B"
+        assert worst_static(rows).label == "A"
+        assert scalia_row(rows).label == "Scalia"
+
+    def test_selectors_require_rows(self):
+        only_scalia = overcost_table([result("Scalia", [1.0])], ideal_total=1.0)
+        with pytest.raises(ValueError):
+            best_static(only_scalia)
+        with pytest.raises(ValueError):
+            scalia_row(overcost_table([result("A", [1.0])], ideal_total=1.0))
+
+
+class TestSeries:
+    def test_resource_series_keys(self):
+        series = resource_series(result("A", [1.0, 2.0]))
+        assert set(series) == {"storage_gb", "bw_in_gb", "bw_out_gb"}
+
+    def test_cumulative(self):
+        cum = cumulative_cost_series(result("A", [1.0, 2.0, 3.0]))
+        assert cum.tolist() == [1.0, 3.0, 6.0]
+
+    def test_downsample(self):
+        series = np.arange(100.0)
+        sampled = downsample(series, 5)
+        assert sampled.shape == (5,)
+        assert sampled[0] == 0.0 and sampled[-1] == 99.0
+        assert downsample(series, 200).shape == (100,)
+        with pytest.raises(ValueError):
+            downsample(series, 0)
+
+
+class TestReport:
+    def test_overcost_rendering(self):
+        rows = [OvercostRow(1, "S3(h)-S3(l)", 1.23, 4.5)]
+        text = format_overcost_table(rows)
+        assert "S3(h)-S3(l)" in text
+        assert "4.50" in text
+
+    def test_resource_rendering(self):
+        series = {"storage_gb": np.linspace(0, 1, 50)}
+        text = format_resource_series(series, points=5)
+        assert "storage_gb" in text
+        assert len(text.splitlines()) == 7  # title + header + 5 rows
+
+    def test_paper_comparison(self):
+        text = format_paper_comparison(
+            [("Scalia over-cost", 0.12, 0.18, "%"), ("no paper value", None, 1.0, "x")],
+            title="Fig 14",
+        )
+        assert "0.12" in text and "0.18" in text
+        assert "—" in text
+
+    def test_sparkline(self):
+        line = sparkline(np.sin(np.linspace(0, 6, 100)))
+        assert len(line) == 60
+        assert sparkline(np.zeros(10)) == "▁" * 10
+        assert sparkline(np.array([])) == ""

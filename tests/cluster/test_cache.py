@@ -1,0 +1,109 @@
+"""Tests for the LRU cache and the cross-DC caching layer."""
+
+import pytest
+
+from repro.cluster.cache import CacheLayer, LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(100)
+        cache.put("k", b"value", 5)
+        assert cache.get("k") == b"value"
+        assert cache.used_bytes == 5
+        assert len(cache) == 1
+
+    def test_miss(self):
+        cache = LRUCache(100)
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(10)
+        cache.put("a", b"a", 4)
+        cache.put("b", b"b", 4)
+        cache.get("a")  # refresh a
+        cache.put("c", b"c", 4)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_replacement_updates_size(self):
+        cache = LRUCache(10)
+        cache.put("a", b"xxxx", 4)
+        cache.put("a", b"xx", 2)
+        assert cache.used_bytes == 2
+        assert len(cache) == 1
+
+    def test_oversized_value_not_cached(self):
+        cache = LRUCache(10)
+        cache.put("big", b"x" * 11, 11)
+        assert "big" not in cache
+        assert cache.used_bytes == 0
+
+    def test_invalidate(self):
+        cache = LRUCache(10)
+        cache.put("a", b"a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.used_bytes == 0
+
+    def test_clear(self):
+        cache = LRUCache(10)
+        cache.put("a", b"a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_hit_ratio(self):
+        cache = LRUCache(10)
+        cache.put("a", b"a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(10).put("a", b"", -1)
+
+    def test_caches_non_bytes_values(self):
+        # Synthetic payload mode caches the object size as an int.
+        cache = LRUCache(10**6)
+        cache.put("obj", 1_000_000 - 1, 1_000_000 - 1)
+        assert cache.get("obj") == 999_999
+
+
+class TestCacheLayer:
+    def test_per_dc_isolation(self):
+        layer = CacheLayer(["dc1", "dc2"], 100)
+        layer.put("dc1", "k", b"v", 1)
+        assert layer.get("dc1", "k") == b"v"
+        assert layer.get("dc2", "k") is None  # caches are local
+
+    def test_invalidate_everywhere(self):
+        layer = CacheLayer(["dc1", "dc2"], 100)
+        layer.put("dc1", "k", b"v", 1)
+        layer.put("dc2", "k", b"v", 1)
+        dropped = layer.invalidate_everywhere("k")
+        assert dropped == 2
+        assert layer.get("dc1", "k") is None
+        assert layer.get("dc2", "k") is None
+
+    def test_unknown_dc(self):
+        layer = CacheLayer(["dc1"], 100)
+        with pytest.raises(KeyError):
+            layer.get("dc9", "k")
+
+    def test_total_stats(self):
+        layer = CacheLayer(["dc1", "dc2"], 100)
+        layer.put("dc1", "k", b"v", 1)
+        layer.get("dc1", "k")
+        layer.get("dc2", "k")
+        stats = layer.total_stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLayer([], 100)

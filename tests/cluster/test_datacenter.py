@@ -1,0 +1,85 @@
+"""Tests for datacenter grouping and the cluster wiring."""
+
+import pytest
+
+from repro.cluster.datacenter import Datacenter, ScaliaCluster
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+from repro.types import Placement
+
+
+class NullPlanner:
+    def place(self, **kw):
+        return Placement(("S3(h)", "S3(l)"), 1)
+
+    def classify(self, size, mime):
+        return "cls"
+
+    def rule_for(self, rule_name, class_key):
+        return rule_name or "default"
+
+
+def make_cluster(**kw):
+    defaults = dict(datacenters=2, engines_per_dc=2)
+    defaults.update(kw)
+    return ScaliaCluster(
+        registry=ProviderRegistry(paper_catalog()),
+        planner=NullPlanner(),
+        **defaults,
+    )
+
+
+class TestDatacenter:
+    def test_requires_engines(self):
+        with pytest.raises(ValueError):
+            Datacenter("dc1", [])
+
+    def test_round_robin(self):
+        cluster = make_cluster()
+        dc = cluster.datacenters["dc1"]
+        first = dc.next_engine()
+        second = dc.next_engine()
+        third = dc.next_engine()
+        assert first is not second
+        assert first is third
+
+
+class TestScaliaCluster:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cluster(datacenters=0)
+
+    def test_engine_naming_and_count(self):
+        cluster = make_cluster()
+        ids = [e.engine_id for e in cluster.all_engines()]
+        assert ids == ["dc1-engine1", "dc1-engine2", "dc2-engine1", "dc2-engine2"]
+
+    def test_routing_spreads_over_dcs(self):
+        cluster = make_cluster()
+        dcs = {cluster.route().dc for _ in range(4)}
+        assert dcs == {"dc1", "dc2"}
+
+    def test_route_pinned_dc(self):
+        cluster = make_cluster()
+        assert cluster.route("dc2").dc == "dc2"
+
+    def test_leadership(self):
+        cluster = make_cluster()
+        cluster.heartbeat_all(1.0)
+        leader = cluster.leader_engine(1.0)
+        assert leader.engine_id == "dc1-engine1"
+        # Leader silence: leadership moves to the next live engine.
+        for engine in cluster.all_engines()[1:]:
+            cluster.election.heartbeat(engine.engine_id, 10.0)
+        assert cluster.leader_engine(10.0).engine_id == "dc1-engine2"
+
+    def test_no_cache_by_default(self):
+        assert make_cluster().cache is None
+        assert make_cluster(cache_capacity_bytes=1024).cache is not None
+
+    def test_put_from_one_dc_visible_in_other(self):
+        cluster = make_cluster()
+        e1 = cluster.route("dc1")
+        e2 = cluster.route("dc2")
+        e1.put("c", "obj", b"cross-dc")
+        assert e2.get("c", "obj") == b"cross-dc"

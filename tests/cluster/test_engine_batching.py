@@ -1,0 +1,61 @@
+"""Billing-parity tests for batched reads (get_many)."""
+
+import pytest
+
+from tests.cluster.test_engine import Harness
+
+
+def provider_totals(harness):
+    return {
+        p.name: (
+            p.meter.total().ops_get,
+            p.meter.total().bytes_out,
+        )
+        for p in harness.registry.providers()
+    }
+
+
+class TestGetManyParity:
+    def test_batched_equals_looped_without_cache(self):
+        looped, batched = Harness(), Harness()
+        data = b"parity check payload" * 100
+        looped.engine.put("c", "obj", data)
+        batched.engine.put("c", "obj", data)
+        for _ in range(25):
+            looped.engine.get("c", "obj")
+        batched.engine.get_many("c", "obj", 25)
+        assert provider_totals(looped) == provider_totals(batched)
+
+    def test_batched_equals_looped_with_cache(self):
+        looped, batched = Harness(cache_bytes=10**6), Harness(cache_bytes=10**6)
+        data = b"cached parity payload" * 80
+        looped.engine.put("c", "obj", data)
+        batched.engine.put("c", "obj", data)
+        for _ in range(25):
+            looped.engine.get("c", "obj")
+        batched.engine.get_many("c", "obj", 25)
+        assert provider_totals(looped) == provider_totals(batched)
+
+    def test_stats_records_equivalent(self):
+        looped, batched = Harness(), Harness()
+        looped.engine.put("c", "obj", b"stat parity" * 30)
+        batched.engine.put("c", "obj", b"stat parity" * 30)
+        for _ in range(7):
+            looped.engine.get("c", "obj", period=2)
+        batched.engine.get_many("c", "obj", 7, period=2)
+        key = next(iter(looped.stats.accessed_between(2, 2)))
+        a = looped.stats.history(key, 2, 1)[0]
+        b = batched.stats.history(key, 2, 1)[0]
+        assert (a.ops_read, a.bytes_out) == (b.ops_read, b.bytes_out) == (7, 7 * 330)
+
+    def test_count_validation(self):
+        h = Harness()
+        h.engine.put("c", "obj", b"x")
+        with pytest.raises(ValueError):
+            h.engine.get_many("c", "obj", 0)
+
+    def test_single_read_same_as_get(self):
+        h = Harness()
+        data = b"single" * 10
+        h.engine.put("c", "obj", data)
+        assert h.engine.get_many("c", "obj", 1) == data

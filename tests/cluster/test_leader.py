@@ -1,0 +1,64 @@
+"""Tests for heartbeat leader election."""
+
+import pytest
+
+from repro.cluster.leader import HeartbeatElection
+
+
+class TestElection:
+    def test_single_member(self):
+        el = HeartbeatElection(lease=1.0)
+        el.register("e1", now=0.0)
+        assert el.leader(0.5) == "e1"
+        assert el.is_leader("e1", 0.5)
+
+    def test_lowest_id_wins(self):
+        el = HeartbeatElection(lease=1.0)
+        for member in ("e3", "e1", "e2"):
+            el.register(member, now=0.0)
+        assert el.leader(0.0) == "e1"
+
+    def test_lease_expiry_fails_over(self):
+        el = HeartbeatElection(lease=1.0)
+        el.register("e1", now=0.0)
+        el.register("e2", now=0.0)
+        el.heartbeat("e2", 5.0)  # e1 stops beating
+        assert el.leader(5.0) == "e2"
+
+    def test_recovered_leader_resumes(self):
+        el = HeartbeatElection(lease=1.0)
+        el.register("e1", now=0.0)
+        el.register("e2", now=0.0)
+        el.heartbeat("e2", 5.0)
+        assert el.leader(5.0) == "e2"
+        el.heartbeat("e1", 5.5)
+        assert el.leader(5.5) == "e1"
+
+    def test_no_live_members(self):
+        el = HeartbeatElection(lease=1.0)
+        el.register("e1", now=0.0)
+        assert el.leader(10.0) is None
+        assert not el.is_leader("e1", 10.0)
+
+    def test_deregister(self):
+        el = HeartbeatElection(lease=1.0)
+        el.register("e1", now=0.0)
+        el.register("e2", now=0.0)
+        el.deregister("e1")
+        assert el.leader(0.0) == "e2"
+        el.deregister("missing")  # idempotent
+
+    def test_alive_sorted(self):
+        el = HeartbeatElection(lease=1.0)
+        for member in ("b", "a", "c"):
+            el.register(member, now=0.0)
+        assert el.alive(0.5) == ["a", "b", "c"]
+
+    def test_heartbeat_autoregisters(self):
+        el = HeartbeatElection(lease=1.0)
+        el.heartbeat("ghost", now=0.0)
+        assert el.leader(0.0) == "ghost"
+
+    def test_invalid_lease(self):
+        with pytest.raises(ValueError):
+            HeartbeatElection(lease=0.0)

@@ -1,0 +1,191 @@
+"""Tests for vector clocks and the replicated MVCC metadata store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.metadata import (
+    ConflictResolution,
+    MetadataCluster,
+    VectorClock,
+    VersionedValue,
+)
+
+clock_dicts = st.dictionaries(
+    st.sampled_from(["dc1", "dc2", "dc3"]), st.integers(min_value=0, max_value=5)
+)
+
+
+class TestVectorClock:
+    def test_increment(self):
+        clock = VectorClock().increment("dc1").increment("dc1").increment("dc2")
+        assert clock.counters == {"dc1": 2, "dc2": 1}
+
+    def test_compare_orderings(self):
+        a = VectorClock({"dc1": 1})
+        b = a.increment("dc1")
+        assert a.compare(b) == "before"
+        assert b.compare(a) == "after"
+        assert a.compare(a) == "equal"
+        c = a.increment("dc2")
+        d = a.increment("dc1")
+        assert c.compare(d) == "concurrent"
+
+    def test_merge_is_elementwise_max(self):
+        a = VectorClock({"dc1": 3, "dc2": 1})
+        b = VectorClock({"dc1": 1, "dc3": 2})
+        merged = a.merge(b)
+        assert merged.counters == {"dc1": 3, "dc2": 1, "dc3": 2}
+
+    @given(clock_dicts, clock_dicts)
+    def test_merge_dominates_both(self, ca, cb):
+        a, b = VectorClock(ca), VectorClock(cb)
+        merged = a.merge(b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    @given(clock_dicts, clock_dicts)
+    def test_compare_antisymmetry(self, ca, cb):
+        a, b = VectorClock(ca), VectorClock(cb)
+        forward, backward = a.compare(b), b.compare(a)
+        flipped = {"before": "after", "after": "before"}
+        assert backward == flipped.get(forward, forward)
+
+
+def make_cluster(n=2):
+    return MetadataCluster([f"dc{i + 1}" for i in range(n)])
+
+
+class TestBasicReplication:
+    def test_write_replicates_everywhere(self):
+        cluster = make_cluster(3)
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        for dc in ("dc1", "dc2", "dc3"):
+            res = cluster.read(dc, "row")
+            assert res.winner is not None and res.winner.value == {"v": 1}
+        assert cluster.converged("row")
+
+    def test_missing_row(self):
+        cluster = make_cluster()
+        res = cluster.read("dc1", "nope")
+        assert res.winner is None and not res.had_conflict
+
+    def test_sequential_update_supersedes(self):
+        cluster = make_cluster()
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc1", "row", {"v": 2}, uuid="u2", timestamp=2.0)
+        for dc in ("dc1", "dc2"):
+            res = cluster.read(dc, "row")
+            assert res.winner.value == {"v": 2}
+            assert not res.had_conflict  # causally dominated, silently dropped
+            assert len(cluster.raw_versions(dc, "row")) == 1
+
+    def test_cross_dc_sequential_update(self):
+        cluster = make_cluster()
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc2", "row", {"v": 2}, uuid="u2", timestamp=2.0)
+        res = cluster.read("dc1", "row")
+        assert res.winner.value == {"v": 2}
+        assert not res.had_conflict
+
+    def test_unknown_dc_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(KeyError):
+            cluster.write("dc9", "row", {}, uuid="u", timestamp=0.0)
+        with pytest.raises(KeyError):
+            cluster.read("dc9", "row")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetadataCluster([])
+        with pytest.raises(ValueError):
+            MetadataCluster(["dc1", "dc1"])
+
+
+class TestTombstones:
+    def test_delete_hides_row(self):
+        cluster = make_cluster()
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc1", "row", None, uuid="u2", timestamp=2.0)
+        assert cluster.read("dc1", "row").winner is None
+        assert cluster.read("dc2", "row").winner is None
+
+    def test_scan_skips_tombstones(self):
+        cluster = make_cluster()
+        cluster.write("dc1", "a/1", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc1", "a/2", {"v": 2}, uuid="u2", timestamp=1.0)
+        cluster.write("dc1", "a/2", None, uuid="u3", timestamp=2.0)
+        cluster.write("dc1", "b/1", {"v": 3}, uuid="u4", timestamp=1.0)
+        scan = cluster.scan("dc2", "a/")
+        assert list(scan) == ["a/1"]
+
+
+class TestPartitionsAndConflicts:
+    def test_partition_blocks_replication(self):
+        cluster = make_cluster()
+        cluster.partition("dc1", "dc2")
+        assert cluster.is_partitioned("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        assert cluster.read("dc2", "row").winner is None
+        assert not cluster.converged("row")
+
+    def test_heal_converges(self):
+        cluster = make_cluster()
+        cluster.partition("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.heal("dc1", "dc2")
+        assert cluster.read("dc2", "row").winner.value == {"v": 1}
+        assert cluster.converged("row")
+
+    def test_concurrent_writes_conflict_freshest_wins(self):
+        # Figure 10: the row is updated concurrently in both DCs; after the
+        # partition heals, both versions exist and the freshest must win,
+        # with the stale version reported for chunk GC.
+        cluster = make_cluster()
+        cluster.partition("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": "old"}, uuid="u1", timestamp=1.0)
+        cluster.write("dc2", "row", {"v": "new"}, uuid="u2", timestamp=2.0)
+        cluster.heal("dc1", "dc2")
+        res = cluster.read("dc1", "row")
+        assert res.had_conflict
+        assert res.winner.value == {"v": "new"}
+        assert [s.value for s in res.stale] == [{"v": "old"}]
+
+    def test_timestamp_tie_resolved_by_uuid(self):
+        cluster = make_cluster()
+        cluster.partition("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": "a"}, uuid="aaa", timestamp=1.0)
+        cluster.write("dc2", "row", {"v": "b"}, uuid="bbb", timestamp=1.0)
+        cluster.heal("dc1", "dc2")
+        res1 = cluster.read("dc1", "row")
+        res2 = cluster.read("dc2", "row")
+        assert res1.winner.uuid == res2.winner.uuid == "bbb"
+
+    def test_read_repair_prunes_losers(self):
+        cluster = make_cluster()
+        cluster.partition("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc2", "row", {"v": 2}, uuid="u2", timestamp=2.0)
+        cluster.heal("dc1", "dc2")
+        assert len(cluster.raw_versions("dc1", "row")) == 2
+        cluster.read("dc1", "row")
+        assert len(cluster.raw_versions("dc1", "row")) == 1
+
+    def test_read_without_repair_keeps_versions(self):
+        cluster = make_cluster()
+        cluster.partition("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc2", "row", {"v": 2}, uuid="u2", timestamp=2.0)
+        cluster.heal("dc1", "dc2")
+        cluster.read("dc1", "row", repair=False)
+        assert len(cluster.raw_versions("dc1", "row")) == 2
+
+    def test_writes_during_partition_both_directions(self):
+        cluster = make_cluster(3)
+        cluster.partition("dc1", "dc2")
+        cluster.write("dc1", "row", {"v": 1}, uuid="u1", timestamp=1.0)
+        cluster.write("dc2", "row", {"v": 2}, uuid="u2", timestamp=2.0)
+        # dc3 is connected to both and sees both versions.
+        assert len(cluster.raw_versions("dc3", "row")) == 2
+        cluster.heal("dc1", "dc2")
+        assert cluster.converged("row")

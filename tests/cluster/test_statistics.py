@@ -1,0 +1,172 @@
+"""Tests for the statistics pipeline and map-reduce runner."""
+
+import pytest
+
+from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
+from repro.cluster.statistics import (
+    LogAgent,
+    LogAggregator,
+    LogRecord,
+    PeriodStats,
+    StatsDatabase,
+)
+
+
+def rec(period=0, key="obj1", op="get", size=100, **kw):
+    defaults = dict(class_key="cls1", mime="image/gif")
+    defaults.update(kw)
+    return LogRecord(period=period, object_key=key, op=op, size=size, **defaults)
+
+
+class TestLogRecord:
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            rec(op="head")
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            rec(count=0)
+
+
+class TestPeriodStats:
+    def test_ops_total(self):
+        stats = PeriodStats(ops_read=2, ops_write=1, ops_delete=1)
+        assert stats.ops == 4
+
+    def test_merge(self):
+        a = PeriodStats(storage_bytes=10, bytes_in=5, ops_write=1)
+        b = PeriodStats(storage_bytes=20, bytes_out=7, ops_read=2)
+        c = a.merge(b)
+        assert c.storage_bytes == 20  # footprint takes the max
+        assert c.bytes_in == 5 and c.bytes_out == 7
+        assert c.ops == 3
+
+
+class TestStatsDatabase:
+    def test_apply_get(self):
+        db = StatsDatabase()
+        db.apply(rec(op="get", bytes_out=100, count=3))
+        stats = db.history("obj1", 0, 1)[0]
+        assert stats.ops_read == 3
+        assert stats.bytes_out == 100
+
+    def test_apply_put_records_storage(self):
+        db = StatsDatabase()
+        db.apply(rec(op="put", size=500, bytes_in=500))
+        stats = db.history("obj1", 0, 1)[0]
+        assert stats.ops_write == 1
+        assert stats.bytes_in == 500
+        assert stats.storage_bytes == 500
+
+    def test_apply_delete(self):
+        db = StatsDatabase()
+        db.apply(rec(op="delete", lifetime_hours=4.5))
+        assert db.history("obj1", 0, 1)[0].ops_delete == 1
+
+    def test_history_dense_window(self):
+        db = StatsDatabase()
+        db.apply(rec(period=1, op="get", bytes_out=10))
+        db.apply(rec(period=3, op="get", bytes_out=30))
+        window = db.history("obj1", 4, 5)
+        assert len(window) == 5
+        assert [w.bytes_out for w in window] == [0, 10, 0, 30, 0]
+
+    def test_history_length_validation(self):
+        with pytest.raises(ValueError):
+            StatsDatabase().history("obj1", 0, 0)
+
+    def test_history_depth(self):
+        db = StatsDatabase()
+        assert db.history_depth("obj1", 10) == 0
+        db.apply(rec(period=3))
+        assert db.history_depth("obj1", 10) == 8
+
+    def test_known_periods(self):
+        db = StatsDatabase()
+        db.apply(rec(period=5))
+        db.apply(rec(period=2))
+        assert db.known_periods("obj1") == [2, 5]
+
+    def test_accessed_between(self):
+        db = StatsDatabase()
+        db.apply(rec(period=1, key="a"))
+        db.apply(rec(period=2, key="b"))
+        db.apply(rec(period=5, key="c"))
+        assert db.accessed_between(1, 2) == {"a", "b"}
+        assert db.accessed_between(3, 4) == set()
+        assert db.accessed_between(0, 9) == {"a", "b", "c"}
+
+    def test_records_kept_in_order(self):
+        db = StatsDatabase()
+        db.apply(rec(period=0, key="a"))
+        db.apply(rec(period=1, key="b"))
+        keys = [r.object_key for r in db.iter_records()]
+        assert keys == ["a", "b"]
+        assert db.record_count() == 2
+
+
+class TestAgentsAndAggregators:
+    def test_agent_buffers_until_flush(self):
+        db = StatsDatabase()
+        agent = LogAgent(LogAggregator(db), auto_flush_at=10)
+        agent.log(rec())
+        assert agent.buffered == 1
+        assert db.record_count() == 0
+        agent.flush()
+        assert agent.buffered == 0
+        assert db.record_count() == 1
+
+    def test_auto_flush(self):
+        db = StatsDatabase()
+        agent = LogAgent(LogAggregator(db), auto_flush_at=3)
+        for _ in range(3):
+            agent.log(rec())
+        assert db.record_count() == 3
+        assert agent.buffered == 0
+
+    def test_flush_empty_is_noop(self):
+        db = StatsDatabase()
+        aggregator = LogAggregator(db)
+        agent = LogAgent(aggregator)
+        agent.flush()
+        assert aggregator.batches_received == 0
+
+    def test_invalid_auto_flush(self):
+        with pytest.raises(ValueError):
+            LogAgent(LogAggregator(StatsDatabase()), auto_flush_at=0)
+
+
+class TestMapReduce:
+    def test_word_count_style(self):
+        job = MapReduceJob(
+            mapper=lambda s: [(w, 1) for w in s.split()],
+            reducer=lambda k, vs: sum(vs),
+        )
+        out = run_mapreduce(job, ["a b a", "b c", "a"])
+        assert out == {"a": 3, "b": 2, "c": 1}
+
+    def test_empty_records(self):
+        job = MapReduceJob(mapper=lambda r: [(r, 1)], reducer=lambda k, vs: len(vs))
+        assert run_mapreduce(job, []) == {}
+
+    def test_mapper_emitting_nothing(self):
+        job = MapReduceJob(mapper=lambda r: [], reducer=lambda k, vs: vs)
+        assert run_mapreduce(job, [1, 2, 3]) == {}
+
+    def test_class_stats_shape(self):
+        # The Figure-6 job: per class, aggregate resources and lifetimes.
+        records = [
+            rec(op="get", bytes_out=10, class_key="imgs"),
+            rec(op="get", bytes_out=30, class_key="imgs"),
+            rec(op="delete", class_key="imgs", lifetime_hours=2.0),
+            rec(op="get", bytes_out=100, class_key="archives"),
+        ]
+        job = MapReduceJob(
+            mapper=lambda r: [((r.class_key, "bdwout"), r.bytes_out)]
+            + ([((r.class_key, "lifetime"), r.lifetime_hours)] if r.lifetime_hours else []),
+            reducer=lambda k, vs: sum(vs) / len(vs),
+        )
+        out = run_mapreduce(job, records)
+        assert out[("imgs", "bdwout")] == pytest.approx(40 / 3)
+        assert out[("imgs", "lifetime")] == pytest.approx(2.0)
+        assert out[("archives", "bdwout")] == pytest.approx(100.0)

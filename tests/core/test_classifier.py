@@ -1,0 +1,130 @@
+"""Tests for object classes, class statistics and TTL estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.statistics import LogRecord, StatsDatabase
+from repro.core.classifier import (
+    ClassProfile,
+    ClassStatistics,
+    discretize_size,
+    object_class,
+)
+from repro.util.units import MB
+
+
+class TestClassKey:
+    def test_discretize_rounds_up_to_mb(self):
+        assert discretize_size(0) == 0
+        assert discretize_size(1) == 1
+        assert discretize_size(MB) == 1
+        assert discretize_size(MB + 1) == 2
+        assert discretize_size(40 * MB) == 40
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            discretize_size(-1)
+
+    def test_class_key_stability(self):
+        assert object_class("image/gif", 250_000) == object_class("image/gif", 900_000)
+        assert object_class("image/gif", 250_000) != object_class("image/png", 250_000)
+        assert object_class("image/gif", MB) != object_class("image/gif", MB + 1)
+
+
+class TestClassProfile:
+    def test_paper_figure5_expectation(self):
+        # A class of 20 objects with lifetimes 0..6 h and mean 3.25 h:
+        # at insertion E[TTL] = 3.25; expected remaining declines with age.
+        lifetimes = np.repeat(np.arange(7.0), [1, 2, 3, 4, 6, 3, 1])
+        assert lifetimes.size == 20
+        profile = ClassProfile("cls", n_objects=20, lifetimes=np.sort(lifetimes))
+        assert profile.expected_lifetime() == pytest.approx(3.25)
+        remaining = [profile.expected_remaining(a) for a in range(7)]
+        # E[L - a | L >= a] is well defined and the total L = a + remaining
+        # must be non-decreasing in a (survivors live longer on average).
+        totals = [a + r for a, r in enumerate(remaining)]
+        assert all(t2 >= t1 - 1e-12 for t1, t2 in zip(totals, totals[1:]))
+        assert profile.expected_remaining(2.0) == pytest.approx(
+            (lifetimes[lifetimes >= 2] - 2).mean()
+        )
+
+    def test_no_lifetimes(self):
+        profile = ClassProfile("cls")
+        assert profile.expected_lifetime() is None
+        assert profile.expected_remaining(1.0) is None
+
+    def test_remaining_beyond_all_observations(self):
+        profile = ClassProfile("cls", lifetimes=np.array([1.0, 2.0]))
+        assert profile.expected_remaining(5.0) is None
+
+    def test_histogram(self):
+        profile = ClassProfile("cls", lifetimes=np.array([0.5, 1.5, 1.6, 3.0]))
+        edges, counts = profile.lifetime_histogram(bin_hours=1.0)
+        assert counts.tolist() == [1, 2, 0, 1]
+
+    def test_histogram_empty(self):
+        edges, counts = ClassProfile("cls").lifetime_histogram()
+        assert counts.tolist() == [0]
+
+
+def _record(period, obj, op, *, size=250_000, cls="imgs", life=None, count=1):
+    return LogRecord(
+        period=period,
+        object_key=obj,
+        class_key=cls,
+        op=op,
+        size=size,
+        bytes_in=size if op == "put" else 0,
+        bytes_out=size if op == "get" else 0,
+        count=count,
+        lifetime_hours=life,
+    )
+
+
+class TestClassStatistics:
+    def test_refresh_builds_profiles(self):
+        db = StatsDatabase()
+        db.apply(_record(0, "a", "put"))
+        db.apply(_record(1, "a", "get", count=10))
+        db.apply(_record(0, "b", "put"))
+        db.apply(_record(3, "b", "delete", life=3.0))
+        stats = ClassStatistics()
+        stats.refresh(db, current_period=3)
+        profile = stats.profile("imgs")
+        assert profile is not None
+        assert profile.n_objects == 2
+        assert profile.mean_size == pytest.approx(250_000)
+        # Object a spans periods 0..3 (4), object b 0..3 (4): 8 periods.
+        assert profile.reads_per_object_period == pytest.approx(10 / 8)
+        assert profile.writes_per_object_period == pytest.approx(2 / 8)
+        assert profile.expected_lifetime() == pytest.approx(3.0)
+
+    def test_unknown_class(self):
+        stats = ClassStatistics()
+        assert stats.profile("ghost") is None
+        assert stats.expected_remaining("ghost", 0.0) is None
+
+    def test_expected_remaining_through_facade(self):
+        db = StatsDatabase()
+        for i, life in enumerate([2.0, 4.0]):
+            db.apply(_record(0, f"o{i}", "put"))
+            db.apply(_record(4, f"o{i}", "delete", life=life))
+        stats = ClassStatistics()
+        stats.refresh(db, current_period=4)
+        assert stats.expected_remaining("imgs", 0.0) == pytest.approx(3.0)
+        assert stats.expected_remaining("imgs", 3.0) == pytest.approx(1.0)
+
+    def test_multiple_classes_isolated(self):
+        db = StatsDatabase()
+        db.apply(_record(0, "a", "put", cls="imgs"))
+        db.apply(_record(0, "b", "put", cls="backups", size=40 * MB))
+        stats = ClassStatistics()
+        stats.refresh(db, current_period=0)
+        assert stats.classes() == ["backups", "imgs"]
+        assert stats.profile("backups").mean_size == pytest.approx(40 * MB)
+
+    def test_refresh_counter(self):
+        stats = ClassStatistics()
+        stats.refresh(StatsDatabase(), 0)
+        stats.refresh(StatsDatabase(), 1)
+        assert stats.refreshes == 2

@@ -1,0 +1,181 @@
+"""Hand-computed checks of the computePrice cost model."""
+
+import pytest
+
+from repro.cluster.statistics import PeriodStats
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.providers.pricing import paper_catalog
+from repro.util.units import MB
+
+SPECS = {s.name: s for s in paper_catalog(include_cheapstor=True)}
+
+
+def specs(*names):
+    return [SPECS[n] for n in names]
+
+
+class TestAccessProjection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessProjection(size_bytes=-1)
+        with pytest.raises(ValueError):
+            AccessProjection(size_bytes=1, reads_per_period=-0.5)
+
+    def test_from_history(self):
+        history = [
+            PeriodStats(ops_read=10, ops_write=2),
+            PeriodStats(ops_read=20, ops_write=0),
+        ]
+        proj = AccessProjection.from_history(history, 500)
+        assert proj.size_bytes == 500
+        assert proj.reads_per_period == pytest.approx(15.0)
+        assert proj.writes_per_period == pytest.approx(1.0)
+
+    def test_from_empty_history(self):
+        proj = AccessProjection.from_history([], 100)
+        assert proj.reads_per_period == 0.0
+
+    def test_scaled(self):
+        proj = AccessProjection(100, reads_per_period=4.0, writes_per_period=2.0)
+        scaled = proj.scaled(read_factor=0.5, write_factor=2.0)
+        assert scaled.reads_per_period == pytest.approx(2.0)
+        assert scaled.writes_per_period == pytest.approx(4.0)
+        assert proj.reads_per_period == 4.0  # original untouched
+
+
+class TestCostModel:
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            CostModel(period_hours=0)
+
+    def test_storage_cost_per_period(self):
+        model = CostModel(period_hours=1.0)
+        # 1 MB at m=1 on S3(h): 0.14 $/GB-month -> (1e6/1e9)*(1/730)*0.14
+        cost = model.storage_cost_per_period(specs("S3(h)"), 1, MB)
+        assert cost == pytest.approx(0.14e-3 / 730)
+
+    def test_storage_cost_uses_chunk_ceil(self):
+        model = CostModel()
+        # 10 bytes at m=3 -> chunks of ceil(10/3)=4 bytes each.
+        cost = model.storage_cost_per_period(specs("S3(h)", "S3(l)", "Azu"), 3, 10)
+        per_byte_hour = (0.14 + 0.093 + 0.15) / 1e9 / 730
+        assert cost == pytest.approx(4 * per_byte_hour)
+
+    def test_read_cost_serving_set_is_cheapest_m(self):
+        model = CostModel()
+        # 1 MB, m=1 over all five: chunk = 1 MB; RS costs 0.18e-3 + 0,
+        # S3(h) 0.15e-3 + 1e-5 -> S3(h)/S3(l)/Azu/Ggl tie at 1.6e-4, RS 1.8e-4.
+        cost = model.read_cost(specs("S3(h)", "S3(l)", "RS", "Azu", "Ggl"), 1, MB)
+        assert cost == pytest.approx(0.15e-3 + 0.01e-3)
+
+    def test_read_cost_tiny_object_egress_rank(self):
+        model = CostModel()
+        # Egress ranking: S3(h) (0.15/GB) serves even though its op price
+        # makes the total higher than RS's free-ops read.
+        cost = model.read_cost(specs("S3(h)", "RS"), 1, 1000)
+        assert cost == pytest.approx(0.15 * 1000 / 1e9 + 0.01e-3)
+
+    def test_total_rank_prefers_free_ops_for_tiny_chunks(self):
+        model = CostModel(serving_rank="total")
+        # Under total-cost ranking, RS (free ops) wins for a 1 KB chunk.
+        cost = model.read_cost(specs("S3(h)", "RS"), 1, 1000)
+        assert cost == pytest.approx(0.18 * 1000 / 1e9)
+
+    def test_invalid_serving_rank(self):
+        with pytest.raises(ValueError):
+            CostModel(serving_rank="latency")
+
+    def test_read_cost_m2(self):
+        model = CostModel()
+        # 1 MB at m=2: chunks of 0.5 MB; serving set = the two cheapest.
+        cost = model.read_cost(specs("S3(h)", "S3(l)", "Azu"), 2, MB)
+        per_provider = 0.15 * 0.5e-3 + 0.01e-3
+        assert cost == pytest.approx(2 * per_provider)
+
+    def test_write_cost_hits_every_provider(self):
+        model = CostModel()
+        # 1 MB at m=2 over 4 providers: each receives 0.5 MB.
+        cost = model.write_cost(specs("S3(h)", "S3(l)", "Azu", "RS"), 2, MB)
+        ingress = (0.10 * 3 + 0.08) * 0.5e-3
+        ops = 3 * 0.01e-3  # RS ops are free
+        assert cost == pytest.approx(ingress + ops)
+
+    def test_delete_cost(self):
+        model = CostModel()
+        assert model.delete_cost(specs("S3(h)", "RS")) == pytest.approx(0.01e-3)
+
+    def test_expected_cost_combines_terms(self):
+        model = CostModel()
+        pset = specs("S3(h)", "S3(l)")
+        proj = AccessProjection(
+            size_bytes=MB, reads_per_period=10, writes_per_period=1, one_time_writes=1
+        )
+        horizon = 24.0
+        expected = (
+            model.storage_cost_per_period(pset, 1, MB)
+            + 10 * model.read_cost(pset, 1, MB)
+            + 1 * model.write_cost(pset, 1, MB)
+        ) * horizon + model.write_cost(pset, 1, MB)
+        assert model.expected_cost(pset, 1, proj, horizon) == pytest.approx(expected)
+
+    def test_expected_cost_zero_horizon_keeps_one_time(self):
+        model = CostModel()
+        pset = specs("S3(h)")
+        proj = AccessProjection(size_bytes=MB, one_time_writes=1.0)
+        cost = model.expected_cost(pset, 1, proj, 0.0)
+        assert cost == pytest.approx(model.write_cost(pset, 1, MB))
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().expected_cost(specs("S3(h)"), 1, AccessProjection(1), -1)
+
+
+class TestMigrationCost:
+    def test_same_placement_free(self):
+        model = CostModel()
+        pset = specs("S3(h)", "S3(l)")
+        assert model.migration_cost(pset, 1, pset, 1, MB) == 0.0
+
+    def test_same_code_single_swap_direct_move(self):
+        model = CostModel()
+        old = specs("S3(h)", "S3(l)", "Azu")
+        new = specs("S3(h)", "S3(l)", "Ggl")
+        cost = model.migration_cost(old, 2, new, 2, MB)
+        # Azu is readable: its chunk is copied directly (one 0.5 MB read),
+        # written to Ggl, and deleted at Azu — no reconstruction.
+        read = 0.15 * 0.5e-3 + 0.01e-3
+        write = 0.10 * 0.5e-3 + 0.01e-3
+        drop = 0.01e-3
+        assert cost == pytest.approx(read + write + drop)
+
+    def test_restripe_writes_everything(self):
+        model = CostModel()
+        old = specs("S3(h)", "S3(l)", "Azu")  # m=2
+        new = specs("S3(h)", "S3(l)")  # m=1
+        cost = model.migration_cost(old, 2, new, 1, MB)
+        read = 2 * (0.15 * 0.5e-3 + 0.01e-3)
+        write = 2 * (0.10 * 1e-3 + 0.01e-3)
+        drop = 3 * 0.01e-3
+        assert cost == pytest.approx(read + write + drop)
+
+    def test_unreadable_mover_forces_reconstruction(self):
+        model = CostModel()
+        old = specs("S3(h)", "S3(l)", "Azu")
+        new = specs("S3(h)", "S3(l)", "Ggl")
+        # Azu failed: its chunk must be rebuilt from m=2 chunks read from
+        # the surviving providers; the Azu delete is postponed (not billed
+        # now).
+        cost = model.migration_cost(
+            old, 2, new, 2, MB, readable_old=specs("S3(h)", "S3(l)")
+        )
+        read = 2 * (0.15 * 0.5e-3 + 0.01e-3)
+        write = 0.10 * 0.5e-3 + 0.01e-3
+        assert cost == pytest.approx(read + write)
+
+    def test_too_few_readable_sources(self):
+        model = CostModel()
+        old = specs("S3(h)", "S3(l)", "Azu")
+        with pytest.raises(ValueError):
+            model.migration_cost(
+                old, 2, specs("S3(h)", "Ggl"), 1, MB, readable_old=specs("S3(h)")
+            )

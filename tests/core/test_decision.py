@@ -1,0 +1,90 @@
+"""Tests for the adaptive decision-period controller."""
+
+import pytest
+
+from repro.core.decision import DecisionPeriodController
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            DecisionPeriodController(initial_d=0)
+        with pytest.raises(ValueError):
+            DecisionPeriodController(t_max=0)
+
+
+class TestCandidates:
+    def test_initial_coupling_due(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        assert ctrl.coupling_due("obj")
+        assert ctrl.candidates("obj") == [12, 24, 48]
+
+    def test_clamped_by_max_d(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        assert ctrl.candidates("obj", max_d=30) == [12, 24, 30]
+        assert ctrl.candidates("obj", max_d=10) == [10]
+        assert ctrl.candidates("obj", max_d=1) == [1]
+
+    def test_non_coupled_returns_current_only(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        ctrl.after_optimization("obj", chosen_d=24)  # T doubles to 2
+        assert not ctrl.coupling_due("obj")
+        assert ctrl.candidates("obj") == [24]
+
+    def test_d_one_candidates(self):
+        ctrl = DecisionPeriodController(initial_d=1)
+        assert ctrl.candidates("obj") == [1, 2]
+
+
+class TestAdaptation:
+    def test_t_doubles_when_d_adequate(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        ctrl.after_optimization("obj", chosen_d=24)
+        assert ctrl.state("obj").t == 2
+        ctrl.after_optimization("obj")  # non-coupled round
+        assert ctrl.coupling_due("obj")
+        ctrl.after_optimization("obj", chosen_d=24)
+        assert ctrl.state("obj").t == 4
+
+    def test_t_resets_when_d_moves(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        ctrl.after_optimization("obj", chosen_d=24)
+        ctrl.after_optimization("obj")
+        ctrl.after_optimization("obj", chosen_d=48)
+        st = ctrl.state("obj")
+        assert st.d == 48
+        assert st.t == 1
+        # With T back at 1, every optimization runs the coupling again.
+        assert ctrl.coupling_due("obj") is True
+
+    def test_t_capped(self):
+        ctrl = DecisionPeriodController(initial_d=24, t_max=4)
+        for _ in range(5):
+            # Force coupling rounds back-to-back.
+            ctrl.state("obj").optimizations_since_coupling = 0
+            ctrl.after_optimization("obj", chosen_d=24)
+        assert ctrl.state("obj").t == 4
+
+    def test_current_d_clamping(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        assert ctrl.current_d("obj") == 24
+        assert ctrl.current_d("obj", max_d=10) == 10
+        assert ctrl.current_d("obj", max_d=0) == 1
+
+    def test_objects_independent(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        ctrl.after_optimization("a", chosen_d=48)
+        assert ctrl.state("a").d == 48
+        assert ctrl.state("b").d == 24
+        assert ctrl.tracked_objects() == ["a", "b"]
+
+    def test_coupling_cadence_follows_t(self):
+        ctrl = DecisionPeriodController(initial_d=24)
+        # Round 1: coupled; choose 24 -> T=2.
+        assert ctrl.coupling_due("o")
+        ctrl.after_optimization("o", chosen_d=24)
+        # Round 2: not due (1 % 2 != 0).
+        assert not ctrl.coupling_due("o")
+        ctrl.after_optimization("o")
+        # Round 3: due again (2 % 2 == 0).
+        assert ctrl.coupling_due("o")

@@ -1,0 +1,72 @@
+"""Tests for the dynamic (per-class calibrated) trend-detection limit."""
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.core.classifier import ClassProfile, object_class
+from repro.core.rules import RuleBook, StorageRule
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+from repro.util.units import MB
+
+
+def make_broker(**kw):
+    rules = RuleBook(
+        default=StorageRule("default", durability=0.99999, availability=0.9999)
+    )
+    return Scalia(ProviderRegistry(paper_catalog()), rules, **kw)
+
+
+class TestDynamicLimit:
+    def test_disabled_by_default(self):
+        broker = make_broker()
+        assert broker.optimizer.dynamic_limit is False
+
+    def test_calibrated_limit_with_profile(self):
+        # A 1 GB class near a placement boundary gets a finite calibrated
+        # limit that is at least the static floor.
+        broker = make_broker(dynamic_trend_limit=True)
+        cls = object_class("application/octet-stream", 10**9)
+        broker.class_stats.seed(
+            ClassProfile(
+                class_key=cls,
+                n_objects=5,
+                mean_size=1e9,
+                reads_per_object_period=2.0,
+            )
+        )
+        limit = broker.optimizer._calibrated_limit(cls)
+        assert limit >= broker.optimizer.trend_limit
+        # Cached on second call.
+        assert broker.optimizer._calibrated_limit(cls) == limit
+
+    def test_falls_back_without_profile(self):
+        broker = make_broker(dynamic_trend_limit=True)
+        assert broker.optimizer._calibrated_limit("ghost-class") == pytest.approx(0.1)
+
+    def test_insensitive_class_uses_static_floor(self):
+        # Tiny objects at low rates: nothing flips within range -> fallback.
+        broker = make_broker(dynamic_trend_limit=True)
+        cls = object_class("image/gif", 1000)
+        broker.class_stats.seed(
+            ClassProfile(
+                class_key=cls, n_objects=3, mean_size=1000.0,
+                reads_per_object_period=0.001,
+            )
+        )
+        limit = broker.optimizer._calibrated_limit(cls)
+        assert limit >= 0.1
+
+    def test_end_to_end_reduces_recomputations(self):
+        # Same diurnal-ish load; the calibrated limit must never trigger
+        # MORE recomputations than the static 10 % limit.
+        def run(dynamic):
+            broker = make_broker(dynamic_trend_limit=dynamic, seed=4)
+            broker.put("c", "obj", MB)
+            broker.tick()
+            for reads in [5, 6, 7, 9, 11, 9, 7, 6, 5, 6, 8, 10]:
+                broker.get_many("c", "obj", reads)
+                broker.tick()
+            return sum(r.recomputations for r in broker.reports)
+
+        assert run(True) <= run(False)

@@ -1,0 +1,138 @@
+"""Tests for the alternative optimization objectives (budget, latency)."""
+
+import math
+
+import pytest
+
+from repro.cluster.engine import PlacementError
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.objectives import (
+    BudgetedDecision,
+    best_placement_min_latency,
+    best_placement_within_budget,
+    expected_read_latency,
+)
+from repro.core.placement import PlacementEngine
+from repro.core.rules import StorageRule
+from repro.providers.pricing import paper_catalog
+from repro.util.units import MB
+
+CATALOG = paper_catalog()
+ENGINE = PlacementEngine(CostModel())
+PROJ = AccessProjection(size_bytes=40 * MB)
+
+STRICT_RULE = StorageRule(
+    "strict", durability=0.99999, availability=0.9999, lockin=0.25
+)
+
+
+class TestBudget:
+    def test_no_relaxation_when_budget_fits(self):
+        optimum = ENGINE.best_placement(CATALOG, STRICT_RULE, PROJ, 730.0)
+        out = best_placement_within_budget(
+            ENGINE, CATALOG, STRICT_RULE, PROJ, 730.0, budget=optimum.expected_cost * 1.01
+        )
+        assert out.relaxed == ()
+        assert out.decision == optimum
+        assert out.effective_rule == STRICT_RULE
+
+    def test_lockin_relaxed_first(self):
+        # For a read-heavy object, lock-in 0.25 (>= 4 providers, hence
+        # m >= 3 and 3+ billed ops per read) is what makes the placement
+        # expensive; dropping it reaches a 2-provider m:1 set.
+        hot = AccessProjection(size_bytes=MB, reads_per_period=50.0)
+        optimum = ENGINE.best_placement(CATALOG, STRICT_RULE, hot, 730.0)
+        relaxed_rule = StorageRule(
+            "r", durability=0.99999, availability=0.9999, lockin=1.0
+        )
+        relaxed_optimum = ENGINE.best_placement(CATALOG, relaxed_rule, hot, 730.0)
+        assert relaxed_optimum.expected_cost < optimum.expected_cost
+        budget = (relaxed_optimum.expected_cost + optimum.expected_cost) / 2
+        out = best_placement_within_budget(
+            ENGINE, CATALOG, STRICT_RULE, hot, 730.0, budget=budget
+        )
+        assert out.relaxed == ("lockin",)
+        assert out.decision.expected_cost <= budget
+        assert out.effective_rule.lockin == 1.0
+        # SLA constraints untouched at this rung.
+        assert out.effective_rule.availability == pytest.approx(0.9999)
+
+    def test_full_relaxation_still_over_budget(self):
+        out = best_placement_within_budget(
+            ENGINE, CATALOG, STRICT_RULE, PROJ, 730.0, budget=1e-12
+        )
+        assert out.relaxed == ("lockin", "availability", "durability")
+        assert out.decision.expected_cost > 1e-12  # best effort, over budget
+
+    def test_relaxation_never_strengthens(self):
+        # A rule already weaker than a ladder rung must stay weak.
+        loose = StorageRule("loose", durability=0.9, availability=0.9, lockin=1.0)
+        out = best_placement_within_budget(
+            ENGINE, CATALOG, loose, PROJ, 730.0, budget=1e-12
+        )
+        assert out.effective_rule.durability == pytest.approx(0.9)
+        assert out.effective_rule.availability == pytest.approx(0.9)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            best_placement_within_budget(
+                ENGINE, CATALOG, STRICT_RULE, PROJ, 730.0, budget=0.0
+            )
+
+
+LATENCIES = {"S3(h)": 40.0, "S3(l)": 45.0, "Azu": 90.0, "Ggl": 70.0, "RS": 120.0}
+
+
+class TestLatency:
+    def test_expected_read_latency_parallel_fetch(self):
+        specs = [s for s in CATALOG if s.name in ("S3(h)", "Azu", "RS")]
+        # m=2: the two fastest are S3(h)=40 and Azu=90 -> completes at 90.
+        assert expected_read_latency(specs, 2, MB, LATENCIES) == 90.0
+        assert expected_read_latency(specs, 1, MB, LATENCIES) == 40.0
+        assert expected_read_latency(specs, 3, MB, LATENCIES) == 120.0
+
+    def test_unknown_provider_gets_default(self):
+        specs = [s for s in CATALOG if s.name == "S3(h)"]
+        assert expected_read_latency(specs, 1, MB, {}, default_ms=77.0) == 77.0
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            expected_read_latency(CATALOG[:2], 3, MB, LATENCIES)
+
+    def test_min_latency_prefers_fast_providers(self):
+        rule = StorageRule("r", durability=0.99999, availability=0.9999)
+        decision = best_placement_min_latency(
+            ENGINE, CATALOG, rule, PROJ, 24.0, LATENCIES
+        )
+        # The fastest feasible pair is S3(h)+S3(l) at m=1 (read from S3(h)).
+        assert decision.placement.providers == ("S3(h)", "S3(l)")
+        assert decision.placement.m == 1
+
+    def test_cost_ceiling_filters(self):
+        rule = StorageRule("r", durability=0.99999, availability=0.9999)
+        cheapest = ENGINE.best_placement(CATALOG, rule, PROJ, 24.0)
+        capped = best_placement_min_latency(
+            ENGINE, CATALOG, rule, PROJ, 24.0, LATENCIES,
+            cost_ceiling=cheapest.expected_cost,  # only the optimum fits
+        )
+        assert capped.expected_cost == pytest.approx(cheapest.expected_cost)
+
+    def test_latency_objective_beats_cost_objective_on_latency(self):
+        rule = StorageRule("r", durability=0.99999, availability=0.9999)
+        cost_opt = ENGINE.best_placement(CATALOG, rule, PROJ, 24.0)
+        lat_opt = best_placement_min_latency(
+            ENGINE, CATALOG, rule, PROJ, 24.0, LATENCIES
+        )
+        spec_by_name = {s.name: s for s in CATALOG}
+
+        def latency(decision):
+            pset = [spec_by_name[n] for n in decision.placement.providers]
+            return expected_read_latency(pset, decision.placement.m, MB, LATENCIES)
+
+        assert latency(lat_opt) <= latency(cost_opt)
+
+    def test_infeasible(self):
+        rule = StorageRule("mars", durability=0.9, availability=0.9,
+                           zones=frozenset({"MARS"}))
+        with pytest.raises(PlacementError):
+            best_placement_min_latency(ENGINE, CATALOG, rule, PROJ, 24.0, LATENCIES)

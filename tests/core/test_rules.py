@@ -1,0 +1,90 @@
+"""Tests for storage rules and the rulebook."""
+
+import pytest
+
+from repro.core.rules import (
+    DEFAULT_RULE,
+    PAPER_RULES,
+    RuleBook,
+    StorageRule,
+    paper_rulebook,
+)
+
+
+class TestStorageRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageRule("r", durability=1.2, availability=0.9)
+        with pytest.raises(ValueError):
+            StorageRule("r", durability=0.9, availability=0.9, lockin=0.0)
+        with pytest.raises(ValueError):
+            StorageRule("r", durability=0.9, availability=0.9, lockin=1.5)
+
+    @pytest.mark.parametrize(
+        "lockin,expected",
+        [(1.0, 1), (0.5, 2), (0.34, 3), (0.3, 4), (0.25, 4), (0.2, 5), (0.33, 4)],
+    )
+    def test_min_providers(self, lockin, expected):
+        rule = StorageRule("r", durability=0.9, availability=0.9, lockin=lockin)
+        assert rule.min_providers == expected
+
+    def test_one_third_lockin_is_three_providers(self):
+        # 1/3 with float rounding must still mean "at least 3 providers".
+        rule = StorageRule("r", durability=0.9, availability=0.9, lockin=1 / 3)
+        assert rule.min_providers == 3
+
+    def test_figure2_rules(self):
+        by_name = {r.name: r for r in PAPER_RULES}
+        rule1 = by_name["rule 1"]
+        assert rule1.durability == pytest.approx(0.999999)
+        assert rule1.availability == pytest.approx(0.9999)
+        assert rule1.zones == frozenset({"EU", "US"})
+        assert rule1.lockin == pytest.approx(0.3)
+        assert rule1.min_providers == 4
+        rule2 = by_name["rule 2"]
+        assert rule2.zones == frozenset({"EU"})
+        assert rule2.min_providers == 1
+        rule3 = by_name["rule 3"]
+        assert rule3.zones == frozenset()
+        assert rule3.min_providers == 5
+
+
+class TestRuleBook:
+    def test_default_resolution(self):
+        book = RuleBook()
+        assert book.resolve() is DEFAULT_RULE
+        assert book.resolve_name() == "default"
+
+    def test_explicit_name_wins(self):
+        book = paper_rulebook()
+        assert book.resolve(rule_name="rule 2").name == "rule 2"
+
+    def test_unknown_rule(self):
+        with pytest.raises(KeyError):
+            RuleBook().get("ghost")
+        with pytest.raises(KeyError):
+            RuleBook().resolve(rule_name="ghost")
+
+    def test_class_assignment(self):
+        book = paper_rulebook()
+        book.assign_class("imgcls", "rule 3")
+        assert book.resolve(class_key="imgcls").name == "rule 3"
+        assert book.resolve(class_key="other").name == "default"
+
+    def test_object_assignment_beats_class(self):
+        book = paper_rulebook()
+        book.assign_class("cls", "rule 3")
+        book.assign_object("rowkey", "rule 2")
+        assert book.resolve(class_key="cls", object_key="rowkey").name == "rule 2"
+
+    def test_assign_validates_rule_exists(self):
+        book = RuleBook()
+        with pytest.raises(KeyError):
+            book.assign_class("cls", "ghost")
+        with pytest.raises(KeyError):
+            book.assign_object("row", "ghost")
+
+    def test_register_replaces(self):
+        book = RuleBook()
+        book.register(StorageRule("custom", durability=0.9, availability=0.9))
+        assert book.get("custom").durability == pytest.approx(0.9)

@@ -1,0 +1,118 @@
+"""Tests for SMA-momentum trend detection and limit calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import AccessProjection, CostModel
+from repro.core.placement import PlacementEngine
+from repro.core.rules import StorageRule
+from repro.core.trend import MomentumDetector, calibrate_limit, detect_series
+from repro.providers.pricing import paper_catalog
+from repro.util.units import MB
+
+
+class TestMomentumDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MomentumDetector(window=0)
+        with pytest.raises(ValueError):
+            MomentumDetector(limit=-0.1)
+
+    def test_flat_series_never_fires(self):
+        det = MomentumDetector(window=3, limit=0.1)
+        assert not any(det.update(10.0) for _ in range(20))
+
+    def test_small_noise_below_limit(self):
+        det = MomentumDetector(window=3, limit=0.1)
+        fired = [det.update(v) for v in [100, 101, 100, 99, 100, 101]]
+        assert not any(fired[1:])  # first sample can't fire by definition
+
+    def test_step_change_fires(self):
+        det = MomentumDetector(window=3, limit=0.1)
+        for _ in range(5):
+            det.update(100.0)
+        assert det.update(200.0)  # SMA jumps by a third
+
+    def test_silence_to_activity_fires(self):
+        det = MomentumDetector(window=3, limit=0.1)
+        det.update(0.0)
+        det.update(0.0)
+        assert det.update(5.0)
+
+    def test_decay_fires_on_drop(self):
+        det = MomentumDetector(window=3, limit=0.1)
+        for _ in range(5):
+            det.update(150.0)
+        det.update(0.0)
+        fired = det.update(0.0)
+        assert fired  # SMA collapsing by 1/3 per step
+
+    def test_sma_property(self):
+        det = MomentumDetector(window=3)
+        assert det.sma is None
+        det.update(3.0)
+        assert det.sma == pytest.approx(3.0)
+        det.update(6.0)
+        assert det.sma == pytest.approx(4.5)
+
+    def test_window_one_reacts_immediately(self):
+        det = MomentumDetector(window=1, limit=0.1)
+        det.update(100.0)
+        assert det.update(120.0)
+        assert not det.update(121.0)  # < 10% change
+
+
+class TestDetectSeries:
+    def test_matches_streaming(self):
+        values = [0, 0, 0, 10, 40, 150, 148, 150, 149, 100, 60, 30, 10, 0, 0]
+        streaming = MomentumDetector(window=3, limit=0.1)
+        expected = [streaming.update(v) for v in values]
+        assert detect_series(values, window=3, limit=0.1).tolist() == expected
+
+    def test_slashdot_profile_detects_rise_and_fall(self):
+        # 48 flat hours, a 3-hour surge to 150, then a -2/hour decay.
+        series = np.concatenate([
+            np.zeros(48), [50, 100, 150], 150 - 2 * np.arange(1, 60),
+        ])
+        flags = detect_series(series, window=3, limit=0.1)
+        assert flags[48:52].any()  # the surge is caught quickly
+        # During the slow decay the relative momentum stays under 10%
+        # until the level gets small, so detections are sparse.
+        assert flags[55:90].sum() <= 5
+
+    def test_empty_series(self):
+        assert detect_series([]).size == 0
+
+
+class TestCalibrateLimit:
+    def test_finds_flip_near_placement_boundary(self):
+        # A 1 GB object at 2 reads/period sits between placement regimes
+        # (storage vs per-op costs); a moderate rate change flips the
+        # optimum, so the calibrated limit is finite and within range.
+        engine = PlacementEngine(CostModel())
+        rule = StorageRule("r", durability=0.99999, availability=0.9999)
+        proj = AccessProjection(size_bytes=10**9, reads_per_period=2.0)
+        limit = calibrate_limit(engine, paper_catalog(), rule, proj, 24.0)
+        assert np.isfinite(limit)
+        assert 0.0 < limit < 15.0
+
+    def test_insensitive_projection_returns_inf(self):
+        # With a single feasible pair of providers there is nothing to flip to.
+        engine = PlacementEngine(CostModel())
+        rule = StorageRule("r", durability=0.99999, availability=0.9999)
+        catalog = [s for s in paper_catalog() if s.name in ("S3(h)", "S3(l)")]
+        proj = AccessProjection(size_bytes=MB, reads_per_period=1.0)
+        limit = calibrate_limit(engine, catalog, rule, proj, 24.0)
+        assert np.isinf(limit)
+
+    def test_calibrated_limit_actually_flips(self):
+        engine = PlacementEngine(CostModel())
+        rule = StorageRule("r", durability=0.99999, availability=0.9999)
+        proj = AccessProjection(size_bytes=10**9, reads_per_period=2.0)
+        limit = calibrate_limit(engine, paper_catalog(), rule, proj, 24.0)
+        base = engine.best_placement(paper_catalog(), rule, proj, 24.0).placement
+        bumped = proj.scaled(read_factor=1.0 + limit + 0.05)
+        flipped = engine.best_placement(paper_catalog(), rule, bumped, 24.0).placement
+        dropped = proj.scaled(read_factor=max(0.0, 1.0 - limit - 0.05))
+        flipped_down = engine.best_placement(paper_catalog(), rule, dropped, 24.0).placement
+        assert flipped != base or flipped_down != base

@@ -1,0 +1,158 @@
+"""Field-axiom and table tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure.galois import (
+    EXP_TABLE,
+    FIELD_ORDER,
+    INV_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_matmul,
+    gf_matvec,
+    gf_mul,
+    gf_pow,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_table_cycle(self):
+        # exp is 255-periodic and never zero.
+        assert np.array_equal(EXP_TABLE[:FIELD_ORDER], EXP_TABLE[FIELD_ORDER:])
+        assert not np.any(EXP_TABLE == 0)
+
+    def test_log_exp_are_inverse_bijections(self):
+        values = np.arange(1, 256)
+        assert np.array_equal(EXP_TABLE[LOG_TABLE[values]], values.astype(np.uint8))
+        assert sorted(EXP_TABLE[:FIELD_ORDER].tolist()) == list(range(1, 256))
+
+    def test_mul_table_symmetry(self):
+        assert np.array_equal(MUL_TABLE, MUL_TABLE.T)
+
+    def test_mul_table_zero_row(self):
+        assert not MUL_TABLE[0].any()
+        assert not MUL_TABLE[:, 0].any()
+
+    def test_mul_table_identity_row(self):
+        assert np.array_equal(MUL_TABLE[1], np.arange(256, dtype=np.uint8))
+
+    def test_inv_table(self):
+        values = np.arange(1, 256)
+        assert np.array_equal(MUL_TABLE[values, INV_TABLE[values]], np.ones(255, dtype=np.uint8))
+
+
+class TestScalarOps:
+    @given(elements, elements)
+    def test_add_is_xor(self, a, b):
+        assert int(gf_add(a, b)) == a ^ b
+
+    @given(elements)
+    def test_add_self_is_zero(self, a):
+        # Characteristic 2: every element is its own additive inverse.
+        assert int(gf_add(a, a)) == 0
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert int(gf_mul(a, b)) == int(gf_mul(b, a))
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert int(gf_mul(gf_mul(a, b), c)) == int(gf_mul(a, gf_mul(b, c)))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = int(gf_mul(a, gf_add(b, c)))
+        right = int(gf_add(gf_mul(a, b), gf_mul(a, c)))
+        assert left == right
+
+    @given(nonzero)
+    def test_inverse_roundtrip(self, a):
+        assert int(gf_mul(a, gf_inv(a))) == 1
+
+    @given(elements, nonzero)
+    def test_div_mul_roundtrip(self, a, b):
+        assert int(gf_mul(gf_div(a, b), b)) == a
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    @given(nonzero)
+    def test_pow_matches_repeated_mul(self, a):
+        acc = 1
+        for k in range(6):
+            assert gf_pow(a, k) == acc
+            acc = int(gf_mul(acc, a))
+
+    def test_pow_zero_base(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+
+    def test_pow_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            gf_pow(3, -1)
+
+    def test_fermat_little_theorem(self):
+        # a^255 == 1 for all non-zero a.
+        for a in range(1, 256):
+            assert gf_pow(a, FIELD_ORDER) == 1
+
+
+class TestVectorized:
+    def test_elementwise_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 256, size=100).astype(np.uint8)
+        b = rng.integers(0, 256, size=100).astype(np.uint8)
+        prod = gf_mul(a, b)
+        for i in range(100):
+            assert prod[i] == int(gf_mul(int(a[i]), int(b[i])))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mul(np.array([300]), np.array([1]))
+
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(3)
+        mat = rng.integers(0, 256, size=(5, 5)).astype(np.uint8)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(mat, eye), mat)
+        assert np.array_equal(gf_matmul(eye, mat), mat)
+
+    def test_matmul_associative(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, size=(3, 4)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(4, 2)).astype(np.uint8)
+        c = rng.integers(0, 256, size=(2, 6)).astype(np.uint8)
+        assert np.array_equal(gf_matmul(gf_matmul(a, b), c), gf_matmul(a, gf_matmul(b, c)))
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros(3, dtype=np.uint8), np.zeros((3, 1), dtype=np.uint8))
+
+    def test_matvec(self):
+        rng = np.random.default_rng(11)
+        mat = rng.integers(0, 256, size=(4, 3)).astype(np.uint8)
+        vec = rng.integers(0, 256, size=3).astype(np.uint8)
+        expected = gf_matmul(mat, vec[:, None])[:, 0]
+        assert np.array_equal(gf_matvec(mat, vec), expected)
+
+    def test_matvec_requires_1d(self):
+        with pytest.raises(ValueError):
+            gf_matvec(np.zeros((2, 2), dtype=np.uint8), np.zeros((2, 2), dtype=np.uint8))

@@ -1,0 +1,132 @@
+"""Tests for generator-matrix constructions and Gauss-Jordan inversion."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.galois import gf_matmul
+from repro.erasure.matrix import (
+    cauchy_matrix,
+    gf_identity,
+    gf_inverse,
+    systematic_generator,
+    vandermonde,
+)
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        v = vandermonde(6, 4)
+        assert v.shape == (6, 4)
+        assert np.array_equal(v[:, 0], np.ones(6, dtype=np.uint8))
+
+    def test_row_zero_is_unit(self):
+        v = vandermonde(4, 4)
+        assert np.array_equal(v[0], np.array([1, 0, 0, 0], dtype=np.uint8))
+
+    def test_too_many_points_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde(300, 3)
+
+    def test_any_square_submatrix_invertible(self):
+        v = vandermonde(7, 3)
+        for rows in itertools.combinations(range(7), 3):
+            gf_inverse(v[list(rows)])  # raises if singular
+
+
+class TestCauchy:
+    def test_entries_are_inverses_of_sums(self):
+        c = cauchy_matrix([4, 5], [0, 1, 2])
+        assert c.shape == (2, 3)
+
+    def test_distinct_points_required(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix([1, 1], [2, 3])
+
+    def test_disjoint_point_sets_required(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix([1, 2], [2, 3])
+
+    def test_square_submatrices_invertible(self):
+        c = cauchy_matrix([10, 11, 12, 13], [0, 1, 2])
+        for rows in itertools.combinations(range(4), 3):
+            gf_inverse(c[list(rows)])
+
+
+class TestInverse:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=10**9))
+    def test_inverse_roundtrip_random(self, size, seed):
+        rng = np.random.default_rng(seed)
+        # Random matrices over a field of size 256 are invertible w.h.p.;
+        # retry a few draws to find one.
+        for _ in range(20):
+            mat = rng.integers(0, 256, size=(size, size)).astype(np.uint8)
+            try:
+                inv = gf_inverse(mat)
+            except np.linalg.LinAlgError:
+                continue
+            assert np.array_equal(gf_matmul(mat, inv), gf_identity(size))
+            assert np.array_equal(gf_matmul(inv, mat), gf_identity(size))
+            return
+        pytest.fail("no invertible random matrix found (improbable)")
+
+    def test_identity_inverse(self):
+        assert np.array_equal(gf_inverse(gf_identity(5)), gf_identity(5))
+
+    def test_singular_raises(self):
+        mat = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_inverse(mat)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_inverse(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gf_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_pivoting_handles_zero_diagonal(self):
+        mat = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        inv = gf_inverse(mat)
+        assert np.array_equal(gf_matmul(mat, inv), gf_identity(2))
+
+
+class TestSystematicGenerator:
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 4), (2, 3), (3, 4), (4, 5), (3, 7)])
+    def test_identity_prefix(self, m, n, construction):
+        gen = systematic_generator(m, n, construction)
+        assert gen.shape == (n, m)
+        assert np.array_equal(gen[:m], gf_identity(m))
+
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_mds_property_every_subset_invertible(self, construction):
+        m, n = 3, 6
+        gen = systematic_generator(m, n, construction)
+        for rows in itertools.combinations(range(n), m):
+            gf_inverse(gen[list(rows)])  # raises if singular
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            systematic_generator(0, 3)
+        with pytest.raises(ValueError):
+            systematic_generator(4, 3)
+        with pytest.raises(ValueError):
+            systematic_generator(2, 300)
+        with pytest.raises(ValueError):
+            systematic_generator(2, 4, "mystery")
+
+    def test_m_equals_n_is_identity(self):
+        assert np.array_equal(systematic_generator(4, 4), gf_identity(4))
+        assert np.array_equal(systematic_generator(4, 4, "cauchy"), gf_identity(4))
+
+    def test_replication_generator(self):
+        # m=1 is full replication: every row maps the single data shard.
+        gen = systematic_generator(1, 4)
+        assert gen.shape == (4, 1)
+        assert np.all(gen != 0)

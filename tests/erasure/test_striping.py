@@ -1,0 +1,108 @@
+"""Tests for chunk striping, checksums and the repair primitive."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.striping import (
+    Chunk,
+    SyntheticChunk,
+    chunk_length,
+    padded_overhead,
+    reassemble_object,
+    repair_chunk,
+    split_object,
+    split_synthetic,
+    total_stored_bytes,
+)
+
+
+class TestChunk:
+    def test_build_and_verify(self):
+        chunk = Chunk.build(0, b"payload")
+        assert chunk.size == 7
+        assert chunk.verify()
+
+    def test_tamper_detection(self):
+        chunk = Chunk.build(0, b"payload")
+        tampered = Chunk(index=0, data=b"pwned!!", checksum=chunk.checksum)
+        assert not tampered.verify()
+
+    def test_synthetic_chunk(self):
+        chunk = SyntheticChunk(index=2, size=1024)
+        assert chunk.verify()
+        assert chunk.size == 1024
+
+
+class TestSplitReassemble:
+    def test_split_counts_and_sizes(self):
+        data = b"q" * 10
+        chunks = split_object(data, 3, 5)
+        assert len(chunks) == 5
+        assert all(c.size == chunk_length(10, 3) == 4 for c in chunks)
+        assert [c.index for c in chunks] == list(range(5))
+
+    def test_reassemble_any_subset(self):
+        data = bytes(range(100))
+        chunks = split_object(data, 2, 4)
+        assert reassemble_object([chunks[1], chunks[3]], 2, 4, len(data)) == data
+
+    def test_reassemble_detects_corruption(self):
+        data = b"hello striping"
+        chunks = split_object(data, 2, 3)
+        bad = Chunk(index=0, data=b"Z" * chunks[0].size, checksum=chunks[0].checksum)
+        with pytest.raises(ValueError, match="checksum"):
+            reassemble_object([bad, chunks[1]], 2, 3, len(data))
+
+    def test_reassemble_skip_verify(self):
+        data = b"hello striping"
+        chunks = split_object(data, 2, 3)
+        out = reassemble_object(chunks[:2], 2, 3, len(data), verify=False)
+        assert out == data
+
+    def test_too_few_chunks(self):
+        chunks = split_object(b"abcdef", 3, 4)
+        with pytest.raises(ValueError):
+            reassemble_object(chunks[:2], 3, 4, 6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=512), m=st.integers(1, 4), extra=st.integers(0, 3))
+    def test_roundtrip_property(self, data, m, extra):
+        n = m + extra
+        chunks = split_object(data, m, n)
+        # Use the *last* m chunks, exercising parity decode when extra > 0.
+        assert reassemble_object(chunks[-m:], m, n, len(data)) == data
+
+    def test_split_synthetic_matches_real_sizes(self):
+        data = b"y" * 1001
+        real = split_object(data, 3, 5)
+        synth = split_synthetic(1001, 3, 5)
+        assert [c.size for c in real] == [c.size for c in synth]
+
+
+class TestRepair:
+    def test_repair_round(self):
+        data = b"provider S3(l) went down at hour 60" * 4
+        chunks = split_object(data, 3, 5)
+        survivors = [c for c in chunks if c.index != 4]
+        rebuilt = repair_chunk(survivors, 4, 3, 5, len(data))
+        assert rebuilt == chunks[4]
+
+    def test_repaired_chunk_usable_for_decode(self):
+        data = b"0123456789" * 11
+        chunks = split_object(data, 2, 4)
+        rebuilt = repair_chunk([chunks[0], chunks[3]], 1, 2, 4, len(data))
+        assert reassemble_object([rebuilt, chunks[3]], 2, 4, len(data)) == data
+
+
+class TestAccounting:
+    def test_total_stored_bytes(self):
+        assert total_stored_bytes(10, 3, 5) == 5 * 4
+        assert total_stored_bytes(0, 2, 3) == 3
+
+    def test_padded_overhead(self):
+        assert padded_overhead(9, 3, 4) == pytest.approx(4 / 3)
+        assert padded_overhead(10, 3, 4) == pytest.approx(16 / 10)
+        assert math.isinf(padded_overhead(0, 1, 2))

@@ -1,0 +1,117 @@
+"""Randomized failure-injection property tests on the full broker stack.
+
+Random sequences of provider outages and recoveries interleaved with
+client operations; the invariants:
+
+* an object is readable whenever at least m of its chunk providers are up,
+* writes always land on available providers only,
+* repairs never lose data,
+* after all providers recover and pending deletes flush, no orphan chunks
+  remain for deleted objects.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.engine import ReadFailedError, WriteFailedError
+from repro.core.broker import Scalia
+from repro.core.rules import RuleBook, StorageRule
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+
+PROVIDERS = ["S3(h)", "S3(l)", "RS", "Azu", "Ggl"]
+
+
+def make_broker(seed=0) -> Scalia:
+    rules = RuleBook(
+        default=StorageRule("default", durability=0.99999, availability=0.9999)
+    )
+    return Scalia(ProviderRegistry(paper_catalog()), rules, seed=seed)
+
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("fail"), st.sampled_from(PROVIDERS)),
+        st.tuples(st.just("recover"), st.sampled_from(PROVIDERS)),
+        st.tuples(st.just("write"), st.integers(0, 3)),
+        st.tuples(st.just("read"), st.integers(0, 3)),
+        st.tuples(st.just("delete"), st.integers(0, 3)),
+        st.tuples(st.just("tick"), st.just(0)),
+    ),
+    min_size=5,
+    max_size=40,
+)
+
+
+class TestFailureInjection:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=actions, seed=st.integers(0, 10**6))
+    def test_invariants_under_chaos(self, script, seed):
+        broker = make_broker(seed=seed)
+        contents: dict[str, bytes] = {}
+        rng = np.random.default_rng(seed)
+
+        for action, arg in script:
+            if action == "fail":
+                if broker.registry.is_available(arg):
+                    broker.registry.fail(arg)
+            elif action == "recover":
+                provider = broker.registry.get(arg)
+                if provider.failed:
+                    broker.registry.recover(arg)
+            elif action == "write":
+                key = f"obj{arg}"
+                payload = rng.integers(0, 256, size=rng.integers(1, 5000)).astype(
+                    np.uint8
+                ).tobytes()
+                try:
+                    broker.put("chaos", key, payload)
+                    contents[key] = payload
+                except WriteFailedError:
+                    pass  # too few providers up; acceptable
+            elif action == "read":
+                key = f"obj{arg}"
+                meta = broker.head("chaos", key)
+                if key not in contents:
+                    continue
+                assert meta is not None
+                up = sum(
+                    broker.registry.is_available(p)
+                    for _, p in meta.chunk_map
+                )
+                if up >= meta.m:
+                    # Invariant: readable whenever m chunks are reachable.
+                    assert broker.get("chaos", key) == contents[key]
+                else:
+                    with pytest.raises(ReadFailedError):
+                        broker.get("chaos", key)
+            elif action == "delete":
+                key = f"obj{arg}"
+                if key in contents:
+                    broker.delete("chaos", key)
+                    del contents[key]
+            else:  # tick
+                broker.tick()
+
+        # Invariant: every written chunk sits on a provider that was up at
+        # write/migration time; verify all survivors decode after total
+        # recovery.
+        for name in PROVIDERS:
+            if broker.registry.get(name).failed:
+                broker.registry.recover(name)
+        broker.tick()
+        for key, payload in contents.items():
+            assert broker.get("chaos", key) == payload
+        # Deleted objects leave no orphan chunks once deletes flush.
+        for engine in broker.cluster.all_engines():
+            engine.flush_pending_deletes()
+            break
+        live_chunks = sum(len(p) for p in broker.registry.providers())
+        expected = sum(broker.head("chaos", k).n for k in contents)
+        assert live_chunks == expected

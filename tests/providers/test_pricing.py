@@ -1,0 +1,124 @@
+"""Tests for the pricing model and the paper's Figure-3 catalog."""
+
+import pytest
+
+from repro.providers.pricing import (
+    CHEAPSTOR,
+    PAPER_PROVIDERS,
+    PricingPolicy,
+    ProviderSpec,
+    cost_of_usage,
+    paper_catalog,
+)
+from repro.providers.provider import ResourceUsage
+from repro.util.units import GB, HOURS_PER_MONTH
+
+
+class TestPricingPolicy:
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PricingPolicy(-0.1, 0, 0, 0)
+
+    def test_storage_cost_month(self):
+        p = PricingPolicy(0.14, 0.1, 0.15, 0.01)
+        # 1 GB for a full month costs the sticker price.
+        assert p.storage_cost(HOURS_PER_MONTH) == pytest.approx(0.14)
+
+    def test_storage_cost_hour(self):
+        p = PricingPolicy(0.14, 0.1, 0.15, 0.01)
+        assert p.storage_cost(1.0) == pytest.approx(0.14 / 730)
+
+    def test_bandwidth_costs(self):
+        p = PricingPolicy(0.14, 0.10, 0.15, 0.01)
+        assert p.ingress_cost(2 * GB) == pytest.approx(0.20)
+        assert p.egress_cost(2 * GB) == pytest.approx(0.30)
+
+    def test_ops_cost(self):
+        p = PricingPolicy(0.14, 0.10, 0.15, 0.01)
+        assert p.ops_cost(1000) == pytest.approx(0.01)
+        assert p.ops_cost(1) == pytest.approx(0.00001)
+
+
+class TestProviderSpec:
+    def _spec(self, **kw):
+        base = dict(
+            name="P",
+            durability=0.9999,
+            availability=0.999,
+            zones=frozenset({"EU"}),
+            pricing=PricingPolicy(0.1, 0.1, 0.1, 0.01),
+        )
+        base.update(kw)
+        return ProviderSpec(**base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._spec(durability=1.5)
+        with pytest.raises(ValueError):
+            self._spec(name="")
+        with pytest.raises(ValueError):
+            self._spec(zones=frozenset())
+
+    def test_serves_zone(self):
+        spec = self._spec(zones=frozenset({"EU", "US"}))
+        assert spec.serves_zone(frozenset({"EU"}))
+        assert spec.serves_zone(frozenset())  # "all" requirement
+        assert not spec.serves_zone(frozenset({"APAC"}))
+
+    def test_with_pricing(self):
+        spec = self._spec()
+        new = spec.with_pricing(PricingPolicy(0.01, 0, 0, 0))
+        assert new.pricing.storage_gb_month == 0.01
+        assert new.name == spec.name
+        assert spec.pricing.storage_gb_month == 0.1  # original untouched
+
+
+class TestPaperCatalog:
+    def test_five_providers(self):
+        names = [p.name for p in PAPER_PROVIDERS]
+        assert names == ["S3(h)", "S3(l)", "RS", "Azu", "Ggl"]
+
+    def test_figure3_values(self):
+        by_name = {p.name: p for p in PAPER_PROVIDERS}
+        s3h = by_name["S3(h)"]
+        assert s3h.durability == pytest.approx(0.99999999999)
+        assert s3h.availability == pytest.approx(0.999)
+        assert s3h.zones == frozenset({"EU", "US", "APAC"})
+        assert s3h.pricing.storage_gb_month == pytest.approx(0.14)
+        s3l = by_name["S3(l)"]
+        assert s3l.durability == pytest.approx(0.9999)
+        assert s3l.pricing.storage_gb_month == pytest.approx(0.093)
+        rs = by_name["RS"]
+        assert rs.zones == frozenset({"US"})
+        assert rs.pricing.bw_in_gb == pytest.approx(0.08)
+        assert rs.pricing.bw_out_gb == pytest.approx(0.18)
+        assert rs.pricing.ops_per_1k == 0.0
+        assert by_name["Ggl"].pricing.storage_gb_month == pytest.approx(0.17)
+        assert by_name["Azu"].pricing.storage_gb_month == pytest.approx(0.15)
+
+    def test_cheapstor_section_ivd(self):
+        assert CHEAPSTOR.pricing.storage_gb_month == pytest.approx(0.09)
+        assert CHEAPSTOR.pricing.bw_in_gb == pytest.approx(0.10)
+        assert CHEAPSTOR.pricing.bw_out_gb == pytest.approx(0.15)
+        assert CHEAPSTOR.pricing.ops_per_1k == pytest.approx(0.01)
+
+    def test_paper_catalog_copies(self):
+        cat = paper_catalog()
+        assert len(cat) == 5
+        assert len(paper_catalog(include_cheapstor=True)) == 6
+        cat.append(CHEAPSTOR)
+        assert len(paper_catalog()) == 5  # no aliasing
+
+
+class TestCostOfUsage:
+    def test_combined(self):
+        pricing = PricingPolicy(0.14, 0.10, 0.15, 0.01)
+        usage = ResourceUsage(
+            storage_gb_hours=730.0, bytes_in=1 * GB, bytes_out=2 * GB, ops_get=500, ops_put=500
+        )
+        expected = 0.14 + 0.10 + 0.30 + 0.01
+        assert cost_of_usage(pricing, usage) == pytest.approx(expected)
+
+    def test_zero_usage_is_free(self):
+        pricing = PricingPolicy(0.14, 0.10, 0.15, 0.01)
+        assert cost_of_usage(pricing, ResourceUsage()) == 0.0

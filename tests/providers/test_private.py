@@ -1,0 +1,107 @@
+"""Tests for private storage resources: HMAC auth, replay protection, capacity."""
+
+import pytest
+
+from repro.erasure.striping import Chunk
+from repro.providers.pricing import PricingPolicy
+from repro.providers.private import (
+    AuthenticationError,
+    PrivateStorageService,
+    SignedRequest,
+    sign_request,
+)
+
+TOKEN = b"secret-token"
+
+
+def make_service(**kw) -> PrivateStorageService:
+    defaults = dict(
+        name="NAS",
+        capacity_bytes=10_000,
+        pricing=PricingPolicy(0.0, 0.0, 0.0, 0.0),
+        token=TOKEN,
+    )
+    defaults.update(kw)
+    return PrivateStorageService(**defaults)
+
+
+class TestSigning:
+    def test_signature_deterministic(self):
+        params = {"key": "a", "action": "put"}
+        assert sign_request(TOKEN, params, 1.0) == sign_request(TOKEN, params, 1.0)
+
+    def test_signature_depends_on_all_inputs(self):
+        params = {"key": "a", "action": "put"}
+        base = sign_request(TOKEN, params, 1.0)
+        assert base != sign_request(b"other", params, 1.0)
+        assert base != sign_request(TOKEN, {"key": "b", "action": "put"}, 1.0)
+        assert base != sign_request(TOKEN, params, 2.0)
+
+    def test_param_order_irrelevant(self):
+        a = sign_request(TOKEN, {"x": "1", "y": "2"}, 0.0)
+        b = sign_request(TOKEN, {"y": "2", "x": "1"}, 0.0)
+        assert a == b
+
+
+class TestAuthentication:
+    def test_valid_roundtrip(self):
+        svc = make_service()
+        client = svc.client()
+        client.put_chunk("k", Chunk.build(0, b"data"))
+        assert client.get_chunk("k").data == b"data"
+        assert client.list_keys() == ["k"]
+        client.delete_chunk("k")
+        assert client.list_keys() == []
+
+    def test_bad_signature_rejected(self):
+        svc = make_service()
+        req = SignedRequest(action="get", params={"key": "k"}, timestamp=0.0, signature="f" * 64)
+        with pytest.raises(AuthenticationError, match="signature"):
+            svc.get(req)
+
+    def test_wrong_token_rejected(self):
+        svc = make_service()
+        req = SignedRequest.make(b"wrong-token", "get", {"key": "k"}, 0.0)
+        with pytest.raises(AuthenticationError, match="signature"):
+            svc.get(req)
+
+    def test_action_is_signed(self):
+        # A request signed for GET cannot be replayed as DELETE.
+        svc = make_service()
+        svc.client().put_chunk("k", Chunk.build(0, b"data"))
+        get_req = SignedRequest.make(TOKEN, "get", {"key": "k"}, 1.0)
+        forged = SignedRequest(
+            action="delete", params=get_req.params, timestamp=1.0, signature=get_req.signature
+        )
+        with pytest.raises(AuthenticationError):
+            svc.delete(forged)
+
+    def test_stale_timestamp_rejected(self):
+        svc = make_service(replay_window=300.0)
+        svc.now = 1000.0
+        req = SignedRequest.make(TOKEN, "list", {"prefix": ""}, 100.0)
+        with pytest.raises(AuthenticationError, match="replay window"):
+            svc.list(req)
+
+    def test_replay_rejected(self):
+        svc = make_service()
+        req = SignedRequest.make(TOKEN, "list", {"prefix": ""}, 0.0)
+        assert svc.list(req) == []
+        with pytest.raises(AuthenticationError, match="replayed"):
+            svc.list(req)
+
+
+class TestCapacity:
+    def test_capacity_limit_via_service(self):
+        from repro.providers.provider import CapacityExceededError
+
+        svc = make_service(capacity_bytes=6)
+        client = svc.client()
+        client.put_chunk("a", Chunk.build(0, b"1234"))
+        with pytest.raises(CapacityExceededError):
+            client.put_chunk("b", Chunk.build(1, b"12345"))
+
+    def test_spec_has_private_zone_default(self):
+        svc = make_service()
+        assert svc.spec.zones == frozenset({"PRIVATE"})
+        assert svc.spec.capacity_bytes == 10_000

@@ -1,0 +1,170 @@
+"""Tests for the simulated provider: ops, metering, failures, limits."""
+
+import pytest
+
+from repro.erasure.striping import Chunk, SyntheticChunk
+from repro.providers.pricing import PricingPolicy, ProviderSpec
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkNotFoundError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+    ResourceUsage,
+    SimulatedProvider,
+    UsageMeter,
+)
+from repro.util.units import GB
+
+
+def make_provider(**kw) -> SimulatedProvider:
+    spec = ProviderSpec(
+        name=kw.pop("name", "P"),
+        durability=0.9999,
+        availability=0.999,
+        zones=frozenset({"EU"}),
+        pricing=PricingPolicy(0.1, 0.1, 0.1, 0.01),
+        **kw,
+    )
+    return SimulatedProvider(spec)
+
+
+class TestResourceUsage:
+    def test_ops_total(self):
+        u = ResourceUsage(ops_get=1, ops_put=2, ops_delete=3, ops_list=4)
+        assert u.ops == 10
+
+    def test_merge(self):
+        a = ResourceUsage(storage_gb_hours=1, bytes_in=10, ops_get=1)
+        b = ResourceUsage(storage_gb_hours=2, bytes_out=5, ops_put=2)
+        c = a.merge(b)
+        assert c.storage_gb_hours == 3
+        assert c.bytes_in == 10 and c.bytes_out == 5
+        assert c.ops == 3
+
+
+class TestUsageMeter:
+    def test_periods_isolated(self):
+        meter = UsageMeter()
+        meter.record_in(100)
+        meter.set_period(1)
+        meter.record_in(50)
+        by_period = meter.usage_by_period()
+        assert by_period[0].bytes_in == 100
+        assert by_period[1].bytes_in == 50
+        assert meter.total().bytes_in == 150
+
+    def test_unknown_op_kind(self):
+        with pytest.raises(ValueError):
+            UsageMeter().record_op("head")
+
+    def test_accrue_storage(self):
+        meter = UsageMeter()
+        meter.accrue_storage(GB, 2.0)
+        assert meter.current().storage_gb_hours == pytest.approx(2.0)
+
+
+class TestChunkOps:
+    def test_put_get_roundtrip(self):
+        p = make_provider()
+        chunk = Chunk.build(0, b"hello")
+        p.put_chunk("k1", chunk)
+        assert p.get_chunk("k1") is chunk
+        assert p.stored_bytes == 5
+        assert len(p) == 1 and "k1" in p
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ChunkNotFoundError):
+            make_provider().get_chunk("nope")
+
+    def test_delete(self):
+        p = make_provider()
+        p.put_chunk("k", Chunk.build(0, b"xyz"))
+        p.delete_chunk("k")
+        assert p.stored_bytes == 0
+        with pytest.raises(ChunkNotFoundError):
+            p.delete_chunk("k")
+
+    def test_overwrite_adjusts_stored_bytes(self):
+        p = make_provider()
+        p.put_chunk("k", Chunk.build(0, b"aaaa"))
+        p.put_chunk("k", Chunk.build(0, b"bb"))
+        assert p.stored_bytes == 2
+
+    def test_list_keys_sorted_prefix(self):
+        p = make_provider()
+        for key in ("b/2", "a/1", "a/2"):
+            p.put_chunk(key, SyntheticChunk(0, 1))
+        assert list(p.list_keys("a/")) == ["a/1", "a/2"]
+        assert list(p.list_keys()) == ["a/1", "a/2", "b/2"]
+
+    def test_synthetic_chunks_billed_like_real(self):
+        real, synth = make_provider(), make_provider()
+        real.put_chunk("k", Chunk.build(0, b"z" * 1000))
+        synth.put_chunk("k", SyntheticChunk(0, 1000))
+        assert real.meter.current().bytes_in == synth.meter.current().bytes_in == 1000
+        assert real.stored_bytes == synth.stored_bytes == 1000
+
+
+class TestMetering:
+    def test_put_get_delete_ops_and_bandwidth(self):
+        p = make_provider()
+        p.put_chunk("k", Chunk.build(0, b"12345678"))
+        p.get_chunk("k")
+        p.get_chunk("k")
+        p.delete_chunk("k")
+        list(p.list_keys())
+        usage = p.meter.current()
+        assert usage.ops_put == 1
+        assert usage.ops_get == 2
+        assert usage.ops_delete == 1
+        assert usage.ops_list == 1
+        assert usage.bytes_in == 8
+        assert usage.bytes_out == 16
+
+    def test_on_period_accrues_and_advances(self):
+        p = make_provider()
+        p.put_chunk("k", SyntheticChunk(0, GB))
+        p.on_period(0, 1.0)
+        assert p.meter.usage_by_period()[0].storage_gb_hours == pytest.approx(1.0)
+        assert p.meter.period == 1
+        p.on_period(1, 1.0)
+        assert p.meter.usage_by_period()[1].storage_gb_hours == pytest.approx(1.0)
+
+
+class TestFailureInjection:
+    def test_all_ops_raise_while_failed(self):
+        p = make_provider()
+        p.put_chunk("k", SyntheticChunk(0, 10))
+        p.fail()
+        with pytest.raises(ProviderUnavailableError):
+            p.get_chunk("k")
+        with pytest.raises(ProviderUnavailableError):
+            p.put_chunk("j", SyntheticChunk(0, 1))
+        with pytest.raises(ProviderUnavailableError):
+            p.delete_chunk("k")
+        with pytest.raises(ProviderUnavailableError):
+            p.list_keys()
+
+    def test_data_survives_outage(self):
+        p = make_provider()
+        p.put_chunk("k", Chunk.build(0, b"persist"))
+        p.fail()
+        p.recover()
+        assert p.get_chunk("k").data == b"persist"
+
+
+class TestLimits:
+    def test_capacity_enforced(self):
+        p = make_provider(capacity_bytes=10)
+        p.put_chunk("a", SyntheticChunk(0, 6))
+        with pytest.raises(CapacityExceededError):
+            p.put_chunk("b", SyntheticChunk(1, 5))
+        # Replacing the same key within capacity is fine.
+        p.put_chunk("a", SyntheticChunk(0, 10))
+        assert p.stored_bytes == 10
+
+    def test_max_chunk_bytes(self):
+        p = make_provider(max_chunk_bytes=4)
+        with pytest.raises(ChunkTooLargeError):
+            p.put_chunk("k", SyntheticChunk(0, 5))
+        p.put_chunk("k", SyntheticChunk(0, 4))

@@ -1,0 +1,86 @@
+"""Tests for the dynamic provider registry."""
+
+import pytest
+
+from repro.providers.pricing import CHEAPSTOR, PricingPolicy, paper_catalog
+from repro.providers.provider import SimulatedProvider
+from repro.providers.registry import ProviderRegistry, UnknownProviderError
+from repro.erasure.striping import SyntheticChunk
+
+
+class TestMembership:
+    def test_register_and_lookup(self):
+        reg = ProviderRegistry(paper_catalog())
+        assert len(reg) == 5
+        assert "S3(h)" in reg
+        assert reg.get("RS").spec.pricing.bw_in_gb == pytest.approx(0.08)
+
+    def test_duplicate_rejected(self):
+        reg = ProviderRegistry(paper_catalog())
+        with pytest.raises(ValueError):
+            reg.register(paper_catalog()[0])
+
+    def test_retire(self):
+        reg = ProviderRegistry(paper_catalog())
+        reg.retire("Ggl")
+        assert "Ggl" not in reg
+        with pytest.raises(UnknownProviderError):
+            reg.get("Ggl")
+        with pytest.raises(UnknownProviderError):
+            reg.retire("Ggl")
+
+    def test_adopt_external_provider(self):
+        reg = ProviderRegistry()
+        provider = SimulatedProvider(paper_catalog()[0])
+        reg.adopt(provider)
+        assert reg.get("S3(h)") is provider
+        with pytest.raises(ValueError):
+            reg.adopt(provider)
+
+    def test_names_sorted(self):
+        reg = ProviderRegistry(paper_catalog())
+        assert reg.names() == sorted(["S3(h)", "S3(l)", "RS", "Azu", "Ggl"])
+
+
+class TestEpochs:
+    def test_epoch_bumps_on_every_mutation(self):
+        reg = ProviderRegistry()
+        e0 = reg.epoch
+        reg.register(CHEAPSTOR)
+        assert reg.epoch == e0 + 1
+        reg.fail("CheapStor")
+        assert reg.epoch == e0 + 2
+        reg.recover("CheapStor")
+        assert reg.epoch == e0 + 3
+        reg.update_pricing("CheapStor", PricingPolicy(0.05, 0.1, 0.15, 0.01))
+        assert reg.epoch == e0 + 4
+        reg.retire("CheapStor")
+        assert reg.epoch == e0 + 5
+
+    def test_pricing_update_applies(self):
+        reg = ProviderRegistry([CHEAPSTOR])
+        reg.update_pricing("CheapStor", PricingPolicy(0.05, 0.1, 0.15, 0.01))
+        assert reg.get("CheapStor").spec.pricing.storage_gb_month == pytest.approx(0.05)
+
+
+class TestAvailability:
+    def test_fail_recover_and_spec_filtering(self):
+        reg = ProviderRegistry(paper_catalog())
+        reg.fail("S3(l)")
+        assert not reg.is_available("S3(l)")
+        assert reg.is_available("S3(h)")
+        assert not reg.is_available("NotThere")
+        up_specs = reg.specs(include_failed=False)
+        assert "S3(l)" not in [s.name for s in up_specs]
+        assert len(reg.specs()) == 5
+        reg.recover("S3(l)")
+        assert len(reg.specs(include_failed=False)) == 5
+
+
+class TestPeriodHook:
+    def test_on_period_touches_all_meters(self):
+        reg = ProviderRegistry(paper_catalog())
+        reg.get("S3(h)").put_chunk("k", SyntheticChunk(0, 10**9))
+        reg.on_period(0, 1.0)
+        assert reg.get("S3(h)").meter.usage_by_period()[0].storage_gb_hours == pytest.approx(1.0)
+        assert reg.get("Ggl").meter.period == 1

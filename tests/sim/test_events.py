@@ -1,0 +1,91 @@
+"""Tests for provider events and the availability timeline."""
+
+import pytest
+
+from repro.providers.pricing import CHEAPSTOR, PricingPolicy, paper_catalog
+from repro.providers.registry import ProviderRegistry
+from repro.sim.events import ProviderEvent, ProviderTimeline
+
+
+class TestProviderEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProviderEvent(0, "explode", provider="X")
+        with pytest.raises(ValueError):
+            ProviderEvent(0, "register")  # needs spec
+        with pytest.raises(ValueError):
+            ProviderEvent(0, "fail")  # needs provider
+        with pytest.raises(ValueError):
+            ProviderEvent(0, "price", provider="X")  # needs pricing
+
+
+class TestTimeline:
+    def test_no_events_single_regime(self):
+        tl = ProviderTimeline(paper_catalog(), [], 10)
+        assert len(tl.regimes()) == 1
+        assert len(tl.specs_at(5)) == 5
+
+    def test_failure_window(self):
+        events = [
+            ProviderEvent(3, "fail", provider="S3(l)"),
+            ProviderEvent(7, "recover", provider="S3(l)"),
+        ]
+        tl = ProviderTimeline(paper_catalog(), events, 10)
+        assert len(tl.regimes()) == 3
+        assert "S3(l)" in [s.name for s in tl.specs_at(2)]
+        assert "S3(l)" not in [s.name for s in tl.specs_at(3)]
+        assert "S3(l)" not in [s.name for s in tl.specs_at(6)]
+        assert "S3(l)" in [s.name for s in tl.specs_at(7)]
+
+    def test_registration(self):
+        events = [ProviderEvent(4, "register", spec=CHEAPSTOR)]
+        tl = ProviderTimeline(paper_catalog(), events, 8)
+        assert len(tl.specs_at(3)) == 5
+        assert len(tl.specs_at(4)) == 6
+
+    def test_retire(self):
+        events = [ProviderEvent(2, "retire", provider="Ggl")]
+        tl = ProviderTimeline(paper_catalog(), events, 5)
+        assert "Ggl" not in [s.name for s in tl.specs_at(3)]
+
+    def test_price_change(self):
+        new_price = PricingPolicy(0.01, 0.1, 0.15, 0.01)
+        events = [ProviderEvent(2, "price", provider="Ggl", pricing=new_price)]
+        tl = ProviderTimeline(paper_catalog(), events, 5)
+        ggl_before = next(s for s in tl.specs_at(1) if s.name == "Ggl")
+        ggl_after = next(s for s in tl.specs_at(2) if s.name == "Ggl")
+        assert ggl_before.pricing.storage_gb_month == pytest.approx(0.17)
+        assert ggl_after.pricing.storage_gb_month == pytest.approx(0.01)
+
+    def test_out_of_range(self):
+        tl = ProviderTimeline(paper_catalog(), [], 5)
+        with pytest.raises(IndexError):
+            tl.specs_at(5)
+
+    def test_apply_to_registry(self):
+        events = [
+            ProviderEvent(1, "fail", provider="Azu"),
+            ProviderEvent(2, "recover", provider="Azu"),
+            ProviderEvent(2, "register", spec=CHEAPSTOR),
+        ]
+        tl = ProviderTimeline(paper_catalog(), events, 5)
+        registry = ProviderRegistry(paper_catalog())
+        tl.apply_to_registry(registry, 0)
+        assert registry.is_available("Azu")
+        tl.apply_to_registry(registry, 1)
+        assert not registry.is_available("Azu")
+        tl.apply_to_registry(registry, 2)
+        assert registry.is_available("Azu")
+        assert "CheapStor" in registry
+
+    def test_regimes_cover_horizon(self):
+        events = [
+            ProviderEvent(3, "fail", provider="S3(l)"),
+            ProviderEvent(7, "recover", provider="S3(l)"),
+        ]
+        tl = ProviderTimeline(paper_catalog(), events, 10)
+        covered = sorted((start, end) for start, end, _ in tl.regimes())
+        assert covered[0][0] == 0
+        assert covered[-1][1] == 10
+        for (s1, e1), (s2, e2) in zip(covered, covered[1:]):
+            assert e1 == s2

@@ -1,0 +1,154 @@
+"""Tests for static baselines, the ideal baseline and Figure 13's set list."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import PlacementError
+from repro.core.costmodel import CostModel
+from repro.core.rules import RuleBook, StorageRule
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+from repro.sim.events import ProviderEvent, ProviderTimeline
+from repro.sim.ideal import ideal_costs
+from repro.sim.static import StaticPlanner, figure13_static_sets
+from repro.util.units import MB
+from repro.workloads.slashdot import slashdot_workload
+
+
+def backup_rules() -> RuleBook:
+    rules = RuleBook()
+    rules.register(
+        StorageRule("backup", durability=0.99999, availability=0.9999, lockin=0.5)
+    )
+    return rules
+
+
+class TestFigure13Sets:
+    def test_twenty_six_sets(self):
+        sets = figure13_static_sets()
+        assert len(sets) == 26
+
+    def test_paper_numbering(self):
+        sets = figure13_static_sets()
+        # Spot-check the paper's table order (Figure 13).
+        assert sets[0] == ("S3(h)", "S3(l)")
+        assert sets[1] == ("S3(h)", "S3(l)", "Azu")
+        assert sets[3] == ("S3(h)", "S3(l)", "Azu", "Ggl", "RS")
+        assert sets[7] == ("S3(h)", "S3(l)", "RS")
+        assert sets[8] == ("S3(h)", "Azu")
+        assert sets[15] == ("S3(l)", "Azu")
+        assert sets[21] == ("S3(l)", "RS")
+        assert sets[25] == ("Ggl", "RS")
+
+    def test_all_unique(self):
+        sets = figure13_static_sets()
+        assert len(set(sets)) == 26
+
+
+class TestStaticPlanner:
+    def make(self, names, fail=()):
+        registry = ProviderRegistry(paper_catalog())
+        for name in fail:
+            registry.fail(name)
+        return StaticPlanner(registry, backup_rules(), names), registry
+
+    def place(self, planner, size=40 * MB):
+        return planner.place(
+            container="c",
+            key="k",
+            size=size,
+            mime="application/x-tar",
+            rule_name="backup",
+            period=0,
+            exclude=frozenset(),
+        )
+
+    def test_full_set_placement(self):
+        planner, _ = self.make(("S3(h)", "S3(l)", "Azu"))
+        placement = self.place(planner)
+        assert placement.providers == ("Azu", "S3(h)", "S3(l)")
+        assert placement.m == 2
+
+    def test_failed_member_shrinks_set(self):
+        # The paper's active-repair static behaviour: [S3(h), Azu; m:1].
+        planner, _ = self.make(("S3(h)", "S3(l)", "Azu"), fail=("S3(l)",))
+        placement = self.place(planner)
+        assert placement.providers == ("Azu", "S3(h)")
+        assert placement.m == 1
+
+    def test_too_few_members_raises(self):
+        planner, _ = self.make(("S3(h)", "S3(l)"), fail=("S3(l)",))
+        with pytest.raises(PlacementError):
+            self.place(planner)
+
+    def test_duplicate_members_rejected(self):
+        registry = ProviderRegistry(paper_catalog())
+        with pytest.raises(ValueError):
+            StaticPlanner(registry, backup_rules(), ("S3(h)", "S3(h)"))
+
+
+class TestIdealBaseline:
+    def test_slashdot_ideal_positive_and_bounded(self):
+        wl = slashdot_workload(180)
+        rules = RuleBook()
+        rules.register(
+            StorageRule("slashdot", durability=0.99999, availability=0.9999)
+        )
+        timeline = ProviderTimeline(paper_catalog(), [], 180)
+        result = ideal_costs(wl, rules, timeline, CostModel(1.0))
+        assert result.total > 0
+        assert result.cost_per_period.shape == (180,)
+        assert np.all(result.cost_per_period >= 0)
+
+    def test_ideal_is_lower_bound_of_static(self):
+        from repro.sim.evaluator import analytic_static_cost
+
+        wl = slashdot_workload(120)
+        rules = RuleBook()
+        rules.register(
+            StorageRule("slashdot", durability=0.99999, availability=0.9999)
+        )
+        timeline = ProviderTimeline(paper_catalog(), [], 120)
+        model = CostModel(1.0)
+        ideal = ideal_costs(wl, rules, timeline, model)
+        for subset in [("S3(h)", "S3(l)"), ("S3(h)", "S3(l)", "Azu", "Ggl", "RS")]:
+            specs = [s for s in paper_catalog() if s.name in subset]
+            static = analytic_static_cost(wl, rules, specs, model)
+            # Per period, the clairvoyant optimum can never exceed a static set.
+            assert np.all(ideal.cost_per_period <= static + 1e-12)
+
+    def test_ideal_reacts_to_provider_arrival(self):
+        from repro.providers.pricing import CHEAPSTOR
+        from repro.workloads.backup import backup_workload
+
+        wl = backup_workload(60, interval_hours=10)
+        rules = backup_rules()
+        model = CostModel(1.0)
+        without = ideal_costs(
+            wl, rules, ProviderTimeline(paper_catalog(), [], 60), model
+        )
+        with_cs = ideal_costs(
+            wl,
+            rules,
+            ProviderTimeline(
+                paper_catalog(),
+                [ProviderEvent(30, "register", spec=CHEAPSTOR)],
+                60,
+            ),
+            model,
+        )
+        assert with_cs.total < without.total
+        # Before the arrival the two worlds are identical.
+        assert np.allclose(with_cs.cost_per_period[:30], without.cost_per_period[:30])
+
+    def test_per_object_breakdown_sums(self):
+        wl = slashdot_workload(60)
+        rules = RuleBook()
+        rules.register(
+            StorageRule("slashdot", durability=0.99999, availability=0.9999)
+        )
+        result = ideal_costs(
+            wl, rules, ProviderTimeline(paper_catalog(), [], 60), CostModel(1.0)
+        )
+        summed = sum(result.per_object.values())
+        assert np.allclose(summed, result.cost_per_period)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalog:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "S3(h)" in out and "CheapStor" not in out
+
+    def test_catalog_with_cheapstor(self, capsys):
+        assert main(["catalog", "--cheapstor"]) == 0
+        assert "CheapStor" in capsys.readouterr().out
+
+
+class TestPlacement:
+    def test_cold_object(self, capsys):
+        assert main(["placement", "--size", "1000000"]) == 0
+        out = capsys.readouterr().out
+        # Storage-optimal 5-provider m:4 set for a cold 1 MB object.
+        assert "[Azu, Ggl, RS, S3(h), S3(l); m:4]" in out
+        assert "top 5 feasible candidates" in out
+
+    def test_hot_object(self, capsys):
+        assert main(["placement", "--size", "1000000", "--reads-per-hour", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "m:1]" in out.splitlines()[0]
+
+    def test_lockin_flag(self, capsys):
+        assert main(["placement", "--lockin", "0.25"]) == 0
+        # At least four providers in the chosen set.
+        first = capsys.readouterr().out.splitlines()[0]
+        assert first.count(",") >= 3
+
+
+class TestScenario:
+    def test_static_policy(self, capsys):
+        code = main(
+            ["scenario", "slashdot", "--policy", "S3(h),S3(l)", "--horizon", "60",
+             "--ideal"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S3(h)-S3(l)" in out
+        assert "% over" in out
+
+    def test_scalia_policy(self, capsys):
+        assert main(["scenario", "active_repair", "--horizon", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "Scalia" in out
+        assert "total" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "nonexistent"])

@@ -1,0 +1,83 @@
+"""Tests for the util package: units, ids, validation."""
+
+import math
+
+import pytest
+
+from repro.util.ids import IdGenerator, md5_hex, object_row_key, storage_key
+from repro.util.units import GB, HOURS_PER_MONTH, KB, MB, bytes_to_gb, gb_to_bytes
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    count_nines,
+    fraction_to_nines,
+    nines_to_fraction,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 10**3 and MB == 10**6 and GB == 10**9
+        assert HOURS_PER_MONTH == pytest.approx(730.0)
+
+    def test_roundtrip(self):
+        assert bytes_to_gb(gb_to_bytes(2.5)) == pytest.approx(2.5)
+        assert bytes_to_gb(1_000_000) == pytest.approx(0.001)
+
+
+class TestIds:
+    def test_md5_hex_deterministic(self):
+        assert md5_hex("a", "b") == md5_hex("a", "b")
+        assert md5_hex("a", "b") != md5_hex("ab")
+
+    def test_paper_key_conventions(self):
+        row = object_row_key("pictures", "myvacation.gif")
+        assert len(row) == 32
+        skey = storage_key("pictures", "myvacation.gif", "deadbeef")
+        assert skey != row
+
+    def test_generator_unique_and_reproducible(self):
+        g1, g2 = IdGenerator(seed=42), IdGenerator(seed=42)
+        ids1 = [g1.uuid() for _ in range(10)]
+        ids2 = [g2.uuid() for _ in range(10)]
+        assert ids1 == ids2
+        assert len(set(ids1)) == 10
+
+    def test_different_seeds_differ(self):
+        assert IdGenerator(seed=1).uuid() != IdGenerator(seed=2).uuid()
+
+    def test_sequence(self):
+        gen = IdGenerator()
+        assert gen.sequence() == 0
+        assert gen.sequence() == 1
+
+
+class TestValidation:
+    def test_check_fraction(self):
+        assert check_fraction(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "x")
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, "x")
+
+    def test_check_positive(self):
+        assert check_positive(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_nines_conversions(self):
+        assert nines_to_fraction(99.99) == pytest.approx(0.9999)
+        assert fraction_to_nines(0.9999) == pytest.approx(99.99)
+        with pytest.raises(ValueError):
+            nines_to_fraction(101)
+
+    def test_count_nines(self):
+        assert count_nines(0.999) == pytest.approx(3.0)
+        assert count_nines(0.0) == 0.0
+        assert math.isinf(count_nines(1.0))

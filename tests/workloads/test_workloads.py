@@ -1,0 +1,161 @@
+"""Tests for the workload model and the paper's scenario generators."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import KB, MB
+from repro.workloads.backup import backup_workload
+from repro.workloads.base import ObjectSpec, RequestBatch, Workload
+from repro.workloads.gallery import gallery_workload, pareto_popularity
+from repro.workloads.slashdot import slashdot_read_series, slashdot_workload
+from repro.workloads.website import website_daily_profile, website_read_series
+
+
+class TestObjectSpec:
+    def test_alive_at(self):
+        obj = ObjectSpec("c", "k", 100, birth_period=2, death_period=5)
+        assert not obj.alive_at(1)
+        assert obj.alive_at(2)
+        assert obj.alive_at(4)
+        assert not obj.alive_at(5)
+
+    def test_immortal_object(self):
+        obj = ObjectSpec("c", "k", 100)
+        assert obj.alive_at(10**6)
+
+
+class TestWorkloadValidation:
+    def test_shape_mismatch(self):
+        obj = ObjectSpec("c", "k", 100)
+        with pytest.raises(ValueError, match="shape"):
+            Workload("w", 5, [obj], np.zeros((1, 4), dtype=np.int64), np.zeros((1, 5), dtype=np.int64))
+
+    def test_negative_requests(self):
+        obj = ObjectSpec("c", "k", 100)
+        reads = np.zeros((1, 3), dtype=np.int64)
+        reads[0, 1] = -1
+        with pytest.raises(ValueError, match=">= 0"):
+            Workload("w", 3, [obj], reads, np.zeros((1, 3), dtype=np.int64))
+
+    def test_requests_outside_lifetime(self):
+        obj = ObjectSpec("c", "k", 100, birth_period=2)
+        reads = np.zeros((1, 4), dtype=np.int64)
+        reads[0, 0] = 1  # before birth
+        with pytest.raises(ValueError, match="lifetime"):
+            Workload("w", 4, [obj], reads, np.zeros((1, 4), dtype=np.int64))
+
+    def test_batches_and_events(self):
+        objs = [
+            ObjectSpec("c", "a", 10, birth_period=0, death_period=2),
+            ObjectSpec("c", "b", 10, birth_period=1),
+        ]
+        reads = np.array([[1, 0, 0], [0, 2, 0]], dtype=np.int64)
+        writes = np.zeros((2, 3), dtype=np.int64)
+        wl = Workload("w", 3, objs, reads, writes)
+        assert [b.obj.key for b in wl.batches(1)] == ["b"]
+        assert [o.key for o in wl.births(1)] == ["b"]
+        assert [o.key for o in wl.deaths(2)] == ["a"]
+        assert wl.total_reads() == 3
+        assert wl.summary()["objects"] == 2.0
+
+    def test_request_batch_validation(self):
+        with pytest.raises(ValueError):
+            RequestBatch(ObjectSpec("c", "k", 1), 0, reads=-1)
+
+
+class TestWebsite:
+    def test_daily_profile_integrates_to_visitors(self):
+        profile = website_daily_profile(2500.0)
+        assert profile.sum() == pytest.approx(2500.0)
+        assert profile.shape == (24,)
+        assert np.all(profile >= 0)
+
+    def test_profile_peaks_in_eu_afternoon(self):
+        # Europe carries 62 % of traffic: the global peak sits near 14 UTC.
+        profile = website_daily_profile()
+        assert 12 <= int(np.argmax(profile)) <= 17
+
+    def test_read_series_deterministic(self):
+        a = website_read_series(48, seed=3)
+        b = website_read_series(48, seed=3)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, website_read_series(48, seed=4))
+
+    def test_read_series_volume(self):
+        series = website_read_series(7 * 24, seed=0)
+        per_day = series.sum() / 7
+        assert 1500 < per_day < 3500  # ~2500 with weekend dips + noise
+
+    def test_daily_sampling(self):
+        series = website_read_series(10, period_hours=24.0, seed=1)
+        assert series.shape == (10,)
+        assert series.mean() > 1000  # whole days of traffic
+
+    def test_negative_periods(self):
+        with pytest.raises(ValueError):
+            website_read_series(-1)
+
+
+class TestSlashdot:
+    def test_series_shape(self):
+        series = slashdot_read_series(180)
+        assert series[:48].sum() == 0  # quiet for two days
+        assert series[48:51].max() == 150  # ramp to the peak
+        assert series[50] == 150
+        # decay at 2/hour afterwards
+        assert series[51] == 148
+        assert series[60] == 130
+
+    def test_series_reaches_zero(self):
+        series = slashdot_read_series(180)
+        assert series[126:].sum() == 0  # 150/2 = 75 hours of decay
+
+    def test_workload(self):
+        wl = slashdot_workload(180)
+        assert wl.n_objects == 1
+        assert wl.objects[0].size == MB
+        assert wl.objects[0].rule == "slashdot"
+        assert wl.total_writes() == 0
+
+    def test_short_horizon(self):
+        wl = slashdot_workload(50)
+        assert wl.horizon == 50
+
+
+class TestGallery:
+    def test_pareto_weights(self):
+        w = pareto_popularity(200, seed=1)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.min() > 0
+        # Heavy tail: the top picture dominates the median by a lot.
+        assert w.max() / np.median(w) > 5
+
+    def test_workload_shape(self):
+        wl = gallery_workload(48, n_pictures=50, seed=2)
+        assert wl.n_objects == 50
+        assert all(o.size == 250 * KB for o in wl.objects)
+        assert wl.reads.shape == (50, 48)
+
+    def test_popularity_skew_in_reads(self):
+        wl = gallery_workload(7 * 24, n_pictures=100, seed=3)
+        totals = np.sort(wl.reads.sum(axis=1))[::-1]
+        top10 = totals[:10].sum()
+        assert top10 / max(1, totals.sum()) > 0.3
+
+    def test_deterministic(self):
+        a = gallery_workload(24, n_pictures=10, seed=5)
+        b = gallery_workload(24, n_pictures=10, seed=5)
+        assert np.array_equal(a.reads, b.reads)
+
+
+class TestBackup:
+    def test_one_object_every_interval(self):
+        wl = backup_workload(100, interval_hours=5)
+        assert wl.n_objects == 20
+        assert [o.birth_period for o in wl.objects] == list(range(0, 100, 5))
+        assert all(o.size == 40 * MB for o in wl.objects)
+        assert wl.total_reads() == 0
+
+    def test_ttl_hint_carried(self):
+        wl = backup_workload(10, ttl_hint_hours=100.0)
+        assert all(o.ttl_hint == 100.0 for o in wl.objects)
