@@ -10,18 +10,27 @@ Commands
 ``scenario``
     Run one of the paper's evaluation scenarios under a policy and print
     the cost summary (and % over the clairvoyant ideal).
+``serve``
+    Boot the S3-style HTTP gateway over a live broker (see
+    ``docs/GATEWAY.md``): ``repro serve --port 8090`` then drive it with
+    curl or :class:`repro.gateway.client.GatewayClient`.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Optional, Sequence
 
+from repro.core.broker import Scalia
 from repro.core.costmodel import AccessProjection, CostModel
 from repro.core.placement import PlacementEngine
 from repro.core.rules import StorageRule
+from repro.gateway.frontend import MODES, BrokerFrontend
+from repro.gateway.server import ScaliaGateway
 from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
 from repro.sim.ideal import ideal_costs
 from repro.sim.scenarios import SCENARIOS
 from repro.sim.simulator import ScenarioSimulator
@@ -93,6 +102,43 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    registry = ProviderRegistry(paper_catalog(include_cheapstor=args.cheapstor))
+    broker = Scalia(
+        registry,
+        datacenters=args.datacenters,
+        engines_per_dc=args.engines,
+        cache_capacity_bytes=args.cache_bytes,
+    )
+    frontend = BrokerFrontend(broker, mode=args.mode)
+    gateway = ScaliaGateway(
+        frontend, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = gateway.address
+    print(
+        f"scalia gateway listening on http://{host}:{port} "
+        f"(mode={args.mode}, providers={len(registry)})"
+    )
+    print(
+        "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> | GET /<bucket>?list | "
+        "GET /healthz | GET /stats | POST /tick"
+    )
+    # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
+    # and background shells may spawn children with SIGINT ignored.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        gateway.close()
+        frontend.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -126,6 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--horizon", type=int, default=None, help="sampling periods")
     scen.add_argument("--ideal", action="store_true", help="compare to the ideal")
     scen.set_defaults(func=_cmd_scenario)
+
+    serve = sub.add_parser("serve", help="serve the broker over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8090, help="0 picks a free port")
+    serve.add_argument(
+        "--mode", choices=MODES, default="lock", help="frontend serialization strategy"
+    )
+    serve.add_argument("--datacenters", type=int, default=1)
+    serve.add_argument("--engines", type=int, default=2, help="engines per datacenter")
+    serve.add_argument("--cache-bytes", type=int, default=0, help="per-DC cache size")
+    serve.add_argument("--cheapstor", action="store_true", help="include CheapStor")
+    serve.add_argument("--verbose", action="store_true", help="log every request")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

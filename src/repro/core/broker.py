@@ -20,6 +20,7 @@ meters roll over.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -225,6 +226,12 @@ class Scalia:
         self._period = 0
         self._now = 0.0
         self.reports: List[OptimizationReport] = []
+        # Concurrency hook: the broker itself is single-threaded (even reads
+        # mutate log buffers, caches and round-robin cursors), so concurrent
+        # callers — the HTTP gateway's BrokerFrontend, or any in-process
+        # user sharing a broker across threads — must hold this lock around
+        # every call.  Reentrant so nested broker calls under one holder work.
+        self.lock = threading.RLock()
 
     # -- clock ------------------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""The HTTP object gateway: Scalia served over the wire.
+
+The seed reproduction drives the broker in-process (``Scalia.put/get``) and
+through an offline CLI.  This package puts a real network front end on it,
+matching the paper's framing of Scalia as a brokerage layer exposing "the
+simple key/value access interface offered by most cloud storage providers"
+(Section III):
+
+* :mod:`repro.gateway.namespace` — deterministic multi-tenant
+  ``tenant:bucket -> internal container`` mapping, so tenants reuse friendly
+  bucket names without colliding in the broker's flat container namespace.
+* :mod:`repro.gateway.frontend` — :class:`BrokerFrontend`, the concurrency
+  layer that makes the single-threaded broker safe under parallel requests
+  (coarse exclusive locking, or a single-writer dispatch queue).
+* :mod:`repro.gateway.routes` — the S3-flavored route table and the
+  exception -> HTTP status mapping.
+* :mod:`repro.gateway.server` — a stdlib ``ThreadingHTTPServer`` gateway
+  (``repro serve`` boots one).
+* :mod:`repro.gateway.client` — a keep-alive HTTP client plus the load
+  generator used by ``benchmarks/bench_gateway_throughput.py``.
+"""
+
+from repro.gateway.client import GatewayClient, GatewayError, LoadGenerator, LoadReport
+from repro.gateway.frontend import BrokerFrontend
+from repro.gateway.namespace import NamespaceError, NamespaceMapper
+from repro.gateway.routes import Route, status_for_exception
+from repro.gateway.server import ScaliaGateway
+
+__all__ = [
+    "BrokerFrontend",
+    "GatewayClient",
+    "GatewayError",
+    "LoadGenerator",
+    "LoadReport",
+    "NamespaceError",
+    "NamespaceMapper",
+    "Route",
+    "ScaliaGateway",
+    "status_for_exception",
+]

@@ -1,0 +1,360 @@
+"""HTTP client and load generator for the gateway.
+
+:class:`GatewayClient` is a thin keep-alive wrapper over stdlib
+``http.client`` — one TCP connection reused across requests, transparent
+single-retry when the server recycles an idle connection.
+
+:class:`LoadGenerator` drives a mixed PUT/GET workload from N concurrent
+clients (one connection per worker, S3-benchmark style) and reports
+requests/sec plus tail latency; ``benchmarks/bench_gateway_throughput.py``
+is its main consumer.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import quote
+
+from repro.gateway.server import RULE_HEADER, TENANT_HEADER
+
+
+class GatewayError(RuntimeError):
+    """A gateway response with status >= 400."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class GatewayClient:
+    """Keep-alive client for one gateway endpoint, bound to one tenant."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "public",
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport --------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Mirror the server's TCP_NODELAY: a pipelined PUT would
+            # otherwise eat a Nagle stall per request on loopback.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        status, resp_headers, payload, _ = self._request_ex(method, path, body, headers)
+        return status, resp_headers, payload
+
+    def _request_ex(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes, bool]:
+        """Like :meth:`_request`, also reporting whether a retry happened."""
+        send = {TENANT_HEADER: self.tenant}
+        if headers:
+            send.update(headers)
+        # Only idempotent methods are retried after a dropped keep-alive
+        # connection: replaying a POST (/tick) could apply it twice.
+        retriable = method in ("GET", "HEAD", "PUT", "DELETE")
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=send)
+                response = conn.getresponse()
+                payload = response.read()
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    payload,
+                    attempt > 1,
+                )
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                # The server dropped an idle keep-alive connection between
+                # requests; reconnect once before giving up.
+                self.close()
+                if attempt == 2 or not retriable:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        status, _, payload = self._request(method, path, body, headers)
+        if status >= 400:
+            raise GatewayError(status, _error_text(payload))
+        return json.loads(payload) if payload else {}
+
+    @staticmethod
+    def _object_path(bucket: str, key: str) -> str:
+        return f"/{quote(bucket, safe='')}/{quote(key, safe='/')}"
+
+    # -- object API -------------------------------------------------------
+
+    def put(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+    ) -> dict:
+        headers = {"Content-Type": mime}
+        if rule is not None:
+            headers[RULE_HEADER] = rule
+        return self._json("PUT", self._object_path(bucket, key), data, headers)
+
+    def get(self, bucket: str, key: str) -> bytes:
+        status, _, payload = self._request("GET", self._object_path(bucket, key))
+        if status >= 400:
+            raise GatewayError(status, _error_text(payload))
+        return payload
+
+    def head(self, bucket: str, key: str) -> Optional[Dict[str, str]]:
+        """Metadata headers for the object, or ``None`` when absent."""
+        status, headers, _ = self._request("HEAD", self._object_path(bucket, key))
+        if status == 404:
+            return None
+        if status >= 400:
+            raise GatewayError(status, f"HEAD {bucket}/{key}")
+        return {
+            "size": headers.get("content-length", "0"),
+            "mime": headers.get("content-type", ""),
+            "class": headers.get("x-scalia-class", ""),
+            "placement": headers.get("x-scalia-placement", ""),
+            "rule": headers.get("x-scalia-rule", ""),
+            "etag": headers.get("etag", ""),
+        }
+
+    def delete(self, bucket: str, key: str) -> None:
+        status, _, payload, retried = self._request_ex(
+            "DELETE", self._object_path(bucket, key)
+        )
+        if status == 404 and retried:
+            # The first attempt most likely deleted the object before the
+            # connection dropped; a 404 on the replay means "already gone".
+            return
+        if status >= 400:
+            raise GatewayError(status, _error_text(payload))
+
+    def list(self, bucket: str) -> List[str]:
+        return self._json("GET", f"/{quote(bucket, safe='')}?list")["keys"]
+
+    # -- admin API --------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def tick(self, periods: int = 1) -> dict:
+        return self._json("POST", f"/tick?periods={periods}")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _error_text(payload: bytes) -> str:
+    try:
+        return json.loads(payload).get("error", payload.decode("utf-8", "replace"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return payload.decode("utf-8", "replace")
+
+
+# ---------------------------------------------------------------------------
+# load generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """Aggregate result of one load-generator run."""
+
+    clients: int
+    total_requests: int
+    errors: int
+    duration_s: float
+    ops: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        """Sustained requests per second across the whole run."""
+        return self.total_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100], in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        idx = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_requests} reqs / {self.duration_s:.2f}s = "
+            f"{self.rps:.0f} req/s | p50 {self.percentile_ms(50):.2f}ms "
+            f"p95 {self.percentile_ms(95):.2f}ms p99 {self.percentile_ms(99):.2f}ms "
+            f"| {self.errors} errors | {self.clients} clients"
+        )
+
+
+class LoadGenerator:
+    """Mixed PUT/GET hammer: N workers, one keep-alive connection each.
+
+    Each worker owns a disjoint key range (``w{i}-k{j}``) so GETs always
+    target keys that worker already wrote — no cross-worker coordination,
+    and every request is expected to succeed (errors are a red flag, not
+    noise).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        clients: int = 16,
+        put_ratio: float = 0.5,
+        payload_bytes: int = 256,
+        keyspace_per_client: int = 32,
+        tenant: str = "bench",
+        bucket: str = "bench",
+    ) -> None:
+        if not 0.0 < put_ratio <= 1.0:
+            raise ValueError("put_ratio must be in (0, 1]")
+        self.host = host
+        self.port = port
+        self.clients = clients
+        self.put_ratio = put_ratio
+        self.payload_bytes = payload_bytes
+        self.keyspace_per_client = keyspace_per_client
+        self.tenant = tenant
+        self.bucket = bucket
+
+    def run(self, *, requests_per_client: int = 100, seed: int = 0) -> LoadReport:
+        """Fire the workload; returns the aggregate report."""
+        barrier = threading.Barrier(self.clients + 1)
+        results: List[Tuple[List[float], Dict[str, int], int]] = [
+            ([], {}, 0) for _ in range(self.clients)
+        ]
+
+        def worker(wid: int) -> None:
+            rng = random.Random(seed * 7919 + wid)
+            payload = bytes(
+                rng.getrandbits(8) for _ in range(self.payload_bytes)
+            )
+            client = GatewayClient(self.host, self.port, tenant=self.tenant)
+            latencies: List[float] = []
+            ops: Dict[str, int] = {"put": 0, "get": 0}
+            errors = 0
+            written: List[str] = []
+            barrier.wait()
+            try:
+                for _ in range(requests_per_client):
+                    do_put = not written or rng.random() < self.put_ratio
+                    if do_put:
+                        j = rng.randrange(self.keyspace_per_client)
+                        key = f"w{wid}-k{j}"
+                        start = time.perf_counter()
+                        try:
+                            client.put(self.bucket, key, payload)
+                            if key not in written:
+                                written.append(key)
+                            ops["put"] += 1
+                        except Exception:  # noqa: BLE001 — counted, not raised
+                            errors += 1
+                        latencies.append((time.perf_counter() - start) * 1000.0)
+                    else:
+                        key = rng.choice(written)
+                        start = time.perf_counter()
+                        try:
+                            client.get(self.bucket, key)
+                            ops["get"] += 1
+                        except Exception:  # noqa: BLE001
+                            errors += 1
+                        latencies.append((time.perf_counter() - start) * 1000.0)
+            finally:
+                client.close()
+            results[wid] = (latencies, ops, errors)
+
+        threads = [
+            threading.Thread(target=worker, args=(wid,), daemon=True)
+            for wid in range(self.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - start
+
+        all_latencies: List[float] = []
+        ops_total: Dict[str, int] = {}
+        errors_total = 0
+        for latencies, ops, errors in results:
+            all_latencies.extend(latencies)
+            errors_total += errors
+            for op, count in ops.items():
+                ops_total[op] = ops_total.get(op, 0) + count
+        return LoadReport(
+            clients=self.clients,
+            total_requests=len(all_latencies),
+            errors=errors_total,
+            duration_s=duration,
+            ops=ops_total,
+            latencies_ms=all_latencies,
+        )

@@ -1,0 +1,261 @@
+"""The concurrency layer between the HTTP gateway and the broker.
+
+The seed broker was written for single-threaded simulation: *reads* mutate
+shared state too (log buffers, round-robin cursors, the cache), so a
+classic reader/writer lock cannot admit concurrent readers safely — the
+"read" path is a writer.  :class:`BrokerFrontend` therefore offers the two
+serialization strategies the gateway benchmark compares:
+
+``lock``
+    Coarse exclusive locking: every operation runs under the broker's own
+    :attr:`Scalia.lock` on the calling thread.  Zero handoff overhead; the
+    OS scheduler arbitrates between request threads.
+
+``queue``
+    Single-writer dispatch: one worker thread owns the broker and drains a
+    job queue; request threads enqueue a closure and block on a future.
+    Statistics recording stays batched on the single writer (the engines'
+    ``LogAgent`` buffers already batch flushes), and the broker never sees
+    two frames of its own code interleaved.
+
+``bench_gateway_throughput.py`` measures both; ``lock`` wins on CPython
+(no queue handoff per request) and is the default.  Both are kept because
+the queue mode is the shape a real deployment with a non-reentrant broker
+core would need, and the hammer tests assert both stay consistent.
+
+Every operation also bumps the frontend's own counters inside the
+serialized region, which is what the concurrency tests check for lost
+updates.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.engine import ObjectNotFoundError
+from repro.core.broker import Scalia
+from repro.core.optimizer import OptimizationReport
+from repro.gateway.namespace import NamespaceMapper
+from repro.types import ObjectMeta
+
+_SHUTDOWN = object()
+
+#: Serialization strategies understood by :class:`BrokerFrontend`.
+MODES = ("lock", "queue")
+
+
+class FrontendClosedError(RuntimeError):
+    """Raised when an operation is submitted after :meth:`BrokerFrontend.close`."""
+
+
+class BrokerFrontend:
+    """Thread-safe facade over one :class:`~repro.core.broker.Scalia` broker."""
+
+    def __init__(
+        self,
+        broker: Optional[Scalia] = None,
+        *,
+        mode: str = "lock",
+        mapper: Optional[NamespaceMapper] = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown frontend mode {mode!r}; want one of {MODES}")
+        self.broker = broker if broker is not None else Scalia()
+        self.mode = mode
+        self.mapper = mapper if mapper is not None else NamespaceMapper()
+        self.op_counts: Dict[str, int] = {}
+        self.error_counts: Dict[str, int] = {}
+        self._closed = False
+        # Orders queue submissions against close(): holding it guarantees
+        # no job can be enqueued after the shutdown sentinel (a job landing
+        # behind the sentinel would never run and its caller would block on
+        # the future forever).
+        self._submit_lock = threading.Lock()
+        self._jobs: Optional[queue.SimpleQueue] = None
+        self._worker: Optional[threading.Thread] = None
+        if mode == "queue":
+            self._jobs = queue.SimpleQueue()
+            self._worker = threading.Thread(
+                target=self._drain, name="scalia-frontend-writer", daemon=True
+            )
+            self._worker.start()
+
+    # -- serialized execution -------------------------------------------
+
+    def _run(self, op: str, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` serialized against every other broker operation."""
+        if self.mode == "lock":
+            if self._closed:
+                raise FrontendClosedError("frontend is closed")
+            with self.broker.lock:
+                return self._execute(op, fn)
+        future: Future = Future()
+        with self._submit_lock:
+            if self._closed:
+                raise FrontendClosedError("frontend is closed")
+            assert self._jobs is not None
+            self._jobs.put((op, fn, future))
+        return future.result()
+
+    def _drain(self) -> None:
+        assert self._jobs is not None
+        while True:
+            job = self._jobs.get()
+            if job is _SHUTDOWN:
+                return
+            op, fn, future = job
+            try:
+                # The worker still takes the broker lock so in-process users
+                # holding Scalia.lock directly stay mutually excluded.
+                with self.broker.lock:
+                    future.set_result(self._execute(op, fn))
+            except BaseException as exc:  # noqa: BLE001 — relayed to caller
+                future.set_exception(exc)
+
+    def _execute(self, op: str, fn: Callable[[], Any]) -> Any:
+        try:
+            result = fn()
+        except Exception:
+            self.error_counts[op] = self.error_counts.get(op, 0) + 1
+            raise
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        return result
+
+    # -- tenant-facing object API ----------------------------------------
+
+    def put(
+        self,
+        tenant: str,
+        bucket: str,
+        key: str,
+        data: bytes,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+    ) -> ObjectMeta:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run(
+            "put",
+            lambda: self.broker.put(container, key, data, mime=mime, rule=rule),
+        )
+
+    def get(self, tenant: str, bucket: str, key: str) -> bytes:
+        container = self.mapper.internal_container(tenant, bucket)
+
+        def fn():
+            try:
+                return self.broker.get(container, key)
+            except ObjectNotFoundError:
+                # Report the tenant-facing name, not the internal container.
+                raise ObjectNotFoundError(f"{bucket}/{key} not found") from None
+
+        return self._run("get", fn)
+
+    def get_with_meta(
+        self, tenant: str, bucket: str, key: str
+    ) -> tuple[bytes, ObjectMeta]:
+        """Payload and metadata in one serialized operation.
+
+        The HTTP GET handler needs both (bytes for the body, meta for the
+        response headers); fetching them atomically means a concurrent
+        DELETE cannot land in between, and the operation counts as one
+        ``get`` rather than a ``get`` plus a ``head``.
+        """
+        container = self.mapper.internal_container(tenant, bucket)
+
+        def fn():
+            try:
+                payload = self.broker.get(container, key)
+            except ObjectNotFoundError:
+                raise ObjectNotFoundError(f"{bucket}/{key} not found") from None
+            meta = self.broker.head(container, key)
+            assert meta is not None  # same lock as the get; cannot vanish
+            return payload, meta
+
+        return self._run("get", fn)
+
+    def head(self, tenant: str, bucket: str, key: str) -> Optional[ObjectMeta]:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run("head", lambda: self.broker.head(container, key))
+
+    def delete(self, tenant: str, bucket: str, key: str) -> None:
+        container = self.mapper.internal_container(tenant, bucket)
+
+        def fn():
+            try:
+                return self.broker.delete(container, key)
+            except ObjectNotFoundError:
+                raise ObjectNotFoundError(f"{bucket}/{key} not found") from None
+
+        return self._run("delete", fn)
+
+    def list(self, tenant: str, bucket: str) -> List[str]:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run("list", lambda: self.broker.list(container))
+
+    # -- admin API --------------------------------------------------------
+
+    def tick(self, periods: int = 1) -> List[OptimizationReport]:
+        """Close sampling periods (the gateway's ``POST /tick``)."""
+        return self._run("tick", lambda: self.broker.tick(periods))
+
+    def tick_report(self, periods: int = 1) -> Dict[str, Any]:
+        """Tick plus a post-tick summary, read atomically.
+
+        ``POST /tick`` needs the resulting period in its response; reading
+        ``broker.period`` after :meth:`tick` returns would race a
+        concurrent tick and misreport which period this call closed.
+        """
+
+        def fn():
+            reports = self.broker.tick(periods)
+            return {
+                "periods_closed": len(reports),
+                "period": self.broker.period,
+                "migrations": sum(r.migrations for r in reports),
+                "repairs": sum(r.repairs for r in reports),
+            }
+
+        return self._run("tick", fn)
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of gateway and broker health."""
+        return self._run("stats", lambda: self._snapshot())
+
+    def _snapshot(self) -> Dict[str, Any]:
+        broker = self.broker
+        costs = broker.costs()
+        return {
+            "mode": self.mode,
+            "period": broker.period,
+            "now_hours": broker.now,
+            "providers": broker.registry.names(),
+            "ops": dict(self.op_counts),
+            "errors": dict(self.error_counts),
+            "stats_records": broker.cluster.stats.record_count(),
+            "pending_deletes": len(broker.cluster.pending_deletes),
+            "cost_total": costs.total,
+            "cost_by_provider": costs.by_provider,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work; in queue mode, join the writer thread."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._jobs is not None:
+                self._jobs.put(_SHUTDOWN)
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "BrokerFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

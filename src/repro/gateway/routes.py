@@ -1,0 +1,117 @@
+"""The gateway's route table and error-to-status mapping.
+
+Kept free of any ``http.server`` machinery so the parsing and the status
+mapping are unit-testable without sockets, and so an asyncio front end
+could reuse them unchanged.
+
+Route table (see ``docs/GATEWAY.md``):
+
+====== ========================= =====================================
+Method Path                      Meaning
+====== ========================= =====================================
+GET    ``/healthz``              liveness probe
+GET    ``/stats``                gateway + broker counters (JSON)
+POST   ``/tick``                 close ``?periods=N`` sampling periods
+PUT    ``/{bucket}/{key}``       store object (body = payload)
+GET    ``/{bucket}/{key}``       read object bytes
+HEAD   ``/{bucket}/{key}``       metadata only
+DELETE ``/{bucket}/{key}``       delete everywhere
+GET    ``/{bucket}`` (or ?list)  list keys in the bucket
+====== ========================= =====================================
+
+Object keys may contain ``/`` (S3 style): everything after the first path
+segment is the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.cluster.engine import (
+    ObjectNotFoundError,
+    PlacementError,
+    ReadFailedError,
+    WriteFailedError,
+)
+from repro.gateway.namespace import NamespaceError
+from repro.providers.provider import ProviderUnavailableError
+
+
+class RouteError(ValueError):
+    """A request that matches no route (HTTP 400 or 405)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class Route:
+    """A parsed gateway request."""
+
+    kind: str  # "health" | "stats" | "tick" | "object" | "list"
+    bucket: Optional[str] = None
+    key: Optional[str] = None
+    params: Dict[str, str] = field(default_factory=dict)
+
+
+_OBJECT_METHODS = frozenset({"PUT", "GET", "HEAD", "DELETE"})
+
+
+def parse_route(method: str, target: str) -> Route:
+    """Parse ``method`` + request target into a :class:`Route`.
+
+    Raises :class:`RouteError` for unroutable requests.
+    """
+    parts = urlsplit(target)
+    path = unquote(parts.path)
+    params = {k: v[-1] for k, v in parse_qs(parts.query, keep_blank_values=True).items()}
+    if path in ("/healthz", "/healthz/"):
+        if method != "GET":
+            raise RouteError("healthz only supports GET", status=405)
+        return Route("health")
+    if path in ("/stats", "/stats/"):
+        if method != "GET":
+            raise RouteError("stats only supports GET", status=405)
+        return Route("stats", params=params)
+    if path in ("/tick", "/tick/"):
+        if method != "POST":
+            raise RouteError("tick only supports POST", status=405)
+        return Route("tick", params=params)
+
+    stripped = path.lstrip("/")
+    if not stripped:
+        raise RouteError("no route for /")
+    bucket, _, key = stripped.partition("/")
+    if not key:
+        if method != "GET":
+            raise RouteError(
+                f"{method} on a bare bucket is not supported", status=405
+            )
+        return Route("list", bucket=bucket, params=params)
+    if method not in _OBJECT_METHODS:
+        raise RouteError(f"method {method} not supported on objects", status=405)
+    return Route("object", bucket=bucket, key=key, params=params)
+
+
+def status_for_exception(exc: BaseException) -> int:
+    """Map a broker/gateway exception to its HTTP status code.
+
+    The mapping is part of the gateway contract (``docs/GATEWAY.md``):
+    placement infeasibility is an *insufficient storage* condition (507),
+    an unreadable object (fewer than m chunks reachable) is a transient
+    backend failure (503), and namespace violations are client errors.
+    """
+    if isinstance(exc, ObjectNotFoundError):
+        return 404
+    if isinstance(exc, (NamespaceError, RouteError)):
+        return getattr(exc, "status", 400)
+    if isinstance(exc, (PlacementError, WriteFailedError)):
+        return 507
+    if isinstance(exc, (ReadFailedError, ProviderUnavailableError)):
+        return 503
+    if isinstance(exc, (ValueError, KeyError)):
+        return 400
+    return 500

@@ -1,0 +1,295 @@
+"""The HTTP gateway server: a threaded stdlib front end for the broker.
+
+``ScaliaGateway`` wraps a ``ThreadingHTTPServer`` whose handler translates
+the S3-flavored route table (:mod:`repro.gateway.routes`) into
+:class:`~repro.gateway.frontend.BrokerFrontend` calls.  One OS thread per
+connection, HTTP/1.1 keep-alive, no dependencies outside the stdlib.
+
+Tenancy rides on the ``x-scalia-tenant`` header (default ``public``); the
+frontend's namespace mapper turns ``tenant:bucket`` into the internal
+broker container, so the gateway itself never touches broker state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.gateway.frontend import BrokerFrontend
+from repro.gateway.routes import Route, RouteError, parse_route, status_for_exception
+
+#: Largest accepted object payload (keeps a stray client from OOMing the
+#: gateway; real S3 caps single PUTs at 5 GiB).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Cap on ``POST /tick?periods=N``: each period runs the full optimization
+#: loop while holding the broker serialization, so an unbounded N would let
+#: one request wedge the gateway for everyone.
+MAX_TICK_PERIODS = 10_000
+
+DEFAULT_TENANT = "public"
+TENANT_HEADER = "x-scalia-tenant"
+RULE_HEADER = "x-scalia-rule"
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the frontend for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, frontend: BrokerFrontend, verbose: bool):
+        super().__init__(address, handler)
+        self.frontend = frontend
+        self.verbose = verbose
+
+
+class GatewayHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into frontend calls."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "ScaliaGateway/1.0"
+    # Responses go out as two writes (header block, then body); without
+    # TCP_NODELAY, Nagle + delayed ACK turns every response into a ~40 ms
+    # stall on loopback, capping throughput near 25 req/s per connection.
+    disable_nagle_algorithm = True
+    server: _GatewayHTTPServer  # narrowed for type checkers
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        self._body_read = False
+        try:
+            route = parse_route(self.command, self.path)
+            self._handle(route)
+        except Exception as exc:  # noqa: BLE001 — every error becomes a status
+            # KeyError subclasses repr() their message in __str__; use the
+            # raw argument so clients see "photos/cat.gif not found" unquoted.
+            message = str(exc.args[0]) if exc.args else str(exc)
+            self._send_error(status_for_exception(exc), message)
+
+    do_GET = do_PUT = do_HEAD = do_DELETE = do_POST = _dispatch
+
+    def _handle(self, route: Route) -> None:
+        frontend = self.server.frontend
+        tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT)
+        if route.kind == "health":
+            self._send_json(200, {"status": "ok"})
+        elif route.kind == "stats":
+            self._send_json(200, frontend.stats())
+        elif route.kind == "tick":
+            periods = int(route.params.get("periods", "1"))
+            if periods < 1:
+                raise RouteError("periods must be >= 1")
+            if periods > MAX_TICK_PERIODS:
+                raise RouteError(f"periods must be <= {MAX_TICK_PERIODS}")
+            self._send_json(200, frontend.tick_report(periods))
+        elif route.kind == "list":
+            keys = frontend.list(tenant, route.bucket)
+            self._send_json(
+                200, {"bucket": route.bucket, "keys": keys, "count": len(keys)}
+            )
+        elif route.kind == "object":
+            self._handle_object(route, frontend, tenant)
+        else:  # pragma: no cover — parse_route only emits the kinds above
+            raise RouteError(f"unroutable kind {route.kind!r}")
+
+    def _handle_object(
+        self, route: Route, frontend: BrokerFrontend, tenant: str
+    ) -> None:
+        bucket, key = route.bucket, route.key
+        if self.command == "PUT":
+            body = self._read_body()
+            mime = self.headers.get("content-type") or "application/octet-stream"
+            rule = self.headers.get(RULE_HEADER)
+            meta = frontend.put(tenant, bucket, key, body, mime=mime, rule=rule)
+            self._send_json(
+                200,
+                {
+                    "bucket": bucket,
+                    "key": key,
+                    "size": meta.size,
+                    "class": meta.class_key,
+                    "rule": meta.rule_name,
+                    "placement": meta.placement.label(),
+                },
+                extra_headers=self._meta_headers(meta),
+            )
+        elif self.command == "GET":
+            payload, meta = frontend.get_with_meta(tenant, bucket, key)
+            data = payload if isinstance(payload, bytes) else b""
+            self._send_bytes(
+                200,
+                data,
+                content_type=meta.mime,
+                extra_headers=self._meta_headers(meta),
+            )
+        elif self.command == "HEAD":
+            meta = frontend.head(tenant, bucket, key)
+            if meta is None:
+                self._send_error(404, f"{bucket}/{key} not found")
+                return
+            self._settle_unread_body()
+            self.send_response(200)
+            self.send_header("Content-Type", meta.mime)
+            self.send_header("Content-Length", str(meta.size))
+            for name, value in self._meta_headers(meta).items():
+                self.send_header(name, value)
+            self.end_headers()
+        else:  # DELETE
+            frontend.delete(tenant, bucket, key)
+            self._settle_unread_body()
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+
+    # -- plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _meta_headers(meta) -> dict:
+        return {
+            "ETag": f'"{meta.skey}"',
+            "x-scalia-class": meta.class_key,
+            "x-scalia-placement": meta.placement.label(),
+            "x-scalia-rule": meta.rule_name,
+        }
+
+    def _read_body(self) -> bytes:
+        if self.headers.get("transfer-encoding", "").lower() == "chunked":
+            raise RouteError("chunked uploads are not supported", status=411)
+        length = int(self.headers.get("content-length", 0) or 0)
+        if length < 0:
+            raise RouteError("negative content-length")
+        if length > MAX_BODY_BYTES:
+            raise RouteError(f"payload exceeds {MAX_BODY_BYTES} bytes", status=413)
+        self._body_read = True
+        return self.rfile.read(length) if length else b""
+
+    def _settle_unread_body(self) -> None:
+        """Keep the keep-alive stream in sync before any response goes out.
+
+        A handler that errors (413, 411, 405, ...) or ignores its body
+        (POST /tick) leaves the payload bytes unread; the next request on
+        the connection would then be parsed out of payload garbage.  Small
+        leftovers are drained; large or chunked ones close the connection.
+        """
+        if getattr(self, "_body_read", True):
+            return
+        self._body_read = True
+        if self.headers.get("transfer-encoding", "").lower() == "chunked":
+            self.close_connection = True
+            return
+        length = int(self.headers.get("content-length", 0) or 0)
+        if length <= 0:
+            return
+        if length <= 1024 * 1024:
+            self.rfile.read(length)
+        else:
+            self.close_connection = True
+
+    def _send_json(
+        self, status: int, payload: Any, *, extra_headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(
+            status, body, content_type="application/json", extra_headers=extra_headers
+        )
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        self._settle_unread_body()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        payload = json.dumps({"error": message, "status": status}).encode("utf-8")
+        self._send_bytes(status, payload, content_type="application/json")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ScaliaGateway:
+    """Lifecycle wrapper: build, start (foreground or background), close."""
+
+    def __init__(
+        self,
+        frontend: Optional[BrokerFrontend] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self._owns_frontend = frontend is None
+        self.frontend = frontend if frontend is not None else BrokerFrontend()
+        self._httpd = _GatewayHTTPServer(
+            (host, port), GatewayHandler, self.frontend, verbose
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is resolved even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ScaliaGateway":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="scalia-gateway",
+            daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._started = True
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def close(self) -> None:
+        """Stop serving and release the socket (and an owned frontend)."""
+        if self._started:
+            # shutdown() waits on serve_forever's is-shut-down event, which
+            # only ever gets set once serving has begun — guard to avoid a
+            # deadlock when closing a never-started gateway.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._owns_frontend:
+            self.frontend.close()
+
+    def __enter__(self) -> "ScaliaGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,113 @@
+"""BrokerFrontend semantics (single-threaded paths, both modes)."""
+
+import pytest
+
+from repro.cluster.engine import ObjectNotFoundError
+from repro.core.broker import Scalia
+from repro.gateway.frontend import MODES, BrokerFrontend, FrontendClosedError
+from repro.gateway.namespace import NamespaceError
+
+
+@pytest.fixture(params=MODES)
+def frontend(request):
+    fe = BrokerFrontend(Scalia(), mode=request.param)
+    yield fe
+    fe.close()
+
+
+class TestObjectAPI:
+    def test_put_get_roundtrip(self, frontend):
+        payload = b"scalia over the wire" * 10
+        meta = frontend.put("alice", "photos", "cat.gif", payload, mime="image/gif")
+        assert meta.size == len(payload)
+        assert frontend.get("alice", "photos", "cat.gif") == payload
+
+    def test_head_and_list(self, frontend):
+        frontend.put("alice", "photos", "a.txt", b"a", mime="text/plain")
+        frontend.put("alice", "photos", "b.txt", b"b", mime="text/plain")
+        meta = frontend.head("alice", "photos", "a.txt")
+        assert meta.size == 1 and meta.mime == "text/plain"
+        assert frontend.list("alice", "photos") == ["a.txt", "b.txt"]
+
+    def test_delete(self, frontend):
+        frontend.put("alice", "photos", "x", b"x")
+        frontend.delete("alice", "photos", "x")
+        assert frontend.head("alice", "photos", "x") is None
+        assert frontend.list("alice", "photos") == []
+
+    def test_tenant_isolation(self, frontend):
+        frontend.put("alice", "photos", "cat.gif", b"alice-cat")
+        frontend.put("bob", "photos", "cat.gif", b"bob-cat")
+        assert frontend.get("alice", "photos", "cat.gif") == b"alice-cat"
+        assert frontend.get("bob", "photos", "cat.gif") == b"bob-cat"
+        frontend.delete("bob", "photos", "cat.gif")
+        assert frontend.get("alice", "photos", "cat.gif") == b"alice-cat"
+
+    def test_missing_object_reports_tenant_name(self, frontend):
+        with pytest.raises(ObjectNotFoundError) as err:
+            frontend.get("alice", "photos", "nope.gif")
+        assert "photos/nope.gif" in str(err.value)
+        assert "gw-" not in str(err.value)
+
+    def test_bad_bucket_rejected_before_broker(self, frontend):
+        with pytest.raises(NamespaceError):
+            frontend.put("alice", "Bad_Bucket", "k", b"v")
+        assert frontend.op_counts.get("put", 0) == 0
+
+
+class TestAdminAPI:
+    def test_tick_advances_period(self, frontend):
+        assert frontend.broker.period == 0
+        reports = frontend.tick(3)
+        assert len(reports) == 3
+        assert frontend.broker.period == 3
+
+    def test_stats_snapshot(self, frontend):
+        frontend.put("alice", "photos", "k", b"v")
+        frontend.get("alice", "photos", "k")
+        stats = frontend.stats()
+        assert stats["mode"] == frontend.mode
+        assert stats["ops"]["put"] == 1
+        assert stats["ops"]["get"] == 1
+        assert stats["period"] == 0
+        assert set(stats["cost_by_provider"]) == set(stats["providers"])
+
+    def test_error_counter(self, frontend):
+        with pytest.raises(ObjectNotFoundError):
+            frontend.get("alice", "photos", "missing")
+        assert frontend.error_counts["get"] == 1
+        assert frontend.op_counts.get("get", 0) == 0
+
+
+class TestLifecycle:
+    def test_closed_frontend_rejects_work(self, frontend):
+        frontend.close()
+        with pytest.raises(FrontendClosedError):
+            frontend.put("alice", "photos", "k", b"v")
+
+    def test_close_is_idempotent(self, frontend):
+        frontend.close()
+        frontend.close()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerFrontend(Scalia(), mode="optimistic")
+
+    def test_context_manager(self):
+        with BrokerFrontend(Scalia(), mode="queue") as fe:
+            fe.put("alice", "photos", "k", b"v")
+        with pytest.raises(FrontendClosedError):
+            fe.get("alice", "photos", "k")
+
+
+class TestSharedLock:
+    def test_frontends_share_one_broker_lock(self):
+        broker = Scalia()
+        fe1 = BrokerFrontend(broker, mode="lock")
+        fe2 = BrokerFrontend(broker, mode="queue")
+        try:
+            fe1.put("alice", "photos", "k", b"via-fe1")
+            assert fe2.get("alice", "photos", "k") == b"via-fe1"
+        finally:
+            fe1.close()
+            fe2.close()

@@ -1,0 +1,86 @@
+"""Route parsing and the exception -> HTTP status contract."""
+
+import pytest
+
+from repro.cluster.engine import (
+    ObjectNotFoundError,
+    PlacementError,
+    ReadFailedError,
+    WriteFailedError,
+)
+from repro.gateway.namespace import NamespaceError
+from repro.gateway.routes import RouteError, parse_route, status_for_exception
+from repro.providers.provider import ProviderUnavailableError
+
+
+class TestParseRoute:
+    def test_healthz(self):
+        route = parse_route("GET", "/healthz")
+        assert route.kind == "health"
+
+    def test_stats(self):
+        assert parse_route("GET", "/stats").kind == "stats"
+
+    def test_tick_with_params(self):
+        route = parse_route("POST", "/tick?periods=24")
+        assert route.kind == "tick"
+        assert route.params["periods"] == "24"
+
+    def test_tick_requires_post(self):
+        with pytest.raises(RouteError) as err:
+            parse_route("GET", "/tick")
+        assert err.value.status == 405
+
+    def test_object_route(self):
+        route = parse_route("PUT", "/photos/cat.gif")
+        assert (route.kind, route.bucket, route.key) == ("object", "photos", "cat.gif")
+
+    def test_object_key_may_contain_slashes(self):
+        route = parse_route("GET", "/photos/2012/07/cat.gif")
+        assert route.bucket == "photos"
+        assert route.key == "2012/07/cat.gif"
+
+    def test_object_key_is_url_decoded(self):
+        route = parse_route("GET", "/photos/my%20vacation.gif")
+        assert route.key == "my vacation.gif"
+
+    def test_bucket_list(self):
+        route = parse_route("GET", "/photos?list")
+        assert (route.kind, route.bucket) == ("list", "photos")
+        bare = parse_route("GET", "/photos")
+        assert (bare.kind, bare.bucket) == ("list", "photos")
+
+    def test_bare_bucket_rejects_other_methods(self):
+        with pytest.raises(RouteError) as err:
+            parse_route("DELETE", "/photos")
+        assert err.value.status == 405
+
+    def test_root_is_unroutable(self):
+        with pytest.raises(RouteError):
+            parse_route("GET", "/")
+
+    def test_post_on_object_rejected(self):
+        with pytest.raises(RouteError) as err:
+            parse_route("POST", "/photos/cat.gif")
+        assert err.value.status == 405
+
+
+class TestStatusMapping:
+    @pytest.mark.parametrize(
+        "exc,status",
+        [
+            (ObjectNotFoundError("gone"), 404),
+            (NamespaceError("bad bucket"), 400),
+            (RouteError("no route"), 400),
+            (RouteError("bad method", status=405), 405),
+            (PlacementError("no feasible placement"), 507),
+            (WriteFailedError("unreachable"), 507),
+            (ReadFailedError("not enough chunks"), 503),
+            (ProviderUnavailableError("down", "S3(h)"), 503),
+            (ValueError("bad input"), 400),
+            (KeyError("dc9"), 400),
+            (RuntimeError("boom"), 500),
+        ],
+    )
+    def test_mapping(self, exc, status):
+        assert status_for_exception(exc) == status
