@@ -46,6 +46,7 @@ from repro.providers import (
     paper_catalog,
 )
 from repro.erasure import ReedSolomon
+from repro.storage import FileChunkStore, MemoryChunkStore, Scrubber
 
 __version__ = "1.0.0"
 
@@ -74,5 +75,8 @@ __all__ = [
     "CHEAPSTOR",
     "paper_catalog",
     "ReedSolomon",
+    "FileChunkStore",
+    "MemoryChunkStore",
+    "Scrubber",
     "__version__",
 ]

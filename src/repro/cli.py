@@ -109,19 +109,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         datacenters=args.datacenters,
         engines_per_dc=args.engines,
         cache_capacity_bytes=args.cache_bytes,
+        data_dir=args.data_dir,
+        storage_sync=args.storage_sync,
     )
     frontend = BrokerFrontend(broker, mode=args.mode)
     gateway = ScaliaGateway(
         frontend, host=args.host, port=args.port, verbose=args.verbose
     )
     host, port = gateway.address
+    if broker.recovery is not None:
+        print(
+            f"durable storage: {args.data_dir} (boot #{broker.recovery['boot_epoch']}, "
+            f"snapshot={'yes' if broker.recovery['snapshot_loaded'] else 'no'}, "
+            f"wal records replayed={broker.recovery['wal_records_replayed']}, "
+            f"recovered in {broker.recovery['duration_seconds']:.3f}s)"
+        )
     print(
         f"scalia gateway listening on http://{host}:{port} "
         f"(mode={args.mode}, providers={len(registry)})"
     )
     print(
         "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> | GET /<bucket>?list | "
-        "GET /healthz | GET /stats | POST /tick"
+        "GET /healthz | GET /stats | POST /tick | POST /scrub"
     )
     # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
     # and background shells may spawn children with SIGINT ignored.
@@ -136,6 +145,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         gateway.close()
         frontend.close()
+        # Clean shutdown = snapshot + flush; the next boot recovers without
+        # touching the WAL.  A SIGKILLed process skips this and replays.
+        broker.close()
     return 0
 
 
@@ -183,6 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engines", type=int, default=2, help="engines per datacenter")
     serve.add_argument("--cache-bytes", type=int, default=0, help="per-DC cache size")
     serve.add_argument("--cheapstor", action="store_true", help="include CheapStor")
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for durable chunk segments + metadata WAL; "
+        "restarts (even after SIGKILL) recover every acknowledged write",
+    )
+    serve.add_argument(
+        "--storage-sync",
+        choices=("os", "always", "never"),
+        default="os",
+        help="durability flush policy: 'os' survives process crashes, "
+        "'always' adds fsync (power-loss safe), 'never' is test-only",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
     return parser

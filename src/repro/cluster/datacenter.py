@@ -54,6 +54,7 @@ class ScaliaCluster:
         engines_per_dc: int = 2,
         cache_capacity_bytes: int = 0,
         seed: int = 0,
+        id_epoch: int = 0,
         stats: Optional[StatsDatabase] = None,
     ) -> None:
         if datacenters < 1 or engines_per_dc < 1:
@@ -68,7 +69,7 @@ class ScaliaCluster:
         self.aggregator = LogAggregator(self.stats)
         self.election = HeartbeatElection(lease=1.0)
         self.pending_deletes = PendingDeleteQueue()
-        self.ids = IdGenerator(seed=seed)
+        self.ids = IdGenerator(seed=seed, epoch=id_epoch)
         code_cache = CodeCache()
 
         self.datacenters: Dict[str, Datacenter] = {}

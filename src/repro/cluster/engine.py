@@ -16,6 +16,7 @@ provider are postponed until it recovers.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
 
@@ -34,6 +35,7 @@ from repro.erasure.striping import (
 )
 from repro.providers.provider import (
     CapacityExceededError,
+    ChunkCorruptionError,
     ChunkNotFoundError,
     ChunkTooLargeError,
     ProviderUnavailableError,
@@ -89,29 +91,58 @@ class Planner(Protocol):
 
 @dataclass
 class PendingDeleteQueue:
-    """Deletes postponed because the owning provider was unavailable."""
+    """Deletes postponed because the owning provider was unavailable.
+
+    ``on_add``/``on_remove`` (installed by the storage layer's
+    DurabilityManager) fire per entry mutation so the queue can be
+    journaled as deltas: a crash between an acknowledged delete and the
+    eventual flush must not leak the chunk forever, and a delta per
+    mutation keeps the journal linear in queue churn (journaling the
+    full queue each time would be quadratic during an outage backlog).
+    """
 
     entries: List[Tuple[str, str]] = field(default_factory=list)
+    on_add: Optional[Callable[[str, str], None]] = None
+    on_remove: Optional[Callable[[str, str], None]] = None
 
     def add(self, provider_name: str, chunk_key: str) -> None:
         self.entries.append((provider_name, chunk_key))
+        if self.on_add is not None:
+            self.on_add(provider_name, chunk_key)
+
+    def _remove(self, entry: Tuple[str, str]) -> None:
+        self.entries.remove(entry)
+        if self.on_remove is not None:
+            self.on_remove(*entry)
+
+    def discard(self, provider_name: str, chunk_key: str) -> None:
+        """Cancel any pending delete for ``(provider, chunk_key)``.
+
+        Must be called whenever a chunk is (re)written at a key that may
+        have a queued delete — same-code migrations and scrub repairs
+        reuse ``skey:index`` chunk keys, so a stale entry from an earlier
+        outage would otherwise destroy the freshly written chunk when the
+        provider recovers.
+        """
+        entry = (provider_name, chunk_key)
+        while entry in self.entries:
+            self._remove(entry)
 
     def flush(self, registry: ProviderRegistry) -> int:
         """Retry pending deletes; returns how many were completed."""
-        remaining: List[Tuple[str, str]] = []
         done = 0
-        for provider_name, chunk_key in self.entries:
+        for entry in list(self.entries):
+            provider_name, chunk_key = entry
             if provider_name not in registry or not registry.is_available(provider_name):
-                remaining.append((provider_name, chunk_key))
                 continue
             try:
                 registry.get(provider_name).delete_chunk(chunk_key)
-                done += 1
             except ChunkNotFoundError:
-                done += 1  # already gone
+                pass  # already gone
             except ProviderUnavailableError:
-                remaining.append((provider_name, chunk_key))
-        self.entries = remaining
+                continue
+            done += 1
+            self._remove(entry)
         return done
 
     def __len__(self) -> int:
@@ -474,6 +505,8 @@ class Engine:
                 for chunk, provider in zip(chunks, placement.providers)
             ),
             created_at=created_at,
+            # Content MD5 (the gateway's ETag); synthetic payloads have none.
+            checksum=hashlib.md5(data).hexdigest() if isinstance(data, bytes) else "",
             ttl_hint=ttl_hint,
         )
 
@@ -498,7 +531,12 @@ class Engine:
         return [(index, name) for _, name, index in scored]
 
     def _fetch_chunks(self, meta: ObjectMeta, count: int, *, times: int = 1):
-        """Fetch ``count`` chunks from the cheapest available providers."""
+        """Fetch ``count`` chunks from the cheapest available providers.
+
+        Corrupt chunks (durable backends detect them by checksum) are
+        skipped like missing ones: any ``m`` intact chunks serve the read,
+        and the scrubber repairs the damage out of band.
+        """
         fetched = []
         for index, provider_name in self._serving_order(meta):
             if len(fetched) == count:
@@ -509,7 +547,7 @@ class Engine:
                         meta.chunk_key(index), times=times
                     )
                 )
-            except (ProviderUnavailableError, ChunkNotFoundError):
+            except (ProviderUnavailableError, ChunkNotFoundError, ChunkCorruptionError):
                 continue
         if len(fetched) < count:
             raise ReadFailedError(
@@ -566,6 +604,10 @@ class Engine:
                         code_cache=self._codes,
                     )
             self._registry.get(provider_name).put_chunk(meta.chunk_key(index), chunk)
+            # This key may sit in the pending-delete queue from an earlier
+            # migration away from an unavailable provider; the chunk is
+            # live again, so the queued delete must not fire.
+            self._pending.discard(provider_name, meta.chunk_key(index))
             new_map[index] = provider_name
             written += 1
         chunk_map = tuple(sorted(new_map.items()))
@@ -605,6 +647,7 @@ class Engine:
             chunks = split_object(data, new_placement.m, new_placement.n, code_cache=self._codes)
         for chunk, provider_name in zip(chunks, new_placement.providers):
             self._registry.get(provider_name).put_chunk(f"{skey}:{chunk.index}", chunk)
+            self._pending.discard(provider_name, f"{skey}:{chunk.index}")
         new_meta = ObjectMeta(
             container=meta.container,
             key=meta.key,

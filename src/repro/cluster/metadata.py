@@ -13,7 +13,7 @@ replication; healing runs anti-entropy and converges every replica
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Literal, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Literal, Mapping, Optional, Tuple
 
 Ordering = Literal["before", "after", "equal", "concurrent"]
 
@@ -71,6 +71,26 @@ class VersionedValue:
     @property
     def is_tombstone(self) -> bool:
         return self.value is None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the durability journal and snapshots."""
+        return {
+            "uuid": self.uuid,
+            "value": self.value,
+            "timestamp": self.timestamp,
+            "vclock": dict(self.vclock.counters),
+            "origin_dc": self.origin_dc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VersionedValue":
+        return cls(
+            uuid=data["uuid"],
+            value=data["value"],
+            timestamp=data["timestamp"],
+            vclock=VectorClock({str(k): int(v) for k, v in data["vclock"].items()}),
+            origin_dc=data["origin_dc"],
+        )
 
 
 @dataclass
@@ -146,6 +166,12 @@ class MetadataCluster:
         self._partitioned: set[frozenset[str]] = set()
         self._pending: Dict[frozenset[str], List[Tuple[str, VersionedValue]]] = {}
         self._clock_seed = 0
+        # Durability hooks (set by the storage layer's DurabilityManager):
+        # ``on_apply(dc, row_key, version)`` fires whenever a replica applies
+        # a version, ``on_prune(dc, row_key, keep_uuid)`` when read-repair
+        # drops the losers of a conflict.  ``None`` means no journaling.
+        self.on_apply: Optional[Callable[[str, str, VersionedValue], None]] = None
+        self.on_prune: Optional[Callable[[str, str, str], None]] = None
 
     # -- topology ---------------------------------------------------------
 
@@ -165,7 +191,28 @@ class MetadataCluster:
         for row_key, version in self._pending.pop(link, []):
             # The queue holds (row, version) in both directions.
             for dc in (dc_a, dc_b):
-                self._replicas[dc].apply(row_key, version)
+                self._apply(dc, row_key, version)
+
+    def _apply(self, dc: str, row_key: str, version: VersionedValue) -> None:
+        """Apply a version to one replica, journaling when hooked."""
+        self._replicas[dc].apply(row_key, version)
+        if self.on_apply is not None:
+            self.on_apply(dc, row_key, version)
+
+    def apply_raw(self, dc: str, row_key: str, version: VersionedValue) -> None:
+        """Directly apply a version to one replica (recovery replay path).
+
+        Bypasses replication and the journal hooks: replay must reproduce
+        exactly the per-replica applications the journal recorded, not
+        re-replicate them.
+        """
+        self._check_dc(dc)
+        self._replicas[dc].apply(row_key, version)
+
+    def prune_raw(self, dc: str, row_key: str, keep_uuid: str) -> None:
+        """Directly re-run a journaled read-repair prune (recovery replay)."""
+        self._check_dc(dc)
+        self._replicas[dc].prune(row_key, keep_uuid)
 
     def is_partitioned(self, dc_a: str, dc_b: str) -> bool:
         return frozenset((dc_a, dc_b)) in self._partitioned
@@ -203,19 +250,19 @@ class MetadataCluster:
             vclock=base.increment(dc),
             origin_dc=dc,
         )
-        self._replicas[dc].apply(row_key, version)
+        self._apply(dc, row_key, version)
         self._replicate(dc, row_key, version)
         return version
 
     def _replicate(self, origin: str, row_key: str, version: VersionedValue) -> None:
-        for dc, replica in self._replicas.items():
+        for dc in self._replicas:
             if dc == origin:
                 continue
             link = frozenset((origin, dc))
             if link in self._partitioned:
                 self._pending.setdefault(link, []).append((row_key, version))
             else:
-                replica.apply(row_key, version)
+                self._apply(dc, row_key, version)
 
     # -- reads ---------------------------------------------------------------
 
@@ -234,6 +281,8 @@ class MetadataCluster:
         stale = [v for v in versions if v.uuid != winner.uuid]
         if repair and stale:
             self._replicas[dc].prune(row_key, winner.uuid)
+            if self.on_prune is not None:
+                self.on_prune(dc, row_key, winner.uuid)
         resolution = ConflictResolution(
             winner=winner, stale=stale, had_conflict=len(stale) > 0
         )
@@ -256,6 +305,41 @@ class MetadataCluster:
             if winner is not None and not winner.is_tombstone:
                 out[row_key] = winner
         return out
+
+    # -- persistence ---------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-ready dump of every replica (snapshot support)."""
+        return {
+            dc: {
+                row_key: [v.to_dict() for v in sorted(row.values(), key=lambda v: v.uuid)]
+                for row_key, row in replica.rows.items()
+            }
+            for dc, replica in self._replicas.items()
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Inverse of :meth:`export_state`; unknown datacenters are ignored."""
+        for replica in self._replicas.values():
+            replica.rows.clear()
+        for dc, rows in state.items():
+            if dc not in self._replicas:
+                continue
+            for row_key, versions in rows.items():
+                for version in versions:
+                    self._replicas[dc].apply(row_key, VersionedValue.from_dict(version))
+
+    def iter_versions(self):
+        """Yield every stored ``(dc, row_key, version)`` across replicas.
+
+        A read-only walk for bulk consumers (the scrubber's reference
+        census) that avoids serializing the whole store the way
+        :meth:`export_state` does.
+        """
+        for dc, replica in self._replicas.items():
+            for row_key, row in replica.rows.items():
+                for version in row.values():
+                    yield dc, row_key, version
 
     # -- introspection -------------------------------------------------------
 

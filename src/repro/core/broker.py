@@ -35,6 +35,8 @@ from repro.core.rules import RuleBook
 from repro.cluster.statistics import StatsDatabase
 from repro.providers.pricing import cost_of_usage, paper_catalog
 from repro.providers.registry import ProviderRegistry
+from repro.storage.persistence import DurabilityManager
+from repro.storage.scrubber import ScrubReport, Scrubber
 from repro.types import ObjectMeta, Placement
 from repro.util.ids import object_row_key
 
@@ -168,8 +170,27 @@ class Scalia:
         planner=None,
         enable_optimizer: bool = True,
         class_priors: Sequence = (),
+        data_dir: Optional[str] = None,
+        storage_sync: str = "os",
     ) -> None:
-        self.registry = registry if registry is not None else ProviderRegistry(paper_catalog())
+        # Durability first: the data directory supplies the providers'
+        # chunk-store backends and the id epoch, both needed at build time.
+        self.durability: Optional[DurabilityManager] = None
+        id_epoch = 0
+        if data_dir is not None:
+            self.durability = DurabilityManager(data_dir, sync=storage_sync)
+            id_epoch = self.durability.boot_epoch
+        if registry is not None:
+            self.registry = registry
+            if self.durability is not None:
+                self.registry.set_backend_factory(self.durability.backend_factory)
+        else:
+            self.registry = ProviderRegistry(
+                paper_catalog(),
+                backend_factory=(
+                    self.durability.backend_factory if self.durability else None
+                ),
+            )
         self.rules = rules if rules is not None else RuleBook()
         self.cost_model = CostModel(sampling_period_hours)
         self.placement_engine = PlacementEngine(
@@ -206,6 +227,7 @@ class Scalia:
             engines_per_dc=engines_per_dc,
             cache_capacity_bytes=cache_capacity_bytes,
             seed=seed,
+            id_epoch=id_epoch,
             stats=stats,
         )
         self.optimizer = PeriodicOptimizer(
@@ -226,6 +248,14 @@ class Scalia:
         self._period = 0
         self._now = 0.0
         self.reports: List[OptimizationReport] = []
+        self.scrubber = Scrubber(self.cluster, self.registry)
+        self.recovery: Optional[dict] = None
+        if self.durability is not None:
+            # Replay snapshot + WAL into the fresh substrate, then hook the
+            # metadata cluster so every subsequent apply is journaled.
+            self.recovery = self.durability.recover(self)
+            self.durability.attach(self)
+        self._closed = False
         # Concurrency hook: the broker itself is single-threaded (even reads
         # mutate log buffers, caches and round-robin cursors), so concurrent
         # callers — the HTTP gateway's BrokerFrontend, or any in-process
@@ -322,9 +352,58 @@ class Scalia:
                 engine.flush_pending_deletes()
                 break  # the queue is shared; one flush suffices
             self.registry.on_period(self._period, self.sampling_period_hours)
+            if self.durability is not None:
+                self.durability.on_period_closed(self, self._period)
             self._period += 1
         self.reports.extend(new_reports)
         return new_reports
+
+    # -- storage engine ------------------------------------------------------
+
+    def scrub(self, *, repair: bool = True) -> ScrubReport:
+        """Run one integrity pass over every stored chunk (and repair).
+
+        Callers sharing the broker across threads must hold
+        :attr:`lock` (the gateway frontend does).
+        """
+        return self.scrubber.scrub(repair=repair)
+
+    def storage_stats(self) -> dict:
+        """JSON-ready description of the data plane's durability state."""
+        return {
+            "durable": self.durability is not None,
+            "backends": {
+                p.name: p.backend.stats() for p in self.registry.providers()
+            },
+            "durability": self.durability.stats() if self.durability else None,
+            "recovery": self.recovery,
+            "last_scrub": (
+                self.scrubber.last_report.to_dict()
+                if self.scrubber.last_report is not None
+                else None
+            ),
+        }
+
+    def close(self) -> None:
+        """Flush and release durable state (snapshot, WAL, segment files).
+
+        Idempotent; a broker without a ``data_dir`` closes trivially.
+        With one, a clean shutdown ends on a fresh snapshot so the next
+        boot recovers without replaying the journal.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.durability is not None:
+            self.durability.close()
+        for provider in self.registry.providers():
+            provider.backend.close()
+
+    def __enter__(self) -> "Scalia":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- accounting ---------------------------------------------------------------
 

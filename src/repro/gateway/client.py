@@ -193,6 +193,10 @@ class GatewayClient:
     def tick(self, periods: int = 1) -> dict:
         return self._json("POST", f"/tick?periods={periods}")
 
+    def scrub(self, *, repair: bool = True) -> dict:
+        """Run a storage integrity pass (``POST /scrub``); returns the report."""
+        return self._json("POST", f"/scrub?repair={'1' if repair else '0'}")
+
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:

@@ -221,6 +221,14 @@ class BrokerFrontend:
 
         return self._run("tick", fn)
 
+    def scrub(self, *, repair: bool = True) -> Dict[str, Any]:
+        """Run a broker-wide integrity scrub (the gateway's ``POST /scrub``).
+
+        Serialized like every other operation, so the pass sees a frozen
+        chunk universe and repairs cannot race client writes.
+        """
+        return self._run("scrub", lambda: self.broker.scrub(repair=repair).to_dict())
+
     def stats(self) -> Dict[str, Any]:
         """A JSON-ready snapshot of gateway and broker health."""
         return self._run("stats", lambda: self._snapshot())
@@ -239,6 +247,7 @@ class BrokerFrontend:
             "pending_deletes": len(broker.cluster.pending_deletes),
             "cost_total": costs.total,
             "cost_by_provider": costs.by_provider,
+            "storage": broker.storage_stats(),
         }
 
     # -- lifecycle ---------------------------------------------------------

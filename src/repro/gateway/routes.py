@@ -12,6 +12,7 @@ Method Path                      Meaning
 GET    ``/healthz``              liveness probe
 GET    ``/stats``                gateway + broker counters (JSON)
 POST   ``/tick``                 close ``?periods=N`` sampling periods
+POST   ``/scrub``                integrity pass + erasure repair (JSON)
 PUT    ``/{bucket}/{key}``       store object (body = payload)
 GET    ``/{bucket}/{key}``       read object bytes
 HEAD   ``/{bucket}/{key}``       metadata only
@@ -36,7 +37,12 @@ from repro.cluster.engine import (
     WriteFailedError,
 )
 from repro.gateway.namespace import NamespaceError
-from repro.providers.provider import ProviderUnavailableError
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkCorruptionError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+)
 
 
 class RouteError(ValueError):
@@ -51,7 +57,7 @@ class RouteError(ValueError):
 class Route:
     """A parsed gateway request."""
 
-    kind: str  # "health" | "stats" | "tick" | "object" | "list"
+    kind: str  # "health" | "stats" | "tick" | "scrub" | "object" | "list"
     bucket: Optional[str] = None
     key: Optional[str] = None
     params: Dict[str, str] = field(default_factory=dict)
@@ -80,6 +86,10 @@ def parse_route(method: str, target: str) -> Route:
         if method != "POST":
             raise RouteError("tick only supports POST", status=405)
         return Route("tick", params=params)
+    if path in ("/scrub", "/scrub/"):
+        if method != "POST":
+            raise RouteError("scrub only supports POST", status=405)
+        return Route("scrub", params=params)
 
     stripped = path.lstrip("/")
     if not stripped:
@@ -100,17 +110,21 @@ def status_for_exception(exc: BaseException) -> int:
     """Map a broker/gateway exception to its HTTP status code.
 
     The mapping is part of the gateway contract (``docs/GATEWAY.md``):
-    placement infeasibility is an *insufficient storage* condition (507),
-    an unreadable object (fewer than m chunks reachable) is a transient
-    backend failure (503), and namespace violations are client errors.
+    placement infeasibility and provider pools that are genuinely full are
+    *insufficient storage* conditions (507), an unreadable object (fewer
+    than m chunks reachable) or a corrupt chunk awaiting scrub-repair is a
+    transient backend failure (503), an oversized chunk and namespace
+    violations are client errors (400).
     """
     if isinstance(exc, ObjectNotFoundError):
         return 404
     if isinstance(exc, (NamespaceError, RouteError)):
         return getattr(exc, "status", 400)
-    if isinstance(exc, (PlacementError, WriteFailedError)):
+    if isinstance(exc, (PlacementError, WriteFailedError, CapacityExceededError)):
         return 507
-    if isinstance(exc, (ReadFailedError, ProviderUnavailableError)):
+    if isinstance(exc, ChunkTooLargeError):
+        return 400
+    if isinstance(exc, (ReadFailedError, ProviderUnavailableError, ChunkCorruptionError)):
         return 503
     if isinstance(exc, (ValueError, KeyError)):
         return 400

@@ -12,6 +12,9 @@ broker container, so the gateway itself never touches broker state.
 
 from __future__ import annotations
 
+import base64
+import binascii
+import hashlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -86,6 +89,9 @@ class GatewayHandler(BaseHTTPRequestHandler):
             if periods > MAX_TICK_PERIODS:
                 raise RouteError(f"periods must be <= {MAX_TICK_PERIODS}")
             self._send_json(200, frontend.tick_report(periods))
+        elif route.kind == "scrub":
+            repair = route.params.get("repair", "1") not in ("0", "false", "no")
+            self._send_json(200, frontend.scrub(repair=repair))
         elif route.kind == "list":
             keys = frontend.list(tenant, route.bucket)
             self._send_json(
@@ -102,6 +108,7 @@ class GatewayHandler(BaseHTTPRequestHandler):
         bucket, key = route.bucket, route.key
         if self.command == "PUT":
             body = self._read_body()
+            self._check_content_md5(body)
             mime = self.headers.get("content-type") or "application/octet-stream"
             rule = self.headers.get(RULE_HEADER)
             meta = frontend.put(tenant, bucket, key, body, mime=mime, rule=rule)
@@ -114,6 +121,7 @@ class GatewayHandler(BaseHTTPRequestHandler):
                     "class": meta.class_key,
                     "rule": meta.rule_name,
                     "placement": meta.placement.label(),
+                    "etag": meta.checksum or meta.skey,
                 },
                 extra_headers=self._meta_headers(meta),
             )
@@ -149,12 +157,45 @@ class GatewayHandler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _meta_headers(meta) -> dict:
+        # The ETag is the content MD5, S3-style (the seed surfaced the
+        # per-version storage key here, which is a broker internal and
+        # useless for client-side integrity checks).  Objects stored in
+        # synthetic mode carry no payload digest; only those fall back to
+        # the version key.
         return {
-            "ETag": f'"{meta.skey}"',
+            "ETag": f'"{meta.checksum or meta.skey}"',
             "x-scalia-class": meta.class_key,
             "x-scalia-placement": meta.placement.label(),
             "x-scalia-rule": meta.rule_name,
         }
+
+    def _check_content_md5(self, body: bytes) -> None:
+        """Validate a client-supplied ``Content-MD5`` header against the body.
+
+        Accepts the RFC 1864 base64 form (what S3 uses) and, leniently, a
+        32-char hex digest; a malformed header or a digest mismatch is a
+        400 — the client's bytes did not arrive intact, so storing them
+        would durably persist the corruption.
+        """
+        header = self.headers.get("content-md5")
+        if header is None:
+            return
+        header = header.strip()
+        digest: Optional[bytes] = None
+        if len(header) == 32:
+            try:
+                digest = bytes.fromhex(header)
+            except ValueError:
+                digest = None
+        if digest is None:
+            try:
+                digest = base64.b64decode(header, validate=True)
+            except (binascii.Error, ValueError):
+                raise RouteError("malformed Content-MD5 header") from None
+        if len(digest) != 16:
+            raise RouteError("Content-MD5 must be a 128-bit MD5 digest")
+        if digest != hashlib.md5(body).digest():
+            raise RouteError("Content-MD5 mismatch: payload corrupted in transit")
 
     def _read_body(self) -> bytes:
         if self.headers.get("transfer-encoding", "").lower() == "chunked":

@@ -12,14 +12,27 @@ flipping :attr:`SimulatedProvider.failed`; every operation then raises
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Union
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Union
 
 from repro.erasure.striping import Chunk, SyntheticChunk
 from repro.providers.pricing import ProviderSpec
+from repro.storage.backend import ChunkCorruptionError, ChunkStore, MemoryChunkStore
 from repro.util.units import GB
 
 AnyChunk = Union[Chunk, SyntheticChunk]
+
+__all__ = [
+    "AnyChunk",
+    "CapacityExceededError",
+    "ChunkCorruptionError",
+    "ChunkNotFoundError",
+    "ChunkTooLargeError",
+    "ProviderUnavailableError",
+    "ResourceUsage",
+    "SimulatedProvider",
+    "UsageMeter",
+]
 
 
 class ProviderUnavailableError(RuntimeError):
@@ -79,6 +92,14 @@ class ResourceUsage:
             ops_list=self.ops_list + other.ops_list,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form for the durability snapshot/journal."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResourceUsage":
+        return cls(**{k: data[k] for k in asdict(cls()) if k in data})
+
 
 class UsageMeter:
     """Per-sampling-period resource accounting for one provider.
@@ -133,6 +154,31 @@ class UsageMeter:
         """Mapping period -> usage (live view, do not mutate)."""
         return self._usage
 
+    # -- persistence -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-ready dump of the meter (snapshot support)."""
+        return {
+            "period": self._period,
+            "usage": {str(p): u.to_dict() for p, u in self._usage.items()},
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Inverse of :meth:`export_state` (recovery support)."""
+        self._period = int(state["period"])
+        self._usage.clear()
+        for period, usage in state["usage"].items():
+            self._usage[int(period)] = ResourceUsage.from_dict(usage)
+
+    def restore_period(self, period: int, usage: Mapping) -> None:
+        """Re-apply one closed period's usage from a journal record.
+
+        Idempotent by construction: the journal carries the period's final
+        totals, so replaying a record twice overwrites rather than doubles.
+        """
+        self._usage[period] = ResourceUsage.from_dict(usage)
+        self._period = max(self._period, period + 1)
+
     def total(self) -> ResourceUsage:
         """Aggregate usage across all periods."""
         total = ResourceUsage()
@@ -147,14 +193,17 @@ class SimulatedProvider:
     Both real (:class:`Chunk`) and synthetic chunks are accepted; bandwidth
     and storage are metered from ``chunk.size`` so the two payload modes bill
     identically.
+
+    Chunks live in a pluggable :class:`~repro.storage.backend.ChunkStore`
+    backend — the in-memory dict by default, or the durable segment store
+    when the broker runs with a ``data_dir``.
     """
 
-    def __init__(self, spec: ProviderSpec) -> None:
+    def __init__(self, spec: ProviderSpec, backend: Optional[ChunkStore] = None) -> None:
         self.spec = spec
         self.meter = UsageMeter()
         self.failed = False
-        self._store: Dict[str, AnyChunk] = {}
-        self._stored_bytes = 0
+        self.backend: ChunkStore = backend if backend is not None else MemoryChunkStore()
 
     # -- introspection -------------------------------------------------
 
@@ -165,13 +214,26 @@ class SimulatedProvider:
     @property
     def stored_bytes(self) -> int:
         """Total bytes currently held."""
-        return self._stored_bytes
+        return self.backend.stored_bytes
 
     def __contains__(self, key: str) -> bool:
-        return key in self._store
+        return key in self.backend
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self.backend)
+
+    def swap_backend(self, backend: ChunkStore) -> None:
+        """Move this provider onto a different backend, migrating chunks.
+
+        Used when a broker with a ``data_dir`` adopts an already-populated
+        (usually empty) registry; the copy is unmetered — it is an
+        operator action, not client traffic.
+        """
+        for key in self.backend.keys():
+            backend.put(key, self.backend.get(key))
+        old = self.backend
+        self.backend = backend
+        old.close()
 
     # -- failure injection ----------------------------------------------
 
@@ -200,19 +262,20 @@ class SimulatedProvider:
                 f"max {self.spec.max_chunk_bytes} B",
                 self.name,
             )
-        new_total = self._stored_bytes + chunk.size
-        old = self._store.get(key)
-        if old is not None:
-            new_total -= old.size
+        new_total = self.backend.stored_bytes + chunk.size
+        old_size = self.backend.size_of(key)
+        if old_size is not None:
+            new_total -= old_size
         if self.spec.capacity_bytes is not None and new_total > self.spec.capacity_bytes:
             raise CapacityExceededError(
                 f"{self.name}: capacity {self.spec.capacity_bytes} B exceeded",
                 self.name,
             )
+        # Store first, meter second: a backend that can fail (full disk,
+        # I/O error) must not leave a failed write billed as traffic.
+        self.backend.put(key, chunk)
         self.meter.record_op("put")
         self.meter.record_in(chunk.size)
-        self._store[key] = chunk
-        self._stored_bytes = new_total
 
     def get_chunk(self, key: str, *, times: int = 1) -> AnyChunk:
         """Fetch the chunk at ``key`` (billed: ``times`` x (1 op + egress)).
@@ -223,9 +286,10 @@ class SimulatedProvider:
         if times < 1:
             raise ValueError("times must be >= 1")
         self._check_up()
-        chunk = self._store.get(key)
-        if chunk is None:
-            raise ChunkNotFoundError(key)
+        try:
+            chunk = self.backend.get(key)
+        except KeyError:
+            raise ChunkNotFoundError(key) from None
         for _ in range(times):
             self.meter.record_op("get")
         self.meter.record_out(chunk.size * times)
@@ -234,17 +298,22 @@ class SimulatedProvider:
     def delete_chunk(self, key: str) -> None:
         """Delete the chunk at ``key`` (billed: 1 op)."""
         self._check_up()
-        chunk = self._store.pop(key, None)
-        if chunk is None:
-            raise ChunkNotFoundError(key)
+        try:
+            self.backend.delete(key)
+        except KeyError:
+            raise ChunkNotFoundError(key) from None
         self.meter.record_op("delete")
-        self._stored_bytes -= chunk.size
 
     def list_keys(self, prefix: str = "") -> Iterator[str]:
         """Iterate stored keys with the given prefix (billed: 1 op)."""
         self._check_up()
         self.meter.record_op("list")
-        return iter(sorted(k for k in self._store if k.startswith(prefix)))
+        return iter(sorted(k for k in self.backend.keys() if k.startswith(prefix)))
+
+    def verify_chunk(self, key: str) -> str:
+        """Integrity state of one stored chunk (unmetered scrub probe)."""
+        self._check_up()
+        return self.backend.verify(key)
 
     # -- simulation hooks --------------------------------------------------
 
@@ -254,5 +323,5 @@ class SimulatedProvider:
         Called by the simulator once per sampling period *after* the
         period's requests have been applied.
         """
-        self.meter.accrue_storage(self._stored_bytes, hours)
+        self.meter.accrue_storage(self.backend.stored_bytes, hours)
         self.meter.set_period(period + 1)

@@ -10,10 +10,14 @@ whose access pattern moved.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.providers.pricing import PricingPolicy, ProviderSpec
 from repro.providers.provider import SimulatedProvider
+from repro.storage.backend import ChunkStore
+
+#: Builds the chunk-store backend for a newly registered provider.
+BackendFactory = Callable[[ProviderSpec], ChunkStore]
 
 
 class UnknownProviderError(KeyError):
@@ -21,11 +25,22 @@ class UnknownProviderError(KeyError):
 
 
 class ProviderRegistry:
-    """Name-indexed collection of live providers with change epochs."""
+    """Name-indexed collection of live providers with change epochs.
 
-    def __init__(self, specs: Iterable[ProviderSpec] = ()) -> None:
+    With a *backend factory* installed (``repro serve --data-dir``), every
+    provider — including ones registered later, like CheapStor at hour 400
+    — gets a durable chunk store instead of the in-memory dict.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[ProviderSpec] = (),
+        *,
+        backend_factory: Optional[BackendFactory] = None,
+    ) -> None:
         self._providers: Dict[str, SimulatedProvider] = {}
         self._epoch = 0
+        self._backend_factory = backend_factory
         for spec in specs:
             self.register(spec)
 
@@ -35,10 +50,22 @@ class ProviderRegistry:
         """Add a new provider to the pool (e.g. CheapStor at hour 400)."""
         if spec.name in self._providers:
             raise ValueError(f"provider {spec.name!r} already registered")
-        provider = SimulatedProvider(spec)
+        backend = self._backend_factory(spec) if self._backend_factory else None
+        provider = SimulatedProvider(spec, backend=backend)
         self._providers[spec.name] = provider
         self._epoch += 1
         return provider
+
+    def set_backend_factory(self, factory: BackendFactory) -> None:
+        """Install ``factory`` and migrate existing providers onto it.
+
+        Lets a broker with a ``data_dir`` adopt a registry that was built
+        without one (the CLI constructs the registry first); chunks already
+        held in memory are copied across.
+        """
+        self._backend_factory = factory
+        for provider in self._providers.values():
+            provider.swap_backend(factory(provider.spec))
 
     def retire(self, name: str) -> None:
         """Remove a provider permanently (bankruptcy, boycott, ...)."""

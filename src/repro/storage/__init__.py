@@ -1,0 +1,58 @@
+"""Durable storage engine: chunk-store backends, metadata WAL, scrubbing.
+
+The data plane the broker was missing: pluggable chunk stores for the
+providers (in-memory dict or append-only checksummed segment files), a
+write-ahead journal + snapshot pair for the broker's metadata and meters,
+and a scrubber that feeds damaged chunks back through erasure repair.
+``Scalia(data_dir=...)`` / ``repro serve --data-dir`` turn it all on.
+
+:class:`DurabilityManager` and :class:`Scrubber` are exported lazily:
+they import the cluster layer, which imports the providers, which import
+this package's backends — eager re-export here would close that loop.
+"""
+
+from repro.storage.backend import (
+    VERIFY_CORRUPT,
+    VERIFY_MISSING,
+    VERIFY_OK,
+    ChunkCorruptionError,
+    ChunkStore,
+    MemoryChunkStore,
+)
+from repro.storage.checksum import crc32c
+from repro.storage.segment import FileChunkStore
+from repro.storage.wal import Journal, load_snapshot, write_snapshot
+
+__all__ = [
+    "ChunkCorruptionError",
+    "ChunkProblem",
+    "ChunkStore",
+    "DurabilityManager",
+    "FileChunkStore",
+    "Journal",
+    "MemoryChunkStore",
+    "ScrubReport",
+    "Scrubber",
+    "VERIFY_CORRUPT",
+    "VERIFY_MISSING",
+    "VERIFY_OK",
+    "crc32c",
+    "load_snapshot",
+    "write_snapshot",
+]
+
+_LAZY = {
+    "DurabilityManager": "repro.storage.persistence",
+    "Scrubber": "repro.storage.scrubber",
+    "ScrubReport": "repro.storage.scrubber",
+    "ChunkProblem": "repro.storage.scrubber",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

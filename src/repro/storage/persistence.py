@@ -1,0 +1,324 @@
+"""Durability manager: wires the data directory into a ``Scalia`` broker.
+
+Layout of a data directory::
+
+    <data_dir>/
+      boot               # process boot counter (id-epoch source)
+      chunks/<provider>/ # one FileChunkStore per provider
+      meta/wal.log       # metadata write-ahead journal
+      meta/snapshot.json # latest full-state snapshot
+
+The manager owns three jobs:
+
+* **Backend factory** — every provider the registry creates (including
+  ones registered mid-run) gets a segment store under ``chunks/``.
+* **Journaling** — it hooks :class:`MetadataCluster` so every applied
+  metadata version and read-repair prune lands in the WAL *before* the
+  client sees an acknowledgement, and records each closed sampling
+  period's usage meters from the broker's tick.
+* **Recovery** — on boot it restores the latest snapshot, replays the
+  WAL on top (both idempotent), and advances the id epoch so ids issued
+  after the crash cannot collide with persisted ones.
+
+Crash model: chunk payloads are durable the moment the provider's
+``put_chunk`` returns (the segment store flushes per record), and the
+metadata version that makes them reachable is journaled before the
+broker's ``put`` returns.  A SIGKILL therefore loses only operations that
+were never acknowledged.  Usage meters are journaled at period
+granularity — increments inside the currently open period are the one
+piece of state a crash forfeits, which affects billing introspection,
+never object data.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.cluster.metadata import VersionedValue
+from repro.providers.pricing import ProviderSpec
+from repro.storage.segment import FileChunkStore
+from repro.storage.wal import Journal, fsync_directory, load_snapshot, write_snapshot
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX platforms
+    fcntl = None
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (broker builds us)
+    from repro.core.broker import Scalia
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._()-]")
+
+
+def _fs_name(provider_name: str) -> str:
+    """Provider name mapped to a filesystem-safe directory name."""
+    return _UNSAFE.sub("_", provider_name)
+
+
+class DurabilityManager:
+    """Owns one data directory and the recovery/journaling protocol."""
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike,
+        *,
+        sync: str = "os",
+        snapshot_every_records: int = 4096,
+        segment_max_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.sync = sync
+        self.snapshot_every_records = snapshot_every_records
+        self.segment_max_bytes = segment_max_bytes
+        (self.data_dir / "chunks").mkdir(parents=True, exist_ok=True)
+        self._lock_fh = self._acquire_lock()
+        self.boot_epoch = self._bump_boot_counter()
+        self.journal = Journal(self.data_dir / "meta" / "wal.log", sync=sync)
+        self.snapshot_path = self.data_dir / "meta" / "snapshot.json"
+        self._records_since_snapshot = 0
+        self._broker: Optional["Scalia"] = None
+        self._replaying = False
+        self.recovery_report: Dict[str, object] = {}
+        self.snapshots_written = 0
+
+    # -- data-dir ownership ------------------------------------------------
+
+    def _acquire_lock(self):
+        """Take an exclusive advisory lock on the data directory.
+
+        Two brokers appending to the same WAL and segment files would
+        interleave their histories into a state belonging to neither, so
+        a second process (a supervisor restart racing a not-yet-dead
+        predecessor, an operator mistake) must fail fast instead.
+        """
+        lock_fh = open(self.data_dir / "lock", "a+")
+        if fcntl is not None:
+            try:
+                fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                lock_fh.close()
+                raise RuntimeError(
+                    f"data directory {self.data_dir} is locked by another "
+                    "running broker; refusing to share it"
+                ) from None
+        return lock_fh
+
+    # -- boot counter ------------------------------------------------------
+
+    def _bump_boot_counter(self) -> int:
+        path = self.data_dir / "boot"
+        try:
+            boots = int(path.read_text().strip())
+        except (OSError, ValueError):
+            boots = 0
+        boots += 1
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(f"{boots}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        # Make the rename power-loss durable: replaying an epoch would
+        # re-issue uuids that collide with persisted metadata versions.
+        fsync_directory(self.data_dir)
+        return boots
+
+    # -- backend factory ---------------------------------------------------
+
+    def backend_factory(self, spec: ProviderSpec) -> FileChunkStore:
+        """Durable chunk store for one provider (used by the registry)."""
+        return FileChunkStore(
+            self.data_dir / "chunks" / _fs_name(spec.name),
+            sync=self.sync,
+            segment_max_bytes=self.segment_max_bytes,
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, broker: "Scalia") -> Dict[str, object]:
+        """Restore snapshot + WAL into a freshly built broker."""
+        started = time.perf_counter()
+        snapshot = load_snapshot(self.snapshot_path)
+        if snapshot is not None:
+            broker.cluster.metadata.restore_state(snapshot["metadata"])
+            for name, meter_state in snapshot["meters"].items():
+                if name in broker.registry:
+                    broker.registry.get(name).meter.restore_state(meter_state)
+            broker.cluster.pending_deletes.entries = [
+                (provider, key) for provider, key in snapshot["pending_deletes"]
+            ]
+            broker._period = int(snapshot["period"])
+            broker._now = float(snapshot["now"])
+        wal_records = 0
+        self._replaying = True
+        try:
+            for record in self.journal.replay():
+                self._replay_record(broker, record)
+                wal_records += 1
+        finally:
+            self._replaying = False
+        self.recovery_report = {
+            "boot_epoch": self.boot_epoch,
+            "snapshot_loaded": snapshot is not None,
+            "wal_records_replayed": wal_records,
+            "wal_records_damaged": self.journal.last_replay_damaged,
+            "period": broker._period,
+            "duration_seconds": round(time.perf_counter() - started, 6),
+        }
+        return self.recovery_report
+
+    def _replay_record(self, broker: "Scalia", record: dict) -> None:
+        kind = record.get("t")
+        metadata = broker.cluster.metadata
+        if kind == "md":
+            if record["dc"] in metadata.datacenters:
+                metadata.apply_raw(
+                    record["dc"], record["row"], VersionedValue.from_dict(record["v"])
+                )
+        elif kind == "prune":
+            if record["dc"] in metadata.datacenters:
+                metadata.prune_raw(record["dc"], record["row"], record["keep"])
+        elif kind == "period":
+            period = int(record["period"])
+            for name, usage in record["meters"].items():
+                if name in broker.registry:
+                    broker.registry.get(name).meter.restore_period(period, usage)
+            broker._period = period + 1
+            broker._now = float(record["now"])
+        elif kind == "pend+":
+            broker.cluster.pending_deletes.entries.append((record["p"], record["k"]))
+        elif kind == "pend-":
+            entry = (record["p"], record["k"])
+            # Tolerant removal: replaying a pre-snapshot suffix can name
+            # entries the snapshot already dropped.
+            if entry in broker.cluster.pending_deletes.entries:
+                broker.cluster.pending_deletes.entries.remove(entry)
+        # Unknown kinds are skipped: an older binary replaying a newer WAL
+        # degrades to snapshot-grade state instead of refusing to boot.
+
+    # -- journaling hooks --------------------------------------------------
+
+    def attach(self, broker: "Scalia") -> None:
+        """Install the journal hooks (call after :meth:`recover`)."""
+        self._broker = broker
+        broker.cluster.metadata.on_apply = self._on_apply
+        broker.cluster.metadata.on_prune = self._on_prune
+        broker.cluster.pending_deletes.on_add = self._on_pending_add
+        broker.cluster.pending_deletes.on_remove = self._on_pending_remove
+
+    def _on_apply(self, dc: str, row_key: str, version: VersionedValue) -> None:
+        if self._replaying:
+            return
+        self.journal.append({"t": "md", "dc": dc, "row": row_key, "v": version.to_dict()})
+        self._records_since_snapshot += 1
+        self._maybe_snapshot()
+
+    def _on_prune(self, dc: str, row_key: str, keep_uuid: str) -> None:
+        if self._replaying:
+            return
+        self.journal.append({"t": "prune", "dc": dc, "row": row_key, "keep": keep_uuid})
+        self._records_since_snapshot += 1
+        self._maybe_snapshot()
+
+    def _on_pending_add(self, provider_name: str, chunk_key: str) -> None:
+        if self._replaying:
+            return
+        self.journal.append({"t": "pend+", "p": provider_name, "k": chunk_key})
+        self._records_since_snapshot += 1
+        self._maybe_snapshot()
+
+    def _on_pending_remove(self, provider_name: str, chunk_key: str) -> None:
+        if self._replaying:
+            return
+        self.journal.append({"t": "pend-", "p": provider_name, "k": chunk_key})
+        self._records_since_snapshot += 1
+        self._maybe_snapshot()
+
+    def on_period_closed(self, broker: "Scalia", closed_period: int) -> None:
+        """Journal one closed sampling period's meters (broker tick hook)."""
+        meters = {}
+        for provider in broker.registry.providers():
+            usage = provider.meter.usage_by_period().get(closed_period)
+            if usage is not None:
+                meters[provider.name] = usage.to_dict()
+        self.journal.append(
+            {"t": "period", "period": closed_period, "now": broker.now, "meters": meters}
+        )
+        self._records_since_snapshot += 1
+        self._maybe_snapshot()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._broker is not None
+            and self._records_since_snapshot >= self.snapshot_every_records
+        ):
+            self.snapshot()
+
+    def snapshot(self) -> None:
+        """Write a full-state snapshot and truncate the WAL."""
+        broker = self._broker
+        if broker is None:
+            return
+        state = {
+            "version": 1,
+            "boot": self.boot_epoch,
+            "period": broker.period,
+            "now": broker.now,
+            "metadata": broker.cluster.metadata.export_state(),
+            "meters": {
+                p.name: p.meter.export_state() for p in broker.registry.providers()
+            },
+            "pending_deletes": [
+                list(entry) for entry in broker.cluster.pending_deletes.entries
+            ],
+        }
+        write_snapshot(self.snapshot_path, state)
+        self.journal.truncate()
+        self._records_since_snapshot = 0
+        self.snapshots_written += 1
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "data_dir": str(self.data_dir),
+            "boot_epoch": self.boot_epoch,
+            "sync": self.sync,
+            "wal_bytes": self.journal.size_bytes(),
+            "wal_records_appended": self.journal.records_appended,
+            "snapshots_written": self.snapshots_written,
+            "recovery": dict(self.recovery_report),
+        }
+
+    def flush(self) -> None:
+        self.journal.flush()
+
+    def close(self) -> None:
+        """Snapshot (clean shutdown) and release the journal + lock."""
+        if self._broker is not None:
+            self.snapshot()
+        self.journal.close()
+        self._release_lock()
+
+    def abandon(self) -> None:
+        """Release file handles *without* snapshotting or flushing.
+
+        This is what a SIGKILL does from the kernel's point of view —
+        the data-dir lock dies with the process, buffered-but-unflushed
+        state is lost.  Crash-recovery tests use it to hand a data
+        directory to a successor broker inside one process; production
+        code should always :meth:`close`.
+        """
+        self.journal.close()
+        self._release_lock()
+
+    def _release_lock(self) -> None:
+        if self._lock_fh is not None:
+            self._lock_fh.close()  # releases the flock
+            self._lock_fh = None

@@ -1,0 +1,165 @@
+"""Metadata write-ahead journal and snapshot files.
+
+The broker's control-plane state (metadata rows, usage meters, the clock)
+persists as a classic WAL + snapshot pair under ``<data_dir>/meta/``:
+
+``wal.log``
+    One JSON record per line, each wrapped with a CRC32C over the SHA-1
+    of its canonical serialization (hashing at C speed, framing with the
+    CRC).  Appends are flushed to the kernel before the write is
+    acknowledged, so a SIGKILL loses at most a record the client was never
+    told about.  Replay stops at the first unparseable or checksum-failing
+    line — everything after a torn write is by definition unacknowledged.
+
+``snapshot.json``
+    A full state dump (written to a temp file and atomically renamed) that
+    bounds replay time; after a successful snapshot the WAL is truncated.
+    A crash between rename and truncate merely replays records the
+    snapshot already contains — all journal records are idempotent.
+
+This module is deliberately schema-agnostic: records are opaque dicts.
+:mod:`repro.storage.persistence` owns what goes into them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.storage.checksum import crc32c
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _canonical(record: dict) -> bytes:
+    return json.dumps(record, **_JSON_KW).encode("utf-8")
+
+
+def _checksum(body: bytes) -> int:
+    # Same construction as the segment store's records: the CRC32C runs
+    # over a SHA-1 of the body, so integrity checking of an arbitrarily
+    # large snapshot costs one C-speed hash plus a 20-byte CRC.
+    return crc32c(hashlib.sha1(body).digest())
+
+
+class Journal:
+    """Append-only, checksummed, line-oriented record log."""
+
+    def __init__(self, path: str | os.PathLike, *, sync: str = "os") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        existed = self.path.exists()
+        self._fh = open(self.path, "ab")
+        if sync == "always" and not existed:
+            # The file creation itself must survive power loss, or the
+            # first acknowledged records have no directory entry.
+            fsync_directory(self.path.parent)
+        self.records_appended = 0
+        self.last_replay_damaged = 0
+
+    def append(self, record: dict) -> None:
+        body = _canonical(record)
+        line = json.dumps({"c": _checksum(body), "r": record}, **_JSON_KW).encode("utf-8")
+        self._fh.write(line + b"\n")
+        if self.sync != "never":
+            self._fh.flush()
+            if self.sync == "always":
+                os.fsync(self._fh.fileno())
+        self.records_appended += 1
+
+    def replay(self) -> Iterator[dict]:
+        """Yield every intact record in order.
+
+        A damaged line in the *interior* is skipped (bit rot of one
+        record must not drop every acknowledged record behind it — the
+        records are independent and idempotent); damage on the *final*
+        line is a torn write of an unacknowledged append and simply ends
+        the replay.  Skipped interior lines are counted in
+        :attr:`last_replay_damaged` so recovery can report them.
+        """
+        self._fh.flush()
+        self.last_replay_damaged = 0
+        lines = [
+            line for line in self.path.read_bytes().splitlines() if line.strip()
+        ]
+        for position, line in enumerate(lines):
+            try:
+                wrapper = json.loads(line)
+                record = wrapper["r"]
+                if _checksum(_canonical(record)) != wrapper["c"]:
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, TypeError):
+                if position == len(lines) - 1:
+                    return  # torn tail: never acknowledged
+                self.last_replay_damaged += 1
+                continue
+            yield record
+
+    def truncate(self) -> None:
+        """Drop every record (called after a successful snapshot)."""
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def size_bytes(self) -> int:
+        self._fh.flush()
+        return self.path.stat().st_size
+
+    def flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """fsync a directory so a rename inside it is power-loss durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(path: str | os.PathLike, state: dict) -> None:
+    """Atomically persist ``state`` (temp file + rename), checksummed.
+
+    The parent directory is fsynced after the rename: the caller
+    truncates the WAL next, and a power loss must never surface the
+    truncation without the rename (old snapshot + empty WAL = lost
+    acknowledged writes).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = _canonical(state)
+    document = json.dumps({"c": _checksum(body), "state": state}, **_JSON_KW).encode("utf-8")
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(document)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_directory(path.parent)
+
+
+def load_snapshot(path: str | os.PathLike) -> Optional[dict]:
+    """Read a snapshot back, or ``None`` when absent or damaged."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        wrapper = json.loads(path.read_bytes())
+        state = wrapper["state"]
+        if _checksum(_canonical(state)) != wrapper["c"]:
+            return None
+        return state
+    except (ValueError, KeyError, TypeError, OSError):
+        return None

@@ -39,9 +39,15 @@ class IdGenerator:
 
     Ids are unique per generator instance and reproducible for a given seed,
     which keeps full-system simulations bit-stable across runs.
+
+    ``epoch`` partitions the id space across process lifetimes: a durable
+    broker bumps it on every boot (the data directory records the count) so
+    ids issued after a crash can never collide with ids persisted before
+    it.  Epoch 0 preserves the historical id sequence bit-for-bit.
     """
 
     seed: int = 0
+    epoch: int = 0
     _counter: "itertools.count[int]" = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -50,6 +56,8 @@ class IdGenerator:
     def uuid(self) -> str:
         """Return the next unique id (32 hex chars, like a UUID without dashes)."""
         n = next(self._counter)
+        if self.epoch:
+            return hashlib.md5(f"uuid|{self.seed}|e{self.epoch}|{n}".encode()).hexdigest()
         return hashlib.md5(f"uuid|{self.seed}|{n}".encode()).hexdigest()
 
     def sequence(self) -> int:

@@ -10,7 +10,12 @@ from repro.cluster.engine import (
 )
 from repro.gateway.namespace import NamespaceError
 from repro.gateway.routes import RouteError, parse_route, status_for_exception
-from repro.providers.provider import ProviderUnavailableError
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkCorruptionError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+)
 
 
 class TestParseRoute:
@@ -64,6 +69,16 @@ class TestParseRoute:
             parse_route("POST", "/photos/cat.gif")
         assert err.value.status == 405
 
+    def test_scrub_route(self):
+        route = parse_route("POST", "/scrub?repair=0")
+        assert route.kind == "scrub"
+        assert route.params["repair"] == "0"
+
+    def test_scrub_requires_post(self):
+        with pytest.raises(RouteError) as err:
+            parse_route("GET", "/scrub")
+        assert err.value.status == 405
+
 
 class TestStatusMapping:
     @pytest.mark.parametrize(
@@ -77,6 +92,14 @@ class TestStatusMapping:
             (WriteFailedError("unreachable"), 507),
             (ReadFailedError("not enough chunks"), 503),
             (ProviderUnavailableError("down", "S3(h)"), 503),
+            # The provider pool is genuinely full: insufficient storage,
+            # not a silent 500 (these two used to fall through).
+            (CapacityExceededError("full", "NAS"), 507),
+            # A chunk over the provider's object-size limit is the
+            # client's payload problem.
+            (ChunkTooLargeError("too big", "Azu"), 400),
+            # Detected corruption pending scrub-repair reads as transient.
+            (ChunkCorruptionError("bad crc", "k"), 503),
             (ValueError("bad input"), 400),
             (KeyError("dc9"), 400),
             (RuntimeError("boom"), 500),

@@ -115,3 +115,36 @@ class TestFailureInjection:
         live_chunks = sum(len(p) for p in broker.registry.providers())
         expected = sum(broker.head("chaos", k).n for k in contents)
         assert live_chunks == expected
+
+    def test_stale_pending_delete_does_not_destroy_remigrated_chunk(self):
+        """Regression (found by the chaos test): same-code migrations reuse
+        ``skey:index`` chunk keys, so migrating a chunk *back* onto a
+        provider that held a queued delete for that exact key used to let
+        the next flush destroy the freshly written chunk — silently
+        dropping redundancy from n to n-1.
+        """
+        broker = make_broker(seed=0)
+        payload = bytes(range(256)) * 8
+        # Write while three providers are down, then churn outages so the
+        # optimizer migrates the object away and back across ticks.
+        for name in ("S3(l)", "RS", "Azu"):
+            broker.registry.fail(name)
+        broker.put("chaos", "obj0", payload)
+        broker.registry.fail("S3(h)")
+        broker.registry.recover("S3(l)")
+        broker.tick()
+        broker.registry.fail("S3(l)")
+        broker.registry.recover("S3(h)")
+        broker.tick()
+        for name in PROVIDERS:
+            if broker.registry.get(name).failed:
+                broker.registry.recover(name)
+        broker.tick()
+        broker.cluster.all_engines()[0].flush_pending_deletes()
+
+        meta = broker.head("chaos", "obj0")
+        for index, provider_name in meta.chunk_map:
+            assert meta.chunk_key(index) in broker.registry.get(provider_name), (
+                f"chunk {index} missing from {provider_name}: redundancy lost"
+            )
+        assert broker.get("chaos", "obj0") == payload

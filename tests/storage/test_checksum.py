@@ -1,0 +1,30 @@
+"""CRC32C correctness against published check values."""
+
+from repro.storage.checksum import crc32c
+
+
+class TestCrc32c:
+    def test_standard_check_value(self):
+        # The canonical CRC32C test vector (RFC 3720 appendix / zlib docs).
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_input(self):
+        assert crc32c(b"") == 0
+
+    def test_all_zero_block(self):
+        # 32 zero bytes, from the iSCSI test vectors.
+        assert crc32c(bytes(32)) == 0x8A9136AA
+
+    def test_all_ones_block(self):
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_incremental_matches_one_shot(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 7
+        split = len(data) // 3
+        assert crc32c(data[split:], crc32c(data[:split])) == crc32c(data)
+
+    def test_detects_single_bit_flip(self):
+        data = bytearray(b"payload-under-test" * 10)
+        reference = crc32c(bytes(data))
+        data[37] ^= 0x01
+        assert crc32c(bytes(data)) != reference

@@ -1,0 +1,161 @@
+"""Broker-level crash recovery: the DurabilityManager against a real Scalia."""
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+from repro.storage.segment import FileChunkStore
+
+
+def durable_broker(data_dir, **kwargs):
+    return Scalia(data_dir=str(data_dir), **kwargs)
+
+
+def crash(broker):
+    """SIGKILL analogue for in-process tests: drop the data-dir lock and
+    journal handle without snapshotting or flushing anything extra."""
+    broker.durability.abandon()
+
+
+class TestCrashRecovery:
+    def test_unclean_restart_recovers_acknowledged_puts(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        payloads = {f"obj-{i}.bin": bytes([i]) * (100 + i) for i in range(8)}
+        for key, data in payloads.items():
+            b1.put("bucket", key, data)
+        crash(b1)  # simulated SIGKILL
+
+        b2 = durable_broker(tmp_path)
+        assert b2.recovery["snapshot_loaded"] is False
+        assert b2.recovery["wal_records_replayed"] > 0
+        for key, data in payloads.items():
+            assert b2.get("bucket", key) == data
+        assert sorted(b2.list("bucket")) == sorted(payloads)
+        b2.close()
+
+    def test_clean_shutdown_recovers_from_snapshot(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        b1.put("bucket", "a.txt", b"snapshotted")
+        b1.close()
+        b2 = durable_broker(tmp_path)
+        assert b2.recovery["snapshot_loaded"] is True
+        assert b2.recovery["wal_records_replayed"] == 0
+        assert b2.get("bucket", "a.txt") == b"snapshotted"
+        b2.close()
+
+    def test_deletes_survive_restart(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        b1.put("bucket", "keep.txt", b"keep")
+        b1.put("bucket", "drop.txt", b"drop")
+        b1.delete("bucket", "drop.txt")
+        crash(b1)
+        b2 = durable_broker(tmp_path)
+        assert b2.list("bucket") == ["keep.txt"]
+        assert b2.head("bucket", "drop.txt") is None
+        b2.close()
+
+    def test_overwrites_recover_to_latest_version(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        b1.put("bucket", "v.txt", b"version-1")
+        b1.put("bucket", "v.txt", b"version-2-final")
+        crash(b1)
+        b2 = durable_broker(tmp_path)
+        assert b2.get("bucket", "v.txt") == b"version-2-final"
+        b2.close()
+
+    def test_meters_and_clock_survive_tick_boundaries(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        b1.put("bucket", "metered.bin", bytes(10_000))
+        b1.tick(3)
+        cost_before = b1.costs().total
+        period_before = b1.period
+        assert cost_before > 0
+        crash(b1)
+        b2 = durable_broker(tmp_path)
+        assert b2.period == period_before
+        assert b2.now == pytest.approx(b1.now)
+        assert b2.costs().total == pytest.approx(cost_before)
+        b2.close()
+
+    def test_boot_epoch_increments_and_ids_stay_unique(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        b1.put("bucket", "one.txt", b"first-boot")
+        epoch1 = b1.durability.boot_epoch
+        crash(b1)
+        b2 = durable_broker(tmp_path)
+        assert b2.durability.boot_epoch == epoch1 + 1
+        # A post-crash overwrite must produce a distinct version (skey);
+        # colliding ids would make the new chunks overwrite the old ones.
+        old_skey = b2.head("bucket", "one.txt").skey
+        b2.put("bucket", "one.txt", b"second-boot")
+        assert b2.head("bucket", "one.txt").skey != old_skey
+        assert b2.get("bucket", "one.txt") == b"second-boot"
+        b2.close()
+
+    def test_second_crash_after_recovery(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        b1.put("bucket", "gen1.txt", b"one")
+        crash(b1)
+        b2 = durable_broker(tmp_path)
+        b2.put("bucket", "gen2.txt", b"two")
+        crash(b2)
+        b3 = durable_broker(tmp_path)
+        assert b3.get("bucket", "gen1.txt") == b"one"
+        assert b3.get("bucket", "gen2.txt") == b"two"
+        b3.close()
+
+    def test_snapshot_trigger_bounds_wal(self, tmp_path):
+        b1 = Scalia(data_dir=str(tmp_path))
+        b1.durability.snapshot_every_records = 10
+        for i in range(12):
+            b1.put("bucket", f"k{i}", b"x" * 32)
+        assert b1.durability.snapshots_written >= 1
+        crash(b1)  # recovery = snapshot + short wal suffix
+        b2 = durable_broker(tmp_path)
+        assert b2.recovery["snapshot_loaded"] is True
+        assert len(b2.list("bucket")) == 12
+        b2.close()
+
+
+class TestBackendWiring:
+    def test_providers_get_segment_backends(self, tmp_path):
+        b = durable_broker(tmp_path)
+        for provider in b.registry.providers():
+            assert isinstance(provider.backend, FileChunkStore)
+        stats = b.storage_stats()
+        assert stats["durable"] is True
+        assert all(s["type"] == "segment" for s in stats["backends"].values())
+        b.close()
+
+    def test_user_supplied_registry_is_adopted(self, tmp_path):
+        registry = ProviderRegistry(paper_catalog())
+        b = Scalia(registry, data_dir=str(tmp_path))
+        assert all(
+            isinstance(p.backend, FileChunkStore) for p in registry.providers()
+        )
+        b.close()
+
+    def test_late_registered_provider_is_durable(self, tmp_path):
+        b = durable_broker(tmp_path)
+        spec = paper_catalog(include_cheapstor=True)[-1]
+        assert spec.name not in b.registry
+        provider = b.registry.register(spec)
+        assert isinstance(provider.backend, FileChunkStore)
+        b.close()
+
+    def test_second_broker_on_same_data_dir_refused(self, tmp_path):
+        b1 = durable_broker(tmp_path)
+        with pytest.raises(RuntimeError, match="locked by another"):
+            durable_broker(tmp_path)
+        b1.close()
+        # the lock dies with its owner: a new broker opens fine
+        b2 = durable_broker(tmp_path)
+        b2.close()
+
+    def test_memory_broker_unchanged_without_data_dir(self):
+        b = Scalia()
+        stats = b.storage_stats()
+        assert stats["durable"] is False
+        assert all(s["type"] == "memory" for s in stats["backends"].values())
+        b.close()
