@@ -14,14 +14,22 @@ Commands
     Boot the S3-style HTTP gateway over a live broker (see
     ``docs/GATEWAY.md``): ``repro serve --port 8090`` then drive it with
     curl or :class:`repro.gateway.client.GatewayClient`.
+``put`` / ``get``
+    Streaming object transfer against a running gateway:
+    ``repro put photos cat.gif ./cat.gif`` uploads from disk (or stdin
+    with ``-``) without materializing the file; ``repro get photos
+    cat.gif -o ./cat.gif`` streams it back (stdout with ``-``).  Large
+    uploads switch to the multipart protocol automatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import signal
 import sys
 from typing import Optional, Sequence
+from urllib.parse import urlsplit
 
 from repro.core.broker import Scalia
 from repro.core.costmodel import AccessProjection, CostModel
@@ -111,6 +119,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity_bytes=args.cache_bytes,
         data_dir=args.data_dir,
         storage_sync=args.storage_sync,
+        stripe_size_bytes=args.stripe_bytes,
     )
     frontend = BrokerFrontend(broker, mode=args.mode)
     gateway = ScaliaGateway(
@@ -129,7 +138,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(mode={args.mode}, providers={len(registry)})"
     )
     print(
-        "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> | GET /<bucket>?list | "
+        "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> (Range + conditionals) | "
+        "multipart: POST ?uploads, PUT ?partNumber=&uploadId=, POST/DELETE ?uploadId= | "
+        "GET /<bucket>?list-type=2&prefix=&delimiter=&max-keys=&continuation-token= | "
         "GET /healthz | GET /stats | POST /tick | POST /scrub"
     )
     # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
@@ -148,6 +159,119 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Clean shutdown = snapshot + flush; the next boot recovers without
         # touching the WAL.  A SIGKILLed process skips this and replays.
         broker.close()
+    return 0
+
+
+def _gateway_client(args: argparse.Namespace):
+    from repro.gateway.client import GatewayClient
+
+    parts = urlsplit(args.url if "//" in args.url else f"//{args.url}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 8090
+    return GatewayClient(host, port, tenant=args.tenant)
+
+
+#: Transport/HTTP failures a CLI command reports as a message + exit 1
+#: instead of a traceback.  HTTPException covers the mid-transfer deaths
+#: (IncompleteRead, BadStatusLine) that are not OSErrors.
+_TRANSFER_ERRORS = (OSError, http.client.HTTPException)
+
+
+def _cmd_put(args: argparse.Namespace) -> int:
+    from repro.gateway.client import GatewayError
+
+    if args.part_size < 1:
+        print("--part-size must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        with _gateway_client(args) as client:
+            if args.file == "-":
+                source = sys.stdin.buffer
+                size = None
+            else:
+                from repro.util.streams import ByteSource
+
+                source = open(args.file, "rb")
+                # probes seekable size and restores the position
+                size = ByteSource(source).size_hint
+            try:
+                # Unknown sizes (stdin pipes) go multipart too: a single
+                # PUT would hit the gateway's body cap on large streams,
+                # and multipart handles non-seekable sources fine.
+                if args.multipart or size is None or size > args.multipart_threshold:
+                    info = client.put_multipart(
+                        args.bucket, args.key, source,
+                        part_size=args.part_size, mime=args.mime, rule=args.rule,
+                        size_hint=size,
+                    )
+                else:
+                    info = client.put_stream(
+                        args.bucket, args.key, source,
+                        size=size, mime=args.mime, rule=args.rule,
+                    )
+            finally:
+                if source is not sys.stdin.buffer:
+                    source.close()
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"put failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"stored {args.bucket}/{args.key}: {info['size']} bytes, "
+        f"etag {info['etag']}, placement {info['placement']}"
+        + (f", {info['stripes']} stripes" if "stripes" in info else "")
+    )
+    return 0
+
+
+def _cmd_get(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.gateway.client import GatewayError
+
+    byte_range = None
+    if args.range:
+        try:
+            if args.range.startswith("-"):
+                byte_range = (None, int(args.range[1:]))  # suffix: last N bytes
+            else:
+                start, _, end = args.range.partition("-")
+                byte_range = (int(start), int(end) if end else None)
+        except ValueError:
+            print(
+                f"malformed --range {args.range!r}; want START-[END] or -SUFFIX",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        with _gateway_client(args) as client:
+            if args.output == "-":
+                client.get_to_file(
+                    args.bucket, args.key, sys.stdout.buffer, byte_range=byte_range
+                )
+                sys.stdout.buffer.flush()
+                return 0
+            # Download into a sibling temp file and rename on success: a
+            # 404 or dropped connection must not wipe a pre-existing file.
+            partial = f"{args.output}.part"
+            try:
+                with open(partial, "wb") as sink:
+                    headers = client.get_to_file(
+                        args.bucket, args.key, sink, byte_range=byte_range
+                    )
+                os.replace(partial, args.output)
+            except BaseException:
+                try:
+                    os.unlink(partial)
+                except OSError:
+                    pass
+                raise
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"get failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"fetched {args.bucket}/{args.key} -> {args.output} "
+        f"({headers.get('content-length', '?')} bytes)"
+    )
     return 0
 
 
@@ -202,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
         "restarts (even after SIGKILL) recover every acknowledged write",
     )
     serve.add_argument(
+        "--stripe-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="stripe size of the streaming data plane (default 8 MiB)",
+    )
+    serve.add_argument(
         "--storage-sync",
         choices=("os", "always", "never"),
         default="os",
@@ -210,6 +340,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
+
+    def add_gateway_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:8090", help="gateway URL")
+        p.add_argument("--tenant", default="public", help="tenant id header")
+
+    put = sub.add_parser("put", help="stream a file (or stdin) into the gateway")
+    put.add_argument("bucket")
+    put.add_argument("key")
+    put.add_argument("file", help="source path, or - for stdin")
+    put.add_argument("--mime", default="application/octet-stream")
+    put.add_argument("--rule", default=None, help="storage rule name")
+    put.add_argument(
+        "--multipart", action="store_true", help="force the multipart protocol"
+    )
+    put.add_argument(
+        "--multipart-threshold",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="sizes above this auto-switch to multipart (bytes)",
+    )
+    put.add_argument(
+        "--part-size", type=int, default=8 * 1024 * 1024, help="multipart part bytes"
+    )
+    add_gateway_args(put)
+    put.set_defaults(func=_cmd_put)
+
+    get = sub.add_parser("get", help="stream an object from the gateway to disk")
+    get.add_argument("bucket")
+    get.add_argument("key")
+    get.add_argument("-o", "--output", default="-", help="sink path, or - for stdout")
+    get.add_argument(
+        "--range",
+        default=None,
+        help="inclusive byte range START-[END] (e.g. 100-199, 100-) "
+        "or -SUFFIX for the last N bytes",
+    )
+    add_gateway_args(get)
+    get.set_defaults(func=_cmd_get)
     return parser
 
 

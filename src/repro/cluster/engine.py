@@ -9,6 +9,14 @@ agent.  Engines keep **no state** of their own — any engine in any
 datacenter can serve any request — which is what lets the layer scale
 linearly (Section III-A).
 
+The data plane is *stripe oriented*: an object larger than the configured
+stripe size is stored as an ordered sequence of independently
+erasure-coded stripes sharing one placement, written as they stream in
+(peak memory O(stripe), never O(object)) and read back stripe by stripe —
+a ranged read fetches and bills only the stripes covering the range.
+Multipart uploads stage per-part stripes under a journaled metadata row
+and complete by pure metadata assembly (no chunk is copied).
+
 Error handling follows Section III-D3: writes route around faulty providers,
 reads succeed from any ``m`` reachable chunks, and deletes against a faulty
 provider are postponed until it recovers.
@@ -16,16 +24,25 @@ provider are postponed until it recovers.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.cluster.cache import CacheLayer
 from repro.cluster.metadata import MetadataCluster
+from repro.cluster.multipart import (
+    MAX_PART_NUMBER,
+    MIN_PART_NUMBER,
+    MULTIPART_ROW_PREFIX,
+    MultipartState,
+    PartState,
+    multipart_row_key,
+)
 from repro.cluster.statistics import LogAgent, LogRecord
 from repro.erasure.rs import CodeCache
 from repro.erasure.striping import (
-    Chunk,
     SyntheticChunk,
     chunk_length,
     reassemble_object,
@@ -41,10 +58,14 @@ from repro.providers.provider import (
     ProviderUnavailableError,
 )
 from repro.providers.registry import ProviderRegistry
-from repro.types import ObjectMeta, Placement
+from repro.types import ListPage, ObjectMeta, Placement
 from repro.util.ids import IdGenerator, object_row_key, storage_key
+from repro.util.streams import ByteSource
 
 Payload = Union[bytes, int]  # real bytes, or a synthetic byte count
+
+#: Default stripe size of the streaming data plane (8 MiB, S3-part-like).
+DEFAULT_STRIPE_SIZE = 8 * 1024 * 1024
 
 
 class PlacementError(RuntimeError):
@@ -61,6 +82,38 @@ class WriteFailedError(RuntimeError):
 
 class ReadFailedError(RuntimeError):
     """Raised when fewer than ``m`` chunks are reachable for a read."""
+
+
+class InvalidRangeError(ValueError):
+    """Raised for a byte range that no part of the object satisfies (416)."""
+
+
+class NoSuchUploadError(KeyError):
+    """Raised when an upload id names no in-flight multipart upload (404)."""
+
+
+class MultipartError(ValueError):
+    """Raised for an invalid multipart request (bad part number/etag, 400)."""
+
+
+class InvalidContinuationTokenError(ValueError):
+    """Raised when a list continuation token cannot be decoded (400)."""
+
+
+def encode_list_token(last_entry: str) -> str:
+    """Opaque continuation token resuming a listing after ``last_entry``."""
+    return base64.urlsafe_b64encode(last_entry.encode("utf-8")).decode("ascii")
+
+
+def decode_list_token(token: str) -> str:
+    """Inverse of :func:`encode_list_token`; raises on malformed tokens."""
+    try:
+        raw = base64.b64decode(token.encode("ascii"), altchars=b"-_", validate=True)
+        return raw.decode("utf-8")
+    except (binascii.Error, UnicodeError, ValueError) as exc:
+        raise InvalidContinuationTokenError(
+            f"malformed continuation token {token!r}"
+        ) from exc
 
 
 class Planner(Protocol):
@@ -159,6 +212,23 @@ class MigrationReceipt:
     full_restripe: bool
 
 
+@dataclass
+class ReadPlan:
+    """A resolved read: which stripe slices cover the requested bytes.
+
+    ``segments`` holds ``(stripe, lo, hi)`` triples — decode stripe
+    ``stripe`` and take its plaintext slice ``[lo:hi]``.  A full read
+    covers every stripe; a ranged read only the covering ones, which is
+    exactly what bounds the provider traffic a range GET bills.
+    """
+
+    meta: ObjectMeta
+    segments: List[Tuple[int, int, int]]
+    start: int
+    end: int
+    length: int
+
+
 class Engine:
     """One stateless Scalia engine bound to a datacenter."""
 
@@ -195,25 +265,655 @@ class Engine:
         self,
         container: str,
         key: str,
-        data: Payload,
+        data,
         *,
         mime: str = "application/octet-stream",
         rule: Optional[str] = None,
         ttl_hint: Optional[float] = None,
         now: float = 0.0,
         period: int = 0,
+        stripe_size: int = DEFAULT_STRIPE_SIZE,
+        size_hint: Optional[int] = None,
     ) -> ObjectMeta:
         """Store (or update) an object; returns the persisted metadata.
 
-        ``data`` is either the real payload (``bytes``) or a synthetic byte
-        count (``int``) for metered cost simulations.
+        ``data`` is the real payload — ``bytes``, a binary file-like
+        object, or any iterable of byte blocks — or a synthetic byte
+        count (``int``) for metered cost simulations.  Streams are
+        consumed stripe by stripe: peak buffered payload is O(stripe),
+        and each stripe is erasure-coded and shipped before the next is
+        read.  ``size_hint`` improves the initial placement when the
+        stream's length is not discoverable; the persisted metadata
+        always carries the exact size.
         """
-        size = len(data) if isinstance(data, bytes) else int(data)
-        if size < 0:
-            raise ValueError("synthetic size must be >= 0")
+        if isinstance(data, int) and not isinstance(data, bool):
+            size = int(data)
+            if size < 0:
+                raise ValueError("synthetic size must be >= 0")
+            return self._put_object(
+                container, key, data, size,
+                mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
+            )
+        if stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        source = ByteSource(data, size_hint=size_hint)
+        first = source.read(stripe_size)
+        if len(first) < stripe_size:
+            # The whole payload fits one stripe: the degenerate layout,
+            # byte-identical to the pre-streaming data plane.
+            return self._put_object(
+                container, key, first, len(first),
+                mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
+            )
+        return self._put_streamed(
+            container, key, source, first, stripe_size,
+            mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
+        )
+
+    def get(
+        self,
+        container: str,
+        key: str,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> Payload:
+        """Read an object (or an inclusive byte range of it)."""
+        return self.get_many(
+            container, key, 1, byte_range=byte_range, now=now, period=period
+        )
+
+    def get_many(
+        self,
+        container: str,
+        key: str,
+        count: int,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> Payload:
+        """Serve ``count`` identical reads, billed exactly as ``count`` gets.
+
+        With a cache, the first read misses and the rest hit; without one,
+        every read fetches (and bills) the chunks.  Collapsing a burst into
+        one call keeps scenario simulations fast without changing a cent of
+        the metered cost.  Ranged reads bypass the cache and decode only
+        the stripes covering ``byte_range`` (inclusive, end ``None`` =
+        through the last byte).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        row_key = object_row_key(container, key)
+        if byte_range is None and self._cache is not None:
+            cached = self._cache.get(self.dc, row_key)
+            if cached is not None:
+                meta = self._winning_meta(row_key)
+                if meta is not None:
+                    self._log_read(row_key, meta, period, count=count, cache_hit=True)
+                    return cached
+                self._cache.invalidate_everywhere(row_key)
+
+            meta = self._winning_meta(row_key)
+            if meta is None:
+                raise ObjectNotFoundError(f"{container}/{key}")
+            payload = self._fetch_and_reassemble(meta, times=1)
+            self._cache.put(self.dc, row_key, payload, meta.size)
+            self._log_read(row_key, meta, period, count=1, cache_hit=False)
+            if count > 1:
+                self._log_read(row_key, meta, period, count=count - 1, cache_hit=True)
+            return payload
+
+        plan = self.open_read(
+            container, key, byte_range=byte_range, now=now, period=period
+        )
+        payload = self._materialize(plan, times=count)
+        self.commit_read(plan, count=count, period=period)
+        return payload
+
+    def open_read(
+        self,
+        container: str,
+        key: str,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> ReadPlan:
+        """Resolve a read into its covering stripe slices.
+
+        The streaming consumers (the gateway's chunked responses) pull
+        the plan's stripes one at a time through :meth:`read_stripe`,
+        so no layer ever holds more than one decoded stripe.  Planning
+        logs nothing — call :meth:`commit_read` once bytes actually flow,
+        so a read that fails outright (outage, missing chunks) never
+        pollutes the access statistics the placement logic learns from.
+        """
+        meta = self._winning_meta(object_row_key(container, key))
+        if meta is None:
+            raise ObjectNotFoundError(f"{container}/{key}")
+        if byte_range is None:
+            start, end = 0, meta.size - 1
+        else:
+            start, end = self._resolve_range(meta, byte_range)
+        if meta.size > 0:
+            segments = meta.stripes_for_range(start, end)
+        else:
+            segments = []
+        length = max(0, end - start + 1)
+        return ReadPlan(meta=meta, segments=segments, start=start, end=end, length=length)
+
+    def commit_read(self, plan: ReadPlan, *, count: int = 1, period: int = 0) -> None:
+        """Record a served read from a plan (statistics, not metering —
+        the provider meters billed each chunk as it was fetched)."""
+        meta = plan.meta
+        self._log_read(
+            object_row_key(meta.container, meta.key), meta, period,
+            count=count, cache_hit=False, bytes_out=plan.length * count,
+        )
+
+    def read_stripe(self, meta: ObjectMeta, stripe: int, *, times: int = 1) -> Payload:
+        """Decode one stripe's plaintext (or its synthetic byte count)."""
+        return self._read_stripe_payload(meta, stripe, times=times)
+
+    def delete(
+        self,
+        container: str,
+        key: str,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> None:
+        """Delete an object: tombstone metadata, drop chunks (or postpone)."""
+        row_key = object_row_key(container, key)
+        meta = self._winning_meta(row_key)
+        if meta is None:
+            raise ObjectNotFoundError(f"{container}/{key}")
+        self._metadata.write(
+            self.dc, row_key, None, uuid=self._ids.uuid(), timestamp=now
+        )
+        self._write_index(container, key, row_key, now, present=False)
+        self._gc_chunks(meta, keep=frozenset())
+        self._log.log(
+            LogRecord(
+                period=period,
+                object_key=row_key,
+                class_key=meta.class_key,
+                op="delete",
+                size=meta.size,
+                mime=meta.mime,
+                lifetime_hours=max(0.0, now - meta.created_at),
+            )
+        )
+        if self._cache is not None:
+            self._cache.invalidate_everywhere(row_key)
+
+    def list_objects(
+        self,
+        container: str,
+        *,
+        prefix: str = "",
+        delimiter: str = "",
+        max_keys: Optional[int] = None,
+        continuation_token: Optional[str] = None,
+    ) -> ListPage:
+        """Paginated listing of ``container`` (S3 ListObjectsV2 semantics).
+
+        Keys and delimiter-rolled common prefixes are merged in one
+        lexicographic stream; ``max_keys`` bounds the page and a
+        truncated page carries an opaque ``next_token`` resuming strictly
+        after the last returned entry.
+        """
+        if max_keys is not None and max_keys < 1:
+            raise ValueError("max_keys must be >= 1")
+        start_after = ""
+        if continuation_token:
+            start_after = decode_list_token(continuation_token)
+        # idx|container|<key> row keys sort exactly like the object keys,
+        # so the metadata index streams rows in result order (bisected
+        # range scan: O(log rows + batch) per fetch).  Rows come in
+        # max_keys-sized batches; extra batches only happen for
+        # tombstoned rows, and every delimiter roll-up seeks the cursor
+        # past the whole rolled range instead of filtering it row by row.
+        row_prefix = f"idx|{container}|"
+        page = ListPage()
+        taken = 0
+        last_name = ""
+        seen_prefixes: set[str] = set()
+        batch = None if max_keys is None else max(64, max_keys + 1)
+        cursor = row_prefix + start_after if start_after else ""
+        exhausted = False
+
+        def page_full() -> bool:
+            """Truncate the page before admitting one more entry."""
+            if max_keys is None or taken < max_keys:
+                return False
+            page.is_truncated = True
+            page.next_token = encode_list_token(last_name)
+            return True
+
+        while not exhausted:
+            row_keys = self._metadata.scan_keys(
+                self.dc, row_prefix + prefix, start_after=cursor, limit=batch
+            )
+            exhausted = batch is None or len(row_keys) < batch
+            if not row_keys:
+                break
+            for row_key in row_keys:
+                cursor = row_key
+                version = self._metadata.winner(self.dc, row_key)
+                if version is None:
+                    continue  # tombstoned (deleted) key
+                key = version.value["key"]
+                rolled = None
+                if delimiter:
+                    rest = key[len(prefix):]
+                    cut = rest.find(delimiter)
+                    if cut >= 0:
+                        rolled = prefix + rest[: cut + len(delimiter)]
+                if rolled is not None:
+                    emit = rolled not in seen_prefixes and not (
+                        start_after and rolled <= start_after
+                    )
+                    if emit:
+                        if page_full():
+                            return page
+                        seen_prefixes.add(rolled)
+                        page.common_prefixes.append(rolled)
+                        taken += 1
+                        last_name = rolled
+                    # Seek past every remaining key under the rolled
+                    # prefix rather than touching each one.  (A key
+                    # containing U+10FFFF could survive the seek; the
+                    # seen_prefixes check still swallows it.)
+                    cursor = row_prefix + rolled + "\U0010ffff"
+                    exhausted = False
+                    break
+                if page_full():
+                    return page
+                page.keys.append(key)
+                taken += 1
+                last_name = key
+        return page
+
+    def head(self, container: str, key: str) -> Optional[ObjectMeta]:
+        """Metadata of an object, or ``None`` when absent."""
+        return self._winning_meta(object_row_key(container, key))
+
+    def resolve_row(self, row_key: str) -> Optional[ObjectMeta]:
+        """Metadata by raw row key (the optimizer's lookup path)."""
+        return self._winning_meta(row_key)
+
+    def live_row_keys(self) -> List[str]:
+        """Row keys of every live object (used on provider-pool changes)."""
+        rows = self._metadata.scan(self.dc, "idx|")
+        return sorted({row.value["row_key"] for row in rows.values()})
+
+    # ------------------------------------------------------------------
+    # multipart upload (S3-shaped, journaled through the metadata WAL)
+    # ------------------------------------------------------------------
+
+    def create_multipart_upload(
+        self,
+        container: str,
+        key: str,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        stripe_size: int = DEFAULT_STRIPE_SIZE,
+        size_hint: Optional[int] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> MultipartState:
+        """Open a multipart upload; returns its journaled staging state.
+
+        The placement is decided here (from ``size_hint`` when given) and
+        shared by every part, so completion can assemble the object
+        without moving a byte.  The staging row rides the same metadata
+        WAL as object rows — an in-flight upload survives a crash as far
+        as its last acknowledged part.
+        """
+        if stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        guess = size_hint if size_hint and size_hint > 0 else stripe_size
+        class_key = self._planner.classify(guess, mime)
+        exclude: frozenset[str] = frozenset(
+            name for name in self._registry.names()
+            if not self._registry.is_available(name)
+        )
+        try:
+            placement = self._planner.place(
+                container=container,
+                key=key,
+                size=guess,
+                mime=mime,
+                rule_name=rule,
+                period=period,
+                exclude=exclude,
+            )
+        except PlacementError as exc:
+            raise WriteFailedError(str(exc)) from exc
+        upload_id = self._ids.uuid()
+        state = MultipartState(
+            container=container,
+            key=key,
+            upload_id=upload_id,
+            skey=storage_key(container, key, upload_id),
+            mime=mime,
+            rule_name=self._planner.rule_for(rule, class_key),
+            class_key=class_key,
+            m=placement.m,
+            providers=placement.providers,
+            stripe_size=stripe_size,
+            created_at=now,
+        )
+        self._metadata.write(
+            self.dc, multipart_row_key(container, upload_id), state.to_dict(),
+            uuid=self._ids.uuid(), timestamp=now,
+        )
+        return state
+
+    def upload_part(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        part_number: int,
+        data,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> PartState:
+        """Store one part (bytes / file-like / iterator), streamed by stripe.
+
+        Re-uploading a part number writes fresh chunk keys (the state's
+        generation counter) before the staging row flips to reference
+        them; the replaced generation's chunks are deleted afterwards, so
+        a crash anywhere in between can only orphan chunks the scrubber
+        sweeps — never corrupt an acknowledged part.
+        """
+        state = self._load_upload(container, upload_id)
+        if state.key != key:
+            raise MultipartError(
+                f"upload {upload_id} is for key {state.key!r}, not {key!r}"
+            )
+        if not MIN_PART_NUMBER <= int(part_number) <= MAX_PART_NUMBER:
+            raise MultipartError(
+                f"part number must be in [{MIN_PART_NUMBER}, {MAX_PART_NUMBER}]"
+            )
+        if isinstance(data, int) and not isinstance(data, bool):
+            raise MultipartError("multipart parts must carry real bytes")
+        part_number = int(part_number)
+        gen = state.next_gen
+        source = ByteSource(data)
+        digest = hashlib.md5()
+        written: List[Tuple[str, str]] = []
+        stripes: List[Tuple[str, int]] = []
+        try:
+            self._stream_stripes(
+                source,
+                state.skey,
+                lambda s: f"p{part_number}g{gen}.{s}",
+                state.m,
+                state.providers,
+                state.stripe_size,
+                digest,
+                written,
+                stripes,
+            )
+        except BaseException:
+            self._delete_refs(written)
+            raise
+        part = PartState(
+            etag=digest.hexdigest(),
+            size=sum(length for _, length in stripes),
+            stripes=tuple(stripes),
+        )
+        replaced = state.parts.get(part_number)
+        state.parts[part_number] = part
+        state.next_gen = gen + 1
+        self._metadata.write(
+            self.dc, multipart_row_key(container, upload_id), state.to_dict(),
+            uuid=self._ids.uuid(), timestamp=now,
+        )
+        if replaced is not None:
+            self._delete_refs(list(state.part_chunk_keys(replaced)))
+        return part
+
+    def complete_multipart_upload(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        parts: Optional[Sequence[Tuple[int, Optional[str]]]] = None,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> ObjectMeta:
+        """Assemble the uploaded parts into the live object (metadata only).
+
+        ``parts`` is the S3-style completion list of ``(part_number,
+        etag)`` — ascending, each uploaded, etags matching when given;
+        ``None`` completes every uploaded part in number order.  The
+        object's ETag is the S3 multipart convention
+        ``md5(part-digests)-N``.  Parts uploaded but not listed are
+        deleted.
+        """
+        state = self._load_upload(container, upload_id)
+        if state.key != key:
+            raise MultipartError(
+                f"upload {upload_id} is for key {state.key!r}, not {key!r}"
+            )
+        if parts is not None:
+            numbers: List[int] = []
+            for number, etag in parts:
+                number = int(number)
+                if number not in state.parts:
+                    raise MultipartError(f"part {number} was never uploaded")
+                if etag and state.parts[number].etag != etag.strip('"'):
+                    raise MultipartError(f"part {number} etag mismatch")
+                numbers.append(number)
+            if not numbers:
+                raise MultipartError("completion needs at least one part")
+            if numbers != sorted(set(numbers)):
+                raise MultipartError("parts must be listed once each, ascending")
+        else:
+            numbers = sorted(state.parts)
+            if not numbers:
+                raise MultipartError("cannot complete an upload with no parts")
+        chosen = [state.parts[n] for n in numbers]
+        stripes = tuple(pair for part in chosen for pair in part.stripes)
+        size = sum(part.size for part in chosen)
+        etag_digest = hashlib.md5(
+            b"".join(bytes.fromhex(part.etag) for part in chosen)
+        ).hexdigest()
         row_key = object_row_key(container, key)
         old_meta = self._winning_meta(row_key)
+        meta = ObjectMeta(
+            container=container,
+            key=key,
+            size=size,
+            mime=state.mime,
+            rule_name=state.rule_name,
+            class_key=self._planner.classify(size, state.mime),
+            skey=state.skey,
+            m=state.m,
+            chunk_map=state.chunk_map,
+            created_at=old_meta.created_at if old_meta else now,
+            checksum=f"{etag_digest}-{len(chosen)}",
+            stripes=stripes,
+            modified_at=now,
+        )
+        self._metadata.write(
+            self.dc, row_key, meta.to_dict(), uuid=meta.skey, timestamp=now
+        )
+        self._write_index(container, key, row_key, now, present=True)
+        # Retire the staging row only after the object row is journaled:
+        # a crash in between leaves both referencing the same chunks,
+        # which abort/scrub resolve without data loss.
+        self._metadata.write(
+            self.dc, multipart_row_key(container, upload_id), None,
+            uuid=self._ids.uuid(), timestamp=now,
+        )
+        keep = frozenset((p, ck) for _s, _i, p, ck in meta.iter_chunks())
+        included = set(numbers)
+        for number, part in state.parts.items():
+            if number not in included:
+                self._delete_refs(list(state.part_chunk_keys(part)), keep=keep)
+        if old_meta is not None:
+            self._gc_chunks(old_meta, keep=keep)
+        self._log.log(
+            LogRecord(
+                period=period,
+                object_key=row_key,
+                class_key=meta.class_key,
+                op="put",
+                size=size,
+                mime=state.mime,
+                bytes_in=size,
+                insertion=old_meta is None,
+            )
+        )
+        if self._cache is not None:
+            self._cache.invalidate_everywhere(row_key)
+        return meta
 
+    def abort_multipart_upload(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> int:
+        """Drop an in-flight upload and its staged chunks; returns deletions.
+
+        Chunks adopted by a completed object (the crash window between
+        the object row and the staging tombstone) are recognized and kept.
+        """
+        state = self._load_upload(container, upload_id)
+        if state.key != key:
+            raise MultipartError(
+                f"upload {upload_id} is for key {state.key!r}, not {key!r}"
+            )
+        self._metadata.write(
+            self.dc, multipart_row_key(container, upload_id), None,
+            uuid=self._ids.uuid(), timestamp=now,
+        )
+        keep: frozenset = frozenset()
+        live = self._winning_meta(object_row_key(container, key))
+        if live is not None and live.skey == state.skey:
+            keep = frozenset((p, ck) for _s, _i, p, ck in live.iter_chunks())
+        deleted = 0
+        for part in state.parts.values():
+            deleted += self._delete_refs(list(state.part_chunk_keys(part)), keep=keep)
+        return deleted
+
+    def list_multipart_uploads(self, container: str) -> List[MultipartState]:
+        """Every in-flight multipart upload of ``container``, oldest first."""
+        rows = self._metadata.scan(self.dc, f"{MULTIPART_ROW_PREFIX}{container}|")
+        states = [MultipartState.from_dict(row.value) for row in rows.values()]
+        states.sort(key=lambda s: (s.created_at, s.upload_id))
+        return states
+
+    def _load_upload(self, container: str, upload_id: str) -> MultipartState:
+        resolution = self._metadata.read(
+            self.dc, multipart_row_key(container, upload_id)
+        )
+        if resolution.winner is None or resolution.winner.value is None:
+            raise NoSuchUploadError(f"no such upload: {upload_id}")
+        return MultipartState.from_dict(resolution.winner.value)
+
+    # ------------------------------------------------------------------
+    # migration / repair (driven by the periodic optimizer)
+    # ------------------------------------------------------------------
+
+    def migrate(
+        self,
+        container: str,
+        key: str,
+        new_placement: Placement,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> MigrationReceipt:
+        """Move an object's chunks to ``new_placement``.
+
+        When the threshold m and chunk count n are unchanged, only the
+        chunks whose provider changed are regenerated and written (the
+        paper's cheap repair path); otherwise the object is fully
+        re-striped (Section IV-E).  Multi-stripe objects migrate stripe
+        by stripe — peak memory stays O(stripe) either way.
+        """
+        row_key = object_row_key(container, key)
+        meta = self._winning_meta(row_key)
+        if meta is None:
+            raise ObjectNotFoundError(f"{container}/{key}")
+        old_placement = meta.placement
+        if new_placement == old_placement:
+            return MigrationReceipt(old_placement, new_placement, 0, False)
+
+        same_code = (
+            new_placement.m == old_placement.m and new_placement.n == old_placement.n
+        )
+        if same_code:
+            new_meta, written = self._migrate_same_code(meta, new_placement)
+        else:
+            new_meta, written = self._migrate_restripe(meta, new_placement, now)
+        self._metadata.write(
+            self.dc, row_key, new_meta.to_dict(), uuid=self._ids.uuid(), timestamp=now
+        )
+        keep = frozenset((p, ck) for _s, _i, p, ck in new_meta.iter_chunks())
+        self._gc_chunks(meta, keep=keep)
+        return MigrationReceipt(old_placement, new_placement, written, not same_code)
+
+    def flush_pending_deletes(self) -> int:
+        """Retry postponed deletes (call after provider recoveries)."""
+        return self._pending.flush(self._registry)
+
+    @property
+    def pending_deletes(self) -> PendingDeleteQueue:
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _winning_meta(self, row_key: str) -> Optional[ObjectMeta]:
+        resolution = self._metadata.read(self.dc, row_key)
+        for stale in resolution.stale:
+            if stale.value is None:
+                continue
+            stale_meta = ObjectMeta.from_dict(stale.value)
+            keep: frozenset[tuple[str, str]] = frozenset()
+            if resolution.winner is not None and resolution.winner.value is not None:
+                win_meta = ObjectMeta.from_dict(resolution.winner.value)
+                keep = frozenset((p, ck) for _s, _i, p, ck in win_meta.iter_chunks())
+            self._gc_chunks(stale_meta, keep=keep)
+        if resolution.winner is None or resolution.winner.value is None:
+            return None
+        return ObjectMeta.from_dict(resolution.winner.value)
+
+    # -- write paths -------------------------------------------------------
+
+    def _put_object(
+        self,
+        container: str,
+        key: str,
+        data: Payload,
+        size: int,
+        *,
+        mime: str,
+        rule: Optional[str],
+        ttl_hint: Optional[float],
+        now: float,
+        period: int,
+    ) -> ObjectMeta:
+        """Single-stripe write (synthetic sizes and payloads <= one stripe)."""
+        row_key = object_row_key(container, key)
+        old_meta = self._winning_meta(row_key)
         class_key = self._planner.classify(size, mime)
         exclude: frozenset[str] = frozenset(
             name for name in self._registry.names() if not self._registry.is_available(name)
@@ -253,209 +953,169 @@ class Engine:
                 exclude = exclude | {exc.provider_name}
         if meta is None:
             raise WriteFailedError(f"no reachable placement for {container}/{key}")
+        self._commit_put(container, key, row_key, meta, old_meta, now, period)
+        return meta
 
+    def _put_streamed(
+        self,
+        container: str,
+        key: str,
+        source: ByteSource,
+        first: bytes,
+        stripe_size: int,
+        *,
+        mime: str,
+        rule: Optional[str],
+        ttl_hint: Optional[float],
+        now: float,
+        period: int,
+    ) -> ObjectMeta:
+        """Multi-stripe streaming write with O(stripe) peak memory."""
+        row_key = object_row_key(container, key)
+        old_meta = self._winning_meta(row_key)
+        # The stream's exact length may be unknowable; place with the best
+        # available guess (the exact size lands in the metadata at the end,
+        # and the periodic optimizer corrects any resulting misplacement).
+        size_guess = source.size_hint if source.size_hint else 2 * stripe_size
+        exclude: frozenset[str] = frozenset(
+            name for name in self._registry.names() if not self._registry.is_available(name)
+        )
+        for _ in range(max(1, len(self._registry))):
+            try:
+                placement = self._planner.place(
+                    container=container,
+                    key=key,
+                    size=size_guess,
+                    mime=mime,
+                    rule_name=rule,
+                    period=period,
+                    exclude=exclude,
+                )
+            except PlacementError as exc:
+                raise WriteFailedError(str(exc)) from exc
+            uuid = self._ids.uuid()
+            skey = storage_key(container, key, uuid)
+            digest = hashlib.md5()
+            written: List[Tuple[str, str]] = []
+            stripes: List[Tuple[str, int]] = []
+            try:
+                self._stream_stripes(
+                    source, skey, str, placement.m, placement.providers,
+                    stripe_size, digest, written, stripes, first=first,
+                )
+            except (
+                ProviderUnavailableError,
+                CapacityExceededError,
+                ChunkTooLargeError,
+            ) as exc:
+                self._delete_refs(written)
+                if not exc.provider_name:
+                    raise
+                exclude = exclude | {exc.provider_name}
+                if not source.restart():
+                    raise WriteFailedError(
+                        f"provider {exc.provider_name} failed mid-stream and "
+                        f"the source cannot restart"
+                    ) from exc
+                first = source.read(stripe_size)
+                continue
+            except BaseException:
+                # Anything else (a corrupt chunked frame, a failed
+                # Content-MD5 precondition raised by the source) must not
+                # leak the stripes already shipped.
+                self._delete_refs(written)
+                raise
+            size = sum(length for _, length in stripes)
+            class_key = self._planner.classify(size, mime)
+            meta = ObjectMeta(
+                container=container,
+                key=key,
+                size=size,
+                mime=mime,
+                rule_name=self._planner.rule_for(rule, class_key),
+                class_key=class_key,
+                skey=skey,
+                m=placement.m,
+                chunk_map=tuple(enumerate(placement.providers)),
+                created_at=old_meta.created_at if old_meta else now,
+                checksum=digest.hexdigest(),
+                ttl_hint=ttl_hint,
+                stripes=tuple(stripes),
+                modified_at=now,
+            )
+            self._commit_put(container, key, row_key, meta, old_meta, now, period)
+            return meta
+        raise WriteFailedError(f"no reachable placement for {container}/{key}")
+
+    def _stream_stripes(
+        self,
+        source: ByteSource,
+        skey: str,
+        tag_of: Callable[[int], object],
+        m: int,
+        providers: Tuple[str, ...],
+        stripe_size: int,
+        digest,
+        written: List[Tuple[str, str]],
+        stripes: List[Tuple[str, int]],
+        *,
+        first: Optional[bytes] = None,
+    ) -> None:
+        """Pull, encode and ship stripes until the source is exhausted.
+
+        Appends to ``written``/``stripes`` in place so the caller can
+        clean up the already-shipped chunks when a stripe fails mid-way.
+        """
+        index = 0
+        while True:
+            block = first if (index == 0 and first is not None) else source.read(stripe_size)
+            if not block and index > 0:
+                break
+            digest.update(block)
+            tag = str(tag_of(index))
+            chunks = split_object(block, m, len(providers), code_cache=self._codes)
+            for chunk, provider_name in zip(chunks, providers):
+                chunk_key = f"{skey}:{tag}.{chunk.index}"
+                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
+                self._pending.discard(provider_name, chunk_key)
+                written.append((provider_name, chunk_key))
+            stripes.append((tag, len(block)))
+            index += 1
+            if len(block) < stripe_size:
+                break
+
+    def _commit_put(
+        self,
+        container: str,
+        key: str,
+        row_key: str,
+        meta: ObjectMeta,
+        old_meta: Optional[ObjectMeta],
+        now: float,
+        period: int,
+    ) -> None:
+        """Shared put tail: journal metadata, GC the old version, log."""
         self._metadata.write(
             self.dc, row_key, meta.to_dict(), uuid=meta.skey, timestamp=now
         )
         self._write_index(container, key, row_key, now, present=True)
         if old_meta is not None:
-            self._gc_chunks(old_meta, keep=frozenset(
-                (p, meta.chunk_key(i)) for i, p in meta.chunk_map
-            ))
-        self._log.log(
-            LogRecord(
-                period=period,
-                object_key=row_key,
-                class_key=class_key,
-                op="put",
-                size=size,
-                mime=mime,
-                bytes_in=size,
-                insertion=old_meta is None,
-            )
-        )
-        if self._cache is not None:
-            self._cache.invalidate_everywhere(row_key)
-        return meta
-
-    def get(
-        self,
-        container: str,
-        key: str,
-        *,
-        now: float = 0.0,
-        period: int = 0,
-    ) -> Payload:
-        """Read an object: from cache when possible, else from providers."""
-        return self.get_many(container, key, 1, now=now, period=period)
-
-    def get_many(
-        self,
-        container: str,
-        key: str,
-        count: int,
-        *,
-        now: float = 0.0,
-        period: int = 0,
-    ) -> Payload:
-        """Serve ``count`` identical reads, billed exactly as ``count`` gets.
-
-        With a cache, the first read misses and the rest hit; without one,
-        every read fetches (and bills) the chunks.  Collapsing a burst into
-        one call keeps scenario simulations fast without changing a cent of
-        the metered cost.
-        """
-        if count < 1:
-            raise ValueError("count must be >= 1")
-        row_key = object_row_key(container, key)
-        if self._cache is not None:
-            cached = self._cache.get(self.dc, row_key)
-            if cached is not None:
-                meta = self._winning_meta(row_key)
-                if meta is not None:
-                    self._log_read(row_key, meta, period, count=count, cache_hit=True)
-                    return cached
-                self._cache.invalidate_everywhere(row_key)
-
-        meta = self._winning_meta(row_key)
-        if meta is None:
-            raise ObjectNotFoundError(f"{container}/{key}")
-        if self._cache is not None:
-            payload = self._fetch_and_reassemble(meta, times=1)
-            self._cache.put(self.dc, row_key, payload, meta.size)
-            self._log_read(row_key, meta, period, count=1, cache_hit=False)
-            if count > 1:
-                self._log_read(row_key, meta, period, count=count - 1, cache_hit=True)
-        else:
-            payload = self._fetch_and_reassemble(meta, times=count)
-            self._log_read(row_key, meta, period, count=count, cache_hit=False)
-        return payload
-
-    def delete(
-        self,
-        container: str,
-        key: str,
-        *,
-        now: float = 0.0,
-        period: int = 0,
-    ) -> None:
-        """Delete an object: tombstone metadata, drop chunks (or postpone)."""
-        row_key = object_row_key(container, key)
-        meta = self._winning_meta(row_key)
-        if meta is None:
-            raise ObjectNotFoundError(f"{container}/{key}")
-        self._metadata.write(
-            self.dc, row_key, None, uuid=self._ids.uuid(), timestamp=now
-        )
-        self._write_index(container, key, row_key, now, present=False)
-        self._gc_chunks(meta, keep=frozenset())
+            keep = frozenset((p, ck) for _s, _i, p, ck in meta.iter_chunks())
+            self._gc_chunks(old_meta, keep=keep)
         self._log.log(
             LogRecord(
                 period=period,
                 object_key=row_key,
                 class_key=meta.class_key,
-                op="delete",
+                op="put",
                 size=meta.size,
                 mime=meta.mime,
-                lifetime_hours=max(0.0, now - meta.created_at),
+                bytes_in=meta.size,
+                insertion=old_meta is None,
             )
         )
         if self._cache is not None:
             self._cache.invalidate_everywhere(row_key)
-
-    def list_objects(self, container: str) -> List[str]:
-        """Keys currently stored under ``container``, sorted."""
-        prefix = f"idx|{container}|"
-        rows = self._metadata.scan(self.dc, prefix)
-        return sorted(row.value["key"] for row in rows.values())
-
-    def head(self, container: str, key: str) -> Optional[ObjectMeta]:
-        """Metadata of an object, or ``None`` when absent."""
-        return self._winning_meta(object_row_key(container, key))
-
-    def resolve_row(self, row_key: str) -> Optional[ObjectMeta]:
-        """Metadata by raw row key (the optimizer's lookup path)."""
-        return self._winning_meta(row_key)
-
-    def live_row_keys(self) -> List[str]:
-        """Row keys of every live object (used on provider-pool changes)."""
-        rows = self._metadata.scan(self.dc, "idx|")
-        return sorted({row.value["row_key"] for row in rows.values()})
-
-    # ------------------------------------------------------------------
-    # migration / repair (driven by the periodic optimizer)
-    # ------------------------------------------------------------------
-
-    def migrate(
-        self,
-        container: str,
-        key: str,
-        new_placement: Placement,
-        *,
-        now: float = 0.0,
-        period: int = 0,
-    ) -> MigrationReceipt:
-        """Move an object's chunks to ``new_placement``.
-
-        When the threshold m and chunk count n are unchanged, only the
-        chunks whose provider changed are regenerated and written (the
-        paper's cheap repair path); otherwise the object is fully
-        re-striped (Section IV-E).
-        """
-        row_key = object_row_key(container, key)
-        meta = self._winning_meta(row_key)
-        if meta is None:
-            raise ObjectNotFoundError(f"{container}/{key}")
-        old_placement = meta.placement
-        if new_placement == old_placement:
-            return MigrationReceipt(old_placement, new_placement, 0, False)
-
-        same_code = (
-            new_placement.m == old_placement.m and new_placement.n == old_placement.n
-        )
-        if same_code:
-            new_meta, written = self._migrate_same_code(meta, new_placement)
-        else:
-            source_chunks = self._fetch_chunks(meta, meta.m)
-            synthetic = isinstance(source_chunks[0], SyntheticChunk)
-            new_meta, written = self._migrate_restripe(
-                meta, new_placement, source_chunks, synthetic, now
-            )
-        self._metadata.write(
-            self.dc, row_key, new_meta.to_dict(), uuid=self._ids.uuid(), timestamp=now
-        )
-        keep = frozenset((p, new_meta.chunk_key(i)) for i, p in new_meta.chunk_map)
-        self._gc_chunks(meta, keep=keep)
-        return MigrationReceipt(old_placement, new_placement, written, not same_code)
-
-    def flush_pending_deletes(self) -> int:
-        """Retry postponed deletes (call after provider recoveries)."""
-        return self._pending.flush(self._registry)
-
-    @property
-    def pending_deletes(self) -> PendingDeleteQueue:
-        return self._pending
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-
-    def _winning_meta(self, row_key: str) -> Optional[ObjectMeta]:
-        resolution = self._metadata.read(self.dc, row_key)
-        for stale in resolution.stale:
-            if stale.value is None:
-                continue
-            stale_meta = ObjectMeta.from_dict(stale.value)
-            keep: frozenset[tuple[str, str]] = frozenset()
-            if resolution.winner is not None and resolution.winner.value is not None:
-                win_meta = ObjectMeta.from_dict(resolution.winner.value)
-                keep = frozenset(
-                    (p, win_meta.chunk_key(i)) for i, p in win_meta.chunk_map
-                )
-            self._gc_chunks(stale_meta, keep=keep)
-        if resolution.winner is None or resolution.winner.value is None:
-            return None
-        return ObjectMeta.from_dict(resolution.winner.value)
 
     def _write_chunks(
         self,
@@ -508,7 +1168,30 @@ class Engine:
             # Content MD5 (the gateway's ETag); synthetic payloads have none.
             checksum=hashlib.md5(data).hexdigest() if isinstance(data, bytes) else "",
             ttl_hint=ttl_hint,
+            modified_at=now,
         )
+
+    # -- read paths --------------------------------------------------------
+
+    @staticmethod
+    def _resolve_range(
+        meta: ObjectMeta, byte_range: Tuple[int, Optional[int]]
+    ) -> Tuple[int, int]:
+        """Clamp an inclusive ``(start, end)`` request against the object."""
+        start, end = byte_range
+        start = int(start)
+        if end is None:
+            end = meta.size - 1
+        end = int(end)
+        if start < 0 or end < start:
+            raise InvalidRangeError(
+                f"invalid byte range [{start}, {end}] for {meta.container}/{meta.key}"
+            )
+        if start >= meta.size:
+            raise InvalidRangeError(
+                f"range start {start} beyond object size {meta.size}"
+            )
+        return start, min(end, meta.size - 1)
 
     def _serving_order(self, meta: ObjectMeta) -> List[Tuple[int, str]]:
         """Available chunks sorted by the cost of reading them.
@@ -530,8 +1213,8 @@ class Engine:
         scored.sort()
         return [(index, name) for _, name, index in scored]
 
-    def _fetch_chunks(self, meta: ObjectMeta, count: int, *, times: int = 1):
-        """Fetch ``count`` chunks from the cheapest available providers.
+    def _fetch_chunks(self, meta: ObjectMeta, count: int, *, stripe: int = 0, times: int = 1):
+        """Fetch ``count`` chunks of one stripe from the cheapest providers.
 
         Corrupt chunks (durable backends detect them by checksum) are
         skipped like missing ones: any ``m`` intact chunks serve the read,
@@ -544,7 +1227,7 @@ class Engine:
             try:
                 fetched.append(
                     self._registry.get(provider_name).get_chunk(
-                        meta.chunk_key(index), times=times
+                        meta.chunk_key(index, stripe), times=times
                     )
                 )
             except (ProviderUnavailableError, ChunkNotFoundError, ChunkCorruptionError):
@@ -552,17 +1235,49 @@ class Engine:
         if len(fetched) < count:
             raise ReadFailedError(
                 f"only {len(fetched)} of the required {count} chunks reachable "
-                f"for {meta.container}/{meta.key}"
+                f"for {meta.container}/{meta.key} (stripe {stripe})"
             )
         return fetched
 
-    def _fetch_and_reassemble(self, meta: ObjectMeta, *, times: int = 1) -> Payload:
-        chunks = self._fetch_chunks(meta, meta.m, times=times)
+    def _read_stripe_payload(self, meta: ObjectMeta, stripe: int, *, times: int = 1) -> Payload:
+        """Decode one stripe: its plaintext bytes, or the synthetic length."""
+        length = meta.stripe_lengths[stripe]
+        chunks = self._fetch_chunks(meta, meta.m, stripe=stripe, times=times)
         if isinstance(chunks[0], SyntheticChunk):
-            return meta.size
+            return length
         return reassemble_object(
-            chunks, meta.m, meta.n, meta.size, code_cache=self._codes
+            chunks, meta.m, meta.n, length, code_cache=self._codes
         )
+
+    def _fetch_and_reassemble(self, meta: ObjectMeta, *, times: int = 1) -> Payload:
+        pieces: List[bytes] = []
+        for stripe in range(meta.stripe_count):
+            payload = self._read_stripe_payload(meta, stripe, times=times)
+            if isinstance(payload, int):
+                return meta.size
+            pieces.append(payload)
+        return pieces[0] if len(pieces) == 1 else b"".join(pieces)
+
+    def _materialize(self, plan: ReadPlan, *, times: int = 1) -> Payload:
+        if not plan.segments:
+            # Zero-length read: an empty object (full GET) — synthetic
+            # objects report their (zero) size, real ones empty bytes.
+            return b"" if plan.meta.checksum else 0
+        pieces: List[bytes] = []
+        synthetic_total = 0
+        synthetic = False
+        for stripe, lo, hi in plan.segments:
+            payload = self._read_stripe_payload(plan.meta, stripe, times=times)
+            if isinstance(payload, int):
+                synthetic = True
+                synthetic_total += hi - lo
+            else:
+                pieces.append(payload[lo:hi])
+        if synthetic:
+            return synthetic_total
+        return pieces[0] if len(pieces) == 1 else b"".join(pieces)
+
+    # -- migration ---------------------------------------------------------
 
     def _migrate_same_code(
         self,
@@ -574,7 +1289,8 @@ class Engine:
         A relocated chunk whose current provider is reachable is copied
         *directly* (one read, one write); only chunks stranded on a failed
         provider require reconstruction from m other chunks (the paper's
-        active-repair case).
+        active-repair case).  Striped objects relocate every stripe's
+        chunk at the moved index, one stripe at a time.
         """
         old_by_provider = {p: i for i, p in meta.chunk_map}
         kept = [(old_by_provider[p], p) for p in new_placement.providers if p in old_by_provider]
@@ -583,33 +1299,39 @@ class Engine:
         old_provider_of = {i: p for i, p in meta.chunk_map}
         written = 0
         new_map = {i: p for i, p in kept}
-        clen = chunk_length(meta.size, meta.m)
-        source_chunks = None  # fetched lazily, once, if reconstruction is needed
+        source_chunks: Dict[int, list] = {}  # stripe -> m chunks, fetched lazily
         for index, provider_name in zip(freed, incoming):
             source = old_provider_of[index]
-            chunk = None
-            if self._registry.is_available(source):
-                try:
-                    chunk = self._registry.get(source).get_chunk(meta.chunk_key(index))
-                except (ProviderUnavailableError, ChunkNotFoundError):
-                    chunk = None
-            if chunk is None:
-                if source_chunks is None:
-                    source_chunks = self._fetch_chunks(meta, meta.m)
-                if isinstance(source_chunks[0], SyntheticChunk):
-                    chunk = SyntheticChunk(index=index, size=clen)
-                else:
-                    chunk = repair_chunk(
-                        source_chunks, index, meta.m, meta.n, meta.size,
-                        code_cache=self._codes,
-                    )
-            self._registry.get(provider_name).put_chunk(meta.chunk_key(index), chunk)
-            # This key may sit in the pending-delete queue from an earlier
-            # migration away from an unavailable provider; the chunk is
-            # live again, so the queued delete must not fire.
-            self._pending.discard(provider_name, meta.chunk_key(index))
+            for stripe in range(meta.stripe_count):
+                chunk_key = meta.chunk_key(index, stripe)
+                chunk = None
+                if self._registry.is_available(source):
+                    try:
+                        chunk = self._registry.get(source).get_chunk(chunk_key)
+                    except (ProviderUnavailableError, ChunkNotFoundError):
+                        chunk = None
+                if chunk is None:
+                    if stripe not in source_chunks:
+                        source_chunks[stripe] = self._fetch_chunks(
+                            meta, meta.m, stripe=stripe
+                        )
+                    stripe_len = meta.stripe_lengths[stripe]
+                    if isinstance(source_chunks[stripe][0], SyntheticChunk):
+                        chunk = SyntheticChunk(
+                            index=index, size=chunk_length(stripe_len, meta.m)
+                        )
+                    else:
+                        chunk = repair_chunk(
+                            source_chunks[stripe], index, meta.m, meta.n, stripe_len,
+                            code_cache=self._codes,
+                        )
+                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
+                # This key may sit in the pending-delete queue from an earlier
+                # migration away from an unavailable provider; the chunk is
+                # live again, so the queued delete must not fire.
+                self._pending.discard(provider_name, chunk_key)
+                written += 1
             new_map[index] = provider_name
-            written += 1
         chunk_map = tuple(sorted(new_map.items()))
         new_meta = ObjectMeta(
             container=meta.container,
@@ -624,6 +1346,8 @@ class Engine:
             created_at=meta.created_at,
             checksum=meta.checksum,
             ttl_hint=meta.ttl_hint,
+            stripes=meta.stripes,
+            modified_at=meta.modified_at,
         )
         return new_meta, written
 
@@ -631,23 +1355,37 @@ class Engine:
         self,
         meta: ObjectMeta,
         new_placement: Placement,
-        source_chunks,
-        synthetic: bool,
         now: float,
     ) -> Tuple[ObjectMeta, int]:
-        """Full path: decode the object and re-encode under the new code."""
+        """Full path: decode and re-encode under the new code, per stripe."""
         uuid = self._ids.uuid()
         skey = storage_key(meta.container, meta.key, uuid)
-        if synthetic:
-            chunks: Sequence = split_synthetic(meta.size, new_placement.m, new_placement.n)
-        else:
-            data = reassemble_object(
-                source_chunks, meta.m, meta.n, meta.size, code_cache=self._codes
-            )
-            chunks = split_object(data, new_placement.m, new_placement.n, code_cache=self._codes)
-        for chunk, provider_name in zip(chunks, new_placement.providers):
-            self._registry.get(provider_name).put_chunk(f"{skey}:{chunk.index}", chunk)
-            self._pending.discard(provider_name, f"{skey}:{chunk.index}")
+        striped = bool(meta.stripes)
+        new_stripes: List[Tuple[str, int]] = []
+        written = 0
+        for stripe in range(meta.stripe_count):
+            stripe_len = meta.stripe_lengths[stripe]
+            source = self._fetch_chunks(meta, meta.m, stripe=stripe)
+            if isinstance(source[0], SyntheticChunk):
+                chunks: Sequence = split_synthetic(
+                    stripe_len, new_placement.m, new_placement.n
+                )
+            else:
+                data = reassemble_object(
+                    source, meta.m, meta.n, stripe_len, code_cache=self._codes
+                )
+                chunks = split_object(
+                    data, new_placement.m, new_placement.n, code_cache=self._codes
+                )
+            tag = str(stripe)
+            for chunk, provider_name in zip(chunks, new_placement.providers):
+                chunk_key = (
+                    f"{skey}:{tag}.{chunk.index}" if striped else f"{skey}:{chunk.index}"
+                )
+                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
+                self._pending.discard(provider_name, chunk_key)
+                written += 1
+            new_stripes.append((tag, stripe_len))
         new_meta = ObjectMeta(
             container=meta.container,
             key=meta.key,
@@ -657,25 +1395,25 @@ class Engine:
             class_key=meta.class_key,
             skey=skey,
             m=new_placement.m,
-            chunk_map=tuple(
-                (chunk.index, provider)
-                for chunk, provider in zip(chunks, new_placement.providers)
-            ),
+            chunk_map=tuple(enumerate(new_placement.providers)),
             created_at=meta.created_at,
             checksum=meta.checksum,
             ttl_hint=meta.ttl_hint,
+            stripes=tuple(new_stripes) if striped else (),
+            modified_at=meta.modified_at,
         )
-        return new_meta, new_placement.n
+        return new_meta, written
 
-    def _gc_chunks(self, meta: ObjectMeta, keep: frozenset[tuple[str, str]]) -> None:
-        """Delete a version's chunks, postponing unreachable providers.
+    # -- chunk deletion ----------------------------------------------------
 
-        ``keep`` holds ``(provider, chunk_key)`` pairs still referenced by a
-        live version — same-code migrations share the skey between old and
-        new chunk maps, so the provider must be part of the identity.
-        """
-        for index, provider_name in meta.chunk_map:
-            chunk_key = meta.chunk_key(index)
+    def _delete_refs(
+        self,
+        refs: Sequence[Tuple[str, str]],
+        keep: frozenset = frozenset(),
+    ) -> int:
+        """Delete ``(provider, chunk_key)`` refs, postponing the unreachable."""
+        done = 0
+        for provider_name, chunk_key in refs:
             if (provider_name, chunk_key) in keep:
                 continue
             if provider_name not in self._registry:
@@ -686,6 +1424,21 @@ class Engine:
                 continue
             except ProviderUnavailableError:
                 self._pending.add(provider_name, chunk_key)
+                continue
+            done += 1
+        return done
+
+    def _gc_chunks(self, meta: ObjectMeta, keep: frozenset[tuple[str, str]]) -> None:
+        """Delete a version's chunks, postponing unreachable providers.
+
+        ``keep`` holds ``(provider, chunk_key)`` pairs still referenced by a
+        live version — same-code migrations share the skey between old and
+        new chunk maps, so the provider must be part of the identity.
+        """
+        self._delete_refs(
+            [(provider, ck) for _s, _i, provider, ck in meta.iter_chunks()],
+            keep=keep,
+        )
 
     def _write_index(
         self, container: str, key: str, row_key: str, now: float, *, present: bool
@@ -704,6 +1457,7 @@ class Engine:
         *,
         count: int = 1,
         cache_hit: bool,
+        bytes_out: Optional[int] = None,
     ) -> None:
         self._log.log(
             LogRecord(
@@ -713,7 +1467,7 @@ class Engine:
                 op="get",
                 size=meta.size,
                 mime=meta.mime,
-                bytes_out=meta.size * count,
+                bytes_out=meta.size * count if bytes_out is None else bytes_out,
                 count=count,
                 cache_hit=cache_hit,
             )

@@ -12,6 +12,7 @@ replication; healing runs anti-entropy and converges every replica
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Literal, Mapping, Optional, Tuple
 
@@ -117,14 +118,22 @@ def _freshest(versions: Iterable[VersionedValue]) -> Optional[VersionedValue]:
 
 
 class _Replica:
-    """One datacenter's replica: row_key -> {uuid -> VersionedValue}."""
+    """One datacenter's replica: row_key -> {uuid -> VersionedValue}.
+
+    ``ordered`` mirrors the row keys in sorted order (rows are never
+    removed — deletion is a tombstone version) so range scans cost
+    O(log rows + result) instead of sorting the whole replica per call.
+    """
 
     def __init__(self, dc: str) -> None:
         self.dc = dc
         self.rows: Dict[str, Dict[str, VersionedValue]] = {}
+        self.ordered: List[str] = []
 
     def apply(self, row_key: str, version: VersionedValue) -> None:
         """Insert a version, then drop versions it causally supersedes."""
+        if row_key not in self.rows:
+            bisect.insort(self.ordered, row_key)
         row = self.rows.setdefault(row_key, {})
         row[version.uuid] = version
         dominated = [
@@ -294,15 +303,51 @@ class MetadataCluster:
                 pass
         return resolution
 
+    def scan_keys(
+        self,
+        dc: str,
+        prefix: str = "",
+        *,
+        start_after: str = "",
+        limit: Optional[int] = None,
+    ) -> List[str]:
+        """Sorted row keys matching ``prefix``, strictly after ``start_after``.
+
+        Served from the replica's ordered key index by bisection:
+        O(log rows + result), so a paginated listing's per-page cost
+        depends on the page, not the container.  Tombstoned rows are
+        included (resolve with :meth:`winner`); the caller decides what
+        a live row is.
+        """
+        self._check_dc(dc)
+        ordered = self._replicas[dc].ordered
+        start = bisect.bisect_left(ordered, prefix)
+        if start_after:
+            start = max(start, bisect.bisect_right(ordered, start_after))
+        out: List[str] = []
+        for index in range(start, len(ordered)):
+            row_key = ordered[index]
+            if not row_key.startswith(prefix):
+                break  # sorted: the prefix range is contiguous
+            out.append(row_key)
+            if limit is not None and len(out) == limit:
+                break
+        return out
+
+    def winner(self, dc: str, row_key: str) -> Optional[VersionedValue]:
+        """Freshest non-tombstone version of a row, without read-repair."""
+        self._check_dc(dc)
+        winner = _freshest(self._replicas[dc].versions(row_key))
+        if winner is None or winner.is_tombstone:
+            return None
+        return winner
+
     def scan(self, dc: str, prefix: str = "") -> Dict[str, VersionedValue]:
         """All non-tombstone winners whose row key starts with ``prefix``."""
-        self._check_dc(dc)
         out: Dict[str, VersionedValue] = {}
-        for row_key in sorted(self._replicas[dc].rows):
-            if not row_key.startswith(prefix):
-                continue
-            winner = _freshest(self._replicas[dc].versions(row_key))
-            if winner is not None and not winner.is_tombstone:
+        for row_key in self.scan_keys(dc, prefix):
+            winner = self.winner(dc, row_key)
+            if winner is not None:
                 out[row_key] = winner
         return out
 
@@ -322,6 +367,7 @@ class MetadataCluster:
         """Inverse of :meth:`export_state`; unknown datacenters are ignored."""
         for replica in self._replicas.values():
             replica.rows.clear()
+            replica.ordered.clear()
         for dc, rows in state.items():
             if dc not in self._replicas:
                 continue

@@ -1,0 +1,143 @@
+"""Multipart-upload staging state, stored as metadata rows.
+
+An in-flight multipart upload lives in the replicated metadata cluster
+under the row key ``mpu|<container>|<upload_id>`` — *not* in engine
+memory — so any engine in any datacenter can accept the next part, and
+(because the DurabilityManager journals every metadata apply) an upload
+survives a broker crash exactly as far as its last acknowledged part.
+
+Each part is striped and erasure-coded on arrival with the placement
+chosen at ``create`` time; its chunks land at
+``skey:p<part>g<gen>.<stripe>.<index>``.  The generation counter makes a
+re-uploaded part write *fresh* keys before the row flips to reference
+them, so a crash mid-re-upload can only orphan the new chunks (the
+scrubber sweeps them), never corrupt the old ones.  Completion is pure
+metadata: the final :class:`~repro.types.ObjectMeta` adopts the parts'
+stripes in order, no chunk is copied or rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+def multipart_row_key(container: str, upload_id: str) -> str:
+    """Metadata row key of one in-flight upload."""
+    return f"mpu|{container}|{upload_id}"
+
+
+MULTIPART_ROW_PREFIX = "mpu|"
+
+#: S3's part-number bounds, kept for client compatibility.
+MIN_PART_NUMBER = 1
+MAX_PART_NUMBER = 10_000
+
+
+@dataclass
+class PartState:
+    """One uploaded part: content etag, size and its stripe table."""
+
+    etag: str
+    size: int
+    stripes: Tuple[Tuple[str, int], ...]  # (stripe tag, plaintext bytes)
+
+    def to_dict(self) -> dict:
+        return {
+            "etag": self.etag,
+            "size": self.size,
+            "stripes": [list(pair) for pair in self.stripes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PartState":
+        return cls(
+            etag=data["etag"],
+            size=int(data["size"]),
+            stripes=tuple((str(t), int(n)) for t, n in data["stripes"]),
+        )
+
+
+@dataclass
+class MultipartState:
+    """The journaled state of one in-flight multipart upload."""
+
+    container: str
+    key: str
+    upload_id: str
+    skey: str
+    mime: str
+    rule_name: str
+    class_key: str
+    m: int
+    providers: Tuple[str, ...]
+    stripe_size: int
+    created_at: float
+    next_gen: int = 0
+    parts: Dict[int, PartState] = field(default_factory=dict)
+
+    @property
+    def chunk_map(self) -> Tuple[Tuple[int, str], ...]:
+        """The (index, provider) map every part shares."""
+        return tuple(enumerate(self.providers))
+
+    def part_chunk_keys(self, part: PartState) -> Iterator[Tuple[str, str]]:
+        """``(provider, chunk_key)`` pairs of one part's stored chunks."""
+        for tag, _length in part.stripes:
+            for index, provider in enumerate(self.providers):
+                yield provider, f"{self.skey}:{tag}.{index}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "mpu",
+            "container": self.container,
+            "key": self.key,
+            "upload_id": self.upload_id,
+            "skey": self.skey,
+            "mime": self.mime,
+            "rule_name": self.rule_name,
+            "class_key": self.class_key,
+            "m": self.m,
+            "providers": list(self.providers),
+            "stripe_size": self.stripe_size,
+            "created_at": self.created_at,
+            "next_gen": self.next_gen,
+            "parts": {str(n): p.to_dict() for n, p in self.parts.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MultipartState":
+        return cls(
+            container=data["container"],
+            key=data["key"],
+            upload_id=data["upload_id"],
+            skey=data["skey"],
+            mime=data["mime"],
+            rule_name=data["rule_name"],
+            class_key=data["class_key"],
+            m=int(data["m"]),
+            providers=tuple(str(p) for p in data["providers"]),
+            stripe_size=int(data["stripe_size"]),
+            created_at=float(data["created_at"]),
+            next_gen=int(data.get("next_gen", 0)),
+            parts={
+                int(n): PartState.from_dict(p)
+                for n, p in data.get("parts", {}).items()
+            },
+        )
+
+    def describe(self) -> dict:
+        """JSON-ready summary for listings and the gateway."""
+        return {
+            "upload_id": self.upload_id,
+            "key": self.key,
+            "mime": self.mime,
+            "stripe_size": self.stripe_size,
+            "placement": list(self.providers),
+            "m": self.m,
+            "created_at": self.created_at,
+            "parts": [
+                {"part_number": n, "etag": p.etag, "size": p.size}
+                for n, p in sorted(self.parts.items())
+            ],
+        }

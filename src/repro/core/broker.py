@@ -22,10 +22,11 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.datacenter import ScaliaCluster
-from repro.cluster.engine import PlacementError
+from repro.cluster.engine import DEFAULT_STRIPE_SIZE, PlacementError, ReadPlan
+from repro.cluster.multipart import MultipartState, PartState
 from repro.core.classifier import ClassStatistics, object_class
 from repro.core.costmodel import AccessProjection, CostModel
 from repro.core.decision import DecisionPeriodController
@@ -37,7 +38,7 @@ from repro.providers.pricing import cost_of_usage, paper_catalog
 from repro.providers.registry import ProviderRegistry
 from repro.storage.persistence import DurabilityManager
 from repro.storage.scrubber import ScrubReport, Scrubber
-from repro.types import ObjectMeta, Placement
+from repro.types import ListPage, ObjectMeta, Placement
 from repro.util.ids import object_row_key
 
 
@@ -172,7 +173,11 @@ class Scalia:
         class_priors: Sequence = (),
         data_dir: Optional[str] = None,
         storage_sync: str = "os",
+        stripe_size_bytes: int = DEFAULT_STRIPE_SIZE,
     ) -> None:
+        if stripe_size_bytes < 1:
+            raise ValueError("stripe_size_bytes must be >= 1")
+        self.stripe_size_bytes = stripe_size_bytes
         # Durability first: the data directory supplies the providers'
         # chunk-store backends and the id epoch, both needed at build time.
         self.durability: Optional[DurabilityManager] = None
@@ -287,8 +292,14 @@ class Scalia:
         rule: Optional[str] = None,
         ttl_hint: Optional[float] = None,
         dc: Optional[str] = None,
+        size_hint: Optional[int] = None,
     ) -> ObjectMeta:
-        """Store an object (bytes, or an int byte-count in synthetic mode)."""
+        """Store an object: ``bytes``, a binary file-like, any iterable of
+        byte blocks, or an int byte-count in synthetic mode.
+
+        Payloads larger than :attr:`stripe_size_bytes` are streamed in as
+        independently erasure-coded stripes with O(stripe) peak memory.
+        """
         return self.cluster.route(dc).put(
             container,
             key,
@@ -298,12 +309,26 @@ class Scalia:
             ttl_hint=ttl_hint,
             now=self._now,
             period=self._period,
+            stripe_size=self.stripe_size_bytes,
+            size_hint=size_hint,
         )
 
-    def get(self, container: str, key: str, *, dc: Optional[str] = None):
-        """Read an object back (bytes, or the synthetic byte count)."""
+    def get(
+        self,
+        container: str,
+        key: str,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+        dc: Optional[str] = None,
+    ):
+        """Read an object back (bytes, or the synthetic byte count).
+
+        ``byte_range=(start, end)`` (inclusive; ``end=None`` = through the
+        last byte) decodes — and bills — only the stripes covering the
+        range.
+        """
         return self.cluster.route(dc).get(
-            container, key, now=self._now, period=self._period
+            container, key, byte_range=byte_range, now=self._now, period=self._period
         )
 
     def get_many(
@@ -314,15 +339,123 @@ class Scalia:
             container, key, count, now=self._now, period=self._period
         )
 
+    def open_read(
+        self,
+        container: str,
+        key: str,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+        dc: Optional[str] = None,
+    ) -> ReadPlan:
+        """Resolve a (possibly ranged) read into per-stripe segments.
+
+        Streaming consumers pull each planned stripe through
+        :meth:`read_stripe` so only one decoded stripe is in memory at a
+        time; the read is logged and billed here, the chunk traffic as
+        each stripe is fetched.
+        """
+        return self.cluster.route(dc).open_read(
+            container, key, byte_range=byte_range, now=self._now, period=self._period
+        )
+
+    def read_stripe(self, meta: ObjectMeta, stripe: int, *, dc: Optional[str] = None):
+        """Decode one stripe of a planned read (see :meth:`open_read`)."""
+        return self.cluster.route(dc).read_stripe(meta, stripe)
+
+    def commit_read(
+        self, plan: ReadPlan, *, count: int = 1, dc: Optional[str] = None
+    ) -> None:
+        """Log a planned read once its bytes were actually served."""
+        self.cluster.route(dc).commit_read(plan, count=count, period=self._period)
+
     def delete(self, container: str, key: str, *, dc: Optional[str] = None) -> None:
         """Delete an object everywhere."""
         self.cluster.route(dc).delete(
             container, key, now=self._now, period=self._period
         )
 
-    def list(self, container: str, *, dc: Optional[str] = None) -> List[str]:
-        """List object keys in a container."""
-        return self.cluster.route(dc).list_objects(container)
+    def list(
+        self,
+        container: str,
+        *,
+        prefix: str = "",
+        delimiter: str = "",
+        max_keys: Optional[int] = None,
+        continuation_token: Optional[str] = None,
+        dc: Optional[str] = None,
+    ) -> ListPage:
+        """Paginated listing of a container (list-compatible page object)."""
+        return self.cluster.route(dc).list_objects(
+            container,
+            prefix=prefix,
+            delimiter=delimiter,
+            max_keys=max_keys,
+            continuation_token=continuation_token,
+        )
+
+    # -- multipart upload --------------------------------------------------
+
+    def create_multipart_upload(
+        self,
+        container: str,
+        key: str,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        size_hint: Optional[int] = None,
+        dc: Optional[str] = None,
+    ) -> MultipartState:
+        """Open a multipart upload; state is journaled for crash recovery."""
+        return self.cluster.route(dc).create_multipart_upload(
+            container, key,
+            mime=mime, rule=rule, stripe_size=self.stripe_size_bytes,
+            size_hint=size_hint, now=self._now, period=self._period,
+        )
+
+    def upload_part(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        part_number: int,
+        data,
+        *,
+        dc: Optional[str] = None,
+    ) -> PartState:
+        """Store one part of an open upload (streamed stripe by stripe)."""
+        return self.cluster.route(dc).upload_part(
+            container, key, upload_id, part_number, data,
+            now=self._now, period=self._period,
+        )
+
+    def complete_multipart_upload(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        parts: Optional[Sequence[Tuple[int, Optional[str]]]] = None,
+        *,
+        dc: Optional[str] = None,
+    ) -> ObjectMeta:
+        """Make the uploaded parts the live object (pure metadata)."""
+        return self.cluster.route(dc).complete_multipart_upload(
+            container, key, upload_id, parts,
+            now=self._now, period=self._period,
+        )
+
+    def abort_multipart_upload(
+        self, container: str, key: str, upload_id: str, *, dc: Optional[str] = None
+    ) -> int:
+        """Drop an in-flight upload and its staged chunks."""
+        return self.cluster.route(dc).abort_multipart_upload(
+            container, key, upload_id, now=self._now, period=self._period
+        )
+
+    def list_multipart_uploads(
+        self, container: str, *, dc: Optional[str] = None
+    ) -> List[MultipartState]:
+        """In-flight multipart uploads of a container, oldest first."""
+        return self.cluster.route(dc).list_multipart_uploads(container)
 
     def head(self, container: str, key: str, *, dc: Optional[str] = None) -> Optional[ObjectMeta]:
         """Object metadata without reading data."""

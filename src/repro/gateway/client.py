@@ -2,12 +2,17 @@
 
 :class:`GatewayClient` is a thin keep-alive wrapper over stdlib
 ``http.client`` — one TCP connection reused across requests, transparent
-single-retry when the server recycles an idle connection.
+single-retry when the server recycles an idle connection.  The streaming
+surface mirrors the gateway's: file-like uploads go out without ever
+materializing the payload, downloads arrive block-by-block
+(:meth:`get_to_file`), ranged reads use ``Range`` headers, and the S3
+multipart protocol is wrapped by :meth:`put_multipart` and friends.
 
 :class:`LoadGenerator` drives a mixed PUT/GET workload from N concurrent
 clients (one connection per worker, S3-benchmark style) and reports
 requests/sec plus tail latency; ``benchmarks/bench_gateway_throughput.py``
-is its main consumer.
+is its main consumer.  ``large_objects=True`` turns it into the
+multipart/range hammer for the streaming data plane.
 """
 
 from __future__ import annotations
@@ -19,10 +24,17 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 from urllib.parse import quote
 
 from repro.gateway.server import RULE_HEADER, TENANT_HEADER
+from repro.util.streams import ByteSource
+
+#: Block size for streamed uploads/downloads.
+IO_BLOCK_BYTES = 256 * 1024
+
+#: Default part size for :meth:`GatewayClient.put_multipart`.
+DEFAULT_PART_BYTES = 8 * 1024 * 1024
 
 
 class GatewayError(RuntimeError):
@@ -71,8 +83,12 @@ class GatewayClient:
         path: str,
         body: Optional[bytes] = None,
         headers: Optional[Dict[str, str]] = None,
+        *,
+        encode_chunked: bool = False,
     ) -> Tuple[int, Dict[str, str], bytes]:
-        status, resp_headers, payload, _ = self._request_ex(method, path, body, headers)
+        status, resp_headers, payload, _ = self._request_ex(
+            method, path, body, headers, encode_chunked=encode_chunked
+        )
         return status, resp_headers, payload
 
     def _request_ex(
@@ -81,18 +97,26 @@ class GatewayClient:
         path: str,
         body: Optional[bytes] = None,
         headers: Optional[Dict[str, str]] = None,
+        *,
+        encode_chunked: bool = False,
     ) -> Tuple[int, Dict[str, str], bytes, bool]:
         """Like :meth:`_request`, also reporting whether a retry happened."""
         send = {TENANT_HEADER: self.tenant}
         if headers:
             send.update(headers)
-        # Only idempotent methods are retried after a dropped keep-alive
-        # connection: replaying a POST (/tick) could apply it twice.
-        retriable = method in ("GET", "HEAD", "PUT", "DELETE")
+        # Only idempotent methods with replayable bodies are retried after
+        # a dropped keep-alive connection: replaying a POST (/tick) could
+        # apply it twice, and a consumed stream cannot be resent.
+        retriable = method in ("GET", "HEAD", "PUT", "DELETE") and (
+            body is None or isinstance(body, (bytes, bytearray))
+        )
         for attempt in (1, 2):
             conn = self._connection()
             try:
-                conn.request(method, path, body=body, headers=send)
+                conn.request(
+                    method, path, body=body, headers=send,
+                    encode_chunked=encode_chunked,
+                )
                 response = conn.getresponse()
                 payload = response.read()
                 return (
@@ -118,10 +142,14 @@ class GatewayClient:
         self,
         method: str,
         path: str,
-        body: Optional[bytes] = None,
+        body=None,
         headers: Optional[Dict[str, str]] = None,
+        *,
+        encode_chunked: bool = False,
     ) -> dict:
-        status, _, payload = self._request(method, path, body, headers)
+        status, _, payload = self._request(
+            method, path, body, headers, encode_chunked=encode_chunked
+        )
         if status >= 400:
             raise GatewayError(status, _error_text(payload))
         return json.loads(payload) if payload else {}
@@ -146,11 +174,123 @@ class GatewayClient:
             headers[RULE_HEADER] = rule
         return self._json("PUT", self._object_path(bucket, key), data, headers)
 
-    def get(self, bucket: str, key: str) -> bytes:
-        status, _, payload = self._request("GET", self._object_path(bucket, key))
+    def put_stream(
+        self,
+        bucket: str,
+        key: str,
+        source,
+        *,
+        size: Optional[int] = None,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+    ) -> dict:
+        """Upload from a binary file-like or byte-block iterator.
+
+        The payload is never materialized: a known ``size`` (probed from
+        seekable files by :class:`~repro.util.streams.ByteSource`) goes
+        out with ``Content-Length``; unknown lengths use
+        ``Transfer-Encoding: chunked`` — the gateway streams both into
+        stripes.  A recycled idle keep-alive connection is retried once
+        when the source can restart (bytes, seekable files).
+        """
+        headers = {"Content-Type": mime}
+        if rule is not None:
+            headers[RULE_HEADER] = rule
+        stream = ByteSource(source, size_hint=size)
+        if stream.size_hint is not None:
+            headers["Content-Length"] = str(stream.size_hint)
+        def body_blocks():
+            while True:
+                block = stream.read(IO_BLOCK_BYTES)
+                if not block:
+                    return
+                yield block
+
+        for attempt in (1, 2):
+            body = body_blocks()
+            try:
+                if stream.size_hint is not None:
+                    return self._json(
+                        "PUT", self._object_path(bucket, key), body, headers
+                    )
+                return self._json(
+                    "PUT", self._object_path(bucket, key), body, headers,
+                    encode_chunked=True,
+                )
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt == 2 or not stream.restart():
+                    raise
+        raise AssertionError("unreachable")
+
+    def get(
+        self,
+        bucket: str,
+        key: str,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+    ) -> bytes:
+        """Read an object; ``byte_range=(start, end)`` issues a Range GET."""
+        headers = _range_headers(byte_range)
+        status, _, payload = self._request(
+            "GET", self._object_path(bucket, key), headers=headers
+        )
         if status >= 400:
             raise GatewayError(status, _error_text(payload))
         return payload
+
+    def get_range(self, bucket: str, key: str, start: int, end: Optional[int]) -> bytes:
+        """The inclusive byte range ``[start, end]`` of an object (206)."""
+        return self.get(bucket, key, byte_range=(start, end))
+
+    def get_to_file(
+        self,
+        bucket: str,
+        key: str,
+        sink,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+    ) -> Dict[str, str]:
+        """Stream an object into ``sink`` block-by-block; returns headers.
+
+        Neither the client nor the gateway holds more than one block /
+        stripe of the payload at a time.
+        """
+        send = {TENANT_HEADER: self.tenant}
+        send.update(_range_headers(byte_range))
+        for attempt in (1, 2):
+            wrote = False
+            conn = self._connection()
+            try:
+                conn.request("GET", self._object_path(bucket, key), headers=send)
+                response = conn.getresponse()
+                if response.status >= 400:
+                    raise GatewayError(response.status, _error_text(response.read()))
+                while True:
+                    block = response.read(IO_BLOCK_BYTES)
+                    if not block:
+                        break
+                    sink.write(block)
+                    wrote = True
+                return {k.lower(): v for k, v in response.getheaders()}
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                # Retry a recycled idle keep-alive connection — but only
+                # if nothing reached the sink yet (a replay would
+                # duplicate the bytes already written).
+                self.close()
+                if attempt == 2 or wrote:
+                    raise
+        raise AssertionError("unreachable")
 
     def head(self, bucket: str, key: str) -> Optional[Dict[str, str]]:
         """Metadata headers for the object, or ``None`` when absent."""
@@ -179,8 +319,155 @@ class GatewayClient:
         if status >= 400:
             raise GatewayError(status, _error_text(payload))
 
-    def list(self, bucket: str) -> List[str]:
-        return self._json("GET", f"/{quote(bucket, safe='')}?list")["keys"]
+    def list(
+        self,
+        bucket: str,
+        *,
+        prefix: str = "",
+        delimiter: str = "",
+        page_size: Optional[int] = None,
+    ) -> List[str]:
+        """Every key in the bucket, following continuation tokens.
+
+        The pre-pagination return type (a plain key list) is preserved;
+        :meth:`list_page` exposes single pages, common prefixes and the
+        raw token plumbing.
+        """
+        keys: List[str] = []
+        token: Optional[str] = None
+        while True:
+            page = self.list_page(
+                bucket,
+                prefix=prefix,
+                delimiter=delimiter,
+                max_keys=page_size,
+                continuation_token=token,
+            )
+            keys.extend(page["keys"])
+            if not page.get("is_truncated"):
+                return keys
+            token = page.get("next_continuation_token")
+
+    def list_page(
+        self,
+        bucket: str,
+        *,
+        prefix: str = "",
+        delimiter: str = "",
+        max_keys: Optional[int] = None,
+        continuation_token: Optional[str] = None,
+    ) -> dict:
+        """One page of a V2-style listing (keys, prefixes, next token)."""
+        query = ["list-type=2"]
+        if prefix:
+            query.append(f"prefix={quote(prefix, safe='')}")
+        if delimiter:
+            query.append(f"delimiter={quote(delimiter, safe='')}")
+        if max_keys is not None:
+            query.append(f"max-keys={max_keys}")
+        if continuation_token:
+            query.append(f"continuation-token={quote(continuation_token, safe='')}")
+        return self._json("GET", f"/{quote(bucket, safe='')}?{'&'.join(query)}")
+
+    # -- multipart upload --------------------------------------------------
+
+    def create_multipart(
+        self,
+        bucket: str,
+        key: str,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        size_hint: Optional[int] = None,
+    ) -> str:
+        """Open a multipart upload; returns its upload id."""
+        headers = {"Content-Type": mime}
+        if rule is not None:
+            headers[RULE_HEADER] = rule
+        path = f"{self._object_path(bucket, key)}?uploads"
+        if size_hint is not None:
+            path += f"&size-hint={size_hint}"
+        return self._json("POST", path, b"", headers)["uploadId"]
+
+    def upload_part(
+        self, bucket: str, key: str, upload_id: str, part_number: int, data
+    ) -> dict:
+        """Upload one part (bytes or a file-like, streamed); returns etag."""
+        path = (
+            f"{self._object_path(bucket, key)}"
+            f"?partNumber={part_number}&uploadId={quote(upload_id, safe='')}"
+        )
+        if isinstance(data, (bytes, bytearray)):
+            return self._json("PUT", path, bytes(data))
+        return self._json("PUT", path, data, encode_chunked=True)
+
+    def complete_multipart(
+        self,
+        bucket: str,
+        key: str,
+        upload_id: str,
+        parts: Optional[List[Tuple[int, Optional[str]]]] = None,
+    ) -> dict:
+        """Complete an upload (optionally with the S3-style part manifest)."""
+        path = f"{self._object_path(bucket, key)}?uploadId={quote(upload_id, safe='')}"
+        body = b""
+        if parts is not None:
+            body = json.dumps(
+                {"parts": [{"partNumber": n, "etag": e} for n, e in parts]}
+            ).encode("utf-8")
+        return self._json("POST", path, body)
+
+    def abort_multipart(self, bucket: str, key: str, upload_id: str) -> None:
+        path = f"{self._object_path(bucket, key)}?uploadId={quote(upload_id, safe='')}"
+        status, _, payload = self._request("DELETE", path)
+        if status >= 400:
+            raise GatewayError(status, _error_text(payload))
+
+    def list_uploads(self, bucket: str) -> List[dict]:
+        """In-flight multipart uploads of a bucket."""
+        return self._json("GET", f"/{quote(bucket, safe='')}?uploads")["uploads"]
+
+    def put_multipart(
+        self,
+        bucket: str,
+        key: str,
+        source,
+        *,
+        part_size: int = DEFAULT_PART_BYTES,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        size_hint: Optional[int] = None,
+    ) -> dict:
+        """Multipart-upload a file-like/iterator in ``part_size`` pieces.
+
+        Creates, uploads parts sequentially (each streamed), completes
+        with the part manifest; aborts on any failure so no staged chunks
+        leak.
+        """
+        if part_size < 1:
+            raise ValueError("part_size must be >= 1")
+        upload_id = self.create_multipart(
+            bucket, key, mime=mime, rule=rule, size_hint=size_hint
+        )
+        parts: List[Tuple[int, Optional[str]]] = []
+        try:
+            number = 1
+            for part in _iter_parts(source, part_size):
+                receipt = self.upload_part(bucket, key, upload_id, number, part)
+                parts.append((number, receipt["etag"]))
+                number += 1
+            if not parts:
+                # Empty source: completion requires >= 1 part, and an
+                # empty object is a legitimate upload.
+                receipt = self.upload_part(bucket, key, upload_id, 1, b"")
+                parts.append((1, receipt["etag"]))
+            return self.complete_multipart(bucket, key, upload_id, parts)
+        except BaseException:
+            try:
+                self.abort_multipart(bucket, key, upload_id)
+            except Exception:  # noqa: BLE001 — the original error matters more
+                pass
+            raise
 
     # -- admin API --------------------------------------------------------
 
@@ -216,6 +503,35 @@ def _error_text(payload: bytes) -> str:
         return json.loads(payload).get("error", payload.decode("utf-8", "replace"))
     except (json.JSONDecodeError, UnicodeDecodeError):
         return payload.decode("utf-8", "replace")
+
+
+def _range_headers(
+    byte_range: Optional[Tuple[Optional[int], Optional[int]]]
+) -> Dict[str, str]:
+    if byte_range is None:
+        return {}
+    start, end = byte_range
+    if start is None:
+        # suffix form: the last `end` bytes
+        return {"Range": f"bytes=-{end}"}
+    return {"Range": f"bytes={start}-{'' if end is None else end}"}
+
+
+def _iter_parts(source, part_size: int) -> Iterator[bytes]:
+    """Cut a file-like or byte-block iterator into ``part_size`` pieces.
+
+    :class:`~repro.util.streams.ByteSource` does the normalization (the
+    same one the broker's write path uses), so files, iterators and raw
+    bytes all behave identically here.
+    """
+    stream = ByteSource(source)
+    while True:
+        part = stream.read(part_size)
+        if not part:
+            return
+        yield part
+        if len(part) < part_size:
+            return
 
 
 # ---------------------------------------------------------------------------
@@ -276,6 +592,9 @@ class LoadGenerator:
         keyspace_per_client: int = 32,
         tenant: str = "bench",
         bucket: str = "bench",
+        large_object_every: int = 0,
+        large_payload_bytes: int = 4 * 1024 * 1024,
+        part_bytes: int = 1024 * 1024,
     ) -> None:
         if not 0.0 < put_ratio <= 1.0:
             raise ValueError("put_ratio must be in (0, 1]")
@@ -287,6 +606,12 @@ class LoadGenerator:
         self.keyspace_per_client = keyspace_per_client
         self.tenant = tenant
         self.bucket = bucket
+        # Large-object scenario: every Nth request multipart-uploads a
+        # large_payload_bytes object in part_bytes parts; once present,
+        # half the worker's reads become random ranged GETs against it.
+        self.large_object_every = large_object_every
+        self.large_payload_bytes = large_payload_bytes
+        self.part_bytes = part_bytes
 
     def run(self, *, requests_per_client: int = 100, seed: int = 0) -> LoadReport:
         """Fire the workload; returns the aggregate report."""
@@ -302,12 +627,42 @@ class LoadGenerator:
             )
             client = GatewayClient(self.host, self.port, tenant=self.tenant)
             latencies: List[float] = []
-            ops: Dict[str, int] = {"put": 0, "get": 0}
+            ops: Dict[str, int] = {"put": 0, "get": 0, "mpu": 0, "range": 0}
             errors = 0
             written: List[str] = []
+            big_key: Optional[str] = None
             barrier.wait()
             try:
-                for _ in range(requests_per_client):
+                for i in range(requests_per_client):
+                    if self.large_object_every > 0 and i % self.large_object_every == 0:
+                        key = f"w{wid}-big"
+                        payload = rng.randbytes(self.large_payload_bytes)
+                        start = time.perf_counter()
+                        try:
+                            client.put_multipart(
+                                self.bucket, key, iter([payload]),
+                                part_size=self.part_bytes,
+                            )
+                            big_key = key
+                            ops["mpu"] += 1
+                        except Exception:  # noqa: BLE001 — counted, not raised
+                            errors += 1
+                        latencies.append((time.perf_counter() - start) * 1000.0)
+                        continue
+                    if big_key is not None and rng.random() < 0.5:
+                        lo = rng.randrange(self.large_payload_bytes - 1)
+                        hi = min(
+                            self.large_payload_bytes - 1,
+                            lo + rng.randrange(1, self.part_bytes),
+                        )
+                        start = time.perf_counter()
+                        try:
+                            client.get_range(self.bucket, big_key, lo, hi)
+                            ops["range"] += 1
+                        except Exception:  # noqa: BLE001
+                            errors += 1
+                        latencies.append((time.perf_counter() - start) * 1000.0)
+                        continue
                     do_put = not written or rng.random() < self.put_ratio
                     if do_put:
                         j = rng.randrange(self.keyspace_per_client)

@@ -35,11 +35,19 @@ import threading
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.cluster.engine import ObjectNotFoundError
+from repro.cluster.engine import InvalidRangeError, ObjectNotFoundError, ReadPlan
+from repro.cluster.multipart import MultipartState, PartState
 from repro.core.broker import Scalia
 from repro.core.optimizer import OptimizationReport
 from repro.gateway.namespace import NamespaceMapper
-from repro.types import ObjectMeta
+from repro.gateway.routes import (
+    NotModifiedError,
+    PreconditionFailedError,
+    RouteError,
+    etag_matches,
+    resolve_byte_range,
+)
+from repro.types import ListPage, ObjectMeta
 
 _SHUTDOWN = object()
 
@@ -131,15 +139,20 @@ class BrokerFrontend:
         tenant: str,
         bucket: str,
         key: str,
-        data: bytes,
+        data,
         *,
         mime: str = "application/octet-stream",
         rule: Optional[str] = None,
+        size_hint: Optional[int] = None,
     ) -> ObjectMeta:
+        """Store an object; ``data`` may be bytes, a file-like or a block
+        iterator (streamed into stripes with O(stripe) gateway memory)."""
         container = self.mapper.internal_container(tenant, bucket)
         return self._run(
             "put",
-            lambda: self.broker.put(container, key, data, mime=mime, rule=rule),
+            lambda: self.broker.put(
+                container, key, data, mime=mime, rule=rule, size_hint=size_hint
+            ),
         )
 
     def get(self, tenant: str, bucket: str, key: str) -> bytes:
@@ -177,6 +190,93 @@ class BrokerFrontend:
 
         return self._run("get", fn)
 
+    def stream_get(
+        self,
+        tenant: str,
+        bucket: str,
+        key: str,
+        *,
+        range_spec: Optional[tuple] = None,
+        if_match: Optional[str] = None,
+        if_none_match: Optional[str] = None,
+    ):
+        """A (possibly ranged, conditional) read as ``(plan, blocks)``.
+
+        One serialized operation resolves metadata, applies the
+        ``If-Match`` / ``If-None-Match`` preconditions (so a 304 bills no
+        read) and plans the covering stripes; the block iterator then
+        decodes one stripe per serialized operation, so a slow client
+        never holds the broker lock across its whole download and the
+        gateway never buffers more than one stripe.  ``range_spec`` is
+        the parsed ``Range`` header (suffix ranges resolve against the
+        live size in here); unsatisfiable ranges raise
+        :class:`InvalidRangeError` carrying ``object_size``.
+        """
+        container = self.mapper.internal_container(tenant, bucket)
+
+        def open_fn():
+            meta = self.broker.head(container, key)
+            if meta is None:
+                raise ObjectNotFoundError(f"{bucket}/{key} not found")
+            etag = meta.checksum or meta.skey
+            if if_match is not None and not etag_matches(if_match, etag):
+                raise PreconditionFailedError(etag)
+            if if_none_match is not None and etag_matches(if_none_match, etag):
+                raise NotModifiedError(etag)
+            try:
+                byte_range = resolve_byte_range(range_spec, meta.size)
+                if byte_range is None and self.broker.cluster.cache is not None:
+                    # A configured cache trades memory for provider
+                    # traffic by design: serve (and bill) whole-object
+                    # reads through it rather than re-fetching stripes.
+                    # Synthetic payloads (ints) cache too — their HTTP
+                    # body is empty either way.
+                    payload = self.broker.get(container, key)
+                    plan = ReadPlan(
+                        meta=meta, segments=[], start=0,
+                        end=meta.size - 1, length=meta.size,
+                    )
+                    return plan, payload
+                return (
+                    self.broker.open_read(container, key, byte_range=byte_range),
+                    None,
+                )
+            except (InvalidRangeError, RouteError) as exc:
+                if isinstance(exc, RouteError) and exc.status != 416:
+                    raise
+                wrapped = InvalidRangeError(str(exc))
+                wrapped.object_size = meta.size
+                raise wrapped from exc
+
+        plan, cached = self._run("get", open_fn)
+
+        def blocks():
+            if cached is not None:
+                # the cache path went through broker.get, which logged
+                if isinstance(cached, bytes):
+                    yield cached
+                return
+            served = False
+            for stripe, lo, hi in plan.segments:
+                payload = self._run(
+                    "get_stripe",
+                    lambda s=stripe: self.broker.read_stripe(plan.meta, s),
+                )
+                if not served:
+                    # First stripe decoded: the read is being served —
+                    # log it now, never for reads that failed outright.
+                    self._run(
+                        "commit_read", lambda: self.broker.commit_read(plan)
+                    )
+                    served = True
+                if isinstance(payload, bytes):
+                    yield payload[lo:hi]
+            if not served:
+                # Zero-length reads (empty objects) serve trivially.
+                self._run("commit_read", lambda: self.broker.commit_read(plan))
+
+        return plan, blocks()
+
     def head(self, tenant: str, bucket: str, key: str) -> Optional[ObjectMeta]:
         container = self.mapper.internal_container(tenant, bucket)
         return self._run("head", lambda: self.broker.head(container, key))
@@ -192,9 +292,93 @@ class BrokerFrontend:
 
         return self._run("delete", fn)
 
-    def list(self, tenant: str, bucket: str) -> List[str]:
+    def list(
+        self,
+        tenant: str,
+        bucket: str,
+        *,
+        prefix: str = "",
+        delimiter: str = "",
+        max_keys: Optional[int] = None,
+        continuation_token: Optional[str] = None,
+    ) -> ListPage:
         container = self.mapper.internal_container(tenant, bucket)
-        return self._run("list", lambda: self.broker.list(container))
+        return self._run(
+            "list",
+            lambda: self.broker.list(
+                container,
+                prefix=prefix,
+                delimiter=delimiter,
+                max_keys=max_keys,
+                continuation_token=continuation_token,
+            ),
+        )
+
+    # -- multipart upload -------------------------------------------------
+
+    def create_upload(
+        self,
+        tenant: str,
+        bucket: str,
+        key: str,
+        *,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        size_hint: Optional[int] = None,
+    ) -> MultipartState:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run(
+            "create_upload",
+            lambda: self.broker.create_multipart_upload(
+                container, key, mime=mime, rule=rule, size_hint=size_hint
+            ),
+        )
+
+    def upload_part(
+        self,
+        tenant: str,
+        bucket: str,
+        key: str,
+        upload_id: str,
+        part_number: int,
+        data,
+    ) -> PartState:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run(
+            "upload_part",
+            lambda: self.broker.upload_part(
+                container, key, upload_id, part_number, data
+            ),
+        )
+
+    def complete_upload(
+        self,
+        tenant: str,
+        bucket: str,
+        key: str,
+        upload_id: str,
+        parts=None,
+    ) -> ObjectMeta:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run(
+            "complete_upload",
+            lambda: self.broker.complete_multipart_upload(
+                container, key, upload_id, parts
+            ),
+        )
+
+    def abort_upload(self, tenant: str, bucket: str, key: str, upload_id: str) -> int:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run(
+            "abort_upload",
+            lambda: self.broker.abort_multipart_upload(container, key, upload_id),
+        )
+
+    def list_uploads(self, tenant: str, bucket: str) -> List[MultipartState]:
+        container = self.mapper.internal_container(tenant, bucket)
+        return self._run(
+            "list_uploads", lambda: self.broker.list_multipart_uploads(container)
+        )
 
     # -- admin API --------------------------------------------------------
 

@@ -5,6 +5,15 @@ the S3-flavored route table (:mod:`repro.gateway.routes`) into
 :class:`~repro.gateway.frontend.BrokerFrontend` calls.  One OS thread per
 connection, HTTP/1.1 keep-alive, no dependencies outside the stdlib.
 
+The data plane is streamed end to end: request bodies (sized *or*
+``Transfer-Encoding: chunked``) are pulled block-by-block into the
+broker's stripe writer, and GET responses are pushed stripe-by-stripe —
+the server never materializes an object, so its memory stays O(stripe)
+however large the payloads grow.  ``Range`` requests answer 206 with a
+``Content-Range``; ``If-Match`` / ``If-None-Match`` answer 412/304
+against the content-MD5 ETag; multipart uploads ride the S3 query-string
+protocol (``?uploads``, ``?partNumber=&uploadId=``, ``?uploadId=``).
+
 Tenancy rides on the ``x-scalia-tenant`` header (default ``public``); the
 frontend's namespace mapper turns ``tenant:bucket`` into the internal
 broker container, so the gateway itself never touches broker state.
@@ -14,23 +23,46 @@ from __future__ import annotations
 
 import base64
 import binascii
+import email.utils
 import hashlib
 import json
+import tempfile
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
+from repro.cluster.engine import InvalidRangeError
 from repro.gateway.frontend import BrokerFrontend
-from repro.gateway.routes import Route, RouteError, parse_route, status_for_exception
+from repro.gateway.routes import (
+    NotModifiedError,
+    Route,
+    RouteError,
+    etag_matches,
+    int_param,
+    parse_range_header,
+    parse_route,
+    status_for_exception,
+)
 
-#: Largest accepted object payload (keeps a stray client from OOMing the
-#: gateway; real S3 caps single PUTs at 5 GiB).
+#: Largest accepted object payload (keeps a stray client from filling the
+#: providers by accident; real S3 caps single PUTs at 5 GiB).
 MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Bodies up to this size are buffered whole (one small read beats stripe
+#: machinery); larger ones stream through the broker's stripe writer.
+SMALL_BODY_BYTES = 1024 * 1024
+
+#: Block size for streaming request bodies and responses.
+IO_BLOCK_BYTES = 256 * 1024
 
 #: Cap on ``POST /tick?periods=N``: each period runs the full optimization
 #: loop while holding the broker serialization, so an unbounded N would let
 #: one request wedge the gateway for everyone.
 MAX_TICK_PERIODS = 10_000
+
+#: Unix epoch of the simulation clock's hour zero, used to render the
+#: deterministic ``Last-Modified`` header (2012-01-01, the paper's year).
+SIM_EPOCH = 1325376000.0
 
 DEFAULT_TENANT = "public"
 TENANT_HEADER = "x-scalia-tenant"
@@ -53,7 +85,7 @@ class GatewayHandler(BaseHTTPRequestHandler):
     """Translates HTTP requests into frontend calls."""
 
     protocol_version = "HTTP/1.1"
-    server_version = "ScaliaGateway/1.0"
+    server_version = "ScaliaGateway/2.0"
     # Responses go out as two writes (header block, then body); without
     # TCP_NODELAY, Nagle + delayed ACK turns every response into a ~40 ms
     # stall on loopback, capping throughput near 25 req/s per connection.
@@ -64,16 +96,30 @@ class GatewayHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self) -> None:
         self._body_read = False
+        self._body_streaming = False
+        self._headers_sent = False
         try:
             route = parse_route(self.command, self.path)
             self._handle(route)
         except Exception as exc:  # noqa: BLE001 — every error becomes a status
+            if self._headers_sent:
+                # Mid-stream failure after the status line went out: the
+                # only honest signal left is an aborted connection.
+                self.close_connection = True
+                return
             # KeyError subclasses repr() their message in __str__; use the
             # raw argument so clients see "photos/cat.gif not found" unquoted.
             message = str(exc.args[0]) if exc.args else str(exc)
-            self._send_error(status_for_exception(exc), message)
+            extra = {}
+            allow = getattr(exc, "allow", None)
+            if getattr(exc, "status", None) == 405 and allow:
+                extra["Allow"] = allow
+            self._send_error(status_for_exception(exc), message, extra_headers=extra)
 
     do_GET = do_PUT = do_HEAD = do_DELETE = do_POST = _dispatch
+    # Unsupported-but-known methods still flow through parse_route so the
+    # client gets the route table's 405 + Allow instead of a bare 501.
+    do_PATCH = do_OPTIONS = _dispatch
 
     def _handle(self, route: Route) -> None:
         frontend = self.server.frontend
@@ -83,7 +129,7 @@ class GatewayHandler(BaseHTTPRequestHandler):
         elif route.kind == "stats":
             self._send_json(200, frontend.stats())
         elif route.kind == "tick":
-            periods = int(route.params.get("periods", "1"))
+            periods = int_param(route.params, "periods", 1)
             if periods < 1:
                 raise RouteError("periods must be >= 1")
             if periods > MAX_TICK_PERIODS:
@@ -93,51 +139,87 @@ class GatewayHandler(BaseHTTPRequestHandler):
             repair = route.params.get("repair", "1") not in ("0", "false", "no")
             self._send_json(200, frontend.scrub(repair=repair))
         elif route.kind == "list":
-            keys = frontend.list(tenant, route.bucket)
-            self._send_json(
-                200, {"bucket": route.bucket, "keys": keys, "count": len(keys)}
-            )
+            self._handle_list(route, frontend, tenant)
         elif route.kind == "object":
             self._handle_object(route, frontend, tenant)
         else:  # pragma: no cover — parse_route only emits the kinds above
             raise RouteError(f"unroutable kind {route.kind!r}")
 
+    # -- listing -----------------------------------------------------------
+
+    def _handle_list(self, route: Route, frontend: BrokerFrontend, tenant: str) -> None:
+        params = route.params
+        if "uploads" in params:
+            uploads = frontend.list_uploads(tenant, route.bucket)
+            self._send_json(
+                200,
+                {
+                    "bucket": route.bucket,
+                    "uploads": [u.describe() for u in uploads],
+                    "count": len(uploads),
+                },
+            )
+            return
+        max_keys = int_param(params, "max-keys")
+        if max_keys is not None and max_keys < 1:
+            raise RouteError("max-keys must be >= 1")
+        page = frontend.list(
+            tenant,
+            route.bucket,
+            prefix=params.get("prefix", ""),
+            delimiter=params.get("delimiter", ""),
+            max_keys=max_keys,
+            continuation_token=params.get("continuation-token") or None,
+        )
+        self._send_json(
+            200,
+            {
+                "bucket": route.bucket,
+                "keys": page.keys,
+                "count": len(page.keys),
+                "prefix": params.get("prefix", ""),
+                "delimiter": params.get("delimiter", ""),
+                "common_prefixes": page.common_prefixes,
+                "is_truncated": page.is_truncated,
+                "next_continuation_token": page.next_token,
+            },
+        )
+
+    # -- objects -----------------------------------------------------------
+
     def _handle_object(
         self, route: Route, frontend: BrokerFrontend, tenant: str
     ) -> None:
         bucket, key = route.bucket, route.key
+        params = route.params
         if self.command == "PUT":
-            body = self._read_body()
-            self._check_content_md5(body)
-            mime = self.headers.get("content-type") or "application/octet-stream"
-            rule = self.headers.get(RULE_HEADER)
-            meta = frontend.put(tenant, bucket, key, body, mime=mime, rule=rule)
-            self._send_json(
-                200,
-                {
-                    "bucket": bucket,
-                    "key": key,
-                    "size": meta.size,
-                    "class": meta.class_key,
-                    "rule": meta.rule_name,
-                    "placement": meta.placement.label(),
-                    "etag": meta.checksum or meta.skey,
-                },
-                extra_headers=self._meta_headers(meta),
-            )
+            if "uploadId" in params or "partNumber" in params:
+                self._handle_upload_part(route, frontend, tenant)
+            else:
+                self._handle_put(route, frontend, tenant)
+        elif self.command == "POST":
+            if "uploads" in params:
+                upload = frontend.create_upload(
+                    tenant, bucket, key,
+                    mime=self.headers.get("content-type") or "application/octet-stream",
+                    rule=self.headers.get(RULE_HEADER),
+                    size_hint=int_param(params, "size-hint"),
+                )
+                self._settle_unread_body()
+                self._send_json(
+                    200,
+                    {"bucket": bucket, "key": key, "uploadId": upload.upload_id},
+                )
+            else:  # ?uploadId= — complete
+                self._handle_complete(route, frontend, tenant)
         elif self.command == "GET":
-            payload, meta = frontend.get_with_meta(tenant, bucket, key)
-            data = payload if isinstance(payload, bytes) else b""
-            self._send_bytes(
-                200,
-                data,
-                content_type=meta.mime,
-                extra_headers=self._meta_headers(meta),
-            )
+            self._handle_get(route, frontend, tenant)
         elif self.command == "HEAD":
             meta = frontend.head(tenant, bucket, key)
             if meta is None:
                 self._send_error(404, f"{bucket}/{key} not found")
+                return
+            if self._handle_conditionals(meta):
                 return
             self._settle_unread_body()
             self.send_response(200)
@@ -147,39 +229,227 @@ class GatewayHandler(BaseHTTPRequestHandler):
                 self.send_header(name, value)
             self.end_headers()
         else:  # DELETE
-            frontend.delete(tenant, bucket, key)
+            if "uploadId" in params:
+                frontend.abort_upload(tenant, bucket, key, params["uploadId"])
+            else:
+                frontend.delete(tenant, bucket, key)
             self._settle_unread_body()
             self.send_response(204)
             self.send_header("Content-Length", "0")
             self.end_headers()
 
+    def _handle_put(self, route: Route, frontend: BrokerFrontend, tenant: str) -> None:
+        bucket, key = route.bucket, route.key
+        mime = self.headers.get("content-type") or "application/octet-stream"
+        rule = self.headers.get(RULE_HEADER)
+        payload, length = self._body_payload()
+        try:
+            meta = frontend.put(
+                tenant, bucket, key, payload, mime=mime, rule=rule, size_hint=length
+            )
+        finally:
+            if hasattr(payload, "close"):
+                payload.close()
+        self._send_json(
+            200,
+            {
+                "bucket": bucket,
+                "key": key,
+                "size": meta.size,
+                "class": meta.class_key,
+                "rule": meta.rule_name,
+                "placement": meta.placement.label(),
+                "etag": meta.checksum or meta.skey,
+                "stripes": meta.stripe_count,
+            },
+            extra_headers=self._meta_headers(meta),
+        )
+
+    def _handle_upload_part(
+        self, route: Route, frontend: BrokerFrontend, tenant: str
+    ) -> None:
+        params = route.params
+        upload_id = params.get("uploadId")
+        part_number = int_param(params, "partNumber")
+        if not upload_id or part_number is None:
+            raise RouteError("part upload needs both partNumber and uploadId")
+        payload, _length = self._body_payload()
+        try:
+            part = frontend.upload_part(
+                tenant, route.bucket, route.key, upload_id, part_number, payload
+            )
+        finally:
+            if hasattr(payload, "close"):
+                payload.close()
+        self._send_json(
+            200,
+            {
+                "bucket": route.bucket,
+                "key": route.key,
+                "uploadId": upload_id,
+                "partNumber": part_number,
+                "size": part.size,
+                "etag": part.etag,
+            },
+            extra_headers={"ETag": f'"{part.etag}"'},
+        )
+
+    def _handle_complete(
+        self, route: Route, frontend: BrokerFrontend, tenant: str
+    ) -> None:
+        upload_id = route.params.get("uploadId", "")
+        if not upload_id:
+            raise RouteError("complete needs uploadId")
+        body = self._read_small_body()
+        parts = None
+        if body:
+            try:
+                doc = json.loads(body)
+            except json.JSONDecodeError:
+                raise RouteError("completion body must be JSON") from None
+            raw_parts = doc.get("parts") if isinstance(doc, dict) else None
+            if raw_parts is not None:
+                try:
+                    parts = [
+                        (int(p["partNumber"]), p.get("etag"))
+                        for p in raw_parts
+                    ]
+                except (TypeError, KeyError, ValueError):
+                    raise RouteError(
+                        'completion parts must be [{"partNumber": N, "etag": ...}, ...]'
+                    ) from None
+        meta = frontend.complete_upload(
+            tenant, route.bucket, route.key, upload_id, parts
+        )
+        self._send_json(
+            200,
+            {
+                "bucket": route.bucket,
+                "key": route.key,
+                "size": meta.size,
+                "etag": meta.checksum,
+                "stripes": meta.stripe_count,
+                "placement": meta.placement.label(),
+            },
+            extra_headers=self._meta_headers(meta),
+        )
+
+    def _handle_get(self, route: Route, frontend: BrokerFrontend, tenant: str) -> None:
+        bucket, key = route.bucket, route.key
+        try:
+            range_spec = parse_range_header(self.headers.get("range"))
+        except RouteError as exc:
+            if exc.status != 416:
+                raise
+            # Syntactically invalid-but-parsed ranges (inverted, -0) are
+            # 416s too, and the spec wants Content-Range: bytes */size.
+            meta = frontend.head(tenant, bucket, key)
+            if meta is None:
+                raise RouteError(f"{bucket}/{key} not found", status=404) from None
+            self._send_range_unsatisfiable(meta.size)
+            return
+        try:
+            plan, blocks = frontend.stream_get(
+                tenant,
+                bucket,
+                key,
+                range_spec=range_spec,
+                if_match=self.headers.get("if-match"),
+                if_none_match=self.headers.get("if-none-match"),
+            )
+        except NotModifiedError as exc:
+            self._send_not_modified(exc.etag)
+            return
+        except InvalidRangeError as exc:
+            self._send_range_unsatisfiable(getattr(exc, "object_size", 0))
+            return
+        meta = plan.meta  # resolved under the read lock
+        headers = self._meta_headers(meta)
+        headers["Content-Type"] = meta.mime
+        if range_spec is not None:
+            status = 206
+            headers["Content-Range"] = f"bytes {plan.start}-{plan.end}/{meta.size}"
+        else:
+            status = 200
+        # Synthetic objects (cost simulations) carry sizes, not payloads:
+        # the response advertises a zero-length body, as it always has.
+        body_length = plan.length if meta.checksum else 0
+        # Fetch the first stripe *before* committing the status line, so
+        # the dominant failure modes (provider outage, missing chunks)
+        # still surface as clean 503s; a failure deeper into the stream
+        # can only abort the connection.
+        block_iter = iter(blocks)
+        first_block = next(block_iter, None)
+        self._settle_unread_body()
+        self.send_response(status)
+        self.send_header("Content-Length", str(body_length))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self._headers_sent = True
+        if first_block:
+            self.wfile.write(first_block)
+        for block in block_iter:
+            if block:
+                self.wfile.write(block)
+
+    def _send_range_unsatisfiable(self, size: int) -> None:
+        self._send_error(
+            416,
+            "requested range not satisfiable",
+            extra_headers={"Content-Range": f"bytes */{size}"},
+        )
+
+    def _handle_conditionals(self, meta) -> bool:
+        """Apply If-Match / If-None-Match; True when a response went out."""
+        etag = meta.checksum or meta.skey
+        if_match = self.headers.get("if-match")
+        if if_match is not None and not etag_matches(if_match, etag):
+            self._send_error(412, "If-Match precondition failed")
+            return True
+        if_none = self.headers.get("if-none-match")
+        if if_none is not None and etag_matches(if_none, etag):
+            self._send_not_modified(etag)
+            return True
+        return False
+
+    def _send_not_modified(self, etag: str) -> None:
+        self._settle_unread_body()
+        self.send_response(304)
+        self.send_header("ETag", f'"{etag}"')
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
     # -- plumbing ----------------------------------------------------------
 
-    @staticmethod
-    def _meta_headers(meta) -> dict:
-        # The ETag is the content MD5, S3-style (the seed surfaced the
-        # per-version storage key here, which is a broker internal and
-        # useless for client-side integrity checks).  Objects stored in
-        # synthetic mode carry no payload digest; only those fall back to
-        # the version key.
+    def _meta_headers(self, meta) -> dict:
+        # The ETag is the content MD5, S3-style (multipart objects carry
+        # the S3 multipart convention md5(part-digests)-N).  Objects
+        # stored in synthetic mode have no payload digest; only those
+        # fall back to the version key.
         return {
             "ETag": f'"{meta.checksum or meta.skey}"',
+            "Accept-Ranges": "bytes",
+            "Last-Modified": email.utils.formatdate(
+                SIM_EPOCH + meta.last_modified * 3600.0, usegmt=True
+            ),
             "x-scalia-class": meta.class_key,
             "x-scalia-placement": meta.placement.label(),
             "x-scalia-rule": meta.rule_name,
+            "x-scalia-stripes": str(meta.stripe_count),
         }
 
-    def _check_content_md5(self, body: bytes) -> None:
-        """Validate a client-supplied ``Content-MD5`` header against the body.
+    def _parse_content_md5(self) -> Optional[bytes]:
+        """Decode a ``Content-MD5`` header into the expected 16-byte digest.
 
         Accepts the RFC 1864 base64 form (what S3 uses) and, leniently, a
-        32-char hex digest; a malformed header or a digest mismatch is a
-        400 — the client's bytes did not arrive intact, so storing them
-        would durably persist the corruption.
+        32-char hex digest; a malformed header is a 400.
         """
         header = self.headers.get("content-md5")
         if header is None:
-            return
+            return None
         header = header.strip()
         digest: Optional[bytes] = None
         if len(header) == 32:
@@ -194,24 +464,138 @@ class GatewayHandler(BaseHTTPRequestHandler):
                 raise RouteError("malformed Content-MD5 header") from None
         if len(digest) != 16:
             raise RouteError("Content-MD5 must be a 128-bit MD5 digest")
-        if digest != hashlib.md5(body).digest():
-            raise RouteError("Content-MD5 mismatch: payload corrupted in transit")
+        return digest
 
-    def _read_body(self) -> bytes:
-        if self.headers.get("transfer-encoding", "").lower() == "chunked":
-            raise RouteError("chunked uploads are not supported", status=411)
-        length = int(self.headers.get("content-length", 0) or 0)
+    def _body_payload(self):
+        """The request body as ``bytes`` (small) or a spooled temp file.
+
+        Returns ``(payload, known_length)``.  Large bodies are drained
+        from the socket into a :class:`tempfile.SpooledTemporaryFile`
+        *before* any broker call: the broker serialization must never be
+        held at client-socket pace (one slow uploader would wedge every
+        other request), so the lock only covers local-disk-paced stripe
+        encoding.  Gateway RAM stays bounded (the spool overflows to
+        disk past 1 MiB) and the seekable spool makes the source
+        restartable for the engine's mid-stream re-plan path.  A client
+        ``Content-MD5`` is verified here, before a single stripe ships.
+        Callers must ``close()`` a file payload when done.
+        """
+        expected_md5 = self._parse_content_md5()
+        blocks, length = self._body_blocks()
+        if length is not None and length <= SMALL_BODY_BYTES:
+            body = b"".join(blocks)
+            if expected_md5 is not None and hashlib.md5(body).digest() != expected_md5:
+                raise RouteError("Content-MD5 mismatch: payload corrupted in transit")
+            return body, len(body)
+        spool = tempfile.SpooledTemporaryFile(max_size=SMALL_BODY_BYTES)
+        digest = hashlib.md5()
+        total = 0
+        try:
+            for block in blocks:
+                digest.update(block)
+                spool.write(block)
+                total += len(block)
+            if expected_md5 is not None and digest.digest() != expected_md5:
+                raise RouteError("Content-MD5 mismatch: payload corrupted in transit")
+        except BaseException:
+            spool.close()
+            raise
+        spool.seek(0)
+        return spool, total
+
+    def _body_blocks(self) -> Tuple[Iterator[bytes], Optional[int]]:
+        """Request body as a block iterator plus its length when known."""
+        te = self.headers.get("transfer-encoding", "").lower()
+        if "chunked" in te:
+            self._body_read = False
+            return self._chunked_blocks(), None
+        try:
+            length = int(self.headers.get("content-length", 0) or 0)
+        except ValueError:
+            self.close_connection = True  # stream position unknowable
+            raise RouteError("malformed content-length header") from None
         if length < 0:
             raise RouteError("negative content-length")
         if length > MAX_BODY_BYTES:
             raise RouteError(f"payload exceeds {MAX_BODY_BYTES} bytes", status=413)
+        return self._sized_blocks(length), length
+
+    def _sized_blocks(self, length: int) -> Iterator[bytes]:
+        # Partially-consumed streams poison the keep-alive framing; the
+        # flags let _settle_unread_body drop the connection in that case.
+        self._body_streaming = True
+        remaining = length
+        while remaining > 0:
+            block = self.rfile.read(min(IO_BLOCK_BYTES, remaining))
+            if not block:
+                raise RouteError("request body ended early", status=400)
+            remaining -= len(block)
+            yield block
         self._body_read = True
-        return self.rfile.read(length) if length else b""
+
+    def _chunked_blocks(self) -> Iterator[bytes]:
+        """Decode a ``Transfer-Encoding: chunked`` body, frame by frame."""
+        self._body_streaming = True
+        total = 0
+        while True:
+            size_line = self.rfile.readline(1026)
+            if not size_line:
+                self.close_connection = True
+                raise RouteError("truncated chunked body")
+            if not size_line.endswith(b"\n"):
+                # readline hit its cap mid-line (an oversized chunk
+                # extension): the unread tail would be parsed as payload.
+                self.close_connection = True
+                raise RouteError("chunk-size line too long")
+            try:
+                chunk_size = int(size_line.split(b";", 1)[0].strip(), 16)
+            except ValueError:
+                self.close_connection = True
+                raise RouteError("malformed chunk-size line") from None
+            if chunk_size == 0:
+                break
+            total += chunk_size
+            if total > MAX_BODY_BYTES:
+                self.close_connection = True
+                raise RouteError(f"payload exceeds {MAX_BODY_BYTES} bytes", status=413)
+            remaining = chunk_size
+            while remaining > 0:
+                block = self.rfile.read(min(IO_BLOCK_BYTES, remaining))
+                if not block:
+                    self.close_connection = True
+                    raise RouteError("truncated chunk data")
+                remaining -= len(block)
+                yield block
+            if self.rfile.read(2) != b"\r\n":
+                self.close_connection = True
+                raise RouteError("missing chunk terminator")
+        # Trailers (ignored) up to the blank line ending the body.
+        while True:
+            line = self.rfile.readline(1026)
+            if line and not line.endswith(b"\n"):
+                self.close_connection = True
+                raise RouteError("trailer line too long")
+            if line in (b"\r\n", b"\n", b""):
+                break
+        self._body_read = True
+
+    def _read_small_body(self, limit: int = SMALL_BODY_BYTES) -> bytes:
+        """Fully read a body expected to be small (completion manifests)."""
+        blocks, length = self._body_blocks()
+        if length is not None and length > limit:
+            raise RouteError(f"body exceeds {limit} bytes", status=413)
+        out = bytearray()
+        for block in blocks:
+            out.extend(block)
+            if len(out) > limit:
+                self.close_connection = True
+                raise RouteError(f"body exceeds {limit} bytes", status=413)
+        return bytes(out)
 
     def _settle_unread_body(self) -> None:
         """Keep the keep-alive stream in sync before any response goes out.
 
-        A handler that errors (413, 411, 405, ...) or ignores its body
+        A handler that errors (413, 405, ...) or ignores its body
         (POST /tick) leaves the payload bytes unread; the next request on
         the connection would then be parsed out of payload garbage.  Small
         leftovers are drained; large or chunked ones close the connection.
@@ -219,10 +603,20 @@ class GatewayHandler(BaseHTTPRequestHandler):
         if getattr(self, "_body_read", True):
             return
         self._body_read = True
-        if self.headers.get("transfer-encoding", "").lower() == "chunked":
+        if getattr(self, "_body_streaming", False):
+            # A block iterator was handed out but never ran dry: we no
+            # longer know the stream position, so the connection dies.
             self.close_connection = True
             return
-        length = int(self.headers.get("content-length", 0) or 0)
+        if "chunked" in self.headers.get("transfer-encoding", "").lower():
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("content-length", 0) or 0)
+        except ValueError:
+            # Runs while *sending an error response*: must never raise.
+            self.close_connection = True
+            return
         if length <= 0:
             return
         if length <= 1024 * 1024:
@@ -258,9 +652,13 @@ class GatewayHandler(BaseHTTPRequestHandler):
         if self.command != "HEAD":
             self.wfile.write(body)
 
-    def _send_error(self, status: int, message: str) -> None:
+    def _send_error(
+        self, status: int, message: str, *, extra_headers: Optional[dict] = None
+    ) -> None:
         payload = json.dumps({"error": message, "status": status}).encode("utf-8")
-        self._send_bytes(status, payload, content_type="application/json")
+        self._send_bytes(
+            status, payload, content_type="application/json", extra_headers=extra_headers
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:

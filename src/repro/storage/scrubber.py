@@ -31,7 +31,7 @@ from repro.providers.provider import (
 )
 from repro.providers.registry import ProviderRegistry
 from repro.storage.backend import VERIFY_MISSING, VERIFY_OK
-from repro.types import ObjectMeta
+from repro.types import ObjectMeta, raw_chunk_refs
 
 
 @dataclass
@@ -44,12 +44,14 @@ class ChunkProblem:
     provider: str
     status: str  # "missing" | "corrupt"
     repaired: bool
+    stripe: int = 0
 
     def to_dict(self) -> dict:
         return {
             "container": self.container,
             "key": self.key,
             "chunk_index": self.chunk_index,
+            "stripe": self.stripe,
             "provider": self.provider,
             "status": self.status,
             "repaired": self.repaired,
@@ -105,9 +107,9 @@ class Scrubber:
             if meta is None:
                 continue
             report.objects_scanned += 1
-            for index, provider_name in meta.chunk_map:
+            for stripe, index, provider_name, chunk_key in meta.iter_chunks():
                 report.chunks_scanned += 1
-                status = self._verify(meta, index, provider_name)
+                status = self._verify(chunk_key, provider_name)
                 if status is None:
                     report.chunks_skipped += 1
                     continue
@@ -120,7 +122,7 @@ class Scrubber:
                     report.chunks_corrupt += 1
                 repaired = False
                 if repair:
-                    repaired = self._repair(engine, meta, index, provider_name)
+                    repaired = self._repair(engine, meta, stripe, index, provider_name)
                 report.repaired += int(repaired)
                 report.unrepairable += int(repair and not repaired)
                 report.problems.append(
@@ -128,6 +130,7 @@ class Scrubber:
                         container=meta.container,
                         key=meta.key,
                         chunk_index=index,
+                        stripe=stripe,
                         provider=provider_name,
                         status=status,
                         repaired=repaired,
@@ -165,36 +168,45 @@ class Scrubber:
                 report.orphans_removed += 1
 
     def _referenced_chunks(self) -> set:
-        """Every ``(provider, chunk_key)`` any stored metadata version names."""
+        """Every ``(provider, chunk_key)`` any stored metadata version names.
+
+        Covers object rows (including their whole stripe tables) *and*
+        multipart staging rows: an in-flight upload's part chunks are
+        live data, not orphans.
+        """
         referenced = set()
         for _dc, _row_key, version in self.cluster.metadata.iter_versions():
-            value = version.value
-            if not value or "chunk_map" not in value:
+            if not version.value:
                 continue  # tombstones and list-index rows
-            skey = value["skey"]
-            for index, provider_name in value["chunk_map"]:
-                referenced.add((provider_name, f"{skey}:{int(index)}"))
+            referenced.update(raw_chunk_refs(version.value))
         return referenced
 
     # -- internals ---------------------------------------------------------
 
-    def _verify(self, meta: ObjectMeta, index: int, provider_name: str) -> Optional[str]:
+    def _verify(self, chunk_key: str, provider_name: str) -> Optional[str]:
         """Chunk state, or ``None`` when the provider cannot be probed now."""
         if provider_name not in self.registry:
             return None
         if not self.registry.is_available(provider_name):
             return None
-        return self.registry.get(provider_name).verify_chunk(meta.chunk_key(index))
+        return self.registry.get(provider_name).verify_chunk(chunk_key)
 
-    def _repair(self, engine, meta: ObjectMeta, index: int, provider_name: str) -> bool:
-        """Re-encode one lost chunk from ``m`` intact ones and rewrite it."""
+    def _repair(
+        self, engine, meta: ObjectMeta, stripe: int, index: int, provider_name: str
+    ) -> bool:
+        """Re-encode one lost chunk from ``m`` intact ones and rewrite it.
+
+        Stripes are independent codes, so the reconstruction sources come
+        from the damaged chunk's own stripe.
+        """
+        stripe_len = meta.stripe_lengths[stripe]
         try:
             # The engine's fetch path already skips missing, corrupt and
             # unreachable chunks, so whatever it returns is safe source
             # material for reconstruction.  Only the expected storage
             # failures mean "unrepairable" — anything else is a bug and
             # must surface, not be counted as lost data.
-            source = engine._fetch_chunks(meta, meta.m)  # noqa: SLF001 — storage owns its cluster
+            source = engine._fetch_chunks(meta, meta.m, stripe=stripe)  # noqa: SLF001 — storage owns its cluster
         except (
             ReadFailedError,
             ProviderUnavailableError,
@@ -203,13 +215,14 @@ class Scrubber:
         ):
             return False
         if isinstance(source[0], SyntheticChunk):
-            chunk = SyntheticChunk(index=index, size=chunk_length(meta.size, meta.m))
+            chunk = SyntheticChunk(index=index, size=chunk_length(stripe_len, meta.m))
         else:
-            chunk = repair_chunk(source, index, meta.m, meta.n, meta.size)
+            chunk = repair_chunk(source, index, meta.m, meta.n, stripe_len)
+        chunk_key = meta.chunk_key(index, stripe)
         try:
-            self.registry.get(provider_name).put_chunk(meta.chunk_key(index), chunk)
+            self.registry.get(provider_name).put_chunk(chunk_key, chunk)
         except (ProviderUnavailableError, CapacityExceededError, ChunkTooLargeError):
             return False
         # The rewritten key may have a queued delete from an old outage.
-        self.cluster.pending_deletes.discard(provider_name, meta.chunk_key(index))
+        self.cluster.pending_deletes.discard(provider_name, chunk_key)
         return True

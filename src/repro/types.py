@@ -8,7 +8,7 @@ import cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Tuple
+from typing import Iterator, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -53,7 +53,20 @@ class Placement:
 
 @dataclass(frozen=True)
 class ObjectMeta:
-    """Persisted object metadata: file meta + striping meta (Figure 11)."""
+    """Persisted object metadata: file meta + striping meta (Figure 11).
+
+    ``stripes`` is the multi-stripe extension of the data plane: an object
+    larger than the configured stripe size is stored as an ordered list of
+    independently erasure-coded stripes, each entry a ``(tag, length)``
+    pair — ``tag`` names the stripe inside the provider chunk keys and
+    ``length`` is its plaintext byte count.  An *empty* tuple is the
+    degenerate single-stripe layout every object had before the streaming
+    redesign (chunk keys ``skey:index``), so pre-existing snapshots and
+    WALs replay unchanged.  All stripes of one object share the same
+    placement (``chunk_map`` / ``m``); any ``m`` chunks of a stripe
+    reconstruct that stripe alone, which is what makes ranged reads fetch
+    only the covering stripes.
+    """
 
     container: str
     key: str
@@ -67,6 +80,8 @@ class ObjectMeta:
     created_at: float
     checksum: str = ""
     ttl_hint: Optional[float] = None
+    stripes: Tuple[Tuple[str, int], ...] = ()  # (stripe tag, plaintext bytes)
+    modified_at: Optional[float] = None
 
     @property
     def n(self) -> int:
@@ -77,13 +92,67 @@ class ObjectMeta:
         """The placement this metadata encodes."""
         return Placement(providers=tuple(p for _, p in self.chunk_map), m=self.m)
 
-    def chunk_key(self, index: int) -> str:
-        """Provider-side key of chunk ``index`` (``skey:index``)."""
-        return f"{self.skey}:{index}"
+    @property
+    def stripe_count(self) -> int:
+        """Number of stripes (1 for the degenerate legacy layout)."""
+        return len(self.stripes) or 1
+
+    @property
+    def stripe_lengths(self) -> Tuple[int, ...]:
+        """Plaintext byte length of each stripe, in order."""
+        if not self.stripes:
+            return (self.size,)
+        return tuple(length for _, length in self.stripes)
+
+    @property
+    def last_modified(self) -> float:
+        """Simulated wall time (hours) of the last content write."""
+        return self.modified_at if self.modified_at is not None else self.created_at
+
+    def chunk_key(self, index: int, stripe: int = 0) -> str:
+        """Provider-side key of chunk ``index`` of stripe ``stripe``.
+
+        Legacy single-stripe objects keep the historical ``skey:index``
+        form; striped objects scope the key by the stripe tag
+        (``skey:tag.index``) so every stripe's chunk set is disjoint.
+        """
+        if not self.stripes:
+            return f"{self.skey}:{index}"
+        tag = self.stripes[stripe][0]
+        return f"{self.skey}:{tag}.{index}"
+
+    def iter_chunks(self) -> Iterator[Tuple[int, int, str, str]]:
+        """Yield ``(stripe, index, provider, chunk_key)`` for every chunk."""
+        for stripe in range(self.stripe_count):
+            for index, provider in self.chunk_map:
+                yield stripe, index, provider, self.chunk_key(index, stripe)
+
+    def stripe_offset(self, stripe: int) -> int:
+        """Byte offset where ``stripe`` begins inside the object."""
+        return sum(self.stripe_lengths[:stripe])
+
+    def stripes_for_range(self, start: int, end: int) -> List[Tuple[int, int, int]]:
+        """Stripes covering the inclusive byte range ``[start, end]``.
+
+        Returns ``(stripe, lo, hi)`` triples where ``[lo, hi)`` is the
+        slice of that stripe's plaintext belonging to the range.
+        """
+        segments: List[Tuple[int, int, int]] = []
+        offset = 0
+        for stripe, length in enumerate(self.stripe_lengths):
+            s_start, s_end = offset, offset + length
+            if s_end > start and s_start <= end:
+                segments.append(
+                    (stripe, max(0, start - s_start), min(length, end + 1 - s_start))
+                )
+            offset = s_end
+            if s_start > end:
+                break
+        return segments
 
     def to_dict(self) -> dict:
         """Plain-dict form for the metadata store."""
-        return {
+        out = {
             "container": self.container,
             "key": self.key,
             "size": self.size,
@@ -97,6 +166,13 @@ class ObjectMeta:
             "checksum": self.checksum,
             "ttl_hint": self.ttl_hint,
         }
+        # Only the new layouts carry the new fields; legacy rows stay
+        # byte-identical so pre-redesign WALs and snapshots round-trip.
+        if self.stripes:
+            out["stripes"] = [list(pair) for pair in self.stripes]
+        if self.modified_at is not None:
+            out["modified_at"] = self.modified_at
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ObjectMeta":
@@ -114,4 +190,86 @@ class ObjectMeta:
             created_at=data["created_at"],
             checksum=data.get("checksum", ""),
             ttl_hint=data.get("ttl_hint"),
+            stripes=tuple(
+                (str(tag), int(length)) for tag, length in data.get("stripes", ())
+            ),
+            modified_at=data.get("modified_at"),
         )
+
+
+def raw_chunk_refs(value: Mapping) -> Iterator[Tuple[str, str]]:
+    """``(provider, chunk_key)`` pairs referenced by one raw metadata value.
+
+    Understands both object rows (``chunk_map`` + optional ``stripes``)
+    and multipart-upload staging rows (``kind == "mpu"``); anything else
+    (tombstones, list-index rows) yields nothing.  The scrubber's orphan
+    sweep uses this over *every* stored version, so the enumeration must
+    stay in lockstep with :meth:`ObjectMeta.chunk_key` and the multipart
+    part-key scheme.
+    """
+    if not value:
+        return
+    if "chunk_map" in value:
+        skey = value["skey"]
+        stripes = value.get("stripes") or ()
+        for index, provider_name in value["chunk_map"]:
+            if not stripes:
+                yield str(provider_name), f"{skey}:{int(index)}"
+            else:
+                for tag, _length in stripes:
+                    yield str(provider_name), f"{skey}:{tag}.{int(index)}"
+    elif value.get("kind") == "mpu":
+        skey = value["skey"]
+        providers = value["providers"]
+        for part in value.get("parts", {}).values():
+            for tag, _length in part.get("stripes", ()):
+                for index, provider_name in enumerate(providers):
+                    yield str(provider_name), f"{skey}:{tag}.{index}"
+
+
+@dataclass
+class ListPage:
+    """One page of a paginated listing (S3 ListObjectsV2 shape).
+
+    Behaves like the plain ``list[str]`` of keys the pre-pagination API
+    returned (iteration, indexing, ``==`` against a list), while carrying
+    the pagination surface: rolled-up ``common_prefixes`` when a delimiter
+    was used, and an opaque ``next_token`` when the page was truncated.
+    """
+
+    keys: List[str] = field(default_factory=list)
+    common_prefixes: List[str] = field(default_factory=list)
+    next_token: Optional[str] = None
+    is_truncated: bool = False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __getitem__(self, item):
+        return self.keys[item]
+
+    def __contains__(self, item) -> bool:
+        return item in self.keys
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ListPage):
+            return (
+                self.keys == other.keys
+                and self.common_prefixes == other.common_prefixes
+                and self.next_token == other.next_token
+                and self.is_truncated == other.is_truncated
+            )
+        if isinstance(other, (list, tuple)):
+            return self.keys == list(other)
+        return NotImplemented
+
+    def to_dict(self) -> dict:
+        return {
+            "keys": list(self.keys),
+            "common_prefixes": list(self.common_prefixes),
+            "next_token": self.next_token,
+            "is_truncated": self.is_truncated,
+        }

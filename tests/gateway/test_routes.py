@@ -3,13 +3,24 @@
 import pytest
 
 from repro.cluster.engine import (
+    InvalidContinuationTokenError,
+    InvalidRangeError,
+    MultipartError,
+    NoSuchUploadError,
     ObjectNotFoundError,
     PlacementError,
     ReadFailedError,
     WriteFailedError,
 )
 from repro.gateway.namespace import NamespaceError
-from repro.gateway.routes import RouteError, parse_route, status_for_exception
+from repro.gateway.routes import (
+    RouteError,
+    etag_matches,
+    parse_range_header,
+    parse_route,
+    resolve_byte_range,
+    status_for_exception,
+)
 from repro.providers.provider import (
     CapacityExceededError,
     ChunkCorruptionError,
@@ -64,10 +75,56 @@ class TestParseRoute:
         with pytest.raises(RouteError):
             parse_route("GET", "/")
 
-    def test_post_on_object_rejected(self):
+    def test_post_on_object_needs_multipart_params(self):
+        # POST became a routable object method for the multipart protocol;
+        # without ?uploads or ?uploadId it is a malformed request (400),
+        # not an unsupported method.
         with pytest.raises(RouteError) as err:
             parse_route("POST", "/photos/cat.gif")
+        assert err.value.status == 400
+
+    def test_post_multipart_create_and_complete(self):
+        create = parse_route("POST", "/photos/cat.gif?uploads")
+        assert create.kind == "object"
+        assert "uploads" in create.params
+        complete = parse_route("POST", "/photos/cat.gif?uploadId=u-1")
+        assert complete.params["uploadId"] == "u-1"
+
+    def test_put_part_route(self):
+        route = parse_route("PUT", "/photos/cat.gif?partNumber=3&uploadId=u-1")
+        assert route.kind == "object"
+        assert route.params["partNumber"] == "3"
+        assert route.params["uploadId"] == "u-1"
+
+    def test_405_carries_allow(self):
+        with pytest.raises(RouteError) as err:
+            parse_route("PATCH", "/photos/cat.gif")
         assert err.value.status == 405
+        assert "PUT" in err.value.allow and "GET" in err.value.allow
+        with pytest.raises(RouteError) as err:
+            parse_route("GET", "/tick")
+        assert err.value.allow == "POST"
+
+    def test_list_v2_params(self):
+        route = parse_route(
+            "GET",
+            "/photos?list-type=2&prefix=2012/&delimiter=/&max-keys=5"
+            "&continuation-token=abc",
+        )
+        assert route.kind == "list"
+        assert route.params["prefix"] == "2012/"
+        assert route.params["max-keys"] == "5"
+
+    def test_key_with_query_significant_characters(self):
+        # A '?' inside a key must be percent-encoded by the client; the
+        # decoded key carries the literal character after the query split.
+        route = parse_route("GET", "/photos/what%3Fis%23this.gif")
+        assert route.key == "what?is#this.gif"
+        assert route.params == {}
+
+    def test_unicode_key_decodes(self):
+        route = parse_route("GET", "/photos/%E5%86%99%E7%9C%9F/%C3%A9t%C3%A9.gif")
+        assert route.key == "写真/été.gif"
 
     def test_scrub_route(self):
         route = parse_route("POST", "/scrub?repair=0")
@@ -100,10 +157,55 @@ class TestStatusMapping:
             (ChunkTooLargeError("too big", "Azu"), 400),
             # Detected corruption pending scrub-repair reads as transient.
             (ChunkCorruptionError("bad crc", "k"), 503),
-            (ValueError("bad input"), 400),
-            (KeyError("dc9"), 400),
+            # A stray ValueError/KeyError deep in the broker is a server
+            # bug, not a client error: it must surface as a 500 (the old
+            # blanket 400 masked genuine bugs as client mistakes).
+            (ValueError("bad input"), 500),
+            (KeyError("dc9"), 500),
             (RuntimeError("boom"), 500),
+            (InvalidRangeError("past the end"), 416),
+            (NoSuchUploadError("u-404"), 404),
+            (MultipartError("bad part"), 400),
+            (InvalidContinuationTokenError("junk"), 400),
         ],
     )
     def test_mapping(self, exc, status):
         assert status_for_exception(exc) == status
+
+
+class TestRangeHeader:
+    def test_absent_and_non_byte_units(self):
+        assert parse_range_header(None) is None
+        assert parse_range_header("items=0-4") is None
+
+    def test_simple_and_open_ranges(self):
+        assert parse_range_header("bytes=0-499") == (0, 499)
+        assert parse_range_header("bytes=500-") == (500, None)
+
+    def test_suffix_range_resolves_against_size(self):
+        assert parse_range_header("bytes=-300") == (None, 300)
+        assert resolve_byte_range((None, 300), 1000) == (700, None)
+        assert resolve_byte_range((None, 5000), 1000) == (0, None)
+
+    def test_multi_range_is_ignored(self):
+        assert parse_range_header("bytes=0-1,5-9") is None
+
+    def test_inverted_range_is_416(self):
+        with pytest.raises(RouteError) as err:
+            parse_range_header("bytes=500-100")
+        assert err.value.status == 416
+
+    def test_suffix_on_empty_object_is_416(self):
+        with pytest.raises(RouteError) as err:
+            resolve_byte_range((None, 10), 0)
+        assert err.value.status == 416
+
+
+class TestEtagMatching:
+    def test_star_matches_everything(self):
+        assert etag_matches("*", "abc")
+
+    def test_quoted_list_and_weak_tags(self):
+        assert etag_matches('"abc", "def"', "def")
+        assert etag_matches('W/"abc"', "abc")
+        assert not etag_matches('"abc"', "xyz")

@@ -150,15 +150,30 @@ class TestErrorMapping:
             for name in registry.names():
                 registry.recover(name)
 
-    def test_method_not_allowed_is_405(self, gateway):
+    def test_method_not_allowed_is_405_with_allow(self, gateway):
+        host, port = gateway.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("PATCH", "/photos/cat.gif", body=b"x")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 405
+            assert "error" in body
+            allow = response.getheader("Allow", "")
+            assert "PUT" in allow and "GET" in allow
+        finally:
+            conn.close()
+
+    def test_bare_post_on_object_is_400(self, gateway):
+        # POST is now a routable object method (multipart protocol), so a
+        # POST without ?uploads / ?uploadId is malformed, not unsupported.
         host, port = gateway.address
         conn = http.client.HTTPConnection(host, port, timeout=10)
         try:
             conn.request("POST", "/photos/cat.gif", body=b"x")
             response = conn.getresponse()
-            body = json.loads(response.read())
-            assert response.status == 405
-            assert "error" in body
+            response.read()
+            assert response.status == 400
         finally:
             conn.close()
 

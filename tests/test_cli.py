@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import random
+
 import pytest
 
 from repro.cli import main
@@ -56,3 +58,129 @@ class TestScenario:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SystemExit):
             main(["scenario", "nonexistent"])
+
+
+class TestPutGet:
+    """repro put / repro get against an in-process gateway."""
+
+    @pytest.fixture()
+    def gateway_url(self):
+        from repro.core.broker import Scalia
+        from repro.gateway.frontend import BrokerFrontend
+        from repro.gateway.server import ScaliaGateway
+
+        frontend = BrokerFrontend(Scalia(stripe_size_bytes=64 * 1024), mode="lock")
+        gw = ScaliaGateway(frontend, port=0).start()
+        yield gw.url
+        gw.close()
+        frontend.close()
+
+    def test_put_then_get_file(self, tmp_path, capsys, gateway_url):
+        data = random.Random(1).randbytes(200_000)  # multi-stripe at 64 KiB
+        src = tmp_path / "src.bin"
+        src.write_bytes(data)
+        out = tmp_path / "out.bin"
+        assert main(
+            ["put", "photos", "cat.bin", str(src), "--url", gateway_url]
+        ) == 0
+        assert "stored photos/cat.bin" in capsys.readouterr().out
+        assert main(
+            ["get", "photos", "cat.bin", "-o", str(out), "--url", gateway_url]
+        ) == 0
+        assert out.read_bytes() == data
+
+    def test_put_multipart_flag(self, tmp_path, capsys, gateway_url):
+        data = random.Random(2).randbytes(300_000)
+        src = tmp_path / "big.bin"
+        src.write_bytes(data)
+        code = main(
+            [
+                "put", "photos", "big.bin", str(src),
+                "--url", gateway_url,
+                "--multipart", "--part-size", str(128 * 1024),
+            ]
+        )
+        assert code == 0
+        out = tmp_path / "back.bin"
+        assert main(
+            ["get", "photos", "big.bin", "-o", str(out), "--url", gateway_url]
+        ) == 0
+        assert out.read_bytes() == data
+
+    def test_get_range_flag(self, tmp_path, capsys, gateway_url):
+        data = bytes(range(256)) * 100
+        src = tmp_path / "r.bin"
+        src.write_bytes(data)
+        assert main(["put", "docs", "r.bin", str(src), "--url", gateway_url]) == 0
+        out = tmp_path / "slice.bin"
+        assert main(
+            [
+                "get", "docs", "r.bin", "-o", str(out),
+                "--range", "100-199", "--url", gateway_url,
+            ]
+        ) == 0
+        assert out.read_bytes() == data[100:200]
+
+    def test_suffix_range_flag(self, tmp_path, capsys, gateway_url):
+        data = bytes(range(256)) * 50
+        src = tmp_path / "s.bin"
+        src.write_bytes(data)
+        assert main(["put", "docs", "s.bin", str(src), "--url", gateway_url]) == 0
+        out = tmp_path / "tail.bin"
+        assert main(
+            ["get", "docs", "s.bin", "-o", str(out), "--range", "-500",
+             "--url", gateway_url]
+        ) == 0
+        assert out.read_bytes() == data[-500:]
+
+    def test_malformed_range_rejected(self, tmp_path, capsys, gateway_url):
+        assert main(
+            ["get", "docs", "x", "-o", str(tmp_path / "x"), "--range", "abc",
+             "--url", gateway_url]
+        ) == 2
+
+    def test_put_from_stdin_uses_multipart(
+        self, tmp_path, capsys, gateway_url, monkeypatch
+    ):
+        import io
+        import types
+
+        data = random.Random(3).randbytes(200_000)
+        monkeypatch.setattr(
+            "sys.stdin", types.SimpleNamespace(buffer=io.BytesIO(data))
+        )
+        assert main(
+            ["put", "docs", "piped.bin", "-", "--url", gateway_url,
+             "--part-size", str(64 * 1024)]
+        ) == 0
+        out = tmp_path / "piped.bin"
+        assert main(
+            ["get", "docs", "piped.bin", "-o", str(out), "--url", gateway_url]
+        ) == 0
+        assert out.read_bytes() == data
+
+    def test_get_of_missing_key_preserves_existing_file(
+        self, tmp_path, capsys, gateway_url
+    ):
+        out = tmp_path / "precious.bin"
+        out.write_bytes(b"do not clobber me")
+        code = main(
+            ["get", "docs", "no-such-key", "-o", str(out), "--url", gateway_url]
+        )
+        assert code == 1
+        assert "get failed" in capsys.readouterr().err
+        assert out.read_bytes() == b"do not clobber me"
+        assert not (tmp_path / "precious.bin.part").exists()
+
+    def test_unreachable_gateway_is_a_message_not_a_traceback(self, tmp_path, capsys):
+        code = main(
+            ["get", "docs", "k", "-o", str(tmp_path / "x"),
+             "--url", "http://127.0.0.1:1"]  # nothing listens on port 1
+        )
+        assert code == 1
+        assert "get failed" in capsys.readouterr().err
+        src = tmp_path / "s.bin"
+        src.write_bytes(b"x")
+        code = main(["put", "docs", "k", str(src), "--url", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "put failed" in capsys.readouterr().err

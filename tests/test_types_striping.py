@@ -1,0 +1,126 @@
+"""ObjectMeta stripe extension: layout math and legacy compatibility."""
+
+import pytest
+
+from repro.types import ListPage, ObjectMeta, raw_chunk_refs
+
+
+def make_meta(**overrides):
+    base = dict(
+        container="c",
+        key="k",
+        size=100,
+        mime="application/octet-stream",
+        rule_name="default",
+        class_key="cls",
+        skey="skey123",
+        m=2,
+        chunk_map=((0, "A"), (1, "B"), (2, "C")),
+        created_at=1.0,
+    )
+    base.update(overrides)
+    return ObjectMeta(**base)
+
+
+class TestLegacyCompatibility:
+    def test_legacy_dict_without_new_fields_loads(self):
+        # exactly what a pre-redesign snapshot/WAL row carries
+        legacy = {
+            "container": "c",
+            "key": "k",
+            "size": 100,
+            "mime": "m",
+            "rule_name": "r",
+            "class_key": "cls",
+            "skey": "s",
+            "m": 2,
+            "chunk_map": [[0, "A"], [1, "B"], [2, "C"]],
+            "created_at": 0.0,
+            "checksum": "",
+            "ttl_hint": None,
+        }
+        meta = ObjectMeta.from_dict(legacy)
+        assert meta.stripes == ()
+        assert meta.stripe_count == 1
+        assert meta.stripe_lengths == (100,)
+        assert meta.chunk_key(1) == "s:1"
+
+    def test_legacy_meta_serializes_without_new_fields(self):
+        meta = make_meta()
+        d = meta.to_dict()
+        assert "stripes" not in d
+        assert "modified_at" not in d
+        assert ObjectMeta.from_dict(d) == meta
+
+    def test_striped_meta_roundtrips(self):
+        meta = make_meta(
+            size=250,
+            stripes=(("0", 100), ("1", 100), ("p2g0.0", 50)),
+            modified_at=7.5,
+        )
+        again = ObjectMeta.from_dict(meta.to_dict())
+        assert again == meta
+        assert again.last_modified == 7.5
+
+
+class TestStripeMath:
+    def test_chunk_keys_scoped_by_stripe_tag(self):
+        meta = make_meta(size=250, stripes=(("0", 100), ("1", 150)))
+        assert meta.chunk_key(2, 0) == "skey123:0.2"
+        assert meta.chunk_key(0, 1) == "skey123:1.0"
+        keys = [ck for _s, _i, _p, ck in meta.iter_chunks()]
+        assert len(keys) == 6 and len(set(keys)) == 6
+
+    def test_stripes_for_range(self):
+        meta = make_meta(size=250, stripes=(("0", 100), ("1", 100), ("2", 50)))
+        assert meta.stripes_for_range(0, 99) == [(0, 0, 100)]
+        assert meta.stripes_for_range(100, 199) == [(1, 0, 100)]
+        assert meta.stripes_for_range(95, 105) == [(0, 95, 100), (1, 0, 6)]
+        assert meta.stripes_for_range(0, 249) == [
+            (0, 0, 100),
+            (1, 0, 100),
+            (2, 0, 50),
+        ]
+        assert meta.stripe_offset(2) == 200
+
+    def test_raw_chunk_refs_object_rows(self):
+        meta = make_meta(size=250, stripes=(("0", 100), ("1", 150)))
+        refs = set(raw_chunk_refs(meta.to_dict()))
+        assert refs == {(p, ck) for _s, _i, p, ck in meta.iter_chunks()}
+        legacy = make_meta()
+        assert set(raw_chunk_refs(legacy.to_dict())) == {
+            ("A", "skey123:0"),
+            ("B", "skey123:1"),
+            ("C", "skey123:2"),
+        }
+
+    def test_raw_chunk_refs_multipart_rows(self):
+        row = {
+            "kind": "mpu",
+            "skey": "sk",
+            "providers": ["A", "B"],
+            "parts": {"1": {"stripes": [["p1g0.0", 10], ["p1g0.1", 5]]}},
+        }
+        assert set(raw_chunk_refs(row)) == {
+            ("A", "sk:p1g0.0.0"),
+            ("B", "sk:p1g0.0.1"),
+            ("A", "sk:p1g0.1.0"),
+            ("B", "sk:p1g0.1.1"),
+        }
+
+
+class TestListPage:
+    def test_behaves_like_a_key_list(self):
+        page = ListPage(keys=["a", "b"])
+        assert page == ["a", "b"]
+        assert list(page) == ["a", "b"]
+        assert len(page) == 2
+        assert page[0] == "a"
+        assert "b" in page
+        assert page != ["a"]
+
+    def test_carries_pagination_surface(self):
+        page = ListPage(keys=["a"], common_prefixes=["p/"], next_token="t", is_truncated=True)
+        d = page.to_dict()
+        assert d["next_token"] == "t" and d["is_truncated"] is True
+        assert page != ListPage(keys=["a"])

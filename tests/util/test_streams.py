@@ -1,0 +1,79 @@
+"""ByteSource: the streaming normalization under the engine's put path."""
+
+import io
+
+import pytest
+
+from repro.util.streams import ByteSource
+
+
+class TestBytesSource:
+    def test_read_in_pieces(self):
+        src = ByteSource(b"abcdefghij")
+        assert src.size_hint == 10
+        assert src.read(4) == b"abcd"
+        assert src.read(4) == b"efgh"
+        assert src.read(4) == b"ij"
+        assert src.read(4) == b""
+
+    def test_restart(self):
+        src = ByteSource(b"abcdef")
+        src.read(5)
+        assert src.restart() is True
+        assert src.read(6) == b"abcdef"
+
+    def test_empty(self):
+        src = ByteSource(b"")
+        assert src.size_hint == 0
+        assert src.read(10) == b""
+
+
+class TestFileSource:
+    def test_seekable_file_probes_size_and_restarts(self):
+        src = ByteSource(io.BytesIO(b"0123456789"))
+        assert src.size_hint == 10
+        assert src.read(7) == b"0123456"
+        assert src.restart() is True
+        assert src.read(10) == b"0123456789"
+
+    def test_file_opened_mid_way_reads_the_rest(self):
+        fh = io.BytesIO(b"0123456789")
+        fh.seek(4)
+        src = ByteSource(fh)
+        assert src.size_hint == 6
+        assert src.read(10) == b"456789"
+        assert src.restart() is True  # back to position 4, not 0
+        assert src.read(10) == b"456789"
+
+    def test_restart_honors_start_offset_even_with_size_hint(self):
+        # size_hint skips the size probe; restart must still rewind to
+        # the stream's start position, never to byte 0.
+        fh = io.BytesIO(b"HEADER-PAYLOAD")
+        fh.seek(7)
+        src = ByteSource(fh, size_hint=7)
+        assert src.read(20) == b"PAYLOAD"
+        assert src.restart() is True
+        assert src.read(20) == b"PAYLOAD"
+
+
+class TestIteratorSource:
+    def test_blocks_reassemble_and_empty_blocks_are_skipped(self):
+        src = ByteSource(iter([b"ab", b"cde", b"", b"fg"]))
+        assert src.size_hint is None
+        assert src.read(4) == b"abcd"
+        assert src.read(4) == b"efg"
+        assert src.read(4) == b""
+
+    def test_iterator_cannot_restart(self):
+        src = ByteSource(iter([b"abc"]))
+        src.read(2)
+        assert src.restart() is False
+
+    def test_non_bytes_block_rejected(self):
+        src = ByteSource(iter(["not-bytes"]))
+        with pytest.raises(TypeError):
+            src.read(4)
+
+    def test_size_hint_passthrough(self):
+        src = ByteSource(iter([b"abc"]), size_hint=3)
+        assert src.size_hint == 3
