@@ -111,6 +111,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.controlplane import BackgroundControlPlane
+
     registry = ProviderRegistry(paper_catalog(include_cheapstor=args.cheapstor))
     broker = Scalia(
         registry,
@@ -120,11 +122,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         storage_sync=args.storage_sync,
         stripe_size_bytes=args.stripe_bytes,
+        optimizer_batch_size=args.optimizer_batch,
+        scrub_batch_size=args.scrub_batch,
     )
     frontend = BrokerFrontend(broker, mode=args.mode)
     gateway = ScaliaGateway(
         frontend, host=args.host, port=args.port, verbose=args.verbose
     )
+    control_plane = None
+    if args.tick_every or args.scrub_every:
+        control_plane = BackgroundControlPlane(
+            broker,
+            tick_interval=args.tick_every or None,
+            scrub_interval=args.scrub_every or None,
+        ).start()
+        print(
+            f"background control plane: tick every {args.tick_every or '-'}s, "
+            f"scrub every {args.scrub_every or '-'}s "
+            f"(optimizer batch {args.optimizer_batch}, scrub batch {args.scrub_batch})"
+        )
     host, port = gateway.address
     if broker.recovery is not None:
         print(
@@ -154,6 +170,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if control_plane is not None:
+            control_plane.stop()
         gateway.close()
         frontend.close()
         # Clean shutdown = snapshot + flush; the next boot recovers without
@@ -313,7 +331,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8090, help="0 picks a free port")
     serve.add_argument(
-        "--mode", choices=MODES, default="lock", help="frontend serialization strategy"
+        "--mode",
+        choices=MODES,
+        default="direct",
+        help="frontend dispatch: 'direct' uses the broker's own striped-lock "
+        "concurrency; 'lock'/'queue' are the legacy serialize-everything shims",
+    )
+    serve.add_argument(
+        "--tick-every",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="close one sampling period (stats flush + optimization round) "
+        "every N seconds on a background thread (0 disables)",
+    )
+    serve.add_argument(
+        "--scrub-every",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="run a background integrity scrub every N seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--optimizer-batch",
+        type=int,
+        default=64,
+        help="row keys an optimization round claims per batch before yielding",
+    )
+    serve.add_argument(
+        "--scrub-batch",
+        type=int,
+        default=64,
+        help="row keys a scrub pass verifies per batch before yielding",
     )
     serve.add_argument("--datacenters", type=int, default=1)
     serve.add_argument("--engines", type=int, default=2, help="engines per datacenter")

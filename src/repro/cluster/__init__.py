@@ -23,10 +23,20 @@ from repro.cluster.statistics import (
 )
 from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
 from repro.cluster.leader import HeartbeatElection
+from repro.cluster.locks import (
+    InFlightWrites,
+    LockManager,
+    SharedExclusiveLock,
+    StripedRWLocks,
+)
 from repro.cluster.engine import Engine, ObjectNotFoundError, ReadFailedError, WriteFailedError
 from repro.cluster.datacenter import Datacenter, ScaliaCluster
 
 __all__ = [
+    "SharedExclusiveLock",
+    "StripedRWLocks",
+    "InFlightWrites",
+    "LockManager",
     "VectorClock",
     "VersionedValue",
     "ConflictResolution",

@@ -8,6 +8,7 @@ consistent (Section III-B).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterable, Optional, TypeVar
@@ -36,6 +37,11 @@ class LRUCache(Generic[V]):
     Entries carry an explicit size; inserting beyond ``capacity_bytes``
     evicts least-recently-used entries.  Values larger than the whole budget
     are refused (never cached) rather than flushing everything else.
+
+    Thread-safe: the recency list, byte accounting and hit/miss counters
+    all move under one internal mutex, so concurrent readers can share a
+    cache without tearing the LRU order (the read path is a *mutation*
+    here — every hit reorders the list).
     """
 
     def __init__(self, capacity_bytes: int) -> None:
@@ -43,28 +49,33 @@ class LRUCache(Generic[V]):
             raise ValueError("capacity_bytes must be >= 0")
         self.capacity_bytes = capacity_bytes
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, tuple[V, int]]" = OrderedDict()
         self._used = 0
 
     @property
     def used_bytes(self) -> int:
-        return self._used
+        with self._lock:
+            return self._used
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[V]:
         """Return the cached value and mark it most-recently-used."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
 
     def put(self, key: str, value: V, size: int) -> None:
         """Insert/replace ``key``; evicts LRU entries to fit."""
@@ -72,28 +83,41 @@ class LRUCache(Generic[V]):
             raise ValueError("size must be >= 0")
         if size > self.capacity_bytes:
             return  # would evict the whole cache for one entry
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._used -= old[1]
-        while self._used + size > self.capacity_bytes and self._entries:
-            _, (_, evicted_size) = self._entries.popitem(last=False)
-            self._used -= evicted_size
-            self.stats.evictions += 1
-        self._entries[key] = (value, size)
-        self._used += size
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._used -= old[1]
+            while self._used + size > self.capacity_bytes and self._entries:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._used -= evicted_size
+                self.stats.evictions += 1
+            self._entries[key] = (value, size)
+            self._used += size
 
     def invalidate(self, key: str) -> bool:
         """Drop ``key`` if present; returns whether something was removed."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        self._used -= entry[1]
-        self.stats.invalidations += 1
-        return True
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._used -= entry[1]
+            self.stats.invalidations += 1
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._used = 0
+        with self._lock:
+            self._entries.clear()
+            self._used = 0
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters (the live object mutates)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                evictions=self.stats.evictions,
+                invalidations=self.stats.invalidations,
+            )
 
 
 class CacheLayer:
@@ -132,8 +156,9 @@ class CacheLayer:
         """Aggregated counters across datacenters."""
         agg = CacheStats()
         for cache in self._caches.values():
-            agg.hits += cache.stats.hits
-            agg.misses += cache.stats.misses
-            agg.evictions += cache.stats.evictions
-            agg.invalidations += cache.stats.invalidations
+            snap = cache.stats_snapshot()
+            agg.hits += snap.hits
+            agg.misses += snap.misses
+            agg.evictions += snap.evictions
+            agg.invalidations += snap.invalidations
         return agg

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.cluster.cache import CacheLayer
 from repro.cluster.engine import Engine, PendingDeleteQueue, Planner
 from repro.cluster.leader import HeartbeatElection
+from repro.cluster.locks import LockManager
 from repro.cluster.metadata import MetadataCluster
 from repro.cluster.statistics import LogAgent, LogAggregator, StatsDatabase
 from repro.erasure.rs import CodeCache
@@ -30,6 +31,10 @@ class Datacenter:
             raise ValueError(f"datacenter {name!r} needs at least one engine")
         self.name = name
         self.engines = engines
+        # itertools.cycle advances atomically under the GIL (next() on a C
+        # iterator never interleaves), so concurrent routers share the
+        # cursor without a lock — the round-robin state the old global
+        # lock used to guard is thread-safe by construction now.
         self._rr = itertools.cycle(range(len(engines)))
 
     def next_engine(self) -> Engine:
@@ -70,6 +75,11 @@ class ScaliaCluster:
         self.election = HeartbeatElection(lease=1.0)
         self.pending_deletes = PendingDeleteQueue()
         self.ids = IdGenerator(seed=seed, epoch=id_epoch)
+        # One lock manager for the whole cluster: engines share the
+        # metadata store and providers, so they must share the striped
+        # object/container locks (and the in-flight write registry the
+        # scrubber's orphan sweep consults) too.
+        self.locks = LockManager()
         code_cache = CodeCache()
 
         self.datacenters: Dict[str, Datacenter] = {}
@@ -88,10 +98,12 @@ class ScaliaCluster:
                     ids=self.ids,
                     pending_deletes=self.pending_deletes,
                     code_cache=code_cache,
+                    locks=self.locks,
                 )
                 engines.append(engine)
                 self.election.register(engine_id)
             self.datacenters[dc] = Datacenter(dc, engines)
+        # Shares the GIL-atomicity argument of Datacenter._rr.
         self._dc_rr = itertools.cycle(sorted(self.datacenters))
 
     # -- routing -----------------------------------------------------------

@@ -20,6 +20,15 @@ and complete by pure metadata assembly (no chunk is copied).
 Error handling follows Section III-D3: writes route around faulty providers,
 reads succeed from any ``m`` reachable chunks, and deletes against a faulty
 provider are postponed until it recovers.
+
+Concurrency contract (docs/CONCURRENCY.md): engines sharing one cluster
+also share its :class:`~repro.cluster.locks.LockManager`.  Every public
+method acquires the locks it needs — reads hold their object's stripe
+shared, mutations hold the container shared plus their object stripes
+exclusive, listings hold the container exclusive — so non-conflicting
+operations on different keys proceed in parallel.  Internal helpers never
+acquire engine-level locks, and public methods never call public methods;
+that structural rule is what makes the non-reentrant stripe locks safe.
 """
 
 from __future__ import annotations
@@ -27,10 +36,12 @@ from __future__ import annotations
 import base64
 import binascii
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.cluster.cache import CacheLayer
+from repro.cluster.locks import LockManager, StripedMutexes
 from repro.cluster.metadata import MetadataCluster
 from repro.cluster.multipart import (
     MAX_PART_NUMBER,
@@ -152,21 +163,56 @@ class PendingDeleteQueue:
     eventual flush must not leak the chunk forever, and a delta per
     mutation keeps the journal linear in queue churn (journaling the
     full queue each time would be quadratic during an outage backlog).
+
+    Safe for concurrent mutators: every entry mutation (and its journal
+    hook — so the WAL's delta order matches the queue's actual history)
+    runs under an internal mutex.  The mutex nests only into the journal
+    lock; :meth:`flush` performs its provider deletes *outside* it.
+
+    A second, striped set of *rewrite guards* coordinates the flush with
+    same-chunk-key rewrites.  A queued delete for ``(provider, ck)`` and
+    a writer recreating ``ck`` (same-code migration, scrub repair) have
+    no object lock in common — the flush cannot name the owning row —
+    so both sides hold ``rewrite_guard(ck)`` across their two-step
+    critical sections (writer: put + discard; flush: claim + delete).
+    Without it the flush could claim the entry, lose the race to the
+    rewrite, and then destroy the freshly written live chunk.
     """
 
     entries: List[Tuple[str, str]] = field(default_factory=list)
     on_add: Optional[Callable[[str, str], None]] = None
     on_remove: Optional[Callable[[str, str], None]] = None
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    _rewrite_guards: StripedMutexes = field(
+        default_factory=StripedMutexes, repr=False, compare=False
+    )
+
+    def rewrite_guard(self, chunk_key: str) -> threading.Lock:
+        """The striped mutex serializing rewrites of ``chunk_key`` against
+        the flush's claim-then-delete (acquire before the queue mutex)."""
+        return self._rewrite_guards.stripe_of(chunk_key)
+
+    def locked(self) -> threading.RLock:
+        """The queue mutex as a context manager (snapshot consistency)."""
+        return self._lock
 
     def add(self, provider_name: str, chunk_key: str) -> None:
-        self.entries.append((provider_name, chunk_key))
-        if self.on_add is not None:
-            self.on_add(provider_name, chunk_key)
+        with self._lock:
+            self.entries.append((provider_name, chunk_key))
+            if self.on_add is not None:
+                self.on_add(provider_name, chunk_key)
 
-    def _remove(self, entry: Tuple[str, str]) -> None:
-        self.entries.remove(entry)
-        if self.on_remove is not None:
-            self.on_remove(*entry)
+    def _remove_if_present(self, entry: Tuple[str, str]) -> bool:
+        """Drop one occurrence of ``entry`` (tolerates a racing removal)."""
+        with self._lock:
+            if entry not in self.entries:
+                return False
+            self.entries.remove(entry)
+            if self.on_remove is not None:
+                self.on_remove(*entry)
+            return True
 
     def discard(self, provider_name: str, chunk_key: str) -> None:
         """Cancel any pending delete for ``(provider, chunk_key)``.
@@ -178,28 +224,45 @@ class PendingDeleteQueue:
         provider recovers.
         """
         entry = (provider_name, chunk_key)
-        while entry in self.entries:
-            self._remove(entry)
+        while self._remove_if_present(entry):
+            pass
 
     def flush(self, registry: ProviderRegistry) -> int:
-        """Retry pending deletes; returns how many were completed."""
+        """Retry pending deletes; returns how many were completed.
+
+        Each entry is *claimed* (removed from the queue) and then deleted
+        at the provider under that chunk key's rewrite guard, so a
+        concurrent rewrite of the same key either cancels the entry
+        before the claim (nothing is deleted) or happens strictly after
+        the physical delete (the rewrite's chunk survives).  A claimed
+        entry whose provider delete then fails transiently is re-queued.
+        """
         done = 0
-        for entry in list(self.entries):
+        for entry in self.snapshot_entries():
             provider_name, chunk_key = entry
             if provider_name not in registry or not registry.is_available(provider_name):
                 continue
-            try:
-                registry.get(provider_name).delete_chunk(chunk_key)
-            except ChunkNotFoundError:
-                pass  # already gone
-            except ProviderUnavailableError:
-                continue
-            done += 1
-            self._remove(entry)
+            with self.rewrite_guard(chunk_key):
+                if not self._remove_if_present(entry):
+                    continue  # a rewrite (or another flush) cancelled it
+                try:
+                    registry.get(provider_name).delete_chunk(chunk_key)
+                except ChunkNotFoundError:
+                    pass  # already gone
+                except ProviderUnavailableError:
+                    self.add(provider_name, chunk_key)  # retry next flush
+                    continue
+                done += 1
         return done
 
+    def snapshot_entries(self) -> List[Tuple[str, str]]:
+        """A stable copy of the queued entries (snapshots, flush passes)."""
+        with self._lock:
+            return list(self.entries)
+
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)
 
 
 @dataclass
@@ -245,6 +308,7 @@ class Engine:
         ids: IdGenerator,
         pending_deletes: Optional[PendingDeleteQueue] = None,
         code_cache: Optional[CodeCache] = None,
+        locks: Optional[LockManager] = None,
     ) -> None:
         self.engine_id = engine_id
         self.dc = dc
@@ -256,6 +320,15 @@ class Engine:
         self._ids = ids
         self._pending = pending_deletes if pending_deletes is not None else PendingDeleteQueue()
         self._codes = code_cache if code_cache is not None else CodeCache()
+        # Engines sharing metadata MUST share the lock manager (the
+        # cluster passes one in); a private fallback keeps standalone
+        # single-engine construction (tests, tools) working.
+        self._locks = locks if locks is not None else LockManager()
+
+    @property
+    def locks(self) -> LockManager:
+        """The shared lock bundle (scrubber/optimizer coordinate through it)."""
+        return self._locks
 
     # ------------------------------------------------------------------
     # public S3-like API
@@ -290,25 +363,27 @@ class Engine:
             size = int(data)
             if size < 0:
                 raise ValueError("synthetic size must be >= 0")
-            return self._put_object(
-                container, key, data, size,
-                mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
-            )
+            with self._locks.mutate_object(container, object_row_key(container, key)):
+                return self._put_object(
+                    container, key, data, size,
+                    mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
+                )
         if stripe_size < 1:
             raise ValueError("stripe_size must be >= 1")
         source = ByteSource(data, size_hint=size_hint)
         first = source.read(stripe_size)
-        if len(first) < stripe_size:
-            # The whole payload fits one stripe: the degenerate layout,
-            # byte-identical to the pre-streaming data plane.
-            return self._put_object(
-                container, key, first, len(first),
+        with self._locks.mutate_object(container, object_row_key(container, key)):
+            if len(first) < stripe_size:
+                # The whole payload fits one stripe: the degenerate layout,
+                # byte-identical to the pre-streaming data plane.
+                return self._put_object(
+                    container, key, first, len(first),
+                    mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
+                )
+            return self._put_streamed(
+                container, key, source, first, stripe_size,
                 mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
             )
-        return self._put_streamed(
-            container, key, source, first, stripe_size,
-            mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
-        )
 
     def get(
         self,
@@ -346,13 +421,54 @@ class Engine:
         if count < 1:
             raise ValueError("count must be >= 1")
         row_key = object_row_key(container, key)
+        with self._locks.read_object(row_key):
+            payload, _meta = self._get_many_impl(
+                container, key, row_key, count,
+                byte_range=byte_range, now=now, period=period,
+            )
+            return payload
+
+    def get_with_meta(
+        self,
+        container: str,
+        key: str,
+        *,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> Tuple[Payload, ObjectMeta]:
+        """Payload and its metadata from one committed version.
+
+        Both come out of a single shared hold of the object's stripe, so
+        a concurrent re-put can never pair one version's bytes with
+        another version's size/checksum — the atomicity HTTP handlers
+        need to emit ``Content-Length``/``ETag`` headers for the body
+        they actually send.
+        """
+        row_key = object_row_key(container, key)
+        with self._locks.read_object(row_key):
+            return self._get_many_impl(
+                container, key, row_key, 1,
+                byte_range=None, now=now, period=period,
+            )
+
+    def _get_many_impl(
+        self,
+        container: str,
+        key: str,
+        row_key: str,
+        count: int,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]],
+        now: float,
+        period: int,
+    ) -> Tuple[Payload, ObjectMeta]:
         if byte_range is None and self._cache is not None:
             cached = self._cache.get(self.dc, row_key)
             if cached is not None:
                 meta = self._winning_meta(row_key)
                 if meta is not None:
                     self._log_read(row_key, meta, period, count=count, cache_hit=True)
-                    return cached
+                    return cached, meta
                 self._cache.invalidate_everywhere(row_key)
 
             meta = self._winning_meta(row_key)
@@ -363,14 +479,12 @@ class Engine:
             self._log_read(row_key, meta, period, count=1, cache_hit=False)
             if count > 1:
                 self._log_read(row_key, meta, period, count=count - 1, cache_hit=True)
-            return payload
+            return payload, meta
 
-        plan = self.open_read(
-            container, key, byte_range=byte_range, now=now, period=period
-        )
+        plan = self._open_read_impl(container, key, byte_range=byte_range)
         payload = self._materialize(plan, times=count)
-        self.commit_read(plan, count=count, period=period)
-        return payload
+        self._commit_read_impl(plan, count=count, period=period)
+        return payload, plan.meta
 
     def open_read(
         self,
@@ -390,6 +504,16 @@ class Engine:
         so a read that fails outright (outage, missing chunks) never
         pollutes the access statistics the placement logic learns from.
         """
+        with self._locks.read_object(object_row_key(container, key)):
+            return self._open_read_impl(container, key, byte_range=byte_range)
+
+    def _open_read_impl(
+        self,
+        container: str,
+        key: str,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+    ) -> ReadPlan:
         meta = self._winning_meta(object_row_key(container, key))
         if meta is None:
             raise ObjectNotFoundError(f"{container}/{key}")
@@ -407,6 +531,9 @@ class Engine:
     def commit_read(self, plan: ReadPlan, *, count: int = 1, period: int = 0) -> None:
         """Record a served read from a plan (statistics, not metering —
         the provider meters billed each chunk as it was fetched)."""
+        self._commit_read_impl(plan, count=count, period=period)
+
+    def _commit_read_impl(self, plan: ReadPlan, *, count: int, period: int) -> None:
         meta = plan.meta
         self._log_read(
             object_row_key(meta.container, meta.key), meta, period,
@@ -414,8 +541,15 @@ class Engine:
         )
 
     def read_stripe(self, meta: ObjectMeta, stripe: int, *, times: int = 1) -> Payload:
-        """Decode one stripe's plaintext (or its synthetic byte count)."""
-        return self._read_stripe_payload(meta, stripe, times=times)
+        """Decode one stripe's plaintext (or its synthetic byte count).
+
+        Holds the object's stripe lock shared only for this one decode,
+        so a slow streaming consumer never blocks writers between
+        stripes (the price: a concurrent re-put can fail the stream
+        mid-download, which aborts the connection honestly).
+        """
+        with self._locks.read_object(object_row_key(meta.container, meta.key)):
+            return self._read_stripe_payload(meta, stripe, times=times)
 
     def delete(
         self,
@@ -427,27 +561,28 @@ class Engine:
     ) -> None:
         """Delete an object: tombstone metadata, drop chunks (or postpone)."""
         row_key = object_row_key(container, key)
-        meta = self._winning_meta(row_key)
-        if meta is None:
-            raise ObjectNotFoundError(f"{container}/{key}")
-        self._metadata.write(
-            self.dc, row_key, None, uuid=self._ids.uuid(), timestamp=now
-        )
-        self._write_index(container, key, row_key, now, present=False)
-        self._gc_chunks(meta, keep=frozenset())
-        self._log.log(
-            LogRecord(
-                period=period,
-                object_key=row_key,
-                class_key=meta.class_key,
-                op="delete",
-                size=meta.size,
-                mime=meta.mime,
-                lifetime_hours=max(0.0, now - meta.created_at),
+        with self._locks.mutate_object(container, row_key):
+            meta = self._winning_meta(row_key)
+            if meta is None:
+                raise ObjectNotFoundError(f"{container}/{key}")
+            self._metadata.write(
+                self.dc, row_key, None, uuid=self._ids.uuid(), timestamp=now
             )
-        )
-        if self._cache is not None:
-            self._cache.invalidate_everywhere(row_key)
+            self._write_index(container, key, row_key, now, present=False)
+            self._gc_chunks(meta, keep=frozenset())
+            self._log.log(
+                LogRecord(
+                    period=period,
+                    object_key=row_key,
+                    class_key=meta.class_key,
+                    op="delete",
+                    size=meta.size,
+                    mime=meta.mime,
+                    lifetime_hours=max(0.0, now - meta.created_at),
+                )
+            )
+            if self._cache is not None:
+                self._cache.invalidate_everywhere(row_key)
 
     def list_objects(
         self,
@@ -464,9 +599,31 @@ class Engine:
         lexicographic stream; ``max_keys`` bounds the page and a
         truncated page carries an opaque ``next_token`` resuming strictly
         after the last returned entry.
+
+        Holds the container lock exclusively for the duration of one
+        page, so the scan sees a stable index (key mutations in the same
+        container wait; other containers are untouched).
         """
         if max_keys is not None and max_keys < 1:
             raise ValueError("max_keys must be >= 1")
+        with self._locks.list_container(container):
+            return self._list_objects_impl(
+                container,
+                prefix=prefix,
+                delimiter=delimiter,
+                max_keys=max_keys,
+                continuation_token=continuation_token,
+            )
+
+    def _list_objects_impl(
+        self,
+        container: str,
+        *,
+        prefix: str,
+        delimiter: str,
+        max_keys: Optional[int],
+        continuation_token: Optional[str],
+    ) -> ListPage:
         start_after = ""
         if continuation_token:
             start_after = decode_list_token(continuation_token)
@@ -539,10 +696,25 @@ class Engine:
 
     def head(self, container: str, key: str) -> Optional[ObjectMeta]:
         """Metadata of an object, or ``None`` when absent."""
-        return self._winning_meta(object_row_key(container, key))
+        row_key = object_row_key(container, key)
+        with self._locks.read_object(row_key):
+            return self._winning_meta(row_key)
 
     def resolve_row(self, row_key: str) -> Optional[ObjectMeta]:
         """Metadata by raw row key (the optimizer's lookup path)."""
+        with self._locks.read_object(row_key):
+            return self._winning_meta(row_key)
+
+    def resolve_row_unlocked(self, row_key: str) -> Optional[ObjectMeta]:
+        """Metadata by raw row key for a caller ALREADY HOLDING the row's
+        object stripe (shared or exclusive).
+
+        The stripe locks are not reentrant, so a holder calling the
+        public :meth:`resolve_row` would deadlock against itself; the
+        scrubber resolves through this instead.  Never call it without
+        the hold — the read-repair side effects inside assume the row is
+        stable.
+        """
         return self._winning_meta(row_key)
 
     def live_row_keys(self) -> List[str]:
@@ -576,6 +748,27 @@ class Engine:
         """
         if stripe_size < 1:
             raise ValueError("stripe_size must be >= 1")
+        with self._locks.containers.shared(container):
+            # The staging row is keyed by a fresh uuid nobody else can
+            # name yet, so no object stripe lock is needed here — only
+            # the container hold that orders us against listings.
+            return self._create_multipart_impl(
+                container, key, mime=mime, rule=rule, stripe_size=stripe_size,
+                size_hint=size_hint, now=now, period=period,
+            )
+
+    def _create_multipart_impl(
+        self,
+        container: str,
+        key: str,
+        *,
+        mime: str,
+        rule: Optional[str],
+        stripe_size: int,
+        size_hint: Optional[int],
+        now: float,
+        period: int,
+    ) -> MultipartState:
         guess = size_hint if size_hint and size_hint > 0 else stripe_size
         class_key = self._planner.classify(guess, mime)
         exclude: frozenset[str] = frozenset(
@@ -612,6 +805,15 @@ class Engine:
             self.dc, multipart_row_key(container, upload_id), state.to_dict(),
             uuid=self._ids.uuid(), timestamp=now,
         )
+        # The upload's skey stays registered in-flight for the upload's
+        # whole lifetime (completion/abort ends it).  Completion hands
+        # the chunks' only metadata reference from the staging row to the
+        # object row across two row writes; an orphan sweep whose batched
+        # census straddles that handoff could otherwise see neither row
+        # reference the chunks and reap an acknowledged object.  After a
+        # crash the registration is gone but the journaled staging row
+        # itself protects the chunks, so recovery needs no replay of it.
+        self._locks.in_flight.begin(state.skey)
         return state
 
     def upload_part(
@@ -633,6 +835,22 @@ class Engine:
         a crash anywhere in between can only orphan chunks the scrubber
         sweeps — never corrupt an acknowledged part.
         """
+        with self._locks.mutate_object(container, multipart_row_key(container, upload_id)):
+            return self._upload_part_impl(
+                container, key, upload_id, part_number, data, now=now, period=period
+            )
+
+    def _upload_part_impl(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        part_number: int,
+        data,
+        *,
+        now: float,
+        period: int,
+    ) -> PartState:
         state = self._load_upload(container, upload_id)
         if state.key != key:
             raise MultipartError(
@@ -650,33 +868,34 @@ class Engine:
         digest = hashlib.md5()
         written: List[Tuple[str, str]] = []
         stripes: List[Tuple[str, int]] = []
-        try:
-            self._stream_stripes(
-                source,
-                state.skey,
-                lambda s: f"p{part_number}g{gen}.{s}",
-                state.m,
-                state.providers,
-                state.stripe_size,
-                digest,
-                written,
-                stripes,
+        with self._locks.in_flight.track(state.skey):
+            try:
+                self._stream_stripes(
+                    source,
+                    state.skey,
+                    lambda s: f"p{part_number}g{gen}.{s}",
+                    state.m,
+                    state.providers,
+                    state.stripe_size,
+                    digest,
+                    written,
+                    stripes,
+                )
+            except BaseException:
+                self._delete_refs(written)
+                raise
+            part = PartState(
+                etag=digest.hexdigest(),
+                size=sum(length for _, length in stripes),
+                stripes=tuple(stripes),
             )
-        except BaseException:
-            self._delete_refs(written)
-            raise
-        part = PartState(
-            etag=digest.hexdigest(),
-            size=sum(length for _, length in stripes),
-            stripes=tuple(stripes),
-        )
-        replaced = state.parts.get(part_number)
-        state.parts[part_number] = part
-        state.next_gen = gen + 1
-        self._metadata.write(
-            self.dc, multipart_row_key(container, upload_id), state.to_dict(),
-            uuid=self._ids.uuid(), timestamp=now,
-        )
+            replaced = state.parts.get(part_number)
+            state.parts[part_number] = part
+            state.next_gen = gen + 1
+            self._metadata.write(
+                self.dc, multipart_row_key(container, upload_id), state.to_dict(),
+                uuid=self._ids.uuid(), timestamp=now,
+            )
         if replaced is not None:
             self._delete_refs(list(state.part_chunk_keys(replaced)))
         return part
@@ -700,6 +919,25 @@ class Engine:
         ``md5(part-digests)-N``.  Parts uploaded but not listed are
         deleted.
         """
+        with self._locks.mutate_object(
+            container,
+            multipart_row_key(container, upload_id),
+            object_row_key(container, key),
+        ):
+            return self._complete_multipart_impl(
+                container, key, upload_id, parts, now=now, period=period
+            )
+
+    def _complete_multipart_impl(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        parts: Optional[Sequence[Tuple[int, Optional[str]]]],
+        *,
+        now: float,
+        period: int,
+    ) -> ObjectMeta:
         state = self._load_upload(container, upload_id)
         if state.key != key:
             raise MultipartError(
@@ -756,6 +994,11 @@ class Engine:
             self.dc, multipart_row_key(container, upload_id), None,
             uuid=self._ids.uuid(), timestamp=now,
         )
+        # Both rows are committed: the object row now carries the chunks'
+        # reference, so the upload-lifetime in-flight hold can end (its
+        # begin() is in create_multipart_upload; a post-crash completion
+        # ends a registration that no longer exists, which is tolerated).
+        self._locks.in_flight.end(state.skey)
         keep = frozenset((p, ck) for _s, _i, p, ck in meta.iter_chunks())
         included = set(numbers)
         for number, part in state.parts.items():
@@ -793,6 +1036,16 @@ class Engine:
         Chunks adopted by a completed object (the crash window between
         the object row and the staging tombstone) are recognized and kept.
         """
+        with self._locks.mutate_object(
+            container,
+            multipart_row_key(container, upload_id),
+            object_row_key(container, key),
+        ):
+            return self._abort_multipart_impl(container, key, upload_id, now=now)
+
+    def _abort_multipart_impl(
+        self, container: str, key: str, upload_id: str, *, now: float
+    ) -> int:
         state = self._load_upload(container, upload_id)
         if state.key != key:
             raise MultipartError(
@@ -802,6 +1055,8 @@ class Engine:
             self.dc, multipart_row_key(container, upload_id), None,
             uuid=self._ids.uuid(), timestamp=now,
         )
+        # End the upload-lifetime in-flight hold (see create/complete).
+        self._locks.in_flight.end(state.skey)
         keep: frozenset = frozenset()
         live = self._winning_meta(object_row_key(container, key))
         if live is not None and live.skey == state.skey:
@@ -813,10 +1068,11 @@ class Engine:
 
     def list_multipart_uploads(self, container: str) -> List[MultipartState]:
         """Every in-flight multipart upload of ``container``, oldest first."""
-        rows = self._metadata.scan(self.dc, f"{MULTIPART_ROW_PREFIX}{container}|")
-        states = [MultipartState.from_dict(row.value) for row in rows.values()]
-        states.sort(key=lambda s: (s.created_at, s.upload_id))
-        return states
+        with self._locks.list_container(container):
+            rows = self._metadata.scan(self.dc, f"{MULTIPART_ROW_PREFIX}{container}|")
+            states = [MultipartState.from_dict(row.value) for row in rows.values()]
+            states.sort(key=lambda s: (s.created_at, s.upload_id))
+            return states
 
     def _load_upload(self, container: str, upload_id: str) -> MultipartState:
         resolution = self._metadata.read(
@@ -846,28 +1102,48 @@ class Engine:
         paper's cheap repair path); otherwise the object is fully
         re-striped (Section IV-E).  Multi-stripe objects migrate stripe
         by stripe — peak memory stays O(stripe) either way.
+
+        Holds the object's stripe exclusively for the whole move, which
+        is how the optimizer's background migrations coordinate with
+        in-flight client writes: whoever acquires second sees the other's
+        committed metadata, never a half-moved chunk map.
         """
         row_key = object_row_key(container, key)
-        meta = self._winning_meta(row_key)
-        if meta is None:
-            raise ObjectNotFoundError(f"{container}/{key}")
-        old_placement = meta.placement
-        if new_placement == old_placement:
-            return MigrationReceipt(old_placement, new_placement, 0, False)
+        with self._locks.mutate_object(container, row_key):
+            meta = self._winning_meta(row_key)
+            if meta is None:
+                raise ObjectNotFoundError(f"{container}/{key}")
+            old_placement = meta.placement
+            if new_placement == old_placement:
+                return MigrationReceipt(old_placement, new_placement, 0, False)
 
-        same_code = (
-            new_placement.m == old_placement.m and new_placement.n == old_placement.n
-        )
-        if same_code:
-            new_meta, written = self._migrate_same_code(meta, new_placement)
-        else:
-            new_meta, written = self._migrate_restripe(meta, new_placement, now)
-        self._metadata.write(
-            self.dc, row_key, new_meta.to_dict(), uuid=self._ids.uuid(), timestamp=now
-        )
-        keep = frozenset((p, ck) for _s, _i, p, ck in new_meta.iter_chunks())
-        self._gc_chunks(meta, keep=keep)
-        return MigrationReceipt(old_placement, new_placement, written, not same_code)
+            same_code = (
+                new_placement.m == old_placement.m and new_placement.n == old_placement.n
+            )
+            # Same-code moves write fresh chunks under the *existing*
+            # skey; a restripe writes under a brand-new one.  Either way
+            # the skey is registered in-flight from the first chunk write
+            # until the metadata row referencing it is committed, so the
+            # orphan sweep can never reap a mid-migration chunk.
+            new_skey = (
+                meta.skey
+                if same_code
+                else storage_key(meta.container, meta.key, self._ids.uuid())
+            )
+            with self._locks.in_flight.track(new_skey):
+                if same_code:
+                    new_meta, written = self._migrate_same_code(meta, new_placement)
+                else:
+                    new_meta, written = self._migrate_restripe(
+                        meta, new_placement, new_skey
+                    )
+                self._metadata.write(
+                    self.dc, row_key, new_meta.to_dict(),
+                    uuid=self._ids.uuid(), timestamp=now,
+                )
+            keep = frozenset((p, ck) for _s, _i, p, ck in new_meta.iter_chunks())
+            self._gc_chunks(meta, keep=keep)
+            return MigrationReceipt(old_placement, new_placement, written, not same_code)
 
     def flush_pending_deletes(self) -> int:
         """Retry postponed deletes (call after provider recoveries)."""
@@ -918,7 +1194,6 @@ class Engine:
         exclude: frozenset[str] = frozenset(
             name for name in self._registry.names() if not self._registry.is_available(name)
         )
-        meta: Optional[ObjectMeta] = None
         for _ in range(max(1, len(self._registry))):
             try:
                 placement = self._planner.place(
@@ -932,29 +1207,34 @@ class Engine:
                 )
             except PlacementError as exc:
                 raise WriteFailedError(str(exc)) from exc
+            skey = storage_key(container, key, self._ids.uuid())
+            self._locks.in_flight.begin(skey)
             try:
-                meta = self._write_chunks(
-                    container, key, data, size, mime, rule, class_key, placement,
-                    ttl_hint=ttl_hint, now=now, created_at=(old_meta.created_at if old_meta else now),
-                )
-                break
-            except (
-                ProviderUnavailableError,
-                CapacityExceededError,
-                ChunkTooLargeError,
-            ) as exc:
-                # A provider died, filled up or refused the chunk size
-                # between planning and writing: exclude it and re-plan
-                # (Section III-D3 / Section III-E — "use local resources up
-                # to their capacities, and then use the best suited
-                # provider(s)").
-                if not exc.provider_name:
-                    raise
-                exclude = exclude | {exc.provider_name}
-        if meta is None:
-            raise WriteFailedError(f"no reachable placement for {container}/{key}")
-        self._commit_put(container, key, row_key, meta, old_meta, now, period)
-        return meta
+                try:
+                    meta = self._write_chunks(
+                        container, key, data, size, mime, rule, class_key, placement,
+                        skey=skey, ttl_hint=ttl_hint, now=now,
+                        created_at=(old_meta.created_at if old_meta else now),
+                    )
+                except (
+                    ProviderUnavailableError,
+                    CapacityExceededError,
+                    ChunkTooLargeError,
+                ) as exc:
+                    # A provider died, filled up or refused the chunk size
+                    # between planning and writing: exclude it and re-plan
+                    # (Section III-D3 / Section III-E — "use local resources up
+                    # to their capacities, and then use the best suited
+                    # provider(s)").
+                    if not exc.provider_name:
+                        raise
+                    exclude = exclude | {exc.provider_name}
+                    continue
+                self._commit_put(container, key, row_key, meta, old_meta, now, period)
+                return meta
+            finally:
+                self._locks.in_flight.end(skey)
+        raise WriteFailedError(f"no reachable placement for {container}/{key}")
 
     def _put_streamed(
         self,
@@ -998,53 +1278,57 @@ class Engine:
             digest = hashlib.md5()
             written: List[Tuple[str, str]] = []
             stripes: List[Tuple[str, int]] = []
+            self._locks.in_flight.begin(skey)
             try:
-                self._stream_stripes(
-                    source, skey, str, placement.m, placement.providers,
-                    stripe_size, digest, written, stripes, first=first,
-                )
-            except (
-                ProviderUnavailableError,
-                CapacityExceededError,
-                ChunkTooLargeError,
-            ) as exc:
-                self._delete_refs(written)
-                if not exc.provider_name:
+                try:
+                    self._stream_stripes(
+                        source, skey, str, placement.m, placement.providers,
+                        stripe_size, digest, written, stripes, first=first,
+                    )
+                except (
+                    ProviderUnavailableError,
+                    CapacityExceededError,
+                    ChunkTooLargeError,
+                ) as exc:
+                    self._delete_refs(written)
+                    if not exc.provider_name:
+                        raise
+                    exclude = exclude | {exc.provider_name}
+                    if not source.restart():
+                        raise WriteFailedError(
+                            f"provider {exc.provider_name} failed mid-stream and "
+                            f"the source cannot restart"
+                        ) from exc
+                    first = source.read(stripe_size)
+                    continue
+                except BaseException:
+                    # Anything else (a corrupt chunked frame, a failed
+                    # Content-MD5 precondition raised by the source) must not
+                    # leak the stripes already shipped.
+                    self._delete_refs(written)
                     raise
-                exclude = exclude | {exc.provider_name}
-                if not source.restart():
-                    raise WriteFailedError(
-                        f"provider {exc.provider_name} failed mid-stream and "
-                        f"the source cannot restart"
-                    ) from exc
-                first = source.read(stripe_size)
-                continue
-            except BaseException:
-                # Anything else (a corrupt chunked frame, a failed
-                # Content-MD5 precondition raised by the source) must not
-                # leak the stripes already shipped.
-                self._delete_refs(written)
-                raise
-            size = sum(length for _, length in stripes)
-            class_key = self._planner.classify(size, mime)
-            meta = ObjectMeta(
-                container=container,
-                key=key,
-                size=size,
-                mime=mime,
-                rule_name=self._planner.rule_for(rule, class_key),
-                class_key=class_key,
-                skey=skey,
-                m=placement.m,
-                chunk_map=tuple(enumerate(placement.providers)),
-                created_at=old_meta.created_at if old_meta else now,
-                checksum=digest.hexdigest(),
-                ttl_hint=ttl_hint,
-                stripes=tuple(stripes),
-                modified_at=now,
-            )
-            self._commit_put(container, key, row_key, meta, old_meta, now, period)
-            return meta
+                size = sum(length for _, length in stripes)
+                class_key = self._planner.classify(size, mime)
+                meta = ObjectMeta(
+                    container=container,
+                    key=key,
+                    size=size,
+                    mime=mime,
+                    rule_name=self._planner.rule_for(rule, class_key),
+                    class_key=class_key,
+                    skey=skey,
+                    m=placement.m,
+                    chunk_map=tuple(enumerate(placement.providers)),
+                    created_at=old_meta.created_at if old_meta else now,
+                    checksum=digest.hexdigest(),
+                    ttl_hint=ttl_hint,
+                    stripes=tuple(stripes),
+                    modified_at=now,
+                )
+                self._commit_put(container, key, row_key, meta, old_meta, now, period)
+                return meta
+            finally:
+                self._locks.in_flight.end(skey)
         raise WriteFailedError(f"no reachable placement for {container}/{key}")
 
     def _stream_stripes(
@@ -1065,6 +1349,13 @@ class Engine:
 
         Appends to ``written``/``stripes`` in place so the caller can
         clean up the already-shipped chunks when a stripe fails mid-way.
+
+        Each chunk's discard + put runs under the pending queue's rewrite
+        guard: a retried multipart part reuses its generation's chunk
+        keys, and a failed earlier attempt may have queued deletes for
+        exactly those keys — without the guard a concurrent flush could
+        claim such an entry and destroy the retry's freshly written
+        chunk after the fact.
         """
         index = 0
         while True:
@@ -1076,8 +1367,9 @@ class Engine:
             chunks = split_object(block, m, len(providers), code_cache=self._codes)
             for chunk, provider_name in zip(chunks, providers):
                 chunk_key = f"{skey}:{tag}.{chunk.index}"
-                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
-                self._pending.discard(provider_name, chunk_key)
+                with self._pending.rewrite_guard(chunk_key):
+                    self._pending.discard(provider_name, chunk_key)
+                    self._registry.get(provider_name).put_chunk(chunk_key, chunk)
                 written.append((provider_name, chunk_key))
             stripes.append((tag, len(block)))
             index += 1
@@ -1128,12 +1420,11 @@ class Engine:
         class_key: str,
         placement: Placement,
         *,
+        skey: str,
         ttl_hint: Optional[float],
         now: float,
         created_at: float,
     ) -> ObjectMeta:
-        uuid = self._ids.uuid()
-        skey = storage_key(container, key, uuid)
         if isinstance(data, bytes):
             chunks: Sequence = split_object(data, placement.m, placement.n, code_cache=self._codes)
         else:
@@ -1325,11 +1616,14 @@ class Engine:
                             source_chunks[stripe], index, meta.m, meta.n, stripe_len,
                             code_cache=self._codes,
                         )
-                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
                 # This key may sit in the pending-delete queue from an earlier
                 # migration away from an unavailable provider; the chunk is
-                # live again, so the queued delete must not fire.
-                self._pending.discard(provider_name, chunk_key)
+                # live again, so the queued delete must not fire — and a
+                # flush already past its claim must finish its delete before
+                # we write (the rewrite guard orders the two).
+                with self._pending.rewrite_guard(chunk_key):
+                    self._pending.discard(provider_name, chunk_key)
+                    self._registry.get(provider_name).put_chunk(chunk_key, chunk)
                 written += 1
             new_map[index] = provider_name
         chunk_map = tuple(sorted(new_map.items()))
@@ -1355,11 +1649,13 @@ class Engine:
         self,
         meta: ObjectMeta,
         new_placement: Placement,
-        now: float,
+        skey: str,
     ) -> Tuple[ObjectMeta, int]:
-        """Full path: decode and re-encode under the new code, per stripe."""
-        uuid = self._ids.uuid()
-        skey = storage_key(meta.container, meta.key, uuid)
+        """Full path: decode and re-encode under the new code, per stripe.
+
+        ``skey`` is the pre-generated (and in-flight-registered) storage
+        key the new chunks are written under.
+        """
         striped = bool(meta.stripes)
         new_stripes: List[Tuple[str, int]] = []
         written = 0

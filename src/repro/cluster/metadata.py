@@ -13,6 +13,7 @@ replication; healing runs anti-entropy and converges every replica
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Literal, Mapping, Optional, Tuple
 
@@ -163,6 +164,14 @@ class MetadataCluster:
     every *reachable* datacenter; a partition queues the replication and an
     explicit :meth:`heal` runs anti-entropy until all replicas converge.
     Reads perform conflict resolution (and read-repair pruning) locally.
+
+    Every public operation runs under one internal reentrant mutex, so a
+    row mutation (and its replication fan-out) is atomic with respect to
+    every concurrent reader or scanner.  The durability hooks fire while
+    the mutex is held — they append to the WAL and may trigger a snapshot
+    (which re-enters :meth:`export_state`, hence the reentrancy).  The
+    mutex is a leaf-plus-journal lock in the broker's hierarchy: nothing
+    called under it ever takes an object, container or statistics lock.
     """
 
     def __init__(self, datacenters: Iterable[str]) -> None:
@@ -171,6 +180,7 @@ class MetadataCluster:
             raise ValueError("at least one datacenter is required")
         if len(set(names)) != len(names):
             raise ValueError("datacenter names must be unique")
+        self._mutex = threading.RLock()
         self._replicas: Dict[str, _Replica] = {dc: _Replica(dc) for dc in names}
         self._partitioned: set[frozenset[str]] = set()
         self._pending: Dict[frozenset[str], List[Tuple[str, VersionedValue]]] = {}
@@ -182,6 +192,19 @@ class MetadataCluster:
         self.on_apply: Optional[Callable[[str, str, VersionedValue], None]] = None
         self.on_prune: Optional[Callable[[str, str, str], None]] = None
 
+    # -- locking ----------------------------------------------------------
+
+    def locked(self):
+        """The store's mutex as a context manager (reentrant).
+
+        The durability manager wraps a snapshot in this so no metadata
+        version can be applied (and journaled) between the state export
+        and the WAL truncation — a record landing in that window would be
+        erased while absent from the snapshot, losing an acknowledged
+        write on the next recovery.
+        """
+        return self._mutex
+
     # -- topology ---------------------------------------------------------
 
     @property
@@ -190,17 +213,19 @@ class MetadataCluster:
 
     def partition(self, dc_a: str, dc_b: str) -> None:
         """Cut the replication link between two datacenters."""
-        self._check_dc(dc_a), self._check_dc(dc_b)
-        self._partitioned.add(frozenset((dc_a, dc_b)))
+        with self._mutex:
+            self._check_dc(dc_a), self._check_dc(dc_b)
+            self._partitioned.add(frozenset((dc_a, dc_b)))
 
     def heal(self, dc_a: str, dc_b: str) -> None:
         """Restore a link and run anti-entropy over the queued versions."""
-        link = frozenset((dc_a, dc_b))
-        self._partitioned.discard(link)
-        for row_key, version in self._pending.pop(link, []):
-            # The queue holds (row, version) in both directions.
-            for dc in (dc_a, dc_b):
-                self._apply(dc, row_key, version)
+        with self._mutex:
+            link = frozenset((dc_a, dc_b))
+            self._partitioned.discard(link)
+            for row_key, version in self._pending.pop(link, []):
+                # The queue holds (row, version) in both directions.
+                for dc in (dc_a, dc_b):
+                    self._apply(dc, row_key, version)
 
     def _apply(self, dc: str, row_key: str, version: VersionedValue) -> None:
         """Apply a version to one replica, journaling when hooked."""
@@ -215,16 +240,19 @@ class MetadataCluster:
         exactly the per-replica applications the journal recorded, not
         re-replicate them.
         """
-        self._check_dc(dc)
-        self._replicas[dc].apply(row_key, version)
+        with self._mutex:
+            self._check_dc(dc)
+            self._replicas[dc].apply(row_key, version)
 
     def prune_raw(self, dc: str, row_key: str, keep_uuid: str) -> None:
         """Directly re-run a journaled read-repair prune (recovery replay)."""
-        self._check_dc(dc)
-        self._replicas[dc].prune(row_key, keep_uuid)
+        with self._mutex:
+            self._check_dc(dc)
+            self._replicas[dc].prune(row_key, keep_uuid)
 
     def is_partitioned(self, dc_a: str, dc_b: str) -> bool:
-        return frozenset((dc_a, dc_b)) in self._partitioned
+        with self._mutex:
+            return frozenset((dc_a, dc_b)) in self._partitioned
 
     def _check_dc(self, dc: str) -> None:
         if dc not in self._replicas:
@@ -248,20 +276,21 @@ class MetadataCluster:
         supersede their predecessors while concurrent cross-DC updates
         remain incomparable (and surface as conflicts).
         """
-        self._check_dc(dc)
-        base = VectorClock()
-        for existing in self._replicas[dc].versions(row_key):
-            base = base.merge(existing.vclock)
-        version = VersionedValue(
-            uuid=uuid,
-            value=value,
-            timestamp=timestamp,
-            vclock=base.increment(dc),
-            origin_dc=dc,
-        )
-        self._apply(dc, row_key, version)
-        self._replicate(dc, row_key, version)
-        return version
+        with self._mutex:
+            self._check_dc(dc)
+            base = VectorClock()
+            for existing in self._replicas[dc].versions(row_key):
+                base = base.merge(existing.vclock)
+            version = VersionedValue(
+                uuid=uuid,
+                value=value,
+                timestamp=timestamp,
+                vclock=base.increment(dc),
+                origin_dc=dc,
+            )
+            self._apply(dc, row_key, version)
+            self._replicate(dc, row_key, version)
+            return version
 
     def _replicate(self, origin: str, row_key: str, version: VersionedValue) -> None:
         for dc in self._replicas:
@@ -282,26 +311,27 @@ class MetadataCluster:
         the local replica after resolution, mirroring Scalia's
         keep-the-freshest policy (Section III-C1).
         """
-        self._check_dc(dc)
-        versions = self._replicas[dc].versions(row_key)
-        if not versions:
-            return ConflictResolution(winner=None)
-        winner = _freshest(versions)
-        stale = [v for v in versions if v.uuid != winner.uuid]
-        if repair and stale:
-            self._replicas[dc].prune(row_key, winner.uuid)
-            if self.on_prune is not None:
-                self.on_prune(dc, row_key, winner.uuid)
-        resolution = ConflictResolution(
-            winner=winner, stale=stale, had_conflict=len(stale) > 0
-        )
-        if winner.is_tombstone:
-            resolution.winner = None
-            if winner not in resolution.stale:
-                # A tombstone that wins still implies the older versions'
-                # chunks must be GC'd; the tombstone itself carries none.
-                pass
-        return resolution
+        with self._mutex:
+            self._check_dc(dc)
+            versions = self._replicas[dc].versions(row_key)
+            if not versions:
+                return ConflictResolution(winner=None)
+            winner = _freshest(versions)
+            stale = [v for v in versions if v.uuid != winner.uuid]
+            if repair and stale:
+                self._replicas[dc].prune(row_key, winner.uuid)
+                if self.on_prune is not None:
+                    self.on_prune(dc, row_key, winner.uuid)
+            resolution = ConflictResolution(
+                winner=winner, stale=stale, had_conflict=len(stale) > 0
+            )
+            if winner.is_tombstone:
+                resolution.winner = None
+                if winner not in resolution.stale:
+                    # A tombstone that wins still implies the older versions'
+                    # chunks must be GC'd; the tombstone itself carries none.
+                    pass
+            return resolution
 
     def scan_keys(
         self,
@@ -319,85 +349,97 @@ class MetadataCluster:
         included (resolve with :meth:`winner`); the caller decides what
         a live row is.
         """
-        self._check_dc(dc)
-        ordered = self._replicas[dc].ordered
-        start = bisect.bisect_left(ordered, prefix)
-        if start_after:
-            start = max(start, bisect.bisect_right(ordered, start_after))
-        out: List[str] = []
-        for index in range(start, len(ordered)):
-            row_key = ordered[index]
-            if not row_key.startswith(prefix):
-                break  # sorted: the prefix range is contiguous
-            out.append(row_key)
-            if limit is not None and len(out) == limit:
-                break
-        return out
+        with self._mutex:
+            self._check_dc(dc)
+            ordered = self._replicas[dc].ordered
+            start = bisect.bisect_left(ordered, prefix)
+            if start_after:
+                start = max(start, bisect.bisect_right(ordered, start_after))
+            out: List[str] = []
+            for index in range(start, len(ordered)):
+                row_key = ordered[index]
+                if not row_key.startswith(prefix):
+                    break  # sorted: the prefix range is contiguous
+                out.append(row_key)
+                if limit is not None and len(out) == limit:
+                    break
+            return out
 
     def winner(self, dc: str, row_key: str) -> Optional[VersionedValue]:
         """Freshest non-tombstone version of a row, without read-repair."""
-        self._check_dc(dc)
-        winner = _freshest(self._replicas[dc].versions(row_key))
-        if winner is None or winner.is_tombstone:
-            return None
-        return winner
+        with self._mutex:
+            self._check_dc(dc)
+            winner = _freshest(self._replicas[dc].versions(row_key))
+            if winner is None or winner.is_tombstone:
+                return None
+            return winner
 
     def scan(self, dc: str, prefix: str = "") -> Dict[str, VersionedValue]:
         """All non-tombstone winners whose row key starts with ``prefix``."""
-        out: Dict[str, VersionedValue] = {}
-        for row_key in self.scan_keys(dc, prefix):
-            winner = self.winner(dc, row_key)
-            if winner is not None:
-                out[row_key] = winner
-        return out
+        with self._mutex:  # one atomic view across the whole prefix range
+            out: Dict[str, VersionedValue] = {}
+            for row_key in self.scan_keys(dc, prefix):
+                winner = self.winner(dc, row_key)
+                if winner is not None:
+                    out[row_key] = winner
+            return out
 
     # -- persistence ---------------------------------------------------------
 
     def export_state(self) -> dict:
         """JSON-ready dump of every replica (snapshot support)."""
-        return {
-            dc: {
-                row_key: [v.to_dict() for v in sorted(row.values(), key=lambda v: v.uuid)]
-                for row_key, row in replica.rows.items()
+        with self._mutex:
+            return {
+                dc: {
+                    row_key: [v.to_dict() for v in sorted(row.values(), key=lambda v: v.uuid)]
+                    for row_key, row in replica.rows.items()
+                }
+                for dc, replica in self._replicas.items()
             }
-            for dc, replica in self._replicas.items()
-        }
 
     def restore_state(self, state: Mapping) -> None:
         """Inverse of :meth:`export_state`; unknown datacenters are ignored."""
-        for replica in self._replicas.values():
-            replica.rows.clear()
-            replica.ordered.clear()
-        for dc, rows in state.items():
-            if dc not in self._replicas:
-                continue
-            for row_key, versions in rows.items():
-                for version in versions:
-                    self._replicas[dc].apply(row_key, VersionedValue.from_dict(version))
+        with self._mutex:
+            for replica in self._replicas.values():
+                replica.rows.clear()
+                replica.ordered.clear()
+            for dc, rows in state.items():
+                if dc not in self._replicas:
+                    continue
+                for row_key, versions in rows.items():
+                    for version in versions:
+                        self._replicas[dc].apply(row_key, VersionedValue.from_dict(version))
 
     def iter_versions(self):
-        """Yield every stored ``(dc, row_key, version)`` across replicas.
+        """Every stored ``(dc, row_key, version)`` across replicas.
 
         A read-only walk for bulk consumers (the scrubber's reference
         census) that avoids serializing the whole store the way
-        :meth:`export_state` does.
+        :meth:`export_state` does.  Materialized under the mutex so the
+        caller iterates a stable copy, not live dicts a concurrent write
+        could resize mid-walk.
         """
-        for dc, replica in self._replicas.items():
-            for row_key, row in replica.rows.items():
-                for version in row.values():
-                    yield dc, row_key, version
+        with self._mutex:
+            return [
+                (dc, row_key, version)
+                for dc, replica in self._replicas.items()
+                for row_key, row in replica.rows.items()
+                for version in row.values()
+            ]
 
     # -- introspection -------------------------------------------------------
 
     def raw_versions(self, dc: str, row_key: str) -> List[VersionedValue]:
         """All stored versions at a replica (for tests and debugging)."""
-        self._check_dc(dc)
-        return self._replicas[dc].versions(row_key)
+        with self._mutex:
+            self._check_dc(dc)
+            return self._replicas[dc].versions(row_key)
 
     def converged(self, row_key: str) -> bool:
         """True when every replica stores the identical version set."""
-        snapshots = [
-            {v.uuid for v in replica.versions(row_key)}
-            for replica in self._replicas.values()
-        ]
-        return all(s == snapshots[0] for s in snapshots)
+        with self._mutex:
+            snapshots = [
+                {v.uuid for v in replica.versions(row_key)}
+                for replica in self._replicas.values()
+            ]
+            return all(s == snapshots[0] for s in snapshots)

@@ -9,13 +9,22 @@ notes — statistics writes never conflict.  The database keeps
   (``s_i[storage], s_i[bwdin], s_i[bwdout], s_i[ops]``, Section III-A2),
 * an accessed-since index feeding the periodic optimizer (Figure 7), and
 * the raw records consumed by map-reduce class-statistics jobs (Figure 6).
+
+Every stage is safe for concurrent ingest — the statistics path is the one
+thing every foreground operation touches, so it takes only short internal
+locks and never an object or container lock (see docs/CONCURRENCY.md).
+Raw records are retained only until a class-statistics refresh consumes
+them (:meth:`StatsDatabase.consume_records` + :meth:`prune_consumed`),
+which bounds the database's memory by the traffic of one refresh interval
+rather than the lifetime of the process.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 
 @dataclass(frozen=True)
@@ -77,22 +86,41 @@ class PeriodStats:
 
 
 class StatsDatabase:
-    """Append-only statistics store with per-object histories.
+    """Statistics store with per-object histories, safe for concurrent ingest.
 
-    Thread-free single-process stand-in for the paper's Cassandra statistics
-    column family; write keys are unique by construction so there is nothing
-    to conflict (Section III-D1).
+    Single-process stand-in for the paper's Cassandra statistics column
+    family; write keys are unique by construction so there is nothing to
+    conflict (Section III-D1).  One internal mutex covers every access —
+    each operation is a handful of dict updates, so the critical sections
+    are tiny and never nest into any other lock.
+
+    Raw records live until a class-statistics refresh consumes them:
+    :meth:`consume_records` hands out the not-yet-consumed suffix and
+    :meth:`prune_consumed` drops the consumed prefix, keeping memory
+    proportional to one refresh interval's traffic.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._history: Dict[str, Dict[int, PeriodStats]] = defaultdict(dict)
         self._access_index: Dict[int, Set[str]] = defaultdict(set)
         self._records: List[LogRecord] = []
+        self._consumed = 0  # prefix of _records already folded into class stats
 
     # -- ingest ----------------------------------------------------------
 
     def apply(self, record: LogRecord) -> None:
         """Fold one log record into the per-object period statistics."""
+        with self._lock:
+            self._apply_locked(record)
+
+    def apply_many(self, records: Sequence[LogRecord]) -> None:
+        """Fold a batch atomically (one lock acquisition per shipment)."""
+        with self._lock:
+            for record in records:
+                self._apply_locked(record)
+
+    def _apply_locked(self, record: LogRecord) -> None:
         self._records.append(record)
         stats = self._history[record.object_key].setdefault(record.period, PeriodStats())
         if record.op == "get":
@@ -120,22 +148,25 @@ class StatsDatabase:
         """
         if length < 1:
             raise ValueError("length must be >= 1")
-        series = self._history.get(object_key, {})
-        return [
-            series.get(p, PeriodStats())
-            for p in range(end_period - length + 1, end_period + 1)
-        ]
+        with self._lock:
+            series = self._history.get(object_key, {})
+            return [
+                series.get(p, PeriodStats())
+                for p in range(end_period - length + 1, end_period + 1)
+            ]
 
     def known_periods(self, object_key: str) -> List[int]:
         """Periods with recorded activity for the object, sorted."""
-        return sorted(self._history.get(object_key, {}))
+        with self._lock:
+            return sorted(self._history.get(object_key, {}))
 
     def history_depth(self, object_key: str, end_period: int) -> int:
         """Number of periods since the object's first recorded activity."""
-        periods = self._history.get(object_key)
-        if not periods:
-            return 0
-        return max(0, end_period - min(periods) + 1)
+        with self._lock:
+            periods = self._history.get(object_key)
+            if not periods:
+                return 0
+            return max(0, end_period - min(periods) + 1)
 
     # -- optimizer feed -----------------------------------------------------
 
@@ -146,59 +177,109 @@ class StatsDatabase:
         each optimization round (Figure 7).
         """
         keys: Set[str] = set()
-        for period in range(start_period, end_period + 1):
-            keys |= self._access_index.get(period, set())
+        with self._lock:
+            for period in range(start_period, end_period + 1):
+                keys |= self._access_index.get(period, set())
         return keys
 
     # -- map-reduce feed ------------------------------------------------------
 
     def iter_records(self) -> Iterable[LogRecord]:
-        """All raw records, in ingest order (map-reduce input)."""
-        return iter(self._records)
+        """All retained raw records, in ingest order (map-reduce input)."""
+        with self._lock:
+            return iter(list(self._records))
 
     def record_count(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
+
+    # -- retention ----------------------------------------------------------
+
+    def consume_records(self) -> List[LogRecord]:
+        """Raw records appended since the previous consumption, in order.
+
+        The class-statistics refresh calls this to fold *new* activity
+        into its per-class accumulators; the returned records stay in the
+        database (visible to :meth:`iter_records`) until
+        :meth:`prune_consumed` reclaims them.
+        """
+        with self._lock:
+            new = self._records[self._consumed:]
+            self._consumed = len(self._records)
+            return new
+
+    def prune_consumed(self) -> int:
+        """Drop the raw records already consumed by a class refresh.
+
+        Returns how many records were reclaimed.  Per-object period
+        histories and the access index are untouched — only the raw
+        map-reduce feed is bounded here.
+        """
+        with self._lock:
+            pruned = self._consumed
+            if pruned:
+                del self._records[:pruned]
+                self._consumed = 0
+            return pruned
 
 
 class LogAggregator:
-    """Collects record batches from agents and writes them to the database."""
+    """Collects record batches from agents and writes them to the database.
+
+    Shipments from concurrent agents land atomically (the database folds a
+    batch under one lock acquisition), so a half-visible batch can never
+    skew a class refresh running in between.
+    """
 
     def __init__(self, db: StatsDatabase) -> None:
         self._db = db
+        self._lock = threading.Lock()
         self.batches_received = 0
 
     def collect(self, records: Iterable[LogRecord]) -> None:
-        self.batches_received += 1
-        for record in records:
-            self._db.apply(record)
+        batch = list(records)
+        with self._lock:
+            self.batches_received += 1
+        if batch:
+            self._db.apply_many(batch)
 
 
 class LogAgent:
-    """Per-engine buffered log shipper.
+    """Per-engine buffered log shipper, safe for concurrent callers.
 
     ``auto_flush_at`` bounds buffering (a real Flume/Scribe agent ships
-    continuously; tests exercise explicit flushes too).
+    continuously; tests exercise explicit flushes too).  The buffer is
+    guarded by a private mutex: several request threads routed onto the
+    same engine may log at once, and a flush must never ship a record
+    twice or drop one that raced the swap.
     """
 
     def __init__(self, aggregator: LogAggregator, auto_flush_at: int = 64) -> None:
         if auto_flush_at < 1:
             raise ValueError("auto_flush_at must be >= 1")
         self._aggregator = aggregator
+        self._lock = threading.Lock()
         self._buffer: List[LogRecord] = []
         self._auto_flush_at = auto_flush_at
 
     def log(self, record: LogRecord) -> None:
         """Buffer one record, shipping the batch when the buffer is full."""
-        self._buffer.append(record)
-        if len(self._buffer) >= self._auto_flush_at:
-            self.flush()
+        with self._lock:
+            self._buffer.append(record)
+            if len(self._buffer) < self._auto_flush_at:
+                return
+            batch, self._buffer = self._buffer, []
+        self._aggregator.collect(batch)
 
     def flush(self) -> None:
         """Ship all buffered records to the aggregator."""
-        if self._buffer:
-            self._aggregator.collect(self._buffer)
-            self._buffer = []
+        with self._lock:
+            if not self._buffer:
+                return
+            batch, self._buffer = self._buffer, []
+        self._aggregator.collect(batch)
 
     @property
     def buffered(self) -> int:
-        return len(self._buffer)
+        with self._lock:
+            return len(self._buffer)

@@ -8,6 +8,7 @@ facade tying everything to the cluster substrate.
 """
 
 from repro.core.broker import BrokerCosts, CorePlanner, Scalia
+from repro.core.controlplane import BackgroundControlPlane
 from repro.core.classifier import (
     ClassProfile,
     ClassStatistics,
@@ -50,6 +51,7 @@ __all__ = [
     "Scalia",
     "CorePlanner",
     "BrokerCosts",
+    "BackgroundControlPlane",
     "StorageRule",
     "RuleBook",
     "PAPER_RULES",

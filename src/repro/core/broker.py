@@ -174,6 +174,8 @@ class Scalia:
         data_dir: Optional[str] = None,
         storage_sync: str = "os",
         stripe_size_bytes: int = DEFAULT_STRIPE_SIZE,
+        optimizer_batch_size: int = 64,
+        scrub_batch_size: int = 64,
     ) -> None:
         if stripe_size_bytes < 1:
             raise ValueError("stripe_size_bytes must be >= 1")
@@ -249,11 +251,14 @@ class Scalia:
             dynamic_limit=dynamic_trend_limit,
             repair_strategy=repair_strategy,
             benefit_horizon_periods=benefit_horizon_periods,
+            batch_size=optimizer_batch_size,
         )
         self._period = 0
         self._now = 0.0
         self.reports: List[OptimizationReport] = []
-        self.scrubber = Scrubber(self.cluster, self.registry)
+        self.scrubber = Scrubber(
+            self.cluster, self.registry, batch_size=scrub_batch_size
+        )
         self.recovery: Optional[dict] = None
         if self.durability is not None:
             # Replay snapshot + WAL into the fresh substrate, then hook the
@@ -261,12 +266,20 @@ class Scalia:
             self.recovery = self.durability.recover(self)
             self.durability.attach(self)
         self._closed = False
-        # Concurrency hook: the broker itself is single-threaded (even reads
-        # mutate log buffers, caches and round-robin cursors), so concurrent
-        # callers — the HTTP gateway's BrokerFrontend, or any in-process
-        # user sharing a broker across threads — must hold this lock around
-        # every call.  Reentrant so nested broker calls under one holder work.
+        # The broker is thread-safe on its own: the data plane coordinates
+        # through the cluster's striped object/container locks, every
+        # shared structure (metadata, statistics, caches, meters, queues)
+        # takes short internal locks, and the control plane (tick,
+        # optimizer, scrubber) runs as incremental background work under
+        # the same per-object locks.  See docs/CONCURRENCY.md for the
+        # hierarchy.  This coarse lock remains only for legacy callers
+        # (and the gateway frontend's compatibility "lock" mode) that
+        # still want pre-concurrency serialize-everything behaviour.
         self.lock = threading.RLock()
+        # Serializes clock advancement: concurrent tick() calls close
+        # periods one after the other instead of interleaving the
+        # flush/refresh/optimize/flush sequence of one period.
+        self._tick_lock = threading.Lock()
 
     # -- clock ------------------------------------------------------------
 
@@ -337,6 +350,19 @@ class Scalia:
         """Serve ``count`` identical reads, billed exactly (burst batching)."""
         return self.cluster.route(dc).get_many(
             container, key, count, now=self._now, period=self._period
+        )
+
+    def get_with_meta(
+        self, container: str, key: str, *, dc: Optional[str] = None
+    ) -> Tuple[object, ObjectMeta]:
+        """Payload plus metadata, atomically from one committed version.
+
+        Unlike a separate ``get`` + ``head`` pair, a concurrent re-put
+        cannot slip between the two — the gateway uses this so response
+        headers always describe the body actually sent.
+        """
+        return self.cluster.route(dc).get_with_meta(
+            container, key, now=self._now, period=self._period
         )
 
     def open_read(
@@ -468,27 +494,55 @@ class Scalia:
 
     # -- simulation advance -----------------------------------------------------
 
-    def tick(self, periods: int = 1) -> List[OptimizationReport]:
-        """Close ``periods`` sampling periods, running the Figure-7 loop."""
+    def tick(
+        self,
+        periods: int = 1,
+        *,
+        optimizer_yield_fn=None,
+    ) -> List[OptimizationReport]:
+        """Close ``periods`` sampling periods, running the Figure-7 loop.
+
+        Safe to call while foreground traffic is in flight: the optimizer
+        claims objects in batches under their striped locks (a client
+        operation waits for at most one in-flight migration, never the
+        round), and concurrent ticks serialize on the tick mutex.  After
+        a class-statistics refresh consumes the raw log records, the
+        statistics database prunes them, keeping its memory bounded by
+        one refresh interval's traffic.
+
+        ``optimizer_yield_fn`` is this call's between-batches hook (the
+        background control plane passes its stop probe here — a per-call
+        argument, so a concurrent manual tick never inherits it).  An
+        abort raised from the hook leaves the clock, period counter and
+        report list consistent: fully-closed periods keep their reports,
+        and the aborted period's clock advance is rolled back.
+        """
         new_reports: List[OptimizationReport] = []
-        for _ in range(periods):
-            self._now += self.sampling_period_hours
-            self.cluster.flush_logs()
-            if self._period % max(1, self.class_refresh_every) == 0:
-                self.class_stats.refresh(self.cluster.stats, self._period)
-            if self.enable_optimizer:
-                report = self.optimizer.run(self._now, self._period)
-            else:
-                report = OptimizationReport(period=self._period)
-            new_reports.append(report)
-            for engine in self.cluster.all_engines():
-                engine.flush_pending_deletes()
-                break  # the queue is shared; one flush suffices
-            self.registry.on_period(self._period, self.sampling_period_hours)
-            if self.durability is not None:
-                self.durability.on_period_closed(self, self._period)
-            self._period += 1
-        self.reports.extend(new_reports)
+        with self._tick_lock:
+            for _ in range(periods):
+                now = self._now + self.sampling_period_hours
+                self.cluster.flush_logs()
+                if self._period % max(1, self.class_refresh_every) == 0:
+                    self.class_stats.refresh(self.cluster.stats, self._period)
+                    self.cluster.stats.prune_consumed()
+                if self.enable_optimizer:
+                    report = self.optimizer.run(
+                        now, self._period, yield_fn=optimizer_yield_fn
+                    )
+                else:
+                    report = OptimizationReport(period=self._period)
+                self._now = now
+                # The pending-delete queue is shared cluster-wide: flush it
+                # once, explicitly, rather than through any one engine.
+                self.cluster.pending_deletes.flush(self.registry)
+                self.registry.on_period(self._period, self.sampling_period_hours)
+                if self.durability is not None:
+                    self.durability.on_period_closed(self, self._period)
+                self._period += 1
+                # Commit per period: an abort mid multi-period call must
+                # not drop the reports of periods already closed.
+                new_reports.append(report)
+                self.reports.append(report)
         return new_reports
 
     # -- storage engine ------------------------------------------------------
@@ -496,8 +550,11 @@ class Scalia:
     def scrub(self, *, repair: bool = True) -> ScrubReport:
         """Run one integrity pass over every stored chunk (and repair).
 
-        Callers sharing the broker across threads must hold
-        :attr:`lock` (the gateway frontend does).
+        Safe to run concurrently with client traffic: each object is
+        verified/repaired under its striped object lock, the orphan sweep
+        respects the in-flight write registry, and the pass yields
+        between batches (``scrub_batch_size``) so foreground operations
+        never wait for more than one object's scrub.
         """
         return self.scrubber.scrub(repair=repair)
 
@@ -506,7 +563,7 @@ class Scalia:
         return {
             "durable": self.durability is not None,
             "backends": {
-                p.name: p.backend.stats() for p in self.registry.providers()
+                p.name: p.backend_stats() for p in self.registry.providers()
             },
             "durability": self.durability.stats() if self.durability else None,
             "recovery": self.recovery,

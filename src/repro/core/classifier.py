@@ -11,6 +11,7 @@ and the time-left-to-live estimate that bounds the decision period.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -90,78 +91,123 @@ def _class_stats_mapper(record):
     return out
 
 
+class _ClassAccumulator:
+    """Incremental per-class fold of the Figure-6 reducer.
+
+    Holds exactly the state the one-shot reducer derived from the full
+    record history, updated record batch by record batch — which is what
+    lets the statistics database prune raw records once a refresh has
+    consumed them, bounding its memory by one refresh interval's traffic
+    instead of the lifetime of the process.  Memory here grows with the
+    number of *objects and deletions* of the class, not with operations.
+    """
+
+    __slots__ = ("first_seen", "deleted_at", "reads", "writes",
+                 "size_sum", "size_count", "lifetimes")
+
+    def __init__(self) -> None:
+        self.first_seen: Dict[str, int] = {}
+        self.deleted_at: Dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.size_sum = 0.0
+        self.size_count = 0
+        self.lifetimes: List[float] = []
+
+    def fold(self, values: List[tuple]) -> "_ClassAccumulator":
+        for value in values:
+            kind = value[0]
+            if kind == "op":
+                _, obj, period, op, count = value
+                seen = self.first_seen.get(obj)
+                self.first_seen[obj] = period if seen is None else min(seen, period)
+                if op == "get":
+                    self.reads += count
+                elif op == "put":
+                    self.writes += count
+                elif op == "delete":
+                    self.deleted_at[obj] = period
+                # "insert" marks the span only: one per object, not a
+                # recurring write.
+            elif kind == "size":
+                self.size_sum += value[1]
+                self.size_count += 1
+            else:  # "life"
+                self.lifetimes.append(value[1])
+        return self
+
+    def profile(self, class_key: str, current_period: int) -> ClassProfile:
+        object_periods = 0
+        for obj, first in self.first_seen.items():
+            end = self.deleted_at.get(obj, current_period)
+            object_periods += max(1, end - first + 1)
+        return ClassProfile(
+            class_key=class_key,
+            n_objects=len(self.first_seen),
+            mean_size=self.size_sum / self.size_count if self.size_count else 0.0,
+            reads_per_object_period=self.reads / object_periods if object_periods else 0.0,
+            writes_per_object_period=self.writes / object_periods if object_periods else 0.0,
+            lifetimes=np.sort(np.asarray(self.lifetimes)),
+        )
+
+
 class ClassStatistics:
     """Per-class profiles refreshed by a map-reduce job over the stats DB.
 
     *Priors* model the paper's training phase (Section III-A1): operators
     who already know a class's behaviour seed it, and the prior answers
     until live records produce a refreshed profile for that class.
+
+    Refreshes are *incremental*: each one consumes only the records
+    appended since the previous refresh (via
+    :meth:`~repro.cluster.statistics.StatsDatabase.consume_records`) and
+    folds them into persistent per-class accumulators, so the database
+    may prune consumed records without the profiles forgetting history.
+    Profile reads are safe concurrently with a refresh.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._accumulators: Dict[str, _ClassAccumulator] = {}
         self._profiles: Dict[str, ClassProfile] = {}
         self._priors: Dict[str, ClassProfile] = {}
         self.refreshes = 0
 
     def seed(self, profile: ClassProfile) -> None:
         """Install a prior profile for a class (the training-phase shortcut)."""
-        self._priors[profile.class_key] = profile
+        with self._lock:
+            self._priors[profile.class_key] = profile
 
     def refresh(self, db: StatsDatabase, current_period: int) -> None:
-        """Recompute every class profile from the raw log records.
+        """Fold the new log records into every class profile.
 
         "The statistics and distributions of the classes of objects are
         periodically refreshed using map-reduce jobs" (Section III-A1).
+        Every profile is rebuilt even when a class saw no new records —
+        the per-object-period rates depend on ``current_period``.
         """
-
-        def reducer(class_key: str, values: List[tuple]) -> ClassProfile:
-            first_seen: Dict[str, int] = {}
-            last_period: Dict[str, int] = {}
-            deleted_at: Dict[str, int] = {}
-            reads = writes = 0
-            sizes: List[float] = []
-            lifetimes: List[float] = []
-            for value in values:
-                kind = value[0]
-                if kind == "op":
-                    _, obj, period, op, count = value
-                    first_seen[obj] = min(first_seen.get(obj, period), period)
-                    last_period[obj] = max(last_period.get(obj, period), period)
-                    if op == "get":
-                        reads += count
-                    elif op == "put":
-                        writes += count
-                    elif op == "delete":
-                        deleted_at[obj] = period
-                    # "insert" marks the span only: one per object, not a
-                    # recurring write.
-                elif kind == "size":
-                    sizes.append(value[1])
-                else:  # "life"
-                    lifetimes.append(value[1])
-            object_periods = 0
-            for obj, first in first_seen.items():
-                end = deleted_at.get(obj, current_period)
-                object_periods += max(1, end - first + 1)
-            return ClassProfile(
-                class_key=class_key,
-                n_objects=len(first_seen),
-                mean_size=float(np.mean(sizes)) if sizes else 0.0,
-                reads_per_object_period=reads / object_periods if object_periods else 0.0,
-                writes_per_object_period=writes / object_periods if object_periods else 0.0,
-                lifetimes=np.sort(np.asarray(lifetimes)),
+        records = db.consume_records()
+        with self._lock:
+            job = MapReduceJob(
+                mapper=_class_stats_mapper,
+                reducer=lambda class_key, values: self._accumulators.setdefault(
+                    class_key, _ClassAccumulator()
+                ).fold(values),
             )
-
-        job = MapReduceJob(mapper=_class_stats_mapper, reducer=reducer)
-        self._profiles = run_mapreduce(job, list(db.iter_records()))
-        self.refreshes += 1
+            run_mapreduce(job, records)
+            self._profiles = {
+                class_key: acc.profile(class_key, current_period)
+                for class_key, acc in self._accumulators.items()
+            }
+            self.refreshes += 1
 
     def profile(self, class_key: str) -> Optional[ClassProfile]:
         """The class profile: live statistics, else the seeded prior."""
-        live = self._profiles.get(class_key)
-        if live is not None:
-            return live
-        return self._priors.get(class_key)
+        with self._lock:
+            live = self._profiles.get(class_key)
+            if live is not None:
+                return live
+            return self._priors.get(class_key)
 
     def expected_remaining(
         self, class_key: str, age_hours: float
@@ -173,4 +219,5 @@ class ClassStatistics:
         return profile.expected_remaining(age_hours)
 
     def classes(self) -> List[str]:
-        return sorted(set(self._profiles) | set(self._priors))
+        with self._lock:
+            return sorted(set(self._profiles) | set(self._priors))

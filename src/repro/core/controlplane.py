@@ -1,0 +1,168 @@
+"""The background control plane: tick and scrub as real-time workers.
+
+The paper's architecture (Section III-C) runs the adaptive optimization
+loop in the background on an elected leader *while* the engines keep
+serving clients.  Simulations drive that loop explicitly through
+:meth:`Scalia.tick`; a long-running deployment (``repro serve``) wants it
+driven by wall-clock time instead.  :class:`BackgroundControlPlane` owns
+two daemon threads:
+
+* a **ticker** that closes one sampling period every ``tick_interval``
+  seconds — flushing statistics, refreshing class profiles and running
+  the batched optimization round;
+* a **scrubber** that runs one full integrity pass (verify + repair +
+  orphan sweep) every ``scrub_interval`` seconds.
+
+Both reuse the broker's incremental workers, so every batch of row keys
+is claimed under the cluster's striped object locks and the foreground
+request path is stalled for at most one object at a time (the bounded
+stall contract of docs/CONCURRENCY.md).  Between batches the workers
+call a yield hook that also observes the stop flag, which is why
+:meth:`stop` interrupts even a long round promptly at the next batch
+boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.broker import Scalia
+
+
+class ControlPlaneStopped(Exception):
+    """Internal signal: the worker observed the stop flag mid-round."""
+
+
+class BackgroundControlPlane:
+    """Runs the broker's periodic work on daemon threads.
+
+    ``tick_interval`` / ``scrub_interval`` are seconds of wall time;
+    ``None`` disables the respective worker.  Exceptions from a round are
+    recorded (``last_tick_error`` / ``last_scrub_error``) and the worker
+    keeps going — a transient provider outage must not silence the
+    control plane forever.
+    """
+
+    def __init__(
+        self,
+        broker: "Scalia",
+        *,
+        tick_interval: Optional[float] = None,
+        scrub_interval: Optional[float] = None,
+    ) -> None:
+        if tick_interval is not None and tick_interval <= 0:
+            raise ValueError("tick_interval must be > 0 seconds")
+        if scrub_interval is not None and scrub_interval <= 0:
+            raise ValueError("scrub_interval must be > 0 seconds")
+        self.broker = broker
+        self.tick_interval = tick_interval
+        self.scrub_interval = scrub_interval
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.ticks_run = 0
+        self.scrubs_run = 0
+        self.last_tick_error: Optional[BaseException] = None
+        self.last_scrub_error: Optional[BaseException] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    def start(self) -> "BackgroundControlPlane":
+        if self.running:
+            raise RuntimeError("control plane already started")
+        self._stop.clear()
+        self._threads = []
+        if self.tick_interval is not None:
+            self._threads.append(
+                threading.Thread(
+                    target=self._loop,
+                    args=(self.tick_interval, self._tick_once),
+                    name="scalia-ticker",
+                    daemon=True,
+                )
+            )
+        if self.scrub_interval is not None:
+            self._threads.append(
+                threading.Thread(
+                    target=self._loop,
+                    args=(self.scrub_interval, self._scrub_once),
+                    name="scalia-scrubber",
+                    daemon=True,
+                )
+            )
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal both workers and join them.
+
+        A worker mid-round exits at its next batch boundary (the yield
+        hook raises), so stop latency is bounded by one batch, not one
+        round.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def __enter__(self) -> "BackgroundControlPlane":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- workers -----------------------------------------------------------
+
+    def _yield_hook(self) -> None:
+        """Between-batches hook: bail out promptly when stopping."""
+        if self._stop.is_set():
+            raise ControlPlaneStopped
+
+    def _loop(self, interval: float, work) -> None:
+        while not self._stop.wait(interval):
+            work()
+
+    def _tick_once(self) -> None:
+        try:
+            # The hook rides this call only — a concurrent manual tick
+            # (gateway POST /tick) must never inherit our stop probe.
+            self.broker.tick(optimizer_yield_fn=self._yield_hook)
+            self.ticks_run += 1
+            self.last_tick_error = None
+        except ControlPlaneStopped:
+            pass
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            self.last_tick_error = exc
+
+    def _scrub_once(self) -> None:
+        try:
+            self.broker.scrubber.scrub(repair=True, yield_fn=self._yield_hook)
+            self.scrubs_run += 1
+            self.last_scrub_error = None
+        except ControlPlaneStopped:
+            pass
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            self.last_scrub_error = exc
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "running": self.running,
+            "tick_interval_s": self.tick_interval,
+            "scrub_interval_s": self.scrub_interval,
+            "ticks_run": self.ticks_run,
+            "scrubs_run": self.scrubs_run,
+            "last_tick_error": (
+                repr(self.last_tick_error) if self.last_tick_error else None
+            ),
+            "last_scrub_error": (
+                repr(self.last_scrub_error) if self.last_scrub_error else None
+            ),
+        }

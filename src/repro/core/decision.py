@@ -11,6 +11,7 @@ D is always clamped to ``[1, min(TTL_obj, |H_obj|)]``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -25,7 +26,13 @@ class DecisionState:
 
 
 class DecisionPeriodController:
-    """Tracks and adapts ``D_obj`` and ``T`` for every object."""
+    """Tracks and adapts ``D_obj`` and ``T`` for every object.
+
+    Thread-safe: per-object state creation and every read-modify-write of
+    a :class:`DecisionState` happen under one internal mutex, so the
+    foreground placement path (reading ``current_d``) and the background
+    optimizer (running the coupling) can share the controller.
+    """
 
     def __init__(
         self, initial_d: int = 24, t_max: int = 1024, adaptive: bool = True
@@ -37,19 +44,22 @@ class DecisionPeriodController:
         self.initial_d = initial_d
         self.t_max = t_max
         self.adaptive = adaptive  # False pins D to initial_d (ablation mode)
+        self._lock = threading.RLock()
         self._states: Dict[str, DecisionState] = {}
 
     def state(self, key: str) -> DecisionState:
         """The (lazily created) state of one object."""
-        st = self._states.get(key)
-        if st is None:
-            st = DecisionState(d=self.initial_d)
-            self._states[key] = st
-        return st
+        with self._lock:
+            st = self._states.get(key)
+            if st is None:
+                st = DecisionState(d=self.initial_d)
+                self._states[key] = st
+            return st
 
     def current_d(self, key: str, max_d: Optional[int] = None) -> int:
         """The object's decision period, clamped to ``[1, max_d]``."""
-        d = self.state(key).d
+        with self._lock:
+            d = self.state(key).d
         if max_d is not None:
             d = min(d, max(1, max_d))
         return max(1, d)
@@ -58,8 +68,9 @@ class DecisionPeriodController:
         """True when this optimization must run the D/2-D-2D coupling."""
         if not self.adaptive:
             return False
-        st = self.state(key)
-        return st.optimizations_since_coupling % st.t == 0
+        with self._lock:
+            st = self.state(key)
+            return st.optimizations_since_coupling % st.t == 0
 
     def candidates(self, key: str, max_d: Optional[int] = None) -> List[int]:
         """Candidate decision periods for this optimization.
@@ -69,11 +80,12 @@ class DecisionPeriodController:
         ``min(TTL_obj, |H_obj|)`` supplied by the caller, and deduplicated
         in increasing order.
         """
-        st = self.state(key)
-        if self.coupling_due(key):
-            raw = [max(1, st.d // 2), st.d, st.d * 2]
-        else:
-            raw = [st.d]
+        with self._lock:
+            st = self.state(key)
+            if self.coupling_due(key):
+                raw = [max(1, st.d // 2), st.d, st.d * 2]
+            else:
+                raw = [st.d]
         cap = max(1, max_d) if max_d is not None else None
         clamped = {min(d, cap) if cap is not None else d for d in raw}
         return sorted(max(1, d) for d in clamped)
@@ -85,15 +97,17 @@ class DecisionPeriodController:
         the decision period was adequate (unchanged), else resets to 1 and
         D moves to the winner.
         """
-        st = self.state(key)
-        if chosen_d is not None:
-            if chosen_d == st.d:
-                st.t = min(st.t * 2, self.t_max)
-            else:
-                st.t = 1
-                st.d = max(1, chosen_d)
-            st.optimizations_since_coupling = 0
-        st.optimizations_since_coupling += 1
+        with self._lock:
+            st = self.state(key)
+            if chosen_d is not None:
+                if chosen_d == st.d:
+                    st.t = min(st.t * 2, self.t_max)
+                else:
+                    st.t = 1
+                    st.d = max(1, chosen_d)
+                st.optimizations_since_coupling = 0
+            st.optimizations_since_coupling += 1
 
     def tracked_objects(self) -> List[str]:
-        return sorted(self._states)
+        with self._lock:
+            return sorted(self._states)

@@ -16,13 +16,22 @@ Every optimization round:
    next decision period covers the migration cost — except for *repairs*
    (a placement referencing a failed provider), which migrate immediately
    under the ``repair`` strategy.
+
+A round runs as an **incremental background worker**: the assigned row
+keys are processed in small batches (``batch_size``), each object's
+migration takes only that object's striped lock (inside
+``Engine.migrate``), and the optimizer yields between batches
+(``yield_fn``).  A concurrent client operation therefore waits at most
+for the single object the optimizer is currently moving — never for the
+whole round, however many thousand objects it examines.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.datacenter import ScaliaCluster
 from repro.cluster.engine import Engine, PlacementError, ReadFailedError
@@ -84,11 +93,15 @@ class PeriodicOptimizer:
         dynamic_limit: bool = False,
         repair_strategy: str = "repair",
         benefit_horizon_periods: int = 8760,
+        batch_size: int = 64,
+        yield_fn: Optional[Callable[[], None]] = None,
     ) -> None:
         if repair_strategy not in ("repair", "wait"):
             raise ValueError("repair_strategy must be 'repair' or 'wait'")
         if benefit_horizon_periods < 1:
             raise ValueError("benefit_horizon_periods must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.cluster = cluster
         self.registry = registry
         self.rules = rules
@@ -103,6 +116,9 @@ class PeriodicOptimizer:
         self.repair_strategy = repair_strategy
         self._class_limits: Dict[str, float] = {}
         self.benefit_horizon_periods = benefit_horizon_periods
+        self.batch_size = batch_size
+        self.yield_fn = yield_fn
+        self._run_lock = threading.Lock()
         self._detectors: Dict[str, MomentumDetector] = {}
         self._fed_upto: Dict[str, int] = {}
         self._last_run_period: int = -1
@@ -110,8 +126,40 @@ class PeriodicOptimizer:
 
     # ------------------------------------------------------------------
 
-    def run(self, now: float, period: int) -> OptimizationReport:
-        """Execute one optimization round at the end of ``period``."""
+    def run(
+        self,
+        now: float,
+        period: int,
+        *,
+        batch_size: Optional[int] = None,
+        yield_fn: Optional[Callable[[], None]] = None,
+    ) -> OptimizationReport:
+        """Execute one optimization round at the end of ``period``.
+
+        The round claims row keys in batches of ``batch_size`` (the
+        constructor default unless overridden); each object is optimized
+        — and, when worthwhile, migrated — under its own striped object
+        lock, and ``yield_fn`` runs between batches holding no locks at
+        all.  Foreground traffic is therefore blocked by at most one
+        in-flight migration, never a whole round.  Rounds serialize on an
+        internal mutex (two concurrent ticks cannot interleave one
+        round's bookkeeping).
+        """
+        with self._run_lock:
+            return self._run_round(
+                now,
+                period,
+                batch_size if batch_size is not None else self.batch_size,
+                yield_fn if yield_fn is not None else self.yield_fn,
+            )
+
+    def _run_round(
+        self,
+        now: float,
+        period: int,
+        batch_size: int,
+        yield_fn: Optional[Callable[[], None]],
+    ) -> OptimizationReport:
         self.cluster.heartbeat_all(now)
         leader = self.cluster.leader_engine(now)
         report = OptimizationReport(period=period)
@@ -131,8 +179,16 @@ class PeriodicOptimizer:
         assignments: Dict[str, List[str]] = {e.engine_id: [] for e in engines}
         for i, row_key in enumerate(sorted(keys)):
             assignments[engines[i % len(engines)].engine_id].append(row_key)
-        for engine in engines:
-            for row_key in assignments[engine.engine_id]:
+        work = [
+            (engine, row_key)
+            for engine in engines
+            for row_key in assignments[engine.engine_id]
+        ]
+        batch_size = max(1, batch_size)
+        for start in range(0, len(work), batch_size):
+            if start and yield_fn is not None:
+                yield_fn()  # no locks held: the foreground drains freely
+            for engine, row_key in work[start:start + batch_size]:
                 outcome = self._optimize_object(
                     engine, row_key, now, period, pool_changed
                 )
@@ -279,7 +335,7 @@ class PeriodicOptimizer:
             rate = decision.expected_cost / d
             if rate < best_rate - 1e-18 or (
                 rate <= best_rate and best is not None
-                and self.placement_engine._better(decision, best)
+                and self.placement_engine.better(decision, best)
             ):
                 best, best_rate, best_d = decision, rate, d
         outcome.recomputed = True

@@ -78,7 +78,10 @@ class PlacementEngine:
         """Largest erasure threshold m this set supports under the rule.
 
         Returns 0 when the set cannot satisfy durability (and, in refined
-        mode, availability) even at m = 1.  Memoized per (set, SLA) pair.
+        mode, availability) even at m = 1.  Memoized per (set, SLA) pair;
+        safe under concurrent planners — a cache race at worst recomputes
+        the same pure function, and the guarded clear cannot race an
+        in-progress lookup into a KeyError because lookups use ``get``.
         """
         key = (tuple(specs), rule.durability, rule.availability)
         cached = self._threshold_cache.get(key)
@@ -160,7 +163,7 @@ class PlacementEngine:
         for decision in self.enumerate_feasible(
             specs, rule, projection, horizon_periods, exclude=exclude
         ):
-            if best is None or self._better(decision, best):
+            if best is None or self.better(decision, best):
                 best = decision
         if best is None:
             raise PlacementError(
@@ -170,11 +173,20 @@ class PlacementEngine:
         return best
 
     @staticmethod
-    def _better(a: PlacementDecision, b: PlacementDecision) -> bool:
-        """Deterministic strict ordering: cost, then n, then names."""
+    def better(a: PlacementDecision, b: PlacementDecision) -> bool:
+        """True when decision ``a`` strictly beats decision ``b``.
+
+        The deterministic total order every search and tie-break in the
+        system uses: cheaper expected cost first, then fewer providers,
+        then lexicographic provider names.  Public because the periodic
+        optimizer breaks equal-rate ties with the same ordering.
+        """
         ka = (a.expected_cost, a.placement.n, a.placement.providers)
         kb = (b.expected_cost, b.placement.n, b.placement.providers)
         return ka < kb
+
+    # Backwards-compatible alias (pre-dates the public promotion).
+    _better = better
 
     # -- heuristic search (knapsack-style scalability note) --------------------
 
@@ -232,7 +244,7 @@ class PlacementEngine:
                     projection,
                     horizon_periods,
                 )
-                if decision is not None and self._better(decision, current):
+                if decision is not None and self.better(decision, current):
                     current = decision
                     names = set(decision.placement.providers)
                     improved = True

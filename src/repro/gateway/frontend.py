@@ -1,31 +1,32 @@
-"""The concurrency layer between the HTTP gateway and the broker.
+"""The thin dispatch layer between the HTTP gateway and the broker.
 
-The seed broker was written for single-threaded simulation: *reads* mutate
-shared state too (log buffers, round-robin cursors, the cache), so a
-classic reader/writer lock cannot admit concurrent readers safely — the
-"read" path is a writer.  :class:`BrokerFrontend` therefore offers the two
-serialization strategies the gateway benchmark compares:
+The broker is thread-safe on its own contract: striped per-object locks,
+a shared/exclusive container lock for listings, internally locked
+statistics/metadata/meter structures, and a background control plane that
+claims objects in batches (docs/CONCURRENCY.md).  The frontend therefore
+no longer serializes anything by default — it maps tenant namespaces,
+translates errors, and counts operations:
+
+``direct`` (default)
+    Every request thread calls straight into the broker; non-conflicting
+    operations on different keys run in parallel under the broker's own
+    lock hierarchy.
 
 ``lock``
-    Coarse exclusive locking: every operation runs under the broker's own
-    :attr:`Scalia.lock` on the calling thread.  Zero handoff overhead; the
-    OS scheduler arbitrates between request threads.
+    The pre-concurrency behaviour, kept as a compatibility shim: every
+    operation runs under the coarse :attr:`Scalia.lock`.  Useful as the
+    benchmark's global-lock baseline and for bisecting suspected
+    concurrency bugs.
 
 ``queue``
-    Single-writer dispatch: one worker thread owns the broker and drains a
-    job queue; request threads enqueue a closure and block on a future.
-    Statistics recording stays batched on the single writer (the engines'
-    ``LogAgent`` buffers already batch flushes), and the broker never sees
-    two frames of its own code interleaved.
+    Single-writer dispatch, kept as a compatibility shim: one worker
+    thread owns the broker and drains a job queue; request threads
+    enqueue a closure and block on a future.  The shape a deployment
+    with a non-thread-safe broker core would need.
 
-``bench_gateway_throughput.py`` measures both; ``lock`` wins on CPython
-(no queue handoff per request) and is the default.  Both are kept because
-the queue mode is the shape a real deployment with a non-reentrant broker
-core would need, and the hammer tests assert both stay consistent.
-
-Every operation also bumps the frontend's own counters inside the
-serialized region, which is what the concurrency tests check for lost
-updates.
+``bench_gateway_throughput.py`` measures all three; the hammer tests
+assert they stay consistent.  Operation/error counters are updated under
+a dedicated counter mutex so no mode loses updates.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from __future__ import annotations
 import queue
 import threading
 from concurrent.futures import Future
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster.engine import InvalidRangeError, ObjectNotFoundError, ReadPlan
@@ -51,8 +53,10 @@ from repro.types import ListPage, ObjectMeta
 
 _SHUTDOWN = object()
 
-#: Serialization strategies understood by :class:`BrokerFrontend`.
-MODES = ("lock", "queue")
+#: Dispatch strategies understood by :class:`BrokerFrontend`.  ``direct``
+#: relies on the broker's own concurrency contract; ``lock`` and
+#: ``queue`` are the legacy serialize-everything compatibility shims.
+MODES = ("direct", "lock", "queue")
 
 
 class FrontendClosedError(RuntimeError):
@@ -66,7 +70,7 @@ class BrokerFrontend:
         self,
         broker: Optional[Scalia] = None,
         *,
-        mode: str = "lock",
+        mode: str = "direct",
         mapper: Optional[NamespaceMapper] = None,
     ) -> None:
         if mode not in MODES:
@@ -76,6 +80,7 @@ class BrokerFrontend:
         self.mapper = mapper if mapper is not None else NamespaceMapper()
         self.op_counts: Dict[str, int] = {}
         self.error_counts: Dict[str, int] = {}
+        self._counter_lock = threading.Lock()
         self._closed = False
         # Orders queue submissions against close(): holding it guarantees
         # no job can be enqueued after the shutdown sentinel (a job landing
@@ -91,14 +96,17 @@ class BrokerFrontend:
             )
             self._worker.start()
 
-    # -- serialized execution -------------------------------------------
+    # -- dispatch ---------------------------------------------------------
 
     def _run(self, op: str, fn: Callable[[], Any]) -> Any:
-        """Run ``fn`` serialized against every other broker operation."""
-        if self.mode == "lock":
+        """Run ``fn`` under the mode's dispatch strategy."""
+        if self.mode in ("direct", "lock"):
             if self._closed:
                 raise FrontendClosedError("frontend is closed")
-            with self.broker.lock:
+            # direct: the broker's striped locks do the real coordination;
+            # lock: legacy coarse serialization for baselines and bisects.
+            hold = self.broker.lock if self.mode == "lock" else nullcontext()
+            with hold:
                 return self._execute(op, fn)
         future: Future = Future()
         with self._submit_lock:
@@ -127,9 +135,11 @@ class BrokerFrontend:
         try:
             result = fn()
         except Exception:
-            self.error_counts[op] = self.error_counts.get(op, 0) + 1
+            with self._counter_lock:
+                self.error_counts[op] = self.error_counts.get(op, 0) + 1
             raise
-        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        with self._counter_lock:
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
         return result
 
     # -- tenant-facing object API ----------------------------------------
@@ -170,23 +180,20 @@ class BrokerFrontend:
     def get_with_meta(
         self, tenant: str, bucket: str, key: str
     ) -> tuple[bytes, ObjectMeta]:
-        """Payload and metadata in one serialized operation.
+        """Payload and metadata in one frontend operation.
 
-        The HTTP GET handler needs both (bytes for the body, meta for the
-        response headers); fetching them atomically means a concurrent
-        DELETE cannot land in between, and the operation counts as one
-        ``get`` rather than a ``get`` plus a ``head``.
+        Counts as one ``get`` rather than a ``get`` plus a ``head``.
+        The pair comes from the broker's atomic :meth:`Scalia.get_with_meta`
+        (one lock hold), so the metadata always describes the returned
+        bytes even under concurrent re-puts or deletes.
         """
         container = self.mapper.internal_container(tenant, bucket)
 
         def fn():
             try:
-                payload = self.broker.get(container, key)
+                return self.broker.get_with_meta(container, key)
             except ObjectNotFoundError:
                 raise ObjectNotFoundError(f"{bucket}/{key} not found") from None
-            meta = self.broker.head(container, key)
-            assert meta is not None  # same lock as the get; cannot vanish
-            return payload, meta
 
         return self._run("get", fn)
 
@@ -202,51 +209,82 @@ class BrokerFrontend:
     ):
         """A (possibly ranged, conditional) read as ``(plan, blocks)``.
 
-        One serialized operation resolves metadata, applies the
+        One frontend operation resolves metadata, applies the
         ``If-Match`` / ``If-None-Match`` preconditions (so a 304 bills no
         read) and plans the covering stripes; the block iterator then
-        decodes one stripe per serialized operation, so a slow client
-        never holds the broker lock across its whole download and the
-        gateway never buffers more than one stripe.  ``range_spec`` is
+        decodes one stripe per broker call, so a slow client never holds
+        any broker lock across its whole download and the gateway never
+        buffers more than one stripe.  ``range_spec`` is
         the parsed ``Range`` header (suffix ranges resolve against the
         live size in here); unsatisfiable ranges raise
         :class:`InvalidRangeError` carrying ``object_size``.
         """
         container = self.mapper.internal_container(tenant, bucket)
 
-        def open_fn():
-            meta = self.broker.head(container, key)
-            if meta is None:
-                raise ObjectNotFoundError(f"{bucket}/{key} not found")
+        def check_preconditions(meta: ObjectMeta) -> None:
             etag = meta.checksum or meta.skey
             if if_match is not None and not etag_matches(if_match, etag):
                 raise PreconditionFailedError(etag)
             if if_none_match is not None and etag_matches(if_none_match, etag):
                 raise NotModifiedError(etag)
-            try:
-                byte_range = resolve_byte_range(range_spec, meta.size)
-                if byte_range is None and self.broker.cluster.cache is not None:
-                    # A configured cache trades memory for provider
-                    # traffic by design: serve (and bill) whole-object
-                    # reads through it rather than re-fetching stripes.
-                    # Synthetic payloads (ints) cache too — their HTTP
-                    # body is empty either way.
-                    payload = self.broker.get(container, key)
-                    plan = ReadPlan(
-                        meta=meta, segments=[], start=0,
-                        end=meta.size - 1, length=meta.size,
-                    )
-                    return plan, payload
-                return (
-                    self.broker.open_read(container, key, byte_range=byte_range),
-                    None,
-                )
-            except (InvalidRangeError, RouteError) as exc:
-                if isinstance(exc, RouteError) and exc.status != 416:
-                    raise
-                wrapped = InvalidRangeError(str(exc))
-                wrapped.object_size = meta.size
-                raise wrapped from exc
+
+        def open_fn():
+            meta = self.broker.head(container, key)
+            if meta is None:
+                raise ObjectNotFoundError(f"{bucket}/{key} not found")
+            # head/open_read are separate lock holds in direct mode, so a
+            # re-put can win the gap between them.  Preconditions and the
+            # range must describe the version actually served: when the
+            # planned version differs from the one validated, re-validate
+            # against it and re-plan (bounded retries; version churn on
+            # one key during one request is vanishingly rare).
+            for _attempt in range(4):
+                # Cheap reject first: a 304/412 against the current
+                # version bills no read.
+                check_preconditions(meta)
+                try:
+                    byte_range = resolve_byte_range(range_spec, meta.size)
+                    if byte_range is None and self.broker.cluster.cache is not None:
+                        # A configured cache trades memory for provider
+                        # traffic by design: serve (and bill) whole-object
+                        # reads through it rather than re-fetching stripes.
+                        # Synthetic payloads (ints) cache too — their HTTP
+                        # body is empty either way.  The payload/metadata
+                        # pair is atomic (one broker lock hold), so the
+                        # response headers always describe the body sent;
+                        # a re-put since the head re-checks below.
+                        try:
+                            payload, served = self.broker.get_with_meta(container, key)
+                        except ObjectNotFoundError:  # deleted since the head
+                            raise ObjectNotFoundError(
+                                f"{bucket}/{key} not found"
+                            ) from None
+                        if served.skey != meta.skey:
+                            check_preconditions(served)
+                        plan = ReadPlan(
+                            meta=served, segments=[], start=0,
+                            end=served.size - 1, length=served.size,
+                        )
+                        return plan, payload
+                    try:
+                        plan = self.broker.open_read(
+                            container, key, byte_range=byte_range
+                        )
+                    except ObjectNotFoundError:  # deleted since the head
+                        raise ObjectNotFoundError(
+                            f"{bucket}/{key} not found"
+                        ) from None
+                except (InvalidRangeError, RouteError) as exc:
+                    if isinstance(exc, RouteError) and exc.status != 416:
+                        raise
+                    wrapped = InvalidRangeError(str(exc))
+                    wrapped.object_size = meta.size
+                    raise wrapped from exc
+                if plan.meta.skey == meta.skey:
+                    return plan, None
+                meta = plan.meta  # replaced mid-request: validate that version
+            check_preconditions(plan.meta)
+            return plan, None
 
         plan, cached = self._run("get", open_fn)
 
@@ -408,8 +446,10 @@ class BrokerFrontend:
     def scrub(self, *, repair: bool = True) -> Dict[str, Any]:
         """Run a broker-wide integrity scrub (the gateway's ``POST /scrub``).
 
-        Serialized like every other operation, so the pass sees a frozen
-        chunk universe and repairs cannot race client writes.
+        In direct mode the pass runs concurrently with client traffic:
+        each object is verified/repaired under its striped lock and the
+        orphan sweep honours the in-flight write registry, so repairs
+        cannot race client writes on the same object.
         """
         return self._run("scrub", lambda: self.broker.scrub(repair=repair).to_dict())
 
@@ -420,13 +460,16 @@ class BrokerFrontend:
     def _snapshot(self) -> Dict[str, Any]:
         broker = self.broker
         costs = broker.costs()
+        with self._counter_lock:
+            ops = dict(self.op_counts)
+            errors = dict(self.error_counts)
         return {
             "mode": self.mode,
             "period": broker.period,
             "now_hours": broker.now,
             "providers": broker.registry.names(),
-            "ops": dict(self.op_counts),
-            "errors": dict(self.error_counts),
+            "ops": ops,
+            "errors": errors,
             "stats_records": broker.cluster.stats.record_count(),
             "pending_deletes": len(broker.cluster.pending_deletes),
             "cost_total": costs.total,

@@ -11,9 +11,10 @@ flipping :attr:`SimulatedProvider.failed`; every operation then raises
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, Mapping, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.erasure.striping import Chunk, SyntheticChunk
 from repro.providers.pricing import ProviderSpec
@@ -108,67 +109,87 @@ class UsageMeter:
     chunk operations record into the current period.  Storage is accrued
     explicitly by the simulator (:meth:`accrue_storage`) so that a period's
     GB-hours reflect the bytes actually held during that period.
+
+    Concurrent-ingest-safe: every increment and every read runs under one
+    internal mutex, so parallel chunk operations bill exactly — no lost
+    increments, no dict resize racing an iterator.  The mutex is a leaf
+    lock: nothing is called while holding it.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._period = 0
         self._usage: Dict[int, ResourceUsage] = defaultdict(ResourceUsage)
 
     @property
     def period(self) -> int:
         """Index of the current sampling period."""
-        return self._period
+        with self._lock:
+            return self._period
 
     def set_period(self, period: int) -> None:
         """Advance (or set) the current sampling period."""
-        self._period = period
+        with self._lock:
+            self._period = period
 
     def current(self) -> ResourceUsage:
         """Usage record of the current period (created on demand)."""
-        return self._usage[self._period]
+        with self._lock:
+            return self._usage[self._period]
 
     def record_in(self, n_bytes: int) -> None:
-        self._usage[self._period].bytes_in += n_bytes
+        with self._lock:
+            self._usage[self._period].bytes_in += n_bytes
 
     def record_out(self, n_bytes: int) -> None:
-        self._usage[self._period].bytes_out += n_bytes
+        with self._lock:
+            self._usage[self._period].bytes_out += n_bytes
 
-    def record_op(self, kind: str) -> None:
-        usage = self._usage[self._period]
-        if kind == "get":
-            usage.ops_get += 1
-        elif kind == "put":
-            usage.ops_put += 1
-        elif kind == "delete":
-            usage.ops_delete += 1
-        elif kind == "list":
-            usage.ops_list += 1
-        else:
-            raise ValueError(f"unknown op kind {kind!r}")
+    def record_op(self, kind: str, count: int = 1) -> None:
+        with self._lock:
+            usage = self._usage[self._period]
+            if kind == "get":
+                usage.ops_get += count
+            elif kind == "put":
+                usage.ops_put += count
+            elif kind == "delete":
+                usage.ops_delete += count
+            elif kind == "list":
+                usage.ops_list += count
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
 
     def accrue_storage(self, stored_bytes: int, hours: float) -> None:
         """Account ``stored_bytes`` held for ``hours`` in the current period."""
-        self._usage[self._period].storage_gb_hours += stored_bytes / GB * hours
+        with self._lock:
+            self._usage[self._period].storage_gb_hours += stored_bytes / GB * hours
 
     def usage_by_period(self) -> Dict[int, ResourceUsage]:
-        """Mapping period -> usage (live view, do not mutate)."""
-        return self._usage
+        """Mapping period -> usage (snapshot of the period map).
+
+        The mapping itself is a copy safe to iterate while operations
+        continue; the :class:`ResourceUsage` values are the live records.
+        """
+        with self._lock:
+            return dict(self._usage)
 
     # -- persistence -------------------------------------------------------
 
     def export_state(self) -> dict:
         """JSON-ready dump of the meter (snapshot support)."""
-        return {
-            "period": self._period,
-            "usage": {str(p): u.to_dict() for p, u in self._usage.items()},
-        }
+        with self._lock:
+            return {
+                "period": self._period,
+                "usage": {str(p): u.to_dict() for p, u in self._usage.items()},
+            }
 
     def restore_state(self, state: Mapping) -> None:
         """Inverse of :meth:`export_state` (recovery support)."""
-        self._period = int(state["period"])
-        self._usage.clear()
-        for period, usage in state["usage"].items():
-            self._usage[int(period)] = ResourceUsage.from_dict(usage)
+        with self._lock:
+            self._period = int(state["period"])
+            self._usage.clear()
+            for period, usage in state["usage"].items():
+                self._usage[int(period)] = ResourceUsage.from_dict(usage)
 
     def restore_period(self, period: int, usage: Mapping) -> None:
         """Re-apply one closed period's usage from a journal record.
@@ -176,15 +197,17 @@ class UsageMeter:
         Idempotent by construction: the journal carries the period's final
         totals, so replaying a record twice overwrites rather than doubles.
         """
-        self._usage[period] = ResourceUsage.from_dict(usage)
-        self._period = max(self._period, period + 1)
+        with self._lock:
+            self._usage[period] = ResourceUsage.from_dict(usage)
+            self._period = max(self._period, period + 1)
 
     def total(self) -> ResourceUsage:
         """Aggregate usage across all periods."""
-        total = ResourceUsage()
-        for usage in self._usage.values():
-            total = total.merge(usage)
-        return total
+        with self._lock:
+            total = ResourceUsage()
+            for usage in self._usage.values():
+                total = total.merge(usage)
+            return total
 
 
 class SimulatedProvider:
@@ -204,6 +227,12 @@ class SimulatedProvider:
         self.meter = UsageMeter()
         self.failed = False
         self.backend: ChunkStore = backend if backend is not None else MemoryChunkStore()
+        # Serializes backend access: neither the in-memory dict store nor
+        # the append-only segment store is internally thread-safe, and the
+        # capacity check must be atomic with the write it admits.  One lock
+        # per provider — chunk traffic to *different* providers (the normal
+        # case: n chunks of one object go to n providers) stays parallel.
+        self._op_lock = threading.Lock()
 
     # -- introspection -------------------------------------------------
 
@@ -214,13 +243,16 @@ class SimulatedProvider:
     @property
     def stored_bytes(self) -> int:
         """Total bytes currently held."""
-        return self.backend.stored_bytes
+        with self._op_lock:
+            return self.backend.stored_bytes
 
     def __contains__(self, key: str) -> bool:
-        return key in self.backend
+        with self._op_lock:
+            return key in self.backend
 
     def __len__(self) -> int:
-        return len(self.backend)
+        with self._op_lock:
+            return len(self.backend)
 
     def swap_backend(self, backend: ChunkStore) -> None:
         """Move this provider onto a different backend, migrating chunks.
@@ -229,11 +261,12 @@ class SimulatedProvider:
         (usually empty) registry; the copy is unmetered — it is an
         operator action, not client traffic.
         """
-        for key in self.backend.keys():
-            backend.put(key, self.backend.get(key))
-        old = self.backend
-        self.backend = backend
-        old.close()
+        with self._op_lock:
+            for key in self.backend.keys():
+                backend.put(key, self.backend.get(key))
+            old = self.backend
+            self.backend = backend
+            old.close()
 
     # -- failure injection ----------------------------------------------
 
@@ -262,18 +295,19 @@ class SimulatedProvider:
                 f"max {self.spec.max_chunk_bytes} B",
                 self.name,
             )
-        new_total = self.backend.stored_bytes + chunk.size
-        old_size = self.backend.size_of(key)
-        if old_size is not None:
-            new_total -= old_size
-        if self.spec.capacity_bytes is not None and new_total > self.spec.capacity_bytes:
-            raise CapacityExceededError(
-                f"{self.name}: capacity {self.spec.capacity_bytes} B exceeded",
-                self.name,
-            )
-        # Store first, meter second: a backend that can fail (full disk,
-        # I/O error) must not leave a failed write billed as traffic.
-        self.backend.put(key, chunk)
+        with self._op_lock:
+            new_total = self.backend.stored_bytes + chunk.size
+            old_size = self.backend.size_of(key)
+            if old_size is not None:
+                new_total -= old_size
+            if self.spec.capacity_bytes is not None and new_total > self.spec.capacity_bytes:
+                raise CapacityExceededError(
+                    f"{self.name}: capacity {self.spec.capacity_bytes} B exceeded",
+                    self.name,
+                )
+            # Store first, meter second: a backend that can fail (full disk,
+            # I/O error) must not leave a failed write billed as traffic.
+            self.backend.put(key, chunk)
         self.meter.record_op("put")
         self.meter.record_in(chunk.size)
 
@@ -286,34 +320,48 @@ class SimulatedProvider:
         if times < 1:
             raise ValueError("times must be >= 1")
         self._check_up()
-        try:
-            chunk = self.backend.get(key)
-        except KeyError:
-            raise ChunkNotFoundError(key) from None
-        for _ in range(times):
-            self.meter.record_op("get")
+        with self._op_lock:
+            try:
+                chunk = self.backend.get(key)
+            except KeyError:
+                raise ChunkNotFoundError(key) from None
+        self.meter.record_op("get", times)
         self.meter.record_out(chunk.size * times)
         return chunk
 
     def delete_chunk(self, key: str) -> None:
         """Delete the chunk at ``key`` (billed: 1 op)."""
         self._check_up()
-        try:
-            self.backend.delete(key)
-        except KeyError:
-            raise ChunkNotFoundError(key) from None
+        with self._op_lock:
+            try:
+                self.backend.delete(key)
+            except KeyError:
+                raise ChunkNotFoundError(key) from None
         self.meter.record_op("delete")
 
     def list_keys(self, prefix: str = "") -> Iterator[str]:
         """Iterate stored keys with the given prefix (billed: 1 op)."""
         self._check_up()
         self.meter.record_op("list")
-        return iter(sorted(k for k in self.backend.keys() if k.startswith(prefix)))
+        with self._op_lock:
+            keys = [k for k in self.backend.keys() if k.startswith(prefix)]
+        return iter(sorted(keys))
+
+    def snapshot_keys(self) -> List[str]:
+        """A stable copy of every stored chunk key (unmetered scrub walk)."""
+        with self._op_lock:
+            return list(self.backend.keys())
+
+    def backend_stats(self) -> Dict[str, object]:
+        """The backend's JSON-ready counters, read consistently."""
+        with self._op_lock:
+            return self.backend.stats()
 
     def verify_chunk(self, key: str) -> str:
         """Integrity state of one stored chunk (unmetered scrub probe)."""
         self._check_up()
-        return self.backend.verify(key)
+        with self._op_lock:
+            return self.backend.verify(key)
 
     # -- simulation hooks --------------------------------------------------
 
@@ -323,5 +371,5 @@ class SimulatedProvider:
         Called by the simulator once per sampling period *after* the
         period's requests have been applied.
         """
-        self.meter.accrue_storage(self.backend.stored_bytes, hours)
+        self.meter.accrue_storage(self.stored_bytes, hours)
         self.meter.set_period(period + 1)

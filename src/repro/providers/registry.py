@@ -10,6 +10,7 @@ whose access pattern moved.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.providers.pricing import PricingPolicy, ProviderSpec
@@ -30,6 +31,12 @@ class ProviderRegistry:
     With a *backend factory* installed (``repro serve --data-dir``), every
     provider — including ones registered later, like CheapStor at hour 400
     — gets a durable chunk store instead of the in-memory dict.
+
+    Pool mutations and iterating reads hold an internal mutex so a
+    registration cannot resize the provider dict under a concurrent
+    ``names()``/``specs()`` walk.  Single-key lookups (:meth:`get`,
+    ``in``, :meth:`is_available`) stay lock-free — one dict probe is
+    atomic under CPython and they sit on every chunk's hot path.
     """
 
     def __init__(
@@ -38,6 +45,7 @@ class ProviderRegistry:
         *,
         backend_factory: Optional[BackendFactory] = None,
     ) -> None:
+        self._lock = threading.RLock()
         self._providers: Dict[str, SimulatedProvider] = {}
         self._epoch = 0
         self._backend_factory = backend_factory
@@ -48,13 +56,14 @@ class ProviderRegistry:
 
     def register(self, spec: ProviderSpec) -> SimulatedProvider:
         """Add a new provider to the pool (e.g. CheapStor at hour 400)."""
-        if spec.name in self._providers:
-            raise ValueError(f"provider {spec.name!r} already registered")
-        backend = self._backend_factory(spec) if self._backend_factory else None
-        provider = SimulatedProvider(spec, backend=backend)
-        self._providers[spec.name] = provider
-        self._epoch += 1
-        return provider
+        with self._lock:
+            if spec.name in self._providers:
+                raise ValueError(f"provider {spec.name!r} already registered")
+            backend = self._backend_factory(spec) if self._backend_factory else None
+            provider = SimulatedProvider(spec, backend=backend)
+            self._providers[spec.name] = provider
+            self._epoch += 1
+            return provider
 
     def set_backend_factory(self, factory: BackendFactory) -> None:
         """Install ``factory`` and migrate existing providers onto it.
@@ -63,23 +72,26 @@ class ProviderRegistry:
         without one (the CLI constructs the registry first); chunks already
         held in memory are copied across.
         """
-        self._backend_factory = factory
-        for provider in self._providers.values():
-            provider.swap_backend(factory(provider.spec))
+        with self._lock:
+            self._backend_factory = factory
+            for provider in self._providers.values():
+                provider.swap_backend(factory(provider.spec))
 
     def retire(self, name: str) -> None:
         """Remove a provider permanently (bankruptcy, boycott, ...)."""
-        if name not in self._providers:
-            raise UnknownProviderError(name)
-        del self._providers[name]
-        self._epoch += 1
+        with self._lock:
+            if name not in self._providers:
+                raise UnknownProviderError(name)
+            del self._providers[name]
+            self._epoch += 1
 
     def adopt(self, provider: SimulatedProvider) -> None:
         """Register an externally built provider object (private resources)."""
-        if provider.name in self._providers:
-            raise ValueError(f"provider {provider.name!r} already registered")
-        self._providers[provider.name] = provider
-        self._epoch += 1
+        with self._lock:
+            if provider.name in self._providers:
+                raise ValueError(f"provider {provider.name!r} already registered")
+            self._providers[provider.name] = provider
+            self._epoch += 1
 
     # -- lookup -----------------------------------------------------------
 
@@ -97,11 +109,13 @@ class ProviderRegistry:
 
     def names(self) -> List[str]:
         """Registered provider names, sorted for determinism."""
-        return sorted(self._providers)
+        with self._lock:
+            return sorted(self._providers)
 
     def providers(self) -> List[SimulatedProvider]:
         """All registered providers, name-sorted."""
-        return [self._providers[n] for n in self.names()]
+        with self._lock:
+            return [self._providers[n] for n in sorted(self._providers)]
 
     def specs(self, *, include_failed: bool = True) -> List[ProviderSpec]:
         """Specs of registered providers, optionally hiding failed ones.
@@ -124,22 +138,25 @@ class ProviderRegistry:
 
     def fail(self, name: str) -> None:
         """Start a transient outage on ``name`` (epoch bump)."""
-        self.get(name).fail()
-        self._epoch += 1
+        with self._lock:
+            self.get(name).fail()
+            self._epoch += 1
 
     def recover(self, name: str) -> None:
         """End the transient outage on ``name`` (epoch bump)."""
-        self.get(name).recover()
-        self._epoch += 1
+        with self._lock:
+            self.get(name).recover()
+            self._epoch += 1
 
     def update_pricing(self, name: str, pricing: PricingPolicy) -> None:
         """Apply a new price sheet to ``name`` (epoch bump).
 
         The stored chunks are untouched; only the spec changes.
         """
-        provider = self.get(name)
-        provider.spec = provider.spec.with_pricing(pricing)
-        self._epoch += 1
+        with self._lock:
+            provider = self.get(name)
+            provider.spec = provider.spec.with_pricing(pricing)
+            self._epoch += 1
 
     @property
     def epoch(self) -> int:

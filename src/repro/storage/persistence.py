@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional
@@ -79,6 +80,13 @@ class DurabilityManager:
         self.boot_epoch = self._bump_boot_counter()
         self.journal = Journal(self.data_dir / "meta" / "wal.log", sync=sync)
         self.snapshot_path = self.data_dir / "meta" / "snapshot.json"
+        # _counter_lock is a leaf guarding only the snapshot cadence
+        # counter (safe to take under any other lock, including the
+        # pending-queue mutex its hooks hold).  _snap_lock serializes
+        # snapshot writes and is only ever acquired *after* the metadata
+        # mutex — see snapshot() for the full ordering argument.
+        self._counter_lock = threading.Lock()
+        self._snap_lock = threading.RLock()
         self._records_since_snapshot = 0
         self._broker: Optional["Scalia"] = None
         self._replaying = False
@@ -214,29 +222,30 @@ class DurabilityManager:
         if self._replaying:
             return
         self.journal.append({"t": "md", "dc": dc, "row": row_key, "v": version.to_dict()})
-        self._records_since_snapshot += 1
-        self._maybe_snapshot()
+        self._bump_and_maybe_snapshot()
 
     def _on_prune(self, dc: str, row_key: str, keep_uuid: str) -> None:
         if self._replaying:
             return
         self.journal.append({"t": "prune", "dc": dc, "row": row_key, "keep": keep_uuid})
-        self._records_since_snapshot += 1
-        self._maybe_snapshot()
+        self._bump_and_maybe_snapshot()
 
     def _on_pending_add(self, provider_name: str, chunk_key: str) -> None:
         if self._replaying:
             return
         self.journal.append({"t": "pend+", "p": provider_name, "k": chunk_key})
-        self._records_since_snapshot += 1
-        self._maybe_snapshot()
+        # No snapshot from here: this hook fires while the pending-delete
+        # queue's mutex is held, and a snapshot acquires the metadata
+        # mutex — the reverse of the metadata -> queue order the apply
+        # hook establishes.  The counter still advances; the next
+        # metadata apply or period close takes the snapshot.
+        self._bump_and_maybe_snapshot(allow_snapshot=False)
 
     def _on_pending_remove(self, provider_name: str, chunk_key: str) -> None:
         if self._replaying:
             return
         self.journal.append({"t": "pend-", "p": provider_name, "k": chunk_key})
-        self._records_since_snapshot += 1
-        self._maybe_snapshot()
+        self._bump_and_maybe_snapshot(allow_snapshot=False)
 
     def on_period_closed(self, broker: "Scalia", closed_period: int) -> None:
         """Journal one closed sampling period's meters (broker tick hook)."""
@@ -248,40 +257,62 @@ class DurabilityManager:
         self.journal.append(
             {"t": "period", "period": closed_period, "now": broker.now, "meters": meters}
         )
-        self._records_since_snapshot += 1
-        self._maybe_snapshot()
+        self._bump_and_maybe_snapshot()
 
     # -- snapshots ---------------------------------------------------------
 
-    def _maybe_snapshot(self) -> None:
-        if (
-            self._broker is not None
-            and self._records_since_snapshot >= self.snapshot_every_records
-        ):
+    def _bump_and_maybe_snapshot(self, *, allow_snapshot: bool = True) -> None:
+        with self._counter_lock:
+            self._records_since_snapshot += 1
+            due = (
+                allow_snapshot
+                and self._broker is not None
+                and self._records_since_snapshot >= self.snapshot_every_records
+            )
+        if due:
             self.snapshot()
 
     def snapshot(self) -> None:
-        """Write a full-state snapshot and truncate the WAL."""
+        """Write a full-state snapshot and truncate the WAL.
+
+        Lock order: ``metadata mutex -> _snap_lock -> pending-queue
+        mutex`` — the one order every snapshot trigger uses.  Holding the
+        metadata mutex (reentrantly, when triggered from the apply hook)
+        and the queue mutex across export *and* truncate guarantees no
+        'md'/'prune'/'pend±' record can land in the WAL between the state
+        export and the truncation — such a record would be erased while
+        absent from the snapshot, losing an acknowledged write on the
+        next recovery.  The one record kind that can still race in is a
+        'period' meter rollup from a concurrent tick; losing it forfeits
+        at most one closed period's billing introspection, which the
+        crash model already tolerates for the open period.
+        """
         broker = self._broker
         if broker is None:
             return
-        state = {
-            "version": 1,
-            "boot": self.boot_epoch,
-            "period": broker.period,
-            "now": broker.now,
-            "metadata": broker.cluster.metadata.export_state(),
-            "meters": {
-                p.name: p.meter.export_state() for p in broker.registry.providers()
-            },
-            "pending_deletes": [
-                list(entry) for entry in broker.cluster.pending_deletes.entries
-            ],
-        }
-        write_snapshot(self.snapshot_path, state)
-        self.journal.truncate()
-        self._records_since_snapshot = 0
-        self.snapshots_written += 1
+        with broker.cluster.metadata.locked():
+            with self._snap_lock:
+                with broker.cluster.pending_deletes.locked():
+                    state = {
+                        "version": 1,
+                        "boot": self.boot_epoch,
+                        "period": broker.period,
+                        "now": broker.now,
+                        "metadata": broker.cluster.metadata.export_state(),
+                        "meters": {
+                            p.name: p.meter.export_state()
+                            for p in broker.registry.providers()
+                        },
+                        "pending_deletes": [
+                            list(entry)
+                            for entry in broker.cluster.pending_deletes.entries
+                        ],
+                    }
+                    write_snapshot(self.snapshot_path, state)
+                    self.journal.truncate()
+                with self._counter_lock:
+                    self._records_since_snapshot = 0
+                self.snapshots_written += 1
 
     # -- introspection / lifecycle ----------------------------------------
 

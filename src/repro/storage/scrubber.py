@@ -17,7 +17,7 @@ This closes the loop the durable backends open: CRC detection lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.datacenter import ScaliaCluster
 from repro.cluster.engine import ReadFailedError
@@ -91,55 +91,135 @@ class ScrubReport:
 
 
 class Scrubber:
-    """Detects and repairs damaged chunks across the provider pool."""
+    """Detects and repairs damaged chunks across the provider pool.
 
-    def __init__(self, cluster: ScaliaCluster, registry: ProviderRegistry) -> None:
+    Runs as an **incremental background worker**: objects are scrubbed in
+    batches of ``batch_size`` row keys, each object under its own striped
+    object lock (shared to verify, exclusive once a repair must write),
+    and ``yield_fn`` runs between batches with no locks held.  Foreground
+    traffic therefore waits for at most one object's scrub, never a whole
+    pass — the same bounded-stall contract the periodic optimizer keeps.
+    """
+
+    def __init__(
+        self,
+        cluster: ScaliaCluster,
+        registry: ProviderRegistry,
+        *,
+        batch_size: int = 64,
+        yield_fn: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.cluster = cluster
         self.registry = registry
+        self.batch_size = batch_size
+        self.yield_fn = yield_fn
         self.last_report: Optional[ScrubReport] = None
 
-    def scrub(self, *, repair: bool = True) -> ScrubReport:
+    def scrub(
+        self,
+        *,
+        repair: bool = True,
+        batch_size: Optional[int] = None,
+        yield_fn: Optional[Callable[[], None]] = None,
+    ) -> ScrubReport:
         """One full pass over every live object; repairs unless told not to."""
         report = ScrubReport()
         engine = self.cluster.all_engines()[0]
-        for row_key in engine.live_row_keys():
-            meta = engine.resolve_row(row_key)
-            if meta is None:
-                continue
-            report.objects_scanned += 1
-            for stripe, index, provider_name, chunk_key in meta.iter_chunks():
-                report.chunks_scanned += 1
-                status = self._verify(chunk_key, provider_name)
-                if status is None:
-                    report.chunks_skipped += 1
-                    continue
-                if status == VERIFY_OK:
-                    report.chunks_ok += 1
-                    continue
-                if status == VERIFY_MISSING:
-                    report.chunks_missing += 1
-                else:
-                    report.chunks_corrupt += 1
-                repaired = False
-                if repair:
-                    repaired = self._repair(engine, meta, stripe, index, provider_name)
-                report.repaired += int(repaired)
-                report.unrepairable += int(repair and not repaired)
-                report.problems.append(
-                    ChunkProblem(
-                        container=meta.container,
-                        key=meta.key,
-                        chunk_index=index,
-                        stripe=stripe,
-                        provider=provider_name,
-                        status=status,
-                        repaired=repaired,
-                    )
-                )
+        locks = self.cluster.locks
+        size = max(1, batch_size if batch_size is not None else self.batch_size)
+        pause = yield_fn if yield_fn is not None else self.yield_fn
+        row_keys = engine.live_row_keys()
+        for start in range(0, len(row_keys), size):
+            if start and pause is not None:
+                pause()  # between batches: no locks held
+            for row_key in row_keys[start:start + size]:
+                self._scrub_object(engine, locks, row_key, repair, report)
         if repair:
             self._sweep_orphans(report)
         self.last_report = report
         return report
+
+    def _scrub_object(self, engine, locks, row_key: str, repair: bool, report: ScrubReport) -> None:
+        """Verify (and repair) one object under its striped lock.
+
+        The verify pass — the overwhelmingly common all-healthy case —
+        holds the object's stripe *shared*, so concurrent reads flow and
+        only writers wait.  Only when damage is found (and repairing is
+        allowed) does the scrub escalate: it re-acquires the stripe
+        *exclusively*, re-resolves the metadata and re-verifies before
+        repairing, so a rewrite or delete that won the gap between the
+        two holds is fully respected and a repair can never resurrect
+        chunks of a superseded version.  The metadata is resolved with
+        ``resolve_row_unlocked`` because the public ``resolve_row``
+        would re-acquire the stripe we already hold.
+        """
+        with locks.objects.shared(row_key):
+            meta = engine.resolve_row_unlocked(row_key)
+            if meta is None:
+                return
+            counts, damaged = self._verify_object(meta)
+        if not (repair and damaged):
+            self._commit_outcome(report, meta, counts, damaged, repair, {})
+            return
+        with locks.objects.exclusive(row_key):
+            meta = engine.resolve_row_unlocked(row_key)
+            if meta is None:
+                return  # deleted in the gap: nothing to scrub any more
+            counts, damaged = self._verify_object(meta)
+            repaired = {}
+            for stripe, index, provider_name, _status in damaged:
+                repaired[(stripe, index, provider_name)] = self._repair(
+                    engine, meta, stripe, index, provider_name
+                )
+            self._commit_outcome(report, meta, counts, damaged, repair, repaired)
+
+    def _verify_object(self, meta: ObjectMeta):
+        """Chunk verification: ``(counters, damaged)`` without repairing.
+
+        ``counters`` maps the report fields to deltas; ``damaged`` lists
+        ``(stripe, index, provider, status)`` for missing/corrupt chunks.
+        """
+        counts = {"chunks_scanned": 0, "chunks_ok": 0, "chunks_missing": 0,
+                  "chunks_corrupt": 0, "chunks_skipped": 0}
+        damaged = []
+        for stripe, index, provider_name, chunk_key in meta.iter_chunks():
+            counts["chunks_scanned"] += 1
+            status = self._verify(chunk_key, provider_name)
+            if status is None:
+                counts["chunks_skipped"] += 1
+            elif status == VERIFY_OK:
+                counts["chunks_ok"] += 1
+            else:
+                if status == VERIFY_MISSING:
+                    counts["chunks_missing"] += 1
+                else:
+                    counts["chunks_corrupt"] += 1
+                damaged.append((stripe, index, provider_name, status))
+        return counts, damaged
+
+    def _commit_outcome(
+        self, report: ScrubReport, meta: ObjectMeta, counts, damaged, repair, repaired
+    ) -> None:
+        report.objects_scanned += 1
+        for field_name, delta in counts.items():
+            setattr(report, field_name, getattr(report, field_name) + delta)
+        for stripe, index, provider_name, status in damaged:
+            fixed = bool(repaired.get((stripe, index, provider_name)))
+            report.repaired += int(fixed)
+            report.unrepairable += int(repair and not fixed)
+            report.problems.append(
+                ChunkProblem(
+                    container=meta.container,
+                    key=meta.key,
+                    chunk_index=index,
+                    stripe=stripe,
+                    provider=provider_name,
+                    status=status,
+                    repaired=fixed,
+                )
+            )
 
     def _sweep_orphans(self, report: ScrubReport) -> None:
         """Delete stored chunks no metadata version references any more.
@@ -151,13 +231,31 @@ class Scrubber:
         forever.  References are collected across *every* replica's
         versions — including stale and conflicting ones — so a chunk is
         only an orphan when no datacenter can possibly resolve to it.
+
+        Concurrent-write safety hangs on the snapshot order below.  Every
+        write path registers its skey in-flight before the first chunk
+        lands and deregisters only after the referencing metadata row is
+        committed.  Chunk keys are snapshotted (1) *before* the in-flight
+        set (2), which is read *before* the reference census (3): a chunk
+        whose write was still uncommitted at (2) is protected by its
+        in-flight entry, a write that finished before (2) has metadata
+        the census at (3) must see, and a write that began after (2)
+        cannot appear in the key snapshot from (1) at all.  Only chunks
+        failing all three fences are deleted.
         """
-        referenced = self._referenced_chunks()
-        for provider in self.registry.providers():
-            if provider.failed:
-                continue
-            for chunk_key in provider.backend.keys():
+        candidates = [
+            (provider, provider.snapshot_keys())  # (1) chunk-key snapshot
+            for provider in self.registry.providers()
+            if not provider.failed
+        ]
+        in_flight = self.cluster.locks.in_flight.snapshot()  # (2)
+        referenced = self._referenced_chunks()  # (3)
+        for provider, chunk_keys in candidates:
+            for chunk_key in chunk_keys:
                 if (provider.name, chunk_key) in referenced:
+                    continue
+                skey = chunk_key.split(":", 1)[0]
+                if skey in in_flight:
                     continue
                 report.orphans_found += 1
                 try:
@@ -172,13 +270,30 @@ class Scrubber:
 
         Covers object rows (including their whole stripe tables) *and*
         multipart staging rows: an in-flight upload's part chunks are
-        live data, not orphans.
+        live data, not orphans.  The walk is batched — row keys by the
+        thousand, then per-row version reads — so the metadata mutex is
+        held for one short scan at a time rather than across the whole
+        store (the bounded-stall contract applies to the census too).
+        Versions committed after the in-flight snapshot may be missed,
+        but their chunks are either absent from the earlier key snapshot
+        or protected by the in-flight fence (see :meth:`_sweep_orphans`).
         """
         referenced = set()
-        for _dc, _row_key, version in self.cluster.metadata.iter_versions():
-            if not version.value:
-                continue  # tombstones and list-index rows
-            referenced.update(raw_chunk_refs(version.value))
+        metadata = self.cluster.metadata
+        batch = 1024
+        for dc in metadata.datacenters:
+            cursor = ""
+            while True:
+                row_keys = metadata.scan_keys(dc, "", start_after=cursor, limit=batch)
+                if not row_keys:
+                    break
+                for row_key in row_keys:
+                    for version in metadata.raw_versions(dc, row_key):
+                        if version.value:
+                            referenced.update(raw_chunk_refs(version.value))
+                cursor = row_keys[-1]
+                if len(row_keys) < batch:
+                    break
         return referenced
 
     # -- internals ---------------------------------------------------------
@@ -219,10 +334,13 @@ class Scrubber:
         else:
             chunk = repair_chunk(source, index, meta.m, meta.n, stripe_len)
         chunk_key = meta.chunk_key(index, stripe)
-        try:
-            self.registry.get(provider_name).put_chunk(chunk_key, chunk)
-        except (ProviderUnavailableError, CapacityExceededError, ChunkTooLargeError):
-            return False
-        # The rewritten key may have a queued delete from an old outage.
-        self.cluster.pending_deletes.discard(provider_name, chunk_key)
+        # The rewritten key may have a queued delete from an old outage;
+        # the rewrite guard keeps a concurrent flush from destroying the
+        # repair we are about to write (see PendingDeleteQueue).
+        with self.cluster.pending_deletes.rewrite_guard(chunk_key):
+            self.cluster.pending_deletes.discard(provider_name, chunk_key)
+            try:
+                self.registry.get(provider_name).put_chunk(chunk_key, chunk)
+            except (ProviderUnavailableError, CapacityExceededError, ChunkTooLargeError):
+                return False
         return True

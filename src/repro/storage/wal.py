@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -46,12 +47,18 @@ def _checksum(body: bytes) -> int:
 
 
 class Journal:
-    """Append-only, checksummed, line-oriented record log."""
+    """Append-only, checksummed, line-oriented record log.
+
+    Appends from concurrent threads serialize on an internal mutex so
+    two records can never interleave bytes within one line; the mutex is
+    a leaf in the broker's lock hierarchy (nothing is called under it).
+    """
 
     def __init__(self, path: str | os.PathLike, *, sync: str = "os") -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync = sync
+        self._lock = threading.Lock()
         existed = self.path.exists()
         self._fh = open(self.path, "ab")
         if sync == "always" and not existed:
@@ -64,12 +71,13 @@ class Journal:
     def append(self, record: dict) -> None:
         body = _canonical(record)
         line = json.dumps({"c": _checksum(body), "r": record}, **_JSON_KW).encode("utf-8")
-        self._fh.write(line + b"\n")
-        if self.sync != "never":
-            self._fh.flush()
-            if self.sync == "always":
-                os.fsync(self._fh.fileno())
-        self.records_appended += 1
+        with self._lock:
+            self._fh.write(line + b"\n")
+            if self.sync != "never":
+                self._fh.flush()
+                if self.sync == "always":
+                    os.fsync(self._fh.fileno())
+            self.records_appended += 1
 
     def replay(self) -> Iterator[dict]:
         """Yield every intact record in order.
@@ -101,23 +109,27 @@ class Journal:
 
     def truncate(self) -> None:
         """Drop every record (called after a successful snapshot)."""
-        self._fh.truncate(0)
-        self._fh.seek(0)
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with self._lock:
+            self._fh.truncate(0)
+            self._fh.seek(0)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def size_bytes(self) -> int:
-        self._fh.flush()
-        return self.path.stat().st_size
+        with self._lock:
+            self._fh.flush()
+            return self.path.stat().st_size
 
     def flush(self) -> None:
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with self._lock:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
 
 
 def fsync_directory(path: str | os.PathLike) -> None:

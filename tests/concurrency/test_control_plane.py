@@ -1,0 +1,77 @@
+"""The background control plane: tick/scrub workers on wall-clock time."""
+
+import time
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.core.controlplane import BackgroundControlPlane
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestBackgroundControlPlane:
+    def test_ticker_advances_periods_while_serving(self):
+        broker = Scalia()
+        broker.put("bg", "obj", b"hello world")
+        with BackgroundControlPlane(broker, tick_interval=0.02) as plane:
+            assert _wait_until(lambda: plane.ticks_run >= 3)
+            # Foreground traffic flows while the loop runs in the back.
+            for i in range(20):
+                broker.put("bg", f"k{i}", b"x" * 32)
+                assert broker.get("bg", f"k{i}") == b"x" * 32
+        assert not plane.running
+        assert broker.period >= 3
+        assert plane.last_tick_error is None
+
+    def test_scrubber_runs_and_reports(self):
+        broker = Scalia()
+        for i in range(10):
+            broker.put("bg", f"s{i}", b"payload" * 4)
+        with BackgroundControlPlane(broker, scrub_interval=0.02) as plane:
+            assert _wait_until(lambda: plane.scrubs_run >= 2)
+        assert broker.scrubber.last_report is not None
+        assert broker.scrubber.last_report.chunks_corrupt == 0
+        assert plane.last_scrub_error is None
+
+    def test_stop_is_prompt_even_mid_round(self):
+        broker = Scalia(optimizer_batch_size=1)
+        for i in range(50):
+            broker.put("bg", f"k{i}", 256)
+        plane = BackgroundControlPlane(broker, tick_interval=0.01).start()
+        assert _wait_until(lambda: plane.ticks_run >= 1)
+        started = time.monotonic()
+        plane.stop()
+        assert time.monotonic() - started < 10.0
+        assert not plane.running
+        # A round aborted at a batch boundary must not skew the clock:
+        # now and period always advance together.
+        assert broker.now == broker.period * broker.sampling_period_hours
+
+    def test_double_start_rejected(self):
+        plane = BackgroundControlPlane(Scalia(), tick_interval=5.0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                plane.start()
+        finally:
+            plane.stop()
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundControlPlane(Scalia(), tick_interval=0)
+        with pytest.raises(ValueError):
+            BackgroundControlPlane(Scalia(), scrub_interval=-1)
+
+    def test_stats_shape(self):
+        plane = BackgroundControlPlane(Scalia(), tick_interval=1.0)
+        stats = plane.stats()
+        assert stats["running"] is False
+        assert stats["tick_interval_s"] == 1.0
+        assert stats["ticks_run"] == 0

@@ -1,0 +1,142 @@
+"""Races between the durability/control plane and foreground traffic.
+
+Regression tests for two bugs found in review of the lock hierarchy:
+
+* a lock-order inversion between the snapshot path and the metadata
+  mutex (snapshot triggered from the journaling apply hook vs. one
+  triggered from a period close) that could deadlock the whole broker;
+* the pending-delete flush destroying a chunk that a same-key rewrite
+  (migration / scrub repair) had just recreated, because the two held no
+  lock in common.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cluster.engine import PendingDeleteQueue
+from repro.core.broker import Scalia
+from repro.erasure.striping import SyntheticChunk
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+
+
+class TestSnapshotLockOrder:
+    def test_hook_and_period_snapshots_race_without_deadlock(self, tmp_path):
+        """Snapshots fire from the metadata apply hook (writers) and from
+        period closes (ticks) at once; the old inverted order deadlocked."""
+        broker = Scalia(data_dir=str(tmp_path), enable_optimizer=False)
+        broker.durability.snapshot_every_records = 1  # snapshot on every apply
+        done = threading.Event()
+
+        def writer(w: int) -> None:
+            for i in range(25):
+                broker.put("snap", f"w{w}-k{i}", b"x" * 64)
+
+        def ticker() -> None:
+            while not done.is_set():
+                broker.tick()
+
+        tick_thread = threading.Thread(target=ticker, daemon=True)
+        tick_thread.start()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(writer, w) for w in range(4)]
+            for future in futures:
+                future.result(timeout=60.0)  # deadlock shows up as a timeout
+        done.set()
+        tick_thread.join(30.0)
+        assert not tick_thread.is_alive(), "tick thread wedged"
+        assert broker.durability.snapshots_written > 0
+
+        # Everything acknowledged must survive a crash-free reopen.
+        broker.close()
+        with Scalia(data_dir=str(tmp_path)) as reopened:
+            for w in range(4):
+                for i in range(25):
+                    assert reopened.get("snap", f"w{w}-k{i}") == b"x" * 64
+
+    def test_no_acknowledged_write_lost_to_concurrent_truncate(self, tmp_path):
+        """Writers race the snapshot's export→truncate window; every
+        acknowledged put must be recoverable afterwards (the old code
+        could truncate a WAL record the snapshot had not captured)."""
+        broker = Scalia(data_dir=str(tmp_path), enable_optimizer=False)
+        broker.durability.snapshot_every_records = 3
+
+        def writer(w: int) -> None:
+            for i in range(40):
+                broker.put("trunc", f"w{w}-k{i}", b"y" * 32)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for future in [pool.submit(writer, w) for w in range(6)]:
+                future.result(timeout=60.0)
+        # Abandon = SIGKILL semantics: no final snapshot, no flush beyond
+        # what each acknowledged operation already persisted.
+        broker.durability.abandon()
+        with Scalia(data_dir=str(tmp_path)) as reopened:
+            for w in range(6):
+                for i in range(40):
+                    assert reopened.get("trunc", f"w{w}-k{i}") == b"y" * 32
+
+
+class TestFlushVsRewrite:
+    def test_flush_never_destroys_a_rewritten_chunk(self):
+        """The queue's rewrite guard: claim+delete vs discard+put on the
+        same chunk key must leave the rewritten chunk alive, whichever
+        side wins the race."""
+        registry = ProviderRegistry(paper_catalog())
+        provider = registry.providers()[0]
+        chunk_key = "deadbeef:0"
+        chunk = SyntheticChunk(index=0, size=128)
+        queue = PendingDeleteQueue()
+
+        for _ in range(300):
+            provider.put_chunk(chunk_key, chunk)  # the stale copy
+            queue.add(provider.name, chunk_key)
+            barrier = threading.Barrier(2)
+
+            def flusher():
+                barrier.wait(5.0)
+                queue.flush(registry)
+
+            def rewriter():
+                barrier.wait(5.0)
+                with queue.rewrite_guard(chunk_key):
+                    queue.discard(provider.name, chunk_key)
+                    provider.put_chunk(chunk_key, chunk)
+
+            threads = [
+                threading.Thread(target=flusher, daemon=True),
+                threading.Thread(target=rewriter, daemon=True),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+                assert not t.is_alive()
+            assert chunk_key in provider, (
+                "flush destroyed the chunk a rewrite had just recreated"
+            )
+            assert len(queue) == 0
+            provider.delete_chunk(chunk_key)  # reset for the next round
+
+    def test_transiently_failing_delete_is_requeued(self):
+        registry = ProviderRegistry(paper_catalog())
+        provider = registry.providers()[0]
+        provider.put_chunk("cafe:0", SyntheticChunk(index=0, size=16))
+        queue = PendingDeleteQueue()
+        queue.add(provider.name, "cafe:0")
+        # is_available() passes the pre-check, then the delete itself dies.
+        original = provider.delete_chunk
+
+        def flaky_delete(key):
+            provider.fail()
+            try:
+                original(key)
+            finally:
+                provider.recover()
+
+        provider.delete_chunk = flaky_delete
+        assert queue.flush(registry) == 0
+        assert len(queue) == 1  # claimed entry went back on the queue
+        provider.delete_chunk = original
+        assert queue.flush(registry) == 1
+        assert len(queue) == 0

@@ -1,0 +1,127 @@
+"""Raw-record retention: the statistics database's memory stays bounded.
+
+The class-statistics refresh consumes raw log records into persistent
+per-class accumulators; the database then prunes the consumed prefix, so
+its raw-record memory is proportional to one refresh interval's traffic
+— not the age of the broker.
+"""
+
+import pytest
+
+from repro.cluster.statistics import LogRecord, StatsDatabase
+from repro.core.broker import Scalia
+from repro.core.classifier import ClassStatistics
+
+
+def _record(period, obj, op, *, size=1000, cls="imgs", life=None, count=1):
+    return LogRecord(
+        period=period,
+        object_key=obj,
+        class_key=cls,
+        op=op,
+        size=size,
+        bytes_in=size if op == "put" else 0,
+        bytes_out=size if op == "get" else 0,
+        count=count,
+        lifetime_hours=life,
+    )
+
+
+class TestConsumeAndPrune:
+    def test_consume_returns_only_new_records(self):
+        db = StatsDatabase()
+        db.apply(_record(0, "a", "put"))
+        assert len(db.consume_records()) == 1
+        assert db.consume_records() == []
+        db.apply(_record(1, "a", "get"))
+        assert len(db.consume_records()) == 1
+
+    def test_prune_drops_consumed_prefix_only(self):
+        db = StatsDatabase()
+        db.apply(_record(0, "a", "put"))
+        db.consume_records()
+        db.apply(_record(1, "a", "get"))
+        assert db.prune_consumed() == 1
+        assert db.record_count() == 1
+        assert [r.op for r in db.iter_records()] == ["get"]
+        # The unconsumed record is still delivered by the next consume.
+        assert [r.op for r in db.consume_records()] == ["get"]
+
+    def test_histories_survive_pruning(self):
+        db = StatsDatabase()
+        db.apply(_record(0, "a", "put"))
+        db.apply(_record(3, "a", "get", count=7))
+        db.consume_records()
+        db.prune_consumed()
+        assert db.record_count() == 0
+        assert db.history("a", 3, 1)[0].ops_read == 7
+        assert db.accessed_between(0, 3) == {"a"}
+        assert db.history_depth("a", 3) == 4
+
+
+class TestIncrementalClassStatistics:
+    def test_incremental_refresh_matches_full_recompute(self):
+        """Refreshing in two halves (with pruning in between) produces the
+        same profiles as one refresh over the full record history."""
+        first_half = [
+            _record(0, "a", "put", size=500_000),
+            _record(1, "a", "get", count=10),
+            _record(0, "b", "put", size=100_000),
+        ]
+        second_half = [
+            _record(2, "b", "get", count=4),
+            _record(3, "b", "delete", life=3.0),
+            _record(3, "c", "put", size=300_000),
+        ]
+
+        incremental_db, incremental = StatsDatabase(), ClassStatistics()
+        for record in first_half:
+            incremental_db.apply(record)
+        incremental.refresh(incremental_db, current_period=1)
+        incremental_db.prune_consumed()
+        assert incremental_db.record_count() == 0
+        for record in second_half:
+            incremental_db.apply(record)
+        incremental.refresh(incremental_db, current_period=3)
+
+        full_db, full = StatsDatabase(), ClassStatistics()
+        for record in first_half + second_half:
+            full_db.apply(record)
+        full.refresh(full_db, current_period=3)
+
+        got, want = incremental.profile("imgs"), full.profile("imgs")
+        assert got.n_objects == want.n_objects
+        assert got.mean_size == pytest.approx(want.mean_size)
+        assert got.reads_per_object_period == pytest.approx(want.reads_per_object_period)
+        assert got.writes_per_object_period == pytest.approx(want.writes_per_object_period)
+        assert got.expected_lifetime() == pytest.approx(want.expected_lifetime())
+
+
+class TestMemoryStaysFlatOver10kTicks:
+    def test_raw_records_bounded_over_10k_ticks(self):
+        """The satellite's acceptance bar: 10k sampling periods of steady
+        traffic never accumulate more raw records than one refresh
+        interval's worth."""
+        refresh_every = 24
+        broker = Scalia(enable_optimizer=False, class_refresh_every=refresh_every)
+        stats = broker.cluster.stats
+        records_per_period = 2  # one put + one get below
+        # Ingest-visible high-water mark: one refresh interval of traffic
+        # plus the final pre-refresh period's records.
+        bound = (refresh_every + 1) * records_per_period
+        high_water = 0
+        for t in range(10_000):
+            broker.put("steady", f"k{t % 8}", 100)
+            broker.get("steady", f"k{t % 8}")
+            broker.tick()
+            high_water = max(high_water, stats.record_count())
+        assert high_water <= bound, (
+            f"raw records grew to {high_water} (bound {bound}) — retention broke"
+        )
+        assert broker.period == 10_000
+        # And the class profiles still reflect the whole history.
+        profile = broker.class_stats.profile(
+            broker.planner.classify(100, "application/octet-stream")
+        )
+        assert profile is not None
+        assert profile.n_objects == 8
