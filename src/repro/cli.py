@@ -20,6 +20,10 @@ Commands
     with ``-``) without materializing the file; ``repro get photos
     cat.gif -o ./cat.gif`` streams it back (stdout with ``-``).  Large
     uploads switch to the multipart protocol automatically.
+``status``
+    Operational snapshot of a running gateway: period, costs, hedged-read
+    counters and the per-provider health table (availability, circuit
+    breaker, latency/error EWMAs, installed fault profiles).
 """
 
 from __future__ import annotations
@@ -112,8 +116,18 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.controlplane import BackgroundControlPlane
+    from repro.providers.faults import parse_fault_spec
+    from repro.providers.health import HedgePolicy
 
     registry = ProviderRegistry(paper_catalog(include_cheapstor=args.cheapstor))
+    try:
+        hedge = HedgePolicy(
+            enabled=not args.no_hedge,
+            min_deadline_s=args.hedge_deadline_ms / 1000.0,
+        )
+    except ValueError as exc:
+        print(f"bad --hedge-deadline-ms {args.hedge_deadline_ms}: {exc}", file=sys.stderr)
+        return 2
     broker = Scalia(
         registry,
         datacenters=args.datacenters,
@@ -124,7 +138,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stripe_size_bytes=args.stripe_bytes,
         optimizer_batch_size=args.optimizer_batch,
         scrub_batch_size=args.scrub_batch,
+        hedge=hedge,
     )
+    for spec in args.fault or ():
+        name, colon, profile_spec = spec.partition(":")
+        if not colon:
+            print(f"--fault wants PROVIDER:SPEC, got {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            registry.set_fault_profile(name.strip(), parse_fault_spec(profile_spec))
+        except (KeyError, ValueError) as exc:
+            print(f"bad --fault {spec!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"fault profile installed on {name.strip()}: {profile_spec.strip()}")
     frontend = BrokerFrontend(broker, mode=args.mode)
     gateway = ScaliaGateway(
         frontend, host=args.host, port=args.port, verbose=args.verbose
@@ -157,7 +183,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> (Range + conditionals) | "
         "multipart: POST ?uploads, PUT ?partNumber=&uploadId=, POST/DELETE ?uploadId= | "
         "GET /<bucket>?list-type=2&prefix=&delimiter=&max-keys=&continuation-token= | "
-        "GET /healthz | GET /stats | POST /tick | POST /scrub"
+        "GET /healthz | GET /stats | POST /tick | POST /scrub | GET/POST /faults"
     )
     # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
     # and background shells may spawn children with SIGINT ignored.
@@ -293,6 +319,59 @@ def _cmd_get(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.gateway.client import GatewayError
+
+    try:
+        with _gateway_client(args) as client:
+            stats = client.stats()
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"period   : {stats['period']} (t={stats['now_hours']:.1f} h, "
+          f"mode={stats['mode']})")
+    print(f"cost     : ${stats['cost_total']:.4f} total")
+    print(f"pending  : {stats['pending_deletes']} postponed deletes")
+    hedging = stats.get("hedging", {})
+    if hedging:
+        policy = hedging.get("policy", {})
+        print(
+            f"hedging  : {'on' if policy.get('enabled') else 'off'} — "
+            f"{hedging.get('hedged_reads', 0)} degraded reads, "
+            f"{hedging.get('hedges_fired', 0)} hedges fired, "
+            f"{hedging.get('replacements', 0)} replacements, "
+            f"{hedging.get('suppressed', 0)} suppressed"
+        )
+    health = stats.get("health", {})
+    if health:
+        print(f"\n{'provider':<10} {'up':>3} {'breaker':>9} {'ewma ms':>8} "
+              f"{'err rate':>9} {'obs':>7} {'opens':>5}  fault profile")
+        for name in sorted(health):
+            h = health[name]
+            profile = h.get("fault_profile")
+            desc = "-"
+            if profile:
+                parts = [f"latency={profile['latency_ms']}ms"]
+                if profile.get("jitter_ms"):
+                    parts.append(f"jitter={profile['jitter_ms']}ms")
+                if profile.get("error_rate"):
+                    parts.append(f"error={profile['error_rate']}")
+                if profile.get("slow"):
+                    parts.append(f"slow×{profile['slow_multiplier']}")
+                if profile.get("flap"):
+                    parts.append(
+                        f"flap={profile['flap']['up_ops']}/{profile['flap']['down_ops']}"
+                    )
+                desc = ",".join(parts)
+            print(
+                f"{name:<10} {'yes' if h.get('available') else 'NO':>3} "
+                f"{h['breaker']:>9} {h['ewma_latency_ms']:>8.2f} "
+                f"{h['ewma_error_rate']:>9.4f} {h['observations']:>7} "
+                f"{h['opens']:>5}  {desc}"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -387,6 +466,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="durability flush policy: 'os' survives process crashes, "
         "'always' adds fsync (power-loss safe), 'never' is test-only",
     )
+    serve.add_argument(
+        "--fault",
+        action="append",
+        metavar="PROVIDER:SPEC",
+        help="install a fault profile at boot, e.g. "
+        "'S3(h):latency=500ms,jitter=50ms,error=0.05,seed=7' "
+        "(repeatable; also injectable at runtime via POST /faults)",
+    )
+    serve.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="disable hedged degraded-mode reads (serial chunk fetching only)",
+    )
+    serve.add_argument(
+        "--hedge-deadline-ms",
+        type=float,
+        default=50.0,
+        help="minimum straggler deadline before a read hedges to a parity "
+        "provider (adaptive above this floor; default 50)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
 
@@ -427,6 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_gateway_args(get)
     get.set_defaults(func=_cmd_get)
+
+    status = sub.add_parser(
+        "status", help="operational snapshot (health, breakers, hedging)"
+    )
+    add_gateway_args(status)
+    status.set_defaults(func=_cmd_status)
     return parser
 
 

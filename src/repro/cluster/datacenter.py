@@ -19,6 +19,7 @@ from repro.cluster.locks import LockManager
 from repro.cluster.metadata import MetadataCluster
 from repro.cluster.statistics import LogAgent, LogAggregator, StatsDatabase
 from repro.erasure.rs import CodeCache
+from repro.providers.health import HedgePolicy
 from repro.providers.registry import ProviderRegistry
 from repro.util.ids import IdGenerator
 
@@ -61,6 +62,7 @@ class ScaliaCluster:
         seed: int = 0,
         id_epoch: int = 0,
         stats: Optional[StatsDatabase] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         if datacenters < 1 or engines_per_dc < 1:
             raise ValueError("need at least one datacenter and one engine")
@@ -80,6 +82,9 @@ class ScaliaCluster:
         # object/container locks (and the in-flight write registry the
         # scrubber's orphan sweep consults) too.
         self.locks = LockManager()
+        # One hedge policy cluster-wide: every engine reads with the same
+        # degraded-mode behaviour (and the gateway reports one config).
+        self.hedge = hedge if hedge is not None else HedgePolicy()
         code_cache = CodeCache()
 
         self.datacenters: Dict[str, Datacenter] = {}
@@ -99,6 +104,7 @@ class ScaliaCluster:
                     pending_deletes=self.pending_deletes,
                     code_cache=code_cache,
                     locks=self.locks,
+                    hedge=self.hedge,
                 )
                 engines.append(engine)
                 self.election.register(engine_id)

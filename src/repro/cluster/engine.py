@@ -37,10 +37,12 @@ import base64
 import binascii
 import hashlib
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.cluster.cache import CacheLayer
+from repro.cluster.hedging import HedgeStats, hedged_fetch
 from repro.cluster.locks import LockManager, StripedMutexes
 from repro.cluster.metadata import MetadataCluster
 from repro.cluster.multipart import (
@@ -61,6 +63,7 @@ from repro.erasure.striping import (
     split_object,
     split_synthetic,
 )
+from repro.providers.health import HedgePolicy
 from repro.providers.provider import (
     CapacityExceededError,
     ChunkCorruptionError,
@@ -87,12 +90,44 @@ class ObjectNotFoundError(KeyError):
     """Raised when reading or deleting a key that does not exist."""
 
 
+def _causes_suffix(causes: Dict[str, BaseException]) -> str:
+    """Render per-provider failure causes into an error message tail."""
+    if not causes:
+        return ""
+    detail = "; ".join(
+        f"{name}: {type(exc).__name__}: {exc}" for name, exc in sorted(causes.items())
+    )
+    return f" [per-provider causes: {detail}]"
+
+
 class WriteFailedError(RuntimeError):
-    """Raised when a write cannot be placed on any feasible provider set."""
+    """Raised when a write cannot be placed on any feasible provider set.
+
+    ``causes`` maps provider name → the exception that disqualified it
+    during this write's attempts, so operators (and the chaos suite) can
+    tell a timeout from a capacity reject without re-running the write.
+    """
+
+    def __init__(
+        self, message: str, *, causes: Optional[Dict[str, BaseException]] = None
+    ) -> None:
+        self.causes: Dict[str, BaseException] = dict(causes or {})
+        super().__init__(message + _causes_suffix(self.causes))
 
 
 class ReadFailedError(RuntimeError):
-    """Raised when fewer than ``m`` chunks are reachable for a read."""
+    """Raised when fewer than ``m`` chunks are reachable for a read.
+
+    ``causes`` maps provider name → the exception (outage, injected
+    fault, missing or corrupt chunk) that kept its chunk out of the
+    decode, so a failed read tells you *which* providers failed *how*.
+    """
+
+    def __init__(
+        self, message: str, *, causes: Optional[Dict[str, BaseException]] = None
+    ) -> None:
+        self.causes: Dict[str, BaseException] = dict(causes or {})
+        super().__init__(message + _causes_suffix(self.causes))
 
 
 class InvalidRangeError(ValueError):
@@ -309,6 +344,7 @@ class Engine:
         pending_deletes: Optional[PendingDeleteQueue] = None,
         code_cache: Optional[CodeCache] = None,
         locks: Optional[LockManager] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.engine_id = engine_id
         self.dc = dc
@@ -324,6 +360,13 @@ class Engine:
         # cluster passes one in); a private fallback keeps standalone
         # single-engine construction (tests, tools) working.
         self._locks = locks if locks is not None else LockManager()
+        # Degraded-mode read policy: when some chunk provider looks
+        # suspect, stripe fetches go parallel and hedge stragglers
+        # (docs/FAULTS.md).  The all-healthy hot path never sees it.
+        self._hedge = hedge if hedge is not None else HedgePolicy()
+        self.hedge_stats = HedgeStats()
+        self._hedge_threads: List[threading.Thread] = []
+        self._hedge_threads_lock = threading.Lock()
 
     @property
     def locks(self) -> LockManager:
@@ -1191,6 +1234,7 @@ class Engine:
         row_key = object_row_key(container, key)
         old_meta = self._winning_meta(row_key)
         class_key = self._planner.classify(size, mime)
+        causes: Dict[str, BaseException] = {}
         exclude: frozenset[str] = frozenset(
             name for name in self._registry.names() if not self._registry.is_available(name)
         )
@@ -1206,7 +1250,7 @@ class Engine:
                     exclude=exclude,
                 )
             except PlacementError as exc:
-                raise WriteFailedError(str(exc)) from exc
+                raise WriteFailedError(str(exc), causes=causes) from exc
             skey = storage_key(container, key, self._ids.uuid())
             self._locks.in_flight.begin(skey)
             try:
@@ -1228,13 +1272,16 @@ class Engine:
                     # provider(s)").
                     if not exc.provider_name:
                         raise
+                    causes[exc.provider_name] = exc
                     exclude = exclude | {exc.provider_name}
                     continue
                 self._commit_put(container, key, row_key, meta, old_meta, now, period)
                 return meta
             finally:
                 self._locks.in_flight.end(skey)
-        raise WriteFailedError(f"no reachable placement for {container}/{key}")
+        raise WriteFailedError(
+            f"no reachable placement for {container}/{key}", causes=causes
+        )
 
     def _put_streamed(
         self,
@@ -1257,6 +1304,7 @@ class Engine:
         # available guess (the exact size lands in the metadata at the end,
         # and the periodic optimizer corrects any resulting misplacement).
         size_guess = source.size_hint if source.size_hint else 2 * stripe_size
+        causes: Dict[str, BaseException] = {}
         exclude: frozenset[str] = frozenset(
             name for name in self._registry.names() if not self._registry.is_available(name)
         )
@@ -1272,7 +1320,7 @@ class Engine:
                     exclude=exclude,
                 )
             except PlacementError as exc:
-                raise WriteFailedError(str(exc)) from exc
+                raise WriteFailedError(str(exc), causes=causes) from exc
             uuid = self._ids.uuid()
             skey = storage_key(container, key, uuid)
             digest = hashlib.md5()
@@ -1293,11 +1341,13 @@ class Engine:
                     self._delete_refs(written)
                     if not exc.provider_name:
                         raise
+                    causes[exc.provider_name] = exc
                     exclude = exclude | {exc.provider_name}
                     if not source.restart():
                         raise WriteFailedError(
                             f"provider {exc.provider_name} failed mid-stream and "
-                            f"the source cannot restart"
+                            f"the source cannot restart",
+                            causes=causes,
                         ) from exc
                     first = source.read(stripe_size)
                     continue
@@ -1329,7 +1379,9 @@ class Engine:
                 return meta
             finally:
                 self._locks.in_flight.end(skey)
-        raise WriteFailedError(f"no reachable placement for {container}/{key}")
+        raise WriteFailedError(
+            f"no reachable placement for {container}/{key}", causes=causes
+        )
 
     def _stream_stripes(
         self,
@@ -1485,48 +1537,132 @@ class Engine:
         return start, min(end, meta.size - 1)
 
     def _serving_order(self, meta: ObjectMeta) -> List[Tuple[int, str]]:
-        """Available chunks sorted by the cost of reading them.
+        """Available chunks sorted by health, then by the cost of reading.
 
         The engine reads from the *cheapest* providers (Section III-D2),
         ranked by egress price — the paper's convention; see
-        ``CostModel.serving_rank`` for why.  The cost model's default
-        serving set mirrors this ordering exactly.
+        ``CostModel.serving_rank`` for why.  Observed provider quality
+        refines that order: providers with a non-closed circuit breaker
+        sort last, and EWMA latency (quantized to 10 ms buckets so benign
+        jitter never reorders anything) sorts slow-but-alive providers
+        behind fast ones.  When every provider is healthy and fast the
+        order is exactly the cost order, which keeps the cost model's
+        default serving set honest.
         """
         clen = chunk_length(meta.size, meta.m)
-        scored: List[Tuple[float, str, int]] = []
+        health = self._registry.health
+        breaker_rank = {"closed": 0, "half_open": 1, "open": 2}
+        scored: List[Tuple[int, int, float, str, int]] = []
         for index, provider_name in meta.chunk_map:
             if provider_name not in self._registry:
                 continue
             if not self._registry.is_available(provider_name):
                 continue
             pricing = self._registry.get(provider_name).spec.pricing
-            scored.append((pricing.egress_cost(clen), provider_name, index))
+            scored.append(
+                (
+                    breaker_rank.get(health.breaker_state(provider_name), 0),
+                    int(health.latency_of(provider_name) / 0.010),
+                    pricing.egress_cost(clen),
+                    provider_name,
+                    index,
+                )
+            )
         scored.sort()
-        return [(index, name) for _, name, index in scored]
+        return [(index, name) for _, _, _, name, index in scored]
+
+    def _track_hedge_thread(self, thread: threading.Thread) -> None:
+        with self._hedge_threads_lock:
+            self._hedge_threads = [t for t in self._hedge_threads if t.is_alive()]
+            self._hedge_threads.append(thread)
+
+    def drain_hedges(self, timeout: float = 10.0) -> None:
+        """Join in-flight hedge fetch threads.
+
+        A hedged read returns as soon as ``m`` chunks arrive; a straggler
+        fetch may still be billing its provider in the background.  Tests
+        and benchmarks that assert exact metered totals call this first
+        so the meters are settled.
+        """
+        with self._hedge_threads_lock:
+            threads = list(self._hedge_threads)
+        stop_at = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(max(0.0, stop_at - time.monotonic()))
 
     def _fetch_chunks(self, meta: ObjectMeta, count: int, *, stripe: int = 0, times: int = 1):
-        """Fetch ``count`` chunks of one stripe from the cheapest providers.
+        """Fetch ``count`` chunks of one stripe from the best providers.
 
         Corrupt chunks (durable backends detect them by checksum) are
         skipped like missing ones: any ``m`` intact chunks serve the read,
         and the scrubber repairs the damage out of band.
+
+        Two regimes (docs/FAULTS.md): with every candidate healthy the
+        serial walk below runs — zero extra overhead, billing identical
+        to the pre-hedging engine.  When the health tracker marks any
+        candidate *suspect* (slow EWMA, flaky, breaker not closed) the
+        fetch goes through :func:`hedged_fetch`: the ``count``
+        best-ranked providers in parallel, hedging stragglers past an
+        adaptive deadline to the parity providers.  Either way a failed
+        read carries per-provider causes.
         """
-        fetched = []
-        for index, provider_name in self._serving_order(meta):
-            if len(fetched) == count:
-                break
-            try:
-                fetched.append(
-                    self._registry.get(provider_name).get_chunk(
-                        meta.chunk_key(index, stripe), times=times
-                    )
+        order = self._serving_order(meta)
+        health = self._registry.health
+        causes: Dict[str, BaseException] = {}
+        if self._hedge.should_hedge(health, [name for _, name in order], count):
+            self.hedge_stats.record_read()
+
+            def fetch(index: int, name: str):
+                return self._registry.get(name).get_chunk(
+                    meta.chunk_key(index, stripe), times=times
                 )
-            except (ProviderUnavailableError, ChunkNotFoundError, ChunkCorruptionError):
-                continue
+
+            fetched, hedge_causes = hedged_fetch(
+                candidates=order,
+                fetch=fetch,
+                count=count,
+                policy=self._hedge,
+                health=health,
+                stats=self.hedge_stats,
+                thread_sink=self._track_hedge_thread,
+            )
+            causes.update(hedge_causes)
+        else:
+            fetched = []
+            for index, provider_name in order:
+                if len(fetched) == count:
+                    break
+                try:
+                    fetched.append(
+                        self._registry.get(provider_name).get_chunk(
+                            meta.chunk_key(index, stripe), times=times
+                        )
+                    )
+                except (
+                    ProviderUnavailableError,
+                    ChunkNotFoundError,
+                    ChunkCorruptionError,
+                ) as exc:
+                    causes[provider_name] = exc
+                    continue
         if len(fetched) < count:
+            # Providers filtered out before any fetch still explain the
+            # failure: name them in the causes map too.
+            for _index, provider_name in meta.chunk_map:
+                if provider_name in causes:
+                    continue
+                if provider_name not in self._registry:
+                    causes[provider_name] = ProviderUnavailableError(
+                        f"provider {provider_name} is not registered", provider_name
+                    )
+                elif not self._registry.is_available(provider_name):
+                    causes[provider_name] = ProviderUnavailableError(
+                        f"provider {provider_name} is unavailable", provider_name
+                    )
             raise ReadFailedError(
                 f"only {len(fetched)} of the required {count} chunks reachable "
-                f"for {meta.container}/{meta.key} (stripe {stripe})"
+                f"for {meta.container}/{meta.key} (stripe {stripe})",
+                causes=causes,
             )
         return fetched
 

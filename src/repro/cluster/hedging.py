@@ -1,0 +1,231 @@
+"""Hedged m-of-n chunk fetching for degraded-mode reads.
+
+A striped read needs only ``m`` of its ``n`` chunks.  The serial fetcher
+walks providers one at a time, which is optimal when everyone is fast —
+but one slow-but-alive provider then gates the whole read.  The hedged
+fetcher used in degraded mode (some candidate looks *suspect* to the
+health tracker) instead:
+
+1. issues the ``m`` best-ranked fetches concurrently (read latency =
+   max, not sum, of the chosen providers);
+2. arms an **adaptive hedge deadline** from the chosen providers'
+   observed latency EWMAs; when a straggler outlives it, launches a
+   hedge fetch to the next-ranked parity provider;
+3. replaces failed fetches immediately (no deadline wait);
+4. decodes from the first ``m`` arrivals, cancels not-yet-started
+   fetches, and lets already-in-flight stragglers finish in the
+   background.
+
+Billing stays exact by construction: a provider bills if and only if its
+``get_chunk`` actually ran — fetches cancelled before starting never
+touch the provider, and a straggler whose result arrives too late to be
+used still served bytes, so it (honestly) billed.  Callers that assert
+metered totals must first :meth:`~repro.cluster.engine.Engine.
+drain_hedges` so in-flight stragglers settle.
+
+The breaker is consulted as *admission control*: a hedge to an
+open-breaker provider is suppressed while enough other candidates
+remain, and a half-open provider admits only its bounded probe quota —
+but when a read cannot otherwise reach ``m`` chunks, the fetch proceeds
+regardless (durability beats breaker politeness).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.providers.health import HealthTracker, HedgePolicy
+from repro.providers.provider import (
+    ChunkCorruptionError,
+    ChunkNotFoundError,
+    ProviderUnavailableError,
+)
+
+__all__ = ["HedgeStats", "hedged_fetch"]
+
+#: The failures a fetch absorbs by trying another provider; anything else
+#: is a bug and must surface.
+FETCH_ERRORS = (ProviderUnavailableError, ChunkNotFoundError, ChunkCorruptionError)
+
+
+class HedgeStats:
+    """Thread-safe counters describing the hedged read path's activity."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hedged_reads = 0  # stripe fetches that took the parallel path
+        self.hedges_fired = 0  # extra fetches launched on a straggler deadline
+        self.replacements = 0  # extra fetches launched on a failed fetch
+        self.suppressed = 0  # hedges skipped by breaker admission control
+
+    def record_read(self) -> None:
+        with self._lock:
+            self.hedged_reads += 1
+
+    def record_hedge(self) -> None:
+        with self._lock:
+            self.hedges_fired += 1
+
+    def record_replacement(self) -> None:
+        with self._lock:
+            self.replacements += 1
+
+    def record_suppressed(self) -> None:
+        with self._lock:
+            self.suppressed += 1
+
+    def merge(self, other: "HedgeStats") -> "HedgeStats":
+        """Fold another stats object into this one (cluster aggregation)."""
+        snap = other.snapshot()
+        with self._lock:
+            self.hedged_reads += snap["hedged_reads"]
+            self.hedges_fired += snap["hedges_fired"]
+            self.replacements += snap["replacements"]
+            self.suppressed += snap["suppressed"]
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hedged_reads": self.hedged_reads,
+                "hedges_fired": self.hedges_fired,
+                "replacements": self.replacements,
+                "suppressed": self.suppressed,
+            }
+
+
+def hedged_fetch(
+    *,
+    candidates: Sequence[Tuple[int, str]],
+    fetch: Callable[[int, str], Any],
+    count: int,
+    policy: HedgePolicy,
+    health: HealthTracker,
+    stats: Optional[HedgeStats] = None,
+    thread_sink: Optional[Callable[[threading.Thread], None]] = None,
+) -> Tuple[List[Any], Dict[str, BaseException]]:
+    """Fetch ``count`` chunks from ``candidates`` with hedging.
+
+    ``candidates`` is the health/cost-ranked ``(chunk_index, provider)``
+    list; ``fetch`` performs (and bills) one provider read and may raise
+    any of :data:`FETCH_ERRORS`.  Returns the first ``count`` successful
+    payloads (possibly fewer when the candidates are exhausted) plus a
+    map of per-provider failures for error reporting.
+
+    ``thread_sink`` receives every spawned thread so the engine can later
+    join stragglers (``drain_hedges``).
+    """
+    results: "queue.SimpleQueue" = queue.SimpleQueue()
+    cancel = threading.Event()
+    chunks: List[Any] = []
+    causes: Dict[str, BaseException] = {}
+    outstanding = 0
+    in_flight: List[str] = []
+    next_i = 0
+
+    def worker(index: int, name: str) -> None:
+        if cancel.is_set():
+            # The read already completed: never touch (or bill) the
+            # provider for a fetch nobody needs.
+            results.put(("skipped", name, None))
+            return
+        try:
+            value = fetch(index, name)
+        except FETCH_ERRORS as exc:
+            results.put(("error", name, exc))
+            return
+        except BaseException as exc:  # noqa: BLE001 — relayed to the caller
+            results.put(("fatal", name, exc))
+            return
+        results.put(("ok", name, value))
+
+    def launch_one() -> bool:
+        """Start the next admissible candidate; False when exhausted."""
+        nonlocal next_i, outstanding
+        while next_i < len(candidates):
+            index, name = candidates[next_i]
+            next_i += 1
+            # Admission control: skip a breaker-rejected provider only
+            # while the read can still possibly reach `count` without it.
+            can_skip = len(chunks) + outstanding + (len(candidates) - next_i) >= count
+            if can_skip and not health.allow_request(name):
+                causes.setdefault(
+                    name,
+                    ProviderUnavailableError(
+                        f"provider {name}: breaker open, hedge suppressed", name
+                    ),
+                )
+                if stats is not None:
+                    stats.record_suppressed()
+                continue
+            thread = threading.Thread(
+                target=worker,
+                args=(index, name),
+                name=f"hedge-fetch-{name}",
+                daemon=True,
+            )
+            outstanding += 1
+            in_flight.append(name)
+            thread.start()
+            # Sink only after start(): a not-yet-started thread reports
+            # is_alive() False (a concurrent prune would drop it) and
+            # join() on it raises.
+            if thread_sink is not None:
+                thread_sink(thread)
+            return True
+        return False
+
+    def settle(message: Tuple[str, str, Any]) -> None:
+        nonlocal outstanding
+        kind, name, payload = message
+        outstanding -= 1
+        if name in in_flight:
+            in_flight.remove(name)
+        if kind == "ok":
+            chunks.append(payload)
+        elif kind == "error":
+            causes[name] = payload
+            if len(chunks) < count and launch_one() and stats is not None:
+                stats.record_replacement()
+        elif kind == "fatal":
+            cancel.set()
+            raise payload
+        # "skipped": a cancelled launch; nothing to record.
+
+    for _ in range(count):
+        if not launch_one():
+            break
+    armed_at = time.monotonic()
+    deadline = policy.deadline_for(health, in_flight)
+    while len(chunks) < count and (outstanding > 0 or next_i < len(candidates)):
+        if outstanding == 0:
+            if not launch_one():
+                break
+            armed_at = time.monotonic()
+            deadline = policy.deadline_for(health, in_flight)
+            continue
+        remaining = deadline - (time.monotonic() - armed_at)
+        if remaining <= 0.0:
+            # Straggler: hedge to the next parity provider (when one is
+            # left), then re-arm the deadline for the widened set.
+            if launch_one():
+                if stats is not None:
+                    stats.record_hedge()
+                armed_at = time.monotonic()
+                deadline = policy.deadline_for(health, in_flight)
+                continue
+            # Exhausted: nothing left to hedge to — wait it out.
+            settle(results.get())
+            continue
+        try:
+            message = results.get(timeout=remaining)
+        except queue.Empty:
+            continue  # the next loop iteration fires the hedge
+        settle(message)
+        armed_at = time.monotonic()
+        deadline = policy.deadline_for(health, in_flight)
+    cancel.set()
+    return chunks, causes

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.datacenter import ScaliaCluster
 from repro.cluster.engine import DEFAULT_STRIPE_SIZE, PlacementError, ReadPlan
+from repro.cluster.hedging import HedgeStats
+from repro.providers.health import HedgePolicy
 from repro.cluster.multipart import MultipartState, PartState
 from repro.core.classifier import ClassStatistics, object_class
 from repro.core.costmodel import AccessProjection, CostModel
@@ -97,11 +99,24 @@ class CorePlanner:
         rule = self.rules.resolve(
             rule_name=rule_name, class_key=class_key, object_key=row_key
         )
-        specs = self.registry.specs(include_failed=False)
         projection, horizon = self._projection_for(row_key, class_key, size, period)
-        decision = self.placement_engine.best_placement(
-            specs, rule, projection, horizon, exclude=exclude
-        )
+        # Health-gated placement: providers whose circuit breaker is not
+        # closed are dropped first, so new objects avoid providers that
+        # are up but demonstrably misbehaving.  When the healthy pool
+        # alone cannot satisfy the rule, fall back to every available
+        # provider — a degraded placement beats a failed write.
+        specs = self.registry.specs(include_failed=False, include_sick=False)
+        try:
+            decision = self.placement_engine.best_placement(
+                specs, rule, projection, horizon, exclude=exclude
+            )
+        except PlacementError:
+            all_specs = self.registry.specs(include_failed=False)
+            if len(all_specs) == len(specs):
+                raise
+            decision = self.placement_engine.best_placement(
+                all_specs, rule, projection, horizon, exclude=exclude
+            )
         return decision.placement
 
     # -- internals ----------------------------------------------------------
@@ -176,6 +191,7 @@ class Scalia:
         stripe_size_bytes: int = DEFAULT_STRIPE_SIZE,
         optimizer_batch_size: int = 64,
         scrub_batch_size: int = 64,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         if stripe_size_bytes < 1:
             raise ValueError("stripe_size_bytes must be >= 1")
@@ -236,6 +252,7 @@ class Scalia:
             seed=seed,
             id_epoch=id_epoch,
             stats=stats,
+            hedge=hedge,
         )
         self.optimizer = PeriodicOptimizer(
             cluster=self.cluster,
@@ -557,6 +574,29 @@ class Scalia:
         never wait for more than one object's scrub.
         """
         return self.scrubber.scrub(repair=repair)
+
+    def drain_hedges(self, timeout: float = 10.0) -> None:
+        """Join every engine's in-flight hedge fetch threads.
+
+        Call before asserting metered totals: a hedged read may leave a
+        straggler fetch still billing its provider in the background.
+        """
+        for engine in self.cluster.all_engines():
+            engine.drain_hedges(timeout)
+
+    def hedge_stats(self) -> dict:
+        """Aggregated hedged-read counters across every engine, plus the
+        cluster's hedge policy (the ``/stats`` hedging block)."""
+        total = HedgeStats()
+        for engine in self.cluster.all_engines():
+            total.merge(engine.hedge_stats)
+        out = total.snapshot()
+        out["policy"] = self.cluster.hedge.describe()
+        return out
+
+    def health_report(self) -> dict:
+        """Per-provider health picture (breakers, EWMAs, fault profiles)."""
+        return self.registry.health_report()
 
     def storage_stats(self) -> dict:
         """JSON-ready description of the data plane's durability state."""

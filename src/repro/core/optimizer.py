@@ -42,6 +42,11 @@ from repro.core.decision import DecisionPeriodController
 from repro.core.placement import PlacementDecision, PlacementEngine
 from repro.core.rules import RuleBook
 from repro.core.trend import MomentumDetector
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+)
 from repro.providers.registry import ProviderRegistry
 from repro.types import ObjectMeta, Placement
 
@@ -318,8 +323,57 @@ class PeriodicOptimizer:
         max_d = self._max_decision_period(meta, now, period)
         coupled = self.decision.coupling_due(row_key)
         candidates = self.decision.candidates(row_key, max_d=max_d)
-        specs = self.registry.specs(include_failed=False)
+        # Health-gated recomputation: migration targets avoid providers
+        # whose circuit breaker is not closed, falling back to the full
+        # available pool when the healthy subset cannot satisfy the rule
+        # (better a placement on a flaky provider than none at all).
+        specs = self.registry.specs(include_failed=False, include_sick=False)
+        best, best_d = self._search_candidates(
+            row_key, period, meta, rule, candidates, specs
+        )
+        if best is None:
+            all_specs = self.registry.specs(include_failed=False)
+            if len(all_specs) != len(specs):
+                best, best_d = self._search_candidates(
+                    row_key, period, meta, rule, candidates, all_specs
+                )
+        outcome.recomputed = True
+        if best is None:
+            return outcome  # nothing feasible right now; wait
+        self.decision.after_optimization(row_key, best_d if coupled else None)
+        outcome.chosen_d = best_d
+        new_placement = best.placement
+        outcome.new_placement = new_placement
+        if new_placement == meta.placement:
+            return outcome
 
+        if not needs_repair and not self._worth_migrating(
+            meta, new_placement, best_d or 1, now, period
+        ):
+            outcome.new_placement = meta.placement
+            return outcome
+        try:
+            engine.migrate(meta.container, meta.key, new_placement, now=now, period=period)
+        except (ReadFailedError, PlacementError, ProviderUnavailableError,
+                CapacityExceededError, ChunkTooLargeError):
+            # Too many chunks unreachable, or a (possibly injected)
+            # transient fault hit a migration write: retry next round.
+            return outcome
+        outcome.migrated = True
+        outcome.repaired = needs_repair
+        return outcome
+
+    def _search_candidates(
+        self,
+        row_key: str,
+        period: int,
+        meta: ObjectMeta,
+        rule,
+        candidates,
+        specs,
+    ):
+        """Best (decision, d) over the decision-period candidates, by the
+        cost *rate* with the placement engine's total order as tie-break."""
         best: Optional[PlacementDecision] = None
         best_rate = math.inf
         best_d: Optional[int] = None
@@ -338,28 +392,7 @@ class PeriodicOptimizer:
                 and self.placement_engine.better(decision, best)
             ):
                 best, best_rate, best_d = decision, rate, d
-        outcome.recomputed = True
-        if best is None:
-            return outcome  # nothing feasible right now; wait
-        self.decision.after_optimization(row_key, best_d if coupled else None)
-        outcome.chosen_d = best_d
-        new_placement = best.placement
-        outcome.new_placement = new_placement
-        if new_placement == meta.placement:
-            return outcome
-
-        if not needs_repair and not self._worth_migrating(
-            meta, new_placement, best_d or 1, now, period
-        ):
-            outcome.new_placement = meta.placement
-            return outcome
-        try:
-            engine.migrate(meta.container, meta.key, new_placement, now=now, period=period)
-        except (ReadFailedError, PlacementError):
-            return outcome  # too many chunks unreachable; retry next round
-        outcome.migrated = True
-        outcome.repaired = needs_repair
-        return outcome
+        return best, best_d
 
     def _worth_migrating(
         self,

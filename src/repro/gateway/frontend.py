@@ -475,7 +475,35 @@ class BrokerFrontend:
             "cost_total": costs.total,
             "cost_by_provider": costs.by_provider,
             "storage": broker.storage_stats(),
+            "health": broker.health_report(),
+            "hedging": broker.hedge_stats(),
         }
+
+    # -- fault injection (the chaos-tooling surface) ----------------------
+
+    def fault_profiles(self) -> Dict[str, Any]:
+        """Per-provider installed fault profile (``GET /faults``)."""
+        return self._run("faults", lambda: self.broker.registry.fault_profiles())
+
+    def set_fault_profile(
+        self, provider: str, profile_doc: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Install (``profile_doc``) or clear (``None``) a fault profile.
+
+        The document uses the JSON form of ``FaultProfile.describe``;
+        returns the provider's resulting profile state.
+        """
+        from repro.providers.faults import profile_from_dict
+
+        def fn():
+            profile = profile_from_dict(profile_doc) if profile_doc else None
+            self.broker.registry.set_fault_profile(provider, profile)
+            return {
+                "provider": provider,
+                "fault_profile": profile.describe() if profile else None,
+            }
+
+        return self._run("set_fault", fn)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -13,6 +13,8 @@ GET    ``/healthz``                       liveness probe
 GET    ``/stats``                         gateway + broker counters
 POST   ``/tick``                          close ``?periods=N`` periods
 POST   ``/scrub``                         integrity pass + repair
+GET    ``/faults``                        installed fault profiles
+POST   ``/faults``                        install/clear a fault profile
 PUT    ``/{bucket}/{key}``                store object (streamed body)
 PUT    ``...?partNumber=N&uploadId=U``    upload one multipart part
 GET    ``/{bucket}/{key}``                read object (``Range`` aware)
@@ -53,6 +55,7 @@ from repro.providers.provider import (
     ChunkTooLargeError,
     ProviderUnavailableError,
 )
+from repro.providers.registry import UnknownProviderError
 
 #: Methods object routes accept (POST only with multipart query params).
 OBJECT_ALLOW = "DELETE, GET, HEAD, POST, PUT"
@@ -91,7 +94,7 @@ class RouteError(ValueError):
 class Route:
     """A parsed gateway request."""
 
-    kind: str  # "health" | "stats" | "tick" | "scrub" | "object" | "list"
+    kind: str  # "health" | "stats" | "tick" | "scrub" | "faults" | "object" | "list"
     bucket: Optional[str] = None
     key: Optional[str] = None
     params: Dict[str, str] = field(default_factory=dict)
@@ -124,6 +127,12 @@ def parse_route(method: str, target: str) -> Route:
         if method != "POST":
             raise RouteError("scrub only supports POST", status=405, allow="POST")
         return Route("scrub", params=params)
+    if path in ("/faults", "/faults/"):
+        if method not in ("GET", "POST"):
+            raise RouteError(
+                "faults supports GET and POST", status=405, allow="GET, POST"
+            )
+        return Route("faults", params=params)
 
     stripped = path.lstrip("/")
     if not stripped:
@@ -251,7 +260,7 @@ def status_for_exception(exc: BaseException) -> int:
     ``KeyError`` deep in the broker is a server bug and must surface as a
     500, not masquerade as client error.
     """
-    if isinstance(exc, (ObjectNotFoundError, NoSuchUploadError)):
+    if isinstance(exc, (ObjectNotFoundError, NoSuchUploadError, UnknownProviderError)):
         return 404
     if isinstance(exc, (NamespaceError, RouteError)):
         return getattr(exc, "status", 400)

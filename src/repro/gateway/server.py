@@ -43,6 +43,7 @@ from repro.gateway.routes import (
     parse_route,
     status_for_exception,
 )
+from repro.providers.registry import UnknownProviderError
 
 #: Largest accepted object payload (keeps a stray client from filling the
 #: providers by accident; real S3 caps single PUTs at 5 GiB).
@@ -138,12 +139,47 @@ class GatewayHandler(BaseHTTPRequestHandler):
         elif route.kind == "scrub":
             repair = route.params.get("repair", "1") not in ("0", "false", "no")
             self._send_json(200, frontend.scrub(repair=repair))
+        elif route.kind == "faults":
+            self._handle_faults(route, frontend)
         elif route.kind == "list":
             self._handle_list(route, frontend, tenant)
         elif route.kind == "object":
             self._handle_object(route, frontend, tenant)
         else:  # pragma: no cover — parse_route only emits the kinds above
             raise RouteError(f"unroutable kind {route.kind!r}")
+
+    def _handle_faults(self, route: Route, frontend: BrokerFrontend) -> None:
+        """Runtime fault injection: the chaos-tooling admin surface.
+
+        ``GET /faults`` lists per-provider profiles; ``POST /faults``
+        takes ``{"provider": name, "profile": {...}|null}`` — the profile
+        uses the JSON form of ``FaultProfile.describe`` (``latency_ms``,
+        ``jitter_ms``, ``error_rate``, ``slow_multiplier``, ``flap``,
+        ``seed``); ``null`` clears.
+        """
+        if self.command == "GET":
+            self._send_json(200, frontend.fault_profiles())
+            return
+        body = self._read_small_body()
+        try:
+            doc = json.loads(body) if body else {}
+        except json.JSONDecodeError:
+            raise RouteError("fault injection body must be JSON") from None
+        provider = doc.get("provider") or route.params.get("provider")
+        if not provider:
+            raise RouteError('fault injection needs {"provider": ...}')
+        profile_doc = doc.get("profile")
+        if profile_doc is not None and not isinstance(profile_doc, dict):
+            raise RouteError("profile must be a JSON object or null")
+        try:
+            result = frontend.set_fault_profile(provider, profile_doc)
+        except UnknownProviderError:
+            raise
+        except (ValueError, TypeError, KeyError) as exc:
+            # Malformed profile fields (bad rates, negative latencies,
+            # a flap object missing up_ops/down_ops).
+            raise RouteError(f"bad fault profile: {exc}") from exc
+        self._send_json(200, result)
 
     # -- listing -----------------------------------------------------------
 

@@ -2,9 +2,17 @@
 
 Simulated public cloud providers and private storage resources with the
 paper's pricing model (Figure 3), S3-like chunk operations, transient-failure
-injection, capacity limits and per-period usage metering.
+injection (binary outages and partial-fault profiles: latency, error
+rates, flapping), per-provider health tracking with circuit breakers,
+capacity limits and per-period usage metering.
 """
 
+from repro.providers.faults import (
+    FaultProfile,
+    FlapSchedule,
+    parse_fault_spec,
+)
+from repro.providers.health import HealthTracker, HedgePolicy
 from repro.providers.pricing import (
     CHEAPSTOR,
     PAPER_PROVIDERS,
@@ -16,6 +24,7 @@ from repro.providers.pricing import (
 from repro.providers.provider import (
     CapacityExceededError,
     ChunkTooLargeError,
+    ProviderFaultError,
     ProviderUnavailableError,
     ResourceUsage,
     SimulatedProvider,
@@ -40,6 +49,12 @@ __all__ = [
     "UsageMeter",
     "ResourceUsage",
     "ProviderUnavailableError",
+    "ProviderFaultError",
+    "FaultProfile",
+    "FlapSchedule",
+    "parse_fault_spec",
+    "HealthTracker",
+    "HedgePolicy",
     "CapacityExceededError",
     "ChunkTooLargeError",
     "PrivateStorageService",

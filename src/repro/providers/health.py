@@ -1,0 +1,381 @@
+"""Provider quality tracking: latency/error EWMAs and circuit breakers.
+
+Availability is binary; *quality* is not.  The :class:`HealthTracker`
+turns the stream of per-operation observations every backend call emits
+(latency, outcome) into a per-provider picture the data plane can act on:
+
+* **EWMA latency and error rate** — the ranking signal for reads (serve
+  from the providers most likely to answer fast) and the input to the
+  adaptive hedge deadline.
+* **A circuit breaker** per provider — ``closed`` → ``open`` after a run
+  of consecutive transient failures, ``open`` → ``half_open`` after a
+  cooldown, ``half_open`` → ``closed`` once a bounded number of probe
+  operations succeed (any transient failure while half-open reopens).
+  Placement consults the breaker so new objects avoid sick providers;
+  reads may still use an open provider as a last resort — durability
+  beats politeness when fewer than m healthy chunks remain.
+
+Observations arrive from every backend call (the provider wraps its
+operations), so the picture needs no separate prober: client traffic,
+scrubbing, repairs and pending-delete flushes all feed it.  Breaker
+transitions bump a state epoch the registry folds into its pool epoch,
+which is what makes the periodic optimizer reconsider placements when a
+provider sickens or heals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "HealthTracker",
+    "HedgePolicy",
+    "ProviderHealthView",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class ProviderHealthView:
+    """An immutable snapshot of one provider's tracked health."""
+
+    name: str
+    breaker: str
+    ewma_latency_s: float
+    ewma_error_rate: float
+    observations: int
+    failures: int
+    consecutive_failures: int
+    opens: int
+
+    def to_dict(self) -> dict:
+        return {
+            "breaker": self.breaker,
+            "ewma_latency_ms": round(self.ewma_latency_s * 1000.0, 3),
+            "ewma_error_rate": round(self.ewma_error_rate, 4),
+            "observations": self.observations,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+        }
+
+
+class _State:
+    """Mutable per-provider record; all fields guarded by ``lock``."""
+
+    __slots__ = (
+        "lock",
+        "ewma_latency_s",
+        "ewma_error_rate",
+        "observations",
+        "failures",
+        "consecutive_failures",
+        "breaker",
+        "opened_at",
+        "opens",
+        "probes_in_flight",
+        "probe_successes",
+    )
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.ewma_latency_s = 0.0
+        self.ewma_error_rate = 0.0
+        self.observations = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.breaker = BREAKER_CLOSED
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+        self.probes_in_flight = 0
+        self.probe_successes = 0
+
+
+class HealthTracker:
+    """Aggregates per-operation observations into provider health.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor (weight of the newest observation).
+    open_after:
+        Consecutive transient failures that trip a closed breaker open.
+    cooldown_s:
+        Wall-clock seconds an open breaker rests before going half-open.
+    half_open_probes:
+        Probe operations admitted concurrently while half-open, and the
+        number of successes required to close.
+    clock:
+        Injectable monotonic clock (tests drive breaker cooldowns
+        without sleeping).
+
+    Locking: one leaf mutex per provider state plus one for the state
+    map; nothing is called while holding either, so the tracker can sit
+    under the registry, the engines and the provider operation wrappers
+    without ordering constraints.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.2,
+        open_after: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if open_after < 1 or half_open_probes < 1:
+            raise ValueError("open_after and half_open_probes must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.alpha = alpha
+        self.open_after = open_after
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self._states: Dict[str, _State] = {}
+        self._map_lock = threading.Lock()
+        # Bumped on every breaker transition; the registry folds it into
+        # its pool epoch so placements get reconsidered.  Has its own
+        # leaf mutex: transitions on *different* providers hold different
+        # state locks, so a bare += would lose increments.
+        self._state_epoch = 0
+        self._epoch_lock = threading.Lock()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _state(self, name: str) -> _State:
+        state = self._states.get(name)
+        if state is None:
+            with self._map_lock:
+                state = self._states.setdefault(name, _State())
+        return state
+
+    def _bump_epoch(self) -> None:
+        """Count one breaker transition (callers hold a *state* lock;
+        the epoch mutex is a leaf below it)."""
+        with self._epoch_lock:
+            self._state_epoch += 1
+
+    def _maybe_half_open(self, state: _State) -> None:
+        """Lazy ``open`` → ``half_open`` transition (caller holds lock)."""
+        if state.breaker == BREAKER_OPEN and state.opened_at is not None:
+            if self.clock() - state.opened_at >= self.cooldown_s:
+                state.breaker = BREAKER_HALF_OPEN
+                state.probes_in_flight = 0
+                state.probe_successes = 0
+                self._bump_epoch()
+
+    # -- observation (called by every backend operation) -------------------
+
+    def observe(
+        self, name: str, latency_s: float, *, ok: bool, transient: bool = False
+    ) -> None:
+        """Record one backend call's outcome.
+
+        ``ok`` is whether the provider *answered* (a 404 or a capacity
+        reject is an answer); ``transient`` marks the failures that
+        indicate sickness — outages, injected faults, timeouts — and
+        those alone drive the breaker.
+        """
+        state = self._state(name)
+        a = self.alpha
+        with state.lock:
+            self._maybe_half_open(state)
+            if state.observations == 0:
+                state.ewma_latency_s = latency_s
+            else:
+                state.ewma_latency_s += a * (latency_s - state.ewma_latency_s)
+            state.ewma_error_rate += a * ((0.0 if ok else 1.0) - state.ewma_error_rate)
+            state.observations += 1
+            if ok:
+                state.consecutive_failures = 0
+                if state.breaker == BREAKER_HALF_OPEN:
+                    state.probe_successes += 1
+                    if state.probes_in_flight > 0:
+                        state.probes_in_flight -= 1
+                    if state.probe_successes >= self.half_open_probes:
+                        state.breaker = BREAKER_CLOSED
+                        state.opened_at = None
+                        self._bump_epoch()
+                return
+            if not transient:
+                return
+            state.failures += 1
+            state.consecutive_failures += 1
+            if state.breaker == BREAKER_HALF_OPEN:
+                # A probe failed: the provider is still sick — reopen and
+                # restart the cooldown.
+                state.breaker = BREAKER_OPEN
+                state.opened_at = self.clock()
+                state.opens += 1
+                self._bump_epoch()
+            elif (
+                state.breaker == BREAKER_CLOSED
+                and state.consecutive_failures >= self.open_after
+            ):
+                state.breaker = BREAKER_OPEN
+                state.opened_at = self.clock()
+                state.opens += 1
+                self._bump_epoch()
+
+    # -- queries -----------------------------------------------------------
+
+    def breaker_state(self, name: str) -> str:
+        """Current breaker state (applies the lazy cooldown transition)."""
+        state = self._state(name)
+        with state.lock:
+            self._maybe_half_open(state)
+            return state.breaker
+
+    def allows_placement(self, name: str) -> bool:
+        """True when new placements may target this provider.
+
+        Only a fully closed breaker qualifies: a half-open provider is
+        still proving itself and should carry probes, not fresh objects.
+        """
+        return self.breaker_state(name) == BREAKER_CLOSED
+
+    def allow_request(self, name: str) -> bool:
+        """Admission control for discretionary traffic (e.g. hedges).
+
+        Closed admits everything; open admits nothing; half-open admits
+        up to ``half_open_probes`` concurrent probes — the bounded
+        trickle that lets a recovering provider prove itself without
+        being trampled.  Mandatory traffic (a read that cannot reach m
+        chunks otherwise) should bypass this and go straight to the
+        provider.
+        """
+        state = self._state(name)
+        with state.lock:
+            self._maybe_half_open(state)
+            if state.breaker == BREAKER_CLOSED:
+                return True
+            if state.breaker == BREAKER_OPEN:
+                return False
+            if state.probes_in_flight >= self.half_open_probes:
+                return False
+            state.probes_in_flight += 1
+            return True
+
+    def latency_of(self, name: str) -> float:
+        state = self._state(name)
+        with state.lock:
+            return state.ewma_latency_s
+
+    def error_rate_of(self, name: str) -> float:
+        state = self._state(name)
+        with state.lock:
+            return state.ewma_error_rate
+
+    def is_suspect(self, name: str, *, slow_threshold_s: float) -> bool:
+        """True when the provider looks degraded (slow, flaky, or tripped)."""
+        state = self._state(name)
+        with state.lock:
+            self._maybe_half_open(state)
+            return (
+                state.breaker != BREAKER_CLOSED
+                or state.ewma_latency_s > slow_threshold_s
+                or state.ewma_error_rate > 0.25
+            )
+
+    def view(self, name: str) -> ProviderHealthView:
+        state = self._state(name)
+        with state.lock:
+            self._maybe_half_open(state)
+            return ProviderHealthView(
+                name=name,
+                breaker=state.breaker,
+                ewma_latency_s=state.ewma_latency_s,
+                ewma_error_rate=state.ewma_error_rate,
+                observations=state.observations,
+                failures=state.failures,
+                consecutive_failures=state.consecutive_failures,
+                opens=state.opens,
+            )
+
+    def describe(self) -> Dict[str, dict]:
+        """JSON-ready per-provider health map (``/stats``' health block)."""
+        with self._map_lock:
+            names = sorted(self._states)
+        return {name: self.view(name).to_dict() for name in names}
+
+    def reset(self, name: str) -> None:
+        """Forget a provider's history (tests; provider retirement)."""
+        with self._map_lock:
+            self._states.pop(name, None)
+
+    @property
+    def state_epoch(self) -> int:
+        """Counter of breaker transitions (folded into the pool epoch)."""
+        with self._epoch_lock:
+            return self._state_epoch
+
+
+class HedgePolicy:
+    """When and how aggressively reads hedge (see docs/FAULTS.md).
+
+    The steady-state hot path stays hedge-free: only when some candidate
+    provider looks *suspect* (slow EWMA, flaky, or a non-closed breaker)
+    does a read switch to the parallel fetcher, which issues the m
+    best-ranked fetches concurrently and hedges to parity providers when
+    a straggler outlives the adaptive deadline.  The deadline adapts to
+    the chosen providers' observed latency: ``multiplier ×`` the worst
+    EWMA among them, clamped to ``[min_deadline_s, max_deadline_s]``.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        min_deadline_s: float = 0.05,
+        max_deadline_s: float = 2.0,
+        multiplier: float = 3.0,
+        suspect_latency_s: float = 0.025,
+    ) -> None:
+        if min_deadline_s <= 0 or max_deadline_s < min_deadline_s:
+            raise ValueError("need 0 < min_deadline_s <= max_deadline_s")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.enabled = enabled
+        self.min_deadline_s = min_deadline_s
+        self.max_deadline_s = max_deadline_s
+        self.multiplier = multiplier
+        self.suspect_latency_s = suspect_latency_s
+
+    def should_hedge(self, health: HealthTracker, names: Sequence[str], count: int) -> bool:
+        """Take the parallel path?  Only in degraded mode: hedging (and
+        its thread fan-out) stays entirely off the all-healthy hot path,
+        which keeps steady-state overhead at zero and billing
+        byte-identical to the serial fetcher."""
+        if not self.enabled or len(names) < count or count < 1:
+            return False
+        return any(
+            health.is_suspect(name, slow_threshold_s=self.suspect_latency_s)
+            for name in names
+        )
+
+    def deadline_for(self, health: HealthTracker, names: Sequence[str]) -> float:
+        """Adaptive straggler deadline for a set of in-flight fetches."""
+        worst = max((health.latency_of(name) for name in names), default=0.0)
+        return min(self.max_deadline_s, max(self.min_deadline_s, self.multiplier * worst))
+
+    def describe(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "min_deadline_ms": round(self.min_deadline_s * 1000.0, 3),
+            "max_deadline_ms": round(self.max_deadline_s * 1000.0, 3),
+            "multiplier": self.multiplier,
+            "suspect_latency_ms": round(self.suspect_latency_s * 1000.0, 3),
+        }

@@ -7,14 +7,27 @@ resources of the paper's cost model: storage (GB-hours), bandwidth in/out
 flipping :attr:`SimulatedProvider.failed`; every operation then raises
 :class:`ProviderUnavailableError`, which the engine's error handling
 (Section III-D3) reacts to.
+
+Beyond the binary outage switch, a provider can carry a *fault profile*
+(:mod:`repro.providers.faults`): per-operation latency, seeded transient
+error rates, slow mode and flap schedules.  Every operation is also
+timed and reported to the registry's health tracker
+(:mod:`repro.providers.health`), which is what feeds hedged reads and
+the placement-gating circuit breaker.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover — typing only (avoids an import cycle)
+    from repro.providers.faults import FaultProfile
+    from repro.providers.health import HealthTracker
 
 from repro.erasure.striping import Chunk, SyntheticChunk
 from repro.providers.pricing import ProviderSpec
@@ -29,6 +42,7 @@ __all__ = [
     "ChunkCorruptionError",
     "ChunkNotFoundError",
     "ChunkTooLargeError",
+    "ProviderFaultError",
     "ProviderUnavailableError",
     "ResourceUsage",
     "SimulatedProvider",
@@ -42,6 +56,21 @@ class ProviderUnavailableError(RuntimeError):
     def __init__(self, message: str, provider_name: Optional[str] = None) -> None:
         super().__init__(message)
         self.provider_name = provider_name
+
+
+class ProviderFaultError(ProviderUnavailableError):
+    """A *transient* injected failure (flaky error or flap window).
+
+    Subclasses :class:`ProviderUnavailableError` so every retry/postpone
+    path treats it like a short outage, but carries ``kind`` so tests and
+    operators can tell an injected timeout from a hard outage or a 404.
+    (Defined here rather than in :mod:`repro.providers.faults` so the
+    provider can raise it without importing the module that imports it.)
+    """
+
+    def __init__(self, message: str, provider_name: Optional[str], kind: str) -> None:
+        super().__init__(message, provider_name)
+        self.kind = kind  # "error" | "flap"
 
 
 class CapacityExceededError(RuntimeError):
@@ -233,6 +262,10 @@ class SimulatedProvider:
         # per provider — chunk traffic to *different* providers (the normal
         # case: n chunks of one object go to n providers) stays parallel.
         self._op_lock = threading.Lock()
+        # Partial-fault injection + health observation (both optional).
+        # The registry attaches its HealthTracker on register/adopt.
+        self._fault_profile: Optional["FaultProfile"] = None
+        self._health: Optional["HealthTracker"] = None
 
     # -- introspection -------------------------------------------------
 
@@ -278,38 +311,101 @@ class SimulatedProvider:
         """End the transient outage."""
         self.failed = False
 
+    def set_fault_profile(self, profile: Optional["FaultProfile"]) -> None:
+        """Install (or clear, with ``None``) a partial-fault profile."""
+        self._fault_profile = profile
+
+    @property
+    def fault_profile(self) -> Optional["FaultProfile"]:
+        return self._fault_profile
+
+    def attach_health(self, tracker: Optional["HealthTracker"]) -> None:
+        """Route this provider's per-operation observations to ``tracker``."""
+        self._health = tracker
+
     def _check_up(self) -> None:
         if self.failed:
             raise ProviderUnavailableError(
                 f"provider {self.name} is unavailable", self.name
             )
 
+    @contextmanager
+    def _observed(self, kind: str):
+        """Per-operation envelope: inject faults, time, report health.
+
+        The injected latency sleeps *before* the backend body and outside
+        ``_op_lock``, so a slow provider delays its caller without
+        blocking concurrent operations on the same provider.  Outcomes
+        feed the health tracker: transient failures (outages, injected
+        faults) drive the circuit breaker; a 404 / capacity reject /
+        corrupt chunk is an *answer* and records as a success.  With
+        neither a profile nor a tracker attached the envelope is a no-op
+        — the hot path of a fault-free simulation is untouched.
+        """
+        profile = self._fault_profile
+        tracker = self._health
+        if profile is None and tracker is None:
+            yield
+            return
+        start = time.monotonic()
+        ok = True
+        transient = False
+        try:
+            if profile is not None:
+                decision = profile.draw(kind)
+                if decision.latency_s > 0.0:
+                    time.sleep(decision.latency_s)
+                if decision.fault is not None:
+                    raise ProviderFaultError(
+                        f"provider {self.name}: injected transient "
+                        f"{decision.fault} on {kind}",
+                        self.name,
+                        decision.fault,
+                    )
+            yield
+        except ProviderUnavailableError:
+            ok = False
+            transient = True
+            raise
+        except (ChunkNotFoundError, CapacityExceededError, ChunkTooLargeError,
+                ChunkCorruptionError):
+            raise  # the provider answered; not a sickness signal
+        except Exception:
+            ok = False
+            raise
+        finally:
+            if tracker is not None:
+                tracker.observe(
+                    self.name, time.monotonic() - start, ok=ok, transient=transient
+                )
+
     # -- chunk operations -------------------------------------------------
 
     def put_chunk(self, key: str, chunk: AnyChunk) -> None:
         """Store ``chunk`` under ``key`` (billed: 1 op + ingress + storage)."""
-        self._check_up()
-        if self.spec.max_chunk_bytes is not None and chunk.size > self.spec.max_chunk_bytes:
-            raise ChunkTooLargeError(
-                f"{self.name}: chunk of {chunk.size} B exceeds "
-                f"max {self.spec.max_chunk_bytes} B",
-                self.name,
-            )
-        with self._op_lock:
-            new_total = self.backend.stored_bytes + chunk.size
-            old_size = self.backend.size_of(key)
-            if old_size is not None:
-                new_total -= old_size
-            if self.spec.capacity_bytes is not None and new_total > self.spec.capacity_bytes:
-                raise CapacityExceededError(
-                    f"{self.name}: capacity {self.spec.capacity_bytes} B exceeded",
+        with self._observed("put"):
+            self._check_up()
+            if self.spec.max_chunk_bytes is not None and chunk.size > self.spec.max_chunk_bytes:
+                raise ChunkTooLargeError(
+                    f"{self.name}: chunk of {chunk.size} B exceeds "
+                    f"max {self.spec.max_chunk_bytes} B",
                     self.name,
                 )
-            # Store first, meter second: a backend that can fail (full disk,
-            # I/O error) must not leave a failed write billed as traffic.
-            self.backend.put(key, chunk)
-        self.meter.record_op("put")
-        self.meter.record_in(chunk.size)
+            with self._op_lock:
+                new_total = self.backend.stored_bytes + chunk.size
+                old_size = self.backend.size_of(key)
+                if old_size is not None:
+                    new_total -= old_size
+                if self.spec.capacity_bytes is not None and new_total > self.spec.capacity_bytes:
+                    raise CapacityExceededError(
+                        f"{self.name}: capacity {self.spec.capacity_bytes} B exceeded",
+                        self.name,
+                    )
+                # Store first, meter second: a backend that can fail (full disk,
+                # I/O error) must not leave a failed write billed as traffic.
+                self.backend.put(key, chunk)
+            self.meter.record_op("put")
+            self.meter.record_in(chunk.size)
 
     def get_chunk(self, key: str, *, times: int = 1) -> AnyChunk:
         """Fetch the chunk at ``key`` (billed: ``times`` x (1 op + egress)).
@@ -319,33 +415,36 @@ class SimulatedProvider:
         """
         if times < 1:
             raise ValueError("times must be >= 1")
-        self._check_up()
-        with self._op_lock:
-            try:
-                chunk = self.backend.get(key)
-            except KeyError:
-                raise ChunkNotFoundError(key) from None
-        self.meter.record_op("get", times)
-        self.meter.record_out(chunk.size * times)
-        return chunk
+        with self._observed("get"):
+            self._check_up()
+            with self._op_lock:
+                try:
+                    chunk = self.backend.get(key)
+                except KeyError:
+                    raise ChunkNotFoundError(key) from None
+            self.meter.record_op("get", times)
+            self.meter.record_out(chunk.size * times)
+            return chunk
 
     def delete_chunk(self, key: str) -> None:
         """Delete the chunk at ``key`` (billed: 1 op)."""
-        self._check_up()
-        with self._op_lock:
-            try:
-                self.backend.delete(key)
-            except KeyError:
-                raise ChunkNotFoundError(key) from None
-        self.meter.record_op("delete")
+        with self._observed("delete"):
+            self._check_up()
+            with self._op_lock:
+                try:
+                    self.backend.delete(key)
+                except KeyError:
+                    raise ChunkNotFoundError(key) from None
+            self.meter.record_op("delete")
 
     def list_keys(self, prefix: str = "") -> Iterator[str]:
         """Iterate stored keys with the given prefix (billed: 1 op)."""
-        self._check_up()
-        self.meter.record_op("list")
-        with self._op_lock:
-            keys = [k for k in self.backend.keys() if k.startswith(prefix)]
-        return iter(sorted(keys))
+        with self._observed("list"):
+            self._check_up()
+            self.meter.record_op("list")
+            with self._op_lock:
+                keys = [k for k in self.backend.keys() if k.startswith(prefix)]
+            return iter(sorted(keys))
 
     def snapshot_keys(self) -> List[str]:
         """A stable copy of every stored chunk key (unmetered scrub walk)."""
@@ -358,10 +457,16 @@ class SimulatedProvider:
             return self.backend.stats()
 
     def verify_chunk(self, key: str) -> str:
-        """Integrity state of one stored chunk (unmetered scrub probe)."""
-        self._check_up()
-        with self._op_lock:
-            return self.backend.verify(key)
+        """Integrity state of one stored chunk (unmetered scrub probe).
+
+        Subject to fault injection and health observation like any other
+        backend call — a scrub against a flaky provider doubles as a
+        health probe.
+        """
+        with self._observed("get"):
+            self._check_up()
+            with self._op_lock:
+                return self.backend.verify(key)
 
     # -- simulation hooks --------------------------------------------------
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.providers.faults import FaultProfile
+from repro.providers.health import HealthTracker
 from repro.providers.pricing import PricingPolicy, ProviderSpec
 from repro.providers.provider import SimulatedProvider
 from repro.storage.backend import ChunkStore
@@ -44,11 +46,15 @@ class ProviderRegistry:
         specs: Iterable[ProviderSpec] = (),
         *,
         backend_factory: Optional[BackendFactory] = None,
+        health: Optional[HealthTracker] = None,
     ) -> None:
         self._lock = threading.RLock()
         self._providers: Dict[str, SimulatedProvider] = {}
         self._epoch = 0
         self._backend_factory = backend_factory
+        # Every provider's operations report into one shared tracker; the
+        # breaker states it maintains gate placement (see health.py).
+        self._health = health if health is not None else HealthTracker()
         for spec in specs:
             self.register(spec)
 
@@ -61,6 +67,7 @@ class ProviderRegistry:
                 raise ValueError(f"provider {spec.name!r} already registered")
             backend = self._backend_factory(spec) if self._backend_factory else None
             provider = SimulatedProvider(spec, backend=backend)
+            provider.attach_health(self._health)
             self._providers[spec.name] = provider
             self._epoch += 1
             return provider
@@ -90,6 +97,7 @@ class ProviderRegistry:
         with self._lock:
             if provider.name in self._providers:
                 raise ValueError(f"provider {provider.name!r} already registered")
+            provider.attach_health(self._health)
             self._providers[provider.name] = provider
             self._epoch += 1
 
@@ -117,22 +125,38 @@ class ProviderRegistry:
         with self._lock:
             return [self._providers[n] for n in sorted(self._providers)]
 
-    def specs(self, *, include_failed: bool = True) -> List[ProviderSpec]:
-        """Specs of registered providers, optionally hiding failed ones.
+    def specs(
+        self, *, include_failed: bool = True, include_sick: bool = True
+    ) -> List[ProviderSpec]:
+        """Specs of registered providers, optionally hiding unhealthy ones.
 
         The placement algorithm passes ``include_failed=False`` so writes
-        route around transient outages (Section III-D3).
+        route around transient outages (Section III-D3);
+        ``include_sick=False`` additionally drops providers whose circuit
+        breaker is not closed, so new placements avoid providers that are
+        technically up but demonstrably misbehaving.
         """
         return [
             p.spec
             for p in self.providers()
-            if include_failed or not p.failed
+            if (include_failed or not p.failed)
+            and (include_sick or self._health.allows_placement(p.name))
         ]
 
     def is_available(self, name: str) -> bool:
         """True when the provider is registered and not in an outage."""
         provider = self._providers.get(name)
         return provider is not None and not provider.failed
+
+    def is_admitted(self, name: str) -> bool:
+        """True when the provider is up *and* its breaker allows placement."""
+        return self.is_available(name) and self._health.allows_placement(name)
+
+    def sick_names(self) -> List[str]:
+        """Registered providers whose circuit breaker is not closed."""
+        with self._lock:
+            names = sorted(self._providers)
+        return [n for n in names if not self._health.allows_placement(n)]
 
     # -- dynamics ---------------------------------------------------------
 
@@ -158,10 +182,53 @@ class ProviderRegistry:
             provider.spec = provider.spec.with_pricing(pricing)
             self._epoch += 1
 
+    # -- health & faults ---------------------------------------------------
+
+    @property
+    def health(self) -> HealthTracker:
+        """The shared per-provider health tracker (EWMAs + breakers)."""
+        return self._health
+
+    def set_fault_profile(self, name: str, profile: Optional[FaultProfile]) -> None:
+        """Install (or clear, with ``None``) a fault profile at runtime.
+
+        Bumps the epoch: a provider whose behaviour just changed is a
+        pool change the optimizer should react to, exactly like a price
+        update.
+        """
+        with self._lock:
+            self.get(name).set_fault_profile(profile)
+            self._epoch += 1
+
+    def fault_profiles(self) -> Dict[str, Optional[dict]]:
+        """JSON-ready map of each provider's installed fault profile."""
+        return {
+            p.name: (p.fault_profile.describe() if p.fault_profile else None)
+            for p in self.providers()
+        }
+
+    def health_report(self) -> Dict[str, dict]:
+        """Per-provider operational picture for ``/stats`` and the CLI."""
+        report: Dict[str, dict] = {}
+        for provider in self.providers():
+            entry = self._health.view(provider.name).to_dict()
+            entry["available"] = not provider.failed
+            entry["fault_profile"] = (
+                provider.fault_profile.describe() if provider.fault_profile else None
+            )
+            report[provider.name] = entry
+        return report
+
     @property
     def epoch(self) -> int:
-        """Counter of pool mutations; placements cache against this."""
-        return self._epoch
+        """Counter of pool mutations; placements cache against this.
+
+        Folds in the health tracker's breaker-transition epoch: a breaker
+        opening or closing changes which providers placements may use,
+        so cached placement decisions must be reconsidered exactly as if
+        a provider had failed or recovered.
+        """
+        return self._epoch + self._health.state_epoch
 
     # -- simulation hook -------------------------------------------------
 

@@ -299,12 +299,23 @@ class Scrubber:
     # -- internals ---------------------------------------------------------
 
     def _verify(self, chunk_key: str, provider_name: str) -> Optional[str]:
-        """Chunk state, or ``None`` when the provider cannot be probed now."""
+        """Chunk state, or ``None`` when the provider cannot be probed now.
+
+        A transient fault from a flaky provider (injected error, flap
+        window) counts as "cannot probe now" — the chunk is *skipped*,
+        not declared damaged: repairing on the word of a provider that is
+        erroring would churn healthy chunks.  The probe itself still
+        feeds the health tracker, so scrubbing doubles as the half-open
+        breaker's recovery traffic.
+        """
         if provider_name not in self.registry:
             return None
         if not self.registry.is_available(provider_name):
             return None
-        return self.registry.get(provider_name).verify_chunk(chunk_key)
+        try:
+            return self.registry.get(provider_name).verify_chunk(chunk_key)
+        except ProviderUnavailableError:
+            return None
 
     def _repair(
         self, engine, meta: ObjectMeta, stripe: int, index: int, provider_name: str

@@ -1,0 +1,285 @@
+"""Chaos property tests over *partial* provider faults.
+
+The original failure-injection suite flips a binary up/down switch; this
+suite drives the fault dimensions real multi-cloud operations actually
+see — flaky error rates, slow-but-alive providers, flapping outages —
+interleaved with writes, reads, deletes, optimizer rounds (migrations)
+and integrity scrubs, asserting:
+
+* **readability** — a read must succeed (with the exact bytes) whenever
+  at least ``m`` *healthy* providers hold the object's chunks; a failed
+  read must carry its per-provider causes;
+* **exact billing** — a served read bills between ``m`` (the decode
+  minimum) and ``n`` (every chunk, when hedges fired) GET ops, never
+  more, and only on providers that actually served;
+* **no orphans** — after every provider recovers, profiles clear,
+  pending deletes flush and a scrub pass runs, the chunk population is
+  exactly ``sum(n)`` over the live objects.
+
+Runs are reproducible: all randomness flows from the Hypothesis-chosen
+``seed`` (payloads, fault profiles) and the deterministic fault streams.
+``CHAOS_MAX_EXAMPLES`` raises the example budget (the ``chaos-stress``
+CI job); on failure Hypothesis prints the falsifying action script and
+seed for replay.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.engine import ReadFailedError, WriteFailedError
+from repro.core.broker import Scalia
+from repro.core.rules import RuleBook, StorageRule
+from repro.providers.faults import FaultProfile, FlapSchedule
+from repro.providers.health import HedgePolicy
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+
+PROVIDERS = ["S3(h)", "S3(l)", "RS", "Azu", "Ggl"]
+MAX_EXAMPLES = int(os.environ.get("CHAOS_MAX_EXAMPLES", "15"))
+
+providers_st = st.sampled_from(PROVIDERS)
+
+#: Partial-fault actions alongside the classic hard fail/recover ones.
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("fail"), providers_st),
+        st.tuples(st.just("recover"), providers_st),
+        st.tuples(
+            st.just("flaky"),
+            st.tuples(providers_st, st.sampled_from([0.2, 0.5, 0.9])),
+        ),
+        st.tuples(
+            st.just("slow"),
+            st.tuples(providers_st, st.sampled_from([0.001, 0.003])),
+        ),
+        st.tuples(
+            st.just("flap"),
+            st.tuples(providers_st, st.integers(1, 4), st.integers(1, 3)),
+        ),
+        st.tuples(st.just("clear"), providers_st),
+        st.tuples(st.just("write"), st.integers(0, 3)),
+        st.tuples(st.just("read"), st.integers(0, 3)),
+        st.tuples(st.just("delete"), st.integers(0, 3)),
+        st.tuples(st.just("tick"), st.just(0)),
+        st.tuples(st.just("scrub"), st.just(0)),
+    ),
+    min_size=5,
+    max_size=35,
+)
+
+
+def make_broker(seed: int, *, hedging: bool = True) -> Scalia:
+    rules = RuleBook(
+        default=StorageRule("default", durability=0.99999, availability=0.9999)
+    )
+    # Aggressive hedge thresholds so even the suite's millisecond-scale
+    # "slow" providers exercise the parallel path.
+    hedge = HedgePolicy(
+        enabled=hedging, min_deadline_s=0.02, suspect_latency_s=0.0005
+    )
+    return Scalia(ProviderRegistry(paper_catalog()), rules, seed=seed, hedge=hedge)
+
+
+def is_healthy(broker: Scalia, name: str) -> bool:
+    """Deterministically able to serve: up, not erroring, not flapping."""
+    if not broker.registry.is_available(name):
+        return False
+    profile = broker.registry.get(name).fault_profile
+    return profile is None or (profile.error_rate == 0.0 and profile.flap is None)
+
+
+def total_gets(broker: Scalia):
+    return {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+
+
+def run_script(broker: Scalia, script, seed: int, *, check_billing: bool):
+    """Drive one action script; returns the surviving key->payload map."""
+    contents: dict[str, bytes] = {}
+    rng = np.random.default_rng(seed)
+    profile_seed = seed
+
+    for step, (action, arg) in enumerate(script):
+        if action == "fail":
+            if broker.registry.is_available(arg):
+                broker.registry.fail(arg)
+        elif action == "recover":
+            if broker.registry.get(arg).failed:
+                broker.registry.recover(arg)
+        elif action == "flaky":
+            name, rate = arg
+            profile_seed += 1
+            broker.registry.set_fault_profile(
+                name, FaultProfile(error_rate=rate, seed=profile_seed)
+            )
+        elif action == "slow":
+            name, latency = arg
+            broker.registry.set_fault_profile(
+                name, FaultProfile(latency_s=latency)
+            )
+        elif action == "flap":
+            name, up, down = arg
+            broker.registry.set_fault_profile(
+                name, FaultProfile(flap=FlapSchedule(up_ops=up, down_ops=down))
+            )
+        elif action == "clear":
+            broker.registry.set_fault_profile(arg, None)
+        elif action == "write":
+            key = f"obj{arg}"
+            payload = (
+                rng.integers(0, 256, size=rng.integers(1, 5000))
+                .astype(np.uint8)
+                .tobytes()
+            )
+            try:
+                broker.put("chaos", key, payload)
+                contents[key] = payload
+            except WriteFailedError:
+                pass  # too few willing providers right now; acceptable
+        elif action == "read":
+            key = f"obj{arg}"
+            if key not in contents:
+                continue
+            meta = broker.head("chaos", key)
+            assert meta is not None
+            healthy_holding = sum(
+                1 for _, p in meta.chunk_map if is_healthy(broker, p)
+            )
+            before = total_gets(broker)
+            try:
+                data = broker.get("chaos", key)
+            except ReadFailedError as exc:
+                # Only allowed when fewer than m healthy providers held
+                # chunks, and the failure must say who failed how.
+                assert healthy_holding < meta.m, (
+                    f"read failed with {healthy_holding} healthy >= m={meta.m}: {exc}"
+                )
+                assert exc.causes, "read failure dropped per-provider causes"
+                broker.drain_hedges()
+                continue
+            assert data == contents[key]
+            broker.drain_hedges()
+            if check_billing:
+                after = total_gets(broker)
+                fetched = sum(after[n] - before[n] for n in after)
+                # Exact billing: decode needs m; hedges/stragglers may
+                # fetch up to every chunk, but never more, and only from
+                # providers holding one.
+                assert meta.m <= fetched <= meta.n, (
+                    f"read billed {fetched} gets outside [{meta.m}, {meta.n}]"
+                )
+                holders = {p for _, p in meta.chunk_map}
+                for name in after:
+                    if after[name] != before[name]:
+                        assert name in holders, (
+                            f"{name} billed a get but holds no chunk"
+                        )
+        elif action == "delete":
+            key = f"obj{arg}"
+            if key in contents:
+                broker.delete("chaos", key)
+                del contents[key]
+        elif action == "tick":
+            broker.tick()
+        else:  # scrub
+            broker.scrub()
+    return contents
+
+
+def recover_everything(broker: Scalia) -> None:
+    for name in PROVIDERS:
+        broker.registry.set_fault_profile(name, None)
+        if broker.registry.get(name).failed:
+            broker.registry.recover(name)
+
+
+class TestPartialFaultChaos:
+    @settings(
+        max_examples=MAX_EXAMPLES,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=actions, seed=st.integers(0, 10**6))
+    def test_invariants_under_partial_faults(self, script, seed):
+        broker = make_broker(seed)
+        contents = run_script(broker, script, seed, check_billing=True)
+
+        # Full recovery: every survivor must decode byte-exactly, and
+        # once pending deletes flush and a scrub pass sweeps, the chunk
+        # population is exactly the live objects' chunks.
+        recover_everything(broker)
+        broker.tick()
+        broker.drain_hedges()
+        broker.cluster.pending_deletes.flush(broker.registry)
+        broker.scrub()  # repairs + orphan sweep (failed-migration debris)
+        for key, payload in contents.items():
+            assert broker.get("chaos", key) == payload
+        broker.drain_hedges()
+        live_chunks = sum(len(p) for p in broker.registry.providers())
+        expected = sum(broker.head("chaos", k).n for k in contents)
+        assert live_chunks == expected, (
+            f"{live_chunks} chunks stored but live objects reference {expected}"
+        )
+
+    @settings(
+        max_examples=max(5, MAX_EXAMPLES // 3),
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=actions, seed=st.integers(0, 10**6))
+    def test_reproducible_from_fixed_seed(self, script, seed):
+        """The same script against the same seed lands in the same state:
+        contents, placements and metered totals all byte-identical.  Run
+        with hedging disabled — the serial data plane is deterministic;
+        hedge threads intentionally race wall-clock deadlines."""
+
+        def final_state(broker, contents):
+            placements = {
+                k: broker.head("chaos", k).placement.label() for k in sorted(contents)
+            }
+            meters = {
+                p.name: p.meter.total().to_dict()
+                for p in broker.registry.providers()
+            }
+            return placements, meters
+
+        first = make_broker(seed, hedging=False)
+        contents_a = run_script(first, script, seed, check_billing=False)
+        second = make_broker(seed, hedging=False)
+        contents_b = run_script(second, script, seed, check_billing=False)
+        assert contents_a == contents_b
+        assert final_state(first, contents_a) == final_state(second, contents_b)
+
+    def test_flapping_provider_round_trip_deterministic(self):
+        """A pinned regression-style scenario (no Hypothesis): writes and
+        reads interleaved with a flapping and a flaky provider, replayed
+        twice to the same outcome."""
+
+        def run():
+            broker = make_broker(7, hedging=False)
+            broker.registry.set_fault_profile(
+                "RS", FaultProfile(flap=FlapSchedule(up_ops=2, down_ops=2))
+            )
+            broker.registry.set_fault_profile(
+                "S3(l)", FaultProfile(error_rate=0.5, seed=11)
+            )
+            outcomes = []
+            payload = bytes(range(256)) * 4
+            for i in range(6):
+                try:
+                    meta = broker.put("chaos", f"k{i}", payload)
+                    outcomes.append(("put", i, meta.placement.label()))
+                except WriteFailedError:
+                    outcomes.append(("put-failed", i, None))
+            for i in range(6):
+                try:
+                    data = broker.get("chaos", f"k{i}")
+                    outcomes.append(("get", i, data == payload))
+                except (ReadFailedError, KeyError):
+                    outcomes.append(("get-failed", i, None))
+            return outcomes
+
+        assert run() == run()

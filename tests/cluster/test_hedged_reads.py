@@ -1,0 +1,234 @@
+"""Deterministic engine tests for latency-aware fault-tolerant reads.
+
+Covers the acceptance criteria of the hedged-read redesign:
+
+* happy-path GETs bill byte-identically with hedging enabled or disabled
+  (the parallel machinery stays entirely off the all-healthy hot path);
+* with one provider injected at +500 ms per op, hedged striped GET p99 is
+  at least 5x lower than with hedging disabled;
+* a hedge that fires bills exactly the providers that actually served;
+* failed reads and writes carry per-provider causes.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.engine import ReadFailedError, WriteFailedError
+from repro.core.broker import Scalia
+from repro.core.rules import RuleBook, StorageRule
+from repro.providers.faults import FaultProfile, ProviderFaultError
+from repro.providers.health import HedgePolicy
+from repro.providers.pricing import paper_catalog
+from repro.providers.provider import ChunkNotFoundError, ProviderUnavailableError
+from repro.providers.registry import ProviderRegistry
+
+PAYLOAD = bytes(range(256)) * 20
+
+
+def make_broker(*, hedge=None, seed=0) -> Scalia:
+    rules = RuleBook(
+        default=StorageRule("default", durability=0.99999, availability=0.9999)
+    )
+    return Scalia(ProviderRegistry(paper_catalog()), rules, seed=seed, hedge=hedge)
+
+
+def billed(broker):
+    """Per-provider (gets, puts, bytes_out, bytes_in) — the billing picture."""
+    return {
+        p.name: (
+            p.meter.total().ops_get,
+            p.meter.total().ops_put,
+            p.meter.total().bytes_out,
+            p.meter.total().bytes_in,
+        )
+        for p in broker.registry.providers()
+    }
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class TestHappyPathParity:
+    def test_unhedged_happy_path_billing_byte_identical(self):
+        """With every provider healthy, a GET on a hedging-enabled broker
+        bills exactly what a hedging-disabled broker bills — same ops,
+        same bytes, provider by provider."""
+        enabled = make_broker(hedge=HedgePolicy(enabled=True))
+        disabled = make_broker(hedge=HedgePolicy(enabled=False))
+        for broker in (enabled, disabled):
+            broker.put("t", "k", PAYLOAD)
+            assert broker.get("t", "k") == PAYLOAD
+            broker.drain_hedges()
+        assert billed(enabled) == billed(disabled)
+        # And the parallel path never even engaged.
+        assert enabled.hedge_stats()["hedged_reads"] == 0
+
+    def test_happy_path_get_bills_exactly_m_chunks(self):
+        broker = make_broker()
+        broker.put("t", "k", PAYLOAD)
+        meta = broker.head("t", "k")
+        before = {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+        assert broker.get("t", "k") == PAYLOAD
+        after = {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+        assert sum(after[n] - before[n] for n in after) == meta.m
+
+
+class TestDegradedReads:
+    def test_slow_provider_ranked_out_after_detection(self):
+        broker = make_broker()
+        broker.put("t", "k", PAYLOAD)
+        meta = broker.head("t", "k")
+        engine = broker.cluster.all_engines()[0]
+        slow = engine._serving_order(meta)[0][1]
+        broker.registry.set_fault_profile(slow, FaultProfile(latency_s=0.2))
+        t0 = time.perf_counter()
+        assert broker.get("t", "k") == PAYLOAD  # detection read: pays once
+        detection = time.perf_counter() - t0
+        assert detection >= 0.2
+        t0 = time.perf_counter()
+        assert broker.get("t", "k") == PAYLOAD  # now ranked out
+        assert time.perf_counter() - t0 < 0.1
+        assert engine._serving_order(meta)[-1][1] == slow
+        broker.drain_hedges()
+
+    def test_hedge_fires_on_straggler_and_bills_only_served(self):
+        """The deadline hedge: a chosen provider with a *stale-fast*
+        reputation stalls; the read hedges to the parity provider, decodes
+        from the first m arrivals, and after the straggler settles the
+        meters show exactly the fetches that actually ran."""
+        broker = make_broker(hedge=HedgePolicy(min_deadline_s=0.05))
+        broker.put("t", "k", PAYLOAD)
+        meta = broker.head("t", "k")
+        engine = broker.cluster.all_engines()[0]
+        order = engine._serving_order(meta)
+        assert meta.m == 1 and len(order) >= 2
+        chosen, spare = order[0][1], order[1][1]
+        # The spare looks suspect (one slow observation) — that is what
+        # flips the read onto the parallel path — while the chosen
+        # provider's reputation is clean but its *actual* behaviour is a
+        # 400 ms stall.
+        broker.registry.health.observe(spare, 0.4, ok=True)
+        broker.registry.set_fault_profile(chosen, FaultProfile(latency_s=0.4))
+        before = {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+        t0 = time.perf_counter()
+        assert broker.get("t", "k") == PAYLOAD
+        elapsed = time.perf_counter() - t0
+        # Served by the hedge: far sooner than the 400 ms straggler.
+        assert elapsed < 0.3
+        stats = engine.hedge_stats.snapshot()
+        assert stats["hedged_reads"] == 1
+        assert stats["hedges_fired"] >= 1
+        broker.drain_hedges()
+        after = {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+        delta = {n: after[n] - before[n] for n in after if after[n] != before[n]}
+        # Exactly the two providers that actually ran a fetch billed one
+        # get each: the straggler (it served, too late) and the hedge.
+        assert delta == {chosen: 1, spare: 1}
+
+    def test_degraded_p99_at_least_5x_lower_hedged(self):
+        """Acceptance: one provider at +500 ms per op; hedged GET p99 must
+        be at least 5x lower than with hedging disabled, and the hedged
+        broker must still return correct bytes throughout."""
+        slow_profile = lambda: FaultProfile(latency_s=0.5)  # noqa: E731
+
+        unhedged = make_broker(hedge=HedgePolicy(enabled=False))
+        unhedged.put("t", "k", PAYLOAD)
+        meta = unhedged.head("t", "k")
+        engine = unhedged.cluster.all_engines()[0]
+        slow = engine._serving_order(meta)[0][1]
+        unhedged.registry.set_fault_profile(slow, slow_profile())
+        unhedged_samples = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            assert unhedged.get("t", "k") == PAYLOAD
+            unhedged_samples.append(time.perf_counter() - t0)
+
+        hedged = make_broker(hedge=HedgePolicy(enabled=True, min_deadline_s=0.05))
+        hedged.put("t", "k", PAYLOAD)
+        hedged.registry.set_fault_profile(slow, slow_profile())
+        # Detection read: the one read that pays for discovering the
+        # slowness (recorded, not part of the steady-state measurement).
+        assert hedged.get("t", "k") == PAYLOAD
+        hedged_samples = []
+        for _ in range(10):
+            t0 = time.perf_counter()
+            assert hedged.get("t", "k") == PAYLOAD
+            hedged_samples.append(time.perf_counter() - t0)
+        hedged.drain_hedges()
+
+        unhedged_p99 = percentile(unhedged_samples, 99)
+        hedged_p99 = percentile(hedged_samples, 99)
+        assert unhedged_p99 >= 0.5  # the slow provider really gated it
+        assert unhedged_p99 >= 5.0 * hedged_p99, (
+            f"hedged p99 {hedged_p99 * 1e3:.1f} ms not 5x below "
+            f"unhedged {unhedged_p99 * 1e3:.1f} ms"
+        )
+
+    def test_suppressed_hedge_respects_open_breaker(self):
+        """An open-breaker provider is skipped by hedge admission while
+        enough other candidates remain."""
+        broker = make_broker()
+        broker.put("t", "k", PAYLOAD)
+        meta = broker.head("t", "k")
+        engine = broker.cluster.all_engines()[0]
+        order = engine._serving_order(meta)
+        tripped = order[0][1]
+        tracker = broker.registry.health
+        for _ in range(5):
+            tracker.observe(tripped, 0.0, ok=False, transient=True)
+        assert tracker.breaker_state(tripped) == "open"
+        before = {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+        assert broker.get("t", "k") == PAYLOAD
+        broker.drain_hedges()
+        after = {p.name: p.meter.total().ops_get for p in broker.registry.providers()}
+        assert after[tripped] == before[tripped], "open provider was fetched from"
+
+
+class TestFailureCauses:
+    def test_read_failure_carries_per_provider_causes(self):
+        broker = make_broker()
+        broker.put("t", "k", PAYLOAD)
+        meta = broker.head("t", "k")
+        providers = [name for _, name in meta.chunk_map]
+        # One provider in outage, the other's chunk physically missing.
+        broker.registry.fail(providers[0])
+        victim = broker.registry.get(providers[1])
+        for chunk_key in list(victim.backend.keys()):
+            victim.backend.delete(chunk_key)
+        with pytest.raises(ReadFailedError) as excinfo:
+            broker.get("t", "k")
+        causes = excinfo.value.causes
+        assert isinstance(causes[providers[0]], ProviderUnavailableError)
+        assert isinstance(causes[providers[1]], ChunkNotFoundError)
+        assert "per-provider causes" in str(excinfo.value)
+        broker.drain_hedges()
+
+    def test_write_failure_carries_per_provider_causes(self):
+        broker = make_broker()
+        for name in broker.registry.names():
+            broker.registry.set_fault_profile(
+                name, FaultProfile(error_rate=1.0, seed=1)
+            )
+        with pytest.raises(WriteFailedError) as excinfo:
+            broker.put("t", "k", PAYLOAD)
+        causes = excinfo.value.causes
+        assert causes, "write failure dropped its per-provider context"
+        assert all(isinstance(exc, ProviderFaultError) for exc in causes.values())
+        assert "per-provider causes" in str(excinfo.value)
+
+    def test_transient_write_fault_retries_onto_other_providers(self):
+        """One flaky provider must not fail the write: the engine excludes
+        it after the transient error and re-plans."""
+        broker = make_broker()
+        meta_probe = make_broker()
+        meta_probe.put("t", "k", PAYLOAD)
+        target = meta_probe.head("t", "k").chunk_map[0][1]
+        broker.registry.set_fault_profile(target, FaultProfile(error_rate=1.0, seed=2))
+        meta = broker.put("t", "k", PAYLOAD)
+        assert target not in [name for _, name in meta.chunk_map]
+        assert broker.get("t", "k") == PAYLOAD
+        broker.drain_hedges()

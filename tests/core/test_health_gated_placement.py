@@ -1,0 +1,132 @@
+"""Circuit-breaker-gated placement: divert, fall back, readmit.
+
+The acceptance flow: open a provider's breaker and new placements avoid
+it; let the cooldown expire and half-open probes succeed and placements
+readmit it.  Plus the degraded-pool fallback (better a placement on a
+flaky provider than a failed write) and the optimizer surviving a sick
+pool.
+"""
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.providers.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    HealthTracker,
+)
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_broker():
+    clock = FakeClock()
+    tracker = HealthTracker(
+        clock=clock, open_after=3, cooldown_s=30.0, half_open_probes=2
+    )
+    registry = ProviderRegistry(paper_catalog(), health=tracker)
+    return Scalia(registry), tracker, clock
+
+
+def trip(tracker: HealthTracker, name: str) -> None:
+    for _ in range(3):
+        tracker.observe(name, 0.0, ok=False, transient=True)
+    assert tracker.breaker_state(name) == BREAKER_OPEN
+
+
+class TestPlacementDiversion:
+    def test_open_breaker_diverts_then_half_open_probes_readmit(self):
+        broker, tracker, clock = make_broker()
+        meta = broker.put("pics", "before.bin", 1_000_000)
+        victim = meta.placement.providers[0]
+        assert victim in meta.placement.providers
+
+        trip(tracker, victim)
+        diverted = broker.put("pics", "during.bin", 1_000_000)
+        assert victim not in diverted.placement.providers, (
+            f"placement {diverted.placement.label()} used open provider {victim}"
+        )
+        assert broker.registry.sick_names() == [victim]
+        assert not broker.registry.is_admitted(victim)
+
+        # Cooldown expires -> half-open: still not placeable, but probe
+        # traffic is admitted...
+        clock.advance(30.0)
+        assert tracker.breaker_state(victim) == BREAKER_HALF_OPEN
+        still = broker.put("pics", "half-open.bin", 1_000_000)
+        assert victim not in still.placement.providers
+
+        # ...and once the probes succeed (here: two real provider calls
+        # going through the observation envelope) the breaker closes and
+        # placements readmit the provider.
+        provider = broker.registry.get(victim)
+        assert tracker.allow_request(victim)
+        list(provider.list_keys(""))
+        assert tracker.allow_request(victim)
+        list(provider.list_keys(""))
+        assert tracker.breaker_state(victim) == BREAKER_CLOSED
+        readmitted = broker.put("pics", "after.bin", 1_000_000)
+        assert victim in readmitted.placement.providers
+        assert broker.registry.sick_names() == []
+
+    def test_all_sick_pool_falls_back_instead_of_failing_writes(self):
+        broker, tracker, _clock = make_broker()
+        for name in broker.registry.names():
+            trip(tracker, name)
+        # Every breaker open: the healthy pool is empty, so the planner
+        # falls back to the available pool — the write must succeed.
+        meta = broker.put("pics", "fallback.bin", 1_000_000)
+        assert len(meta.placement.providers) >= 1
+
+    def test_breaker_transition_bumps_registry_epoch(self):
+        broker, tracker, clock = make_broker()
+        before = broker.registry.epoch
+        trip(tracker, "S3(l)")
+        assert broker.registry.epoch > before
+
+    def test_specs_include_sick_filter(self):
+        broker, tracker, _clock = make_broker()
+        trip(tracker, "Azu")
+        healthy = {s.name for s in broker.registry.specs(include_failed=False, include_sick=False)}
+        everyone = {s.name for s in broker.registry.specs(include_failed=False)}
+        assert everyone - healthy == {"Azu"}
+
+
+class TestOptimizerUnderSickness:
+    def test_tick_survives_and_reconsiders_on_breaker_change(self):
+        broker, tracker, _clock = make_broker()
+        broker.put("pics", "obj.bin", 1_000_000)
+        broker.tick()
+        meta = broker.head("pics", "obj.bin")
+        victim = meta.placement.providers[0]
+        trip(tracker, victim)
+        # The breaker transition is a pool change: the next round must
+        # reconsider every live object (and must not crash doing so).
+        reports = broker.tick()
+        assert reports[0].examined >= 1
+        assert all(o.recomputed for o in reports[0].outcomes)
+        # Whatever the optimizer chose as the best new placement, it was
+        # computed over the healthy pool.
+        for outcome in reports[0].outcomes:
+            if outcome.new_placement is not None and outcome.migrated:
+                assert victim not in outcome.new_placement.providers
+
+    def test_tick_with_every_breaker_open_does_not_crash(self):
+        broker, tracker, _clock = make_broker()
+        broker.put("pics", "obj.bin", 1_000_000)
+        for name in broker.registry.names():
+            trip(tracker, name)
+        reports = broker.tick()
+        assert reports[0].examined >= 0  # the round completed

@@ -1,0 +1,140 @@
+"""Gateway surface for the fault/health subsystem: ``/faults`` and the
+``/stats`` health + hedging blocks."""
+
+import json
+
+import pytest
+
+from repro.gateway.frontend import BrokerFrontend
+from repro.gateway.routes import RouteError, parse_route
+from repro.gateway.server import ScaliaGateway
+
+
+@pytest.fixture()
+def gateway():
+    gw = ScaliaGateway(BrokerFrontend(), port=0).start()
+    try:
+        yield gw
+    finally:
+        gw.close()
+
+
+def request(gw, method, path, body=None):
+    import http.client
+
+    host, port = gw.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        raw = resp.read()
+        try:
+            return resp.status, json.loads(raw or b"{}")
+        except json.JSONDecodeError:
+            return resp.status, raw  # object payloads are not JSON
+    finally:
+        conn.close()
+
+
+class TestRouteParsing:
+    def test_faults_routes(self):
+        assert parse_route("GET", "/faults").kind == "faults"
+        assert parse_route("POST", "/faults").kind == "faults"
+
+    def test_faults_method_guard(self):
+        with pytest.raises(RouteError) as excinfo:
+            parse_route("DELETE", "/faults")
+        assert excinfo.value.status == 405
+        assert excinfo.value.allow == "GET, POST"
+
+
+class TestFaultInjectionOverHttp:
+    def test_install_list_and_clear(self, gateway):
+        status, doc = request(
+            gateway,
+            "POST",
+            "/faults",
+            json.dumps(
+                {
+                    "provider": "S3(h)",
+                    "profile": {"latency_ms": 5, "error_rate": 0.25, "seed": 3},
+                }
+            ),
+        )
+        assert status == 200
+        assert doc["fault_profile"]["error_rate"] == 0.25
+
+        status, listing = request(gateway, "GET", "/faults")
+        assert status == 200
+        assert listing["S3(h)"]["latency_ms"] == 5.0
+        assert listing["S3(l)"] is None
+
+        status, doc = request(
+            gateway, "POST", "/faults", json.dumps({"provider": "S3(h)", "profile": None})
+        )
+        assert status == 200 and doc["fault_profile"] is None
+        _status, listing = request(gateway, "GET", "/faults")
+        assert listing["S3(h)"] is None
+
+    def test_unknown_provider_404(self, gateway):
+        status, doc = request(
+            gateway, "POST", "/faults", json.dumps({"provider": "NoSuch", "profile": None})
+        )
+        assert status == 404
+
+    def test_malformed_profile_400(self, gateway):
+        status, doc = request(
+            gateway,
+            "POST",
+            "/faults",
+            json.dumps({"provider": "S3(h)", "profile": {"error_rate": 2.0}}),
+        )
+        assert status == 400
+        assert "bad fault profile" in doc["error"]
+
+    def test_flap_missing_fields_400_not_500(self, gateway):
+        status, doc = request(
+            gateway,
+            "POST",
+            "/faults",
+            json.dumps({"provider": "S3(h)", "profile": {"flap": {"up_ops": 5}}}),
+        )
+        assert status == 400
+        assert "bad fault profile" in doc["error"]
+
+    def test_missing_provider_400(self, gateway):
+        status, _doc = request(gateway, "POST", "/faults", json.dumps({}))
+        assert status == 400
+
+    def test_non_json_body_400(self, gateway):
+        status, _doc = request(gateway, "POST", "/faults", b"not json")
+        assert status == 400
+
+
+class TestStatsHealthBlock:
+    def test_stats_exposes_health_and_hedging(self, gateway):
+        status, stats = request(gateway, "GET", "/stats")
+        assert status == 200
+        health = stats["health"]
+        assert set(health) == {"Azu", "Ggl", "RS", "S3(h)", "S3(l)"}
+        for entry in health.values():
+            assert entry["breaker"] == "closed"
+            assert entry["available"] is True
+            assert entry["fault_profile"] is None
+        hedging = stats["hedging"]
+        assert hedging["policy"]["enabled"] is True
+        assert hedging["hedged_reads"] == 0
+
+    def test_health_reflects_injected_faults_and_traffic(self, gateway):
+        request(
+            gateway,
+            "POST",
+            "/faults",
+            json.dumps({"provider": "RS", "profile": {"latency_ms": 1}}),
+        )
+        request(gateway, "PUT", "/bucket/k", b"x" * 1024)
+        request(gateway, "GET", "/bucket/k")
+        _status, stats = request(gateway, "GET", "/stats")
+        assert stats["health"]["RS"]["fault_profile"]["latency_ms"] == 1.0
+        observed = sum(e["observations"] for e in stats["health"].values())
+        assert observed > 0

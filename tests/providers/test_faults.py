@@ -1,0 +1,151 @@
+"""Deterministic unit tests for the partial-fault injection layer."""
+
+import pytest
+
+from repro.erasure.striping import SyntheticChunk
+from repro.providers.faults import (
+    FaultProfile,
+    FlapSchedule,
+    ProviderFaultError,
+    parse_fault_spec,
+    profile_from_dict,
+)
+from repro.providers.pricing import PricingPolicy, ProviderSpec
+from repro.providers.provider import SimulatedProvider
+
+
+def make_provider(name="P") -> SimulatedProvider:
+    spec = ProviderSpec(
+        name=name,
+        durability=0.9999,
+        availability=0.999,
+        zones=frozenset({"EU"}),
+        pricing=PricingPolicy(0.1, 0.1, 0.1, 0.01),
+    )
+    return SimulatedProvider(spec)
+
+
+def drain(profile: FaultProfile, n: int):
+    """The first ``n`` decisions of a profile as comparable tuples."""
+    return [(round(d.latency_s, 9), d.fault) for d in (profile.draw("get") for _ in range(n))]
+
+
+class TestFaultProfileDeterminism:
+    def test_same_seed_reproduces_exactly(self):
+        a = FaultProfile(latency_s=0.001, jitter_s=0.002, error_rate=0.3, seed=42)
+        b = FaultProfile(latency_s=0.001, jitter_s=0.002, error_rate=0.3, seed=42)
+        assert drain(a, 200) == drain(b, 200)
+
+    def test_different_seed_differs(self):
+        a = FaultProfile(jitter_s=0.002, error_rate=0.3, seed=1)
+        b = FaultProfile(jitter_s=0.002, error_rate=0.3, seed=2)
+        assert drain(a, 50) != drain(b, 50)
+
+    def test_reset_rewinds_the_stream(self):
+        profile = FaultProfile(jitter_s=0.01, error_rate=0.5, seed=7)
+        first = drain(profile, 30)
+        profile.reset()
+        assert drain(profile, 30) == first
+        assert profile.ops_drawn == 30
+
+    def test_error_rate_zero_and_one(self):
+        assert all(d.fault is None for d in
+                   (FaultProfile(seed=1).draw("get") for _ in range(20)))
+        always = FaultProfile(error_rate=1.0, seed=1)
+        assert all(d.fault == "error" for d in (always.draw("get") for _ in range(20)))
+
+    def test_slow_mode_multiplies_latency(self):
+        profile = FaultProfile(latency_s=0.01, slow_multiplier=4.0)
+        assert profile.draw("get").latency_s == pytest.approx(0.01)
+        profile.set_slow(True)
+        assert profile.draw("get").latency_s == pytest.approx(0.04)
+        profile.set_slow(False)
+        assert profile.draw("get").latency_s == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(latency_s=-1)
+        with pytest.raises(ValueError):
+            FaultProfile(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(slow_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FlapSchedule(up_ops=3, down_ops=0)
+
+
+class TestFlapSchedule:
+    def test_cycle(self):
+        flap = FlapSchedule(up_ops=3, down_ops=2)
+        pattern = [flap.is_down(i) for i in range(10)]
+        assert pattern == [False, False, False, True, True] * 2
+
+    def test_phase_shift(self):
+        flap = FlapSchedule(up_ops=3, down_ops=2, phase=3)
+        assert flap.is_down(0) and flap.is_down(1) and not flap.is_down(2)
+
+    def test_flap_wins_over_error_draw(self):
+        profile = FaultProfile(error_rate=1.0, flap=FlapSchedule(up_ops=0, down_ops=1))
+        assert profile.draw("get").fault == "flap"
+
+    def test_flap_through_provider_is_transient(self):
+        provider = make_provider()
+        provider.set_fault_profile(
+            FaultProfile(flap=FlapSchedule(up_ops=2, down_ops=1))
+        )
+        chunk = SyntheticChunk(index=0, size=10)
+        provider.put_chunk("a", chunk)  # op 0: up
+        provider.put_chunk("b", chunk)  # op 1: up
+        with pytest.raises(ProviderFaultError) as excinfo:
+            provider.put_chunk("c", chunk)  # op 2: down window
+        assert excinfo.value.kind == "flap"
+        assert excinfo.value.provider_name == "P"
+        # The flap window passed: the provider serves again, and the
+        # failed operation never billed.
+        provider.put_chunk("c", chunk)
+        assert provider.meter.total().ops_put == 3
+
+
+class TestProviderIntegration:
+    def test_injected_error_does_not_bill(self):
+        provider = make_provider()
+        provider.set_fault_profile(FaultProfile(error_rate=1.0, seed=0))
+        with pytest.raises(ProviderFaultError) as excinfo:
+            provider.get_chunk("missing")
+        assert excinfo.value.kind == "error"
+        assert provider.meter.total().ops == 0
+
+    def test_clearing_profile_restores_clean_service(self):
+        provider = make_provider()
+        provider.set_fault_profile(FaultProfile(error_rate=1.0))
+        with pytest.raises(ProviderFaultError):
+            provider.put_chunk("k", SyntheticChunk(index=0, size=1))
+        provider.set_fault_profile(None)
+        provider.put_chunk("k", SyntheticChunk(index=0, size=1))
+        assert "k" in provider
+
+
+class TestSpecParsing:
+    def test_parse_round_trip(self):
+        profile = parse_fault_spec(
+            "latency=500ms,jitter=0.05,error=0.1,slow=4,seed=9,flap=20/5"
+        )
+        assert profile.latency_s == pytest.approx(0.5)
+        assert profile.jitter_s == pytest.approx(0.05)
+        assert profile.error_rate == pytest.approx(0.1)
+        assert profile.slow and profile.slow_multiplier == pytest.approx(4.0)
+        assert profile.seed == 9
+        assert profile.flap == FlapSchedule(up_ops=20, down_ops=5)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "latency", "latency=", "bogus=1", "flap=3", "latency=abcms"],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_spec(spec)
+
+    def test_describe_dict_round_trip(self):
+        profile = parse_fault_spec("latency=250ms,jitter=10ms,error=0.2,flap=5/3,seed=4")
+        clone = profile_from_dict(profile.describe())
+        assert clone.describe() == profile.describe()
+        assert drain(clone, 40) == drain(profile, 40)

@@ -1,0 +1,206 @@
+"""Unit tests for the health tracker: EWMA math, breaker lifecycle,
+half-open probe admission under concurrency, and hedge policy gating."""
+
+import threading
+
+import pytest
+
+from repro.providers.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    HealthTracker,
+    HedgePolicy,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_tracker(**kw) -> tuple[HealthTracker, FakeClock]:
+    clock = FakeClock()
+    kw.setdefault("open_after", 3)
+    kw.setdefault("cooldown_s", 10.0)
+    kw.setdefault("half_open_probes", 2)
+    return HealthTracker(clock=clock, **kw), clock
+
+
+class TestEwmaMath:
+    def test_first_observation_seeds_the_ewma(self):
+        tracker, _ = make_tracker(alpha=0.2)
+        tracker.observe("P", 0.100, ok=True)
+        assert tracker.latency_of("P") == pytest.approx(0.100)
+
+    def test_ewma_recurrence(self):
+        tracker, _ = make_tracker(alpha=0.5)
+        expected = None
+        for latency in (0.1, 0.2, 0.4, 0.0):
+            tracker.observe("P", latency, ok=True)
+            expected = latency if expected is None else expected + 0.5 * (latency - expected)
+        assert tracker.latency_of("P") == pytest.approx(expected)
+
+    def test_error_rate_decays_after_recovery(self):
+        tracker, _ = make_tracker(alpha=0.5, open_after=100)
+        for _ in range(8):
+            tracker.observe("P", 0.0, ok=False, transient=True)
+        peak = tracker.error_rate_of("P")
+        assert peak > 0.9
+        for _ in range(8):
+            tracker.observe("P", 0.0, ok=True)
+        assert tracker.error_rate_of("P") < 0.01 < peak
+
+    def test_providers_tracked_independently(self):
+        tracker, _ = make_tracker()
+        tracker.observe("A", 0.5, ok=True)
+        assert tracker.latency_of("B") == 0.0
+
+
+class TestBreakerLifecycle:
+    def test_closed_to_open_on_consecutive_transients(self):
+        tracker, _ = make_tracker(open_after=3)
+        for _ in range(2):
+            tracker.observe("P", 0.0, ok=False, transient=True)
+        assert tracker.breaker_state("P") == BREAKER_CLOSED
+        tracker.observe("P", 0.0, ok=False, transient=True)
+        assert tracker.breaker_state("P") == BREAKER_OPEN
+        assert not tracker.allows_placement("P")
+        assert not tracker.allow_request("P")
+
+    def test_success_resets_the_consecutive_count(self):
+        tracker, _ = make_tracker(open_after=3)
+        # Interleaved successes: many failures but never three in a row.
+        for _ in range(10):
+            tracker.observe("P", 0.0, ok=False, transient=True)
+            tracker.observe("P", 0.0, ok=True)
+        assert tracker.breaker_state("P") == BREAKER_CLOSED
+
+    def test_non_transient_failures_do_not_trip(self):
+        tracker, _ = make_tracker(open_after=2)
+        for _ in range(10):
+            tracker.observe("P", 0.0, ok=False, transient=False)
+        assert tracker.breaker_state("P") == BREAKER_CLOSED
+
+    def test_cooldown_to_half_open_then_probes_close(self):
+        tracker, clock = make_tracker(open_after=2, cooldown_s=10.0, half_open_probes=2)
+        tracker.observe("P", 0.0, ok=False, transient=True)
+        tracker.observe("P", 0.0, ok=False, transient=True)
+        assert tracker.breaker_state("P") == BREAKER_OPEN
+        clock.advance(9.9)
+        assert tracker.breaker_state("P") == BREAKER_OPEN
+        clock.advance(0.2)
+        assert tracker.breaker_state("P") == BREAKER_HALF_OPEN
+        assert not tracker.allows_placement("P")  # still proving itself
+        tracker.observe("P", 0.001, ok=True)
+        assert tracker.breaker_state("P") == BREAKER_HALF_OPEN
+        tracker.observe("P", 0.001, ok=True)
+        assert tracker.breaker_state("P") == BREAKER_CLOSED
+        assert tracker.allows_placement("P")
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        tracker, clock = make_tracker(open_after=1, cooldown_s=10.0)
+        tracker.observe("P", 0.0, ok=False, transient=True)
+        clock.advance(10.0)
+        assert tracker.breaker_state("P") == BREAKER_HALF_OPEN
+        tracker.observe("P", 0.0, ok=False, transient=True)
+        assert tracker.breaker_state("P") == BREAKER_OPEN
+        assert tracker.view("P").opens == 2
+        clock.advance(9.0)
+        assert tracker.breaker_state("P") == BREAKER_OPEN
+        clock.advance(1.0)
+        assert tracker.breaker_state("P") == BREAKER_HALF_OPEN
+
+    def test_transitions_bump_the_state_epoch(self):
+        tracker, clock = make_tracker(open_after=1, cooldown_s=1.0, half_open_probes=1)
+        before = tracker.state_epoch
+        tracker.observe("P", 0.0, ok=False, transient=True)  # -> open
+        clock.advance(1.0)
+        tracker.breaker_state("P")  # lazy -> half_open
+        tracker.observe("P", 0.0, ok=True)  # -> closed
+        assert tracker.state_epoch == before + 3
+
+
+class TestHalfOpenProbeAdmission:
+    def _half_open_tracker(self, probes: int) -> HealthTracker:
+        tracker, clock = make_tracker(
+            open_after=1, cooldown_s=1.0, half_open_probes=probes
+        )
+        tracker.observe("P", 0.0, ok=False, transient=True)
+        clock.advance(1.0)
+        assert tracker.breaker_state("P") == BREAKER_HALF_OPEN
+        return tracker
+
+    def test_probe_quota_is_bounded(self):
+        tracker = self._half_open_tracker(probes=3)
+        admitted = [tracker.allow_request("P") for _ in range(10)]
+        assert admitted.count(True) == 3
+
+    def test_probe_admission_under_concurrency(self):
+        """N racing threads: exactly ``half_open_probes`` win admission."""
+        tracker = self._half_open_tracker(probes=2)
+        admitted = []
+        barrier = threading.Barrier(16)
+        lock = threading.Lock()
+
+        def probe():
+            barrier.wait()
+            result = tracker.allow_request("P")
+            with lock:
+                admitted.append(result)
+
+        threads = [threading.Thread(target=probe) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert admitted.count(True) == 2
+
+    def test_completed_probe_frees_a_slot(self):
+        tracker = self._half_open_tracker(probes=1)
+        assert tracker.allow_request("P")
+        assert not tracker.allow_request("P")
+        # The admitted probe completes (successfully): one more may enter
+        # (the breaker needs half_open_probes=1 successes, so it closed).
+        tracker.observe("P", 0.0, ok=True)
+        assert tracker.breaker_state("P") == BREAKER_CLOSED
+        assert tracker.allow_request("P")
+
+
+class TestHedgePolicy:
+    def test_disabled_never_hedges(self):
+        tracker, _ = make_tracker()
+        tracker.observe("A", 9.9, ok=True)
+        policy = HedgePolicy(enabled=False)
+        assert not policy.should_hedge(tracker, ["A", "B"], 1)
+
+    def test_healthy_pool_stays_on_the_serial_path(self):
+        tracker, _ = make_tracker()
+        for name in ("A", "B", "C"):
+            tracker.observe(name, 0.001, ok=True)
+        assert not HedgePolicy().should_hedge(tracker, ["A", "B", "C"], 2)
+
+    def test_suspect_candidate_triggers_hedging(self):
+        tracker, _ = make_tracker()
+        tracker.observe("A", 0.5, ok=True)  # way past suspect_latency_s
+        assert HedgePolicy().should_hedge(tracker, ["A", "B", "C"], 2)
+
+    def test_open_breaker_triggers_hedging(self):
+        tracker, _ = make_tracker(open_after=1)
+        tracker.observe("A", 0.0, ok=False, transient=True)
+        assert HedgePolicy().should_hedge(tracker, ["A", "B"], 1)
+
+    def test_deadline_adapts_and_clamps(self):
+        tracker, _ = make_tracker(alpha=1.0)
+        policy = HedgePolicy(min_deadline_s=0.05, max_deadline_s=0.4, multiplier=3.0)
+        assert policy.deadline_for(tracker, ["A"]) == pytest.approx(0.05)
+        tracker.observe("A", 0.1, ok=True)
+        assert policy.deadline_for(tracker, ["A"]) == pytest.approx(0.3)
+        tracker.observe("A", 5.0, ok=True)
+        assert policy.deadline_for(tracker, ["A"]) == pytest.approx(0.4)

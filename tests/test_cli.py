@@ -184,3 +184,52 @@ class TestPutGet:
         code = main(["put", "docs", "k", str(src), "--url", "http://127.0.0.1:1"])
         assert code == 1
         assert "put failed" in capsys.readouterr().err
+
+
+class TestStatus:
+    """repro status against an in-process gateway."""
+
+    @pytest.fixture()
+    def gateway(self):
+        from repro.gateway.frontend import BrokerFrontend
+        from repro.gateway.server import ScaliaGateway
+
+        gw = ScaliaGateway(BrokerFrontend(), port=0).start()
+        yield gw
+        gw.close()
+
+    def test_status_prints_health_table(self, capsys, gateway):
+        from repro.providers.faults import parse_fault_spec
+
+        gateway.frontend.broker.registry.set_fault_profile(
+            "RS", parse_fault_spec("latency=100ms,error=0.1")
+        )
+        assert main(["status", "--url", gateway.url]) == 0
+        out = capsys.readouterr().out
+        assert "breaker" in out
+        assert "closed" in out
+        assert "latency=100.0ms,error=0.1" in out
+        assert "hedging  : on" in out
+
+    def test_status_unreachable_gateway(self, capsys):
+        assert main(["status", "--url", "http://127.0.0.1:1"]) == 1
+        assert "status failed" in capsys.readouterr().err
+
+
+class TestServeFaultFlags:
+    def test_serve_parser_accepts_fault_and_hedge_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--fault", "RS:latency=5ms,error=0.1", "--fault",
+             "Azu:flap=3/2", "--no-hedge", "--hedge-deadline-ms", "80"]
+        )
+        assert args.fault == ["RS:latency=5ms,error=0.1", "Azu:flap=3/2"]
+        assert args.no_hedge is True
+        assert args.hedge_deadline_ms == 80.0
+
+    def test_serve_rejects_out_of_range_hedge_deadline(self, capsys):
+        # Above HedgePolicy's max_deadline_s: a clean exit-2 message, not
+        # a traceback.
+        assert main(["serve", "--port", "0", "--hedge-deadline-ms", "3000"]) == 2
+        assert "bad --hedge-deadline-ms" in capsys.readouterr().err
