@@ -24,6 +24,10 @@ Commands
     Operational snapshot of a running gateway: period, costs, hedged-read
     counters and the per-provider health table (availability, circuit
     breaker, latency/error EWMAs, installed fault profiles).
+``top``
+    Live operational table refreshed from ``GET /metrics?format=json``:
+    request rate, per-op latency quantiles, per-provider traffic, error
+    and breaker state (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ import sys
 from typing import Optional, Sequence
 from urllib.parse import urlsplit
 
+from repro import __version__
 from repro.core.broker import Scalia
 from repro.core.costmodel import AccessProjection, CostModel
 from repro.core.placement import PlacementEngine
@@ -116,9 +121,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.controlplane import BackgroundControlPlane
+    from repro.obs.logging import configure_logging
     from repro.providers.faults import parse_fault_spec
     from repro.providers.health import HedgePolicy
 
+    configure_logging(fmt=args.log_format, level=args.log_level)
     registry = ProviderRegistry(paper_catalog(include_cheapstor=args.cheapstor))
     try:
         hedge = HedgePolicy(
@@ -139,6 +146,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         optimizer_batch_size=args.optimizer_batch,
         scrub_batch_size=args.scrub_batch,
         hedge=hedge,
+        enable_metrics=not args.no_metrics,
     )
     for spec in args.fault or ():
         name, colon, profile_spec = spec.partition(":")
@@ -153,7 +161,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"fault profile installed on {name.strip()}: {profile_spec.strip()}")
     frontend = BrokerFrontend(broker, mode=args.mode)
     gateway = ScaliaGateway(
-        frontend, host=args.host, port=args.port, verbose=args.verbose
+        frontend,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        trace_slow_ms=args.trace_slow_ms,
     )
     control_plane = None
     if args.tick_every or args.scrub_every:
@@ -183,7 +195,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> (Range + conditionals) | "
         "multipart: POST ?uploads, PUT ?partNumber=&uploadId=, POST/DELETE ?uploadId= | "
         "GET /<bucket>?list-type=2&prefix=&delimiter=&max-keys=&continuation-token= | "
-        "GET /healthz | GET /stats | POST /tick | POST /scrub | GET/POST /faults"
+        "GET /healthz | GET /metrics | GET /stats | POST /tick | POST /scrub | "
+        "GET/POST /faults"
     )
     # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
     # and background shells may spawn children with SIGINT ignored.
@@ -372,10 +385,170 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- repro top ------------------------------------------------------------
+
+_BREAKER_NAMES = {0: "closed", 1: "open", 2: "half_open"}
+
+
+def _samples(snapshot: dict, name: str) -> list:
+    return snapshot.get("metrics", {}).get(name, {}).get("samples", [])
+
+
+def _counter_total(snapshot: dict, name: str, **want) -> float:
+    """Sum a counter family, optionally filtered by label values."""
+    total = 0.0
+    for sample in _samples(snapshot, name):
+        labels = sample.get("labels", {})
+        if all(labels.get(k) == v for k, v in want.items()):
+            total += sample.get("value", 0.0)
+    return total
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:,.0f}{unit}" if unit == "B" else f"{n:,.1f}{unit}"
+        n /= 1024.0
+    return f"{n:,.1f}TiB"
+
+
+def render_top(snapshot: dict, previous: Optional[tuple] = None) -> str:
+    """One ``repro top`` frame from a ``/metrics?format=json`` snapshot.
+
+    ``previous`` is the ``(snapshot, monotonic_seconds)`` pair of the
+    prior frame (with the current frame's capture time appended by the
+    caller as ``(prev_snapshot, prev_t, now_t)``); when present, request
+    and byte rates are computed over that window instead of shown as
+    totals-only.  Pure function so tests can drive it without a terminal.
+    """
+    lines = []
+    requests_now = _counter_total(snapshot, "scalia_gateway_requests_total")
+    errors_now = sum(
+        sample.get("value", 0.0)
+        for sample in _samples(snapshot, "scalia_gateway_requests_total")
+        if str(sample.get("labels", {}).get("status", "")).startswith(("4", "5"))
+    )
+    rate = ""
+    if previous is not None:
+        prev_snapshot, prev_t, now_t = previous
+        dt = max(now_t - prev_t, 1e-9)
+        delta = requests_now - _counter_total(prev_snapshot, "scalia_gateway_requests_total")
+        rate = f"  |  {max(delta, 0.0) / dt:8.1f} req/s"
+    inflight = _counter_total(snapshot, "scalia_gateway_inflight_requests")
+    lines.append(
+        f"requests {requests_now:,.0f}  errors {errors_now:,.0f}  "
+        f"inflight {inflight:,.0f}{rate}"
+    )
+
+    hedges = {
+        "reads": _counter_total(snapshot, "scalia_hedged_reads_total"),
+        "fired": _counter_total(snapshot, "scalia_hedges_fired_total"),
+        "repl": _counter_total(snapshot, "scalia_hedge_replacements_total"),
+        "supp": _counter_total(snapshot, "scalia_hedges_suppressed_total"),
+    }
+    lines.append(
+        f"hedging  {hedges['reads']:,.0f} degraded reads, "
+        f"{hedges['fired']:,.0f} fired, {hedges['repl']:,.0f} replacements, "
+        f"{hedges['supp']:,.0f} suppressed"
+    )
+
+    op_samples = _samples(snapshot, "scalia_engine_op_seconds")
+    if op_samples:
+        lines.append("")
+        lines.append(f"{'op':<14} {'count':>9} {'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9}")
+        for sample in op_samples:
+            if not sample.get("count"):
+                continue
+            op = sample.get("labels", {}).get("op", "?")
+            lines.append(
+                f"{op:<14} {sample['count']:>9,.0f} "
+                f"{sample.get('p50', 0.0) * 1000:>9.2f} "
+                f"{sample.get('p95', 0.0) * 1000:>9.2f} "
+                f"{sample.get('p99', 0.0) * 1000:>9.2f}"
+            )
+
+    providers = sorted(
+        {
+            sample.get("labels", {}).get("provider")
+            for family in ("scalia_provider_up", "scalia_provider_op_seconds")
+            for sample in _samples(snapshot, family)
+            if sample.get("labels", {}).get("provider")
+        }
+    )
+    if providers:
+        breaker = {
+            sample["labels"]["provider"]: _BREAKER_NAMES.get(
+                int(sample.get("value", 0)), "?"
+            )
+            for sample in _samples(snapshot, "scalia_breaker_state")
+            if "provider" in sample.get("labels", {})
+        }
+        lines.append("")
+        lines.append(
+            f"{'provider':<10} {'up':>3} {'breaker':>9} {'ops':>9} {'p99 ms':>8} "
+            f"{'errors':>7} {'stored':>10} {'in':>10} {'out':>10}"
+        )
+        for name in providers:
+            count = 0.0
+            p99 = 0.0
+            for sample in _samples(snapshot, "scalia_provider_op_seconds"):
+                if sample.get("labels", {}).get("provider") == name:
+                    count += sample.get("count", 0)
+                    p99 = max(p99, sample.get("p99", 0.0))
+            up = _counter_total(snapshot, "scalia_provider_up", provider=name)
+            lines.append(
+                f"{name:<10} {'yes' if up else 'NO':>3} "
+                f"{breaker.get(name, '?'):>9} {count:>9,.0f} {p99 * 1000:>8.2f} "
+                f"{_counter_total(snapshot, 'scalia_provider_errors_total', provider=name):>7,.0f} "
+                f"{_fmt_bytes(_counter_total(snapshot, 'scalia_provider_stored_bytes', provider=name)):>10} "
+                f"{_fmt_bytes(_counter_total(snapshot, 'scalia_provider_bytes_total', provider=name, direction='in')):>10} "
+                f"{_fmt_bytes(_counter_total(snapshot, 'scalia_provider_bytes_total', provider=name, direction='out')):>10}"
+            )
+    if not snapshot.get("metrics"):
+        lines.append("")
+        lines.append("no metric series: is the gateway running with --no-metrics?")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.gateway.client import GatewayError
+
+    previous: Optional[tuple] = None
+    iteration = 0
+    try:
+        with _gateway_client(args) as client:
+            while args.iterations <= 0 or iteration < args.iterations:
+                if iteration:
+                    time.sleep(args.interval)
+                snapshot = client.metrics()
+                now = time.monotonic()
+                window = None
+                if previous is not None:
+                    window = (previous[0], previous[1], now)
+                frame = render_top(snapshot, window)
+                if not args.no_clear:
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                previous = (snapshot, now)
+                iteration += 1
+    except KeyboardInterrupt:
+        return 0
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"top failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Scalia (SC'12) reproduction — adaptive multi-cloud storage",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -486,6 +659,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum straggler deadline before a read hedges to a parity "
         "provider (adaptive above this floor; default 50)",
     )
+    serve.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="structured log encoding on stderr (default text)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum structured log level (default info)",
+    )
+    serve.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="requests at or above this duration dump their full span tree "
+        "as a request.slow log event (default: disabled)",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the metrics registry (no /metrics series, no timing "
+        "overhead; /metrics then serves an empty exposition)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
 
@@ -532,6 +731,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_gateway_args(status)
     status.set_defaults(func=_cmd_status)
+
+    top = sub.add_parser(
+        "top", help="live metrics table (req/s, op latency, provider health)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for pipes/tests)",
+    )
+    add_gateway_args(top)
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -63,6 +63,7 @@ class ScaliaCluster:
         id_epoch: int = 0,
         stats: Optional[StatsDatabase] = None,
         hedge: Optional[HedgePolicy] = None,
+        metrics=None,
     ) -> None:
         if datacenters < 1 or engines_per_dc < 1:
             raise ValueError("need at least one datacenter and one engine")
@@ -81,7 +82,7 @@ class ScaliaCluster:
         # metadata store and providers, so they must share the striped
         # object/container locks (and the in-flight write registry the
         # scrubber's orphan sweep consults) too.
-        self.locks = LockManager()
+        self.locks = LockManager(metrics=metrics)
         # One hedge policy cluster-wide: every engine reads with the same
         # degraded-mode behaviour (and the gateway reports one config).
         self.hedge = hedge if hedge is not None else HedgePolicy()
@@ -105,6 +106,7 @@ class ScaliaCluster:
                     code_cache=code_cache,
                     locks=self.locks,
                     hedge=self.hedge,
+                    metrics=metrics,
                 )
                 engines.append(engine)
                 self.election.register(engine_id)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import base64
 import binascii
+import functools
 import hashlib
 import threading
 import time
@@ -56,6 +57,7 @@ from repro.cluster.multipart import (
 from repro.cluster.statistics import LogAgent, LogRecord
 from repro.erasure.rs import CodeCache
 from repro.erasure.striping import (
+    Chunk,
     SyntheticChunk,
     chunk_length,
     reassemble_object,
@@ -63,6 +65,7 @@ from repro.erasure.striping import (
     split_object,
     split_synthetic,
 )
+from repro.obs.trace import current_trace, record_span
 from repro.providers.health import HedgePolicy
 from repro.providers.provider import (
     CapacityExceededError,
@@ -327,6 +330,64 @@ class ReadPlan:
     length: int
 
 
+class _EngineTimers:
+    """Pre-resolved metric children for one engine's hot paths."""
+
+    __slots__ = ("ops", "encode", "decode", "encode_bytes", "decode_bytes")
+
+    _OPS = (
+        "put", "get", "get_many", "get_with_meta", "open_read",
+        "read_stripe", "delete", "list", "migrate",
+    )
+
+    def __init__(self, metrics) -> None:
+        hist = metrics.histogram(
+            "scalia_engine_op_seconds",
+            "Latency of engine public operations.",
+            ("op",),
+        )
+        self.ops = {op: hist.labels(op) for op in self._OPS}
+        self.encode = metrics.histogram(
+            "scalia_erasure_encode_seconds",
+            "Time to Reed-Solomon encode one stripe into n chunks.",
+        )
+        self.decode = metrics.histogram(
+            "scalia_erasure_decode_seconds",
+            "Time to reassemble one stripe's plaintext from m chunks.",
+        )
+        erasure_bytes = metrics.counter(
+            "scalia_erasure_bytes_total",
+            "Plaintext bytes through the erasure codec, by direction.",
+            ("direction",),
+        )
+        self.encode_bytes = erasure_bytes.labels("encode")
+        self.decode_bytes = erasure_bytes.labels("decode")
+
+
+def _timed_op(op: str):
+    """Time a public engine method into ``scalia_engine_op_seconds``.
+
+    Engines without metrics take one attribute load and a ``None`` check
+    — the original code path otherwise.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            timers = self._timers
+            if timers is None:
+                return fn(self, *args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                timers.ops[op].observe(time.perf_counter() - start)
+
+        return wrapper
+
+    return decorate
+
+
 class Engine:
     """One stateless Scalia engine bound to a datacenter."""
 
@@ -345,6 +406,7 @@ class Engine:
         code_cache: Optional[CodeCache] = None,
         locks: Optional[LockManager] = None,
         hedge: Optional[HedgePolicy] = None,
+        metrics=None,
     ) -> None:
         self.engine_id = engine_id
         self.dc = dc
@@ -367,16 +429,58 @@ class Engine:
         self.hedge_stats = HedgeStats()
         self._hedge_threads: List[threading.Thread] = []
         self._hedge_threads_lock = threading.Lock()
+        # Observability: children resolved once; `None` means disabled
+        # and every instrumented site skips its perf_counter bracketing.
+        self._timers: Optional[_EngineTimers] = None
+        if metrics is not None and metrics.enabled:
+            self._timers = _EngineTimers(metrics)
 
     @property
     def locks(self) -> LockManager:
         """The shared lock bundle (scrubber/optimizer coordinate through it)."""
         return self._locks
 
+    # -- erasure codec instrumentation wrappers -------------------------
+
+    def _encode_stripe(self, data: bytes, m: int, n: int) -> Sequence[Chunk]:
+        """``split_object`` plus encode metrics and the ``encode`` span."""
+        timers = self._timers
+        traced = current_trace() is not None
+        if timers is None and not traced:
+            return split_object(data, m, n, code_cache=self._codes)
+        start = time.perf_counter()
+        chunks = split_object(data, m, n, code_cache=self._codes)
+        elapsed = time.perf_counter() - start
+        if timers is not None:
+            timers.encode.observe(elapsed)
+            timers.encode_bytes.inc(len(data))
+        if traced:
+            record_span("encode", start, elapsed)
+        return chunks
+
+    def _decode_stripe(
+        self, chunks: Sequence[Chunk], m: int, n: int, length: int
+    ) -> bytes:
+        """``reassemble_object`` plus decode metrics and the ``decode`` span."""
+        timers = self._timers
+        traced = current_trace() is not None
+        if timers is None and not traced:
+            return reassemble_object(chunks, m, n, length, code_cache=self._codes)
+        start = time.perf_counter()
+        data = reassemble_object(chunks, m, n, length, code_cache=self._codes)
+        elapsed = time.perf_counter() - start
+        if timers is not None:
+            timers.decode.observe(elapsed)
+            timers.decode_bytes.inc(length)
+        if traced:
+            record_span("decode", start, elapsed)
+        return data
+
     # ------------------------------------------------------------------
     # public S3-like API
     # ------------------------------------------------------------------
 
+    @_timed_op("put")
     def put(
         self,
         container: str,
@@ -428,6 +532,7 @@ class Engine:
                 mime=mime, rule=rule, ttl_hint=ttl_hint, now=now, period=period,
             )
 
+    @_timed_op("get")
     def get(
         self,
         container: str,
@@ -438,10 +543,13 @@ class Engine:
         period: int = 0,
     ) -> Payload:
         """Read an object (or an inclusive byte range of it)."""
-        return self.get_many(
+        # Calls the shared body, not get(); a single read records one
+        # ``op="get"`` sample instead of nesting a get_many bracket too.
+        return self._get_many_locked(
             container, key, 1, byte_range=byte_range, now=now, period=period
         )
 
+    @_timed_op("get_many")
     def get_many(
         self,
         container: str,
@@ -461,6 +569,20 @@ class Engine:
         the stripes covering ``byte_range`` (inclusive, end ``None`` =
         through the last byte).
         """
+        return self._get_many_locked(
+            container, key, count, byte_range=byte_range, now=now, period=period
+        )
+
+    def _get_many_locked(
+        self,
+        container: str,
+        key: str,
+        count: int,
+        *,
+        byte_range: Optional[Tuple[int, Optional[int]]] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> Payload:
         if count < 1:
             raise ValueError("count must be >= 1")
         row_key = object_row_key(container, key)
@@ -471,6 +593,7 @@ class Engine:
             )
             return payload
 
+    @_timed_op("get_with_meta")
     def get_with_meta(
         self,
         container: str,
@@ -529,6 +652,7 @@ class Engine:
         self._commit_read_impl(plan, count=count, period=period)
         return payload, plan.meta
 
+    @_timed_op("open_read")
     def open_read(
         self,
         container: str,
@@ -583,6 +707,7 @@ class Engine:
             count=count, cache_hit=False, bytes_out=plan.length * count,
         )
 
+    @_timed_op("read_stripe")
     def read_stripe(self, meta: ObjectMeta, stripe: int, *, times: int = 1) -> Payload:
         """Decode one stripe's plaintext (or its synthetic byte count).
 
@@ -594,6 +719,7 @@ class Engine:
         with self._locks.read_object(object_row_key(meta.container, meta.key)):
             return self._read_stripe_payload(meta, stripe, times=times)
 
+    @_timed_op("delete")
     def delete(
         self,
         container: str,
@@ -627,6 +753,7 @@ class Engine:
             if self._cache is not None:
                 self._cache.invalidate_everywhere(row_key)
 
+    @_timed_op("list")
     def list_objects(
         self,
         container: str,
@@ -1129,6 +1256,7 @@ class Engine:
     # migration / repair (driven by the periodic optimizer)
     # ------------------------------------------------------------------
 
+    @_timed_op("migrate")
     def migrate(
         self,
         container: str,
@@ -1416,7 +1544,7 @@ class Engine:
                 break
             digest.update(block)
             tag = str(tag_of(index))
-            chunks = split_object(block, m, len(providers), code_cache=self._codes)
+            chunks = self._encode_stripe(block, m, len(providers))
             for chunk, provider_name in zip(chunks, providers):
                 chunk_key = f"{skey}:{tag}.{chunk.index}"
                 with self._pending.rewrite_guard(chunk_key):
@@ -1478,7 +1606,7 @@ class Engine:
         created_at: float,
     ) -> ObjectMeta:
         if isinstance(data, bytes):
-            chunks: Sequence = split_object(data, placement.m, placement.n, code_cache=self._codes)
+            chunks: Sequence = self._encode_stripe(data, placement.m, placement.n)
         else:
             chunks = split_synthetic(size, placement.m, placement.n)
         written: List[Tuple[str, str]] = []
@@ -1672,9 +1800,7 @@ class Engine:
         chunks = self._fetch_chunks(meta, meta.m, stripe=stripe, times=times)
         if isinstance(chunks[0], SyntheticChunk):
             return length
-        return reassemble_object(
-            chunks, meta.m, meta.n, length, code_cache=self._codes
-        )
+        return self._decode_stripe(chunks, meta.m, meta.n, length)
 
     def _fetch_and_reassemble(self, meta: ObjectMeta, *, times: int = 1) -> Payload:
         pieces: List[bytes] = []
@@ -1803,11 +1929,9 @@ class Engine:
                     stripe_len, new_placement.m, new_placement.n
                 )
             else:
-                data = reassemble_object(
-                    source, meta.m, meta.n, stripe_len, code_cache=self._codes
-                )
-                chunks = split_object(
-                    data, new_placement.m, new_placement.n, code_cache=self._codes
+                data = self._decode_stripe(source, meta.m, meta.n, stripe_len)
+                chunks = self._encode_stripe(
+                    data, new_placement.m, new_placement.n
                 )
             tag = str(stripe)
             for chunk, provider_name in zip(chunks, new_placement.providers):

@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import wrap_for_thread
 from repro.providers.health import HealthTracker, HedgePolicy
 from repro.providers.provider import (
     ChunkCorruptionError,
@@ -161,8 +162,10 @@ def hedged_fetch(
                 if stats is not None:
                     stats.record_suppressed()
                 continue
+            # Workers run under a snapshot of the caller's context so
+            # their provider fetches attribute to the request's trace.
             thread = threading.Thread(
-                target=worker,
+                target=wrap_for_thread(worker),
                 args=(index, name),
                 name=f"hedge-fetch-{name}",
                 daemon=True,

@@ -23,9 +23,13 @@ helpers never do, and public methods never call public methods.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
+
+from repro.obs.trace import add_phase as _trace_lock_wait
+from repro.obs.trace import current_trace as _current_trace
 
 
 class SharedExclusiveLock:
@@ -50,6 +54,18 @@ class SharedExclusiveLock:
             while self._exclusive_held or self._exclusive_waiting:
                 self._cond.wait()
             self._shared_holders += 1
+
+    def try_acquire_shared(self) -> bool:
+        """Non-blocking shared acquire: True on success.
+
+        Respects writer preference — a waiting exclusive acquirer makes
+        this fail just like it blocks :meth:`acquire_shared`.
+        """
+        with self._cond:
+            if self._exclusive_held or self._exclusive_waiting:
+                return False
+            self._shared_holders += 1
+            return True
 
     def release_shared(self) -> None:
         with self._cond:
@@ -89,6 +105,31 @@ class SharedExclusiveLock:
             self.release_exclusive()
 
 
+class _LockTimers:
+    """Pre-resolved histogram children for one striped-lock family."""
+
+    __slots__ = ("wait_shared", "wait_exclusive", "hold_exclusive")
+
+    def __init__(self, metrics, kind: str) -> None:
+        wait = metrics.histogram(
+            "scalia_lock_wait_seconds",
+            "Time spent blocked acquiring a striped lock (shared mode "
+            "records only acquisitions that actually waited).",
+            ("kind", "mode"),
+        )
+        hold = metrics.histogram(
+            "scalia_lock_hold_seconds",
+            "Time a striped lock was held once acquired (exclusive only).",
+            ("kind", "mode"),
+        )
+        self.wait_shared = wait.labels(kind, "shared")
+        self.wait_exclusive = wait.labels(kind, "exclusive")
+        # Shared holds are not observed: readers hold concurrently, so
+        # the duration says nothing about blocking, and the read path is
+        # the hot one.  Exclusive holds are exactly the writer stalls.
+        self.hold_exclusive = hold.labels(kind, "exclusive")
+
+
 class StripedRWLocks:
     """A fixed array of shared/exclusive locks addressed by key hash.
 
@@ -96,12 +137,26 @@ class StripedRWLocks:
     contention, never correctness.  The stripe index uses CRC32 rather
     than :func:`hash` so lock assignment is stable across processes
     (useful when debugging from logs).
+
+    With :meth:`instrument` called, exclusive acquisitions record their
+    wait and hold durations, and shared acquisitions record their wait
+    when they actually blocked (uncontended shared acquires — the hot
+    read path — skip instrumentation entirely; a zero wait carries no
+    signal).  Recorded waits are also credited to the current trace's
+    ``lock_wait`` phase.  Uninstrumented locks keep the original
+    zero-overhead path — the instrumented branches are not entered.
     """
 
     def __init__(self, stripes: int = 64) -> None:
         if stripes < 1:
             raise ValueError("stripes must be >= 1")
         self._locks = tuple(SharedExclusiveLock() for _ in range(stripes))
+        self._timers: Optional[_LockTimers] = None
+
+    def instrument(self, metrics, kind: str) -> None:
+        """Record wait/hold timings into ``metrics`` labelled ``kind``."""
+        if metrics is not None and metrics.enabled:
+            self._timers = _LockTimers(metrics, kind)
 
     @property
     def stripes(self) -> int:
@@ -117,7 +172,34 @@ class StripedRWLocks:
     def shared(self, key: str) -> Iterator[None]:
         """Hold the key's stripe in shared mode."""
         lock = self.stripe_of(key)
+        # Uncontended fast path, instrumented or not: an acquisition
+        # that never blocked has no wait worth recording (the shared
+        # wait histogram carries only acquisitions that actually
+        # blocked), and the read path takes several stripe locks per
+        # request — keeping this branch identical with metrics on and
+        # off is what the bench overhead guard measures.
+        if lock.try_acquire_shared():
+            try:
+                yield
+            finally:
+                lock.release_shared()
+            return
+        timers = self._timers
+        traced = _current_trace() is not None
+        if timers is None and not traced:
+            lock.acquire_shared()
+            try:
+                yield
+            finally:
+                lock.release_shared()
+            return
+        t0 = time.perf_counter()
         lock.acquire_shared()
+        wait = time.perf_counter() - t0
+        if timers is not None:
+            timers.wait_shared.observe(wait)
+        if traced:
+            _trace_lock_wait("lock_wait", wait)
         try:
             yield
         finally:
@@ -132,15 +214,28 @@ class StripedRWLocks:
         wanting overlapping stripe sets cannot deadlock each other.
         """
         indices = sorted({self._index(k) for k in keys})
+        timers = self._timers
+        traced = _current_trace() is not None
+        timed = timers is not None or traced
+        t0 = time.perf_counter() if timed else 0.0
         taken = []
+        acquired = 0.0
         try:
             for index in indices:
                 self._locks[index].acquire_exclusive()
                 taken.append(index)
+            if timed:
+                acquired = time.perf_counter()
+                if timers is not None:
+                    timers.wait_exclusive.observe(acquired - t0)
+                if traced:
+                    _trace_lock_wait("lock_wait", acquired - t0)
             yield
         finally:
             for index in reversed(taken):
                 self._locks[index].release_exclusive()
+            if timers is not None and acquired:
+                timers.hold_exclusive.observe(time.perf_counter() - acquired)
 
 
 class StripedMutexes:
@@ -230,10 +325,19 @@ class LockManager:
     nothing acquires a container lock while holding an object lock.
     """
 
-    def __init__(self, *, object_stripes: int = 64, container_stripes: int = 16) -> None:
+    def __init__(
+        self,
+        *,
+        object_stripes: int = 64,
+        container_stripes: int = 16,
+        metrics=None,
+    ) -> None:
         self.objects = StripedRWLocks(object_stripes)
         self.containers = StripedRWLocks(container_stripes)
         self.in_flight = InFlightWrites()
+        if metrics is not None:
+            self.objects.instrument(metrics, "object")
+            self.containers.instrument(metrics, "container")
 
     @contextmanager
     def read_object(self, row_key: str) -> Iterator[None]:

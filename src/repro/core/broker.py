@@ -36,6 +36,7 @@ from repro.core.optimizer import OptimizationReport, PeriodicOptimizer
 from repro.core.placement import PlacementEngine
 from repro.core.rules import RuleBook
 from repro.cluster.statistics import StatsDatabase
+from repro.obs.metrics import MetricsRegistry
 from repro.providers.pricing import cost_of_usage, paper_catalog
 from repro.providers.registry import ProviderRegistry
 from repro.storage.persistence import DurabilityManager
@@ -192,16 +193,26 @@ class Scalia:
         optimizer_batch_size: int = 64,
         scrub_batch_size: int = 64,
         hedge: Optional[HedgePolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enable_metrics: bool = True,
     ) -> None:
         if stripe_size_bytes < 1:
             raise ValueError("stripe_size_bytes must be >= 1")
         self.stripe_size_bytes = stripe_size_bytes
+        # Per-broker registry (never module-global: two brokers in one
+        # process — tests, tools — must not cross-contaminate series).
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsRegistry(enabled=enable_metrics)
         # Durability first: the data directory supplies the providers'
         # chunk-store backends and the id epoch, both needed at build time.
         self.durability: Optional[DurabilityManager] = None
         id_epoch = 0
         if data_dir is not None:
-            self.durability = DurabilityManager(data_dir, sync=storage_sync)
+            self.durability = DurabilityManager(
+                data_dir, sync=storage_sync, metrics=self.metrics
+            )
             id_epoch = self.durability.boot_epoch
         if registry is not None:
             self.registry = registry
@@ -253,6 +264,7 @@ class Scalia:
             id_epoch=id_epoch,
             stats=stats,
             hedge=hedge,
+            metrics=self.metrics,
         )
         self.optimizer = PeriodicOptimizer(
             cluster=self.cluster,
@@ -269,14 +281,18 @@ class Scalia:
             repair_strategy=repair_strategy,
             benefit_horizon_periods=benefit_horizon_periods,
             batch_size=optimizer_batch_size,
+            metrics=self.metrics,
         )
         self._period = 0
         self._now = 0.0
         self.reports: List[OptimizationReport] = []
         self.scrubber = Scrubber(
-            self.cluster, self.registry, batch_size=scrub_batch_size
+            self.cluster, self.registry, batch_size=scrub_batch_size,
+            metrics=self.metrics,
         )
         self.recovery: Optional[dict] = None
+        self.registry.attach_metrics(self.metrics)
+        self._register_collectors()
         if self.durability is not None:
             # Replay snapshot + WAL into the fresh substrate, then hook the
             # metadata cluster so every subsequent apply is journaled.
@@ -297,6 +313,105 @@ class Scalia:
         # periods one after the other instead of interleaving the
         # flush/refresh/optimize/flush sequence of one period.
         self._tick_lock = threading.Lock()
+
+    # -- observability -----------------------------------------------------
+
+    def _register_collectors(self) -> None:
+        """Declare the scrape-time gauges mirroring state owned elsewhere.
+
+        Queue depths, breaker states, stored bytes and hedge counters are
+        all maintained by their own subsystems; sampling them only when
+        ``/metrics`` is scraped keeps the data path untouched.
+        """
+        if not self.metrics.enabled:
+            return
+        m = self.metrics
+        breaker_state = m.gauge(
+            "scalia_breaker_state",
+            "Circuit breaker state per provider (0=closed, 1=open, 2=half_open).",
+            ("provider",),
+        )
+        breaker_opens = m.counter(
+            "scalia_breaker_opens_total",
+            "Breaker closed->open transitions per provider.",
+            ("provider",),
+        )
+        provider_up = m.gauge(
+            "scalia_provider_up",
+            "1 while the provider is reachable, 0 during an outage.",
+            ("provider",),
+        )
+        stored = m.gauge(
+            "scalia_provider_stored_bytes",
+            "Bytes currently held on each provider.",
+            ("provider",),
+        )
+        provider_bytes = m.counter(
+            "scalia_provider_bytes_total",
+            "Chunk bytes moved to (in) and from (out) a provider.",
+            ("provider", "direction"),
+        )
+        pending = m.gauge(
+            "scalia_pending_deletes",
+            "Chunk deletes postponed until their provider recovers.",
+        )
+        inflight_writes = m.gauge(
+            "scalia_inflight_writes",
+            "Storage keys whose chunks are shipped but metadata not committed.",
+        )
+        period = m.gauge(
+            "scalia_sampling_period", "Index of the current sampling period."
+        )
+        wal_bytes = m.gauge(
+            "scalia_wal_size_bytes", "Current size of the metadata WAL file."
+        )
+        hedge_counters = {
+            "hedged_reads": m.counter(
+                "scalia_hedged_reads_total",
+                "Stripe fetches that took the parallel hedged path.",
+            ),
+            "hedges_fired": m.counter(
+                "scalia_hedges_fired_total",
+                "Hedge fetches launched on straggler deadlines.",
+            ),
+            "replacements": m.counter(
+                "scalia_hedge_replacements_total",
+                "Replacement fetches launched after failed fetches.",
+            ),
+            "suppressed": m.counter(
+                "scalia_hedges_suppressed_total",
+                "Hedges skipped by breaker admission control.",
+            ),
+        }
+        breaker_code = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
+
+        def collect() -> None:
+            health = self.registry.health
+            for provider in self.registry.providers():
+                name = provider.name
+                view = health.view(name)
+                breaker_state.labels(name).set(
+                    breaker_code.get(str(view.breaker), -1.0)
+                )
+                breaker_opens.labels(name).set_total(view.opens)
+                provider_up.labels(name).set(0.0 if provider.failed else 1.0)
+                stored.labels(name).set(provider.stored_bytes)
+                usage = provider.meter.total()
+                provider_bytes.labels(name, "in").set_total(usage.bytes_in)
+                provider_bytes.labels(name, "out").set_total(usage.bytes_out)
+            pending.set(len(self.cluster.pending_deletes))
+            inflight_writes.set(len(self.cluster.locks.in_flight))
+            period.set(self._period)
+            if self.durability is not None:
+                wal_bytes.set(self.durability.journal.size_bytes())
+            totals = HedgeStats()
+            for engine in self.cluster.all_engines():
+                totals.merge(engine.hedge_stats)
+            snapshot = totals.snapshot()
+            for key, counter in hedge_counters.items():
+                counter.set_total(snapshot[key])
+
+        m.add_collector(collect)
 
     # -- clock ------------------------------------------------------------
 

@@ -25,7 +25,11 @@ boundary.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Optional
+
+from repro.obs.logging import get_logger
+from repro.obs.trace import end_trace, start_trace
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
     from repro.core.broker import Scalia
@@ -65,6 +69,20 @@ class BackgroundControlPlane:
         self.scrubs_run = 0
         self.last_tick_error: Optional[BaseException] = None
         self.last_scrub_error: Optional[BaseException] = None
+        self._log = get_logger("controlplane")
+        metrics = getattr(broker, "metrics", None)
+        self._m_runs = None
+        if metrics is not None and metrics.enabled:
+            self._m_runs = metrics.counter(
+                "scalia_controlplane_runs_total",
+                "Completed background rounds, by worker.",
+                ("worker",),
+            )
+            self._m_run_seconds = metrics.histogram(
+                "scalia_controlplane_run_seconds",
+                "Wall time of one background round, by worker.",
+                ("worker",),
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,26 +147,61 @@ class BackgroundControlPlane:
             work()
 
     def _tick_once(self) -> None:
+        # Background rounds mint their own trace: their lock waits and
+        # provider calls must never attribute to some client request.
+        trace = start_trace()
+        started = time.perf_counter()
         try:
             # The hook rides this call only — a concurrent manual tick
             # (gateway POST /tick) must never inherit our stop probe.
             self.broker.tick(optimizer_yield_fn=self._yield_hook)
             self.ticks_run += 1
             self.last_tick_error = None
+            self._observe("tick", started)
+            self._log.debug(
+                "controlplane.tick",
+                period=self.broker.period,
+                duration_ms=round((time.perf_counter() - started) * 1000.0, 3),
+                phases=trace.phases_ms(),
+            )
         except ControlPlaneStopped:
             pass
         except Exception as exc:  # noqa: BLE001 — worker must survive
             self.last_tick_error = exc
+            self._log.warning("controlplane.tick_error", error=repr(exc))
+        finally:
+            end_trace(trace)
 
     def _scrub_once(self) -> None:
+        trace = start_trace()
+        started = time.perf_counter()
         try:
-            self.broker.scrubber.scrub(repair=True, yield_fn=self._yield_hook)
+            report = self.broker.scrubber.scrub(
+                repair=True, yield_fn=self._yield_hook
+            )
             self.scrubs_run += 1
             self.last_scrub_error = None
+            self._observe("scrub", started)
+            self._log.debug(
+                "controlplane.scrub",
+                objects=report.objects_scanned,
+                repaired=report.repaired,
+                duration_ms=round((time.perf_counter() - started) * 1000.0, 3),
+            )
         except ControlPlaneStopped:
             pass
         except Exception as exc:  # noqa: BLE001 — worker must survive
             self.last_scrub_error = exc
+            self._log.warning("controlplane.scrub_error", error=repr(exc))
+        finally:
+            end_trace(trace)
+
+    def _observe(self, worker: str, started: float) -> None:
+        if self._m_runs is not None:
+            self._m_runs.labels(worker).inc()
+            self._m_run_seconds.labels(worker).observe(
+                time.perf_counter() - started
+            )
 
     # -- introspection -----------------------------------------------------
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -100,6 +101,7 @@ class PeriodicOptimizer:
         benefit_horizon_periods: int = 8760,
         batch_size: int = 64,
         yield_fn: Optional[Callable[[], None]] = None,
+        metrics=None,
     ) -> None:
         if repair_strategy not in ("repair", "wait"):
             raise ValueError("repair_strategy must be 'repair' or 'wait'")
@@ -128,6 +130,16 @@ class PeriodicOptimizer:
         self._fed_upto: Dict[str, int] = {}
         self._last_run_period: int = -1
         self._last_epoch: Optional[int] = None
+        self._m_batches = None
+        if metrics is not None and metrics.enabled:
+            self._m_batches = metrics.histogram(
+                "scalia_optimizer_batch_seconds",
+                "Wall time of one optimizer batch (objects re-evaluated).",
+            )
+            self._m_migrations = metrics.counter(
+                "scalia_optimizer_migrations_total",
+                "Objects migrated by optimizer rounds.",
+            )
 
     # ------------------------------------------------------------------
 
@@ -193,6 +205,7 @@ class PeriodicOptimizer:
         for start in range(0, len(work), batch_size):
             if start and yield_fn is not None:
                 yield_fn()  # no locks held: the foreground drains freely
+            batch_started = time.perf_counter()
             for engine, row_key in work[start:start + batch_size]:
                 outcome = self._optimize_object(
                     engine, row_key, now, period, pool_changed
@@ -205,6 +218,10 @@ class PeriodicOptimizer:
                 report.migrations += outcome.migrated
                 report.repairs += outcome.repaired
                 report.outcomes.append(outcome)
+            if self._m_batches is not None:
+                self._m_batches.observe(time.perf_counter() - batch_started)
+        if self._m_batches is not None:
+            self._m_migrations.inc(report.migrations)
         return report
 
     # ------------------------------------------------------------------

@@ -477,6 +477,17 @@ class GatewayClient:
     def stats(self) -> dict:
         return self._json("GET", "/stats")
 
+    def metrics(self) -> dict:
+        """Structured metric snapshot (``GET /metrics?format=json``)."""
+        return self._json("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus text exposition (``GET /metrics``)."""
+        status, _, payload = self._request("GET", "/metrics")
+        if status >= 400:
+            raise GatewayError(status, _error_text(payload))
+        return payload.decode("utf-8")
+
     def tick(self, periods: int = 1) -> dict:
         return self._json("POST", f"/tick?periods={periods}")
 

@@ -457,6 +457,22 @@ class BrokerFrontend:
         """A JSON-ready snapshot of gateway and broker health."""
         return self._run("stats", lambda: self._snapshot())
 
+    @property
+    def metrics(self):
+        """The broker's metrics registry (the gateway's ``GET /metrics``).
+
+        Scrapes bypass ``_run``: reading metrics must work even while the
+        frontend is draining, and must never count as an operation.
+        """
+        return self.broker.metrics
+
+    def recovery_status(self) -> Dict[str, Any]:
+        """Durability/recovery summary for the ``/healthz`` body."""
+        return {
+            "durable": self.broker.durability is not None,
+            "recovery": self.broker.recovery,
+        }
+
     def _snapshot(self) -> Dict[str, Any]:
         broker = self.broker
         costs = broker.costs()

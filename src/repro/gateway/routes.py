@@ -9,7 +9,8 @@ Route table (see ``docs/GATEWAY.md``):
 ====== ================================== ==============================
 Method Path                               Meaning
 ====== ================================== ==============================
-GET    ``/healthz``                       liveness probe
+GET    ``/healthz``                       liveness probe (JSON body)
+GET    ``/metrics``                       Prometheus exposition (``?format=json``)
 GET    ``/stats``                         gateway + broker counters
 POST   ``/tick``                          close ``?periods=N`` periods
 POST   ``/scrub``                         integrity pass + repair
@@ -94,7 +95,7 @@ class RouteError(ValueError):
 class Route:
     """A parsed gateway request."""
 
-    kind: str  # "health" | "stats" | "tick" | "scrub" | "faults" | "object" | "list"
+    kind: str  # health | metrics | stats | tick | scrub | faults | object | list
     bucket: Optional[str] = None
     key: Optional[str] = None
     params: Dict[str, str] = field(default_factory=dict)
@@ -115,6 +116,10 @@ def parse_route(method: str, target: str) -> Route:
         if method != "GET":
             raise RouteError("healthz only supports GET", status=405, allow="GET")
         return Route("health")
+    if path in ("/metrics", "/metrics/"):
+        if method != "GET":
+            raise RouteError("metrics only supports GET", status=405, allow="GET")
+        return Route("metrics", params=params)
     if path in ("/stats", "/stats/"):
         if method != "GET":
             raise RouteError("stats only supports GET", status=405, allow="GET")

@@ -26,12 +26,17 @@ import binascii
 import email.utils
 import hashlib
 import json
+import os
 import tempfile
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Iterator, Optional, Tuple
 
+from repro import __version__
 from repro.cluster.engine import InvalidRangeError
+from repro.obs.logging import StructuredLogger, get_logger
+from repro.obs.trace import current_trace, end_trace, span, start_trace
 from repro.gateway.frontend import BrokerFrontend
 from repro.gateway.routes import (
     NotModifiedError,
@@ -76,10 +81,49 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler, frontend: BrokerFrontend, verbose: bool):
+    def __init__(
+        self,
+        address,
+        handler,
+        frontend: BrokerFrontend,
+        verbose: bool,
+        *,
+        logger: Optional[StructuredLogger] = None,
+        trace_slow_ms: Optional[float] = None,
+    ):
         super().__init__(address, handler)
         self.frontend = frontend
         self.verbose = verbose
+        self.logger = logger if logger is not None else get_logger("gateway")
+        self.trace_slow_ms = trace_slow_ms
+        self.started_at = time.time()
+        # Request metric families, resolved once per server; None when
+        # the broker runs with metrics disabled (--no-metrics).  The
+        # inflight gauge is unlabelled, so its one child is resolved here
+        # and label children for (route, method, status) combinations are
+        # memoized in ``_account_cache`` — steady-state requests never pay
+        # a ``labels()`` call (tuple build + str() per value).
+        metrics = frontend.metrics
+        self._account_cache: dict = {}
+        if metrics.enabled:
+            self.m_requests = metrics.counter(
+                "scalia_gateway_requests_total",
+                "HTTP requests handled, by route, method and status.",
+                ("route", "method", "status"),
+            )
+            self.m_latency = metrics.histogram(
+                "scalia_gateway_request_seconds",
+                "End-to-end gateway request latency, by route.",
+                ("route",),
+            )
+            self.m_inflight = metrics.gauge(
+                "scalia_gateway_inflight_requests",
+                "Requests currently being handled.",
+            ).labels()
+        else:
+            self.m_requests = None
+            self.m_latency = None
+            self.m_inflight = None
 
 
 class GatewayHandler(BaseHTTPRequestHandler):
@@ -99,23 +143,85 @@ class GatewayHandler(BaseHTTPRequestHandler):
         self._body_read = False
         self._body_streaming = False
         self._headers_sent = False
+        self._status: Optional[int] = None
+        server = self.server
+        # One trace per request, honouring an inbound correlation id.
+        trace = start_trace(self.headers.get("x-request-id") or None)
+        if server.m_inflight is not None:
+            server.m_inflight.inc()
+        route_kind = "unroutable"
+        started = time.perf_counter()
         try:
-            route = parse_route(self.command, self.path)
-            self._handle(route)
-        except Exception as exc:  # noqa: BLE001 — every error becomes a status
-            if self._headers_sent:
-                # Mid-stream failure after the status line went out: the
-                # only honest signal left is an aborted connection.
-                self.close_connection = True
-                return
-            # KeyError subclasses repr() their message in __str__; use the
-            # raw argument so clients see "photos/cat.gif not found" unquoted.
-            message = str(exc.args[0]) if exc.args else str(exc)
-            extra = {}
-            allow = getattr(exc, "allow", None)
-            if getattr(exc, "status", None) == 405 and allow:
-                extra["Allow"] = allow
-            self._send_error(status_for_exception(exc), message, extra_headers=extra)
+            try:
+                with span("route"):
+                    route = parse_route(self.command, self.path)
+                route_kind = route.kind
+                self._handle(route)
+            except Exception as exc:  # noqa: BLE001 — every error becomes a status
+                if self._headers_sent:
+                    # Mid-stream failure after the status line went out: the
+                    # only honest signal left is an aborted connection.
+                    self.close_connection = True
+                    return
+                # KeyError subclasses repr() their message in __str__; use the
+                # raw argument so clients see "photos/cat.gif not found" unquoted.
+                message = str(exc.args[0]) if exc.args else str(exc)
+                extra = {}
+                allow = getattr(exc, "allow", None)
+                if getattr(exc, "status", None) == 405 and allow:
+                    extra["Allow"] = allow
+                self._send_error(status_for_exception(exc), message, extra_headers=extra)
+        finally:
+            duration = time.perf_counter() - started
+            self._account(trace, route_kind, duration)
+            end_trace(trace)
+
+    def _account(self, trace, route_kind: str, duration: float) -> None:
+        """Request epilogue: metrics, ``request.complete``, slow dumps."""
+        server = self.server
+        status = self._status if self._status is not None else 0
+        if server.m_requests is not None:
+            key = (route_kind, self.command, status)
+            children = server._account_cache.get(key)
+            if children is None:
+                # Racing first-touch inserts are idempotent: labels()
+                # hands every caller the same child.
+                children = (
+                    server.m_requests.labels(route_kind, self.command, status),
+                    server.m_latency.labels(route_kind),
+                )
+                server._account_cache[key] = children
+            children[0].inc()
+            children[1].observe(duration)
+            server.m_inflight.dec()
+        logger = server.logger
+        duration_ms = round(duration * 1000.0, 3)
+        if logger.enabled_for("info"):
+            logger.info(
+                "request.complete",
+                trace_id=trace.trace_id,
+                method=self.command,
+                path=self.path,
+                route=route_kind,
+                status=status,
+                duration_ms=duration_ms,
+                phases=trace.phases_ms(),
+            )
+        slow_ms = server.trace_slow_ms
+        if slow_ms is not None and duration_ms >= slow_ms:
+            logger.warning(
+                "request.slow",
+                trace_id=trace.trace_id,
+                method=self.command,
+                path=self.path,
+                route=route_kind,
+                status=status,
+                duration_ms=duration_ms,
+                threshold_ms=slow_ms,
+                phases=trace.phases_ms(),
+                spans=trace.spans(),
+                dropped_spans=trace.dropped_spans,
+            )
 
     do_GET = do_PUT = do_HEAD = do_DELETE = do_POST = _dispatch
     # Unsupported-but-known methods still flow through parse_route so the
@@ -126,7 +232,20 @@ class GatewayHandler(BaseHTTPRequestHandler):
         frontend = self.server.frontend
         tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT)
         if route.kind == "health":
-            self._send_json(200, {"status": "ok"})
+            status = frontend.recovery_status()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "uptime_s": round(time.time() - self.server.started_at, 3),
+                    "pid": os.getpid(),
+                    "durable": status["durable"],
+                    "recovery": status["recovery"],
+                },
+            )
+        elif route.kind == "metrics":
+            self._handle_metrics(route, frontend)
         elif route.kind == "stats":
             self._send_json(200, frontend.stats())
         elif route.kind == "tick":
@@ -147,6 +266,20 @@ class GatewayHandler(BaseHTTPRequestHandler):
             self._handle_object(route, frontend, tenant)
         else:  # pragma: no cover — parse_route only emits the kinds above
             raise RouteError(f"unroutable kind {route.kind!r}")
+
+    def _handle_metrics(self, route: Route, frontend: BrokerFrontend) -> None:
+        """``GET /metrics``: Prometheus text exposition (or JSON)."""
+        fmt = route.params.get("format", "text")
+        if fmt == "json":
+            self._send_json(200, frontend.metrics.render_json())
+        elif fmt == "text":
+            self._send_bytes(
+                200,
+                frontend.metrics.render_text().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            raise RouteError(f"unknown metrics format {fmt!r}")
 
     def _handle_faults(self, route: Route, frontend: BrokerFrontend) -> None:
         """Runtime fault injection: the chaos-tooling admin surface.
@@ -696,9 +829,25 @@ class GatewayHandler(BaseHTTPRequestHandler):
             status, payload, content_type="application/json", extra_headers=extra_headers
         )
 
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        """Capture the status for accounting; echo the request's trace id."""
+        self._status = code
+        super().send_response(code, message)
+        trace = current_trace()
+        if trace is not None:
+            self.send_header("X-Request-Id", trace.trace_id)
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # http.server's per-request/errors stderr noise, routed through
+        # the structured logger: silent at the default level, visible at
+        # debug (or info when the gateway was asked to be verbose).
+        level = "info" if self.server.verbose else "debug"
+        self.server.logger.log(
+            level,
+            "http.access",
+            client=self.client_address[0],
+            message=format % args,
+        )
 
 
 class ScaliaGateway:
@@ -711,11 +860,18 @@ class ScaliaGateway:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        logger: Optional[StructuredLogger] = None,
+        trace_slow_ms: Optional[float] = None,
     ) -> None:
         self._owns_frontend = frontend is None
         self.frontend = frontend if frontend is not None else BrokerFrontend()
         self._httpd = _GatewayHTTPServer(
-            (host, port), GatewayHandler, self.frontend, verbose
+            (host, port),
+            GatewayHandler,
+            self.frontend,
+            verbose,
+            logger=logger,
+            trace_slow_ms=trace_slow_ms,
         )
         self._thread: Optional[threading.Thread] = None
         self._started = False

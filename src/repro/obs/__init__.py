@@ -1,0 +1,60 @@
+"""Dependency-free observability layer: metrics, tracing, structured logs.
+
+Three small, self-contained modules that every other layer threads
+through:
+
+:mod:`repro.obs.metrics`
+    Thread-safe counters, gauges and fixed-bucket latency histograms
+    collected in a :class:`~repro.obs.metrics.MetricsRegistry`, rendered
+    as Prometheus text exposition or JSON for ``GET /metrics``.
+
+:mod:`repro.obs.trace`
+    Per-request traces carried in a :mod:`contextvars` variable so phase
+    timings recorded deep in the engine (lock waits, provider fetches,
+    erasure decode) attribute to the request that caused them — across
+    hedged-fetch worker threads too.
+
+:mod:`repro.obs.logging`
+    A structured logger (JSON or human-readable text lines) that stamps
+    every event with the current trace id.
+
+Nothing here imports the rest of the package, so any module can depend
+on ``repro.obs`` without cycles.
+"""
+
+from repro.obs.logging import LogConfig, StructuredLogger, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    quantile_from_buckets,
+)
+from repro.obs.trace import (
+    Trace,
+    current_trace,
+    current_trace_id,
+    new_trace_id,
+    span,
+    start_trace,
+    end_trace,
+    wrap_for_thread,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "LogConfig",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "StructuredLogger",
+    "Trace",
+    "configure_logging",
+    "current_trace",
+    "current_trace_id",
+    "end_trace",
+    "get_logger",
+    "new_trace_id",
+    "quantile_from_buckets",
+    "span",
+    "start_trace",
+    "wrap_for_thread",
+]

@@ -1,0 +1,566 @@
+"""Thread-safe metrics primitives and the registry that renders them.
+
+Design constraints, in order:
+
+1. **Hot-path cheap.**  A histogram observation is one C-speed
+   :func:`bisect.bisect_left` plus two list-item increments on a
+   *thread-local* shard — no lock at all, since each thread is the sole
+   writer of its shard and the GIL keeps the increments untorn for the
+   scrape-time fold.  Counters and gauges accumulate into per-thread
+   cells the same way.  Per-thread storage is keyed by thread ident, so
+   the short-lived threads the hedged-read path spawns adopt recycled
+   shards instead of growing the shard map (and paying registration)
+   per request.  When the registry is *disabled* every family
+   hands out a shared no-op child and ``registry.enabled`` lets call
+   sites skip the ``perf_counter()`` bracketing entirely — this is what
+   ``repro serve --no-metrics`` and the bench overhead guard measure.
+
+2. **No dependencies.**  The Prometheus text exposition (format 0.0.4:
+   ``# HELP``/``# TYPE`` comments, ``_bucket{le=...}``/``_sum``/
+   ``_count`` histogram series) is rendered by hand; the JSON variant
+   additionally carries interpolated p50/p95/p99 so ``repro top`` never
+   has to re-derive quantiles client-side.
+
+3. **Exact-ish quantiles.**  Percentiles come from linear interpolation
+   inside the bucket where the target rank falls, so the estimate is
+   wrong by at most the width of that bucket (property-tested in
+   ``tests/obs/test_metrics.py``).
+
+Gauges that mirror state owned elsewhere (queue depths, breaker states,
+stored bytes) are fed by *collector callbacks* registered with
+:meth:`MetricsRegistry.add_collector` and invoked only at scrape time —
+zero cost on the data path.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from threading import get_ident
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets in seconds: 0.5 ms up to 10 s, roughly
+#: logarithmic.  Wide enough for WAL fsyncs and injected 500 ms faults,
+#: fine enough near the bottom to separate cache hits from chunk reads.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients expect.
+
+    Integral values print without the trailing ``.0`` so counters look
+    like counters; everything else uses repr-precision floats.
+    """
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    cumulative: Sequence[int],
+    total: int,
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile from cumulative bucket counts.
+
+    ``bounds`` are the finite upper bounds; ``cumulative`` has one extra
+    entry for the ``+Inf`` bucket.  Linear interpolation inside the
+    crossing bucket bounds the error by that bucket's width.  Ranks that
+    land in the ``+Inf`` bucket clamp to the largest finite bound — the
+    honest answer ("somewhere above 10 s") isn't a number.
+    """
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    for index, count in enumerate(cumulative):
+        if count >= rank:
+            if index >= len(bounds):
+                return bounds[-1] if bounds else 0.0
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            below = cumulative[index - 1] if index > 0 else 0
+            in_bucket = count - below
+            if in_bucket <= 0:
+                return upper
+            fraction = (rank - below) / in_bucket
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+    return bounds[-1] if bounds else 0.0
+
+
+class Counter:
+    """Monotonically increasing sample (one labelled child).
+
+    ``inc`` is lock-free: each thread accumulates into a private cell it
+    alone mutates (a one-element list, so the += is a C-level item
+    assignment kept untorn by the GIL).  Cells are keyed by
+    :func:`threading.get_ident` rather than ``threading.local`` on
+    purpose: the hedged-read path spawns a short-lived thread per chunk
+    fetch, and ident recycling lets each new thread *adopt* a dead
+    thread's cell — steady state pays no first-touch registration and the
+    cell map is bounded by peak thread concurrency, not threads ever
+    created.  ``value`` folds the cells; the lock guards only the cell
+    *map* and the ``set_total`` base.
+    """
+
+    __slots__ = ("_lock", "_cells", "_base")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cells: Dict[int, List[float]] = {}
+        self._base = 0.0
+
+    def _cell(self, ident: int) -> List[float]:
+        with self._lock:
+            return self._cells.setdefault(ident, [0.0])
+
+    def inc(self, amount: float = 1.0) -> None:
+        ident = get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            cell = self._cell(ident)
+        cell[0] += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total.
+
+        For collectors that mirror a monotonic counter maintained
+        elsewhere (e.g. :class:`~repro.cluster.hedging.HedgeStats`) —
+        still a counter to scrapers, just not incremented here.
+        """
+        with self._lock:
+            self._base = float(value) - sum(c[0] for c in self._cells.values())
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._base + sum(c[0] for c in self._cells.values())
+
+
+class Gauge:
+    """Point-in-time sample that can go up and down.
+
+    Same lock-free ident-keyed cells as :class:`Counter`: ``inc``/``dec``
+    touch only the calling thread's cell, ``set`` rebases so the folded
+    value equals the assignment.
+    """
+
+    __slots__ = ("_lock", "_cells", "_base")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cells: Dict[int, List[float]] = {}
+        self._base = 0.0
+
+    def _cell(self, ident: int) -> List[float]:
+        with self._lock:
+            return self._cells.setdefault(ident, [0.0])
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._base = float(value) - sum(c[0] for c in self._cells.values())
+
+    def inc(self, amount: float = 1.0) -> None:
+        ident = get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            cell = self._cell(ident)
+        cell[0] += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        ident = get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            cell = self._cell(ident)
+        cell[0] -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._base + sum(c[0] for c in self._cells.values())
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with lock-free thread-local shards.
+
+    Each thread owns a private shard it alone mutates, so ``observe``
+    takes no lock: under the GIL every ``counts[i] += 1`` is a private
+    read-modify-write, and a concurrent scrape reading another thread's
+    shard sees either the old or the new int — never a torn value.
+    Shards are keyed by :func:`threading.get_ident` (see :class:`Counter`
+    for why: short-lived hedge threads adopt recycled idents' shards, so
+    the map stays bounded and steady state never re-registers).  The
+    shard *map* is guarded by a lock taken only on an ident's first
+    observation and at scrape.  The snapshot is per-shard-consistent,
+    not globally atomic: ``total`` can momentarily exceed the folded
+    ``sum``'s sample count by in-flight observations, which scrapers by
+    design tolerate.
+    """
+
+    __slots__ = ("bounds", "_nbuckets", "_shards", "_lock")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._nbuckets = len(self.bounds) + 1  # +1 for the +Inf bucket
+        # Each shard is a flat list: one count per bucket, then one
+        # trailing cell accumulating the sum of observed values.  List
+        # item increments beat attribute read-modify-writes on the hot
+        # path, and the sample total is just the folded bucket counts.
+        self._shards: Dict[int, List[float]] = {}
+        self._lock = threading.Lock()
+
+    def _shard(self, ident: int) -> List[float]:
+        with self._lock:
+            return self._shards.setdefault(
+                ident, [0] * self._nbuckets + [0.0]
+            )
+
+    def observe(self, value: float) -> None:
+        ident = get_ident()
+        shard = self._shards.get(ident)
+        if shard is None:
+            shard = self._shard(ident)
+        shard[bisect_left(self.bounds, value)] += 1
+        shard[-1] += value
+
+    def snapshot(self) -> Tuple[List[int], int, float]:
+        """Fold the shards: (cumulative bucket counts, total, sum).
+
+        The cumulative list has ``len(bounds) + 1`` entries; the last is
+        the ``+Inf`` bucket and equals ``total``.
+        """
+        counts = [0] * self._nbuckets
+        acc = 0.0
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            for i in range(self._nbuckets):
+                counts[i] += shard[i]
+            acc += shard[-1]
+        running = 0
+        cumulative = []
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return cumulative, (cumulative[-1] if cumulative else 0), acc
+
+    def quantile(self, q: float) -> float:
+        cumulative, total, _ = self.snapshot()
+        return quantile_from_buckets(self.bounds, cumulative, total, q)
+
+
+class _NullChild:
+    """Shared no-op stand-in for every metric type when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_total(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self):
+        return [], 0, 0.0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_CHILD = _NullChild()
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and cached children.
+
+    ``labels(*values)`` returns the child for that label combination,
+    creating it on first use; call sites on the hot path resolve their
+    children once up front.  A family declared with no label names *is*
+    its single child — ``inc``/``set``/``observe`` proxy straight
+    through.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        factory: Callable[[], object],
+        enabled: bool,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._factory = factory
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        # Unlabelled families resolve their single child here so the
+        # convenience proxies (inc/observe/...) skip labels() entirely.
+        self._default_child: object = _NULL_CHILD
+        if not self.labelnames and enabled:
+            self._default_child = self._children[()] = factory()
+
+    def labels(self, *values: object):
+        if not self._enabled:
+            return _NULL_CHILD
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._factory()
+                    self._children[key] = child
+        return child
+
+    def _default(self):
+        if self._default_child is not _NULL_CHILD or not self._enabled:
+            return self._default_child
+        return self.labels()
+
+    # Unlabelled convenience proxies.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def set_total(self, value: float) -> None:
+        self._default().set_total(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    def snapshot(self):
+        return self._default().snapshot()
+
+    def quantile(self, q: float) -> float:
+        return self._default().quantile(q)
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Names and renders every metric family in one broker process.
+
+    Per-broker, not module-global, so concurrently running tests (or
+    two brokers in one process) never cross-contaminate series.  A
+    registry built with ``enabled=False`` keeps the full family API but
+    every child is a shared no-op — the ``--no-metrics`` configuration.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- declaration ----------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        factory: Callable[[], object],
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, help_text, kind, labelnames, factory, self.enabled
+                )
+                self._families[name] = family
+            elif family.kind != kind or family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} re-registered with a different schema"
+                )
+            return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, help_text, "counter", labelnames, Counter)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, help_text, "gauge", labelnames, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        bounds = tuple(sorted(buckets))
+        return self._family(
+            name, help_text, "histogram", labelnames, lambda: Histogram(bounds)
+        )
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        """Register a scrape-time callback that refreshes gauge values."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    # -- scraping -------------------------------------------------------
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 — a broken collector must
+                pass  # never take down /metrics.
+
+    def _sorted_families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def render_text(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        self._run_collectors()
+        lines: List[str] = []
+        for family in self._sorted_families():
+            children = family.children()
+            if not children:
+                continue
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labelvalues, child in children:
+                if family.kind == "histogram":
+                    cumulative, total, acc = child.snapshot()
+                    names = family.labelnames + ("le",)
+                    for bound, count in zip(child.bounds, cumulative):
+                        rendered = _render_labels(
+                            names, labelvalues + (_format_value(bound),)
+                        )
+                        lines.append(f"{family.name}_bucket{rendered} {count}")
+                    rendered = _render_labels(names, labelvalues + ("+Inf",))
+                    lines.append(f"{family.name}_bucket{rendered} {total}")
+                    plain = _render_labels(family.labelnames, labelvalues)
+                    lines.append(f"{family.name}_sum{plain} {_format_value(acc)}")
+                    lines.append(f"{family.name}_count{plain} {total}")
+                else:
+                    rendered = _render_labels(family.labelnames, labelvalues)
+                    lines.append(
+                        f"{family.name}{rendered} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def render_json(self) -> dict:
+        """JSON scrape with interpolated quantiles for each histogram."""
+        self._run_collectors()
+        families: Dict[str, dict] = {}
+        for family in self._sorted_families():
+            samples = []
+            for labelvalues, child in family.children():
+                labels = dict(zip(family.labelnames, labelvalues))
+                if family.kind == "histogram":
+                    cumulative, total, acc = child.snapshot()
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": total,
+                            "sum": acc,
+                            "p50": quantile_from_buckets(
+                                child.bounds, cumulative, total, 0.50
+                            ),
+                            "p95": quantile_from_buckets(
+                                child.bounds, cumulative, total, 0.95
+                            ),
+                            "p99": quantile_from_buckets(
+                                child.bounds, cumulative, total, 0.99
+                            ),
+                            "buckets": [
+                                [bound, count]
+                                for bound, count in zip(child.bounds, cumulative)
+                            ],
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            if not samples:
+                continue
+            families[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return {"metrics": families}
+
+
+#: Shared disabled registry: the default for components constructed
+#: without one, so instrumented code never needs ``if metrics:`` checks.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def resolve(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Map ``None`` to the shared disabled registry."""
+    return metrics if metrics is not None else NULL_REGISTRY

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover — typing only (avoids an import cycle)
     from repro.providers.health import HealthTracker
 
 from repro.erasure.striping import Chunk, SyntheticChunk
+from repro.obs.trace import current_trace, record_span
 from repro.providers.pricing import ProviderSpec
 from repro.storage.backend import ChunkCorruptionError, ChunkStore, MemoryChunkStore
 from repro.util.units import GB
@@ -239,6 +240,33 @@ class UsageMeter:
             return total
 
 
+#: Trace phase each provider op kind attributes its wall time to.
+_PHASE_BY_KIND = {"put": "provider_put", "get": "provider_fetch"}
+
+
+class _ProviderTimers:
+    """Pre-resolved metric children for one provider's hot path."""
+
+    __slots__ = ("ops", "errors")
+
+    def __init__(self, metrics, name: str) -> None:
+        hist = metrics.histogram(
+            "scalia_provider_op_seconds",
+            "Latency of provider chunk operations (faults included).",
+            ("provider", "op"),
+        )
+        self.ops = {k: hist.labels(name, k) for k in ("put", "get", "delete", "list")}
+        self.errors = metrics.counter(
+            "scalia_provider_errors_total",
+            "Failed provider operations by error kind.",
+            ("provider", "op", "kind"),
+        )
+        # Byte traffic is *not* counted here: the usage meter already
+        # bills every chunk's bytes under its own lock, so the broker's
+        # scrape-time collector mirrors scalia_provider_bytes_total from
+        # meter.total() at zero hot-path cost.
+
+
 class SimulatedProvider:
     """An S3-like chunk store with SLA spec, meter and failure switch.
 
@@ -266,6 +294,7 @@ class SimulatedProvider:
         # The registry attaches its HealthTracker on register/adopt.
         self._fault_profile: Optional["FaultProfile"] = None
         self._health: Optional["HealthTracker"] = None
+        self._timers: Optional[_ProviderTimers] = None
 
     # -- introspection -------------------------------------------------
 
@@ -323,6 +352,18 @@ class SimulatedProvider:
         """Route this provider's per-operation observations to ``tracker``."""
         self._health = tracker
 
+    def attach_metrics(self, metrics) -> None:
+        """Record per-operation latency/error/byte metrics into ``metrics``.
+
+        Children are resolved once here so the per-chunk cost is a dict
+        probe and a shard-lock increment; a disabled (or ``None``)
+        registry detaches instrumentation entirely.
+        """
+        if metrics is None or not metrics.enabled:
+            self._timers = None
+        else:
+            self._timers = _ProviderTimers(metrics, self.name)
+
     def _check_up(self) -> None:
         if self.failed:
             raise ProviderUnavailableError(
@@ -338,18 +379,23 @@ class SimulatedProvider:
         blocking concurrent operations on the same provider.  Outcomes
         feed the health tracker: transient failures (outages, injected
         faults) drive the circuit breaker; a 404 / capacity reject /
-        corrupt chunk is an *answer* and records as a success.  With
-        neither a profile nor a tracker attached the envelope is a no-op
-        — the hot path of a fault-free simulation is untouched.
+        corrupt chunk is an *answer* and records as a success.  The same
+        timing feeds the metrics registry (when attached) and the current
+        request trace (``provider_fetch``/``provider_put`` phases).  With
+        no profile, tracker, metrics or active trace the envelope is a
+        no-op — the hot path of a fault-free simulation is untouched.
         """
         profile = self._fault_profile
         tracker = self._health
-        if profile is None and tracker is None:
+        timers = self._timers
+        trace = current_trace()
+        if profile is None and tracker is None and timers is None and trace is None:
             yield
             return
-        start = time.monotonic()
+        start = time.perf_counter()
         ok = True
         transient = False
+        error_kind = None
         try:
             if profile is not None:
                 decision = profile.draw(kind)
@@ -363,21 +409,35 @@ class SimulatedProvider:
                         decision.fault,
                     )
             yield
+        except ProviderFaultError as exc:
+            ok = False
+            transient = True
+            error_kind = exc.kind
+            raise
         except ProviderUnavailableError:
             ok = False
             transient = True
+            error_kind = "unavailable"
             raise
         except (ChunkNotFoundError, CapacityExceededError, ChunkTooLargeError,
                 ChunkCorruptionError):
             raise  # the provider answered; not a sickness signal
         except Exception:
             ok = False
+            error_kind = "unexpected"
             raise
         finally:
+            elapsed = time.perf_counter() - start
             if tracker is not None:
-                tracker.observe(
-                    self.name, time.monotonic() - start, ok=ok, transient=transient
-                )
+                tracker.observe(self.name, elapsed, ok=ok, transient=transient)
+            if timers is not None:
+                timers.ops[kind].observe(elapsed)
+                if error_kind is not None:
+                    timers.errors.labels(self.name, kind, error_kind).inc()
+            if trace is not None:
+                phase = _PHASE_BY_KIND.get(kind)
+                if phase is not None:
+                    record_span(phase, start, elapsed)
 
     # -- chunk operations -------------------------------------------------
 

@@ -55,6 +55,7 @@ class ProviderRegistry:
         # Every provider's operations report into one shared tracker; the
         # breaker states it maintains gate placement (see health.py).
         self._health = health if health is not None else HealthTracker()
+        self._metrics = None
         for spec in specs:
             self.register(spec)
 
@@ -68,9 +69,18 @@ class ProviderRegistry:
             backend = self._backend_factory(spec) if self._backend_factory else None
             provider = SimulatedProvider(spec, backend=backend)
             provider.attach_health(self._health)
+            provider.attach_metrics(self._metrics)
             self._providers[spec.name] = provider
             self._epoch += 1
             return provider
+
+    def attach_metrics(self, metrics) -> None:
+        """Route every provider's op metrics (current *and* future — e.g.
+        CheapStor registered at hour 400) into ``metrics``."""
+        with self._lock:
+            self._metrics = metrics
+            for provider in self._providers.values():
+                provider.attach_metrics(metrics)
 
     def set_backend_factory(self, factory: BackendFactory) -> None:
         """Install ``factory`` and migrate existing providers onto it.
@@ -98,6 +108,7 @@ class ProviderRegistry:
             if provider.name in self._providers:
                 raise ValueError(f"provider {provider.name!r} already registered")
             provider.attach_health(self._health)
+            provider.attach_metrics(self._metrics)
             self._providers[provider.name] = provider
             self._epoch += 1
 

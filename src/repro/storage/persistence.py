@@ -70,6 +70,7 @@ class DurabilityManager:
         sync: str = "os",
         snapshot_every_records: int = 4096,
         segment_max_bytes: int = 64 * 1024 * 1024,
+        metrics=None,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.sync = sync
@@ -78,7 +79,7 @@ class DurabilityManager:
         (self.data_dir / "chunks").mkdir(parents=True, exist_ok=True)
         self._lock_fh = self._acquire_lock()
         self.boot_epoch = self._bump_boot_counter()
-        self.journal = Journal(self.data_dir / "meta" / "wal.log", sync=sync)
+        self.journal = Journal(self.data_dir / "meta" / "wal.log", sync=sync, metrics=metrics)
         self.snapshot_path = self.data_dir / "meta" / "snapshot.json"
         # _counter_lock is a leaf guarding only the snapshot cadence
         # counter (safe to take under any other lock, including the

@@ -16,6 +16,8 @@ This closes the loop the durable backends open: CRC detection lives in
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -108,6 +110,7 @@ class Scrubber:
         *,
         batch_size: int = 64,
         yield_fn: Optional[Callable[[], None]] = None,
+        metrics=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -116,6 +119,18 @@ class Scrubber:
         self.batch_size = batch_size
         self.yield_fn = yield_fn
         self.last_report: Optional[ScrubReport] = None
+        self._m_batches = None
+        if metrics is not None and metrics.enabled:
+            self._m_batches = metrics.histogram(
+                "scalia_scrub_batch_seconds",
+                "Wall time of one scrub batch (objects verified under locks).",
+            )
+            self._m_objects = metrics.counter(
+                "scalia_scrub_objects_total", "Objects examined by scrub passes."
+            )
+            self._m_repairs = metrics.counter(
+                "scalia_scrub_repairs_total", "Chunks repaired by scrub passes."
+            )
 
     def scrub(
         self,
@@ -134,10 +149,16 @@ class Scrubber:
         for start in range(0, len(row_keys), size):
             if start and pause is not None:
                 pause()  # between batches: no locks held
+            batch_started = time.perf_counter()
             for row_key in row_keys[start:start + size]:
                 self._scrub_object(engine, locks, row_key, repair, report)
+            if self._m_batches is not None:
+                self._m_batches.observe(time.perf_counter() - batch_started)
         if repair:
             self._sweep_orphans(report)
+        if self._m_batches is not None:
+            self._m_objects.inc(report.objects_scanned)
+            self._m_repairs.inc(report.repaired)
         self.last_report = report
         return report
 

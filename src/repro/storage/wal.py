@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -54,7 +55,9 @@ class Journal:
     a leaf in the broker's lock hierarchy (nothing is called under it).
     """
 
-    def __init__(self, path: str | os.PathLike, *, sync: str = "os") -> None:
+    def __init__(
+        self, path: str | os.PathLike, *, sync: str = "os", metrics=None
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync = sync
@@ -67,6 +70,16 @@ class Journal:
             fsync_directory(self.path.parent)
         self.records_appended = 0
         self.last_replay_damaged = 0
+        self._m_appends = None
+        self._m_fsync = None
+        if metrics is not None and metrics.enabled:
+            self._m_appends = metrics.counter(
+                "scalia_wal_appends_total", "Records appended to the metadata WAL."
+            )
+            self._m_fsync = metrics.histogram(
+                "scalia_wal_fsync_seconds",
+                "Time to flush (and, with sync=always, fsync) a WAL append.",
+            )
 
     def append(self, record: dict) -> None:
         body = _canonical(record)
@@ -74,10 +87,19 @@ class Journal:
         with self._lock:
             self._fh.write(line + b"\n")
             if self.sync != "never":
-                self._fh.flush()
-                if self.sync == "always":
-                    os.fsync(self._fh.fileno())
+                if self._m_fsync is None:
+                    self._fh.flush()
+                    if self.sync == "always":
+                        os.fsync(self._fh.fileno())
+                else:
+                    start = time.perf_counter()
+                    self._fh.flush()
+                    if self.sync == "always":
+                        os.fsync(self._fh.fileno())
+                    self._m_fsync.observe(time.perf_counter() - start)
             self.records_appended += 1
+            if self._m_appends is not None:
+                self._m_appends.inc()
 
     def replay(self) -> Iterator[dict]:
         """Yield every intact record in order.

@@ -87,7 +87,12 @@ class TestTenancy:
 
 class TestAdminRoutes:
     def test_healthz(self, client):
-        assert client.health() == {"status": "ok"}
+        health = client.health()
+        assert health["status"] == "ok"
+        # The liveness body doubles as a version/uptime probe.
+        assert health["version"]
+        assert health["pid"] > 0
+        assert health["uptime_s"] >= 0
 
     def test_stats_reflects_traffic(self, client):
         client.put("photos", "k", b"v")
@@ -206,7 +211,7 @@ class TestKeepAliveIntegrity:
             conn.request("GET", "/healthz")
             second = conn.getresponse()
             assert second.status == 200
-            assert json.loads(second.read()) == {"status": "ok"}
+            assert json.loads(second.read())["status"] == "ok"
         finally:
             conn.close()
 

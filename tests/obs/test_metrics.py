@@ -1,0 +1,213 @@
+"""Metrics registry: counters, gauges, histograms, exposition formats.
+
+The histogram quantile test is property-based: for *any* sample set and
+*any* quantile, the bucket-interpolated estimate must land within one
+bucket width of a true order statistic — that bound is the whole design
+contract of fixed-bucket quantiles.
+"""
+
+import bisect
+import math
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    quantile_from_buckets,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("test_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_counter_set_total_mirrors_external_state(self):
+        registry = MetricsRegistry()
+        c = registry.counter("mirrored_total", "help")
+        c.set_total(41)
+        c.set_total(42)
+        assert c.value == 42.0
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth", "help")
+        g.set(10)
+        g.inc()
+        g.dec(3)
+        assert g.value == 8.0
+
+    def test_labels_create_distinct_children(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("ops_total", "help", ("op",))
+        fam.labels("put").inc()
+        fam.labels("get").inc(2)
+        assert fam.labels("put").value == 1.0
+        assert fam.labels("get").value == 2.0
+        assert fam.labels("put") is fam.labels("put")
+
+    def test_redeclaration_is_idempotent_but_schema_checked(self):
+        registry = MetricsRegistry()
+        a = registry.counter("twice_total", "help", ("x",))
+        b = registry.counter("twice_total", "help", ("x",))
+        assert a is b
+        with pytest.raises(ValueError):
+            registry.counter("twice_total", "help", ("y",))
+        with pytest.raises(ValueError):
+            registry.gauge("twice_total", "help", ("x",))
+
+
+class TestDisabledRegistry:
+    def test_null_registry_absorbs_everything(self):
+        c = NULL_REGISTRY.counter("nope_total", "help")
+        h = NULL_REGISTRY.histogram("nope_seconds", "help")
+        c.inc()
+        h.observe(1.0)
+        assert c.value == 0.0
+        assert NULL_REGISTRY.render_text() == ""
+
+    def test_disabled_registry_renders_empty_json(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x_total", "help").inc()
+        assert registry.render_json() == {"metrics": {}}
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", "help", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        counts, total, total_sum = h.snapshot()
+        assert counts == [1, 2, 3]
+        assert total == 3
+        assert total_sum == pytest.approx(5.55)
+
+    def test_concurrent_observes_never_lose_counts(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("conc_seconds", "help", buckets=(0.5,))
+
+        def worker():
+            for _ in range(2000):
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        _, total, _ = h.snapshot()
+        assert total == 16000
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=15.0, allow_nan=False), min_size=1
+        ),
+        q=st.floats(min_value=0.01, max_value=0.999),
+    )
+    def test_quantile_error_bounded_by_bucket_width(self, values, q):
+        """|estimate - true quantile| <= width of the crossing bucket."""
+        registry = MetricsRegistry()
+        h = registry.histogram("prop_seconds", "help")
+        for v in values:
+            h.observe(v)
+        estimate = h.quantile(q)
+        ordered = sorted(values)
+        # Nearest-rank order statistic (1-indexed ceil(q*n)): the sample
+        # the estimator's crossing bucket is guaranteed to contain.
+        rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+        true_value = ordered[rank - 1]
+        bounds = list(DEFAULT_LATENCY_BUCKETS)
+        i = bisect.bisect_left(bounds, true_value)
+        if i >= len(bounds):
+            # True value beyond the last finite bound: the estimate clamps
+            # to that bound, which is the documented saturation behaviour.
+            assert estimate == pytest.approx(bounds[-1])
+            return
+        lo = bounds[i - 1] if i > 0 else 0.0
+        width = bounds[i] - lo
+        assert abs(estimate - true_value) <= width + 1e-9
+
+    def test_quantile_from_buckets_interpolates(self):
+        # 10 samples in (0, 1], 10 in (1, 2]: the median sits at the
+        # boundary and p75 half-way into the second bucket.
+        bounds = (1.0, 2.0)
+        cumulative = (10, 20, 20)
+        assert quantile_from_buckets(bounds, cumulative, 20, 0.5) == pytest.approx(1.0)
+        assert quantile_from_buckets(bounds, cumulative, 20, 0.75) == pytest.approx(1.5)
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("empty_seconds", "help")
+        assert h.quantile(0.99) == 0.0
+
+
+class TestExposition:
+    @pytest.fixture()
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests.", ("route", "status")).labels(
+            "object", 200
+        ).inc(3)
+        registry.gauge("depth", "Queue depth.").set(7)
+        h = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return registry
+
+    def test_text_format_structure(self, registry):
+        text = registry.render_text()
+        assert "# HELP req_total Requests.\n" in text
+        assert "# TYPE req_total counter\n" in text
+        assert 'req_total{route="object",status="200"} 3\n' in text
+        assert "# TYPE depth gauge\n" in text
+        assert "depth 7\n" in text
+        assert "# TYPE lat_seconds histogram\n" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'lat_seconds_bucket{le="1"} 2\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2\n' in text
+        assert "lat_seconds_count 2\n" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", "help", ("k",)).labels('a"b\\c\nd').inc()
+        text = registry.render_text()
+        assert 'esc_total{k="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_json_format_structure(self, registry):
+        doc = registry.render_json()
+        assert json.dumps(doc)  # must be JSON-serializable as-is
+        req = doc["metrics"]["req_total"]
+        assert req["type"] == "counter"
+        assert req["samples"] == [
+            {"labels": {"route": "object", "status": "200"}, "value": 3.0}
+        ]
+        lat = doc["metrics"]["lat_seconds"]["samples"][0]
+        assert lat["count"] == 2
+        assert lat["sum"] == pytest.approx(0.55)
+        assert set(lat) >= {"labels", "count", "sum", "p50", "p95", "p99", "buckets"}
+
+    def test_collectors_run_at_scrape_time(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("mirrored", "help")
+        state = {"v": 1.0}
+        registry.add_collector(lambda: g.set(state["v"]))
+        assert "mirrored 1\n" in registry.render_text()
+        state["v"] = 9.0
+        assert "mirrored 9\n" in registry.render_text()
+
+    def test_broken_collector_does_not_break_scrape(self):
+        registry = MetricsRegistry()
+        registry.gauge("ok_gauge", "help").set(1)
+        registry.add_collector(lambda: 1 / 0)
+        assert "ok_gauge 1\n" in registry.render_text()

@@ -1,0 +1,154 @@
+"""Request tracing: contextvar scoping, span aggregation, thread handoff."""
+
+import io
+import json
+import threading
+
+from repro.obs.logging import LogConfig, StructuredLogger
+from repro.obs.trace import (
+    current_trace,
+    current_trace_id,
+    end_trace,
+    new_trace_id,
+    span,
+    start_trace,
+    wrap_for_thread,
+)
+
+
+class TestTraceLifecycle:
+    def test_start_installs_and_end_restores(self):
+        assert current_trace() is None
+        trace = start_trace()
+        assert current_trace() is trace
+        assert current_trace_id() == trace.trace_id
+        end_trace(trace)
+        assert current_trace() is None
+
+    def test_inbound_id_is_honoured(self):
+        trace = start_trace("client-supplied-id")
+        try:
+            assert trace.trace_id == "client-supplied-id"
+        finally:
+            end_trace(trace)
+
+    def test_minted_ids_are_distinct(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_span_aggregates_into_phases(self):
+        trace = start_trace()
+        try:
+            with span("fetch"):
+                pass
+            with span("fetch"):
+                pass
+            with span("decode"):
+                pass
+        finally:
+            end_trace(trace)
+        phases = trace.phases_ms()
+        assert set(phases) == {"decode", "fetch"}
+        assert len(trace.spans()) == 3
+        assert trace.spans()[0]["name"] == "fetch"
+
+    def test_span_without_active_trace_is_noop(self):
+        with span("orphan"):
+            pass  # must not raise, must not leak a trace
+        assert current_trace() is None
+
+    def test_span_cap_counts_drops_but_keeps_phases(self):
+        trace = start_trace()
+        try:
+            for _ in range(600):
+                with span("tiny"):
+                    pass
+        finally:
+            end_trace(trace)
+        assert len(trace.spans()) == 512
+        assert trace.dropped_spans == 88
+        # Phase aggregation never drops: all 600 spans are accounted.
+        assert "tiny" in trace.phases_ms()
+
+
+class TestThreadPropagation:
+    def test_wrap_for_thread_carries_the_trace(self):
+        """The hedged-fetch pattern: raw threads see the spawner's trace."""
+        seen = {}
+        trace = start_trace("parent-id")
+
+        def worker(tag):
+            seen[tag] = current_trace_id()
+            with span("provider_fetch"):
+                pass
+
+        try:
+            threads = [
+                threading.Thread(target=wrap_for_thread(worker), args=(i,))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            end_trace(trace)
+        assert seen == {i: "parent-id" for i in range(4)}
+        # Worker spans landed on the parent trace.
+        assert len([s for s in trace.spans() if s["name"] == "provider_fetch"]) == 4
+
+    def test_unwrapped_thread_sees_no_trace(self):
+        seen = {}
+        trace = start_trace()
+
+        def worker():
+            seen["id"] = current_trace_id()
+
+        try:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        finally:
+            end_trace(trace)
+        assert seen["id"] is None
+
+
+class TestStructuredLogger:
+    def _logger(self, fmt="json", level="info"):
+        buf = io.StringIO()
+        return StructuredLogger("test", LogConfig(fmt=fmt, level=level, stream=buf)), buf
+
+    def test_json_lines_are_valid_json_with_schema(self):
+        logger, buf = self._logger()
+        logger.info("unit.event", count=3, name="x")
+        record = json.loads(buf.getvalue())
+        assert record["level"] == "info"
+        assert record["component"] == "test"
+        assert record["event"] == "unit.event"
+        assert record["count"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_trace_id_is_injected_from_context(self):
+        logger, buf = self._logger()
+        trace = start_trace("abc123")
+        try:
+            logger.info("unit.event")
+        finally:
+            end_trace(trace)
+        assert json.loads(buf.getvalue())["trace_id"] == "abc123"
+
+    def test_level_threshold_filters(self):
+        logger, buf = self._logger(level="warning")
+        logger.info("unit.quiet")
+        logger.warning("unit.loud")
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [r["event"] for r in lines] == ["unit.loud"]
+        assert logger.enabled_for("error")
+        assert not logger.enabled_for("debug")
+
+    def test_text_format_is_single_line(self):
+        logger, buf = self._logger(fmt="text")
+        logger.info("unit.event", path="/a b", n=2)
+        out = buf.getvalue()
+        assert out.count("\n") == 1
+        assert "unit.event" in out
+        assert "n=2" in out
