@@ -112,8 +112,9 @@ def test_gateway_throughput(benchmark, mode, scenario):
 
 
 #: Metrics-overhead guard: the observability layer (histograms on every
-#: request/engine/provider op, trace spans) must cost < 3% of the
-#: read-heavy serving path vs a ``--no-metrics`` broker.
+#: request/engine/provider op, trace spans, the decision-event journal)
+#: must cost < 3% of the read-heavy serving path vs a
+#: ``--no-metrics --no-events`` broker.
 #:
 #: Why not just compare two LoadGenerator runs?  The true instrumentation
 #: cost is a few microseconds on a several-hundred-microsecond request —
@@ -142,7 +143,9 @@ def _overhead_arm(enabled: bool):
     """Boot one live gateway arm and seed its working set."""
     from repro.gateway.client import GatewayClient
 
-    frontend = BrokerFrontend(Scalia(enable_metrics=enabled), mode="direct")
+    frontend = BrokerFrontend(
+        Scalia(enable_metrics=enabled, enable_events=enabled), mode="direct"
+    )
     quiet = StructuredLogger("gateway", LogConfig(level="warning"))
     ctx = ScaliaGateway(frontend, port=0, logger=quiet).start()
     gateway = ctx.__enter__()

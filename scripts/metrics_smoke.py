@@ -13,7 +13,12 @@ Checks, in order:
 2. ``GET /metrics?format=json`` is well-formed and agrees on counts;
 3. a request against a +300 ms-faulted provider produces a
    ``request.slow`` span dump attributing the time to ``provider_fetch``;
-4. every structured log line on stderr is valid JSON.
+4. every structured log line on stderr is valid JSON;
+5. a second gateway is driven through a full breaker cycle: error faults
+   on every provider open the circuit breakers (``breaker.open`` in
+   ``/events``) and burn the availability SLO until an alert fires in
+   ``/alerts``; clearing the faults closes the breakers
+   (``breaker.half_open`` → ``breaker.closed``) and resolves the alert.
 
 Exit code 0 means every check held.
 """
@@ -149,8 +154,96 @@ def main() -> int:
                     saw_slow = True
         check(saw_complete, "request.complete logged")
         check(saw_slow, "a slow read attributes its latency to provider_fetch")
+
+        breaker_and_alert_cycle(tmp)
         print("metrics smoke: all checks passed")
     return 0
+
+
+def set_fault(provider, profile):
+    body = json.dumps({"provider": provider, "profile": profile}).encode("utf-8")
+    http("POST", "/faults", body)
+
+
+def events_of(type_prefix):
+    doc = json.loads(http("GET", f"/events?type={type_prefix}&limit=1000"))
+    return doc["events"]
+
+
+def active_alerts():
+    return json.loads(http("GET", "/alerts"))["active"]
+
+
+def breaker_and_alert_cycle(tmp) -> None:
+    """Check 5: breaker open/close + SLO alert fire/clear, end to end.
+
+    Short burn windows (fast 3 s / slow 6 s) and a 0.5 s history sample
+    interval keep the whole cycle under ~30 s of wall clock.
+    """
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(PORT), "--data-dir", f"{tmp}/cycle-data",
+            "--log-format", "json",
+            "--history-interval", "0.5",
+            "--slo", "availability:target=0.99,fast=3s,slow=6s",
+        ],
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        wait_healthy(proc)
+        for i in range(3):
+            http("PUT", f"/smoke/cycle{i}.bin", b"x" * 4000)
+
+        providers = list(json.loads(http("GET", "/faults")))
+        check(providers, f"fault surface lists {len(providers)} providers")
+        for name in providers:
+            set_fault(name, {"error_rate": 1.0, "seed": 7})
+
+        # Error phase: hammer reads until the breakers open and both burn
+        # windows run hot enough for the availability alert to fire.
+        fired = False
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            for i in range(3):
+                try:
+                    http("GET", f"/smoke/cycle{i}.bin")
+                except urllib.error.HTTPError:
+                    pass
+            if active_alerts():
+                fired = True
+                break
+            time.sleep(0.25)
+        check(events_of("breaker.open"), "breaker.open journaled in /events")
+        check(fired, "availability alert fired in /alerts")
+        check(events_of("alert.fired"), "alert.fired journaled in /events")
+
+        # Recovery phase: clear the faults; after the 5 s breaker cooldown
+        # reads succeed again, the fast window drains and the alert clears.
+        for name in providers:
+            set_fault(name, None)
+        cleared = closed = False
+        deadline = time.monotonic() + 40.0
+        while time.monotonic() < deadline:
+            for i in range(3):
+                try:
+                    http("GET", f"/smoke/cycle{i}.bin")
+                except urllib.error.HTTPError:
+                    pass
+            cleared = not active_alerts()
+            # The alert can clear before the 5 s breaker cooldown elapses;
+            # keep driving probe traffic until the breakers close too.
+            closed = bool(events_of("breaker.closed"))
+            if cleared and closed:
+                break
+            time.sleep(0.25)
+        check(events_of("breaker.half_open"), "breaker.half_open journaled")
+        check(closed, "breaker.closed journaled")
+        check(cleared, "availability alert cleared in /alerts")
+        check(events_of("alert.resolved"), "alert.resolved journaled in /events")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
 
 
 if __name__ == "__main__":

@@ -27,7 +27,17 @@ Commands
 ``top``
     Live operational table refreshed from ``GET /metrics?format=json``:
     request rate, per-op latency quantiles, per-provider traffic, error
-    and breaker state (see ``docs/OBSERVABILITY.md``).
+    and breaker state, sparkline trends and SLO burn rates (see
+    ``docs/OBSERVABILITY.md``).  ``--once``/``--json`` print one frame
+    and exit.
+``events``
+    Query or ``--follow`` the decision-event journal (``GET /events``):
+    placement rationales, migration appraisals, breaker transitions,
+    scrub verdicts, hedge outcomes.
+``explain``
+    Why an object lives where it lives: current placement vs the best
+    alternative vs full replication, plus its decision log and a live
+    replay of the last migration's projected saving.
 """
 
 from __future__ import annotations
@@ -135,6 +145,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad --hedge-deadline-ms {args.hedge_deadline_ms}: {exc}", file=sys.stderr)
         return 2
+    slo_rules = None
+    if args.slo:
+        from repro.obs.slo import parse_slo_rule
+
+        try:
+            slo_rules = [parse_slo_rule(spec) for spec in args.slo]
+        except ValueError as exc:
+            print(f"bad --slo: {exc}", file=sys.stderr)
+            return 2
     broker = Scalia(
         registry,
         datacenters=args.datacenters,
@@ -147,6 +166,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scrub_batch_size=args.scrub_batch,
         hedge=hedge,
         enable_metrics=not args.no_metrics,
+        enable_events=not args.no_events,
+        event_log=args.event_log,
+        history_interval_s=args.history_interval,
+        slo_rules=slo_rules,
     )
     for spec in args.fault or ():
         name, colon, profile_spec = spec.partition(":")
@@ -195,8 +218,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "routes: PUT/GET/HEAD/DELETE /<bucket>/<key> (Range + conditionals) | "
         "multipart: POST ?uploads, PUT ?partNumber=&uploadId=, POST/DELETE ?uploadId= | "
         "GET /<bucket>?list-type=2&prefix=&delimiter=&max-keys=&continuation-token= | "
-        "GET /healthz | GET /metrics | GET /stats | POST /tick | POST /scrub | "
-        "GET/POST /faults"
+        "GET /healthz | GET /metrics | GET /stats | GET /events | GET /history | "
+        "GET /alerts | POST /explain | POST /tick | POST /scrub | GET/POST /faults"
     )
     # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
     # and background shells may spawn children with SIGINT ignored.
@@ -412,14 +435,83 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:,.1f}TiB"
 
 
-def render_top(snapshot: dict, previous: Optional[tuple] = None) -> str:
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Render ``values`` as a fixed-width unicode bar chart.
+
+    The newest ``width`` values are scaled against the window's own
+    min/max (a flat series renders as all-low bars, so change — not
+    absolute level — is what catches the eye).
+    """
+    tail = [float(v) for v in values[-width:]]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BARS[0] * len(tail)
+    return "".join(
+        _SPARK_BARS[min(len(_SPARK_BARS) - 1, int((v - lo) / span * len(_SPARK_BARS)))]
+        for v in tail
+    )
+
+
+def _series_values(history: dict, name: str) -> list:
+    return [v for _, v in history.get("series", {}).get(name, [])]
+
+
+def _series_deltas(history: dict, name: str) -> list:
+    """Positive step deltas of a counter series (restart dips clamp to 0)."""
+    values = _series_values(history, name)
+    return [max(b - a, 0.0) for a, b in zip(values, values[1:])]
+
+
+def render_trends(history: dict) -> list:
+    """Sparkline trend lines from a ``GET /history`` document."""
+    rows = [
+        ("req", _series_deltas(history, "requests.total")),
+        ("err", _series_deltas(history, "errors.total")),
+        ("$/GB·p", _series_values(history, "cost.per_gb_period")),
+    ]
+    lines = []
+    for label, values in rows:
+        if len(values) >= 2:
+            lines.append(f"  {label:<7} {sparkline(values)}  (last {values[-1]:g})")
+    return lines
+
+
+def render_alerts(alerts: dict) -> list:
+    """SLO burn-rate lines from a ``GET /alerts`` document."""
+    lines = []
+    for rule in alerts.get("rules", []):
+        burn = rule.get("burn", {})
+        state = "FIRING" if rule.get("active") else "ok"
+        lines.append(
+            f"  {rule.get('name', '?'):<14} burn {burn.get('fast', 0.0):6.2f} fast "
+            f"/ {burn.get('slow', 0.0):6.2f} slow  "
+            f"(threshold {rule.get('threshold', 1.0):g})  {state}"
+        )
+    return lines
+
+
+def render_top(
+    snapshot: dict,
+    previous: Optional[tuple] = None,
+    history: Optional[dict] = None,
+    alerts: Optional[dict] = None,
+) -> str:
     """One ``repro top`` frame from a ``/metrics?format=json`` snapshot.
 
     ``previous`` is the ``(snapshot, monotonic_seconds)`` pair of the
     prior frame (with the current frame's capture time appended by the
     caller as ``(prev_snapshot, prev_t, now_t)``); when present, request
     and byte rates are computed over that window instead of shown as
-    totals-only.  Pure function so tests can drive it without a terminal.
+    totals-only.  ``history`` (a ``GET /history`` document) adds
+    sparkline trend rows; ``alerts`` (``GET /alerts``) adds the SLO
+    burn-rate section.  Pure function so tests can drive it without a
+    terminal.
     """
     lines = []
     requests_now = _counter_total(snapshot, "scalia_gateway_requests_total")
@@ -504,31 +596,70 @@ def render_top(snapshot: dict, previous: Optional[tuple] = None) -> str:
                 f"{_fmt_bytes(_counter_total(snapshot, 'scalia_provider_bytes_total', provider=name, direction='in')):>10} "
                 f"{_fmt_bytes(_counter_total(snapshot, 'scalia_provider_bytes_total', provider=name, direction='out')):>10}"
             )
+    if history is not None:
+        trend = render_trends(history)
+        if trend:
+            lines.append("")
+            lines.append("trend (per history sample)")
+            lines.extend(trend)
+    if alerts is not None and alerts.get("rules"):
+        lines.append("")
+        lines.append("slo")
+        lines.extend(render_alerts(alerts))
+        active = alerts.get("active", [])
+        if active:
+            lines.append(
+                "  ACTIVE: " + ", ".join(str(a.get("name", "?")) for a in active)
+            )
     if not snapshot.get("metrics"):
         lines.append("")
         lines.append("no metric series: is the gateway running with --no-metrics?")
     return "\n".join(lines)
 
 
+def _observability_docs(client) -> tuple:
+    """Best-effort ``(history, alerts)`` fetch — older gateways lack them."""
+    from repro.gateway.client import GatewayError
+
+    history = alerts = None
+    try:
+        history = client.history()
+        alerts = client.alerts()
+    except (GatewayError, *_TRANSFER_ERRORS):
+        pass
+    return history, alerts
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
+    import json as json_mod
     import time
 
     from repro.gateway.client import GatewayError
 
+    iterations = 1 if args.once or args.json else args.iterations
     previous: Optional[tuple] = None
     iteration = 0
     try:
         with _gateway_client(args) as client:
-            while args.iterations <= 0 or iteration < args.iterations:
+            while iterations <= 0 or iteration < iterations:
                 if iteration:
                     time.sleep(args.interval)
                 snapshot = client.metrics()
                 now = time.monotonic()
+                history, alerts = _observability_docs(client)
+                if args.json:
+                    print(json_mod.dumps({
+                        "metrics": snapshot.get("metrics", {}),
+                        "history": history,
+                        "alerts": alerts,
+                    }, indent=2, sort_keys=True))
+                    iteration += 1
+                    continue
                 window = None
                 if previous is not None:
                     window = (previous[0], previous[1], now)
-                frame = render_top(snapshot, window)
-                if not args.no_clear:
+                frame = render_top(snapshot, window, history=history, alerts=alerts)
+                if not args.no_clear and iterations != 1:
                     print("\x1b[2J\x1b[H", end="")
                 print(frame, flush=True)
                 previous = (snapshot, now)
@@ -538,6 +669,112 @@ def _cmd_top(args: argparse.Namespace) -> int:
     except (GatewayError, *_TRANSFER_ERRORS) as exc:
         print(f"top failed: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _format_event(event: dict) -> str:
+    """One journal event as a human-readable line."""
+    import datetime
+
+    ts = datetime.datetime.fromtimestamp(
+        event.get("ts", 0.0), tz=datetime.timezone.utc
+    ).strftime("%H:%M:%S")
+    skip = {"seq", "ts", "type", "key"}
+    fields = " ".join(
+        f"{k}={event[k]!r}" if isinstance(event[k], str) else f"{k}={event[k]}"
+        for k in sorted(event)
+        if k not in skip
+    )
+    subject = f" [{event['key']}]" if event.get("key") else ""
+    return f"#{event.get('seq', '?'):<6} {ts} {event.get('type', '?'):<22}{subject} {fields}"
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time
+
+    from repro.gateway.client import GatewayError
+
+    since = args.since
+    try:
+        with _gateway_client(args) as client:
+            while True:
+                doc = client.events(
+                    type=args.type, since=since, key=args.key, limit=args.limit
+                )
+                for event in doc["events"]:
+                    if args.json:
+                        print(json_mod.dumps(event, sort_keys=True))
+                    else:
+                        print(_format_event(event))
+                since = doc["latest_seq"]
+                if not args.follow:
+                    if not doc["events"]:
+                        print("no events matched", file=sys.stderr)
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"events failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.gateway.client import GatewayError
+
+    bucket, slash, key = args.target.partition("/")
+    if not slash or not key:
+        print(f"explain wants BUCKET/KEY, got {args.target!r}", file=sys.stderr)
+        return 2
+    try:
+        with _gateway_client(args) as client:
+            doc = client.explain(bucket, key)
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"explain failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    placement = doc.get("placement", {})
+    projection = doc.get("projection", {})
+    costs = doc.get("costs", {})
+    print(f"object    : {doc.get('bucket')}/{doc.get('key')} "
+          f"({doc.get('size', 0):,} bytes, class {doc.get('class', '?')})")
+    print(f"rule      : {doc.get('rule', '?')}")
+    print(f"placement : {placement.get('label', '?')}  "
+          f"(m={placement.get('m')}, providers={', '.join(placement.get('providers', []))})")
+    print(f"projection: {projection.get('reads_per_period', 0.0):g} reads/period, "
+          f"{projection.get('writes_per_period', 0.0):g} writes/period over "
+          f"{doc.get('horizon_periods', 0.0):g} periods")
+    current = costs.get("current")
+    print(f"cost      : current ${current:.6f}" if current is not None
+          else "cost      : current n/a (provider left the pool)")
+    alt = costs.get("best_alternative")
+    if alt:
+        saving = costs.get("switch_saving") or 0.0
+        verdict = f"would save ${saving:.6f}" if saving > 0 else "no better option"
+        print(f"            best alternative {alt['placement']} ${alt['cost']:.6f} ({verdict})")
+    full = costs.get("full_replication")
+    if full is not None and current:
+        print(f"            full replication ${full:.6f} "
+              f"({full / current:.2f}x current, the paper's baseline)")
+    migration = doc.get("last_migration")
+    if migration:
+        agrees = "agrees with" if migration.get("agrees") else "DISAGREES with"
+        print(f"migration : period {migration.get('period')}: "
+              f"{migration.get('from')} -> {migration.get('to')}; "
+              f"logged saving ${migration.get('logged_saving', 0.0):.6f} "
+              f"{agrees} live replay ${migration.get('replayed_saving', 0.0):.6f}")
+    else:
+        print("migration : never migrated")
+    events = doc.get("events", [])
+    if events:
+        print(f"\ndecision log ({len(events)} events):")
+        for event in events[-args.limit:]:
+            print(f"  {_format_event(event)}")
     return 0
 
 
@@ -685,6 +922,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the metrics registry (no /metrics series, no timing "
         "overhead; /metrics then serves an empty exposition)",
     )
+    serve.add_argument(
+        "--no-events",
+        action="store_true",
+        help="disable the decision-event journal (/events serves an empty "
+        "journal, placement/migration/breaker decisions go unrecorded)",
+    )
+    serve.add_argument(
+        "--event-log",
+        default=None,
+        metavar="PATH",
+        help="append every decision event as one JSON line to this file "
+        "(the in-memory ring keeps serving /events either way)",
+    )
+    serve.add_argument(
+        "--history-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds between /history time-series samples (default 10)",
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        metavar="SPEC",
+        help="replace the default SLO rules, e.g. 'availability:target=0.999' "
+        "or 'p99:target=0.25,fast=60,slow=300' or 'cost_gb:target=0.05' "
+        "(repeatable; see docs/OBSERVABILITY.md)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
 
@@ -750,8 +1015,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append frames instead of clearing the screen (for pipes/tests)",
     )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing, no loop)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="dump one combined JSON document (metrics + history + alerts) "
+        "and exit; implies --once",
+    )
     add_gateway_args(top)
     top.set_defaults(func=_cmd_top)
+
+    events = sub.add_parser(
+        "events", help="query (or tail) the decision-event journal"
+    )
+    events.add_argument(
+        "--type",
+        default=None,
+        help="event type, exact ('migration.committed') or prefix ('migration.')",
+    )
+    events.add_argument(
+        "--key", default=None, help="subject filter, e.g. BUCKET/KEY or a provider"
+    )
+    events.add_argument(
+        "--since", type=int, default=None, help="exclusive sequence cursor"
+    )
+    events.add_argument(
+        "--limit", type=int, default=50, help="newest N events per query"
+    )
+    events.add_argument(
+        "--follow", action="store_true", help="poll for new events until interrupted"
+    )
+    events.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between --follow polls"
+    )
+    events.add_argument("--json", action="store_true", help="one JSON object per line")
+    add_gateway_args(events)
+    events.set_defaults(func=_cmd_events)
+
+    explain = sub.add_parser(
+        "explain",
+        help="why an object lives where it lives (placement, costs, migrations)",
+    )
+    explain.add_argument("target", metavar="BUCKET/KEY")
+    explain.add_argument(
+        "--limit", type=int, default=10, help="decision-log events to show"
+    )
+    explain.add_argument("--json", action="store_true", help="raw /explain document")
+    add_gateway_args(explain)
+    explain.set_defaults(func=_cmd_explain)
     return parser
 
 

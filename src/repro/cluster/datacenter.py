@@ -64,6 +64,7 @@ class ScaliaCluster:
         stats: Optional[StatsDatabase] = None,
         hedge: Optional[HedgePolicy] = None,
         metrics=None,
+        journal=None,
     ) -> None:
         if datacenters < 1 or engines_per_dc < 1:
             raise ValueError("need at least one datacenter and one engine")
@@ -107,6 +108,7 @@ class ScaliaCluster:
                     locks=self.locks,
                     hedge=self.hedge,
                     metrics=metrics,
+                    journal=journal,
                 )
                 engines.append(engine)
                 self.election.register(engine_id)

@@ -65,6 +65,7 @@ from repro.erasure.striping import (
     split_object,
     split_synthetic,
 )
+from repro.obs.events import resolve_journal
 from repro.obs.trace import current_trace, record_span
 from repro.providers.health import HedgePolicy
 from repro.providers.provider import (
@@ -407,6 +408,7 @@ class Engine:
         locks: Optional[LockManager] = None,
         hedge: Optional[HedgePolicy] = None,
         metrics=None,
+        journal=None,
     ) -> None:
         self.engine_id = engine_id
         self.dc = dc
@@ -427,6 +429,8 @@ class Engine:
         # (docs/FAULTS.md).  The all-healthy hot path never sees it.
         self._hedge = hedge if hedge is not None else HedgePolicy()
         self.hedge_stats = HedgeStats()
+        # Decision events (hedge fired/won); None-safe no-op by default.
+        self._journal = resolve_journal(journal)
         self._hedge_threads: List[threading.Thread] = []
         self._hedge_threads_lock = threading.Lock()
         # Observability: children resolved once; `None` means disabled
@@ -1753,6 +1757,8 @@ class Engine:
                 health=health,
                 stats=self.hedge_stats,
                 thread_sink=self._track_hedge_thread,
+                journal=self._journal,
+                subject=f"{meta.container}/{meta.key}",
             )
             causes.update(hedge_causes)
         else:

@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.events import resolve_journal
 from repro.obs.trace import wrap_for_thread
 from repro.providers.health import HealthTracker, HedgePolicy
 from repro.providers.provider import (
@@ -107,6 +108,8 @@ def hedged_fetch(
     health: HealthTracker,
     stats: Optional[HedgeStats] = None,
     thread_sink: Optional[Callable[[threading.Thread], None]] = None,
+    journal=None,
+    subject: Optional[str] = None,
 ) -> Tuple[List[Any], Dict[str, BaseException]]:
     """Fetch ``count`` chunks from ``candidates`` with hedging.
 
@@ -117,14 +120,18 @@ def hedged_fetch(
     map of per-provider failures for error reporting.
 
     ``thread_sink`` receives every spawned thread so the engine can later
-    join stragglers (``drain_hedges``).
+    join stragglers (``drain_hedges``).  ``journal`` (an
+    :class:`~repro.obs.events.EventJournal`) receives ``hedge.fired`` /
+    ``hedge.won`` events about ``subject`` (the object being read).
     """
+    journal = resolve_journal(journal)
     results: "queue.SimpleQueue" = queue.SimpleQueue()
     cancel = threading.Event()
     chunks: List[Any] = []
     causes: Dict[str, BaseException] = {}
     outstanding = 0
     in_flight: List[str] = []
+    hedge_launched: set = set()
     next_i = 0
 
     def worker(index: int, name: str) -> None:
@@ -143,8 +150,9 @@ def hedged_fetch(
             return
         results.put(("ok", name, value))
 
-    def launch_one() -> bool:
-        """Start the next admissible candidate; False when exhausted."""
+    def launch_one() -> Optional[str]:
+        """Start the next admissible candidate; its provider name, or
+        ``None`` when the candidate list is exhausted."""
         nonlocal next_i, outstanding
         while next_i < len(candidates):
             index, name = candidates[next_i]
@@ -178,8 +186,8 @@ def hedged_fetch(
             # join() on it raises.
             if thread_sink is not None:
                 thread_sink(thread)
-            return True
-        return False
+            return name
+        return None
 
     def settle(message: Tuple[str, str, Any]) -> None:
         nonlocal outstanding
@@ -189,9 +197,11 @@ def hedged_fetch(
             in_flight.remove(name)
         if kind == "ok":
             chunks.append(payload)
+            if name in hedge_launched and len(chunks) <= count:
+                journal.emit("hedge.won", key=subject, provider=name)
         elif kind == "error":
             causes[name] = payload
-            if len(chunks) < count and launch_one() and stats is not None:
+            if len(chunks) < count and launch_one() is not None and stats is not None:
                 stats.record_replacement()
         elif kind == "fatal":
             cancel.set()
@@ -199,13 +209,13 @@ def hedged_fetch(
         # "skipped": a cancelled launch; nothing to record.
 
     for _ in range(count):
-        if not launch_one():
+        if launch_one() is None:
             break
     armed_at = time.monotonic()
     deadline = policy.deadline_for(health, in_flight)
     while len(chunks) < count and (outstanding > 0 or next_i < len(candidates)):
         if outstanding == 0:
-            if not launch_one():
+            if launch_one() is None:
                 break
             armed_at = time.monotonic()
             deadline = policy.deadline_for(health, in_flight)
@@ -214,9 +224,17 @@ def hedged_fetch(
         if remaining <= 0.0:
             # Straggler: hedge to the next parity provider (when one is
             # left), then re-arm the deadline for the widened set.
-            if launch_one():
+            stragglers = list(in_flight)
+            hedged_to = launch_one()
+            if hedged_to is not None:
                 if stats is not None:
                     stats.record_hedge()
+                hedge_launched.add(hedged_to)
+                journal.emit(
+                    "hedge.fired", key=subject, provider=hedged_to,
+                    deadline_ms=round(deadline * 1000.0, 3),
+                    stragglers=stragglers,
+                )
                 armed_at = time.monotonic()
                 deadline = policy.deadline_for(health, in_flight)
                 continue

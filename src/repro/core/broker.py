@@ -36,7 +36,10 @@ from repro.core.optimizer import OptimizationReport, PeriodicOptimizer
 from repro.core.placement import PlacementEngine
 from repro.core.rules import RuleBook
 from repro.cluster.statistics import StatsDatabase
+from repro.obs.events import EventJournal, resolve_journal
+from repro.obs.history import MetricsHistory
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SLO_RULES, SloMonitor, SloRule
 from repro.providers.pricing import cost_of_usage, paper_catalog
 from repro.providers.registry import ProviderRegistry
 from repro.storage.persistence import DurabilityManager
@@ -66,6 +69,7 @@ class CorePlanner:
         cost_model: CostModel,
         decision: DecisionPeriodController,
         default_horizon_periods: int = 24,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         self.registry = registry
         self.rules = rules
@@ -75,6 +79,7 @@ class CorePlanner:
         self.cost_model = cost_model
         self.decision = decision
         self.default_horizon_periods = default_horizon_periods
+        self.journal = resolve_journal(journal)
 
     # -- Planner protocol -------------------------------------------------
 
@@ -108,17 +113,76 @@ class CorePlanner:
         # provider — a degraded placement beats a failed write.
         specs = self.registry.specs(include_failed=False, include_sick=False)
         try:
-            decision = self.placement_engine.best_placement(
-                specs, rule, projection, horizon, exclude=exclude
-            )
+            decision, runners = self._decide(specs, rule, projection, horizon, exclude)
         except PlacementError:
             all_specs = self.registry.specs(include_failed=False)
             if len(all_specs) == len(specs):
                 raise
-            decision = self.placement_engine.best_placement(
-                all_specs, rule, projection, horizon, exclude=exclude
+            decision, runners = self._decide(
+                all_specs, rule, projection, horizon, exclude
             )
+        self._emit_chosen(
+            container, key, rule, decision, runners, projection, horizon
+        )
         return decision.placement
+
+    def _decide(self, specs, rule, projection, horizon, exclude):
+        """Best placement plus, when the journal is live, the runners-up.
+
+        With events off this is exactly the old single-pass Algorithm-1
+        search; the full ranked enumeration runs only when somebody will
+        actually read the rationale.
+        """
+        if not self.journal.enabled:
+            best = self.placement_engine.best_placement(
+                specs, rule, projection, horizon, exclude=exclude
+            )
+            return best, []
+        ranked = self.placement_engine.ranked(
+            specs, rule, projection, horizon, exclude=exclude, limit=4
+        )
+        if not ranked:
+            raise PlacementError(
+                f"no feasible placement for rule {rule.name!r} "
+                f"over {len(specs)} providers (excluded: {sorted(exclude)})"
+            )
+        return ranked[0], ranked[1:]
+
+    def _emit_chosen(
+        self, container, key, rule, decision, runners, projection, horizon
+    ) -> None:
+        if not self.journal.enabled:
+            return
+        candidates = [
+            {
+                "providers": list(decision.placement.providers),
+                "m": decision.placement.m,
+                "cost": decision.expected_cost,
+            }
+        ]
+        for runner in runners:
+            candidates.append(
+                {
+                    "providers": list(runner.placement.providers),
+                    "m": runner.placement.m,
+                    "cost": runner.expected_cost,
+                    "lost_by": runner.expected_cost - decision.expected_cost,
+                }
+            )
+        self.journal.emit(
+            "placement.chosen",
+            key=f"{container}/{key}",
+            rule=rule.name,
+            placement=decision.placement.label(),
+            expected_cost=decision.expected_cost,
+            horizon_periods=horizon,
+            projection={
+                "size_bytes": projection.size_bytes,
+                "reads_per_period": projection.reads_per_period,
+                "writes_per_period": projection.writes_per_period,
+            },
+            candidates=candidates,
+        )
 
     # -- internals ----------------------------------------------------------
 
@@ -195,6 +259,11 @@ class Scalia:
         hedge: Optional[HedgePolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         enable_metrics: bool = True,
+        events: Optional[EventJournal] = None,
+        enable_events: bool = True,
+        event_log: Optional[str] = None,
+        history_interval_s: float = 10.0,
+        slo_rules: Optional[Sequence[SloRule]] = None,
     ) -> None:
         if stripe_size_bytes < 1:
             raise ValueError("stripe_size_bytes must be >= 1")
@@ -205,13 +274,25 @@ class Scalia:
             self.metrics = metrics
         else:
             self.metrics = MetricsRegistry(enabled=enable_metrics)
+        # Decision-event journal: same per-broker/no-op story as metrics.
+        # ``event_log`` additionally streams every event to a JSONL file.
+        self._event_sink_file = None
+        if events is not None:
+            self.events = events
+        else:
+            sink = None
+            if event_log is not None and enable_events:
+                sink = open(event_log, "a", encoding="utf-8")
+                self._event_sink_file = sink
+            self.events = EventJournal(enabled=enable_events, sink=sink)
         # Durability first: the data directory supplies the providers'
         # chunk-store backends and the id epoch, both needed at build time.
         self.durability: Optional[DurabilityManager] = None
         id_epoch = 0
         if data_dir is not None:
             self.durability = DurabilityManager(
-                data_dir, sync=storage_sync, metrics=self.metrics
+                data_dir, sync=storage_sync, metrics=self.metrics,
+                events=self.events,
             )
             id_epoch = self.durability.boot_epoch
         if registry is not None:
@@ -253,6 +334,7 @@ class Scalia:
                 cost_model=self.cost_model,
                 decision=self.decision,
                 default_horizon_periods=default_horizon_periods,
+                journal=self.events,
             )
         self.cluster = ScaliaCluster(
             registry=self.registry,
@@ -265,6 +347,7 @@ class Scalia:
             stats=stats,
             hedge=hedge,
             metrics=self.metrics,
+            journal=self.events,
         )
         self.optimizer = PeriodicOptimizer(
             cluster=self.cluster,
@@ -282,16 +365,31 @@ class Scalia:
             benefit_horizon_periods=benefit_horizon_periods,
             batch_size=optimizer_batch_size,
             metrics=self.metrics,
+            journal=self.events,
         )
         self._period = 0
         self._now = 0.0
         self.reports: List[OptimizationReport] = []
         self.scrubber = Scrubber(
             self.cluster, self.registry, batch_size=scrub_batch_size,
-            metrics=self.metrics,
+            metrics=self.metrics, journal=self.events,
         )
         self.recovery: Optional[dict] = None
         self.registry.attach_metrics(self.metrics)
+        # Breaker transitions are reported by the health tracker *after*
+        # its per-provider lock is released (see HealthTracker._report).
+        self.registry.health.on_transition = self._on_breaker_transition
+        # Downsampled registry snapshots for trends + SLO burn rates.
+        self.history = MetricsHistory(
+            sampler=self._history_sample,
+            interval_s=history_interval_s,
+            enabled=self.metrics.enabled,
+        )
+        self.slo = SloMonitor(
+            self.history,
+            rules=tuple(slo_rules) if slo_rules is not None else DEFAULT_SLO_RULES,
+            journal=self.events,
+        )
         self._register_collectors()
         if self.durability is not None:
             # Replay snapshot + WAL into the fresh substrate, then hook the
@@ -383,6 +481,25 @@ class Scalia:
                 "Hedges skipped by breaker admission control.",
             ),
         }
+        slo_burn = m.gauge(
+            "scalia_slo_burn_rate",
+            "SLO error-budget burn rate per rule and window (1.0 = on target).",
+            ("slo", "window"),
+        )
+        alert_active = m.gauge(
+            "scalia_alert_active",
+            "1 while the SLO rule's multi-window alert is firing.",
+            ("slo",),
+        )
+        events_emitted = m.counter(
+            "scalia_events_emitted_total",
+            "Decision events recorded in the in-memory journal.",
+        )
+        events_dropped = m.counter(
+            "scalia_events_dropped_total",
+            "Journal events evicted by the ring budgets or dropped oversize.",
+            ("reason",),
+        )
         breaker_code = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
 
         def collect() -> None:
@@ -410,8 +527,215 @@ class Scalia:
             snapshot = totals.snapshot()
             for key, counter in hedge_counters.items():
                 counter.set_total(snapshot[key])
+            journal_stats = self.events.stats()
+            events_emitted.set_total(journal_stats["emitted"])
+            events_dropped.labels("evicted").set_total(journal_stats["evicted"])
+            events_dropped.labels("oversize").set_total(
+                journal_stats["dropped_oversize"]
+            )
+            # Burn rates need a fresh history point when the interval has
+            # elapsed; evaluate() also steps the alert state machine so
+            # alerts fire even when nobody polls /alerts.
+            self.history.maybe_sample()
+            for state in self.slo.evaluate():
+                name = str(state["name"])
+                burn = state["burn"]
+                slo_burn.labels(name, "fast").set(float(burn.get("fast", 0.0)))
+                slo_burn.labels(name, "slow").set(float(burn.get("slow", 0.0)))
+                alert_active.labels(name).set(1.0 if state["active"] else 0.0)
 
         m.add_collector(collect)
+
+    def _on_breaker_transition(
+        self, name: str, old: str, new: str, info: dict
+    ) -> None:
+        """Health-tracker callback: journal every breaker state change."""
+        self.events.emit(f"breaker.{new}", key=name, previous=old, **info)
+
+    def _history_sample(self) -> Dict[str, float]:
+        """One downsampled snapshot of the registry for the history ring.
+
+        Flat series: request/error totals and folded latency buckets from
+        the gateway families, per-provider health and stored bytes, and
+        the cost model's projected storage $/period (total and blended
+        per-GB — the series the ``cost_gb`` SLO watches).
+        """
+        doc = self.metrics.render_json()["metrics"]
+        values: Dict[str, float] = {}
+        requests = 0.0
+        errors = 0.0
+        family = doc.get("scalia_gateway_requests_total")
+        if family is not None:
+            for sample in family["samples"]:
+                count = float(sample["value"])
+                requests += count
+                status = str(sample["labels"].get("status", ""))
+                # "0" is a request that died before a status was sent.
+                if status == "0" or status.startswith("5"):
+                    errors += count
+        values["requests.total"] = requests
+        values["errors.total"] = errors
+        family = doc.get("scalia_gateway_request_seconds")
+        if family is not None:
+            folded: Dict[float, float] = {}
+            total = 0.0
+            for sample in family["samples"]:
+                for bound, count in sample["buckets"]:
+                    folded[float(bound)] = folded.get(float(bound), 0.0) + count
+                total += sample["count"]
+            for bound, count in folded.items():
+                values[f"request.bucket.{bound}"] = count
+            values["request.bucket.inf"] = total
+        total_bytes = 0.0
+        cost_per_period = 0.0
+        for provider in self.registry.providers():
+            name = provider.name
+            values[f"provider.up.{name}"] = 0.0 if provider.failed else 1.0
+            stored = float(provider.stored_bytes)
+            values[f"provider.stored_bytes.{name}"] = stored
+            total_bytes += stored
+            gb_hours = stored / 1e9 * self.sampling_period_hours
+            cost_per_period += provider.spec.pricing.storage_cost(gb_hours)
+        values["stored_bytes.total"] = total_bytes
+        values["cost.projected_per_period"] = cost_per_period
+        values["cost.per_gb_period"] = (
+            cost_per_period / (total_bytes / 1e9) if total_bytes > 0 else 0.0
+        )
+        return values
+
+    def explain(self, container: str, key: str) -> dict:
+        """Why an object lives where it does — the ``repro explain`` join.
+
+        Combines the current metadata, a live cost-model what-if (current
+        placement vs the best feasible alternative vs the paper-baseline
+        full replication) and every journaled event about the object.
+        When a ``migration.committed`` event is on record, its appraisal
+        is *replayed* from the recorded inputs so the decision-time saving
+        and today's what-if can be compared within rounding.
+        """
+        meta = self.head(container, key)
+        if meta is None:
+            raise KeyError(f"{container}/{key} not found")
+        row_key = object_row_key(container, key)
+        if isinstance(self.planner, CorePlanner):
+            projection, horizon = self.planner._projection_for(  # noqa: SLF001
+                row_key, meta.class_key, meta.size, self._period
+            )
+        else:
+            projection = AccessProjection(size_bytes=meta.size)
+            horizon = 24.0
+        try:
+            rule = self.rules.get(meta.rule_name)
+        except KeyError:
+            rule = self.rules.default
+        current_cost: Optional[float] = None
+        try:
+            current_specs = [
+                self.registry.get(p).spec for p in meta.placement.providers
+            ]
+            current_cost = self.cost_model.expected_cost(
+                current_specs, meta.m, projection, horizon
+            )
+        except KeyError:
+            pass  # a provider left the pool; no current price exists
+        specs = self.registry.specs(include_failed=False)
+        alternative: Optional[dict] = None
+        saving: Optional[float] = None
+        try:
+            best = self.placement_engine.best_placement(
+                specs, rule, projection, horizon
+            )
+        except PlacementError:
+            best = None
+        if best is not None:
+            alternative = {
+                "placement": best.placement.label(),
+                "providers": list(best.placement.providers),
+                "m": best.placement.m,
+                "cost": best.expected_cost,
+            }
+            if current_cost is not None:
+                saving = current_cost - best.expected_cost
+        events = self.events.query(key=f"{container}/{key}")
+        replay = None
+        for event in reversed(events):
+            if event.get("type") == "migration.committed":
+                replay = self._replay_migration(event)
+                break
+        return {
+            "container": container,
+            "key": key,
+            "found": True,
+            "size": meta.size,
+            "class": meta.class_key,
+            "rule": rule.name,
+            "placement": {
+                "label": meta.placement.label(),
+                "providers": list(meta.placement.providers),
+                "m": meta.m,
+            },
+            "projection": {
+                "size_bytes": projection.size_bytes,
+                "reads_per_period": projection.reads_per_period,
+                "writes_per_period": projection.writes_per_period,
+            },
+            "horizon_periods": horizon,
+            "costs": {
+                "current": current_cost,
+                "best_alternative": alternative,
+                "full_replication": self.cost_model.full_replication_cost(
+                    specs, projection, horizon
+                ),
+                "switch_saving": saving,
+            },
+            "last_migration": replay,
+            "events": events,
+        }
+
+    def _replay_migration(self, event: dict) -> Optional[dict]:
+        """Re-price a journaled migration from its recorded inputs.
+
+        Returns the decision-time numbers next to a fresh CostModel run
+        over the same projection/placements/horizon; ``agrees`` is the
+        acceptance check that the journal and the what-if tell one story.
+        """
+        projection_doc = event.get("projection")
+        if not isinstance(projection_doc, dict):
+            return None
+        try:
+            projection = AccessProjection(
+                size_bytes=int(projection_doc.get("size_bytes", 0)),
+                reads_per_period=float(projection_doc.get("reads_per_period", 0.0)),
+                writes_per_period=float(projection_doc.get("writes_per_period", 0.0)),
+            )
+            horizon = float(event["horizon_periods"])
+            old_specs = [
+                self.registry.get(p).spec for p in event["old_providers"]
+            ]
+            new_specs = [
+                self.registry.get(p).spec for p in event["new_providers"]
+            ]
+            old_m = int(event["old_m"])
+            new_m = int(event["new_m"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        current = self.cost_model.expected_cost(
+            old_specs, old_m, projection, horizon
+        )
+        new = self.cost_model.expected_cost(new_specs, new_m, projection, horizon)
+        replayed_saving = current - new
+        logged_saving = float(event.get("saving", 0.0))
+        tolerance = max(1e-9, 1e-6 * max(abs(replayed_saving), abs(logged_saving)))
+        return {
+            "seq": event.get("seq"),
+            "period": event.get("period"),
+            "from": event.get("old_placement"),
+            "to": event.get("new_placement"),
+            "logged_saving": logged_saving,
+            "replayed_saving": replayed_saving,
+            "logged_migration_cost": event.get("migration_cost"),
+            "agrees": abs(replayed_saving - logged_saving) <= tolerance,
+        }
 
     # -- clock ------------------------------------------------------------
 
@@ -675,6 +999,9 @@ class Scalia:
                 # not drop the reports of periods already closed.
                 new_reports.append(report)
                 self.reports.append(report)
+        # Control-plane pull-through: one history point per tick batch
+        # (rate-limited by the ring's own interval guard).
+        self.history.maybe_sample()
         return new_reports
 
     # -- storage engine ------------------------------------------------------
@@ -743,6 +1070,11 @@ class Scalia:
             self.durability.close()
         for provider in self.registry.providers():
             provider.backend.close()
+        if self._event_sink_file is not None:
+            try:
+                self._event_sink_file.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "Scalia":
         return self

@@ -202,6 +202,22 @@ class CostModel:
         )
         return per_period * horizon_periods + one_time
 
+    def full_replication_cost(
+        self,
+        specs: Sequence[ProviderSpec],
+        projection: AccessProjection,
+        horizon_periods: float,
+    ) -> float:
+        """The paper's baseline: a full copy on every provider (m = 1).
+
+        The yardstick Scalia's evaluation measures itself against —
+        ``repro explain`` prices it alongside the current placement so
+        "what is erasure-coded placement saving me" has a number.
+        """
+        if not specs:
+            return 0.0
+        return self.expected_cost(specs, 1, projection, horizon_periods)
+
     # -- migration -------------------------------------------------------------
 
     def migration_cost(

@@ -43,6 +43,7 @@ from repro.core.decision import DecisionPeriodController
 from repro.core.placement import PlacementDecision, PlacementEngine
 from repro.core.rules import RuleBook
 from repro.core.trend import MomentumDetector
+from repro.obs.events import resolve_journal
 from repro.providers.provider import (
     CapacityExceededError,
     ChunkTooLargeError,
@@ -50,6 +51,47 @@ from repro.providers.provider import (
 )
 from repro.providers.registry import ProviderRegistry
 from repro.types import ObjectMeta, Placement
+
+
+@dataclass(frozen=True)
+class MigrationAppraisal:
+    """The rationale `_worth_migrating` used to throw away.
+
+    Costs are dollars over ``horizon_periods``; ``saving`` is
+    ``current_cost - new_cost``; the migration is worth it when the
+    saving strictly exceeds ``migration_cost``.  This is the record the
+    event journal persists at decision time — and the exact inputs
+    ``repro explain``'s what-if must reproduce.
+    """
+
+    worth: bool
+    reason: str                      # "saving" | "not-worth" | "pool-left" | "unreadable"
+    current_cost: float = 0.0
+    new_cost: float = 0.0
+    migration_cost: float = 0.0
+    horizon_periods: float = 0.0
+    projection: Optional[AccessProjection] = None
+
+    @property
+    def saving(self) -> float:
+        return self.current_cost - self.new_cost
+
+    def event_fields(self) -> dict:
+        fields = {
+            "reason": self.reason,
+            "current_cost": self.current_cost,
+            "new_cost": self.new_cost,
+            "saving": self.saving,
+            "migration_cost": self.migration_cost,
+            "horizon_periods": self.horizon_periods,
+        }
+        if self.projection is not None:
+            fields["projection"] = {
+                "size_bytes": self.projection.size_bytes,
+                "reads_per_period": self.projection.reads_per_period,
+                "writes_per_period": self.projection.writes_per_period,
+            }
+        return fields
 
 
 @dataclass
@@ -102,6 +144,7 @@ class PeriodicOptimizer:
         batch_size: int = 64,
         yield_fn: Optional[Callable[[], None]] = None,
         metrics=None,
+        journal=None,
     ) -> None:
         if repair_strategy not in ("repair", "wait"):
             raise ValueError("repair_strategy must be 'repair' or 'wait'")
@@ -130,6 +173,7 @@ class PeriodicOptimizer:
         self._fed_upto: Dict[str, int] = {}
         self._last_run_period: int = -1
         self._last_epoch: Optional[int] = None
+        self.journal = resolve_journal(journal)
         self._m_batches = None
         if metrics is not None and metrics.enabled:
             self._m_batches = metrics.histogram(
@@ -364,18 +408,58 @@ class PeriodicOptimizer:
         if new_placement == meta.placement:
             return outcome
 
-        if not needs_repair and not self._worth_migrating(
+        appraisal = self._appraise_migration(
             meta, new_placement, best_d or 1, now, period
-        ):
+        )
+        if not needs_repair and not appraisal.worth:
             outcome.new_placement = meta.placement
             return outcome
+        object_key = f"{meta.container}/{meta.key}"
+        # Machine-readable placements ride along with the labels so
+        # `repro explain` can re-price the decision from the event alone.
+        placement_fields = {
+            "old_providers": list(meta.placement.providers),
+            "old_m": meta.placement.m,
+            "new_providers": list(new_placement.providers),
+            "new_m": new_placement.m,
+        }
+        self.journal.emit(
+            "migration.planned",
+            key=object_key,
+            period=period,
+            old_placement=meta.placement.label(),
+            new_placement=new_placement.label(),
+            repair=needs_repair,
+            chosen_d=best_d,
+            **placement_fields,
+            **appraisal.event_fields(),
+        )
         try:
             engine.migrate(meta.container, meta.key, new_placement, now=now, period=period)
         except (ReadFailedError, PlacementError, ProviderUnavailableError,
-                CapacityExceededError, ChunkTooLargeError):
+                CapacityExceededError, ChunkTooLargeError) as exc:
             # Too many chunks unreachable, or a (possibly injected)
             # transient fault hit a migration write: retry next round.
+            self.journal.emit(
+                "migration.aborted",
+                key=object_key,
+                period=period,
+                old_placement=meta.placement.label(),
+                new_placement=new_placement.label(),
+                error=type(exc).__name__,
+            )
             return outcome
+        self.journal.emit(
+            "migration.committed",
+            key=object_key,
+            period=period,
+            old_placement=meta.placement.label(),
+            new_placement=new_placement.label(),
+            repair=needs_repair,
+            chosen_d=best_d,
+            **placement_fields,
+            **appraisal.event_fields(),
+        )
         outcome.migrated = True
         outcome.repaired = needs_repair
         return outcome
@@ -411,31 +495,35 @@ class PeriodicOptimizer:
                 best, best_rate, best_d = decision, rate, d
         return best, best_d
 
-    def _worth_migrating(
+    def _appraise_migration(
         self,
         meta: ObjectMeta,
         new_placement: Placement,
         window_d: int,
         now: float,
         period: int,
-    ) -> bool:
-        """True when the projected saving covers the migration cost.
+    ) -> MigrationAppraisal:
+        """Price the move; worth it when the saving covers the migration.
 
         The saving is projected over the object's *expected remaining
         lifetime* (TTL hint or class statistics; ``benefit_horizon_periods``
         when unknown) — a migration that only pays off long after the
         object is deleted must not happen, while slow storage-price savings
         on long-lived objects must (Section IV-B's post-crowd move back to
-        the storage-cheapest set).
+        the storage-cheapest set).  The full rationale is returned (and
+        journaled by the caller) rather than collapsed to a bool, so
+        ``repro explain`` can replay the decision from its recorded inputs.
         """
         try:
             old_specs = [self.registry.get(p).spec for p in meta.placement.providers]
         except KeyError:
-            return True  # a provider left the pool entirely: must move
+            # A provider left the pool entirely: must move.
+            return MigrationAppraisal(worth=True, reason="pool-left")
         new_specs = [self.registry.get(p).spec for p in new_placement.providers]
         readable = [s for s in old_specs if self.registry.is_available(s.name)]
         if len(readable) < meta.m:
-            return False  # cannot reconstruct right now
+            # Cannot reconstruct right now.
+            return MigrationAppraisal(worth=False, reason="unreadable")
 
         age = max(0.0, now - meta.created_at)
         if meta.ttl_hint is not None:
@@ -464,7 +552,29 @@ class PeriodicOptimizer:
             meta.size,
             readable_old=readable,
         )
-        return current_cost - new_cost > migration
+        worth = current_cost - new_cost > migration
+        return MigrationAppraisal(
+            worth=worth,
+            reason="saving" if worth else "not-worth",
+            current_cost=current_cost,
+            new_cost=new_cost,
+            migration_cost=migration,
+            horizon_periods=horizon,
+            projection=projection,
+        )
+
+    def _worth_migrating(
+        self,
+        meta: ObjectMeta,
+        new_placement: Placement,
+        window_d: int,
+        now: float,
+        period: int,
+    ) -> bool:
+        """Bool view of :meth:`_appraise_migration` (kept for callers)."""
+        return self._appraise_migration(
+            meta, new_placement, window_d, now, period
+        ).worth
 
 
 def _row_key_of(meta: ObjectMeta) -> str:

@@ -145,6 +145,33 @@ class PlacementEngine:
                     decisions.append(decision)
         return decisions
 
+    def ranked(
+        self,
+        specs: Sequence[ProviderSpec],
+        rule: StorageRule,
+        projection: AccessProjection,
+        horizon_periods: float,
+        *,
+        exclude: frozenset[str] = frozenset(),
+        limit: Optional[int] = None,
+    ) -> List[PlacementDecision]:
+        """Feasible candidates best-first, under :meth:`better`'s order.
+
+        The decision-observability layer records the head of this list
+        (the chosen placement plus the runners-up and their cost gaps)
+        so ``GET /events`` can say *why the losers lost*.  Element 0,
+        when present, is exactly what :meth:`best_placement` returns.
+        """
+        decisions = self.enumerate_feasible(
+            specs, rule, projection, horizon_periods, exclude=exclude
+        )
+        decisions.sort(
+            key=lambda d: (d.expected_cost, d.placement.n, d.placement.providers)
+        )
+        if limit is not None:
+            decisions = decisions[:limit]
+        return decisions
+
     def best_placement(
         self,
         specs: Sequence[ProviderSpec],

@@ -488,6 +488,58 @@ class GatewayClient:
             raise GatewayError(status, _error_text(payload))
         return payload.decode("utf-8")
 
+    def events(
+        self,
+        *,
+        type: Optional[str] = None,
+        since: Optional[int] = None,
+        key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Query the decision-event journal (``GET /events``).
+
+        ``since`` is an exclusive sequence cursor — pass the previous
+        response's ``latest_seq`` to poll for new events only.
+        """
+        query = []
+        if type is not None:
+            query.append(f"type={quote(type, safe='')}")
+        if since is not None:
+            query.append(f"since={since}")
+        if key is not None:
+            query.append(f"key={quote(key, safe='')}")
+        if limit is not None:
+            query.append(f"limit={limit}")
+        path = "/events" + (f"?{'&'.join(query)}" if query else "")
+        return self._json("GET", path)
+
+    def history(
+        self, *, series: Optional[str] = None, window: Optional[str] = None
+    ) -> dict:
+        """Downsampled metric time series (``GET /history``).
+
+        ``window`` uses the server's duration syntax: ``300``, ``90s``,
+        ``5m``, ``2h``.
+        """
+        query = []
+        if series is not None:
+            query.append(f"series={quote(series, safe='')}")
+        if window is not None:
+            query.append(f"window={quote(window, safe='')}")
+        path = "/history" + (f"?{'&'.join(query)}" if query else "")
+        return self._json("GET", path)
+
+    def alerts(self) -> dict:
+        """SLO burn-rate alert states (``GET /alerts``)."""
+        return self._json("GET", "/alerts")
+
+    def explain(self, bucket: str, key: str) -> dict:
+        """Placement rationale for one object (``POST /explain``)."""
+        body = json.dumps({"bucket": bucket, "key": key}).encode("utf-8")
+        return self._json(
+            "POST", "/explain", body, {"Content-Type": "application/json"}
+        )
+
     def tick(self, periods: int = 1) -> dict:
         return self._json("POST", f"/tick?periods={periods}")
 

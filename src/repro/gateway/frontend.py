@@ -41,7 +41,7 @@ from repro.cluster.engine import InvalidRangeError, ObjectNotFoundError, ReadPla
 from repro.cluster.multipart import MultipartState, PartState
 from repro.core.broker import Scalia
 from repro.core.optimizer import OptimizationReport
-from repro.gateway.namespace import NamespaceMapper
+from repro.gateway.namespace import NamespaceError, NamespaceMapper
 from repro.gateway.routes import (
     NotModifiedError,
     PreconditionFailedError,
@@ -465,6 +465,55 @@ class BrokerFrontend:
         frontend is draining, and must never count as an operation.
         """
         return self.broker.metrics
+
+    @property
+    def events(self):
+        """The broker's decision-event journal (``GET /events``).
+
+        Same bypass rationale as :attr:`metrics`: querying the journal is
+        read-only observability, never an operation.
+        """
+        return self.broker.events
+
+    def event_key(self, tenant: str, key: Optional[str]) -> Optional[str]:
+        """Translate a client-facing ``bucket/key`` filter to a journal subject.
+
+        The journal records internal container names; clients filter by the
+        bucket names they know.  Keys without a ``/`` (provider names for
+        breaker events) and unmappable buckets pass through literally.
+        """
+        if not key or "/" not in key:
+            return key
+        bucket, _, rest = key.partition("/")
+        try:
+            return f"{self.mapper.internal_container(tenant, bucket)}/{rest}"
+        except NamespaceError:
+            return key
+
+    def history(self, series: Optional[str] = None, window_s: Optional[float] = None):
+        """The ``GET /history`` document (pull-through sampled)."""
+        self.broker.history.maybe_sample()
+        return self.broker.history.to_dict(series=series, window_s=window_s)
+
+    def alerts(self) -> Dict[str, Any]:
+        """The ``GET /alerts`` document: rules, burn rates, active alerts."""
+        self.broker.history.maybe_sample()
+        return self.broker.slo.to_dict()
+
+    def explain(self, tenant: str, bucket: str, key: str) -> Dict[str, Any]:
+        """The placement-rationale join (``POST /explain``)."""
+        container = self.mapper.internal_container(tenant, bucket)
+
+        def fn():
+            try:
+                doc = self.broker.explain(container, key)
+            except KeyError:
+                raise ObjectNotFoundError(f"{bucket}/{key} not found") from None
+            doc["bucket"] = bucket
+            doc["tenant"] = tenant
+            return doc
+
+        return self._run("explain", fn)
 
     def recovery_status(self) -> Dict[str, Any]:
         """Durability/recovery summary for the ``/healthz`` body."""

@@ -10,8 +10,13 @@ Route table (see ``docs/GATEWAY.md``):
 Method Path                               Meaning
 ====== ================================== ==============================
 GET    ``/healthz``                       liveness probe (JSON body)
-GET    ``/metrics``                       Prometheus exposition (``?format=json``)
+GET    ``/metrics``                       Prometheus exposition (``?format=json``,
+                                          OpenMetrics via ``Accept``)
 GET    ``/stats``                         gateway + broker counters
+GET    ``/events``                        decision-event journal (``?type=&since=&key=``)
+GET    ``/history``                       metric time series (``?series=&window=``)
+GET    ``/alerts``                        SLO burn-rate alert states
+POST   ``/explain``                       placement rationale for ``{"bucket","key"}``
 POST   ``/tick``                          close ``?periods=N`` periods
 POST   ``/scrub``                         integrity pass + repair
 GET    ``/faults``                        installed fault profiles
@@ -95,7 +100,8 @@ class RouteError(ValueError):
 class Route:
     """A parsed gateway request."""
 
-    kind: str  # health | metrics | stats | tick | scrub | faults | object | list
+    kind: str  # health | metrics | stats | events | history | alerts | explain
+    #          # | tick | scrub | faults | object | list
     bucket: Optional[str] = None
     key: Optional[str] = None
     params: Dict[str, str] = field(default_factory=dict)
@@ -124,6 +130,22 @@ def parse_route(method: str, target: str) -> Route:
         if method != "GET":
             raise RouteError("stats only supports GET", status=405, allow="GET")
         return Route("stats", params=params)
+    if path in ("/events", "/events/"):
+        if method != "GET":
+            raise RouteError("events only supports GET", status=405, allow="GET")
+        return Route("events", params=params)
+    if path in ("/history", "/history/"):
+        if method != "GET":
+            raise RouteError("history only supports GET", status=405, allow="GET")
+        return Route("history", params=params)
+    if path in ("/alerts", "/alerts/"):
+        if method != "GET":
+            raise RouteError("alerts only supports GET", status=405, allow="GET")
+        return Route("alerts", params=params)
+    if path in ("/explain", "/explain/"):
+        if method != "POST":
+            raise RouteError("explain only supports POST", status=405, allow="POST")
+        return Route("explain", params=params)
     if path in ("/tick", "/tick/"):
         if method != "POST":
             raise RouteError("tick only supports POST", status=405, allow="POST")

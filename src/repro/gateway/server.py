@@ -75,6 +75,27 @@ TENANT_HEADER = "x-scalia-tenant"
 RULE_HEADER = "x-scalia-rule"
 
 
+def _parse_window(raw: Optional[str]) -> Optional[float]:
+    """A ``?window=`` lookback in seconds: ``300``, ``90s``, ``5m``, ``2h``."""
+    if raw is None or raw == "":
+        return None
+    text = raw.strip().lower()
+    scale = 1.0
+    if text.endswith("h"):
+        scale, text = 3600.0, text[:-1]
+    elif text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        value = float(text) * scale
+    except ValueError:
+        raise RouteError(f"malformed window {raw!r}") from None
+    if value <= 0:
+        raise RouteError("window must be > 0")
+    return value
+
+
 class _GatewayHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that carries the frontend for its handlers."""
 
@@ -248,6 +269,14 @@ class GatewayHandler(BaseHTTPRequestHandler):
             self._handle_metrics(route, frontend)
         elif route.kind == "stats":
             self._send_json(200, frontend.stats())
+        elif route.kind == "events":
+            self._handle_events(route, frontend, tenant)
+        elif route.kind == "history":
+            self._handle_history(route, frontend)
+        elif route.kind == "alerts":
+            self._send_json(200, frontend.alerts())
+        elif route.kind == "explain":
+            self._handle_explain(route, frontend, tenant)
         elif route.kind == "tick":
             periods = int_param(route.params, "periods", 1)
             if periods < 1:
@@ -268,10 +297,27 @@ class GatewayHandler(BaseHTTPRequestHandler):
             raise RouteError(f"unroutable kind {route.kind!r}")
 
     def _handle_metrics(self, route: Route, frontend: BrokerFrontend) -> None:
-        """``GET /metrics``: Prometheus text exposition (or JSON)."""
-        fmt = route.params.get("format", "text")
+        """``GET /metrics``: Prometheus text exposition (or JSON).
+
+        Content negotiation: with no explicit ``?format=``, an ``Accept``
+        header naming ``application/openmetrics-text`` gets the
+        OpenMetrics 1.0 exposition (``# EOF``-terminated); everything
+        else gets text format 0.0.4.  ``?format=`` always wins.
+        """
+        fmt = route.params.get("format")
+        if fmt is None:
+            accept = self.headers.get("accept", "")
+            fmt = "openmetrics" if "application/openmetrics-text" in accept else "text"
         if fmt == "json":
             self._send_json(200, frontend.metrics.render_json())
+        elif fmt == "openmetrics":
+            self._send_bytes(
+                200,
+                frontend.metrics.render_openmetrics().encode("utf-8"),
+                content_type=(
+                    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+                ),
+            )
         elif fmt == "text":
             self._send_bytes(
                 200,
@@ -280,6 +326,69 @@ class GatewayHandler(BaseHTTPRequestHandler):
             )
         else:
             raise RouteError(f"unknown metrics format {fmt!r}")
+
+    def _handle_events(
+        self, route: Route, frontend: BrokerFrontend, tenant: str
+    ) -> None:
+        """``GET /events``: query the decision-event journal.
+
+        ``?type=`` matches exactly or by dot-prefix (``migration.``),
+        ``?since=SEQ`` is an exclusive resume cursor, ``?key=`` filters by
+        subject (``bucket/key`` is translated to the tenant's internal
+        container), ``?limit=`` keeps the newest N (default 256).
+        """
+        params = route.params
+        journal = frontend.events
+        events = journal.query(
+            type=params.get("type") or None,
+            since=int_param(params, "since"),
+            key=frontend.event_key(tenant, params.get("key") or None),
+            limit=int_param(params, "limit", 256),
+        )
+        self._send_json(
+            200,
+            {
+                "events": events,
+                "count": len(events),
+                "latest_seq": journal.latest_seq,
+                "stats": journal.stats(),
+            },
+        )
+
+    def _handle_history(self, route: Route, frontend: BrokerFrontend) -> None:
+        """``GET /history``: downsampled metric time series.
+
+        ``?series=`` filters by exact name or dot-prefix; ``?window=``
+        bounds the lookback in seconds (``300``, ``90s``, ``5m``, ``2h``).
+        """
+        self._send_json(
+            200,
+            frontend.history(
+                series=route.params.get("series") or None,
+                window_s=_parse_window(route.params.get("window")),
+            ),
+        )
+
+    def _handle_explain(
+        self, route: Route, frontend: BrokerFrontend, tenant: str
+    ) -> None:
+        """``POST /explain``: placement rationale for one object.
+
+        Body ``{"bucket": ..., "key": ...}`` (query parameters of the
+        same names work too).
+        """
+        body = self._read_small_body()
+        try:
+            doc = json.loads(body) if body else {}
+        except json.JSONDecodeError:
+            raise RouteError("explain body must be JSON") from None
+        if not isinstance(doc, dict):
+            raise RouteError("explain body must be a JSON object")
+        bucket = doc.get("bucket") or route.params.get("bucket")
+        key = doc.get("key") or route.params.get("key")
+        if not bucket or not key:
+            raise RouteError('explain needs {"bucket": ..., "key": ...}')
+        self._send_json(200, frontend.explain(tenant, str(bucket), str(key)))
 
     def _handle_faults(self, route: Route, frontend: BrokerFrontend) -> None:
         """Runtime fault injection: the chaos-tooling admin surface.

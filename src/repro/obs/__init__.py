@@ -1,12 +1,12 @@
-"""Dependency-free observability layer: metrics, tracing, structured logs.
+"""Dependency-free observability layer: metrics, events, history, SLOs.
 
-Three small, self-contained modules that every other layer threads
-through:
+Small, self-contained modules that every other layer threads through:
 
 :mod:`repro.obs.metrics`
     Thread-safe counters, gauges and fixed-bucket latency histograms
     collected in a :class:`~repro.obs.metrics.MetricsRegistry`, rendered
-    as Prometheus text exposition or JSON for ``GET /metrics``.
+    as Prometheus text exposition (0.0.4 or OpenMetrics 1.0) or JSON for
+    ``GET /metrics``.
 
 :mod:`repro.obs.trace`
     Per-request traces carried in a :mod:`contextvars` variable so phase
@@ -18,10 +18,25 @@ through:
     A structured logger (JSON or human-readable text lines) that stamps
     every event with the current trace id.
 
+:mod:`repro.obs.events`
+    A bounded ring journal of typed control-plane decision events
+    (placements, migrations, breaker trips, scrub verdicts, hedges, WAL
+    snapshots) served at ``GET /events``.
+
+:mod:`repro.obs.history`
+    A downsampled time-series ring over the registry — the trend data
+    behind ``GET /history`` and `repro top`'s sparklines.
+
+:mod:`repro.obs.slo`
+    Declarative SLO rules with multi-window burn-rate alerting over the
+    history ring, served at ``GET /alerts``.
+
 Nothing here imports the rest of the package, so any module can depend
 on ``repro.obs`` without cycles.
 """
 
+from repro.obs.events import EventJournal, NULL_JOURNAL, resolve_journal
+from repro.obs.history import MetricsHistory
 from repro.obs.logging import LogConfig, StructuredLogger, configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -29,6 +44,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     quantile_from_buckets,
 )
+from repro.obs.slo import DEFAULT_SLO_RULES, SloMonitor, SloRule, parse_slo_rule
 from repro.obs.trace import (
     Trace,
     current_trace,
@@ -42,9 +58,15 @@ from repro.obs.trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLO_RULES",
+    "EventJournal",
     "LogConfig",
+    "MetricsHistory",
     "MetricsRegistry",
+    "NULL_JOURNAL",
     "NULL_REGISTRY",
+    "SloMonitor",
+    "SloRule",
     "StructuredLogger",
     "Trace",
     "configure_logging",
@@ -53,7 +75,9 @@ __all__ = [
     "end_trace",
     "get_logger",
     "new_trace_id",
+    "parse_slo_rule",
     "quantile_from_buckets",
+    "resolve_journal",
     "span",
     "start_trace",
     "wrap_for_thread",

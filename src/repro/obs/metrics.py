@@ -514,6 +514,49 @@ class MetricsRegistry:
                     )
         return "\n".join(lines) + "\n" if lines else ""
 
+    def render_openmetrics(self) -> str:
+        """OpenMetrics 1.0 text exposition.
+
+        Differences from the 0.0.4 format that matter here: counter
+        *metadata* drops the ``_total`` suffix (the sample keeps it),
+        and the exposition must end with a ``# EOF`` terminator.
+        """
+        self._run_collectors()
+        lines: List[str] = []
+        for family in self._sorted_families():
+            children = family.children()
+            if not children:
+                continue
+            meta_name = family.name
+            sample_name = family.name
+            if family.kind == "counter":
+                if meta_name.endswith("_total"):
+                    meta_name = meta_name[: -len("_total")]
+                sample_name = meta_name + "_total"
+            lines.append(f"# HELP {meta_name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {meta_name} {family.kind}")
+            for labelvalues, child in children:
+                if family.kind == "histogram":
+                    cumulative, total, acc = child.snapshot()
+                    names = family.labelnames + ("le",)
+                    for bound, count in zip(child.bounds, cumulative):
+                        rendered = _render_labels(
+                            names, labelvalues + (_format_value(bound),)
+                        )
+                        lines.append(f"{meta_name}_bucket{rendered} {count}")
+                    rendered = _render_labels(names, labelvalues + ("+Inf",))
+                    lines.append(f"{meta_name}_bucket{rendered} {total}")
+                    plain = _render_labels(family.labelnames, labelvalues)
+                    lines.append(f"{meta_name}_count{plain} {total}")
+                    lines.append(f"{meta_name}_sum{plain} {_format_value(acc)}")
+                else:
+                    rendered = _render_labels(family.labelnames, labelvalues)
+                    lines.append(
+                        f"{sample_name}{rendered} {_format_value(child.value)}"
+                    )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
     def render_json(self) -> dict:
         """JSON scrape with interpolated quantiles for each histogram."""
         self._run_collectors()

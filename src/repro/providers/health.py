@@ -121,7 +121,10 @@ class HealthTracker:
     Locking: one leaf mutex per provider state plus one for the state
     map; nothing is called while holding either, so the tracker can sit
     under the registry, the engines and the provider operation wrappers
-    without ordering constraints.
+    without ordering constraints.  Breaker transitions are reported to
+    the optional ``on_transition`` callback *after* the state lock is
+    released (same rule), and a callback failure never reaches the data
+    path — the broker points it at the event journal.
     """
 
     def __init__(
@@ -152,6 +155,9 @@ class HealthTracker:
         # state locks, so a bare += would lose increments.
         self._state_epoch = 0
         self._epoch_lock = threading.Lock()
+        #: Optional ``fn(name, old_state, new_state, info)`` observer of
+        #: breaker transitions, invoked outside the state lock.
+        self.on_transition: Optional[Callable[[str, str, str, dict], None]] = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -168,14 +174,32 @@ class HealthTracker:
         with self._epoch_lock:
             self._state_epoch += 1
 
-    def _maybe_half_open(self, state: _State) -> None:
-        """Lazy ``open`` → ``half_open`` transition (caller holds lock)."""
+    def _maybe_half_open(self, state: _State) -> Optional[tuple]:
+        """Lazy ``open`` → ``half_open`` transition (caller holds lock).
+
+        Returns the transition record for the caller to report once the
+        lock is released, or ``None`` when nothing changed.
+        """
         if state.breaker == BREAKER_OPEN and state.opened_at is not None:
             if self.clock() - state.opened_at >= self.cooldown_s:
                 state.breaker = BREAKER_HALF_OPEN
                 state.probes_in_flight = 0
                 state.probe_successes = 0
                 self._bump_epoch()
+                return (BREAKER_OPEN, BREAKER_HALF_OPEN,
+                        {"cooldown_s": self.cooldown_s})
+        return None
+
+    def _report(self, name: str, transitions) -> None:
+        """Deliver queued transition records (no locks held here)."""
+        sink = self.on_transition
+        if sink is None:
+            return
+        for old, new, info in transitions:
+            try:
+                sink(name, old, new, info)
+            except Exception:  # noqa: BLE001 — an observer must never
+                pass  # break the data path.
 
     # -- observation (called by every backend operation) -------------------
 
@@ -191,8 +215,11 @@ class HealthTracker:
         """
         state = self._state(name)
         a = self.alpha
+        transitions = []
         with state.lock:
-            self._maybe_half_open(state)
+            lazy = self._maybe_half_open(state)
+            if lazy is not None:
+                transitions.append(lazy)
             if state.observations == 0:
                 state.ewma_latency_s = latency_s
             else:
@@ -209,26 +236,39 @@ class HealthTracker:
                         state.breaker = BREAKER_CLOSED
                         state.opened_at = None
                         self._bump_epoch()
-                return
-            if not transient:
-                return
-            state.failures += 1
-            state.consecutive_failures += 1
-            if state.breaker == BREAKER_HALF_OPEN:
-                # A probe failed: the provider is still sick — reopen and
-                # restart the cooldown.
-                state.breaker = BREAKER_OPEN
-                state.opened_at = self.clock()
-                state.opens += 1
-                self._bump_epoch()
-            elif (
-                state.breaker == BREAKER_CLOSED
-                and state.consecutive_failures >= self.open_after
-            ):
-                state.breaker = BREAKER_OPEN
-                state.opened_at = self.clock()
-                state.opens += 1
-                self._bump_epoch()
+                        transitions.append(
+                            (BREAKER_HALF_OPEN, BREAKER_CLOSED,
+                             {"probe_successes": state.probe_successes})
+                        )
+            elif transient:
+                state.failures += 1
+                state.consecutive_failures += 1
+                if state.breaker == BREAKER_HALF_OPEN:
+                    # A probe failed: the provider is still sick — reopen
+                    # and restart the cooldown.
+                    state.breaker = BREAKER_OPEN
+                    state.opened_at = self.clock()
+                    state.opens += 1
+                    self._bump_epoch()
+                    transitions.append(
+                        (BREAKER_HALF_OPEN, BREAKER_OPEN,
+                         {"opens": state.opens, "reason": "probe-failed"})
+                    )
+                elif (
+                    state.breaker == BREAKER_CLOSED
+                    and state.consecutive_failures >= self.open_after
+                ):
+                    state.breaker = BREAKER_OPEN
+                    state.opened_at = self.clock()
+                    state.opens += 1
+                    self._bump_epoch()
+                    transitions.append(
+                        (BREAKER_CLOSED, BREAKER_OPEN,
+                         {"opens": state.opens,
+                          "consecutive_failures": state.consecutive_failures})
+                    )
+        if transitions:
+            self._report(name, transitions)
 
     # -- queries -----------------------------------------------------------
 
@@ -236,8 +276,11 @@ class HealthTracker:
         """Current breaker state (applies the lazy cooldown transition)."""
         state = self._state(name)
         with state.lock:
-            self._maybe_half_open(state)
-            return state.breaker
+            lazy = self._maybe_half_open(state)
+            breaker = state.breaker
+        if lazy is not None:
+            self._report(name, [lazy])
+        return breaker
 
     def allows_placement(self, name: str) -> bool:
         """True when new placements may target this provider.
@@ -259,15 +302,19 @@ class HealthTracker:
         """
         state = self._state(name)
         with state.lock:
-            self._maybe_half_open(state)
+            lazy = self._maybe_half_open(state)
             if state.breaker == BREAKER_CLOSED:
-                return True
-            if state.breaker == BREAKER_OPEN:
-                return False
-            if state.probes_in_flight >= self.half_open_probes:
-                return False
-            state.probes_in_flight += 1
-            return True
+                admitted = True
+            elif state.breaker == BREAKER_OPEN:
+                admitted = False
+            elif state.probes_in_flight >= self.half_open_probes:
+                admitted = False
+            else:
+                state.probes_in_flight += 1
+                admitted = True
+        if lazy is not None:
+            self._report(name, [lazy])
+        return admitted
 
     def latency_of(self, name: str) -> float:
         state = self._state(name)
@@ -283,18 +330,21 @@ class HealthTracker:
         """True when the provider looks degraded (slow, flaky, or tripped)."""
         state = self._state(name)
         with state.lock:
-            self._maybe_half_open(state)
-            return (
+            lazy = self._maybe_half_open(state)
+            suspect = (
                 state.breaker != BREAKER_CLOSED
                 or state.ewma_latency_s > slow_threshold_s
                 or state.ewma_error_rate > 0.25
             )
+        if lazy is not None:
+            self._report(name, [lazy])
+        return suspect
 
     def view(self, name: str) -> ProviderHealthView:
         state = self._state(name)
         with state.lock:
-            self._maybe_half_open(state)
-            return ProviderHealthView(
+            lazy = self._maybe_half_open(state)
+            snapshot = ProviderHealthView(
                 name=name,
                 breaker=state.breaker,
                 ewma_latency_s=state.ewma_latency_s,
@@ -304,6 +354,9 @@ class HealthTracker:
                 consecutive_failures=state.consecutive_failures,
                 opens=state.opens,
             )
+        if lazy is not None:
+            self._report(name, [lazy])
+        return snapshot
 
     def describe(self) -> Dict[str, dict]:
         """JSON-ready per-provider health map (``/stats``' health block)."""

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.cluster.metadata import VersionedValue
+from repro.obs.events import resolve_journal
 from repro.providers.pricing import ProviderSpec
 from repro.storage.segment import FileChunkStore
 from repro.storage.wal import Journal, fsync_directory, load_snapshot, write_snapshot
@@ -71,6 +72,7 @@ class DurabilityManager:
         snapshot_every_records: int = 4096,
         segment_max_bytes: int = 64 * 1024 * 1024,
         metrics=None,
+        events=None,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.sync = sync
@@ -93,6 +95,8 @@ class DurabilityManager:
         self._replaying = False
         self.recovery_report: Dict[str, object] = {}
         self.snapshots_written = 0
+        # Decision-event journal (distinct from self.journal, the WAL).
+        self.events = resolve_journal(events)
 
     # -- data-dir ownership ------------------------------------------------
 
@@ -309,11 +313,19 @@ class DurabilityManager:
                             for entry in broker.cluster.pending_deletes.entries
                         ],
                     }
+                    wal_bytes = self.journal.size_bytes()
                     write_snapshot(self.snapshot_path, state)
                     self.journal.truncate()
                 with self._counter_lock:
+                    records_since = self._records_since_snapshot
                     self._records_since_snapshot = 0
                 self.snapshots_written += 1
+        self.events.emit(
+            "wal.snapshot",
+            wal_bytes_truncated=wal_bytes,
+            records_since_snapshot=records_since,
+            snapshots_written=self.snapshots_written,
+        )
 
     # -- introspection / lifecycle ----------------------------------------
 

@@ -32,6 +32,7 @@ from repro.providers.provider import (
     ProviderUnavailableError,
 )
 from repro.providers.registry import ProviderRegistry
+from repro.obs.events import resolve_journal
 from repro.storage.backend import VERIFY_MISSING, VERIFY_OK
 from repro.types import ObjectMeta, raw_chunk_refs
 
@@ -111,6 +112,7 @@ class Scrubber:
         batch_size: int = 64,
         yield_fn: Optional[Callable[[], None]] = None,
         metrics=None,
+        journal=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -118,6 +120,7 @@ class Scrubber:
         self.registry = registry
         self.batch_size = batch_size
         self.yield_fn = yield_fn
+        self.journal = resolve_journal(journal)
         self.last_report: Optional[ScrubReport] = None
         self._m_batches = None
         if metrics is not None and metrics.enabled:
@@ -240,6 +243,19 @@ class Scrubber:
                     status=status,
                     repaired=fixed,
                 )
+            )
+        if damaged:
+            # One verdict per damaged object — clean objects stay silent
+            # so a full-store scrub cannot flood the ring.
+            self.journal.emit(
+                "scrub.verdict",
+                key=f"{meta.container}/{meta.key}",
+                damaged=len(damaged),
+                repaired=sum(
+                    1 for s, i, p, _ in damaged if repaired.get((s, i, p))
+                ),
+                providers=sorted({p for _, _, p, _ in damaged}),
+                statuses=sorted({status for _, _, _, status in damaged}),
             )
 
     def _sweep_orphans(self, report: ScrubReport) -> None:

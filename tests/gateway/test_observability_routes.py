@@ -1,0 +1,245 @@
+"""The observability routes: /events, /history, /alerts, /explain.
+
+Also the two wire-contract regressions this surface rides on: every
+error response carries ``X-Request-Id`` (404/412/416/500/503 alike), and
+``GET /metrics`` honors ``Accept: application/openmetrics-text`` with a
+spec-terminated OpenMetrics 1.0 exposition.
+"""
+
+import json
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.gateway.client import GatewayClient, GatewayError
+from repro.gateway.frontend import BrokerFrontend
+from repro.gateway.server import ScaliaGateway
+from repro.providers.faults import parse_fault_spec
+from repro.providers.pricing import paper_catalog
+from repro.providers.registry import ProviderRegistry
+
+
+@pytest.fixture()
+def stack():
+    registry = ProviderRegistry(paper_catalog())
+    broker = Scalia(registry)
+    frontend = BrokerFrontend(broker)
+    gw = ScaliaGateway(frontend, port=0).start()
+    host, port = gw.address
+    client = GatewayClient(host, port)
+    yield registry, broker, frontend, client
+    client.close()
+    gw.close()
+    frontend.close()
+
+
+class TestEventsRoute:
+    def test_put_lands_a_placement_event(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "cat.gif", b"x" * 4000)
+        doc = client.events(type="placement.chosen")
+        assert doc["count"] == 1
+        (event,) = doc["events"]
+        assert event["placement"]
+        assert event["candidates"][0]["providers"]
+        assert doc["latest_seq"] >= event["seq"]
+        assert doc["stats"]["emitted"] >= 1
+
+    def test_key_filter_translates_bucket_names(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        client.put("photos", "b.bin", b"x" * 100)
+        doc = client.events(key="photos/b.bin")
+        assert doc["count"] == 1
+        assert doc["events"][0]["key"].endswith("photos/b.bin")
+
+    def test_since_cursor_and_limit(self, stack):
+        _, _, _, client = stack
+        for i in range(4):
+            client.put("photos", f"k{i}", b"x" * 100)
+        cursor = client.events()["latest_seq"]
+        assert client.events(since=cursor)["count"] == 0
+        client.put("photos", "k-new", b"x" * 100)
+        fresh = client.events(since=cursor)
+        assert fresh["count"] == 1
+        assert client.events(limit=2)["count"] == 2
+
+    def test_malformed_since_is_400_and_post_is_405(self, stack):
+        _, _, _, client = stack
+        status, _, _ = client._request("GET", "/events?since=abc")
+        assert status == 400
+        status, headers, _ = client._request("POST", "/events")
+        assert status == 405
+        assert headers.get("allow") == "GET"
+
+
+class TestHistoryAndAlertsRoutes:
+    def test_history_serves_series_after_traffic(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        doc = client.history()
+        assert doc["snapshots"] >= 1
+        assert "requests.total" in doc["series"]
+        assert "cost.per_gb_period" in doc["series"]
+
+    def test_series_and_window_filters(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        doc = client.history(series="provider.up.", window="5m")
+        assert doc["series"]
+        assert all(name.startswith("provider.up.") for name in doc["series"])
+        assert doc["window_s"] == 300.0
+        for window in ("300", "90s", "5m", "2h"):
+            client.history(window=window)  # all syntaxes accepted
+
+    def test_malformed_window_is_400(self, stack):
+        _, _, _, client = stack
+        for bad in ("bogus", "-5s", "0"):
+            status, _, _ = client._request("GET", f"/history?window={bad}")
+            assert status == 400, bad
+
+    def test_alerts_document_shape(self, stack):
+        _, _, _, client = stack
+        doc = client.alerts()
+        assert {r["name"] for r in doc["rules"]} == {"availability", "p99"}
+        for alert in doc["alerts"]:
+            assert set(alert["burn"]) == {"fast", "slow"}
+            assert alert["active"] is False
+        assert doc["active"] == []
+
+
+class TestExplainRoute:
+    def test_explain_roundtrip(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "cat.gif", b"x" * 4000)
+        doc = client.explain("photos", "cat.gif")
+        assert doc["found"] is True
+        assert doc["bucket"] == "photos"
+        assert doc["key"] == "cat.gif"
+        assert doc["placement"]["providers"]
+        assert doc["costs"]["current"] > 0
+        assert doc["costs"]["full_replication"] >= doc["costs"]["current"]
+        assert any(e["type"] == "placement.chosen" for e in doc["events"])
+        assert doc["last_migration"] is None
+
+    def test_missing_object_is_404(self, stack):
+        _, _, _, client = stack
+        with pytest.raises(GatewayError) as err:
+            client.explain("photos", "nope")
+        assert err.value.status == 404
+
+    def test_bad_bodies_are_400(self, stack):
+        _, _, _, client = stack
+        for body in (b"not json", b"[1,2]", b"{}"):
+            status, _, _ = client._request(
+                "POST", "/explain", body, {"Content-Type": "application/json"}
+            )
+            assert status == 400, body
+
+    def test_get_is_405_with_allow(self, stack):
+        _, _, _, client = stack
+        status, headers, _ = client._request("GET", "/explain")
+        assert status == 405
+        assert headers.get("allow") == "POST"
+
+    def test_query_params_work_without_a_body(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "cat.gif", b"x" * 400)
+        status, _, payload = client._request(
+            "POST", "/explain?bucket=photos&key=cat.gif", b""
+        )
+        assert status == 200
+        assert json.loads(payload)["found"] is True
+
+
+class TestRequestIdOnErrorPaths:
+    """Every error status must carry X-Request-Id for log correlation."""
+
+    def test_404_not_found(self, stack):
+        _, _, _, client = stack
+        status, headers, _ = client._request("GET", "/photos/missing")
+        assert status == 404
+        assert headers.get("x-request-id")
+
+    def test_412_precondition_failed(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        status, headers, _ = client._request(
+            "GET", "/photos/a.bin", headers={"If-Match": '"not-the-etag"'}
+        )
+        assert status == 412
+        assert headers.get("x-request-id")
+
+    def test_416_unsatisfiable_range(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        status, headers, _ = client._request(
+            "GET", "/photos/a.bin", headers={"Range": "bytes=5-2"}
+        )
+        assert status == 416
+        assert headers.get("x-request-id")
+
+    def test_500_unexpected_server_error(self, stack):
+        _, _, frontend, client = stack
+
+        def boom():
+            raise RuntimeError("injected server bug")
+
+        frontend.stats = boom
+        status, headers, payload = client._request("GET", "/stats")
+        assert status == 500
+        assert headers.get("x-request-id")
+        assert json.loads(payload)["status"] == 500
+
+    def test_503_backend_unavailable(self, stack):
+        registry, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        for spec in registry.specs():
+            registry.set_fault_profile(
+                spec.name, parse_fault_spec("error=1.0,seed=1")
+            )
+        status, headers, _ = client._request("GET", "/photos/a.bin")
+        assert status == 503
+        assert headers.get("x-request-id")
+
+
+class TestOpenMetricsNegotiation:
+    def test_accept_header_switches_to_openmetrics(self, stack):
+        _, _, _, client = stack
+        client.put("photos", "a.bin", b"x" * 100)
+        status, headers, payload = client._request(
+            "GET", "/metrics",
+            headers={"Accept": "application/openmetrics-text; version=1.0.0"},
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("application/openmetrics-text")
+        text = payload.decode("utf-8")
+        assert text.endswith("# EOF\n")
+        assert "" not in text.splitlines()  # no blank separator lines
+        # Counter metadata drops the _total suffix; samples keep it.
+        assert "# TYPE scalia_gateway_requests counter" in text
+        assert "scalia_gateway_requests_total{" in text
+
+    def test_explicit_format_param_wins_over_accept(self, stack):
+        _, _, _, client = stack
+        status, headers, payload = client._request(
+            "GET", "/metrics?format=json",
+            headers={"Accept": "application/openmetrics-text"},
+        )
+        assert status == 200
+        assert "json" in headers["content-type"]
+        assert "metrics" in json.loads(payload)
+        status, headers, _ = client._request("GET", "/metrics?format=openmetrics")
+        assert headers["content-type"].startswith("application/openmetrics-text")
+
+    def test_default_stays_prometheus_text(self, stack):
+        _, _, _, client = stack
+        status, headers, payload = client._request("GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert not payload.decode("utf-8").endswith("# EOF\n")
+
+    def test_unknown_format_is_400(self, stack):
+        _, _, _, client = stack
+        status, _, _ = client._request("GET", "/metrics?format=xml")
+        assert status == 400

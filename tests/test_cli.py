@@ -233,3 +233,113 @@ class TestServeFaultFlags:
         # a traceback.
         assert main(["serve", "--port", "0", "--hedge-deadline-ms", "3000"]) == 2
         assert "bad --hedge-deadline-ms" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    """repro top/events/explain against an in-process gateway."""
+
+    @pytest.fixture()
+    def gateway(self):
+        from repro.gateway.client import GatewayClient
+        from repro.gateway.frontend import BrokerFrontend
+        from repro.gateway.server import ScaliaGateway
+
+        gw = ScaliaGateway(BrokerFrontend(), port=0).start()
+        host, port = gw.address
+        client = GatewayClient(host, port)
+        client.put("photos", "cat.gif", b"x" * 4000)
+        client.get("photos", "cat.gif")
+        client.close()
+        yield gw
+        gw.close()
+
+    def test_top_once_prints_a_single_frame(self, capsys, gateway):
+        assert main(["top", "--once", "--url", gateway.url]) == 0
+        out = capsys.readouterr().out
+        assert out.count("requests ") == 1
+        assert "slo" in out
+        assert "\x1b[2J" not in out  # no screen clearing in one-shot mode
+
+    def test_top_json_emits_combined_document(self, capsys, gateway):
+        import json
+
+        assert main(["top", "--json", "--url", gateway.url]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"metrics", "history", "alerts"}
+        assert "requests.total" in doc["history"]["series"]
+        assert {r["name"] for r in doc["alerts"]["rules"]} == {"availability", "p99"}
+
+    def test_events_lists_and_filters(self, capsys, gateway):
+        assert main(["events", "--url", gateway.url]) == 0
+        out = capsys.readouterr().out
+        assert "placement.chosen" in out
+        assert "photos/cat.gif" in out
+        assert main(
+            ["events", "--type", "migration.", "--url", gateway.url]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no events matched" in captured.err
+
+    def test_events_json_is_one_object_per_line(self, capsys, gateway):
+        import json
+
+        assert main(["events", "--json", "--url", gateway.url]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines
+        assert all("seq" in l and "type" in l for l in lines)
+
+    def test_explain_prints_rationale(self, capsys, gateway):
+        assert main(["explain", "photos/cat.gif", "--url", gateway.url]) == 0
+        out = capsys.readouterr().out
+        assert "placement :" in out
+        assert "full replication" in out
+        assert "never migrated" in out
+        assert "decision log" in out
+
+    def test_explain_bad_target_and_missing_object(self, capsys, gateway):
+        assert main(["explain", "no-slash", "--url", gateway.url]) == 2
+        assert "BUCKET/KEY" in capsys.readouterr().err
+        assert main(["explain", "photos/nope", "--url", gateway.url]) == 1
+        assert "404" in capsys.readouterr().err
+
+
+class TestSparkline:
+    def test_scales_to_the_window(self):
+        from repro.cli import sparkline
+
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series_renders_low(self):
+        from repro.cli import sparkline
+
+        assert sparkline([4.0, 4.0, 4.0]) == "▁▁▁"
+        assert sparkline([]) == ""
+
+    def test_width_keeps_newest(self):
+        from repro.cli import sparkline
+
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+
+class TestServeObservabilityFlags:
+    def test_parser_accepts_event_and_slo_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--no-events", "--event-log", "/tmp/ev.jsonl",
+             "--history-interval", "5", "--slo", "availability:target=99.5%",
+             "--slo", "cost_gb:target=0.05"]
+        )
+        assert args.no_events is True
+        assert args.event_log == "/tmp/ev.jsonl"
+        assert args.history_interval == 5.0
+        assert args.slo == ["availability:target=99.5%", "cost_gb:target=0.05"]
+
+    def test_serve_rejects_malformed_slo(self, capsys):
+        assert main(["serve", "--port", "0", "--slo", "bogus:target=1"]) == 2
+        assert "bad --slo" in capsys.readouterr().err
