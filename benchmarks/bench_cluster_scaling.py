@@ -1,0 +1,261 @@
+"""Cluster read scaling: aggregate GET throughput at 1, 2 and 3 nodes.
+
+The replication design serves reads from every node's local replica
+(the paper's eventually-consistent metadata, §III-D) while writes go
+through the leader.  The capacity claim that justifies the design is
+that adding nodes adds *read* capacity — this benchmark measures it.
+
+On a few-core host raw loopback req/s is GIL-bound and three in-process
+nodes cannot show CPU scaling, so the bench measures the quantity the
+architecture actually multiplies: **provider-latency-bound** serving.
+Every simulated provider gets an injected per-operation latency (a
+stand-in for real cloud RTT, the regime the paper operates in), making
+each GET cost wall-clock *wait* rather than CPU.  Closed-loop clients
+then hammer each node's gateway; with N nodes, N gateways' worth of
+clients wait on N disjoint replicas concurrently, so aggregate req/s
+scales with node count while per-request latency stays flat.
+
+Protocol per node count: preload once through the leader (fault-free),
+wait until every replica has applied the full WAL, install the latency
+profile on every provider of every node, then run
+``CLIENTS_PER_NODE`` closed-loop readers against *each* live gateway
+and report aggregate req/s.  Faults are cleared while a joiner catches
+up so the measurement never times replication, only serving.
+
+Acceptance floor: aggregate read throughput at 3 nodes must exceed
+1.5x the 1-node figure.  Results land in ``BENCH_cluster.json``.
+"""
+
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+# Make `python benchmarks/bench_cluster_scaling.py` work without an
+# installed package or PYTHONPATH (pytest runs get this from conftest.py).
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.broker import Scalia
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import ScaliaGateway
+from repro.obs.logging import LogConfig, StructuredLogger
+from repro.providers.faults import FaultProfile
+from repro.replication.frontend import ClusterFrontend
+from repro.replication.node import ClusterNode
+
+NODE_COUNTS = (1, 2, 3)
+CLIENTS_PER_NODE = 6
+READS_PER_CLIENT = 50
+PRELOAD_KEYS = 48
+PAYLOAD_BYTES = 2048
+GET_LATENCY_MS = 40.0
+MIN_SCALING_1_TO_3 = 1.5
+
+HEARTBEAT = 0.05
+ELECTION = 0.5
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_cluster.json"
+)
+
+
+def _wait_for(predicate, timeout=60.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class _Stack:
+    """One broker + cluster node + gateway, like ``repro serve --join``."""
+
+    def __init__(self, root, tag, join=None):
+        self.broker = Scalia(data_dir=os.path.join(root, tag))
+        self.node = ClusterNode(
+            self.broker,
+            node_id=tag,
+            listen=("127.0.0.1", 0),
+            join=join,
+            heartbeat=HEARTBEAT,
+            election_timeout=ELECTION,
+            rng=random.Random(hash(tag) & 0xFFFF),
+        )
+        self.frontend = ClusterFrontend(self.broker, self.node)
+        quiet = StructuredLogger("gateway", LogConfig(level="warning"))
+        self.gateway = ScaliaGateway(self.frontend, port=0, logger=quiet).start()
+        self.node.gateway_url = self.gateway.url
+        self.node.start()
+
+    def set_latency(self, latency_s):
+        for provider in self.broker.registry.providers():
+            profile = FaultProfile(latency_s=latency_s) if latency_s else None
+            provider.set_fault_profile(profile)
+
+    def close(self):
+        self.gateway.close()
+        self.node.close()
+        self.frontend.close()
+        self.broker.close()
+
+
+def _measure_reads(stacks, keys, *, seed=1):
+    """Closed-loop readers, ``CLIENTS_PER_NODE`` per live gateway."""
+    clients = len(stacks) * CLIENTS_PER_NODE
+    barrier = threading.Barrier(clients + 1)
+    results = [None] * clients
+
+    def worker(wid, stack):
+        rng = random.Random(seed * 7919 + wid)
+        host, port = stack.gateway.address
+        latencies = []
+        errors = 0
+        with GatewayClient(host, port, tenant="bench") as client:
+            barrier.wait()
+            for _ in range(READS_PER_CLIENT):
+                key = rng.choice(keys)
+                start = time.perf_counter()
+                try:
+                    client.get("bench", key)
+                except Exception:  # noqa: BLE001 — counted, not raised
+                    errors += 1
+                latencies.append((time.perf_counter() - start) * 1000.0)
+        results[wid] = (latencies, errors)
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(wid, stacks[wid % len(stacks)]), daemon=True
+        )
+        for wid in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+
+    latencies = sorted(ms for lat, _ in results for ms in lat)
+    errors = sum(e for _, e in results)
+    total = clients * READS_PER_CLIENT
+
+    def pct(p):
+        return latencies[min(len(latencies) - 1, int(p / 100.0 * len(latencies)))]
+
+    return {
+        "nodes": len(stacks),
+        "clients": clients,
+        "requests": total,
+        "rps": round(total / duration, 1),
+        "p50_ms": round(pct(50), 2),
+        "p95_ms": round(pct(95), 2),
+        "p99_ms": round(pct(99), 2),
+        "errors": errors,
+    }
+
+
+def run_bench(root):
+    """Grow a cluster node by node, measuring read throughput at each size."""
+    latency_s = GET_LATENCY_MS / 1000.0
+    stacks = [_Stack(root, "n1")]
+    per_nodes = {}
+    try:
+        leader = stacks[0]
+        _wait_for(leader.node.is_leader, what="bootstrap election")
+
+        keys = [f"obj-{i}" for i in range(PRELOAD_KEYS)]
+        host, port = leader.gateway.address
+        with GatewayClient(host, port, tenant="bench") as client:
+            rng = random.Random(42)
+            for key in keys:
+                client.put("bench", key, rng.randbytes(PAYLOAD_BYTES))
+        leader.node.wait_committed(leader.node.dm.last_seq, timeout=30.0)
+
+        for count in NODE_COUNTS:
+            while len(stacks) < count:
+                tag = f"n{len(stacks) + 1}"
+                joiner = _Stack(root, tag, join=leader.node.rpc_address)
+                stacks.append(joiner)
+                _wait_for(
+                    lambda: joiner.broker.durability.last_seq
+                    >= leader.broker.durability.last_seq,
+                    what=f"{tag} catch-up",
+                )
+            for stack in stacks:
+                stack.set_latency(latency_s)
+            per_nodes[str(count)] = _measure_reads(stacks, keys)
+            for stack in stacks:
+                stack.set_latency(None)
+    finally:
+        for stack in reversed(stacks):
+            stack.close()
+
+    scaling = round(per_nodes["3"]["rps"] / per_nodes["1"]["rps"], 2)
+    return {
+        "clients_per_node": CLIENTS_PER_NODE,
+        "reads_per_client": READS_PER_CLIENT,
+        "preload_keys": PRELOAD_KEYS,
+        "payload_bytes": PAYLOAD_BYTES,
+        "injected_get_latency_ms": GET_LATENCY_MS,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "latency-bound read scaling: every provider operation sleeps an "
+            "injected cloud-RTT stand-in, so aggregate req/s measures how "
+            "many replicas serve concurrently rather than loopback CPU "
+            "(which the GIL caps on few-core hosts). Reads are follower-"
+            "local by design; each node count runs CLIENTS_PER_NODE "
+            "closed-loop readers against each live gateway."
+        ),
+        "read_scaling_1_to_3": scaling,
+        "nodes": per_nodes,
+    }
+
+
+def test_cluster_read_scaling(tmp_path):
+    results = run_bench(str(tmp_path))
+    for count in NODE_COUNTS:
+        row = results["nodes"][str(count)]
+        print(
+            f"\n{count} node(s): {row['rps']} req/s over {row['clients']} "
+            f"clients | p50 {row['p50_ms']}ms p99 {row['p99_ms']}ms "
+            f"| errors {row['errors']}"
+        )
+        assert row["errors"] == 0
+    assert results["read_scaling_1_to_3"] > MIN_SCALING_1_TO_3, (
+        f"aggregate read throughput scaled only "
+        f"{results['read_scaling_1_to_3']}x from 1 to 3 nodes "
+        f"(floor {MIN_SCALING_1_TO_3}x)"
+    )
+
+
+if __name__ == "__main__":
+    root = tempfile.mkdtemp(prefix="bench-cluster-")
+    try:
+        results = run_bench(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    print("--- cluster read scaling "
+          f"({GET_LATENCY_MS:.0f}ms injected provider latency) ---")
+    for count in NODE_COUNTS:
+        row = results["nodes"][str(count)]
+        print(
+            f"{count} node(s): {row['rps']:>7} req/s | {row['clients']:>2} "
+            f"clients | p50 {row['p50_ms']}ms p95 {row['p95_ms']}ms "
+            f"p99 {row['p99_ms']}ms | errors {row['errors']}"
+        )
+    print(f"read scaling 1 -> 3 nodes: {results['read_scaling_1_to_3']}x "
+          f"(floor {MIN_SCALING_1_TO_3}x)")
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(RESULT_PATH)}")
+    if results["read_scaling_1_to_3"] <= MIN_SCALING_1_TO_3:
+        sys.exit(1)

@@ -129,6 +129,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _host_port(spec: str) -> tuple:
+    """Parse ``HOST:PORT`` (bare ``:PORT`` binds/targets 127.0.0.1)."""
+    host, colon, port = spec.rpartition(":")
+    if not colon:
+        raise ValueError(f"want HOST:PORT, got {spec!r}")
+    return (host or "127.0.0.1", int(port))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.controlplane import BackgroundControlPlane
     from repro.obs.logging import configure_logging
@@ -136,6 +144,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.providers.health import HedgePolicy
 
     configure_logging(fmt=args.log_format, level=args.log_level)
+    cluster_listen = cluster_join = None
+    if args.cluster_listen or args.join or args.node_id:
+        if not args.cluster_listen:
+            print("--join/--node-id require --cluster-listen", file=sys.stderr)
+            return 2
+        if not args.data_dir:
+            print(
+                "cluster mode requires --data-dir "
+                "(the metadata WAL is the replication stream)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            cluster_listen = _host_port(args.cluster_listen)
+            cluster_join = _host_port(args.join) if args.join else None
+        except ValueError as exc:
+            print(f"bad cluster endpoint: {exc}", file=sys.stderr)
+            return 2
     registry = ProviderRegistry(paper_catalog(include_cheapstor=args.cheapstor))
     try:
         hedge = HedgePolicy(
@@ -182,7 +208,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"bad --fault {spec!r}: {exc}", file=sys.stderr)
             return 2
         print(f"fault profile installed on {name.strip()}: {profile_spec.strip()}")
-    frontend = BrokerFrontend(broker, mode=args.mode)
+    node = None
+    if cluster_listen is not None:
+        from repro.replication.frontend import ClusterFrontend
+        from repro.replication.node import ClusterNode
+
+        node = ClusterNode(
+            broker,
+            node_id=args.node_id or f"{cluster_listen[0]}:{cluster_listen[1]}",
+            listen=cluster_listen,
+            join=cluster_join,
+            heartbeat=args.heartbeat_ms / 1000.0,
+            election_timeout=args.election_timeout_ms / 1000.0,
+        )
+        frontend = ClusterFrontend(broker, node, mode=args.mode)
+    else:
+        frontend = BrokerFrontend(broker, mode=args.mode)
     gateway = ScaliaGateway(
         frontend,
         host=args.host,
@@ -190,12 +231,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         trace_slow_ms=args.trace_slow_ms,
     )
+    if node is not None:
+        # The gateway URL rides join/heartbeat traffic so followers know
+        # where to forward writes; it only exists once the socket is bound.
+        node.gateway_url = gateway.url
+        node.start()
+        rpc_host, rpc_port = node.rpc_address
+        print(
+            f"cluster node {node.node_id}: rpc {rpc_host}:{rpc_port}, "
+            + (f"joining via {args.join}" if args.join else "bootstrap member")
+            + f" (heartbeat {args.heartbeat_ms:g}ms, "
+            f"election timeout {args.election_timeout_ms:g}ms)"
+        )
     control_plane = None
     if args.tick_every or args.scrub_every:
         control_plane = BackgroundControlPlane(
             broker,
             tick_interval=args.tick_every or None,
             scrub_interval=args.scrub_every or None,
+            # Periodic optimization/scrub is leader-owned in a cluster.
+            gate=node.is_leader if node is not None else None,
         ).start()
         print(
             f"background control plane: tick every {args.tick_every or '-'}s, "
@@ -235,6 +290,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if control_plane is not None:
             control_plane.stop()
         gateway.close()
+        if node is not None:
+            node.close()
         frontend.close()
         # Clean shutdown = snapshot + flush; the next boot recovers without
         # touching the WAL.  A SIGKILLed process skips this and replays.
@@ -779,6 +836,51 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.gateway.client import GatewayError
+
+    try:
+        with _gateway_client(args) as client:
+            doc = client.cluster()
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"cluster status failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"node     : {doc.get('node_id')} ({doc.get('role')}, term {doc.get('term')})")
+    print(f"leader   : {doc.get('leader') or '-'}  "
+          f"gateway {doc.get('leader_gateway') or '-'}")
+    print(f"log      : last_seq={doc.get('last_seq')} "
+          f"commit_seq={doc.get('commit_seq')} "
+          f"last_term={doc.get('last_record_term')} "
+          f"snapshot_floor={doc.get('snapshot_floor_seq')}")
+    members = doc.get("members", {})
+    print(f"quorum   : {doc.get('quorum')} of {len(members)} members  "
+          f"(heartbeat {doc.get('heartbeat_s', 0) * 1000:g}ms, "
+          f"election timeout {doc.get('election_timeout_s', 0) * 1000:g}ms)")
+    if members:
+        print(f"\n{'member':<24} {'rpc endpoint':<22} {'match':>8} {'alive':>6}  gateway")
+        for member_id in sorted(members):
+            info = members[member_id]
+            endpoint = f"{info.get('host')}:{info.get('port')}"
+            match = info.get("match_seq")
+            alive = info.get("alive")
+            marker = " *" if member_id == doc.get("leader") else (
+                " ." if member_id == doc.get("node_id") else "  "
+            )
+            print(
+                f"{member_id + marker:<24} {endpoint:<22} "
+                f"{'-' if match is None else match:>8} "
+                f"{'-' if alive is None else ('yes' if alive else 'NO'):>6}  "
+                f"{info.get('gateway') or '-'}"
+            )
+        print("\n  (* leader, . this node; match/alive known on the leader only)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -875,6 +977,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="os",
         help="durability flush policy: 'os' survives process crashes, "
         "'always' adds fsync (power-loss safe), 'never' is test-only",
+    )
+    serve.add_argument(
+        "--cluster-listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="enable cluster mode: bind the replication RPC endpoint here "
+        "(port 0 picks a free port); requires --data-dir",
+    )
+    serve.add_argument(
+        "--join",
+        default=None,
+        metavar="HOST:PORT",
+        help="an existing member's replication endpoint to join the cluster "
+        "through (omit on the first, bootstrap node)",
+    )
+    serve.add_argument(
+        "--node-id",
+        default=None,
+        help="stable cluster identity for this broker (default: the "
+        "--cluster-listen endpoint; keep it identical across restarts)",
+    )
+    serve.add_argument(
+        "--heartbeat-ms",
+        type=float,
+        default=100.0,
+        help="leader heartbeat interval in cluster mode (default 100)",
+    )
+    serve.add_argument(
+        "--election-timeout-ms",
+        type=float,
+        default=1000.0,
+        help="base election timeout; each node randomizes in [1x, 2x) so "
+        "elections rarely split (default 1000)",
     )
     serve.add_argument(
         "--fault",
@@ -1055,6 +1190,19 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--json", action="store_true", help="one JSON object per line")
     add_gateway_args(events)
     events.set_defaults(func=_cmd_events)
+
+    cluster = sub.add_parser(
+        "cluster", help="inspect a multi-node broker cluster"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_status = cluster_sub.add_parser(
+        "status", help="one node's view: role, term, members, replication lag"
+    )
+    cluster_status.add_argument(
+        "--json", action="store_true", help="raw /cluster document"
+    )
+    add_gateway_args(cluster_status)
+    cluster_status.set_defaults(func=_cmd_cluster_status)
 
     explain = sub.add_parser(
         "explain",

@@ -1,16 +1,30 @@
 """Leader election among stateless engines (Figure 7).
 
 The periodic optimization procedure is coordinated by "a leader, elected
-among all engines from all datacenters".  We use a heartbeat-lease election:
-members heartbeat a logical clock; the leader is the lexicographically
-smallest member whose lease has not expired.  The scheme is deterministic
-(tests can drive time) and survives engine failures by construction — when
-the leader stops heartbeating, leadership moves to the next live member.
+among all engines from all datacenters".  Two implementations live here:
+
+:class:`HeartbeatElection`
+    The original in-process lease scheme — members heartbeat a logical
+    clock; the leader is the lexicographically smallest member whose
+    lease has not expired.  Deterministic (tests drive time), still used
+    by the single-process simulations.
+
+:class:`ElectionState`
+    The term-based election state machine the networked cluster uses
+    (:mod:`repro.replication.node` drives it over TCP).  Raft-style:
+    randomized election timeouts, one vote per term, and a vote
+    restriction — a voter refuses candidates whose WAL
+    ``(last record term, last sequence)`` is behind its own — which is
+    what makes quorum-acknowledged writes survive leader death.  This
+    class is pure state + rules (injectable clock and RNG, no I/O), so
+    elections are unit-testable without sockets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class HeartbeatElection:
@@ -50,3 +64,153 @@ class HeartbeatElection:
     def is_leader(self, member_id: str, now: float) -> bool:
         """True when ``member_id`` currently holds leadership."""
         return self.leader(now) == member_id
+
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+class ElectionState:
+    """Term-based election rules for one cluster node (no I/O).
+
+    The caller (a :class:`~repro.replication.node.ClusterNode`) owns the
+    lock and the network; this class owns the decisions.  All methods
+    assume the caller serializes access.
+
+    Fencing invariant: ``term`` never decreases, every message carries
+    the sender's term, and :meth:`observe_term` steps down on a higher
+    one — so a deposed leader's replication calls are rejected by
+    followers already on the new term, and its own next heartbeat
+    response deposes it.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        election_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if election_timeout <= 0:
+            raise ValueError("election_timeout must be > 0")
+        self.node_id = node_id
+        self.election_timeout = election_timeout
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self.role = FOLLOWER
+        self.term = 0
+        self.voted_for: Optional[str] = None
+        self.leader_id: Optional[str] = None
+        self._votes: set = set()
+        self._deadline = 0.0
+        self.reset_deadline()
+
+    # -- timeouts ----------------------------------------------------------
+
+    def reset_deadline(self) -> None:
+        """Push the election deadline out by a randomized timeout.
+
+        The [1x, 2x) spread is what breaks split votes: two nodes that
+        time out together are unlikely to time out together twice.
+        """
+        self._deadline = self._clock() + self.election_timeout * (
+            1.0 + self._rng.random()
+        )
+
+    def election_due(self) -> bool:
+        """True when no leader contact arrived within the timeout."""
+        return self.role != LEADER and self._clock() >= self._deadline
+
+    def note_heartbeat(self, term: int, leader_id: str) -> bool:
+        """A leader's append/heartbeat arrived; returns acceptance.
+
+        Rejected (``False``) when the sender's term is stale — the fence
+        that makes a deposed leader harmless.  Acceptance records the
+        leader and defers the election.
+        """
+        if term < self.term:
+            return False
+        if term > self.term or self.role != FOLLOWER:
+            self._enter_term(term)
+        self.leader_id = leader_id
+        self.reset_deadline()
+        return True
+
+    def observe_term(self, term: int) -> bool:
+        """Adopt a higher term seen in any message; returns True if stepped."""
+        if term > self.term:
+            self._enter_term(term)
+            self.reset_deadline()
+            return True
+        return False
+
+    def _enter_term(self, term: int) -> None:
+        self.term = term
+        self.role = FOLLOWER
+        self.voted_for = None
+        self.leader_id = None
+        self._votes = set()
+
+    # -- candidacy ---------------------------------------------------------
+
+    def start_election(self) -> int:
+        """Become a candidate in a fresh term, voting for self."""
+        self.term += 1
+        self.role = CANDIDATE
+        self.voted_for = self.node_id
+        self.leader_id = None
+        self._votes = {self.node_id}
+        self.reset_deadline()
+        return self.term
+
+    @property
+    def votes_received(self) -> int:
+        """Ballots counted for this candidacy (including our own)."""
+        return len(self._votes)
+
+    def record_vote(self, voter_id: str, term: int, granted: bool, quorum: int) -> bool:
+        """Count one vote reply; returns True when this wins the election."""
+        if self.role != CANDIDATE or term != self.term or not granted:
+            return False
+        self._votes.add(voter_id)
+        return len(self._votes) >= quorum
+
+    def become_leader(self) -> None:
+        self.role = LEADER
+        self.leader_id = self.node_id
+
+    def step_down(self) -> None:
+        """Drop leadership/candidacy without changing term (lost quorum)."""
+        self.role = FOLLOWER
+        self.leader_id = None
+        self._votes = set()
+        self.reset_deadline()
+
+    # -- voting ------------------------------------------------------------
+
+    def grant_vote(
+        self,
+        candidate_id: str,
+        term: int,
+        candidate_log: Tuple[int, int],
+        own_log: Tuple[int, int],
+    ) -> bool:
+        """Decide a vote request; logs compare as (last term, last seq).
+
+        The restriction — grant only when the candidate's log is at least
+        as complete as ours — combined with majority quorums on both
+        commit and election means every elected leader holds every
+        quorum-acknowledged record (the Raft safety argument).
+        """
+        if term < self.term:
+            return False
+        self.observe_term(term)
+        if self.voted_for is not None and self.voted_for != candidate_id:
+            return False
+        if candidate_log < own_log:
+            return False
+        self.voted_for = candidate_id
+        self.reset_deadline()
+        return True

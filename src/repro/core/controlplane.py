@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs.logging import get_logger
 from repro.obs.trace import end_trace, start_trace
@@ -55,6 +55,7 @@ class BackgroundControlPlane:
         *,
         tick_interval: Optional[float] = None,
         scrub_interval: Optional[float] = None,
+        gate: Optional[Callable[[], bool]] = None,
     ) -> None:
         if tick_interval is not None and tick_interval <= 0:
             raise ValueError("tick_interval must be > 0 seconds")
@@ -63,6 +64,11 @@ class BackgroundControlPlane:
         self.broker = broker
         self.tick_interval = tick_interval
         self.scrub_interval = scrub_interval
+        # In cluster mode the elected leader owns the periodic work
+        # (Section III-C): the gate is checked before each round, so a
+        # node that loses leadership skips its rounds without restarting
+        # the workers, and a newly elected one picks them up.
+        self._gate = gate
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self.ticks_run = 0
@@ -144,7 +150,8 @@ class BackgroundControlPlane:
 
     def _loop(self, interval: float, work) -> None:
         while not self._stop.wait(interval):
-            work()
+            if self._gate is None or self._gate():
+                work()
 
     def _tick_once(self) -> None:
         # Background rounds mint their own trace: their lock waits and

@@ -9,6 +9,7 @@ as called out in DESIGN.md's performance notes.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import math
 from dataclasses import dataclass
@@ -62,6 +63,34 @@ class SyntheticChunk:
 
 
 AnyChunk = Union[Chunk, SyntheticChunk]
+
+
+def chunk_to_doc(chunk: AnyChunk) -> dict:
+    """JSON-safe document for one chunk (the WAL replication stream).
+
+    Real chunks carry their payload base64-encoded plus the checksum;
+    synthetic chunks carry only the byte size, mirroring their in-memory
+    shape.
+    """
+    if isinstance(chunk, SyntheticChunk):
+        return {"i": chunk.index, "s": chunk.size}
+    return {
+        "i": chunk.index,
+        "d": base64.b64encode(chunk.data).decode("ascii"),
+        "h": chunk.checksum,
+    }
+
+
+def chunk_from_doc(doc: dict) -> AnyChunk:
+    """Inverse of :func:`chunk_to_doc`."""
+    if "d" in doc:
+        return Chunk(
+            index=int(doc["i"]),
+            data=base64.b64decode(doc["d"]),
+            checksum=str(doc["h"]),
+        )
+    return SyntheticChunk(index=int(doc["i"]), size=int(doc["s"]))
+
 
 _DEFAULT_CACHE = CodeCache()
 

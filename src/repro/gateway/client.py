@@ -540,6 +540,10 @@ class GatewayClient:
             "POST", "/explain", body, {"Content-Type": "application/json"}
         )
 
+    def cluster(self) -> dict:
+        """``GET /cluster``: this node's cluster status document."""
+        return self._json("GET", "/cluster")
+
     def tick(self, periods: int = 1) -> dict:
         return self._json("POST", f"/tick?periods={periods}")
 

@@ -522,6 +522,25 @@ class BrokerFrontend:
             "recovery": self.broker.recovery,
         }
 
+    # -- cluster surface (no-op defaults; ClusterFrontend overrides) -------
+
+    def requires_leader(self, kind: str, method: str) -> bool:
+        """Whether the HTTP layer must forward this route to the leader.
+
+        A standalone broker is its own leader for everything.
+        """
+        return False
+
+    def leader_gateway_url(self) -> Optional[str]:
+        return None
+
+    def is_leader(self) -> bool:
+        return True
+
+    def cluster_status(self) -> Optional[Dict[str, Any]]:
+        """``GET /cluster`` document, or ``None`` when not clustered."""
+        return None
+
     def _snapshot(self) -> Dict[str, Any]:
         broker = self.broker
         costs = broker.costs()

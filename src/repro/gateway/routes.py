@@ -62,6 +62,7 @@ from repro.providers.provider import (
     ProviderUnavailableError,
 )
 from repro.providers.registry import UnknownProviderError
+from repro.replication.errors import ClusterUnavailableError, NotLeaderError
 
 #: Methods object routes accept (POST only with multipart query params).
 OBJECT_ALLOW = "DELETE, GET, HEAD, POST, PUT"
@@ -160,6 +161,10 @@ def parse_route(method: str, target: str) -> Route:
                 "faults supports GET and POST", status=405, allow="GET, POST"
             )
         return Route("faults", params=params)
+    if path in ("/cluster", "/cluster/"):
+        if method != "GET":
+            raise RouteError("cluster only supports GET", status=405, allow="GET")
+        return Route("cluster", params=params)
 
     stripped = path.lstrip("/")
     if not stripped:
@@ -304,5 +309,7 @@ def status_for_exception(exc: BaseException) -> int:
     if isinstance(exc, ChunkTooLargeError):
         return 400
     if isinstance(exc, (ReadFailedError, ProviderUnavailableError, ChunkCorruptionError)):
+        return 503
+    if isinstance(exc, (ClusterUnavailableError, NotLeaderError)):
         return 503
     return 500

@@ -25,6 +25,7 @@ import base64
 import binascii
 import email.utils
 import hashlib
+import http.client
 import json
 import os
 import tempfile
@@ -32,6 +33,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Iterator, Optional, Tuple
+from urllib.parse import urlsplit
 
 from repro import __version__
 from repro.cluster.engine import InvalidRangeError
@@ -49,6 +51,7 @@ from repro.gateway.routes import (
     status_for_exception,
 )
 from repro.providers.registry import UnknownProviderError
+from repro.replication.errors import ClusterUnavailableError, NotLeaderError
 
 #: Largest accepted object payload (keeps a stray client from filling the
 #: providers by accident; real S3 caps single PUTs at 5 GiB).
@@ -73,6 +76,9 @@ SIM_EPOCH = 1325376000.0
 DEFAULT_TENANT = "public"
 TENANT_HEADER = "x-scalia-tenant"
 RULE_HEADER = "x-scalia-rule"
+#: Marks a request a follower already relayed once — a leader flap must
+#: surface as a 503 to the client, never a forwarding loop.
+FORWARDED_HEADER = "x-scalia-forwarded"
 
 
 def _parse_window(raw: Optional[str]) -> Optional[float]:
@@ -191,6 +197,18 @@ class GatewayHandler(BaseHTTPRequestHandler):
                 allow = getattr(exc, "allow", None)
                 if getattr(exc, "status", None) == 405 and allow:
                     extra["Allow"] = allow
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    # Elections settle within a couple of timeouts; tell
+                    # the client when to come back instead of hanging.
+                    extra["Retry-After"] = str(max(1, int(round(retry_after))))
+                if isinstance(exc, (ClusterUnavailableError, NotLeaderError)):
+                    server.frontend.events.emit(
+                        "cluster.unavailable",
+                        reason=message,
+                        method=self.command,
+                        route=route_kind,
+                    )
                 self._send_error(status_for_exception(exc), message, extra_headers=extra)
         finally:
             duration = time.perf_counter() - started
@@ -252,6 +270,9 @@ class GatewayHandler(BaseHTTPRequestHandler):
     def _handle(self, route: Route) -> None:
         frontend = self.server.frontend
         tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT)
+        if frontend.requires_leader(route.kind, self.command) and not frontend.is_leader():
+            self._forward_to_leader(route)
+            return
         if route.kind == "health":
             status = frontend.recovery_status()
             self._send_json(
@@ -289,12 +310,76 @@ class GatewayHandler(BaseHTTPRequestHandler):
             self._send_json(200, frontend.scrub(repair=repair))
         elif route.kind == "faults":
             self._handle_faults(route, frontend)
+        elif route.kind == "cluster":
+            doc = frontend.cluster_status()
+            if doc is None:
+                raise RouteError("this gateway is not part of a cluster", status=404)
+            self._send_json(200, doc)
         elif route.kind == "list":
             self._handle_list(route, frontend, tenant)
         elif route.kind == "object":
             self._handle_object(route, frontend, tenant)
         else:  # pragma: no cover — parse_route only emits the kinds above
             raise RouteError(f"unroutable kind {route.kind!r}")
+
+    def _forward_to_leader(self, route: Route) -> None:
+        """Relay a write from a follower to the leader's gateway, verbatim.
+
+        Forwarding happens at the HTTP layer — the raw response (status,
+        body, ETag, placement headers) is copied back — so the follower
+        never has to reconstruct broker objects from JSON.  One hop only:
+        a request already carrying the forwarded marker means leadership
+        moved mid-flight, and the client gets the 503 + Retry-After it
+        can act on.
+        """
+        frontend = self.server.frontend
+        if self.headers.get(FORWARDED_HEADER):
+            raise ClusterUnavailableError(
+                "leadership changed while the request was being forwarded"
+            )
+        leader_url = frontend.leader_gateway_url()
+        if not leader_url:
+            raise ClusterUnavailableError("no cluster leader elected")
+        parsed = urlsplit(leader_url)
+        payload, length = self._body_payload()
+        try:
+            headers = {FORWARDED_HEADER: "1", "Content-Length": str(length)}
+            for name in ("content-type", "content-md5", TENANT_HEADER, RULE_HEADER):
+                value = self.headers.get(name)
+                if value:
+                    headers[name] = value
+            conn = http.client.HTTPConnection(
+                parsed.hostname, parsed.port, timeout=60.0
+            )
+            try:
+                conn.request(
+                    self.command,
+                    self.path,
+                    body=payload if length else None,
+                    headers=headers,
+                )
+                response = conn.getresponse()
+                body = response.read()
+                relay = {}
+                for name, value in response.getheaders():
+                    lower = name.lower()
+                    if lower in ("etag", "retry-after") or (
+                        lower.startswith("x-scalia-") and lower != FORWARDED_HEADER
+                    ):
+                        relay[name] = value
+                content_type = response.getheader("Content-Type", "application/json")
+            finally:
+                conn.close()
+        except OSError as exc:
+            raise ClusterUnavailableError(
+                f"cluster leader unreachable: {exc}"
+            ) from None
+        finally:
+            if hasattr(payload, "close"):
+                payload.close()
+        self._send_bytes(
+            response.status, body, content_type=content_type, extra_headers=relay
+        )
 
     def _handle_metrics(self, route: Route, frontend: BrokerFrontend) -> None:
         """``GET /metrics``: Prometheus text exposition (or JSON).

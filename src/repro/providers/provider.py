@@ -23,7 +23,7 @@ import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover — typing only (avoids an import cycle)
     from repro.providers.faults import FaultProfile
@@ -295,6 +295,11 @@ class SimulatedProvider:
         self._fault_profile: Optional["FaultProfile"] = None
         self._health: Optional["HealthTracker"] = None
         self._timers: Optional[_ProviderTimers] = None
+        # Cluster-mode replication taps: fired after a successful backend
+        # mutation, outside _op_lock (the durability manager journals from
+        # them and must not serialize against concurrent chunk reads).
+        self.on_chunk_put: Optional[Callable[[str, str, AnyChunk], None]] = None
+        self.on_chunk_delete: Optional[Callable[[str, str], None]] = None
 
     # -- introspection -------------------------------------------------
 
@@ -466,6 +471,8 @@ class SimulatedProvider:
                 self.backend.put(key, chunk)
             self.meter.record_op("put")
             self.meter.record_in(chunk.size)
+            if self.on_chunk_put is not None:
+                self.on_chunk_put(self.name, key, chunk)
 
     def get_chunk(self, key: str, *, times: int = 1) -> AnyChunk:
         """Fetch the chunk at ``key`` (billed: ``times`` x (1 op + egress)).
@@ -496,6 +503,8 @@ class SimulatedProvider:
                 except KeyError:
                     raise ChunkNotFoundError(key) from None
             self.meter.record_op("delete")
+            if self.on_chunk_delete is not None:
+                self.on_chunk_delete(self.name, key)
 
     def list_keys(self, prefix: str = "") -> Iterator[str]:
         """Iterate stored keys with the given prefix (billed: 1 op)."""
@@ -510,6 +519,38 @@ class SimulatedProvider:
         """A stable copy of every stored chunk key (unmetered scrub walk)."""
         with self._op_lock:
             return list(self.backend.keys())
+
+    # -- replication (unmetered operator/cluster traffic) ------------------
+
+    def adopt_replicated_chunk(self, key: str, chunk: AnyChunk) -> None:
+        """Store a chunk shipped by the cluster leader, put-if-missing.
+
+        Unmetered and unobserved: the leader already billed the simulated
+        cloud for the client's write; a follower materializing its copy
+        is internal replication, not traffic.  Put-if-missing keeps
+        at-least-once delivery and WAL replay idempotent.  Does not fire
+        :attr:`on_chunk_put` (that would journal the record a second
+        time).
+        """
+        with self._op_lock:
+            if key not in self.backend:
+                self.backend.put(key, chunk)
+
+    def drop_replicated_chunk(self, key: str) -> None:
+        """Delete a chunk named by the leader's stream; missing is fine."""
+        with self._op_lock:
+            try:
+                self.backend.delete(key)
+            except KeyError:
+                pass
+
+    def export_chunk(self, key: str) -> Optional[AnyChunk]:
+        """Read a chunk for catch-up transfer (unmetered), or ``None``."""
+        with self._op_lock:
+            try:
+                return self.backend.get(key)
+            except KeyError:
+                return None
 
     def backend_stats(self) -> Dict[str, object]:
         """The backend's JSON-ready counters, read consistently."""

@@ -1,0 +1,18 @@
+"""Multi-node broker clustering: WAL-shipped replication + election.
+
+Turns N ``repro serve`` processes into one logical Scalia (the paper's
+"engines in each datacenter", Fig. 7).  One leader owns the control
+plane and all writes; followers replicate the metadata WAL record by
+record, serve eventually-consistent reads locally, and forward writes.
+See docs/CLUSTER.md for the protocol and its safety argument.
+
+Only the error types are imported eagerly: the gateway's route table
+maps :class:`ClusterUnavailableError` to 503 and lives *below* this
+package in the import graph, so pulling :mod:`~repro.replication.node`
+or :mod:`~repro.replication.frontend` in here would create a cycle.
+Import those from their modules directly.
+"""
+
+from repro.replication.errors import ClusterUnavailableError, NotLeaderError
+
+__all__ = ["ClusterUnavailableError", "NotLeaderError"]

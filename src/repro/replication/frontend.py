@@ -1,0 +1,81 @@
+"""Cluster-aware gateway frontend: leader gating + commit barriers.
+
+A :class:`ClusterFrontend` is a :class:`BrokerFrontend` whose write
+operations (a) refuse to run on a follower — the HTTP layer forwards
+them to the leader first, this is the backstop for leadership lost
+mid-request — and (b) block until the write's WAL records are durable on
+a commit quorum before returning.  Reads stay local and unguarded:
+followers serve them from their replicated state, which is the paper's
+eventually-consistent metadata model (Section III-D) applied across
+nodes.
+
+``set_fault`` is deliberately *not* leader-gated: fault injection is a
+per-node chaos knob (each node simulates its own cloud latencies), and
+the failover bench relies on configuring nodes independently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.gateway.frontend import BrokerFrontend
+from repro.replication.node import ClusterNode
+
+#: Frontend operations that mutate broker state and therefore must run
+#: on the leader and wait for quorum commit.  ``tick``/``scrub`` journal
+#: period closes and repairs; the multipart ops journal upload state.
+WRITE_OPS = frozenset(
+    {
+        "put",
+        "delete",
+        "create_upload",
+        "upload_part",
+        "complete_upload",
+        "abort_upload",
+        "tick",
+        "scrub",
+    }
+)
+
+#: Route kinds whose mutating methods the HTTP server forwards to the
+#: leader before the frontend ever sees them.
+_LEADER_ROUTES = {
+    "object": {"PUT", "POST", "DELETE"},
+    "list": set(),  # GETs only; bucket-level POSTs (multipart create) are kind=object
+    "tick": {"POST"},
+    "scrub": {"POST"},
+}
+
+
+class ClusterFrontend(BrokerFrontend):
+    """Frontend for one node of a replicated cluster."""
+
+    def __init__(self, broker, node: ClusterNode, **kwargs) -> None:
+        super().__init__(broker, **kwargs)
+        self.node = node
+
+    def _run(self, op: str, fn: Callable[[], Any]) -> Any:
+        if op not in WRITE_OPS:
+            return super()._run(op, fn)
+        self.node.ensure_leader()
+        result = super()._run(op, fn)
+        # Barrier: everything this operation journaled has a sequence at
+        # or below the WAL's current head; waiting for the head is at
+        # worst waiting for a few unrelated-but-concurrent records that
+        # would commit in the same quorum round anyway.
+        self.node.wait_committed(self.node.dm.last_seq)
+        return result
+
+    # -- cluster surface (overrides of BrokerFrontend no-op defaults) ------
+
+    def requires_leader(self, kind: str, method: str) -> bool:
+        return method in _LEADER_ROUTES.get(kind, set())
+
+    def leader_gateway_url(self) -> Optional[str]:
+        return self.node.leader_gateway_url()
+
+    def is_leader(self) -> bool:
+        return self.node.is_leader()
+
+    def cluster_status(self) -> Optional[Dict[str, Any]]:
+        return self.node.status()

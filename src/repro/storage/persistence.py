@@ -19,6 +19,16 @@ The manager owns three jobs:
 * **Recovery** — on boot it restores the latest snapshot, replays the
   WAL on top (both idempotent), and advances the id epoch so ids issued
   after the crash cannot collide with persisted ones.
+* **Replication stream** — every journal record carries a monotonic
+  sequence number (stamped by the journal at append time), :meth:`tail`
+  iterates records after a given sequence, ``on_append`` lets a cluster
+  node observe records as they land, and :meth:`apply_replicated` is the
+  follower-side entry point: append a leader's record to the local WAL
+  (deduplicated by sequence) and apply it to the live broker.  In
+  cluster mode chunk payloads are journaled too (``chunk``/``chunk-``
+  records), so the WAL is a complete, self-contained replication stream
+  and a promoted follower can serve every acknowledged object from its
+  own providers.
 
 Crash model: chunk payloads are durable the moment the provider's
 ``put_chunk`` returns (the segment store flushes per record), and the
@@ -37,9 +47,10 @@ import re
 import threading
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.cluster.metadata import VersionedValue
+from repro.erasure.striping import chunk_from_doc, chunk_to_doc
 from repro.obs.events import resolve_journal
 from repro.providers.pricing import ProviderSpec
 from repro.storage.segment import FileChunkStore
@@ -90,9 +101,30 @@ class DurabilityManager:
         # mutex — see snapshot() for the full ordering argument.
         self._counter_lock = threading.Lock()
         self._snap_lock = threading.RLock()
+        # Serializes append + on_append notification pairs so the
+        # replication stream observes records in exactly their WAL order,
+        # and excludes appends during a snapshot's export+truncate window
+        # so the truncation point is an exact sequence number.  Innermost
+        # in the lock hierarchy after the journal's own mutex; the
+        # on_append callback must not re-enter the durability manager.
+        self._append_lock = threading.RLock()
         self._records_since_snapshot = 0
         self._broker: Optional["Scalia"] = None
         self._replaying = False
+        #: Observer for freshly appended records (the cluster node's
+        #: replication feed).  Called in WAL order, after the append.
+        self.on_append: Optional[Callable[[dict], None]] = None
+        #: When set (by a cluster leader), every appended record is
+        #: stamped with this term (``"rt"``) so followers can verify log
+        #: consistency and a deposed leader's records are identifiable.
+        self.record_term: Optional[int] = None
+        #: Term of the most recently appended/applied record (election
+        #: vote restriction compares (term, seq) pairs).
+        self.last_record_term = 0
+        #: Records at or below this sequence were folded into the latest
+        #: snapshot and are no longer in the WAL; :meth:`tail` cannot
+        #: serve below it (catch-up needs a snapshot transfer instead).
+        self.snapshot_floor_seq = 0
         self.recovery_report: Dict[str, object] = {}
         self.snapshots_written = 0
         # Decision-event journal (distinct from self.journal, the WAL).
@@ -157,20 +189,14 @@ class DurabilityManager:
         started = time.perf_counter()
         snapshot = load_snapshot(self.snapshot_path)
         if snapshot is not None:
-            broker.cluster.metadata.restore_state(snapshot["metadata"])
-            for name, meter_state in snapshot["meters"].items():
-                if name in broker.registry:
-                    broker.registry.get(name).meter.restore_state(meter_state)
-            broker.cluster.pending_deletes.entries = [
-                (provider, key) for provider, key in snapshot["pending_deletes"]
-            ]
-            broker._period = int(snapshot["period"])
-            broker._now = float(snapshot["now"])
+            self._restore_snapshot_state(broker, snapshot)
         wal_records = 0
         self._replaying = True
         try:
             for record in self.journal.replay():
                 self._replay_record(broker, record)
+                if "rt" in record:
+                    self.last_record_term = int(record["rt"])
                 wal_records += 1
         finally:
             self._replaying = False
@@ -183,6 +209,23 @@ class DurabilityManager:
             "duration_seconds": round(time.perf_counter() - started, 6),
         }
         return self.recovery_report
+
+    def _restore_snapshot_state(self, broker: "Scalia", snapshot: dict) -> None:
+        """Load one snapshot document into a live broker (replace, not merge)."""
+        broker.cluster.metadata.restore_state(snapshot["metadata"])
+        for name, meter_state in snapshot["meters"].items():
+            if name in broker.registry:
+                broker.registry.get(name).meter.restore_state(meter_state)
+        broker.cluster.pending_deletes.entries = [
+            (provider, key) for provider, key in snapshot["pending_deletes"]
+        ]
+        broker._period = int(snapshot["period"])
+        broker._now = float(snapshot["now"])
+        wal_seq = int(snapshot.get("wal_seq", 0))
+        if wal_seq:
+            self.journal.advance_seq(wal_seq)
+            self.snapshot_floor_seq = max(self.snapshot_floor_seq, wal_seq)
+        self.last_record_term = int(snapshot.get("wal_term", self.last_record_term))
 
     def _replay_record(self, broker: "Scalia", record: dict) -> None:
         kind = record.get("t")
@@ -210,8 +253,19 @@ class DurabilityManager:
             # entries the snapshot already dropped.
             if entry in broker.cluster.pending_deletes.entries:
                 broker.cluster.pending_deletes.entries.remove(entry)
-        # Unknown kinds are skipped: an older binary replaying a newer WAL
-        # degrades to snapshot-grade state instead of refusing to boot.
+        elif kind == "chunk":
+            # Cluster-mode chunk payload: put-if-missing, unmetered (the
+            # leader already billed the simulated cloud for this write).
+            if record["p"] in broker.registry:
+                broker.registry.get(record["p"]).adopt_replicated_chunk(
+                    record["k"], chunk_from_doc(record["c"])
+                )
+        elif kind == "chunk-":
+            if record["p"] in broker.registry:
+                broker.registry.get(record["p"]).drop_replicated_chunk(record["k"])
+        # "noop" (a new leader's term marker) and unknown kinds are
+        # skipped: an older binary replaying a newer WAL degrades to
+        # snapshot-grade state instead of refusing to boot.
 
     # -- journaling hooks --------------------------------------------------
 
@@ -223,34 +277,54 @@ class DurabilityManager:
         broker.cluster.pending_deletes.on_add = self._on_pending_add
         broker.cluster.pending_deletes.on_remove = self._on_pending_remove
 
+    def _append(self, record: dict, *, allow_snapshot: bool = True) -> None:
+        """Stamp, journal and publish one record (every local append path).
+
+        Under ``_append_lock`` so the ``on_append`` observer sees records
+        in exactly their WAL (sequence) order even when appenders race.
+        The snapshot-cadence check runs after the lock is released — a
+        snapshot acquires the metadata mutex, which on_append observers
+        and the replication apply path must never wait behind.
+        """
+        with self._append_lock:
+            if self.record_term is not None and "rt" not in record:
+                record["rt"] = self.record_term
+            self.journal.append(record)
+            if "rt" in record:
+                self.last_record_term = int(record["rt"])
+            observer = self.on_append
+            if observer is not None:
+                observer(record)
+        self._bump_and_maybe_snapshot(allow_snapshot=allow_snapshot)
+
     def _on_apply(self, dc: str, row_key: str, version: VersionedValue) -> None:
         if self._replaying:
             return
-        self.journal.append({"t": "md", "dc": dc, "row": row_key, "v": version.to_dict()})
-        self._bump_and_maybe_snapshot()
+        self._append({"t": "md", "dc": dc, "row": row_key, "v": version.to_dict()})
 
     def _on_prune(self, dc: str, row_key: str, keep_uuid: str) -> None:
         if self._replaying:
             return
-        self.journal.append({"t": "prune", "dc": dc, "row": row_key, "keep": keep_uuid})
-        self._bump_and_maybe_snapshot()
+        self._append({"t": "prune", "dc": dc, "row": row_key, "keep": keep_uuid})
 
     def _on_pending_add(self, provider_name: str, chunk_key: str) -> None:
         if self._replaying:
             return
-        self.journal.append({"t": "pend+", "p": provider_name, "k": chunk_key})
         # No snapshot from here: this hook fires while the pending-delete
         # queue's mutex is held, and a snapshot acquires the metadata
         # mutex — the reverse of the metadata -> queue order the apply
         # hook establishes.  The counter still advances; the next
         # metadata apply or period close takes the snapshot.
-        self._bump_and_maybe_snapshot(allow_snapshot=False)
+        self._append(
+            {"t": "pend+", "p": provider_name, "k": chunk_key}, allow_snapshot=False
+        )
 
     def _on_pending_remove(self, provider_name: str, chunk_key: str) -> None:
         if self._replaying:
             return
-        self.journal.append({"t": "pend-", "p": provider_name, "k": chunk_key})
-        self._bump_and_maybe_snapshot(allow_snapshot=False)
+        self._append(
+            {"t": "pend-", "p": provider_name, "k": chunk_key}, allow_snapshot=False
+        )
 
     def on_period_closed(self, broker: "Scalia", closed_period: int) -> None:
         """Journal one closed sampling period's meters (broker tick hook)."""
@@ -259,10 +333,119 @@ class DurabilityManager:
             usage = provider.meter.usage_by_period().get(closed_period)
             if usage is not None:
                 meters[provider.name] = usage.to_dict()
-        self.journal.append(
+        self._append(
             {"t": "period", "period": closed_period, "now": broker.now, "meters": meters}
         )
+
+    # -- replication stream ------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest journaled record."""
+        return self.journal.last_seq
+
+    def append_marker(self, record: dict) -> int:
+        """Journal a broker-state-free record (a new leader's ``noop``).
+
+        Returns the stamped sequence number.  Replay skips unknown kinds,
+        so markers are safe to ship to any follower.
+        """
+        self._append(record)
+        return int(record["seq"])
+
+    def journal_chunk_put(self, provider_name: str, chunk_key: str, chunk) -> None:
+        """Journal one chunk payload (cluster mode's replication stream).
+
+        Called from the provider's chunk hook while its op lock is held,
+        so the snapshot (which takes the metadata mutex) must not trigger
+        from here — the counter advances and the next metadata-path
+        append takes it.
+        """
+        self._append(
+            {"t": "chunk", "p": provider_name, "k": chunk_key, "c": chunk_to_doc(chunk)},
+            allow_snapshot=False,
+        )
+
+    def journal_chunk_delete(self, provider_name: str, chunk_key: str) -> None:
+        self._append(
+            {"t": "chunk-", "p": provider_name, "k": chunk_key}, allow_snapshot=False
+        )
+
+    def can_tail(self, from_seq: int) -> bool:
+        """True when :meth:`tail` can serve everything after ``from_seq``.
+
+        False means records at or below the snapshot floor were truncated
+        out of the WAL — a catch-up consumer needs a snapshot transfer.
+        """
+        return from_seq >= self.snapshot_floor_seq
+
+    def tail(self, from_seq: int) -> Iterator[dict]:
+        """Iterate intact journal records with ``seq > from_seq``, in order.
+
+        The public replication surface: callers check :meth:`can_tail`
+        first; below the snapshot floor the WAL no longer holds the
+        records.  Reads the journal file, so it observes every record
+        flushed at call time (concurrent appends may or may not appear).
+        """
+        for record in self.journal.replay():
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq > from_seq:
+                yield record
+
+    def apply_replicated(self, broker: "Scalia", record: dict) -> bool:
+        """Follower-side apply: journal + apply one leader record.
+
+        Deduplicates by sequence (at-least-once transports resend
+        suffixes), preserving the leader's stamped seq/term.  Returns
+        False when the record was already applied.  The caller (the
+        cluster node's single RPC apply thread) delivers records in
+        order; this method does not reorder on its behalf.
+        """
+        with self._append_lock:
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq <= self.journal.last_seq:
+                return False
+            self.journal.append(record)
+            if "rt" in record:
+                self.last_record_term = int(record["rt"])
+        was_replaying = self._replaying
+        self._replaying = True
+        try:
+            self._replay_record(broker, record)
+        finally:
+            self._replaying = was_replaying
         self._bump_and_maybe_snapshot()
+        return True
+
+    def adopt_snapshot(self, broker: "Scalia", state: dict) -> None:
+        """Replace local state with a leader's snapshot (follower resync).
+
+        Restores the document into the live broker, persists it as the
+        local snapshot, truncates the WAL and advances the sequence floor
+        — after this the follower continues from ``state["wal_seq"]``.
+        """
+        was_replaying = self._replaying
+        self._replaying = True
+        try:
+            with broker.cluster.metadata.locked():
+                with self._snap_lock:
+                    with broker.cluster.pending_deletes.locked():
+                        with self._append_lock:
+                            self._restore_snapshot_state(broker, state)
+                            write_snapshot(self.snapshot_path, state)
+                            self.journal.truncate()
+                            self.snapshot_floor_seq = int(state.get("wal_seq", 0))
+                    with self._counter_lock:
+                        self._records_since_snapshot = 0
+                    self.snapshots_written += 1
+        finally:
+            self._replaying = was_replaying
+        self.events.emit(
+            "wal.snapshot",
+            adopted=True,
+            wal_seq=self.snapshot_floor_seq,
+            snapshots_written=self.snapshots_written,
+        )
 
     # -- snapshots ---------------------------------------------------------
 
@@ -277,45 +460,49 @@ class DurabilityManager:
         if due:
             self.snapshot()
 
-    def snapshot(self) -> None:
-        """Write a full-state snapshot and truncate the WAL.
+    def snapshot(self) -> Optional[dict]:
+        """Write a full-state snapshot, truncate the WAL, return the state.
 
         Lock order: ``metadata mutex -> _snap_lock -> pending-queue
-        mutex`` — the one order every snapshot trigger uses.  Holding the
-        metadata mutex (reentrantly, when triggered from the apply hook)
-        and the queue mutex across export *and* truncate guarantees no
-        'md'/'prune'/'pend±' record can land in the WAL between the state
-        export and the truncation — such a record would be erased while
-        absent from the snapshot, losing an acknowledged write on the
-        next recovery.  The one record kind that can still race in is a
-        'period' meter rollup from a concurrent tick; losing it forfeits
-        at most one closed period's billing introspection, which the
-        crash model already tolerates for the open period.
+        mutex -> _append_lock`` — the one order every snapshot trigger
+        uses.  Holding the metadata mutex (reentrantly, when triggered
+        from the apply hook) and the queue mutex across export *and*
+        truncate guarantees no 'md'/'prune'/'pend±' record can land in
+        the WAL between the state export and the truncation — such a
+        record would be erased while absent from the snapshot, losing an
+        acknowledged write on the next recovery.  The append lock
+        additionally excludes 'period'/'chunk' appends from other
+        threads, so the truncation point is the exact sequence recorded
+        as ``wal_seq`` — the contract :meth:`can_tail` relies on.
         """
         broker = self._broker
         if broker is None:
-            return
+            return None
         with broker.cluster.metadata.locked():
             with self._snap_lock:
                 with broker.cluster.pending_deletes.locked():
-                    state = {
-                        "version": 1,
-                        "boot": self.boot_epoch,
-                        "period": broker.period,
-                        "now": broker.now,
-                        "metadata": broker.cluster.metadata.export_state(),
-                        "meters": {
-                            p.name: p.meter.export_state()
-                            for p in broker.registry.providers()
-                        },
-                        "pending_deletes": [
-                            list(entry)
-                            for entry in broker.cluster.pending_deletes.entries
-                        ],
-                    }
-                    wal_bytes = self.journal.size_bytes()
-                    write_snapshot(self.snapshot_path, state)
-                    self.journal.truncate()
+                    with self._append_lock:
+                        state = {
+                            "version": 1,
+                            "boot": self.boot_epoch,
+                            "period": broker.period,
+                            "now": broker.now,
+                            "metadata": broker.cluster.metadata.export_state(),
+                            "meters": {
+                                p.name: p.meter.export_state()
+                                for p in broker.registry.providers()
+                            },
+                            "pending_deletes": [
+                                list(entry)
+                                for entry in broker.cluster.pending_deletes.entries
+                            ],
+                            "wal_seq": self.journal.last_seq,
+                            "wal_term": self.last_record_term,
+                        }
+                        wal_bytes = self.journal.size_bytes()
+                        write_snapshot(self.snapshot_path, state)
+                        self.journal.truncate()
+                        self.snapshot_floor_seq = self.journal.last_seq
                 with self._counter_lock:
                     records_since = self._records_since_snapshot
                     self._records_since_snapshot = 0
@@ -326,6 +513,7 @@ class DurabilityManager:
             records_since_snapshot=records_since,
             snapshots_written=self.snapshots_written,
         )
+        return state
 
     # -- introspection / lifecycle ----------------------------------------
 

@@ -11,6 +11,15 @@ persists as a classic WAL + snapshot pair under ``<data_dir>/meta/``:
     told about.  Replay stops at the first unparseable or checksum-failing
     line — everything after a torn write is by definition unacknowledged.
 
+    Every record is stamped with a monotonic sequence number (``"seq"``)
+    at append time, under the same mutex that orders the bytes on disk —
+    seq order and file order are therefore identical, which is what lets
+    the replication layer ship the WAL as an ordered stream and lets a
+    follower deduplicate at-least-once deliveries by sequence alone.
+    Records arriving with a ``"seq"`` already assigned (a follower
+    applying a leader's stream) keep it; the journal only advances its
+    own counter past them.
+
 ``snapshot.json``
     A full state dump (written to a temp file and atomically renamed) that
     bounds replay time; after a successful snapshot the WAL is truncated.
@@ -70,6 +79,9 @@ class Journal:
             fsync_directory(self.path.parent)
         self.records_appended = 0
         self.last_replay_damaged = 0
+        #: Highest sequence number stamped on or observed in a record.
+        #: Callers recovering from a snapshot seed it via advance_seq().
+        self.last_seq = 0
         self._m_appends = None
         self._m_fsync = None
         if metrics is not None and metrics.enabled:
@@ -82,9 +94,19 @@ class Journal:
             )
 
     def append(self, record: dict) -> None:
-        body = _canonical(record)
-        line = json.dumps({"c": _checksum(body), "r": record}, **_JSON_KW).encode("utf-8")
         with self._lock:
+            # Stamp inside the mutex: the seq must agree with the record's
+            # position in the file even when appenders race.
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                self.last_seq = max(self.last_seq, seq)
+            else:
+                self.last_seq += 1
+                record["seq"] = self.last_seq
+            body = _canonical(record)
+            line = json.dumps(
+                {"c": _checksum(body), "r": record}, **_JSON_KW
+            ).encode("utf-8")
             self._fh.write(line + b"\n")
             if self.sync != "never":
                 if self._m_fsync is None:
@@ -127,7 +149,15 @@ class Journal:
                     return  # torn tail: never acknowledged
                 self.last_replay_damaged += 1
                 continue
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                self.advance_seq(seq)
             yield record
+
+    def advance_seq(self, seq: int) -> None:
+        """Raise the sequence floor (snapshot restore, replayed records)."""
+        with self._lock:
+            self.last_seq = max(self.last_seq, int(seq))
 
     def truncate(self) -> None:
         """Drop every record (called after a successful snapshot)."""

@@ -1,0 +1,243 @@
+"""Gateway behaviour in cluster mode: /cluster, forwarding, 503s.
+
+Two full gateway+node stacks in one process — writes to the follower's
+gateway must transparently land on the leader, reads stay local, and an
+unavailable cluster answers 503 + Retry-After instead of hanging.
+"""
+
+import http.client
+import json
+import random
+import time
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.gateway.client import GatewayClient, GatewayError
+from repro.gateway.frontend import BrokerFrontend
+from repro.gateway.server import ScaliaGateway
+from repro.replication.frontend import ClusterFrontend
+from repro.replication.node import ClusterNode
+
+HEARTBEAT = 0.05
+ELECTION = 0.4
+
+
+def wait_for(predicate, timeout=15.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class Stack:
+    """One broker + cluster node + gateway, like ``repro serve --join``."""
+
+    def __init__(self, root, tag, join=None):
+        self.broker = Scalia(data_dir=str(root / tag))
+        self.node = ClusterNode(
+            self.broker,
+            node_id=tag,
+            listen=("127.0.0.1", 0),
+            join=join,
+            heartbeat=HEARTBEAT,
+            election_timeout=ELECTION,
+            rng=random.Random(hash(tag) & 0xFFFF),
+        )
+        self.frontend = ClusterFrontend(self.broker, self.node)
+        self.gateway = ScaliaGateway(self.frontend, port=0).start()
+        self.node.gateway_url = self.gateway.url
+        self.node.start()
+
+    def client(self):
+        host, port = self.gateway.address
+        return GatewayClient(host, port, tenant="alice")
+
+    def close(self):
+        self.gateway.close()
+        self.node.close()
+        self.frontend.close()
+        self.broker.close()
+
+
+@pytest.fixture()
+def pair(tmp_path):
+    leader = Stack(tmp_path, "n1")
+    wait_for(leader.node.is_leader, what="bootstrap election")
+    follower = Stack(tmp_path, "n2", join=leader.node.rpc_address)
+    wait_for(
+        lambda: len(follower.node.members) == 2 and len(leader.node.members) == 2,
+        what="membership",
+    )
+    yield leader, follower
+    follower.close()
+    leader.close()
+
+
+def _raw(gateway, method, path, body=None, headers=None):
+    host, port = gateway.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.headers), response.read()
+    finally:
+        conn.close()
+
+
+class TestClusterRoute:
+    def test_cluster_document(self, pair):
+        leader, follower = pair
+        with leader.client() as client:
+            doc = client.cluster()
+        assert doc["role"] == "leader"
+        assert doc["node_id"] == "n1"
+        assert doc["quorum"] == 2
+        assert set(doc["members"]) == {"n1", "n2"}
+        with follower.client() as client:
+            doc = client.cluster()
+        assert doc["role"] == "follower"
+        assert doc["leader"] == "n1"
+        assert doc["leader_gateway"] == leader.gateway.url
+
+    def test_non_cluster_gateway_404s(self):
+        frontend = BrokerFrontend(Scalia())
+        gw = ScaliaGateway(frontend, port=0).start()
+        try:
+            status, _, body = _raw(gw, "GET", "/cluster")
+            assert status == 404
+            assert b"not part of a cluster" in body
+        finally:
+            gw.close()
+            frontend.close()
+
+    def test_cluster_route_method_gate(self, pair):
+        leader, _ = pair
+        status, headers, _ = _raw(leader.gateway, "POST", "/cluster")
+        assert status == 405
+        assert headers.get("Allow") == "GET"
+
+
+class TestWriteForwarding:
+    def test_put_on_follower_lands_on_leader_and_replicates(self, pair):
+        leader, follower = pair
+        payload = b"via-the-follower" * 50
+        with follower.client() as client:
+            info = client.put("photos", "fwd.bin", payload)
+        assert info["size"] == len(payload)
+        # Served by the leader, readable from both gateways.
+        with leader.client() as client:
+            assert client.get("photos", "fwd.bin") == payload
+        wait_for(
+            lambda: follower.broker.durability.last_seq
+            == leader.broker.durability.last_seq,
+            what="replication to the follower",
+        )
+        with follower.client() as client:
+            assert client.get("photos", "fwd.bin") == payload
+
+    def test_delete_on_follower_forwards(self, pair):
+        leader, follower = pair
+        with leader.client() as client:
+            client.put("photos", "gone.bin", b"x" * 32)
+        with follower.client() as client:
+            client.delete("photos", "gone.bin")
+        with leader.client() as client:
+            assert client.head("photos", "gone.bin") is None
+
+    def test_follower_reads_never_forward(self, pair):
+        leader, follower = pair
+        with leader.client() as client:
+            client.put("photos", "local.bin", b"y" * 64)
+        wait_for(
+            lambda: follower.broker.durability.last_seq
+            == leader.broker.durability.last_seq,
+            what="replication",
+        )
+        leader.gateway.close()  # reads must not depend on the leader
+        with follower.client() as client:
+            assert client.get("photos", "local.bin") == b"y" * 64
+
+    def test_tenant_header_survives_forwarding(self, pair):
+        leader, follower = pair
+        host, port = follower.gateway.address
+        with GatewayClient(host, port, tenant="bob") as client:
+            client.put("photos", "bobs.bin", b"b" * 16)
+        with GatewayClient(*leader.gateway.address, tenant="bob") as client:
+            assert client.get("photos", "bobs.bin") == b"b" * 16
+        # Another tenant's namespace stays empty.
+        with leader.client() as alice:
+            assert alice.head("photos", "bobs.bin") is None
+
+
+class TestUnavailability:
+    def test_write_503_with_retry_after_when_quorum_lost(self, pair):
+        leader, follower = pair
+        follower.close()  # quorum 2 of 2: commits now impossible
+        leader.node.commit_timeout = 0.8  # fail fast for the test
+        status, headers, body = _raw(
+            leader.gateway,
+            "PUT",
+            "/photos/stranded.bin",
+            body=b"z" * 16,
+            headers={"Content-Length": "16"},
+        )
+        assert status == 503
+        assert int(headers["Retry-After"]) >= 1
+        assert b"quorum" in body
+
+    def test_unavailable_write_journals_cluster_event(self, pair):
+        leader, follower = pair
+        follower.close()
+        leader.node.commit_timeout = 0.8
+        _raw(
+            leader.gateway,
+            "PUT",
+            "/photos/evt.bin",
+            body=b"z" * 8,
+            headers={"Content-Length": "8"},
+        )
+        with leader.client() as client:
+            events = client.events(type="cluster.unavailable")["events"]
+        assert events
+        assert events[-1]["method"] == "PUT"
+
+    def test_follower_without_leader_503s_not_hangs(self, tmp_path):
+        # A joiner that never reaches its target has no leader to forward
+        # to; writes must fail fast with Retry-After.
+        probe = random.Random(3).randrange(20000, 65000)
+        stack = Stack(tmp_path, "orphan", join=("127.0.0.1", probe))
+        try:
+            started = time.monotonic()
+            status, headers, body = _raw(
+                stack.gateway,
+                "PUT",
+                "/photos/nope.bin",
+                body=b"q" * 8,
+                headers={"Content-Length": "8"},
+            )
+            assert status == 503
+            assert "Retry-After" in headers
+            assert b"no cluster leader" in body
+            assert time.monotonic() - started < 10.0
+        finally:
+            stack.close()
+
+    def test_reads_still_serve_during_unavailability(self, pair):
+        leader, follower = pair
+        with leader.client() as client:
+            client.put("photos", "durable.bin", b"d" * 32)
+        wait_for(
+            lambda: follower.broker.durability.last_seq
+            == leader.broker.durability.last_seq,
+            what="replication",
+        )
+        leader.close()
+        # 1-of-2 cannot elect, but the follower's local state serves GETs.
+        with follower.client() as client:
+            assert client.get("photos", "durable.bin") == b"d" * 32
+            with pytest.raises(GatewayError) as excinfo:
+                client.put("photos", "new.bin", b"n")
+            assert excinfo.value.status == 503

@@ -1,0 +1,156 @@
+"""Unit tests for the term-based election state machine (no I/O)."""
+
+import random
+
+import pytest
+
+from repro.cluster.leader import CANDIDATE, FOLLOWER, LEADER, ElectionState
+
+
+def make(node_id="n1", *, now=(lambda: 0.0), timeout=1.0, seed=7):
+    return ElectionState(
+        node_id, election_timeout=timeout, clock=now, rng=random.Random(seed)
+    )
+
+
+class TestTimeouts:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            make(timeout=0.0)
+
+    def test_deadline_randomized_within_one_to_two_timeouts(self):
+        clock = {"t": 0.0}
+        state = make(now=lambda: clock["t"], timeout=1.0)
+        for _ in range(50):
+            state.reset_deadline()
+            spread = state._deadline - clock["t"]
+            assert 1.0 <= spread < 2.0
+
+    def test_election_due_after_timeout_but_not_before(self):
+        clock = {"t": 0.0}
+        state = make(now=lambda: clock["t"], timeout=1.0)
+        assert not state.election_due()
+        clock["t"] = 2.0
+        assert state.election_due()
+
+    def test_leader_never_times_itself_out(self):
+        clock = {"t": 0.0}
+        state = make(now=lambda: clock["t"])
+        state.start_election()
+        state.become_leader()
+        clock["t"] = 100.0
+        assert not state.election_due()
+
+    def test_heartbeat_defers_election(self):
+        clock = {"t": 0.0}
+        state = make(now=lambda: clock["t"], timeout=1.0)
+        clock["t"] = 1.9
+        assert state.note_heartbeat(1, "n2")
+        assert not state.election_due()
+
+
+class TestHeartbeatFencing:
+    def test_stale_term_rejected(self):
+        state = make()
+        state.note_heartbeat(5, "n2")
+        assert not state.note_heartbeat(4, "n3")
+        assert state.leader_id == "n2"
+        assert state.term == 5
+
+    def test_higher_term_steps_candidate_down(self):
+        state = make()
+        state.start_election()
+        assert state.role == CANDIDATE
+        assert state.note_heartbeat(state.term + 1, "n2")
+        assert state.role == FOLLOWER
+        assert state.leader_id == "n2"
+
+    def test_same_term_heartbeat_deposes_candidate(self):
+        # Two candidates in term T; one wins and heartbeats at T — the
+        # loser must accept it, not split the cluster.
+        state = make()
+        term = state.start_election()
+        assert state.note_heartbeat(term, "n2")
+        assert state.role == FOLLOWER
+
+    def test_observe_term_steps_down_only_on_higher(self):
+        state = make()
+        state.start_election()
+        assert not state.observe_term(state.term)
+        assert state.role == CANDIDATE
+        assert state.observe_term(state.term + 1)
+        assert state.role == FOLLOWER
+
+
+class TestCandidacy:
+    def test_start_election_votes_for_self_in_fresh_term(self):
+        state = make()
+        term = state.start_election()
+        assert term == 1
+        assert state.voted_for == "n1"
+        assert state.votes_received == 1
+
+    def test_quorum_win(self):
+        state = make()
+        term = state.start_election()
+        assert not state.record_vote("n2", term, True, quorum=3)
+        assert state.record_vote("n3", term, True, quorum=3)
+
+    def test_denied_and_stale_votes_do_not_count(self):
+        state = make()
+        term = state.start_election()
+        assert not state.record_vote("n2", term, False, quorum=2)
+        assert not state.record_vote("n3", term - 1, True, quorum=2)
+        assert state.votes_received == 1
+
+    def test_duplicate_voter_counts_once(self):
+        state = make()
+        term = state.start_election()
+        state.record_vote("n2", term, True, quorum=3)
+        assert not state.record_vote("n2", term, True, quorum=3)
+        assert state.votes_received == 2
+
+    def test_step_down_keeps_term(self):
+        state = make()
+        term = state.start_election()
+        state.become_leader()
+        state.step_down()
+        assert state.role == FOLLOWER
+        assert state.term == term
+
+
+class TestVoteGranting:
+    def test_grants_when_candidate_log_at_least_as_complete(self):
+        state = make()
+        assert state.grant_vote("n2", 1, candidate_log=(0, 5), own_log=(0, 5))
+        assert state.voted_for == "n2"
+
+    def test_refuses_candidate_with_shorter_log(self):
+        state = make()
+        assert not state.grant_vote("n2", 1, candidate_log=(0, 4), own_log=(0, 5))
+        assert state.voted_for is None
+
+    def test_refuses_candidate_with_older_last_term(self):
+        # (last term, last seq) compare lexicographically: a longer log
+        # from an older term loses to a shorter log from a newer term.
+        state = make()
+        assert not state.grant_vote("n2", 1, candidate_log=(1, 99), own_log=(2, 3))
+
+    def test_one_vote_per_term(self):
+        state = make()
+        assert state.grant_vote("n2", 3, candidate_log=(0, 0), own_log=(0, 0))
+        assert not state.grant_vote("n3", 3, candidate_log=(9, 9), own_log=(0, 0))
+        # A fresh term resets the ballot.
+        assert state.grant_vote("n3", 4, candidate_log=(9, 9), own_log=(0, 0))
+
+    def test_stale_term_request_refused_without_state_change(self):
+        state = make()
+        state.note_heartbeat(5, "n4")
+        assert not state.grant_vote("n2", 4, candidate_log=(9, 9), own_log=(0, 0))
+        assert state.term == 5
+
+    def test_granting_adopts_the_candidate_term(self):
+        state = make()
+        state.grant_vote("n2", 7, candidate_log=(1, 1), own_log=(0, 0))
+        assert state.term == 7
+        assert state.role == FOLLOWER

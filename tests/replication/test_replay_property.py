@@ -1,0 +1,124 @@
+"""Property test: WAL replication is idempotent under duplicated and
+reordered batch delivery.
+
+The cluster's append stream is at-least-once with retries: a follower
+may see the same record many times and stale batches may arrive after
+newer ones.  The protocol's only ordering guarantee is *no gaps* — a
+batch always starts at or before ``follower_last + 1`` (the follower
+answers ``gap`` otherwise, and the leader rewinds).  Within that
+contract this test lets Hypothesis pick an arbitrary delivery schedule
+and asserts the follower converges to exactly the leader's state.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.engine import ObjectNotFoundError
+from repro.core.broker import Scalia
+
+KEYS = ["alpha", "beta", "gamma"]
+
+op_st = st.one_of(
+    st.tuples(
+        st.just("put"), st.sampled_from(KEYS), st.binary(min_size=1, max_size=200)
+    ),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS)),
+)
+
+
+def _leader_with_workload(root, ops):
+    leader = Scalia(data_dir=f"{root}/leader")
+    for provider in leader.registry.providers():
+        provider.on_chunk_put = leader.durability.journal_chunk_put
+        provider.on_chunk_delete = leader.durability.journal_chunk_delete
+    leader.durability.record_term = 1
+    live = {}
+    leader.put("bkt", "seed", b"genesis")
+    live["seed"] = b"genesis"
+    for op in ops:
+        if op[0] == "put":
+            _, key, payload = op
+            leader.put("bkt", key, payload)
+            live[key] = payload
+        elif op[1] in live:
+            leader.delete("bkt", op[1])
+            del live[op[1]]
+    return leader, live
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_follower_converges_under_duplicate_and_reordered_delivery(data):
+    ops = data.draw(st.lists(op_st, min_size=1, max_size=6), label="workload")
+    root = tempfile.mkdtemp(prefix="wal-replay-prop-")
+    leader = follower = None
+    try:
+        leader, live = _leader_with_workload(root, ops)
+        records = list(leader.durability.tail(0))
+        n = len(records)
+        assert n >= 1
+
+        follower = Scalia(data_dir=f"{root}/follower")
+        dm = follower.durability
+
+        def deliver(start, end):
+            for record in records[start - 1 : end]:
+                before = dm.last_seq
+                applied = dm.apply_replicated(follower, record)
+                assert applied == (record["seq"] > before)
+
+        while dm.last_seq < n:
+            # Maybe redeliver a stale window first (duplicates, and — once
+            # the prefix has grown — out-of-order arrival of old batches).
+            if data.draw(st.booleans(), label="redeliver"):
+                start = data.draw(
+                    st.integers(min_value=1, max_value=dm.last_seq + 1),
+                    label="stale start",
+                )
+                deliver(
+                    start,
+                    data.draw(
+                        st.integers(min_value=start, max_value=min(start + 4, n)),
+                        label="stale end",
+                    ),
+                )
+            if dm.last_seq >= n:
+                break  # the "stale" window happened to finish the job
+            # Then a batch that makes progress: it may still *start* in
+            # the applied prefix (overlap) but its end extends the log.
+            start = data.draw(
+                st.integers(min_value=1, max_value=dm.last_seq + 1),
+                label="start",
+            )
+            end = data.draw(
+                st.integers(
+                    min_value=dm.last_seq + 1, max_value=min(dm.last_seq + 4, n)
+                ),
+                label="end",
+            )
+            deliver(start, end)
+
+        # Full redelivery of everything is a no-op.
+        for record in records:
+            assert not dm.apply_replicated(follower, record)
+        assert dm.last_seq == leader.durability.last_seq
+
+        for key, payload in live.items():
+            assert follower.get("bkt", key) == payload
+        for key in set(KEYS) - set(live):
+            with pytest.raises(ObjectNotFoundError):
+                follower.get("bkt", key)
+    finally:
+        if leader is not None:
+            leader.close()
+        if follower is not None:
+            follower.close()
+        shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,140 @@
+"""Tests for the length-prefixed JSON RPC transport."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.replication.rpc import (
+    MAX_FRAME_BYTES,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def server():
+    calls = []
+
+    def echo(req):
+        calls.append(dict(req))
+        return {"echo": req}
+
+    def boom(req):
+        raise ValueError("handler exploded")
+
+    srv = RpcServer("127.0.0.1", 0, {"echo": echo, "boom": boom})
+    srv.calls = calls
+    yield srv
+    srv.close()
+
+
+class TestFrames:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "x", "n": 7, "s": "héllo"})
+            assert recv_frame(b) == {"op": "x", "n": 7, "s": "héllo"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_announced_frame_refused(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(RpcError, match="refusing"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_mid_frame_is_an_error_not_a_hang(self):
+        a, b = socket.socketpair()
+        a.sendall((100).to_bytes(4, "big") + b"{}")
+        a.close()
+        try:
+            with pytest.raises(RpcError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestClientServer:
+    def test_call_round_trip(self, server):
+        client = RpcClient(*server.address)
+        try:
+            response = client.call("echo", value=42)
+            assert response["ok"] is True
+            assert response["echo"] == {"value": 42}
+            assert server.calls == [{"value": 42}]
+        finally:
+            client.close()
+
+    def test_handler_exception_travels_as_rpc_error(self, server):
+        client = RpcClient(*server.address)
+        try:
+            with pytest.raises(RpcError, match="handler exploded"):
+                client.call("boom")
+            # The connection survives a peer-level error.
+            assert client.call("echo")["ok"] is True
+        finally:
+            client.close()
+
+    def test_unknown_op_rejected(self, server):
+        client = RpcClient(*server.address)
+        try:
+            with pytest.raises(RpcError, match="unknown op"):
+                client.call("nope")
+        finally:
+            client.close()
+
+    def test_reconnects_after_server_restart(self, server):
+        client = RpcClient(*server.address)
+        try:
+            assert client.call("echo")["ok"] is True
+            server.close()
+            with pytest.raises(RpcError):
+                client.call("echo")
+            revived = RpcServer(
+                server.address[0], server.address[1], {"echo": lambda r: {"again": True}}
+            )
+            try:
+                assert client.call("echo")["again"] is True
+            finally:
+                revived.close()
+        finally:
+            client.close()
+
+    def test_concurrent_callers_share_one_connection(self, server):
+        client = RpcClient(*server.address)
+        errors = []
+
+        def hammer():
+            try:
+                for i in range(20):
+                    assert client.call("echo", i=i)["ok"] is True
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        client.close()
+        assert not errors
+        assert len(server.calls) == 80
+
+    def test_connect_failure_is_rpc_error(self):
+        # Grab a free port and close it so nothing listens there.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = RpcClient("127.0.0.1", port, connect_timeout=0.5)
+        with pytest.raises(RpcError):
+            client.call("echo")

@@ -19,8 +19,12 @@ class TestJournal:
         j1.append({"x": 1})
         # no close — SIGKILL analogue; sync="os" flushed the line already
         j2 = Journal(tmp_path / "wal.log")
+        # Recovery replays before appending (the DurabilityManager boot
+        # order); replay also re-seeds the monotonic sequence counter,
+        # so post-recovery appends continue it instead of reusing seqs.
+        assert list(j2.replay()) == [{"seq": 1, "x": 1}]
         j2.append({"x": 2})
-        assert list(j2.replay()) == [{"x": 1}, {"x": 2}]
+        assert list(j2.replay()) == [{"seq": 1, "x": 1}, {"seq": 2, "x": 2}]
         j2.close()
 
     def test_torn_tail_line_is_dropped(self, tmp_path):
@@ -32,7 +36,7 @@ class TestJournal:
         with open(path, "ab") as fh:
             fh.write(b'{"c":123,"r":{"torn...')
         j2 = Journal(path)
-        assert list(j2.replay()) == [{"good": 1}, {"good": 2}]
+        assert list(j2.replay()) == [{"good": 1, "seq": 1}, {"good": 2, "seq": 2}]
         j2.close()
 
     def test_interior_checksum_mismatch_skips_only_that_record(self, tmp_path):
@@ -50,7 +54,7 @@ class TestJournal:
         j2 = Journal(path)
         # bit rot of one interior record must not drop the acknowledged
         # records behind it; only the damaged line is lost (and counted)
-        assert list(j2.replay()) == [{"n": 1}, {"n": 3}]
+        assert list(j2.replay()) == [{"n": 1, "seq": 1}, {"n": 3, "seq": 3}]
         assert j2.last_replay_damaged == 1
         j2.close()
 
@@ -62,7 +66,7 @@ class TestJournal:
         with open(path, "ab") as fh:
             fh.write(b'{"c":0,"r":{"half')  # crash mid-append
         j2 = Journal(path)
-        assert list(j2.replay()) == [{"n": 1}]
+        assert list(j2.replay()) == [{"n": 1, "seq": 1}]
         assert j2.last_replay_damaged == 0
         j2.close()
 
@@ -71,8 +75,10 @@ class TestJournal:
         j.append({"n": 1})
         j.truncate()
         assert list(j.replay()) == []
+        # The sequence keeps climbing across a truncation (snapshot):
+        # seqs are cluster-wide identities, never recycled.
         j.append({"n": 2})
-        assert list(j.replay()) == [{"n": 2}]
+        assert list(j.replay()) == [{"n": 2, "seq": 2}]
         j.close()
 
 

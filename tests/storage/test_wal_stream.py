@@ -1,0 +1,195 @@
+"""The WAL as a replication stream: sequence stamping, tail, replicated apply.
+
+These are the storage-layer primitives the cluster protocol
+(:mod:`repro.replication.node`) is built on; everything here runs on a
+single process with no sockets.
+"""
+
+import pytest
+
+from repro.core.broker import Scalia
+from repro.storage.wal import Journal
+
+
+class TestJournalSequencing:
+    def test_appends_stamp_monotonic_seq(self, tmp_path):
+        j = Journal(tmp_path / "wal.log")
+        for _ in range(3):
+            j.append({"t": "md"})
+        assert [r["seq"] for r in j.replay()] == [1, 2, 3]
+        assert j.last_seq == 3
+        j.close()
+
+    def test_supplied_seq_is_kept_and_advances_the_counter(self, tmp_path):
+        # Followers append leader-stamped records; the local counter must
+        # follow so a later local append (post-election) does not collide.
+        j = Journal(tmp_path / "wal.log")
+        j.append({"t": "md", "seq": 7})
+        assert j.last_seq == 7
+        j.append({"t": "md"})
+        assert j.last_seq == 8
+        j.close()
+
+    def test_replay_restores_the_counter(self, tmp_path):
+        j = Journal(tmp_path / "wal.log")
+        j.append({"a": 1})
+        j.append({"a": 2})
+        j.close()
+        j2 = Journal(tmp_path / "wal.log")
+        list(j2.replay())
+        assert j2.last_seq == 2
+        j2.append({"a": 3})
+        assert j2.last_seq == 3
+        j2.close()
+
+    def test_advance_seq_never_regresses(self, tmp_path):
+        j = Journal(tmp_path / "wal.log")
+        j.advance_seq(10)
+        j.advance_seq(4)
+        assert j.last_seq == 10
+        j.close()
+
+
+@pytest.fixture()
+def broker(tmp_path):
+    b = Scalia(data_dir=str(tmp_path / "a"))
+    # What ClusterNode.start() wires on a leader: chunk mutations ride
+    # the WAL alongside the metadata records they belong with.
+    for provider in b.registry.providers():
+        provider.on_chunk_put = b.durability.journal_chunk_put
+        provider.on_chunk_delete = b.durability.journal_chunk_delete
+    yield b
+    b.close()
+
+
+@pytest.fixture()
+def follower(tmp_path):
+    b = Scalia(data_dir=str(tmp_path / "b"))
+    yield b
+    b.close()
+
+
+class TestDurabilityTail:
+    def test_tail_yields_records_after_the_cursor(self, broker):
+        dm = broker.durability
+        broker.put("bkt", "k1", b"x" * 64)
+        broker.put("bkt", "k2", b"y" * 64)
+        assert dm.last_seq > 0
+        everything = list(dm.tail(0))
+        assert [r["seq"] for r in everything] == list(range(1, dm.last_seq + 1))
+        suffix = list(dm.tail(everything[1]["seq"]))
+        assert [r["seq"] for r in suffix] == [r["seq"] for r in everything[2:]]
+
+    def test_can_tail_false_below_snapshot_floor(self, broker):
+        dm = broker.durability
+        broker.put("bkt", "k1", b"x" * 64)
+        floor = dm.last_seq
+        assert dm.can_tail(0)
+        assert dm.snapshot() is not None  # truncates the WAL
+        assert dm.snapshot_floor_seq == floor
+        assert not dm.can_tail(0)
+        assert dm.can_tail(floor)
+        assert list(dm.tail(floor)) == []
+
+    def test_append_marker_returns_the_stamped_seq(self, broker):
+        dm = broker.durability
+        dm.record_term = 3
+        seq = dm.append_marker({"t": "noop", "term": 3})
+        assert seq == dm.last_seq
+        tail = list(dm.tail(seq - 1))
+        assert tail[0]["t"] == "noop"
+        assert tail[0]["rt"] == 3
+
+    def test_leader_records_carry_the_record_term(self, broker):
+        dm = broker.durability
+        dm.record_term = 5
+        broker.put("bkt", "k", b"z" * 32)
+        assert dm.last_record_term == 5
+        assert all(r["rt"] == 5 for r in dm.tail(0))
+
+
+class TestApplyReplicated:
+    def _stream(self, broker):
+        return list(broker.durability.tail(0))
+
+    def test_streamed_records_reproduce_the_object(self, broker, follower):
+        payload = b"replicate-me" * 50
+        broker.put("bkt", "doc", payload)
+        for record in self._stream(broker):
+            assert follower.durability.apply_replicated(follower, record)
+        assert follower.durability.last_seq == broker.durability.last_seq
+        assert follower.get("bkt", "doc") == payload
+
+    def test_duplicate_records_are_deduplicated(self, broker, follower):
+        broker.put("bkt", "doc", b"q" * 64)
+        stream = self._stream(broker)
+        for record in stream:
+            assert follower.durability.apply_replicated(follower, record)
+        for record in stream:
+            assert not follower.durability.apply_replicated(follower, record)
+        assert follower.durability.last_seq == broker.durability.last_seq
+        assert follower.get("bkt", "doc") == b"q" * 64
+
+    def test_applied_records_survive_follower_restart(self, broker, tmp_path):
+        broker.put("bkt", "doc", b"w" * 128)
+        stream = self._stream(broker)
+        f1 = Scalia(data_dir=str(tmp_path / "b"))
+        for record in stream:
+            f1.durability.apply_replicated(f1, record)
+        f1.close()
+        f2 = Scalia(data_dir=str(tmp_path / "b"))
+        try:
+            assert f2.durability.last_seq == broker.durability.last_seq
+            assert f2.get("bkt", "doc") == b"w" * 128
+        finally:
+            f2.close()
+
+    def test_delete_records_replicate(self, broker, follower):
+        broker.put("bkt", "doc", b"gone" * 16)
+        broker.delete("bkt", "doc")
+        for record in self._stream(broker):
+            follower.durability.apply_replicated(follower, record)
+        from repro.cluster.engine import ObjectNotFoundError
+
+        with pytest.raises(ObjectNotFoundError):
+            follower.get("bkt", "doc")
+
+
+class TestAdoptSnapshot:
+    def test_snapshot_state_transfers_metadata_and_counters(self, broker, follower):
+        payload = b"snap" * 100
+        broker.put("bkt", "doc", payload)
+        state = broker.durability.snapshot()
+        assert state is not None
+        assert state["wal_seq"] == broker.durability.last_seq
+        # Ship the chunks the way _send_snapshot does, then the state.
+        for provider in broker.registry.providers():
+            target = follower.registry.get(provider.name)
+            for key in provider.snapshot_keys():
+                chunk = provider.export_chunk(key)
+                if chunk is not None:
+                    target.adopt_replicated_chunk(key, chunk)
+        follower.durability.adopt_snapshot(follower, state)
+        assert follower.durability.last_seq == state["wal_seq"]
+        assert follower.durability.snapshot_floor_seq == state["wal_seq"]
+        assert not follower.durability.can_tail(0)
+        assert follower.get("bkt", "doc") == payload
+
+    def test_adoption_survives_restart(self, broker, tmp_path):
+        broker.put("bkt", "doc", b"persisted" * 20)
+        state = broker.durability.snapshot()
+        f1 = Scalia(data_dir=str(tmp_path / "b"))
+        for provider in broker.registry.providers():
+            target = f1.registry.get(provider.name)
+            for key in provider.snapshot_keys():
+                chunk = provider.export_chunk(key)
+                if chunk is not None:
+                    target.adopt_replicated_chunk(key, chunk)
+        f1.durability.adopt_snapshot(f1, state)
+        f1.close()
+        f2 = Scalia(data_dir=str(tmp_path / "b"))
+        try:
+            assert f2.durability.last_seq == state["wal_seq"]
+            assert f2.get("bkt", "doc") == b"persisted" * 20
+        finally:
+            f2.close()
