@@ -256,6 +256,110 @@ def test_metrics_overhead_read_heavy():
     )
 
 
+#: ``repro serve --workers N`` scaling sweep.  Each point boots a real
+#: pre-forked process tree (supervisor + broker + N gateway workers on a
+#: shared SO_REUSEPORT socket) and drives it over HTTP.  On a 1-core CI
+#: container N processes are just context switching, so the sweep
+#: asserts correctness parity (zero errors, full request counts) and
+#: records the curve + core count; the speedup itself only materializes
+#: with cores >= workers.
+WORKER_SWEEP = (1, 2, 4)
+WORKER_SWEEP_REQUESTS = 100  # per client; process startup dominates otherwise
+
+
+def _measure_prefork(workers: int, put_ratio: float, requests_per_client: int):
+    import re
+    import signal
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", str(workers), "--port", "0", "--log-level", "warning"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                if proc.poll() is not None:
+                    raise RuntimeError("serve exited during startup")
+                continue
+            match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise RuntimeError("serve never reported its port")
+        import http.client
+
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+                conn.request("GET", "/healthz")
+                if conn.getresponse().status == 200:
+                    conn.close()
+                    break
+                conn.close()
+            except OSError:
+                pass
+            time.sleep(0.2)
+        generator = LoadGenerator(
+            "127.0.0.1",
+            port,
+            clients=CLIENTS,
+            put_ratio=put_ratio,
+            payload_bytes=PAYLOAD_BYTES,
+        )
+        return generator.run(requests_per_client=requests_per_client, seed=1)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=40)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def _measure_worker_sweep(requests_per_client: int = WORKER_SWEEP_REQUESTS) -> dict:
+    curve = {}
+    for workers in WORKER_SWEEP:
+        report = _measure_prefork(workers, 0.5, requests_per_client)
+        curve[str(workers)] = {
+            "rps": round(report.rps, 1),
+            "p50_ms": round(report.percentile_ms(50), 3),
+            "p99_ms": round(report.percentile_ms(99), 3),
+            "errors": report.errors,
+            "total_requests": report.total_requests,
+        }
+    base = curve[str(WORKER_SWEEP[0])]["rps"]
+    for workers in WORKER_SWEEP:
+        entry = curve[str(workers)]
+        entry["scaling_vs_1"] = round(entry["rps"] / base, 3) if base else None
+    return {
+        "cpu_count": os.cpu_count(),
+        "put_ratio": 0.5,
+        "requests_per_client": requests_per_client,
+        "workers": curve,
+        "note": (
+            "real serve --workers N process trees over HTTP; speedup needs "
+            "cores >= workers — on a 1-core host the curve is flat and only "
+            "the zero-error parity is asserted"
+        ),
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_prefork_worker_parity(workers):
+    report = _measure_prefork(workers, 0.5, 50)
+    print(f"\n--workers {workers}: {report.summary()}")
+    assert report.errors == 0
+    assert report.total_requests == CLIENTS * 50
+
+
 #: Objects seeded for the control-plane stall measurement.  Every one of
 #: them is in the optimization round's accessed set, so the round's
 #: length scales with this count.
@@ -400,6 +504,19 @@ def main() -> None:
         f"GET-only {overhead['get_only_overhead_pct']}%)"
     )
     results["metrics_overhead"] = overhead
+    print()
+
+    print(f"--- pre-forked worker sweep (--workers {list(WORKER_SWEEP)}, "
+          f"{os.cpu_count()} cores) ---")
+    sweep = _measure_worker_sweep()
+    for workers in WORKER_SWEEP:
+        entry = sweep["workers"][str(workers)]
+        print(
+            f"{workers:>3} workers: {entry['rps']} req/s "
+            f"(x{entry['scaling_vs_1']} vs 1) | p50 {entry['p50_ms']}ms "
+            f"p99 {entry['p99_ms']}ms | errors {entry['errors']}"
+        )
+    results["worker_sweep"] = sweep
     print()
     with open(RESULT_PATH, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)

@@ -1257,6 +1257,250 @@ class Engine:
         return MultipartState.from_dict(resolution.winner.value)
 
     # ------------------------------------------------------------------
+    # staged data plane (pre-forked gateway workers)
+    # ------------------------------------------------------------------
+    #
+    # In worker mode the erasure coding and checksumming run in gateway
+    # worker processes; the broker's engine only plans placements, ships
+    # pre-encoded chunks to providers, and commits metadata.  The staged
+    # methods decompose ``put``/``upload_part`` into begin / write-stripe
+    # / commit steps the ops RPC can drive, with the same crash-safety
+    # story as the direct paths: the skey's in-flight registration (or
+    # the upload-lifetime registration for parts) protects staged chunks
+    # from the orphan sweep, and nothing is visible until the commit
+    # journals the metadata row.
+
+    def staged_begin(
+        self,
+        container: str,
+        key: str,
+        *,
+        size_guess: int,
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        exclude: Sequence[str] = (),
+        period: int = 0,
+    ) -> Tuple[str, Placement]:
+        """Plan a staged write: a placement plus a fresh in-flight skey.
+
+        ``exclude`` carries the worker's providers-that-failed set so a
+        retry re-plans around them, mirroring the direct path's loop.
+        The returned skey is registered in flight; every staged session
+        must end it via :meth:`staged_commit` or :meth:`staged_abort`.
+        """
+        unavailable = frozenset(
+            name
+            for name in self._registry.names()
+            if not self._registry.is_available(name)
+        )
+        try:
+            placement = self._planner.place(
+                container=container,
+                key=key,
+                size=max(1, int(size_guess)),
+                mime=mime,
+                rule_name=rule,
+                period=period,
+                exclude=unavailable | frozenset(exclude),
+            )
+        except PlacementError as exc:
+            raise WriteFailedError(str(exc)) from exc
+        skey = storage_key(container, key, self._ids.uuid())
+        self._locks.in_flight.begin(skey)
+        return skey, placement
+
+    def staged_write_stripe(
+        self,
+        skey: str,
+        tag: Optional[str],
+        chunks: Sequence[Chunk],
+        providers: Sequence[str],
+        written: List[Tuple[str, str]],
+    ) -> None:
+        """Ship one stripe's pre-encoded chunks to its providers.
+
+        ``tag=None`` selects the degenerate single-stripe layout
+        (``skey:index`` chunk keys, byte-identical to ``_put_object``);
+        otherwise keys are ``skey:tag.index`` as in the streaming path.
+        Appends to ``written`` in place so the caller can clean up the
+        already-shipped chunks when a provider fails mid-stripe; provider
+        errors propagate for the worker's re-plan loop.  Runs under the
+        pending queue's rewrite guards for the same reason
+        :meth:`_stream_stripes` does.
+        """
+        for chunk, provider_name in zip(chunks, providers):
+            chunk_key = (
+                f"{skey}:{chunk.index}" if tag is None else f"{skey}:{tag}.{chunk.index}"
+            )
+            with self._pending.rewrite_guard(chunk_key):
+                self._pending.discard(provider_name, chunk_key)
+                self._registry.get(provider_name).put_chunk(chunk_key, chunk)
+            written.append((provider_name, chunk_key))
+
+    def staged_commit(
+        self,
+        container: str,
+        key: str,
+        skey: str,
+        *,
+        m: int,
+        providers: Sequence[str],
+        size: int,
+        checksum: str,
+        stripes: Sequence[Tuple[str, int]],
+        mime: str = "application/octet-stream",
+        rule: Optional[str] = None,
+        ttl_hint: Optional[float] = None,
+        now: float = 0.0,
+        period: int = 0,
+    ) -> ObjectMeta:
+        """Journal a staged write's metadata; the object becomes visible.
+
+        ``stripes=()`` commits the degenerate single-stripe layout.  The
+        object stripe lock is held only here — staged puts race until
+        commit and the last commit wins, exactly the semantics of two
+        racing direct puts (the loser's chunks are GC'd against the
+        winner's reference set).
+        """
+        row_key = object_row_key(container, key)
+        try:
+            with self._locks.mutate_object(container, row_key):
+                old_meta = self._winning_meta(row_key)
+                class_key = self._planner.classify(size, mime)
+                meta = ObjectMeta(
+                    container=container,
+                    key=key,
+                    size=size,
+                    mime=mime,
+                    rule_name=self._planner.rule_for(rule, class_key),
+                    class_key=class_key,
+                    skey=skey,
+                    m=m,
+                    chunk_map=tuple(enumerate(providers)),
+                    created_at=old_meta.created_at if old_meta else now,
+                    checksum=checksum,
+                    ttl_hint=ttl_hint,
+                    stripes=tuple((str(t), int(length)) for t, length in stripes),
+                    modified_at=now,
+                )
+                self._commit_put(container, key, row_key, meta, old_meta, now, period)
+        finally:
+            self._locks.in_flight.end(skey)
+        return meta
+
+    def staged_abort(
+        self,
+        skey: str,
+        written: Sequence[Tuple[str, str]],
+        *,
+        end_in_flight: bool = True,
+    ) -> int:
+        """Drop a staged session's shipped chunks; returns deletions.
+
+        ``end_in_flight=False`` keeps the skey registered — the retry
+        case, where the same session re-begins with a new skey but a
+        part retry keeps the upload-lifetime registration untouched.
+        """
+        deleted = self._delete_refs(list(written))
+        if end_in_flight:
+            self._locks.in_flight.end(skey)
+        return deleted
+
+    def staged_part_begin(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        part_number: int,
+        *,
+        now: float = 0.0,
+    ) -> Tuple[MultipartState, int]:
+        """Reserve a generation for a staged part upload.
+
+        The generation counter is bumped and journaled *before* any
+        chunk is written, so a crashed or concurrent retry can never
+        reuse a generation's chunk keys.  Chunks staged under the
+        returned generation are protected by the upload-lifetime
+        in-flight registration made at create time.
+        """
+        part_number = int(part_number)
+        if not MIN_PART_NUMBER <= part_number <= MAX_PART_NUMBER:
+            raise MultipartError(
+                f"part number must be in [{MIN_PART_NUMBER}, {MAX_PART_NUMBER}]"
+            )
+        with self._locks.mutate_object(container, multipart_row_key(container, upload_id)):
+            state = self._load_upload(container, upload_id)
+            if state.key != key:
+                raise MultipartError(
+                    f"upload {upload_id} is for key {state.key!r}, not {key!r}"
+                )
+            gen = state.next_gen
+            state.next_gen = gen + 1
+            self._metadata.write(
+                self.dc, multipart_row_key(container, upload_id), state.to_dict(),
+                uuid=self._ids.uuid(), timestamp=now,
+            )
+        return state, gen
+
+    def staged_part_commit(
+        self,
+        container: str,
+        key: str,
+        upload_id: str,
+        part_number: int,
+        gen: int,
+        *,
+        etag: str,
+        size: int,
+        stripes: Sequence[Tuple[str, int]],
+        now: float = 0.0,
+    ) -> PartState:
+        """Flip the staging row to reference a staged part's chunks.
+
+        Mirrors the tail of :meth:`_upload_part_impl`: the replaced
+        generation's chunks are deleted only after the row references
+        the new ones, so a crash in between orphans (sweepable) chunks
+        rather than corrupting an acknowledged part.
+        """
+        part_number = int(part_number)
+        with self._locks.mutate_object(container, multipart_row_key(container, upload_id)):
+            state = self._load_upload(container, upload_id)
+            if state.key != key:
+                raise MultipartError(
+                    f"upload {upload_id} is for key {state.key!r}, not {key!r}"
+                )
+            part = PartState(
+                etag=etag,
+                size=int(size),
+                stripes=tuple((str(t), int(length)) for t, length in stripes),
+            )
+            replaced = state.parts.get(part_number)
+            state.parts[part_number] = part
+            if state.next_gen <= gen:
+                state.next_gen = gen + 1
+            self._metadata.write(
+                self.dc, multipart_row_key(container, upload_id), state.to_dict(),
+                uuid=self._ids.uuid(), timestamp=now,
+            )
+        if replaced is not None:
+            self._delete_refs(list(state.part_chunk_keys(replaced)))
+        return part
+
+    def fetch_stripe_chunks(
+        self, meta: ObjectMeta, stripe: int, *, times: int = 1
+    ) -> Tuple[int, Sequence]:
+        """Fetch (without decoding) one stripe's ``m`` best chunks.
+
+        The worker-mode read path: the broker fetches and bills chunks
+        under the object's shared stripe lock, the worker decodes.
+        Returns ``(plaintext_length, chunks)``; chunks may be synthetic.
+        """
+        with self._locks.read_object(object_row_key(meta.container, meta.key)):
+            length = meta.stripe_lengths[stripe]
+            chunks = self._fetch_chunks(meta, meta.m, stripe=stripe, times=times)
+        return length, chunks
+
+    # ------------------------------------------------------------------
     # migration / repair (driven by the periodic optimizer)
     # ------------------------------------------------------------------
 

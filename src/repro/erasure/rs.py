@@ -70,29 +70,50 @@ class ReedSolomon:
         """The (read-only) ``n x m`` generator matrix."""
         return self._generator
 
-    def encode(self, data: bytes) -> list[bytes]:
+    def encode(self, data: "bytes | memoryview") -> list[memoryview]:
         """Encode ``data`` into ``n`` shards of equal length.
 
-        The object is zero-padded to a multiple of ``m`` shard lengths; the
-        original length must be carried in metadata for :meth:`decode`.
+        Shards are returned as :class:`memoryview`\\ s.  When ``len(data)``
+        is already a multiple of ``m * shard_length`` — every interior
+        stripe of the streaming data plane — the data shards are zero-copy
+        slices of ``data`` itself (``shard.obj is data``): no pad buffer is
+        allocated and no bytes move.  Unaligned tails are zero-padded to a
+        multiple of ``m`` shard lengths; the original length must be
+        carried in metadata for :meth:`decode`.
         """
-        slen = shard_length(len(data), self.m)
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        slen = shard_length(len(view), self.m)
+        if len(view) == self.m * slen:
+            # Aligned fast path: slice, never copy.
+            shards: list[memoryview] = [
+                view[i * slen : (i + 1) * slen] for i in range(self.m)
+            ]
+            if self.n > self.m:
+                matrix = np.frombuffer(view, dtype=np.uint8).reshape(self.m, slen)
+                parity = gf_matmul(self._generator[self.m :], matrix)
+                shards.extend(memoryview(parity[i]) for i in range(self.n - self.m))
+            return shards
         padded = np.zeros(self.m * slen, dtype=np.uint8)
-        if data:
-            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        if len(view):
+            padded[: len(view)] = np.frombuffer(view, dtype=np.uint8)
         matrix = padded.reshape(self.m, slen)
         # Systematic fast path: only the parity rows need field arithmetic.
-        shards = [matrix[i].tobytes() for i in range(self.m)]
+        shards = [memoryview(matrix[i]) for i in range(self.m)]
         if self.n > self.m:
             parity = gf_matmul(self._generator[self.m :], matrix)
-            shards.extend(parity[i].tobytes() for i in range(self.n - self.m))
+            shards.extend(memoryview(parity[i]) for i in range(self.n - self.m))
         return shards
 
-    def decode(self, shards: Mapping[int, bytes], data_len: int) -> bytes:
-        """Rebuild the original ``data_len`` bytes from any ``m`` shards.
+    def decode_blocks(
+        self, shards: Mapping[int, "bytes | memoryview"], data_len: int
+    ) -> list[memoryview]:
+        """Rebuild the original bytes as a list of buffer views.
 
-        ``shards`` maps shard index (0-based) to shard bytes.  Extra shards
-        beyond ``m`` are ignored deterministically (lowest indices win).
+        The concatenation of the returned views is the ``data_len``-byte
+        object.  Data shards that are present are returned as views of the
+        caller's buffers — no copy; only genuinely missing data rows are
+        recovered through field arithmetic.  Extra shards beyond ``m`` are
+        ignored deterministically (lowest indices win).
         """
         if data_len < 0:
             raise ValueError("data_len must be >= 0")
@@ -109,20 +130,43 @@ class ReedSolomon:
                 raise ValueError(
                     f"shard {idx} has length {len(shards[idx])}, expected {slen}"
                 )
-        if indices == list(range(self.m)):
-            # All data shards present: plain concatenation.
-            blob = b"".join(shards[i] for i in indices)
-            return blob[:data_len]
-        sub = self._generator[indices]
-        inv = gf_inverse(sub)
-        stacked = np.vstack(
-            [np.frombuffer(shards[i], dtype=np.uint8) for i in indices]
-        )
-        matrix = gf_matmul(inv, stacked)
-        return matrix.reshape(-1).tobytes()[:data_len]
+        chosen = set(indices)
+        # Only rows that contribute live bytes are worth recovering.
+        needed_rows = min(self.m, math.ceil(data_len / slen)) if data_len else 0
+        missing = [row for row in range(needed_rows) if row not in chosen]
+        recovered: dict[int, memoryview] = {}
+        if missing:
+            sub = self._generator[indices]
+            inv = gf_inverse(sub)
+            stacked = np.vstack(
+                [np.frombuffer(shards[i], dtype=np.uint8) for i in indices]
+            )
+            rows = gf_matmul(inv[missing], stacked)
+            recovered = {row: memoryview(rows[j]) for j, row in enumerate(missing)}
+        blocks: list[memoryview] = []
+        remaining = data_len
+        for row in range(self.m):
+            take = min(slen, remaining)
+            if take <= 0:
+                break
+            source = recovered.get(row)
+            if source is None:
+                raw = shards[row]
+                source = raw if isinstance(raw, memoryview) else memoryview(raw)
+            blocks.append(source[:take])
+            remaining -= take
+        return blocks
+
+    def decode(self, shards: Mapping[int, "bytes | memoryview"], data_len: int) -> bytes:
+        """Rebuild the original ``data_len`` bytes from any ``m`` shards.
+
+        ``shards`` maps shard index (0-based) to shard bytes.  This is the
+        copying convenience over :meth:`decode_blocks`.
+        """
+        return b"".join(self.decode_blocks(shards, data_len))
 
     def reconstruct_shard(
-        self, shards: Mapping[int, bytes], target_index: int, data_len: int
+        self, shards: Mapping[int, "bytes | memoryview"], target_index: int, data_len: int
     ) -> bytes:
         """Recompute a single missing shard from any ``m`` available ones.
 
@@ -132,7 +176,9 @@ class ReedSolomon:
         if not 0 <= target_index < self.n:
             raise ValueError(f"shard index {target_index} out of range")
         data = self.decode(shards, shard_length(data_len, self.m) * self.m)
-        return self.encode(data)[target_index]
+        # bytes() detaches the repaired shard from the full decoded buffer so
+        # the store doesn't pin m shards' worth of memory for one chunk.
+        return bytes(self.encode(data)[target_index])
 
 
 class CodeCache:

@@ -142,6 +142,15 @@ class BrokerFrontend:
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
         return result
 
+    def run_op(self, op: str, fn: Callable[[], Any]) -> Any:
+        """Run a broker operation under the mode's dispatch and counters.
+
+        The ops RPC service drives staged worker operations through this
+        so the broker-side op/error counters stay whole-system truthful
+        whichever process did the encoding.
+        """
+        return self._run(op, fn)
+
     # -- tenant-facing object API ----------------------------------------
 
     def put(
@@ -291,7 +300,7 @@ class BrokerFrontend:
         def blocks():
             if cached is not None:
                 # the cache path went through broker.get, which logged
-                if isinstance(cached, bytes):
+                if isinstance(cached, (bytes, bytearray, memoryview)):
                     yield cached
                 return
             served = False
@@ -307,7 +316,7 @@ class BrokerFrontend:
                         "commit_read", lambda: self.broker.commit_read(plan)
                     )
                     served = True
-                if isinstance(payload, bytes):
+                if isinstance(payload, (bytes, bytearray, memoryview)):
                     yield payload[lo:hi]
             if not served:
                 # Zero-length reads (empty objects) serve trivially.

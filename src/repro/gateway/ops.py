@@ -1,0 +1,607 @@
+"""The broker-side ops RPC: sole owner of metadata, serving worker requests.
+
+In pre-forked mode (``repro serve --workers N``) the gateway worker
+processes do all per-request CPU work — HTTP, body streaming, erasure
+coding, checksumming — and reach the single broker process through this
+service, built on the length-prefixed transport of
+:mod:`repro.replication.rpc`.  The broker keeps sole ownership of
+metadata, striped locks, the WAL and the control plane; what crosses the
+socket is *encoded chunks* (as raw binary payloads, no base64) and small
+JSON control frames.
+
+Writes run the staged protocol (:meth:`Engine.staged_begin` /
+``staged_write_stripe`` / ``staged_commit``): the worker encodes each
+stripe, ships the shards in one binary frame, and commits with the
+md5 it computed while streaming.  Reads are the mirror image:
+``read_stripe`` returns one stripe's fetched chunks — sorted by shard
+index, shipped back-to-back — and the worker decodes; when the ``m``
+cheapest chunks happen to be the data shards the worker serves a single
+zero-copy slice of the receive buffer.
+
+Typed broker errors cross the RPC as structured ``err`` documents
+(``kind`` + message + optional fields) so the worker re-raises the exact
+exception type its HTTP layer already maps to status codes.
+
+Every operation that has a direct-mode counterpart runs under
+:meth:`BrokerFrontend.run_op` with the matching op name, so the broker's
+op/error counters — and everything layered on them (``/stats``,
+``repro top``) — stay whole-system truthful regardless of which process
+did the encoding.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.engine import (
+    InvalidRangeError,
+    InvalidContinuationTokenError,
+    MultipartError,
+    NoSuchUploadError,
+    ObjectNotFoundError,
+    ReadFailedError,
+    ReadPlan,
+    WriteFailedError,
+)
+from repro.erasure.striping import Chunk, SyntheticChunk
+from repro.gateway.frontend import BrokerFrontend, FrontendClosedError
+from repro.obs.workers import WorkerMetricsAggregator
+from repro.providers.provider import (
+    CapacityExceededError,
+    ChunkTooLargeError,
+    ProviderUnavailableError,
+)
+from repro.providers.registry import UnknownProviderError
+from repro.replication.rpc import RpcServer
+from repro.types import ObjectMeta
+
+
+def _error_doc(exc: Exception) -> Optional[Dict[str, Any]]:
+    """Map a typed broker exception to a structured wire document."""
+    msg = str(exc.args[0]) if exc.args else str(exc)
+    if isinstance(exc, ObjectNotFoundError):
+        return {"kind": "object_not_found", "msg": msg}
+    if isinstance(exc, InvalidRangeError):
+        return {
+            "kind": "invalid_range",
+            "msg": msg,
+            "object_size": getattr(exc, "object_size", 0),
+        }
+    if isinstance(exc, WriteFailedError):
+        return {"kind": "write_failed", "msg": msg}
+    if isinstance(exc, ReadFailedError):
+        return {"kind": "read_failed", "msg": msg}
+    if isinstance(exc, NoSuchUploadError):
+        return {"kind": "no_such_upload", "msg": msg}
+    if isinstance(exc, MultipartError):
+        return {"kind": "multipart", "msg": msg}
+    if isinstance(exc, InvalidContinuationTokenError):
+        return {"kind": "bad_token", "msg": msg}
+    if isinstance(exc, ProviderUnavailableError):
+        return {
+            "kind": "provider_unavailable", "msg": msg,
+            "provider": getattr(exc, "provider_name", None),
+        }
+    if isinstance(exc, CapacityExceededError):
+        return {
+            "kind": "capacity_exceeded", "msg": msg,
+            "provider": getattr(exc, "provider_name", None),
+        }
+    if isinstance(exc, ChunkTooLargeError):
+        return {
+            "kind": "chunk_too_large", "msg": msg,
+            "provider": getattr(exc, "provider_name", None),
+        }
+    if isinstance(exc, UnknownProviderError):
+        return {"kind": "unknown_provider", "msg": msg}
+    if isinstance(exc, FrontendClosedError):
+        return {"kind": "closed", "msg": msg}
+    if isinstance(exc, (ValueError, TypeError)):
+        return {"kind": "value_error", "msg": msg}
+    return None
+
+
+def _guarded(fn: Callable) -> Callable:
+    """Turn typed broker exceptions into structured ``err`` responses.
+
+    Anything unmapped propagates to the RPC server's generic ``ok: false``
+    path — a worker treats that as an internal error (HTTP 500).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, request: dict):
+        try:
+            return fn(self, request)
+        except Exception as exc:  # noqa: BLE001 — mapped or re-raised
+            doc = _error_doc(exc)
+            if doc is None:
+                raise
+            return {"err": doc}
+
+    return wrapper
+
+
+class OpsService:
+    """Handler table for one broker's worker-facing ops RPC.
+
+    Wire conventions: chunk payloads ride the transport's binary frames
+    (``request["_payload"]`` inbound, ``(body, buffers)`` outbound);
+    metadata documents use the existing ``to_dict``/``from_dict`` forms.
+    Staged write sessions are tracked broker-side (``sid`` -> shipped
+    refs) so an abort can clean up without trusting the worker to
+    remember what it shipped.
+    """
+
+    def __init__(
+        self,
+        frontend: BrokerFrontend,
+        *,
+        aggregator: Optional[WorkerMetricsAggregator] = None,
+    ) -> None:
+        self.frontend = frontend
+        self.broker = frontend.broker
+        self.aggregator = aggregator
+        self._sessions: Dict[str, Dict[str, Any]] = {}
+        self._sessions_lock = threading.Lock()
+
+    # -- wiring ---------------------------------------------------------
+
+    def handlers(self) -> Dict[str, Callable]:
+        return {
+            "hello": self._op_hello,
+            "write_begin": self._op_write_begin,
+            "write_stripe": self._op_write_stripe,
+            "write_commit": self._op_write_commit,
+            "part_begin": self._op_part_begin,
+            "part_commit": self._op_part_commit,
+            "staged_abort": self._op_staged_abort,
+            "put_synthetic": self._op_put_synthetic,
+            "head": self._op_head,
+            "read_open": self._op_read_open,
+            "read_stripe": self._op_read_stripe,
+            "read_commit": self._op_read_commit,
+            "delete": self._op_delete,
+            "list": self._op_list,
+            "create_upload": self._op_create_upload,
+            "complete_upload": self._op_complete_upload,
+            "abort_upload": self._op_abort_upload,
+            "list_uploads": self._op_list_uploads,
+            "stats": self._op_stats,
+            "tick": self._op_tick,
+            "scrub": self._op_scrub,
+            "history": self._op_history,
+            "alerts": self._op_alerts,
+            "explain": self._op_explain,
+            "recovery": self._op_recovery,
+            "faults_get": self._op_faults_get,
+            "faults_set": self._op_faults_set,
+            "events_query": self._op_events_query,
+            "events_emit": self._op_events_emit,
+            "metrics_push": self._op_metrics_push,
+            "metrics_retire": self._op_metrics_retire,
+            "metrics_render": self._op_metrics_render,
+        }
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RpcServer:
+        """Start the ops RPC server; read the port off ``.address``."""
+        return RpcServer(host, port, self.handlers())
+
+    # -- session bookkeeping --------------------------------------------
+
+    def _session(self, sid: str) -> Dict[str, Any]:
+        with self._sessions_lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise ValueError(f"unknown staged session {sid!r}")
+        return session
+
+    def _open_session(self, sid: str, skey: str, *, owns_in_flight: bool) -> None:
+        with self._sessions_lock:
+            self._sessions[sid] = {
+                "skey": skey,
+                "written": [],
+                "owns_in_flight": owns_in_flight,
+            }
+
+    def _close_session(self, sid: str) -> Optional[Dict[str, Any]]:
+        with self._sessions_lock:
+            return self._sessions.pop(sid, None)
+
+    # -- handshake ------------------------------------------------------
+
+    def _op_hello(self, request: dict) -> dict:
+        return {
+            "pid": os.getpid(),
+            "stripe_size": self.broker.stripe_size_bytes,
+            "providers": self.broker.registry.names(),
+            "mode": self.frontend.mode,
+            "metrics_enabled": self.broker.metrics.enabled,
+        }
+
+    # -- staged writes --------------------------------------------------
+
+    @_guarded
+    def _op_write_begin(self, request: dict) -> dict:
+        skey, placement = self.broker.staged_begin(
+            request["container"],
+            request["key"],
+            size_guess=int(request.get("size_guess", 1)),
+            mime=request.get("mime", "application/octet-stream"),
+            rule=request.get("rule"),
+            exclude=tuple(request.get("exclude", ())),
+        )
+        self._open_session(skey, skey, owns_in_flight=True)
+        return {"sid": skey, "skey": skey, "m": placement.m,
+                "providers": list(placement.providers)}
+
+    @_guarded
+    def _op_write_stripe(self, request: dict) -> dict:
+        session = self._session(request["sid"])
+        payload = request.get("_payload")
+        if payload is None:
+            raise ValueError("write_stripe needs a binary payload")
+        indices = request["indices"]
+        lengths = request["lengths"]
+        checksums = request["checksums"]
+        providers = request["providers"]
+        if not (len(indices) == len(lengths) == len(checksums) == len(providers)):
+            raise ValueError("write_stripe shard lists disagree in length")
+        chunks: List[Chunk] = []
+        offset = 0
+        for index, length, checksum in zip(indices, lengths, checksums):
+            shard = payload[offset : offset + int(length)]
+            offset += int(length)
+            if len(shard) != int(length):
+                raise ValueError("write_stripe payload shorter than its shard list")
+            chunks.append(Chunk(index=int(index), data=shard, checksum=checksum))
+        tag = request.get("tag")
+        self.broker.staged_write_stripe(
+            session["skey"], tag, chunks, providers, session["written"]
+        )
+        return {"written": len(chunks)}
+
+    @_guarded
+    def _op_write_commit(self, request: dict) -> dict:
+        sid = request["sid"]
+        session = self._session(sid)
+        meta = self.frontend.run_op(
+            "put",
+            lambda: self.broker.staged_commit(
+                request["container"],
+                request["key"],
+                session["skey"],
+                m=int(request["m"]),
+                providers=tuple(request["providers"]),
+                size=int(request["size"]),
+                checksum=request["checksum"],
+                stripes=[(str(t), int(n)) for t, n in request.get("stripes", [])],
+                mime=request.get("mime", "application/octet-stream"),
+                rule=request.get("rule"),
+                ttl_hint=request.get("ttl_hint"),
+            ),
+        )
+        self._close_session(sid)
+        return {"meta": meta.to_dict()}
+
+    @_guarded
+    def _op_staged_abort(self, request: dict) -> dict:
+        session = self._close_session(request["sid"])
+        if session is None:
+            return {"deleted": 0}
+        deleted = self.broker.staged_abort(
+            session["skey"],
+            session["written"],
+            end_in_flight=session["owns_in_flight"],
+        )
+        return {"deleted": deleted}
+
+    @_guarded
+    def _op_put_synthetic(self, request: dict) -> dict:
+        meta = self.frontend.run_op(
+            "put",
+            lambda: self.broker.put(
+                request["container"],
+                request["key"],
+                int(request["size"]),
+                mime=request.get("mime", "application/octet-stream"),
+                rule=request.get("rule"),
+                ttl_hint=request.get("ttl_hint"),
+            ),
+        )
+        return {"meta": meta.to_dict()}
+
+    # -- staged multipart -----------------------------------------------
+
+    @_guarded
+    def _op_part_begin(self, request: dict) -> dict:
+        state, gen = self.broker.staged_part_begin(
+            request["container"],
+            request["key"],
+            request["upload_id"],
+            int(request["part_number"]),
+        )
+        sid = f"{state.skey}#p{int(request['part_number'])}g{gen}"
+        # Part chunks are protected by the upload-lifetime in-flight
+        # registration made at create time; an abort must not end it.
+        self._open_session(sid, state.skey, owns_in_flight=False)
+        return {
+            "sid": sid,
+            "skey": state.skey,
+            "m": state.m,
+            "providers": list(state.providers),
+            "stripe_size": state.stripe_size,
+            "gen": gen,
+        }
+
+    @_guarded
+    def _op_part_commit(self, request: dict) -> dict:
+        sid = request["sid"]
+        self._session(sid)  # validates liveness
+        part = self.frontend.run_op(
+            "upload_part",
+            lambda: self.broker.staged_part_commit(
+                request["container"],
+                request["key"],
+                request["upload_id"],
+                int(request["part_number"]),
+                int(request["gen"]),
+                etag=request["etag"],
+                size=int(request["size"]),
+                stripes=[(str(t), int(n)) for t, n in request.get("stripes", [])],
+            ),
+        )
+        self._close_session(sid)
+        return {"part": part.to_dict()}
+
+    # -- reads ----------------------------------------------------------
+
+    @_guarded
+    def _op_head(self, request: dict) -> dict:
+        meta = self.frontend.run_op(
+            "head", lambda: self.broker.head(request["container"], request["key"])
+        )
+        return {"meta": meta.to_dict() if meta is not None else None}
+
+    @_guarded
+    def _op_read_open(self, request: dict) -> dict:
+        byte_range = request.get("range")
+        if byte_range is not None:
+            byte_range = (
+                int(byte_range[0]),
+                None if byte_range[1] is None else int(byte_range[1]),
+            )
+        plan = self.frontend.run_op(
+            "open_read",
+            lambda: self.broker.open_read(
+                request["container"], request["key"], byte_range=byte_range
+            ),
+        )
+        return {
+            "meta": plan.meta.to_dict(),
+            "segments": [[s, lo, hi] for s, lo, hi in plan.segments],
+            "start": plan.start,
+            "end": plan.end,
+            "length": plan.length,
+        }
+
+    @_guarded
+    def _op_read_stripe(self, request: dict):
+        meta = ObjectMeta.from_dict(request["meta"])
+        length, chunks = self.frontend.run_op(
+            "get_stripe",
+            lambda: self.broker.fetch_stripe_chunks(meta, int(request["stripe"])),
+        )
+        if chunks and isinstance(chunks[0], SyntheticChunk):
+            return {"length": length, "synthetic": True}
+        # Ship shards sorted by index: when the m fetched chunks are the
+        # data shards (the common all-healthy case for systematic codes),
+        # their concatenation *is* the padded stripe — the worker serves
+        # a single zero-copy slice of its receive buffer.
+        ordered = sorted(chunks, key=lambda c: c.index)
+        body = {
+            "length": length,
+            "synthetic": False,
+            "indices": [c.index for c in ordered],
+            "lengths": [len(c.data) for c in ordered],
+            "checksums": [c.checksum for c in ordered],
+        }
+        return body, [c.data for c in ordered]
+
+    @_guarded
+    def _op_read_commit(self, request: dict) -> dict:
+        meta = ObjectMeta.from_dict(request["meta"])
+        length = int(request.get("length", meta.size))
+        plan = ReadPlan(
+            meta=meta, segments=[], start=0, end=max(0, length - 1), length=length
+        )
+        self.frontend.run_op(
+            "commit_read",
+            lambda: self.broker.commit_read(plan, count=int(request.get("count", 1))),
+        )
+        return {}
+
+    # -- namespace ops --------------------------------------------------
+
+    @_guarded
+    def _op_delete(self, request: dict) -> dict:
+        self.frontend.run_op(
+            "delete", lambda: self.broker.delete(request["container"], request["key"])
+        )
+        return {}
+
+    @_guarded
+    def _op_list(self, request: dict) -> dict:
+        page = self.frontend.run_op(
+            "list",
+            lambda: self.broker.list(
+                request["container"],
+                prefix=request.get("prefix", ""),
+                delimiter=request.get("delimiter", ""),
+                max_keys=request.get("max_keys"),
+                continuation_token=request.get("continuation_token"),
+            ),
+        )
+        return {
+            "keys": list(page.keys),
+            "common_prefixes": list(page.common_prefixes),
+            "next_token": page.next_token,
+            "is_truncated": page.is_truncated,
+        }
+
+    # -- multipart control ----------------------------------------------
+
+    @_guarded
+    def _op_create_upload(self, request: dict) -> dict:
+        state = self.frontend.run_op(
+            "create_upload",
+            lambda: self.broker.create_multipart_upload(
+                request["container"],
+                request["key"],
+                mime=request.get("mime", "application/octet-stream"),
+                rule=request.get("rule"),
+                size_hint=request.get("size_hint"),
+            ),
+        )
+        return {"state": state.to_dict()}
+
+    @_guarded
+    def _op_complete_upload(self, request: dict) -> dict:
+        raw_parts = request.get("parts")
+        parts = (
+            None
+            if raw_parts is None
+            else [(int(n), etag) for n, etag in raw_parts]
+        )
+        meta = self.frontend.run_op(
+            "complete_upload",
+            lambda: self.broker.complete_multipart_upload(
+                request["container"], request["key"], request["upload_id"], parts
+            ),
+        )
+        return {"meta": meta.to_dict()}
+
+    @_guarded
+    def _op_abort_upload(self, request: dict) -> dict:
+        deleted = self.frontend.run_op(
+            "abort_upload",
+            lambda: self.broker.abort_multipart_upload(
+                request["container"], request["key"], request["upload_id"]
+            ),
+        )
+        return {"deleted": deleted}
+
+    @_guarded
+    def _op_list_uploads(self, request: dict) -> dict:
+        states = self.frontend.run_op(
+            "list_uploads",
+            lambda: self.broker.list_multipart_uploads(request["container"]),
+        )
+        return {"uploads": [s.to_dict() for s in states]}
+
+    # -- admin / observability ------------------------------------------
+
+    @_guarded
+    def _op_stats(self, request: dict) -> dict:
+        return {"stats": self.frontend.stats()}
+
+    @_guarded
+    def _op_tick(self, request: dict) -> dict:
+        return {"report": self.frontend.tick_report(int(request.get("periods", 1)))}
+
+    @_guarded
+    def _op_scrub(self, request: dict) -> dict:
+        return {"report": self.frontend.scrub(repair=bool(request.get("repair", True)))}
+
+    @_guarded
+    def _op_history(self, request: dict) -> dict:
+        return {
+            "history": self.frontend.history(
+                series=request.get("series"), window_s=request.get("window_s")
+            )
+        }
+
+    @_guarded
+    def _op_alerts(self, request: dict) -> dict:
+        return {"alerts": self.frontend.alerts()}
+
+    @_guarded
+    def _op_explain(self, request: dict) -> dict:
+        def fn():
+            try:
+                return self.broker.explain(request["container"], request["key"])
+            except KeyError:
+                raise ObjectNotFoundError(
+                    f"{request['container']}/{request['key']} not found"
+                ) from None
+
+        return {"doc": self.frontend.run_op("explain", fn)}
+
+    @_guarded
+    def _op_recovery(self, request: dict) -> dict:
+        return {"recovery": self.frontend.recovery_status()}
+
+    @_guarded
+    def _op_faults_get(self, request: dict) -> dict:
+        return {"faults": self.frontend.fault_profiles()}
+
+    @_guarded
+    def _op_faults_set(self, request: dict) -> dict:
+        return {
+            "result": self.frontend.set_fault_profile(
+                request["provider"], request.get("profile")
+            )
+        }
+
+    # -- events ----------------------------------------------------------
+
+    @_guarded
+    def _op_events_query(self, request: dict) -> dict:
+        journal = self.broker.events
+        events = journal.query(
+            type=request.get("type"),
+            since=request.get("since"),
+            key=request.get("key"),
+            limit=request.get("limit"),
+        )
+        return {
+            "events": events,
+            "latest_seq": journal.latest_seq,
+            "stats": journal.stats(),
+        }
+
+    @_guarded
+    def _op_events_emit(self, request: dict) -> dict:
+        fields = request.get("fields") or {}
+        seq = self.broker.events.emit(
+            request["type"], key=request.get("key"), **fields
+        )
+        return {"seq": seq}
+
+    # -- worker metrics ---------------------------------------------------
+
+    @_guarded
+    def _op_metrics_push(self, request: dict) -> dict:
+        if self.aggregator is not None:
+            self.aggregator.push(
+                int(request["slot"]), int(request["incarnation"]), request["doc"]
+            )
+        return {}
+
+    @_guarded
+    def _op_metrics_retire(self, request: dict) -> dict:
+        if self.aggregator is not None:
+            self.aggregator.retire(int(request["slot"]))
+        return {}
+
+    @_guarded
+    def _op_metrics_render(self, request: dict) -> dict:
+        fmt = request.get("fmt", "json")
+        metrics = self.broker.metrics
+        if fmt == "json":
+            return {"doc": metrics.render_json()}
+        if fmt == "openmetrics":
+            return {"text": metrics.render_openmetrics()}
+        return {"text": metrics.render_text()}

@@ -28,6 +28,7 @@ import hashlib
 import http.client
 import json
 import os
+import socket
 import tempfile
 import threading
 import time
@@ -102,8 +103,37 @@ def _parse_window(raw: Optional[str]) -> Optional[float]:
     return value
 
 
+#: Raw rejection response for connections over the per-worker cap, sent
+#: without spinning up a handler (the point is to shed load cheaply).
+_OVERLOAD_BODY = b'{"error": "gateway at connection capacity", "status": 503}'
+_OVERLOAD_RESPONSE = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: " + str(len(_OVERLOAD_BODY)).encode("ascii") + b"\r\n"
+    b"Retry-After: 1\r\n"
+    b"Connection: close\r\n"
+    b"\r\n" + _OVERLOAD_BODY
+)
+
+
 class _GatewayHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that carries the frontend for its handlers."""
+    """ThreadingHTTPServer that carries the frontend for its handlers.
+
+    Three pre-fork extensions over the stock server:
+
+    * ``max_connections`` caps concurrent connections; excess accepts are
+      answered with a raw 503 + ``Retry-After`` instead of queueing a
+      thread per connection without bound.
+    * ``reuse_port`` binds with ``SO_REUSEPORT`` so N worker processes
+      can share one listening address and let the kernel load-balance
+      accepts.
+    * ``inherited_socket`` adopts an already-bound listening socket from
+      a supervisor (the fallback for platforms without ``SO_REUSEPORT``).
+
+    ``begin_drain()`` + ``active_requests`` implement graceful SIGTERM
+    shutdown: stop accepting, finish requests already being handled,
+    close keep-alive connections as their current request completes.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -117,8 +147,35 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
         *,
         logger: Optional[StructuredLogger] = None,
         trace_slow_ms: Optional[float] = None,
+        max_connections: Optional[int] = None,
+        reuse_port: bool = False,
+        inherited_socket: Optional[socket.socket] = None,
     ):
-        super().__init__(address, handler)
+        super().__init__(address, handler, bind_and_activate=False)
+        if inherited_socket is not None:
+            self.socket.close()
+            self.socket = inherited_socket
+            # Mirror server_bind's bookkeeping for the adopted socket.
+            self.server_address = inherited_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
+            self.server_activate()
+        else:
+            if reuse_port:
+                self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            self.server_bind()
+            self.server_activate()
+        self.max_connections = max_connections
+        self._conn_slots = (
+            threading.BoundedSemaphore(max_connections)
+            if max_connections is not None
+            else None
+        )
+        self._active_connections = 0
+        self._active_requests = 0
+        self._activity_lock = threading.Lock()
+        self.draining = False
         self.frontend = frontend
         self.verbose = verbose
         self.logger = logger if logger is not None else get_logger("gateway")
@@ -147,10 +204,70 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
                 "scalia_gateway_inflight_requests",
                 "Requests currently being handled.",
             ).labels()
+            self.m_overload = metrics.counter(
+                "scalia_gateway_overload_rejections_total",
+                "Connections rejected with 503 over the connection cap.",
+            ).labels()
         else:
             self.m_requests = None
             self.m_latency = None
             self.m_inflight = None
+            self.m_overload = None
+
+    # -- connection capping -------------------------------------------------
+
+    def process_request(self, request, client_address):
+        """Admission control before a handler thread is spawned."""
+        if self._conn_slots is not None and not self._conn_slots.acquire(
+            blocking=False
+        ):
+            if self.m_overload is not None:
+                self.m_overload.inc()
+            try:
+                request.sendall(_OVERLOAD_RESPONSE)
+            except OSError:
+                pass
+            self.shutdown_request(request)
+            return
+        with self._activity_lock:
+            self._active_connections += 1
+        super().process_request(request, client_address)
+
+    def process_request_thread(self, request, client_address):
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._activity_lock:
+                self._active_connections -= 1
+            if self._conn_slots is not None:
+                self._conn_slots.release()
+
+    # -- graceful drain -----------------------------------------------------
+
+    @property
+    def active_requests(self) -> int:
+        with self._activity_lock:
+            return self._active_requests
+
+    @property
+    def active_connections(self) -> int:
+        with self._activity_lock:
+            return self._active_connections
+
+    def begin_drain(self) -> None:
+        """Flip to draining: handlers close their connection after the
+        in-progress request; idle keep-alive connections are not waited
+        on (the drain deadline polls ``active_requests``, not
+        connections)."""
+        self.draining = True
+
+    def _begin_request(self) -> None:
+        with self._activity_lock:
+            self._active_requests += 1
+
+    def _end_request(self) -> None:
+        with self._activity_lock:
+            self._active_requests -= 1
 
 
 class GatewayHandler(BaseHTTPRequestHandler):
@@ -176,6 +293,12 @@ class GatewayHandler(BaseHTTPRequestHandler):
         trace = start_trace(self.headers.get("x-request-id") or None)
         if server.m_inflight is not None:
             server.m_inflight.inc()
+        server._begin_request()
+        if server.draining:
+            # SIGTERM drain: finish this request, then drop the
+            # connection so the poll on active_requests can reach zero
+            # without waiting out idle keep-alives.
+            self.close_connection = True
         route_kind = "unroutable"
         started = time.perf_counter()
         try:
@@ -213,6 +336,9 @@ class GatewayHandler(BaseHTTPRequestHandler):
         finally:
             duration = time.perf_counter() - started
             self._account(trace, route_kind, duration)
+            server._end_request()
+            if server.draining:
+                self.close_connection = True
             end_trace(trace)
 
     def _account(self, trace, route_kind: str, duration: float) -> None:
@@ -1056,6 +1182,9 @@ class ScaliaGateway:
         verbose: bool = False,
         logger: Optional[StructuredLogger] = None,
         trace_slow_ms: Optional[float] = None,
+        max_connections: Optional[int] = None,
+        reuse_port: bool = False,
+        inherited_socket: Optional[socket.socket] = None,
     ) -> None:
         self._owns_frontend = frontend is None
         self.frontend = frontend if frontend is not None else BrokerFrontend()
@@ -1066,6 +1195,9 @@ class ScaliaGateway:
             verbose,
             logger=logger,
             trace_slow_ms=trace_slow_ms,
+            max_connections=max_connections,
+            reuse_port=reuse_port,
+            inherited_socket=inherited_socket,
         )
         self._thread: Optional[threading.Thread] = None
         self._started = False
@@ -1098,6 +1230,21 @@ class ScaliaGateway:
         """Serve on the calling thread until interrupted."""
         self._started = True
         self._httpd.serve_forever(poll_interval=0.2)
+
+    # -- graceful drain (the pre-forked worker's SIGTERM path) ------------
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently being handled (not idle connections)."""
+        return self._httpd.active_requests
+
+    def begin_drain(self) -> None:
+        """Stop accepting and mark in-flight handlers to close after
+        their current request; callers then poll :attr:`active_requests`
+        down to zero before :meth:`close`."""
+        self._httpd.begin_drain()
+        if self._started:
+            self._httpd.shutdown()
 
     def close(self) -> None:
         """Stop serving and release the socket (and an owned frontend)."""

@@ -135,12 +135,13 @@ class Counter:
     *map* and the ``set_total`` base.
     """
 
-    __slots__ = ("_lock", "_cells", "_base")
+    __slots__ = ("_lock", "_cells", "_base", "_external")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._cells: Dict[int, List[float]] = {}
         self._base = 0.0
+        self._external: Dict[str, float] = {}
 
     def _cell(self, ident: int) -> List[float]:
         with self._lock:
@@ -163,10 +164,24 @@ class Counter:
         with self._lock:
             self._base = float(value) - sum(c[0] for c in self._cells.values())
 
+    def set_external(self, source: str, value: float) -> None:
+        """Set ``source``'s additive contribution to this counter.
+
+        External contributions (per-worker snapshots folded in by the
+        broker's aggregator) add to — never clobber — locally incremented
+        samples.  Re-setting the same source is idempotent.
+        """
+        with self._lock:
+            self._external[source] = float(value)
+
     @property
     def value(self) -> float:
         with self._lock:
-            return self._base + sum(c[0] for c in self._cells.values())
+            return (
+                self._base
+                + sum(c[0] for c in self._cells.values())
+                + sum(self._external.values())
+            )
 
 
 class Gauge:
@@ -177,12 +192,13 @@ class Gauge:
     value equals the assignment.
     """
 
-    __slots__ = ("_lock", "_cells", "_base")
+    __slots__ = ("_lock", "_cells", "_base", "_external")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._cells: Dict[int, List[float]] = {}
         self._base = 0.0
+        self._external: Dict[str, float] = {}
 
     def _cell(self, ident: int) -> List[float]:
         with self._lock:
@@ -191,6 +207,11 @@ class Gauge:
     def set(self, value: float) -> None:
         with self._lock:
             self._base = float(value) - sum(c[0] for c in self._cells.values())
+
+    def set_external(self, source: str, value: float) -> None:
+        """Set ``source``'s additive contribution (see :class:`Counter`)."""
+        with self._lock:
+            self._external[source] = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         ident = get_ident()
@@ -209,7 +230,11 @@ class Gauge:
     @property
     def value(self) -> float:
         with self._lock:
-            return self._base + sum(c[0] for c in self._cells.values())
+            return (
+                self._base
+                + sum(c[0] for c in self._cells.values())
+                + sum(self._external.values())
+            )
 
 
 class Histogram:
@@ -229,7 +254,7 @@ class Histogram:
     design tolerate.
     """
 
-    __slots__ = ("bounds", "_nbuckets", "_shards", "_lock")
+    __slots__ = ("bounds", "_nbuckets", "_shards", "_lock", "_external")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
@@ -242,6 +267,9 @@ class Histogram:
         # path, and the sample total is just the folded bucket counts.
         self._shards: Dict[int, List[float]] = {}
         self._lock = threading.Lock()
+        # source -> (per-bucket counts incl. +Inf, sum): additive external
+        # contributions (worker snapshots), folded into every snapshot.
+        self._external: Dict[str, Tuple[List[int], float]] = {}
 
     def _shard(self, ident: int) -> List[float]:
         with self._lock:
@@ -257,6 +285,25 @@ class Histogram:
         shard[bisect_left(self.bounds, value)] += 1
         shard[-1] += value
 
+    def set_external(
+        self, source: str, cumulative: Sequence[int], total_sum: float
+    ) -> None:
+        """Record an additive external contribution (a worker snapshot).
+
+        ``cumulative`` is a cumulative bucket-count list including the
+        ``+Inf`` bucket, as produced by :meth:`snapshot` on the remote
+        side; it replaces any prior contribution from ``source`` without
+        touching local observations.  Lists of the wrong arity (a peer
+        with different bounds) are rejected.
+        """
+        if len(cumulative) != self._nbuckets:
+            raise ValueError(
+                f"external snapshot has {len(cumulative)} buckets, "
+                f"expected {self._nbuckets}"
+            )
+        with self._lock:
+            self._external[source] = ([int(c) for c in cumulative], float(total_sum))
+
     def snapshot(self) -> Tuple[List[int], int, float]:
         """Fold the shards: (cumulative bucket counts, total, sum).
 
@@ -267,6 +314,7 @@ class Histogram:
         acc = 0.0
         with self._lock:
             shards = list(self._shards.values())
+            external = list(self._external.values())
         for shard in shards:
             for i in range(self._nbuckets):
                 counts[i] += shard[i]
@@ -276,6 +324,10 @@ class Histogram:
         for c in counts:
             running += c
             cumulative.append(running)
+        for ext_cum, ext_sum in external:
+            for i in range(self._nbuckets):
+                cumulative[i] += ext_cum[i]
+            acc += ext_sum
         return cumulative, (cumulative[-1] if cumulative else 0), acc
 
     def quantile(self, q: float) -> float:
@@ -298,6 +350,9 @@ class _NullChild:
         pass
 
     def set_total(self, value: float) -> None:
+        pass
+
+    def set_external(self, source: str, *args) -> None:
         pass
 
     def observe(self, value: float) -> None:

@@ -7,6 +7,15 @@ small enough to read in one sitting, debuggable with ``nc`` and a hex
 dump, and fast enough for a metadata stream whose records are a few
 hundred bytes.
 
+Messages may additionally carry a raw binary payload: the JSON body
+reserves the key ``"_bin"`` for the payload's byte length and the
+payload bytes follow the JSON frame on the wire, unencoded.  This is
+the gateway workers' stripe data path — chunk bytes cross the socket
+without base64 or json escaping, and the receiver exposes them as
+:class:`memoryview` slices of a single receive buffer (zero copies
+after the kernel).  Senders pass a sequence of buffers which are
+written back-to-back, so scattered shards need no join.
+
 The server runs one thread per connection (connections are few — one
 per peer node plus transient joiners — so a thread apiece is simpler
 and no slower than a selector loop at this scale).  Handlers run on the
@@ -20,13 +29,19 @@ import json
 import socket
 import struct
 import threading
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 _LEN = struct.Struct(">I")
 
 #: Refuse frames beyond this (64 MiB): chunk pages dominate frame size
 #: and are capped well below it by the sender.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Refuse binary payloads beyond this (256 MiB): a payload carries at most
+#: one stripe's worth of chunks and stripes are capped far below it.
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 class RpcError(Exception):
@@ -43,18 +58,63 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(buf)
 
 
-def send_frame(sock: socket.socket, message: dict) -> None:
+def send_message(
+    sock: socket.socket, message: dict, buffers: Sequence[Buffer] = ()
+) -> None:
+    """Send one JSON frame, optionally followed by raw payload bytes.
+
+    ``buffers`` are written back-to-back after the frame; their total
+    length travels in the reserved ``"_bin"`` key so the receiver knows
+    how many payload bytes to read.  Buffers are never joined sender-side.
+    """
+    if buffers:
+        total = sum(len(b) for b in buffers)
+        if total > MAX_PAYLOAD_BYTES:
+            raise RpcError(f"payload of {total} B exceeds {MAX_PAYLOAD_BYTES} B")
+        message = {**message, "_bin": total}
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise RpcError(f"frame of {len(body)} B exceeds {MAX_FRAME_BYTES} B")
     sock.sendall(_LEN.pack(len(body)) + body)
+    for buf in buffers:
+        sock.sendall(buf)
 
 
-def recv_frame(sock: socket.socket) -> dict:
+def recv_message(sock: socket.socket) -> Tuple[dict, Optional[memoryview]]:
+    """Receive one JSON frame plus its raw payload, if one follows.
+
+    The payload arrives as a single :class:`memoryview`; handlers slice
+    it into chunk shards without copying.  Returns ``(message, payload)``
+    with ``payload=None`` for plain frames.
+    """
     (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
     if length > MAX_FRAME_BYTES:
         raise RpcError(f"peer announced a {length} B frame; refusing")
-    return json.loads(_recv_exact(sock, length))
+    message = json.loads(_recv_exact(sock, length))
+    payload: Optional[memoryview] = None
+    if isinstance(message, dict) and "_bin" in message:
+        total = int(message.pop("_bin"))
+        if not 0 <= total <= MAX_PAYLOAD_BYTES:
+            raise RpcError(f"peer announced a {total} B payload; refusing")
+        payload = memoryview(_recv_exact(sock, total))
+    return message, payload
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Compat wrapper: send a plain JSON frame (no binary payload)."""
+    send_message(sock, message)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Compat wrapper: receive a frame, consuming any payload into it.
+
+    A payload, if present, is attached under ``"_payload"`` so callers
+    using the frame API against a payload-bearing peer lose nothing.
+    """
+    message, payload = recv_message(sock)
+    if payload is not None:
+        message["_payload"] = payload
+    return message
 
 
 class RpcClient:
@@ -77,8 +137,13 @@ class RpcClient:
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
 
-    def call(self, op: str, **args) -> dict:
-        """Issue one RPC; raises :class:`RpcError` on failure of any kind."""
+    def call(self, op: str, _buffers: Sequence[Buffer] = (), **args) -> dict:
+        """Issue one RPC; raises :class:`RpcError` on failure of any kind.
+
+        ``_buffers`` are shipped as the request's raw binary payload; a
+        binary response payload comes back under ``"_payload"`` as one
+        :class:`memoryview`.
+        """
         request = {"op": op, **args}
         with self._lock:
             try:
@@ -88,13 +153,15 @@ class RpcClient:
                     )
                     self._sock.settimeout(self.timeout)
                     self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                send_frame(self._sock, request)
-                response = recv_frame(self._sock)
+                send_message(self._sock, request, _buffers)
+                response, payload = recv_message(self._sock)
             except (OSError, ValueError, RpcError) as exc:
                 self._teardown()
                 raise RpcError(f"rpc {op} to {self.host}:{self.port}: {exc}") from None
         if not response.get("ok"):
             raise RpcError(response.get("error", f"rpc {op}: peer error"))
+        if payload is not None:
+            response["_payload"] = payload
         return response
 
     def _teardown(self) -> None:
@@ -110,7 +177,10 @@ class RpcClient:
             self._teardown()
 
 
-Handler = Callable[[dict], dict]
+#: Handlers receive the request dict (any binary payload attached under
+#: ``"_payload"`` as a memoryview) and return either the response body or
+#: ``(body, buffers)`` to ship a binary response payload.
+Handler = Callable[[dict], Union[dict, Tuple[dict, Sequence[Buffer]]]]
 
 
 class RpcServer:
@@ -153,20 +223,29 @@ class RpcServer:
         try:
             while not self._closed.is_set():
                 try:
-                    request = recv_frame(conn)
+                    request, payload = recv_message(conn)
                 except (RpcError, OSError, ValueError):
                     return
+                if payload is not None:
+                    request["_payload"] = payload
                 op = request.pop("op", None)
                 handler = self.handlers.get(op)
+                buffers: Sequence[Buffer] = ()
                 if handler is None:
                     response = {"ok": False, "error": f"unknown op {op!r}"}
                 else:
                     try:
-                        response = {"ok": True, **handler(request)}
+                        result = handler(request)
+                        if isinstance(result, tuple):
+                            body, buffers = result
+                        else:
+                            body = result
+                        response = {"ok": True, **body}
                     except Exception as exc:  # handler bug or rejection
                         response = {"ok": False, "error": str(exc)}
+                        buffers = ()
                 try:
-                    send_frame(conn, response)
+                    send_message(conn, response, buffers)
                 except (RpcError, OSError):
                     return
         finally:

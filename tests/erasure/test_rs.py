@@ -173,3 +173,46 @@ class TestCodeCache:
         data = b"cauchy generator variant" * 5
         shards = code.encode(data)
         assert code.decode({1: shards[1], 3: shards[3], 5: shards[5]}, len(data)) == data
+
+
+class TestZeroCopyEncode:
+    """Aligned encode must slice the input, not copy it."""
+
+    def test_aligned_data_shards_are_views_of_input(self):
+        code = ReedSolomon(3, 5)
+        data = bytes(range(256)) * 3  # 768 = 3 * 256: aligned
+        shards = code.encode(data)
+        slen = len(data) // 3
+        for i in range(3):
+            assert shards[i].obj is data
+            assert bytes(shards[i]) == data[i * slen : (i + 1) * slen]
+
+    def test_aligned_memoryview_input_stays_zero_copy(self):
+        code = ReedSolomon(2, 4)
+        backing = bytearray(8192)
+        backing[:] = bytes(range(256)) * 32
+        view = memoryview(backing)[0:4096]
+        shards = code.encode(view)
+        # Slices of a view share the view's underlying object.
+        assert shards[0].obj is backing
+        assert shards[1].obj is backing
+        assert bytes(shards[0]) + bytes(shards[1]) == bytes(view)
+
+    def test_unaligned_input_still_round_trips(self):
+        code = ReedSolomon(3, 5)
+        data = b"x" * 1001  # forces the padded path
+        shards = code.encode(data)
+        assert shards[0].obj is not data
+        assert code.decode(dict(enumerate(shards[:3])), len(data)) == data
+
+    def test_aligned_and_padded_paths_agree(self):
+        code = ReedSolomon(4, 6)
+        data = bytes(range(256)) * 4  # aligned for m=4
+        aligned = code.encode(data)
+        padded = code.encode(data + b"")  # same bytes, same result
+        assert [bytes(s) for s in aligned] == [bytes(s) for s in padded]
+        # Parity survives losing any two data shards.
+        assert (
+            code.decode({0: aligned[0], 1: aligned[1], 4: aligned[4], 5: aligned[5]}, len(data))
+            == data
+        )
