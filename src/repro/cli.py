@@ -38,6 +38,11 @@ Commands
     Why an object lives where it lives: current placement vs the best
     alternative vs full replication, plus its decision log and a live
     replay of the last migration's projected saving.
+``audit``
+    Run one challenge-response possession sweep (``POST /audit``):
+    every provider proves it still holds each chunk via sampled Merkle
+    leaves, at O(log) proof bytes per chunk; failed proofs open the
+    provider's breaker and trigger erasure-coded repair.
 """
 
 from __future__ import annotations
@@ -228,15 +233,17 @@ def _serve_prefork(args: argparse.Namespace, broker, frontend, registry) -> int:
         return subprocess.Popen(cmd, **popen_kwargs)
 
     control_plane = None
-    if args.tick_every or args.scrub_every:
+    if args.tick_every or args.scrub_every or args.audit_every:
         control_plane = BackgroundControlPlane(
             broker,
             tick_interval=args.tick_every or None,
             scrub_interval=args.scrub_every or None,
+            audit_interval=args.audit_every or None,
         ).start()
         print(
             f"background control plane: tick every {args.tick_every or '-'}s, "
-            f"scrub every {args.scrub_every or '-'}s "
+            f"scrub every {args.scrub_every or '-'}s, "
+            f"audit every {args.audit_every or '-'}s "
             f"(optimizer batch {args.optimizer_batch}, scrub batch {args.scrub_batch})"
         )
     if broker.recovery is not None:
@@ -387,6 +394,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stripe_size_bytes=args.stripe_bytes,
         optimizer_batch_size=args.optimizer_batch,
         scrub_batch_size=args.scrub_batch,
+        audit_batch_size=args.audit_batch,
         hedge=hedge,
         enable_metrics=not args.no_metrics,
         enable_events=not args.no_events,
@@ -444,17 +452,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"election timeout {args.election_timeout_ms:g}ms)"
         )
     control_plane = None
-    if args.tick_every or args.scrub_every:
+    if args.tick_every or args.scrub_every or args.audit_every:
         control_plane = BackgroundControlPlane(
             broker,
             tick_interval=args.tick_every or None,
             scrub_interval=args.scrub_every or None,
-            # Periodic optimization/scrub is leader-owned in a cluster.
+            audit_interval=args.audit_every or None,
+            # Periodic optimization/scrub/audit is leader-owned in a cluster.
             gate=node.is_leader if node is not None else None,
         ).start()
         print(
             f"background control plane: tick every {args.tick_every or '-'}s, "
-            f"scrub every {args.scrub_every or '-'}s "
+            f"scrub every {args.scrub_every or '-'}s, "
+            f"audit every {args.audit_every or '-'}s "
             f"(optimizer batch {args.optimizer_batch}, scrub batch {args.scrub_batch})"
         )
     host, port = gateway.address
@@ -474,7 +484,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "multipart: POST ?uploads, PUT ?partNumber=&uploadId=, POST/DELETE ?uploadId= | "
         "GET /<bucket>?list-type=2&prefix=&delimiter=&max-keys=&continuation-token= | "
         "GET /healthz | GET /metrics | GET /stats | GET /events | GET /history | "
-        "GET /alerts | POST /explain | POST /tick | POST /scrub | GET/POST /faults"
+        "GET /alerts | POST /explain | POST /tick | POST /scrub | POST /audit | "
+        "GET/POST /faults"
     )
     # Shut down cleanly on SIGTERM too: orchestrators (and CI) send TERM,
     # and background shells may spawn children with SIGINT ignored.
@@ -1081,6 +1092,42 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.gateway.client import GatewayError
+
+    try:
+        with _gateway_client(args) as client:
+            report = client.audit(repair=not args.no_repair, seed=args.seed)
+    except (GatewayError, *_TRANSFER_ERRORS) as exc:
+        print(f"audit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"audit sweep (seed {report.get('seed')}): "
+          f"{report.get('objects_audited', 0):,} objects, "
+          f"{report.get('chunks_audited', 0):,} chunks challenged, "
+          f"{report.get('leaves_sampled', 0):,} leaves sampled, "
+          f"{report.get('proof_bytes', 0):,} proof bytes")
+    print(f"proofs    : {report.get('proofs_ok', 0):,} ok, "
+          f"{report.get('proofs_failed', 0):,} failed, "
+          f"{report.get('chunks_missing', 0):,} missing, "
+          f"{report.get('chunks_skipped', 0):,} skipped, "
+          f"{report.get('chunks_unrooted', 0):,} unrooted (await scrub backfill)")
+    print(f"repairs   : {report.get('repaired', 0):,} repaired, "
+          f"{report.get('unrepairable', 0):,} unrepairable")
+    for problem in report.get("problems", []):
+        fixed = "repaired" if problem.get("repaired") else "NOT repaired"
+        print(f"  {problem.get('container')}/{problem.get('key')} "
+              f"chunk {problem.get('chunk_index')} stripe {problem.get('stripe')} "
+              f"@ {problem.get('provider')}: {problem.get('status')} ({fixed})")
+    # A failed proof that stayed unrepaired means real exposure: exit
+    # nonzero so cron/CI notices.
+    return 1 if report.get("unrepairable", 0) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1170,6 +1217,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="row keys a scrub pass verifies per batch before yielding",
+    )
+    serve.add_argument(
+        "--audit-every",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="run a background Merkle possession audit every N seconds "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--audit-batch",
+        type=int,
+        default=64,
+        help="row keys an audit sweep challenges per batch before yielding",
     )
     serve.add_argument("--datacenters", type=int, default=1)
     serve.add_argument("--engines", type=int, default=2, help="engines per datacenter")
@@ -1431,6 +1492,23 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--json", action="store_true", help="raw /explain document")
     add_gateway_args(explain)
     explain.set_defaults(func=_cmd_explain)
+
+    audit = sub.add_parser(
+        "audit",
+        help="challenge every provider to prove chunk possession "
+        "(sampled Merkle proofs; failed proofs repair + open the breaker)",
+    )
+    audit.add_argument(
+        "--no-repair", action="store_true",
+        help="report failed proofs without repairing or opening breakers",
+    )
+    audit.add_argument(
+        "--seed", type=int, default=None,
+        help="pin the sweep's leaf sampling for replay",
+    )
+    audit.add_argument("--json", action="store_true", help="raw /audit report")
+    add_gateway_args(audit)
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 

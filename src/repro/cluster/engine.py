@@ -67,6 +67,7 @@ from repro.erasure.striping import (
 )
 from repro.obs.events import resolve_journal
 from repro.obs.trace import current_trace, record_span
+from repro.storage.merkle import chunk_root
 from repro.providers.health import HedgePolicy
 from repro.providers.provider import (
     CapacityExceededError,
@@ -1042,6 +1043,7 @@ class Engine:
         digest = hashlib.md5()
         written: List[Tuple[str, str]] = []
         stripes: List[Tuple[str, int]] = []
+        roots: List[Tuple[str, str]] = []
         with self._locks.in_flight.track(state.skey):
             try:
                 self._stream_stripes(
@@ -1054,6 +1056,7 @@ class Engine:
                     digest,
                     written,
                     stripes,
+                    merkle=roots,
                 )
             except BaseException:
                 self._delete_refs(written)
@@ -1062,6 +1065,7 @@ class Engine:
                 etag=digest.hexdigest(),
                 size=sum(length for _, length in stripes),
                 stripes=tuple(stripes),
+                merkle=tuple(sorted(roots)),
             )
             replaced = state.parts.get(part_number)
             state.parts[part_number] = part
@@ -1136,6 +1140,13 @@ class Engine:
                 raise MultipartError("cannot complete an upload with no parts")
         chosen = [state.parts[n] for n in numbers]
         stripes = tuple(pair for part in chosen for pair in part.stripes)
+        # Roots assemble like stripes do — but only when every chosen part
+        # carries them; a single pre-audit part leaves the object rootless
+        # (the scrubber backfills) rather than partially audited.
+        if all(part.merkle for part in chosen):
+            merkle = tuple(sorted(pair for part in chosen for pair in part.merkle))
+        else:
+            merkle = ()
         size = sum(part.size for part in chosen)
         etag_digest = hashlib.md5(
             b"".join(bytes.fromhex(part.etag) for part in chosen)
@@ -1156,6 +1167,7 @@ class Engine:
             checksum=f"{etag_digest}-{len(chosen)}",
             stripes=stripes,
             modified_at=now,
+            merkle=merkle,
         )
         self._metadata.write(
             self.dc, row_key, meta.to_dict(), uuid=meta.skey, timestamp=now
@@ -1351,6 +1363,7 @@ class Engine:
         mime: str = "application/octet-stream",
         rule: Optional[str] = None,
         ttl_hint: Optional[float] = None,
+        merkle: Sequence[Tuple[str, str]] = (),
         now: float = 0.0,
         period: int = 0,
     ) -> ObjectMeta:
@@ -1382,6 +1395,9 @@ class Engine:
                     ttl_hint=ttl_hint,
                     stripes=tuple((str(t), int(length)) for t, length in stripes),
                     modified_at=now,
+                    merkle=tuple(
+                        sorted((str(s), str(r)) for s, r in merkle)
+                    ),
                 )
                 self._commit_put(container, key, row_key, meta, old_meta, now, period)
         finally:
@@ -1453,6 +1469,7 @@ class Engine:
         etag: str,
         size: int,
         stripes: Sequence[Tuple[str, int]],
+        merkle: Sequence[Tuple[str, str]] = (),
         now: float = 0.0,
     ) -> PartState:
         """Flip the staging row to reference a staged part's chunks.
@@ -1473,6 +1490,7 @@ class Engine:
                 etag=etag,
                 size=int(size),
                 stripes=tuple((str(t), int(length)) for t, length in stripes),
+                merkle=tuple(sorted((str(s), str(r)) for s, r in merkle)),
             )
             replaced = state.parts.get(part_number)
             state.parts[part_number] = part
@@ -1702,12 +1720,14 @@ class Engine:
             digest = hashlib.md5()
             written: List[Tuple[str, str]] = []
             stripes: List[Tuple[str, int]] = []
+            roots: List[Tuple[str, str]] = []
             self._locks.in_flight.begin(skey)
             try:
                 try:
                     self._stream_stripes(
                         source, skey, str, placement.m, placement.providers,
                         stripe_size, digest, written, stripes, first=first,
+                        merkle=roots,
                     )
                 except (
                     ProviderUnavailableError,
@@ -1750,6 +1770,7 @@ class Engine:
                     ttl_hint=ttl_hint,
                     stripes=tuple(stripes),
                     modified_at=now,
+                    merkle=tuple(sorted(roots)),
                 )
                 self._commit_put(container, key, row_key, meta, old_meta, now, period)
                 return meta
@@ -1772,11 +1793,15 @@ class Engine:
         stripes: List[Tuple[str, int]],
         *,
         first: Optional[bytes] = None,
+        merkle: Optional[List[Tuple[str, str]]] = None,
     ) -> None:
         """Pull, encode and ship stripes until the source is exhausted.
 
         Appends to ``written``/``stripes`` in place so the caller can
-        clean up the already-shipped chunks when a stripe fails mid-way.
+        clean up the already-shipped chunks when a stripe fails mid-way;
+        ``merkle`` (when given) collects each shipped chunk's Merkle
+        root keyed by its ``tag.index`` suffix — computed here, while
+        the encoded bytes are already hot in cache, never re-read.
 
         Each chunk's discard + put runs under the pending queue's rewrite
         guard: a retried multipart part reuses its generation's chunk
@@ -1799,6 +1824,8 @@ class Engine:
                     self._pending.discard(provider_name, chunk_key)
                     self._registry.get(provider_name).put_chunk(chunk_key, chunk)
                 written.append((provider_name, chunk_key))
+                if merkle is not None:
+                    merkle.append((f"{tag}.{chunk.index}", chunk_root(chunk)))
             stripes.append((tag, len(block)))
             index += 1
             if len(block) < stripe_size:
@@ -1888,6 +1915,9 @@ class Engine:
             checksum=hashlib.md5(data).hexdigest() if isinstance(data, bytes) else "",
             ttl_hint=ttl_hint,
             modified_at=now,
+            merkle=tuple(
+                sorted((str(chunk.index), chunk_root(chunk)) for chunk in chunks)
+            ),
         )
 
     # -- read paths --------------------------------------------------------
@@ -2154,6 +2184,10 @@ class Engine:
             ttl_hint=meta.ttl_hint,
             stripes=meta.stripes,
             modified_at=meta.modified_at,
+            # Same skey, same indices, byte-identical chunk content (a
+            # relocated or repaired chunk re-encodes to the same shard):
+            # the Merkle roots carry over untouched.
+            merkle=meta.merkle,
         )
         return new_meta, written
 
@@ -2170,6 +2204,7 @@ class Engine:
         """
         striped = bool(meta.stripes)
         new_stripes: List[Tuple[str, int]] = []
+        new_merkle: List[Tuple[str, str]] = []
         written = 0
         for stripe in range(meta.stripe_count):
             stripe_len = meta.stripe_lengths[stripe]
@@ -2190,6 +2225,8 @@ class Engine:
                 )
                 self._registry.get(provider_name).put_chunk(chunk_key, chunk)
                 self._pending.discard(provider_name, chunk_key)
+                suffix = f"{tag}.{chunk.index}" if striped else str(chunk.index)
+                new_merkle.append((suffix, chunk_root(chunk)))
                 written += 1
             new_stripes.append((tag, stripe_len))
         new_meta = ObjectMeta(
@@ -2207,6 +2244,7 @@ class Engine:
             ttl_hint=meta.ttl_hint,
             stripes=tuple(new_stripes) if striped else (),
             modified_at=meta.modified_at,
+            merkle=tuple(sorted(new_merkle)),
         )
         return new_meta, written
 

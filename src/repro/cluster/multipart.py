@@ -36,18 +36,30 @@ MAX_PART_NUMBER = 10_000
 
 @dataclass
 class PartState:
-    """One uploaded part: content etag, size and its stripe table."""
+    """One uploaded part: content etag, size and its stripe table.
+
+    ``merkle`` carries the part's per-chunk Merkle roots (chunk-key
+    suffix → root hex, same convention as
+    :attr:`~repro.types.ObjectMeta.merkle`) so completion can assemble
+    the object's audit anchors by pure metadata, like stripes.  Empty on
+    rows journaled before auditing existed; emitted only when present so
+    old rows round-trip byte-identically.
+    """
 
     etag: str
     size: int
     stripes: Tuple[Tuple[str, int], ...]  # (stripe tag, plaintext bytes)
+    merkle: Tuple[Tuple[str, str], ...] = ()
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "etag": self.etag,
             "size": self.size,
             "stripes": [list(pair) for pair in self.stripes],
         }
+        if self.merkle:
+            out["merkle"] = [list(pair) for pair in self.merkle]
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "PartState":
@@ -55,6 +67,9 @@ class PartState:
             etag=data["etag"],
             size=int(data["size"]),
             stripes=tuple((str(t), int(n)) for t, n in data["stripes"]),
+            merkle=tuple(
+                (str(s), str(r)) for s, r in data.get("merkle", ())
+            ),
         )
 
 

@@ -43,6 +43,7 @@ from repro.obs.slo import DEFAULT_SLO_RULES, SloMonitor, SloRule
 from repro.providers.pricing import cost_of_usage, paper_catalog
 from repro.providers.registry import ProviderRegistry
 from repro.storage.persistence import DurabilityManager
+from repro.storage.auditor import AuditReport, Auditor
 from repro.storage.scrubber import ScrubReport, Scrubber
 from repro.types import ListPage, ObjectMeta, Placement
 from repro.util.ids import object_row_key
@@ -256,6 +257,8 @@ class Scalia:
         stripe_size_bytes: int = DEFAULT_STRIPE_SIZE,
         optimizer_batch_size: int = 64,
         scrub_batch_size: int = 64,
+        audit_batch_size: int = 64,
+        audit_leaves_per_chunk: int = 1,
         hedge: Optional[HedgePolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         enable_metrics: bool = True,
@@ -372,6 +375,11 @@ class Scalia:
         self.reports: List[OptimizationReport] = []
         self.scrubber = Scrubber(
             self.cluster, self.registry, batch_size=scrub_batch_size,
+            metrics=self.metrics, journal=self.events,
+        )
+        self.auditor = Auditor(
+            self.cluster, self.registry, batch_size=audit_batch_size,
+            leaves_per_chunk=audit_leaves_per_chunk, seed=seed,
             metrics=self.metrics, journal=self.events,
         )
         self.recovery: Optional[dict] = None
@@ -980,6 +988,7 @@ class Scalia:
         size: int,
         checksum: str,
         stripes: Sequence[Tuple[str, int]],
+        merkle: Sequence[Tuple[str, str]] = (),
         mime: str = "application/octet-stream",
         rule: Optional[str] = None,
         ttl_hint: Optional[float] = None,
@@ -989,8 +998,8 @@ class Scalia:
         return self.cluster.route(dc).staged_commit(
             container, key, skey,
             m=m, providers=providers, size=size, checksum=checksum,
-            stripes=stripes, mime=mime, rule=rule, ttl_hint=ttl_hint,
-            now=self._now, period=self._period,
+            stripes=stripes, merkle=merkle, mime=mime, rule=rule,
+            ttl_hint=ttl_hint, now=self._now, period=self._period,
         )
 
     def staged_abort(
@@ -1026,12 +1035,14 @@ class Scalia:
         etag: str,
         size: int,
         stripes: Sequence[Tuple[str, int]],
+        merkle: Sequence[Tuple[str, str]] = (),
         dc: Optional[str] = None,
     ) -> PartState:
         """Flip the staging row to a staged part's freshly shipped chunks."""
         return self.cluster.route(dc).staged_part_commit(
             container, key, upload_id, part_number, gen,
-            etag=etag, size=size, stripes=stripes, now=self._now,
+            etag=etag, size=size, stripes=stripes, merkle=merkle,
+            now=self._now,
         )
 
     def fetch_stripe_chunks(
@@ -1114,6 +1125,18 @@ class Scalia:
         """
         return self.scrubber.scrub(repair=repair)
 
+    def audit(self, *, repair: bool = True, seed: Optional[int] = None) -> AuditReport:
+        """Run one challenge-response sweep over every stored chunk.
+
+        Each provider proves possession of sampled Merkle leaves against
+        the roots held in object metadata — O(log) proof bytes per chunk
+        instead of the scrubber's full reads.  Failed proofs force the
+        provider's breaker open and trigger the same erasure-coded repair
+        the scrubber uses.  Runs under the identical bounded-stall lock
+        discipline (``audit_batch_size`` objects per batch).
+        """
+        return self.auditor.audit(repair=repair, seed=seed)
+
     def drain_hedges(self, timeout: float = 10.0) -> None:
         """Join every engine's in-flight hedge fetch threads.
 
@@ -1149,6 +1172,11 @@ class Scalia:
             "last_scrub": (
                 self.scrubber.last_report.to_dict()
                 if self.scrubber.last_report is not None
+                else None
+            ),
+            "last_audit": (
+                self.auditor.last_report.to_dict()
+                if self.auditor.last_report is not None
                 else None
             ),
         }

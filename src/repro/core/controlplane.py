@@ -11,9 +11,13 @@ two daemon threads:
   seconds — flushing statistics, refreshing class profiles and running
   the batched optimization round;
 * a **scrubber** that runs one full integrity pass (verify + repair +
-  orphan sweep) every ``scrub_interval`` seconds.
+  orphan sweep) every ``scrub_interval`` seconds;
+* an **auditor** that runs one challenge-response possession sweep
+  (sampled Merkle proofs, O(log) bytes per chunk) every
+  ``audit_interval`` seconds — the cheap continuous check between the
+  scrubber's expensive full reads.
 
-Both reuse the broker's incremental workers, so every batch of row keys
+All reuse the broker's incremental workers, so every batch of row keys
 is claimed under the cluster's striped object locks and the foreground
 request path is stalled for at most one object at a time (the bounded
 stall contract of docs/CONCURRENCY.md).  Between batches the workers
@@ -42,11 +46,12 @@ class ControlPlaneStopped(Exception):
 class BackgroundControlPlane:
     """Runs the broker's periodic work on daemon threads.
 
-    ``tick_interval`` / ``scrub_interval`` are seconds of wall time;
-    ``None`` disables the respective worker.  Exceptions from a round are
-    recorded (``last_tick_error`` / ``last_scrub_error``) and the worker
-    keeps going — a transient provider outage must not silence the
-    control plane forever.
+    ``tick_interval`` / ``scrub_interval`` / ``audit_interval`` are
+    seconds of wall time; ``None`` disables the respective worker.
+    Exceptions from a round are recorded (``last_tick_error`` /
+    ``last_scrub_error`` / ``last_audit_error``) and the worker keeps
+    going — a transient provider outage must not silence the control
+    plane forever.
     """
 
     def __init__(
@@ -55,15 +60,19 @@ class BackgroundControlPlane:
         *,
         tick_interval: Optional[float] = None,
         scrub_interval: Optional[float] = None,
+        audit_interval: Optional[float] = None,
         gate: Optional[Callable[[], bool]] = None,
     ) -> None:
         if tick_interval is not None and tick_interval <= 0:
             raise ValueError("tick_interval must be > 0 seconds")
         if scrub_interval is not None and scrub_interval <= 0:
             raise ValueError("scrub_interval must be > 0 seconds")
+        if audit_interval is not None and audit_interval <= 0:
+            raise ValueError("audit_interval must be > 0 seconds")
         self.broker = broker
         self.tick_interval = tick_interval
         self.scrub_interval = scrub_interval
+        self.audit_interval = audit_interval
         # In cluster mode the elected leader owns the periodic work
         # (Section III-C): the gate is checked before each round, so a
         # node that loses leadership skips its rounds without restarting
@@ -73,8 +82,10 @@ class BackgroundControlPlane:
         self._threads: list[threading.Thread] = []
         self.ticks_run = 0
         self.scrubs_run = 0
+        self.audits_run = 0
         self.last_tick_error: Optional[BaseException] = None
         self.last_scrub_error: Optional[BaseException] = None
+        self.last_audit_error: Optional[BaseException] = None
         self._log = get_logger("controlplane")
         metrics = getattr(broker, "metrics", None)
         self._m_runs = None
@@ -116,6 +127,15 @@ class BackgroundControlPlane:
                     target=self._loop,
                     args=(self.scrub_interval, self._scrub_once),
                     name="scalia-scrubber",
+                    daemon=True,
+                )
+            )
+        if self.audit_interval is not None:
+            self._threads.append(
+                threading.Thread(
+                    target=self._loop,
+                    args=(self.audit_interval, self._audit_once),
+                    name="scalia-auditor",
                     daemon=True,
                 )
             )
@@ -203,6 +223,31 @@ class BackgroundControlPlane:
         finally:
             end_trace(trace)
 
+    def _audit_once(self) -> None:
+        trace = start_trace()
+        started = time.perf_counter()
+        try:
+            report = self.broker.auditor.audit(
+                repair=True, yield_fn=self._yield_hook
+            )
+            self.audits_run += 1
+            self.last_audit_error = None
+            self._observe("audit", started)
+            self._log.debug(
+                "controlplane.audit",
+                objects=report.objects_audited,
+                proofs_failed=report.proofs_failed,
+                repaired=report.repaired,
+                duration_ms=round((time.perf_counter() - started) * 1000.0, 3),
+            )
+        except ControlPlaneStopped:
+            pass
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            self.last_audit_error = exc
+            self._log.warning("controlplane.audit_error", error=repr(exc))
+        finally:
+            end_trace(trace)
+
     def _observe(self, worker: str, started: float) -> None:
         if self._m_runs is not None:
             self._m_runs.labels(worker).inc()
@@ -217,12 +262,17 @@ class BackgroundControlPlane:
             "running": self.running,
             "tick_interval_s": self.tick_interval,
             "scrub_interval_s": self.scrub_interval,
+            "audit_interval_s": self.audit_interval,
             "ticks_run": self.ticks_run,
             "scrubs_run": self.scrubs_run,
+            "audits_run": self.audits_run,
             "last_tick_error": (
                 repr(self.last_tick_error) if self.last_tick_error else None
             ),
             "last_scrub_error": (
                 repr(self.last_scrub_error) if self.last_scrub_error else None
+            ),
+            "last_audit_error": (
+                repr(self.last_audit_error) if self.last_audit_error else None
             ),
         }

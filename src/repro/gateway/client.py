@@ -551,6 +551,13 @@ class GatewayClient:
         """Run a storage integrity pass (``POST /scrub``); returns the report."""
         return self._json("POST", f"/scrub?repair={'1' if repair else '0'}")
 
+    def audit(self, *, repair: bool = True, seed: Optional[int] = None) -> dict:
+        """Run a Merkle possession sweep (``POST /audit``); returns the report."""
+        path = f"/audit?repair={'1' if repair else '0'}"
+        if seed is not None:
+            path += f"&seed={int(seed)}"
+        return self._json("POST", path)
+
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:

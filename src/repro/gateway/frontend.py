@@ -462,6 +462,22 @@ class BrokerFrontend:
         """
         return self._run("scrub", lambda: self.broker.scrub(repair=repair).to_dict())
 
+    def audit(
+        self, *, repair: bool = True, seed: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Run a challenge-response possession sweep (``POST /audit``).
+
+        The cheap sibling of :meth:`scrub`: providers prove possession of
+        sampled Merkle leaves at O(log) bytes per chunk, and only a
+        failed proof escalates to full-read repair (plus a force-opened
+        breaker for the lying provider).  ``seed`` pins the sweep's leaf
+        sampling for replay.
+        """
+        return self._run(
+            "audit",
+            lambda: self.broker.audit(repair=repair, seed=seed).to_dict(),
+        )
+
     def stats(self) -> Dict[str, Any]:
         """A JSON-ready snapshot of gateway and broker health."""
         return self._run("stats", lambda: self._snapshot())

@@ -56,6 +56,7 @@ from repro.providers.provider import (
 )
 from repro.providers.registry import UnknownProviderError
 from repro.replication.rpc import RpcServer
+from repro.storage.merkle import chunk_root
 from repro.types import ObjectMeta
 
 
@@ -172,6 +173,7 @@ class OpsService:
             "stats": self._op_stats,
             "tick": self._op_tick,
             "scrub": self._op_scrub,
+            "audit": self._op_audit,
             "history": self._op_history,
             "alerts": self._op_alerts,
             "explain": self._op_explain,
@@ -203,6 +205,7 @@ class OpsService:
             self._sessions[sid] = {
                 "skey": skey,
                 "written": [],
+                "merkle": [],
                 "owns_in_flight": owns_in_flight,
             }
 
@@ -258,9 +261,18 @@ class OpsService:
                 raise ValueError("write_stripe payload shorter than its shard list")
             chunks.append(Chunk(index=int(index), data=shard, checksum=checksum))
         tag = request.get("tag")
+        # Merkle roots normally arrive from the worker (it holds the
+        # plaintext shards anyway); recompute broker-side for clients of
+        # the older frame layout so their objects stay auditable too.
+        roots = request.get("roots") or [chunk_root(c) for c in chunks]
         self.broker.staged_write_stripe(
             session["skey"], tag, chunks, providers, session["written"]
         )
+        for chunk, root in zip(chunks, roots):
+            suffix = (
+                str(chunk.index) if tag is None else f"{tag}.{chunk.index}"
+            )
+            session["merkle"].append((suffix, str(root)))
         return {"written": len(chunks)}
 
     @_guarded
@@ -278,6 +290,7 @@ class OpsService:
                 size=int(request["size"]),
                 checksum=request["checksum"],
                 stripes=[(str(t), int(n)) for t, n in request.get("stripes", [])],
+                merkle=session["merkle"],
                 mime=request.get("mime", "application/octet-stream"),
                 rule=request.get("rule"),
                 ttl_hint=request.get("ttl_hint"),
@@ -339,7 +352,7 @@ class OpsService:
     @_guarded
     def _op_part_commit(self, request: dict) -> dict:
         sid = request["sid"]
-        self._session(sid)  # validates liveness
+        session = self._session(sid)  # validates liveness
         part = self.frontend.run_op(
             "upload_part",
             lambda: self.broker.staged_part_commit(
@@ -351,6 +364,7 @@ class OpsService:
                 etag=request["etag"],
                 size=int(request["size"]),
                 stripes=[(str(t), int(n)) for t, n in request.get("stripes", [])],
+                merkle=session["merkle"],
             ),
         )
         self._close_session(sid)
@@ -514,6 +528,16 @@ class OpsService:
     @_guarded
     def _op_scrub(self, request: dict) -> dict:
         return {"report": self.frontend.scrub(repair=bool(request.get("repair", True)))}
+
+    @_guarded
+    def _op_audit(self, request: dict) -> dict:
+        seed = request.get("seed")
+        return {
+            "report": self.frontend.audit(
+                repair=bool(request.get("repair", True)),
+                seed=int(seed) if seed is not None else None,
+            )
+        }
 
     @_guarded
     def _op_history(self, request: dict) -> dict:

@@ -52,6 +52,7 @@ from repro.providers.provider import (
 )
 from repro.providers.registry import UnknownProviderError
 from repro.replication.rpc import Buffer, RpcClient, RpcError
+from repro.storage.merkle import chunk_root
 from repro.types import ListPage, ObjectMeta
 from repro.util.streams import ByteSource
 
@@ -181,7 +182,14 @@ class _RemoteBroker:
         m: int,
         providers: Sequence[str],
     ) -> None:
-        """Encode one stripe locally and ship its shards in one frame."""
+        """Encode one stripe locally and ship its shards in one frame.
+
+        Merkle roots ride along with the checksums: computing them here
+        keeps the hashing on the worker's CPU (same reason the erasure
+        coding lives here) and the broker only stores what it is told —
+        it anchors the roots in metadata at commit, making them the
+        trust reference later audits hold providers to.
+        """
         chunks = split_object(block, m, len(providers), code_cache=self._codes)
         self._call(
             "write_stripe",
@@ -191,6 +199,7 @@ class _RemoteBroker:
             indices=[c.index for c in chunks],
             lengths=[len(c.data) for c in chunks],
             checksums=[c.checksum for c in chunks],
+            roots=[chunk_root(c) for c in chunks],
             providers=list(providers),
         )
 
@@ -662,6 +671,11 @@ class RemoteBrokerFrontend(BrokerFrontend):
 
     def scrub(self, *, repair: bool = True) -> Dict[str, Any]:
         return self._pool.call("scrub", repair=repair)["report"]
+
+    def audit(
+        self, *, repair: bool = True, seed: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return self._pool.call("audit", repair=repair, seed=seed)["report"]
 
     def history(self, series: Optional[str] = None, window_s: Optional[float] = None):
         return self._pool.call("history", series=series, window_s=window_s)["history"]

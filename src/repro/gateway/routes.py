@@ -19,6 +19,7 @@ GET    ``/alerts``                        SLO burn-rate alert states
 POST   ``/explain``                       placement rationale for ``{"bucket","key"}``
 POST   ``/tick``                          close ``?periods=N`` periods
 POST   ``/scrub``                         integrity pass + repair
+POST   ``/audit``                         Merkle possession sweep + repair
 GET    ``/faults``                        installed fault profiles
 POST   ``/faults``                        install/clear a fault profile
 PUT    ``/{bucket}/{key}``                store object (streamed body)
@@ -102,7 +103,7 @@ class Route:
     """A parsed gateway request."""
 
     kind: str  # health | metrics | stats | events | history | alerts | explain
-    #          # | tick | scrub | faults | object | list
+    #          # | tick | scrub | audit | faults | object | list
     bucket: Optional[str] = None
     key: Optional[str] = None
     params: Dict[str, str] = field(default_factory=dict)
@@ -155,6 +156,10 @@ def parse_route(method: str, target: str) -> Route:
         if method != "POST":
             raise RouteError("scrub only supports POST", status=405, allow="POST")
         return Route("scrub", params=params)
+    if path in ("/audit", "/audit/"):
+        if method != "POST":
+            raise RouteError("audit only supports POST", status=405, allow="POST")
+        return Route("audit", params=params)
     if path in ("/faults", "/faults/"):
         if method not in ("GET", "POST"):
             raise RouteError(

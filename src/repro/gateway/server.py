@@ -434,6 +434,15 @@ class GatewayHandler(BaseHTTPRequestHandler):
         elif route.kind == "scrub":
             repair = route.params.get("repair", "1") not in ("0", "false", "no")
             self._send_json(200, frontend.scrub(repair=repair))
+        elif route.kind == "audit":
+            repair = route.params.get("repair", "1") not in ("0", "false", "no")
+            seed = route.params.get("seed")
+            self._send_json(
+                200,
+                frontend.audit(
+                    repair=repair, seed=int(seed) if seed is not None else None
+                ),
+            )
         elif route.kind == "faults":
             self._handle_faults(route, frontend)
         elif route.kind == "cluster":

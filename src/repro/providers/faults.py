@@ -58,10 +58,17 @@ class FlapSchedule:
 
 @dataclass(frozen=True)
 class FaultDecision:
-    """What one operation should suffer: a delay, then maybe a fault."""
+    """What one operation should suffer: a delay, then maybe a fault.
+
+    ``corrupt_seed`` is drawn only for ``put`` operations on profiles
+    with a nonzero ``corrupt_rate``: a non-``None`` value instructs the
+    provider to flip one seeded bit in the stored bytes — silent
+    tampering the writer never sees fail.
+    """
 
     latency_s: float = 0.0
     fault: Optional[str] = None  # None | "error" | "flap"
+    corrupt_seed: Optional[int] = None
 
 
 class FaultProfile:
@@ -76,6 +83,10 @@ class FaultProfile:
         Probability in [0, 1] that an operation raises a transient
         :class:`ProviderFaultError` (after its latency — a timeout, not a
         fast reject).
+    corrupt_rate:
+        Probability in [0, 1] that a *put* silently stores tampered
+        bytes (one seeded bit-flip).  The write still succeeds from the
+        client's view; only a Merkle audit or a scrub catches it.
     slow_multiplier:
         Latency multiplier applied while :attr:`slow` is on (a provider
         that degrades without erroring).
@@ -96,6 +107,7 @@ class FaultProfile:
         latency_s: float = 0.0,
         jitter_s: float = 0.0,
         error_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
         slow_multiplier: float = 1.0,
         slow: bool = False,
         flap: Optional[FlapSchedule] = None,
@@ -105,11 +117,14 @@ class FaultProfile:
             raise ValueError("latencies must be >= 0")
         if not 0.0 <= error_rate <= 1.0:
             raise ValueError("error_rate must be in [0, 1]")
+        if not 0.0 <= corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be in [0, 1]")
         if slow_multiplier < 1.0:
             raise ValueError("slow_multiplier must be >= 1")
         self.latency_s = latency_s
         self.jitter_s = jitter_s
         self.error_rate = error_rate
+        self.corrupt_rate = corrupt_rate
         self.slow_multiplier = slow_multiplier
         self.slow = slow
         self.flap = flap
@@ -146,6 +161,13 @@ class FaultProfile:
             errored = (
                 self._rng.random() < self.error_rate if self.error_rate else False
             )
+            # The corrupt draw is gated on the rate *and* the kind so
+            # profiles without it (and non-put traffic) keep their
+            # historical RNG stream byte-for-byte.
+            corrupt_seed: Optional[int] = None
+            if self.corrupt_rate and kind == "put":
+                if self._rng.random() < self.corrupt_rate:
+                    corrupt_seed = self._rng.getrandbits(32)
         latency = self.latency_s + jitter
         if self.slow:
             latency *= self.slow_multiplier
@@ -154,7 +176,9 @@ class FaultProfile:
             fault = "flap"
         elif errored:
             fault = "error"
-        return FaultDecision(latency_s=latency, fault=fault)
+        return FaultDecision(
+            latency_s=latency, fault=fault, corrupt_seed=corrupt_seed
+        )
 
     @property
     def ops_drawn(self) -> int:
@@ -170,6 +194,7 @@ class FaultProfile:
             "latency_ms": round(self.latency_s * 1000.0, 3),
             "jitter_ms": round(self.jitter_s * 1000.0, 3),
             "error_rate": self.error_rate,
+            "corrupt_rate": self.corrupt_rate,
             "slow_multiplier": self.slow_multiplier,
             "slow": self.slow,
             "seed": self.seed,
@@ -204,11 +229,12 @@ def parse_fault_spec(spec: str) -> FaultProfile:
 
     Comma-separated ``key=value`` pairs::
 
-        latency=500ms,jitter=50ms,error=0.05,slow=4,seed=7,flap=20/5
+        latency=500ms,jitter=50ms,error=0.05,corrupt=0.01,slow=4,seed=7,flap=20/5
 
     Keys: ``latency``/``jitter`` (seconds, or with an ``ms`` suffix),
-    ``error`` (rate in [0,1]), ``slow`` (multiplier; implies slow mode
-    on), ``flap`` (``UP/DOWN`` operation counts), ``seed``.
+    ``error`` (rate in [0,1]), ``corrupt`` (silent put-tamper rate in
+    [0,1]), ``slow`` (multiplier; implies slow mode on), ``flap``
+    (``UP/DOWN`` operation counts), ``seed``.
     """
     kwargs: dict = {}
     spec = spec.strip()
@@ -225,6 +251,8 @@ def parse_fault_spec(spec: str) -> FaultProfile:
             kwargs["jitter_s"] = _duration_s(value, key)
         elif key == "error":
             kwargs["error_rate"] = float(value)
+        elif key == "corrupt":
+            kwargs["corrupt_rate"] = float(value)
         elif key == "slow":
             kwargs["slow_multiplier"] = float(value)
             kwargs["slow"] = True
@@ -254,6 +282,7 @@ def profile_from_dict(doc: dict) -> FaultProfile:
         latency_s=float(doc.get("latency_ms", 0.0)) / 1000.0,
         jitter_s=float(doc.get("jitter_ms", 0.0)) / 1000.0,
         error_rate=float(doc.get("error_rate", 0.0)),
+        corrupt_rate=float(doc.get("corrupt_rate", 0.0)),
         slow_multiplier=float(doc.get("slow_multiplier", 1.0)),
         slow=bool(doc.get("slow", False)),
         flap=flap,

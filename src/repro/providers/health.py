@@ -56,6 +56,7 @@ class ProviderHealthView:
     failures: int
     consecutive_failures: int
     opens: int
+    audit_failures: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -66,6 +67,7 @@ class ProviderHealthView:
             "failures": self.failures,
             "consecutive_failures": self.consecutive_failures,
             "opens": self.opens,
+            "audit_failures": self.audit_failures,
         }
 
 
@@ -84,6 +86,7 @@ class _State:
         "opens",
         "probes_in_flight",
         "probe_successes",
+        "audit_failures",
     )
 
     def __init__(self) -> None:
@@ -98,6 +101,7 @@ class _State:
         self.opens = 0
         self.probes_in_flight = 0
         self.probe_successes = 0
+        self.audit_failures = 0
 
 
 class HealthTracker:
@@ -270,6 +274,38 @@ class HealthTracker:
         if transitions:
             self._report(name, transitions)
 
+    def record_audit_failure(self, name: str) -> None:
+        """One failed possession proof: trip the breaker immediately.
+
+        A failed Merkle audit is not a transient timeout — the provider
+        *answered*, with bytes that do not match the broker's root.  That
+        is evidence of tampering or silent rot, so there is no
+        consecutive-failure grace: the breaker force-opens from any
+        state and the provider must win back trust through the normal
+        cooldown → half-open → probe sequence, with its damaged chunks
+        repaired in the meantime.
+        """
+        state = self._state(name)
+        transitions = []
+        with state.lock:
+            state.audit_failures += 1
+            state.failures += 1
+            state.consecutive_failures += 1
+            if state.breaker != BREAKER_OPEN:
+                old = state.breaker
+                state.breaker = BREAKER_OPEN
+                state.opens += 1
+                self._bump_epoch()
+                transitions.append(
+                    (old, BREAKER_OPEN,
+                     {"opens": state.opens, "reason": "audit-failed"})
+                )
+            # Already open: restart the cooldown — failing an audit while
+            # serving probes is not recovery.
+            state.opened_at = self.clock()
+        if transitions:
+            self._report(name, transitions)
+
     # -- queries -----------------------------------------------------------
 
     def breaker_state(self, name: str) -> str:
@@ -353,6 +389,7 @@ class HealthTracker:
                 failures=state.failures,
                 consecutive_failures=state.consecutive_failures,
                 opens=state.opens,
+                audit_failures=state.audit_failures,
             )
         if lazy is not None:
             self._report(name, [lazy])

@@ -18,12 +18,13 @@ the placement-gating circuit breaker.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover — typing only (avoids an import cycle)
     from repro.providers.faults import FaultProfile
@@ -33,6 +34,7 @@ from repro.erasure.striping import Chunk, SyntheticChunk
 from repro.obs.trace import current_trace, record_span
 from repro.providers.pricing import ProviderSpec
 from repro.storage.backend import ChunkCorruptionError, ChunkStore, MemoryChunkStore
+from repro.storage.merkle import proof_billed_bytes
 from repro.util.units import GB
 
 AnyChunk = Union[Chunk, SyntheticChunk]
@@ -244,6 +246,23 @@ class UsageMeter:
 _PHASE_BY_KIND = {"put": "provider_put", "get": "provider_fetch"}
 
 
+def _tampered(chunk: AnyChunk, seed: int) -> AnyChunk:
+    """One deterministic bit-flip in a real chunk's payload.
+
+    The returned chunk is rebuilt with :meth:`Chunk.build`, i.e. its
+    checksum matches the *tampered* bytes — modelling an adversarial or
+    silently bit-rotting store, not a torn write.  Synthetic and empty
+    chunks pass through untouched (there are no bytes to flip).
+    """
+    data = getattr(chunk, "data", None)
+    if not data:
+        return chunk
+    position = random.Random(seed).randrange(len(data) * 8)
+    tampered = bytearray(data)
+    tampered[position // 8] ^= 1 << (position % 8)
+    return Chunk.build(chunk.index, bytes(tampered))
+
+
 class _ProviderTimers:
     """Pre-resolved metric children for one provider's hot path."""
 
@@ -389,18 +408,23 @@ class SimulatedProvider:
         request trace (``provider_fetch``/``provider_put`` phases).  With
         no profile, tracker, metrics or active trace the envelope is a
         no-op — the hot path of a fault-free simulation is untouched.
+
+        Yields the :class:`~repro.providers.faults.FaultDecision` drawn
+        for this operation (``None`` when no profile is attached), so
+        :meth:`put_chunk` can honour silent-corruption draws.
         """
         profile = self._fault_profile
         tracker = self._health
         timers = self._timers
         trace = current_trace()
         if profile is None and tracker is None and timers is None and trace is None:
-            yield
+            yield None
             return
         start = time.perf_counter()
         ok = True
         transient = False
         error_kind = None
+        decision = None
         try:
             if profile is not None:
                 decision = profile.draw(kind)
@@ -413,7 +437,7 @@ class SimulatedProvider:
                         self.name,
                         decision.fault,
                     )
-            yield
+            yield decision
         except ProviderFaultError as exc:
             ok = False
             transient = True
@@ -447,9 +471,18 @@ class SimulatedProvider:
     # -- chunk operations -------------------------------------------------
 
     def put_chunk(self, key: str, chunk: AnyChunk) -> None:
-        """Store ``chunk`` under ``key`` (billed: 1 op + ingress + storage)."""
-        with self._observed("put"):
+        """Store ``chunk`` under ``key`` (billed: 1 op + ingress + storage).
+
+        A ``corrupt`` fault draw silently stores tampered bytes: one
+        seeded bit-flip with the chunk's checksum *recomputed over the
+        tampered data*, so provider-local integrity checks still pass —
+        only a broker-side Merkle audit (or a scrub against the stored
+        root) can tell.  The write reports success either way.
+        """
+        with self._observed("put") as decision:
             self._check_up()
+            if decision is not None and decision.corrupt_seed is not None:
+                chunk = _tampered(chunk, decision.corrupt_seed)
             if self.spec.max_chunk_bytes is not None and chunk.size > self.spec.max_chunk_bytes:
                 raise ChunkTooLargeError(
                     f"{self.name}: chunk of {chunk.size} B exceeds "
@@ -568,6 +601,27 @@ class SimulatedProvider:
             self._check_up()
             with self._op_lock:
                 return self.backend.verify(key)
+
+    def audit_chunk(self, key: str, leaf_indices: Sequence[int]) -> Dict:
+        """Merkle possession proof for sampled leaves of one chunk.
+
+        The challenge-response audit op: billed as one get plus *ranged*
+        egress — the proof's leaf bytes and sibling hashes, O(log) of
+        the chunk size — through the same meter every client read uses,
+        so audit economics show up in the existing cost model untouched.
+        Subject to fault injection and health observation like any other
+        backend call.
+        """
+        with self._observed("get"):
+            self._check_up()
+            with self._op_lock:
+                try:
+                    proof = self.backend.audit(key, leaf_indices)
+                except KeyError:
+                    raise ChunkNotFoundError(key) from None
+            self.meter.record_op("get")
+            self.meter.record_out(proof_billed_bytes(proof))
+            return proof
 
     # -- simulation hooks --------------------------------------------------
 

@@ -22,8 +22,9 @@ from repro.gateway.frontend import BrokerFrontend
 from repro.replication.node import ClusterNode
 
 #: Frontend operations that mutate broker state and therefore must run
-#: on the leader and wait for quorum commit.  ``tick``/``scrub`` journal
-#: period closes and repairs; the multipart ops journal upload state.
+#: on the leader and wait for quorum commit.  ``tick``/``scrub``/
+#: ``audit`` journal period closes and repairs; the multipart ops
+#: journal upload state.
 WRITE_OPS = frozenset(
     {
         "put",
@@ -34,6 +35,7 @@ WRITE_OPS = frozenset(
         "abort_upload",
         "tick",
         "scrub",
+        "audit",
     }
 )
 
@@ -44,6 +46,7 @@ _LEADER_ROUTES = {
     "list": set(),  # GETs only; bucket-level POSTs (multipart create) are kind=object
     "tick": {"POST"},
     "scrub": {"POST"},
+    "audit": {"POST"},
 }
 
 

@@ -1,0 +1,353 @@
+"""Challenge-response provider auditing at O(log) bytes per chunk.
+
+The auditor is the scrubber's cheap continuous sibling.  Where a scrub
+*reads every chunk back in full* (real egress at PB scale), an audit
+challenges each provider to prove possession of sampled 64 KiB leaves:
+the provider answers with the leaf bytes plus a Merkle sibling path
+(:mod:`repro.storage.merkle`), the broker verifies against the root it
+holds in object metadata, and only a *failed* proof escalates to the
+full-read Reed-Solomon repair the scrubber uses.  Per chunk, a passing
+audit moves one leaf and a handful of 32-byte hashes instead of the
+whole chunk — the ≥50× egress saving ``benchmarks/bench_audit.py``
+records.
+
+A failed proof is treated as evidence, not weather: the provider
+answered with bytes that contradict the broker's root, so its breaker
+force-opens immediately (``HealthTracker.record_audit_failure``) and it
+re-earns admission through the ordinary cooldown → half-open → probe
+sequence while the damaged chunk is repaired from the other ``m``.
+
+Leaf sampling is seeded and deterministic per ``(sweep seed, chunk
+key)``, so a sweep is replayable; successive sweeps advance the seed and
+therefore sample different leaves, which is what gives sustained
+sampling its coverage over time.  Objects whose metadata predates
+per-chunk roots are counted ``unrooted`` and left to the scrubber's
+full-read backfill — the auditor never guesses.
+
+Runs as an incremental background worker with the same batch/yield and
+shared→exclusive lock discipline as the scrubber: verify under the
+shared stripe lock, escalate to exclusive (and re-challenge) only when
+a proof failed and a repair must write.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cluster.datacenter import ScaliaCluster
+from repro.erasure.striping import chunk_length
+from repro.obs.events import resolve_journal
+from repro.providers.provider import (
+    ChunkNotFoundError,
+    ProviderUnavailableError,
+)
+from repro.providers.registry import ProviderRegistry
+from repro.storage.merkle import leaf_count, proof_billed_bytes, verify_proof
+from repro.storage.scrubber import repair_object_chunk
+from repro.types import ObjectMeta
+
+#: Audit statuses recorded per damaged chunk.
+AUDIT_PROOF_FAILED = "proof-failed"
+AUDIT_MISSING = "missing"
+
+
+@dataclass
+class AuditProblem:
+    """One chunk that failed its possession proof (or was gone)."""
+
+    container: str
+    key: str
+    chunk_index: int
+    provider: str
+    status: str  # "proof-failed" | "missing"
+    repaired: bool
+    stripe: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "container": self.container,
+            "key": self.key,
+            "chunk_index": self.chunk_index,
+            "stripe": self.stripe,
+            "provider": self.provider,
+            "status": self.status,
+            "repaired": self.repaired,
+        }
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit sweep (JSON-ready via :meth:`to_dict`)."""
+
+    seed: int = 0
+    objects_audited: int = 0
+    chunks_audited: int = 0
+    proofs_ok: int = 0
+    proofs_failed: int = 0
+    chunks_missing: int = 0
+    chunks_skipped: int = 0  # provider unavailable/unregistered right now
+    chunks_unrooted: int = 0  # pre-audit metadata; scrub backfills
+    leaves_sampled: int = 0
+    proof_bytes: int = 0  # provider egress billed for proofs
+    repaired: int = 0
+    unrepairable: int = 0
+    problems: List[AuditProblem] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "objects_audited": self.objects_audited,
+            "chunks_audited": self.chunks_audited,
+            "proofs_ok": self.proofs_ok,
+            "proofs_failed": self.proofs_failed,
+            "chunks_missing": self.chunks_missing,
+            "chunks_skipped": self.chunks_skipped,
+            "chunks_unrooted": self.chunks_unrooted,
+            "leaves_sampled": self.leaves_sampled,
+            "proof_bytes": self.proof_bytes,
+            "repaired": self.repaired,
+            "unrepairable": self.unrepairable,
+            "problems": [p.to_dict() for p in self.problems[:50]],
+        }
+
+
+class Auditor:
+    """Audits every provider's holdings with sampled Merkle challenges.
+
+    Mirrors the scrubber's bounded-stall contract: objects are audited
+    in batches of ``batch_size`` row keys, each under its own striped
+    object lock (shared to challenge, exclusive once a repair must
+    write), with ``yield_fn`` run between batches holding no locks.
+
+    ``leaves_per_chunk`` controls challenge strength; the default of 1
+    keeps per-chunk cost at one leaf + O(log) hashes, which is where the
+    audit-vs-scrub byte ratio comes from.  A single tampered *bit*
+    still cannot hide — any leaf's proof fails against the stored root
+    only if that leaf is sampled, but tampering that survives one sweep
+    faces fresh leaves every following sweep.
+    """
+
+    def __init__(
+        self,
+        cluster: ScaliaCluster,
+        registry: ProviderRegistry,
+        *,
+        batch_size: int = 64,
+        leaves_per_chunk: int = 1,
+        seed: Optional[int] = None,
+        yield_fn: Optional[Callable[[], None]] = None,
+        metrics=None,
+        journal=None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if leaves_per_chunk < 1:
+            raise ValueError("leaves_per_chunk must be >= 1")
+        self.cluster = cluster
+        self.registry = registry
+        self.batch_size = batch_size
+        self.leaves_per_chunk = leaves_per_chunk
+        self.yield_fn = yield_fn
+        self.journal = resolve_journal(journal)
+        self.last_report: Optional[AuditReport] = None
+        self._base_seed = seed
+        self._sweeps = 0
+        self._m_batches = None
+        if metrics is not None and metrics.enabled:
+            self._m_batches = metrics.histogram(
+                "scalia_audit_batch_seconds",
+                "Wall time of one audit batch (objects challenged under locks).",
+            )
+            self._m_chunks = metrics.counter(
+                "scalia_audit_chunks_total", "Chunks challenged by audit sweeps."
+            )
+            self._m_failures = metrics.counter(
+                "scalia_audit_failures_total",
+                "Failed possession proofs (missing chunks included).",
+            )
+            self._m_proof_bytes = metrics.counter(
+                "scalia_audit_proof_bytes_total",
+                "Provider egress billed for audit proofs.",
+            )
+            self._m_repairs = metrics.counter(
+                "scalia_audit_repairs_total", "Chunks repaired after failed proofs."
+            )
+
+    def audit(
+        self,
+        *,
+        repair: bool = True,
+        batch_size: Optional[int] = None,
+        seed: Optional[int] = None,
+        yield_fn: Optional[Callable[[], None]] = None,
+    ) -> AuditReport:
+        """One sweep over every live object's chunks; repairs on failure.
+
+        ``seed`` pins the sweep's leaf sampling (replay support); when
+        omitted, sweeps advance through ``base seed + sweep index`` so
+        consecutive sweeps challenge different leaves.
+        """
+        self._sweeps += 1
+        if seed is None:
+            seed = (self._base_seed or 0) + self._sweeps - 1
+        report = AuditReport(seed=seed)
+        engine = self.cluster.all_engines()[0]
+        locks = self.cluster.locks
+        size = max(1, batch_size if batch_size is not None else self.batch_size)
+        pause = yield_fn if yield_fn is not None else self.yield_fn
+        row_keys = engine.live_row_keys()
+        for start in range(0, len(row_keys), size):
+            if start and pause is not None:
+                pause()  # between batches: no locks held
+            batch_started = time.perf_counter()
+            for row_key in row_keys[start:start + size]:
+                self._audit_object(engine, locks, row_key, seed, repair, report)
+            if self._m_batches is not None:
+                self._m_batches.observe(time.perf_counter() - batch_started)
+        if self._m_batches is not None:
+            self._m_chunks.inc(report.chunks_audited)
+            self._m_failures.inc(report.proofs_failed + report.chunks_missing)
+            self._m_proof_bytes.inc(report.proof_bytes)
+            self._m_repairs.inc(report.repaired)
+        self.journal.emit(
+            "audit.pass",
+            seed=seed,
+            objects=report.objects_audited,
+            chunks=report.chunks_audited,
+            proofs_ok=report.proofs_ok,
+            proofs_failed=report.proofs_failed,
+            missing=report.chunks_missing,
+            unrooted=report.chunks_unrooted,
+            proof_bytes=report.proof_bytes,
+            repaired=report.repaired,
+        )
+        self.last_report = report
+        return report
+
+    # -- one object --------------------------------------------------------
+
+    def _audit_object(
+        self, engine, locks, row_key: str, seed: int, repair: bool, report: AuditReport
+    ) -> None:
+        """Challenge one object's chunks under its striped lock.
+
+        The challenge pass — overwhelmingly proofs-pass — holds the
+        stripe *shared*.  Only a failed or missing proof escalates: the
+        exclusive re-acquire re-resolves the metadata and re-challenges
+        before repairing, so a rewrite that won the gap is respected and
+        a repair can never resurrect a superseded version's chunks.
+        """
+        with locks.objects.shared(row_key):
+            meta = engine.resolve_row_unlocked(row_key)
+            if meta is None:
+                return
+            counts, damaged = self._challenge_object(meta, seed, report)
+        if not (repair and damaged):
+            self._commit_outcome(report, meta, counts, damaged, repair, {})
+            return
+        with locks.objects.exclusive(row_key):
+            meta = engine.resolve_row_unlocked(row_key)
+            if meta is None:
+                return  # deleted in the gap: nothing to audit any more
+            counts, damaged = self._challenge_object(meta, seed, report)
+            repaired = {}
+            for stripe, index, provider_name, _status in damaged:
+                # A confirmed bad proof is the breaker input — recorded
+                # before the repair so placement stops trusting the
+                # provider even if reconstruction cannot proceed yet.
+                self.registry.health.record_audit_failure(provider_name)
+                repaired[(stripe, index, provider_name)] = repair_object_chunk(
+                    self.cluster, self.registry, engine, meta,
+                    stripe, index, provider_name,
+                )
+            self._commit_outcome(report, meta, counts, damaged, repair, repaired)
+
+    def _challenge_object(self, meta: ObjectMeta, seed: int, report: AuditReport):
+        """Proof round for one object: ``(counters, damaged)``.
+
+        ``counters`` maps report fields to deltas; ``damaged`` lists
+        ``(stripe, index, provider, status)`` for chunks whose proof
+        failed or whose key the provider no longer holds.  Transient
+        provider trouble skips (never damages) a chunk, matching the
+        scrubber's rule: a repair must rest on evidence, not weather.
+        """
+        counts = {"chunks_audited": 0, "proofs_ok": 0, "proofs_failed": 0,
+                  "chunks_missing": 0, "chunks_skipped": 0, "chunks_unrooted": 0,
+                  "leaves_sampled": 0, "proof_bytes": 0}
+        damaged = []
+        for stripe, index, provider_name, chunk_key in meta.iter_chunks():
+            expected_root = meta.merkle_root(index, stripe)
+            if expected_root is None:
+                counts["chunks_unrooted"] += 1
+                continue
+            counts["chunks_audited"] += 1
+            if provider_name not in self.registry:
+                counts["chunks_skipped"] += 1
+                continue
+            if not self.registry.is_available(provider_name):
+                counts["chunks_skipped"] += 1
+                continue
+            expected_size = chunk_length(meta.stripe_lengths[stripe], meta.m)
+            leaves = leaf_count(expected_size)
+            rng = random.Random(f"{seed}:{chunk_key}")
+            indices = rng.sample(range(leaves), min(self.leaves_per_chunk, leaves))
+            try:
+                proof = self.registry.get(provider_name).audit_chunk(
+                    chunk_key, indices
+                )
+            except ChunkNotFoundError:
+                counts["chunks_missing"] += 1
+                damaged.append((stripe, index, provider_name, AUDIT_MISSING))
+                continue
+            except ProviderUnavailableError:
+                counts["chunks_skipped"] += 1
+                continue
+            counts["leaves_sampled"] += len(indices)
+            counts["proof_bytes"] += proof_billed_bytes(proof)
+            if verify_proof(proof, expected_root, expected_size):
+                counts["proofs_ok"] += 1
+            else:
+                counts["proofs_failed"] += 1
+                damaged.append((stripe, index, provider_name, AUDIT_PROOF_FAILED))
+        return counts, damaged
+
+    def _commit_outcome(
+        self, report: AuditReport, meta: ObjectMeta, counts, damaged, repair, repaired
+    ) -> None:
+        report.objects_audited += 1
+        for field_name, delta in counts.items():
+            setattr(report, field_name, getattr(report, field_name) + delta)
+        for stripe, index, provider_name, status in damaged:
+            fixed = bool(repaired.get((stripe, index, provider_name)))
+            report.repaired += int(fixed)
+            report.unrepairable += int(repair and not fixed)
+            report.problems.append(
+                AuditProblem(
+                    container=meta.container,
+                    key=meta.key,
+                    chunk_index=index,
+                    stripe=stripe,
+                    provider=provider_name,
+                    status=status,
+                    repaired=fixed,
+                )
+            )
+        if damaged:
+            self.journal.emit(
+                "audit.fail",
+                key=f"{meta.container}/{meta.key}",
+                damaged=len(damaged),
+                providers=sorted({p for _, _, p, _ in damaged}),
+                statuses=sorted({status for _, _, _, status in damaged}),
+            )
+            if repaired:
+                self.journal.emit(
+                    "audit.repair",
+                    key=f"{meta.container}/{meta.key}",
+                    repaired=sum(1 for ok in repaired.values() if ok),
+                    unrepairable=sum(1 for ok in repaired.values() if not ok),
+                )

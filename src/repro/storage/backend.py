@@ -12,9 +12,10 @@ so simulations keep the zero-overhead dict while ``repro serve
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.erasure.striping import AnyChunk, Chunk
+from repro.storage import merkle
 
 
 class ChunkCorruptionError(RuntimeError):
@@ -61,6 +62,15 @@ class ChunkStore(Protocol):
 
     def verify(self, key: str) -> str:
         """Integrity state of one chunk: ``ok`` / ``missing`` / ``corrupt``."""
+        ...
+
+    def audit(self, key: str, leaf_indices: Sequence[int]) -> Dict:
+        """Merkle possession proof for ``leaf_indices`` of one chunk.
+
+        Built from the bytes *as stored* — a tampered store produces a
+        proof that fails broker-side verification, which is the audit
+        signal.  Raises :class:`KeyError` for absent keys.
+        """
         ...
 
     def flush(self) -> None: ...
@@ -117,6 +127,13 @@ class MemoryChunkStore:
         if isinstance(chunk, Chunk) and not chunk.verify():
             return VERIFY_CORRUPT
         return VERIFY_OK
+
+    def audit(self, key: str, leaf_indices: Sequence[int]) -> Dict:
+        chunk = self._chunks[key]
+        data = getattr(chunk, "data", None)
+        if data is None:
+            return merkle.synthetic_proof(chunk.size, leaf_indices)
+        return merkle.build_proof(data, leaf_indices)
 
     def flush(self) -> None:
         pass

@@ -1,17 +1,28 @@
 """Background integrity scrubbing with erasure-coded repair.
 
-The scrubber walks every live object's chunk map, asks each provider's
-backend to re-verify the stored record (checksum re-read from disk for
-the segment store) and classifies each chunk ``ok`` / ``missing`` /
-``corrupt``.  Damaged chunks are re-encoded from any ``m`` intact chunks
-through the same Reed-Solomon reconstruction the optimizer's active
-repair uses (Section IV-E, ``bench_fig18_active_repair``), and written
-back to the owning provider — billed as real repair traffic, exactly
-like a paper-style migration repair.
+The scrubber walks every live object's chunk map, *reads each chunk
+back in full* (billed like any client read — full-store scrubbing has a
+real egress cost, which is what the Merkle auditor undercuts) and
+classifies it ``ok`` / ``missing`` / ``corrupt``.  A fetched chunk is
+checked against its own stored checksum **and** against the broker-held
+Merkle root from object metadata, so adversarial tampering that
+recomputed the provider-local checksum is still caught.  Objects whose
+metadata predates per-chunk roots (pre-audit WALs) are verified by the
+same full read and their Merkle trees are *backfilled* into a fresh
+metadata version, which is how an old store becomes auditable.
+
+Damaged chunks are re-encoded from any ``m`` intact chunks through the
+same Reed-Solomon reconstruction the optimizer's active repair uses
+(Section IV-E, ``bench_fig18_active_repair``), and written back to the
+owning provider — billed as real repair traffic, exactly like a
+paper-style migration repair.
 
 This closes the loop the durable backends open: CRC detection lives in
 :mod:`repro.storage.segment`, tolerance lives in the engine's read path
 (any ``m`` of ``n``), and restoration of full redundancy lives here.
+The cheap continuous counterpart — challenge-response proofs at O(log)
+bytes per chunk — is :mod:`repro.storage.auditor`, which shares this
+module's repair path.
 """
 
 from __future__ import annotations
@@ -33,8 +44,58 @@ from repro.providers.provider import (
 )
 from repro.providers.registry import ProviderRegistry
 from repro.obs.events import resolve_journal
-from repro.storage.backend import VERIFY_MISSING, VERIFY_OK
+from repro.storage.backend import VERIFY_CORRUPT, VERIFY_MISSING, VERIFY_OK
+from repro.storage.merkle import SYNTHETIC_ROOT, merkle_root
 from repro.types import ObjectMeta, raw_chunk_refs
+
+
+def repair_object_chunk(
+    cluster: ScaliaCluster,
+    registry: ProviderRegistry,
+    engine,
+    meta: ObjectMeta,
+    stripe: int,
+    index: int,
+    provider_name: str,
+) -> bool:
+    """Re-encode one lost chunk from ``m`` intact ones and rewrite it.
+
+    Stripes are independent codes, so the reconstruction sources come
+    from the damaged chunk's own stripe.  Shared by the scrubber and the
+    Merkle auditor — this *is* the full-read fallback a failed proof
+    triggers, and the only time the audit path reads whole chunks.
+    Caller must hold the object's stripe exclusively.
+    """
+    stripe_len = meta.stripe_lengths[stripe]
+    try:
+        # The engine's fetch path already skips missing, corrupt and
+        # unreachable chunks, so whatever it returns is safe source
+        # material for reconstruction.  Only the expected storage
+        # failures mean "unrepairable" — anything else is a bug and
+        # must surface, not be counted as lost data.
+        source = engine._fetch_chunks(meta, meta.m, stripe=stripe)  # noqa: SLF001 — storage owns its cluster
+    except (
+        ReadFailedError,
+        ProviderUnavailableError,
+        ChunkNotFoundError,
+        ChunkCorruptionError,
+    ):
+        return False
+    if isinstance(source[0], SyntheticChunk):
+        chunk = SyntheticChunk(index=index, size=chunk_length(stripe_len, meta.m))
+    else:
+        chunk = repair_chunk(source, index, meta.m, meta.n, stripe_len)
+    chunk_key = meta.chunk_key(index, stripe)
+    # The rewritten key may have a queued delete from an old outage;
+    # the rewrite guard keeps a concurrent flush from destroying the
+    # repair we are about to write (see PendingDeleteQueue).
+    with cluster.pending_deletes.rewrite_guard(chunk_key):
+        cluster.pending_deletes.discard(provider_name, chunk_key)
+        try:
+            registry.get(provider_name).put_chunk(chunk_key, chunk)
+        except (ProviderUnavailableError, CapacityExceededError, ChunkTooLargeError):
+            return False
+    return True
 
 
 @dataclass
@@ -75,6 +136,7 @@ class ScrubReport:
     unrepairable: int = 0
     orphans_found: int = 0
     orphans_removed: int = 0
+    roots_backfilled: int = 0  # objects whose Merkle trees were backfilled
     problems: List[ChunkProblem] = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -89,6 +151,7 @@ class ScrubReport:
             "unrepairable": self.unrepairable,
             "orphans_found": self.orphans_found,
             "orphans_removed": self.orphans_removed,
+            "roots_backfilled": self.roots_backfilled,
             "problems": [p.to_dict() for p in self.problems[:50]],
         }
 
@@ -183,45 +246,87 @@ class Scrubber:
             meta = engine.resolve_row_unlocked(row_key)
             if meta is None:
                 return
-            counts, damaged = self._verify_object(meta)
-        if not (repair and damaged):
+            counts, damaged, _roots = self._verify_object(meta)
+        needs_backfill = repair and not meta.merkle
+        if not (repair and (damaged or needs_backfill)):
             self._commit_outcome(report, meta, counts, damaged, repair, {})
             return
         with locks.objects.exclusive(row_key):
             meta = engine.resolve_row_unlocked(row_key)
             if meta is None:
                 return  # deleted in the gap: nothing to scrub any more
-            counts, damaged = self._verify_object(meta)
+            counts, damaged, roots = self._verify_object(meta)
             repaired = {}
             for stripe, index, provider_name, _status in damaged:
                 repaired[(stripe, index, provider_name)] = self._repair(
                     engine, meta, stripe, index, provider_name
                 )
+            if not meta.merkle and not damaged and not counts["chunks_skipped"]:
+                # Pre-audit metadata and every chunk read back clean: the
+                # full-read pass this object just paid for doubles as the
+                # tree build.  Journal a fresh version carrying the roots
+                # (the exclusive hold makes the read-modify-write safe);
+                # a damaged or unprobeable object waits for a later pass.
+                self._backfill_roots(engine, row_key, meta, roots, report)
             self._commit_outcome(report, meta, counts, damaged, repair, repaired)
 
     def _verify_object(self, meta: ObjectMeta):
-        """Chunk verification: ``(counters, damaged)`` without repairing.
+        """Chunk verification: ``(counters, damaged, roots)``, no repairs.
 
         ``counters`` maps the report fields to deltas; ``damaged`` lists
-        ``(stripe, index, provider, status)`` for missing/corrupt chunks.
+        ``(stripe, index, provider, status)`` for missing/corrupt chunks;
+        ``roots`` maps each verified chunk's key suffix to the Merkle
+        root computed from the bytes just read (backfill material).
         """
         counts = {"chunks_scanned": 0, "chunks_ok": 0, "chunks_missing": 0,
                   "chunks_corrupt": 0, "chunks_skipped": 0}
         damaged = []
+        roots: dict = {}
         for stripe, index, provider_name, chunk_key in meta.iter_chunks():
             counts["chunks_scanned"] += 1
-            status = self._verify(chunk_key, provider_name)
+            status, root = self._verify(
+                chunk_key, provider_name, meta.merkle_root(index, stripe)
+            )
             if status is None:
                 counts["chunks_skipped"] += 1
             elif status == VERIFY_OK:
                 counts["chunks_ok"] += 1
+                roots[chunk_key.split(":", 1)[1]] = root
             else:
                 if status == VERIFY_MISSING:
                     counts["chunks_missing"] += 1
                 else:
                     counts["chunks_corrupt"] += 1
                 damaged.append((stripe, index, provider_name, status))
-        return counts, damaged
+        return counts, damaged, roots
+
+    def _backfill_roots(
+        self, engine, row_key: str, meta: ObjectMeta, roots, report: ScrubReport
+    ) -> None:
+        """Write a metadata version carrying freshly computed Merkle roots.
+
+        The write merges every visible version's vector clock and
+        increments this DC, so it causally dominates (and retires) the
+        rootless version — followers receive the backfilled tree through
+        ordinary ``md`` WAL shipping.  Chunk references are unchanged,
+        so no GC can trigger.
+        """
+        from dataclasses import replace
+
+        new_meta = replace(meta, merkle=tuple(sorted(roots.items())))
+        engine._metadata.write(  # noqa: SLF001 — storage owns its cluster
+            engine.dc,
+            row_key,
+            new_meta.to_dict(),
+            uuid=engine._ids.uuid(),  # noqa: SLF001
+            timestamp=meta.last_modified,
+        )
+        report.roots_backfilled += 1
+        self.journal.emit(
+            "scrub.backfill",
+            key=f"{meta.container}/{meta.key}",
+            chunks=len(roots),
+        )
 
     def _commit_outcome(
         self, report: ScrubReport, meta: ObjectMeta, counts, damaged, repair, repaired
@@ -335,60 +440,53 @@ class Scrubber:
 
     # -- internals ---------------------------------------------------------
 
-    def _verify(self, chunk_key: str, provider_name: str) -> Optional[str]:
-        """Chunk state, or ``None`` when the provider cannot be probed now.
+    def _verify(self, chunk_key: str, provider_name: str, expected_root):
+        """``(state, root)`` of one chunk, read back in full and billed.
 
-        A transient fault from a flaky provider (injected error, flap
-        window) counts as "cannot probe now" — the chunk is *skipped*,
-        not declared damaged: repairing on the word of a provider that is
-        erroring would churn healthy chunks.  The probe itself still
-        feeds the health tracker, so scrubbing doubles as the half-open
-        breaker's recovery traffic.
+        ``state`` is ``None`` when the provider cannot be probed now: a
+        transient fault from a flaky provider (injected error, flap
+        window) means the chunk is *skipped*, not declared damaged —
+        repairing on the word of a provider that is erroring would churn
+        healthy chunks.  The probe itself still feeds the health
+        tracker, so scrubbing doubles as the half-open breaker's
+        recovery traffic.
+
+        The fetched bytes are checked two ways: the chunk's own stored
+        checksum (catches rot and torn records), then the Merkle root
+        from object metadata when one exists (catches *adversarial*
+        tampering where the provider-local checksum was recomputed over
+        the tampered bytes).  ``root`` is the Merkle root computed from
+        the bytes just read — backfill material for rootless metadata.
         """
         if provider_name not in self.registry:
-            return None
+            return None, None
         if not self.registry.is_available(provider_name):
-            return None
+            return None, None
         try:
-            return self.registry.get(provider_name).verify_chunk(chunk_key)
+            chunk = self.registry.get(provider_name).get_chunk(chunk_key)
+        except ChunkNotFoundError:
+            return VERIFY_MISSING, None
+        except ChunkCorruptionError:
+            return VERIFY_CORRUPT, None
         except ProviderUnavailableError:
-            return None
+            return None, None
+        data = getattr(chunk, "data", None)
+        if data is None:  # synthetic: size-only, nothing to hash
+            return VERIFY_OK, SYNTHETIC_ROOT
+        if not chunk.verify():
+            return VERIFY_CORRUPT, None
+        computed = merkle_root(data)
+        if (
+            expected_root is not None
+            and expected_root != SYNTHETIC_ROOT
+            and computed != expected_root
+        ):
+            return VERIFY_CORRUPT, None
+        return VERIFY_OK, computed
 
     def _repair(
         self, engine, meta: ObjectMeta, stripe: int, index: int, provider_name: str
     ) -> bool:
-        """Re-encode one lost chunk from ``m`` intact ones and rewrite it.
-
-        Stripes are independent codes, so the reconstruction sources come
-        from the damaged chunk's own stripe.
-        """
-        stripe_len = meta.stripe_lengths[stripe]
-        try:
-            # The engine's fetch path already skips missing, corrupt and
-            # unreachable chunks, so whatever it returns is safe source
-            # material for reconstruction.  Only the expected storage
-            # failures mean "unrepairable" — anything else is a bug and
-            # must surface, not be counted as lost data.
-            source = engine._fetch_chunks(meta, meta.m, stripe=stripe)  # noqa: SLF001 — storage owns its cluster
-        except (
-            ReadFailedError,
-            ProviderUnavailableError,
-            ChunkNotFoundError,
-            ChunkCorruptionError,
-        ):
-            return False
-        if isinstance(source[0], SyntheticChunk):
-            chunk = SyntheticChunk(index=index, size=chunk_length(stripe_len, meta.m))
-        else:
-            chunk = repair_chunk(source, index, meta.m, meta.n, stripe_len)
-        chunk_key = meta.chunk_key(index, stripe)
-        # The rewritten key may have a queued delete from an old outage;
-        # the rewrite guard keeps a concurrent flush from destroying the
-        # repair we are about to write (see PendingDeleteQueue).
-        with self.cluster.pending_deletes.rewrite_guard(chunk_key):
-            self.cluster.pending_deletes.discard(provider_name, chunk_key)
-            try:
-                self.registry.get(provider_name).put_chunk(chunk_key, chunk)
-            except (ProviderUnavailableError, CapacityExceededError, ChunkTooLargeError):
-                return False
-        return True
+        return repair_object_chunk(
+            self.cluster, self.registry, engine, meta, stripe, index, provider_name
+        )

@@ -42,9 +42,10 @@ import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.erasure.striping import AnyChunk, Chunk, SyntheticChunk
+from repro.storage import merkle
 from repro.storage.backend import (
     VERIFY_CORRUPT,
     VERIFY_MISSING,
@@ -385,6 +386,30 @@ class FileChunkStore:
             return VERIFY_CORRUPT
         ref.corrupt = False
         return VERIFY_OK
+
+    def audit(self, key: str, leaf_indices: Sequence[int]) -> Dict:
+        """Possession proof from a *ranged* read of the stored payload.
+
+        Deliberately skips the record's SHA-1/CRC gate: the proof is
+        built over the payload bytes exactly as they sit on disk, so
+        silent rot or adversarial tampering surfaces as a root mismatch
+        at the broker instead of a trusted local self-check — the
+        provider cannot grade its own homework.  Synthetic records
+        answer with a shape-only proof of the recorded size.
+        """
+        self._check_open()
+        ref = self._index[key]  # KeyError propagates for absent keys
+        if ref.kind == _KIND_SYNTHETIC:
+            return merkle.synthetic_proof(ref.size, leaf_indices)
+        key_len = len(key.encode("utf-8"))
+        payload_offset = ref.offset + _HEADER_LEN + key_len
+        payload_len = ref.length - _HEADER_LEN - key_len - _SHA_LEN - _CRC.size
+        if ref.segment == self._writer_segment:
+            self._writer.flush()
+        reader = self._reader(ref.segment)
+        reader.seek(payload_offset)
+        payload = reader.read(payload_len)
+        return merkle.build_proof(payload, leaf_indices)
 
     def flush(self) -> None:
         if self._writer is not None and not self._closed:

@@ -82,6 +82,13 @@ class ObjectMeta:
     ttl_hint: Optional[float] = None
     stripes: Tuple[Tuple[str, int], ...] = ()  # (stripe tag, plaintext bytes)
     modified_at: Optional[float] = None
+    # Per-chunk Merkle roots for challenge-response audits: sorted
+    # (chunk-key suffix, root hex) pairs, where the suffix is the part of
+    # the provider chunk key after ``skey:`` — ``"{index}"`` for the
+    # legacy single-stripe layout, ``"{tag}.{index}"`` for striped
+    # objects.  Synthetic chunks carry the sentinel root.  An empty tuple
+    # means the object predates auditing; the scrubber backfills it.
+    merkle: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def n(self) -> int:
@@ -126,6 +133,23 @@ class ObjectMeta:
         for stripe in range(self.stripe_count):
             for index, provider in self.chunk_map:
                 yield stripe, index, provider, self.chunk_key(index, stripe)
+
+    def merkle_root(self, index: int, stripe: int = 0) -> Optional[str]:
+        """Stored Merkle root for chunk ``index`` of ``stripe``, if any.
+
+        ``None`` means the object predates per-chunk auditing (pre-PR-10
+        WAL rows) — callers fall back to full-read verification.
+        """
+        if not self.merkle:
+            return None
+        if not self.stripes:
+            suffix = str(index)
+        else:
+            suffix = f"{self.stripes[stripe][0]}.{index}"
+        for key_suffix, root in self.merkle:
+            if key_suffix == suffix:
+                return root
+        return None
 
     def stripe_offset(self, stripe: int) -> int:
         """Byte offset where ``stripe`` begins inside the object."""
@@ -172,6 +196,8 @@ class ObjectMeta:
             out["stripes"] = [list(pair) for pair in self.stripes]
         if self.modified_at is not None:
             out["modified_at"] = self.modified_at
+        if self.merkle:
+            out["merkle"] = [list(pair) for pair in self.merkle]
         return out
 
     @classmethod
@@ -194,6 +220,9 @@ class ObjectMeta:
                 (str(tag), int(length)) for tag, length in data.get("stripes", ())
             ),
             modified_at=data.get("modified_at"),
+            merkle=tuple(
+                (str(suffix), str(root)) for suffix, root in data.get("merkle", ())
+            ),
         )
 
 
